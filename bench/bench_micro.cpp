@@ -1,0 +1,130 @@
+// Experiment E8 — micro-benchmarks of the substrate hot paths:
+// aggregation-rule cost scaling (Krum is O(n^2 d); median O(n d log n);
+// GeoMed iterations; clipping passes), the dense GEMM kernel, event-kernel
+// throughput, and the synthetic-digit generator.
+//
+// Run via google-benchmark:  ./bench_micro [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "agg/aggregator.hpp"
+#include "consensus/voting.hpp"
+#include "data/synth_digits.hpp"
+#include "nn/quantize.hpp"
+#include "sim/simulator.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace abdhfl;
+
+std::vector<agg::ModelVec> make_updates(std::size_t n, std::size_t dim,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<agg::ModelVec> updates(n, agg::ModelVec(dim));
+  for (auto& u : updates) {
+    for (float& v : u) v = static_cast<float>(rng.normal());
+  }
+  return updates;
+}
+
+void BM_Aggregate(benchmark::State& state, const std::string& rule) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto updates = make_updates(n, dim, 99);
+  auto agg = agg::make_aggregator(rule);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg->aggregate(updates));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void RegisterAggBenches() {
+  for (const char* rule :
+       {"mean", "krum", "multikrum", "median", "trimmed_mean", "geomed",
+        "centered_clip", "norm_filter"}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        (std::string("BM_Aggregate/") + rule).c_str(),
+        [rule = std::string(rule)](benchmark::State& state) {
+          BM_Aggregate(state, rule);
+        });
+    bench->Args({8, 1000})->Args({32, 1000})->Args({8, 10000})->Args({32, 10000});
+  }
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  tensor::Matrix a(n, n), b(n, n), c;
+  a.init_he_uniform(rng);
+  b.init_he_uniform(rng);
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EventKernel(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventKernel)->Arg(1000)->Arg(10000);
+
+void BM_SynthDigits(benchmark::State& state) {
+  data::SynthConfig config;
+  config.samples_per_class = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(data::generate_synth_digits(config, rng));
+  }
+}
+BENCHMARK(BM_SynthDigits)->Arg(10)->Arg(50);
+
+void BM_VotingConsensus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto updates = make_updates(n, 1000, 13);
+  consensus::VotingConsensus voting;
+  const std::vector<bool> byz(n, false);
+  util::Rng rng(3);
+  auto eval = [](std::size_t, const agg::ModelVec& m) {
+    return static_cast<double>(m[0]);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voting.agree(updates, eval, byz, rng));
+  }
+}
+BENCHMARK(BM_VotingConsensus)->Arg(4)->Arg(16);
+
+void BM_Quantize(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto bits = static_cast<std::uint8_t>(state.range(1));
+  util::Rng rng(11);
+  std::vector<float> params(dim);
+  for (float& v : params) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    auto q = nn::quantize(params, bits);
+    benchmark::DoNotOptimize(nn::dequantize(q));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim * sizeof(float)));
+}
+BENCHMARK(BM_Quantize)->Args({10000, 8})->Args({10000, 4})->Args({100000, 8});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAggBenches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment E4 — Sec. III-D / Fig. 2: pipeline workflow efficiency.
+//
+// Part 1 (timing): sweeps the flag level and the quorum φ on the
+// discrete-event simulator and prints the σ_w / σ_p+σ_g decomposition
+// (Eq. 2), the efficiency indicator ν (Eq. 3), the global-model staleness,
+// and the end-to-end time against the fully synchronous schedule.
+//
+// Part 2 (--alpha-ablation): reruns the learning simulation with the
+// correction-factor policies of Sec. III-B (fixed α sweep, relative-size,
+// and the degenerate α→1 "replace" / small-α "ignore" corners) to show what
+// the correction factor is worth in accuracy.
+//
+//   ./bench_pipeline [--rounds N] [--alpha-ablation]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "topology/tree.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abdhfl;
+
+  util::Cli cli(argc, argv);
+  const auto rounds =
+      static_cast<std::size_t>(cli.integer("rounds", 12, "simulated global rounds"));
+  const auto levels = static_cast<std::size_t>(cli.integer("levels", 4, "tree levels"));
+  const bool alpha_ablation =
+      cli.boolean("alpha-ablation", false, "also run the correction-factor ablation");
+  const std::string csv = cli.str("csv", "", "also write rows to this CSV file");
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 9, "RNG seed"));
+  if (!cli.finish()) return 0;
+
+  const auto tree = topology::build_ecsm(levels, 3, 3);
+  core::DelayRegime regime;  // training 1.0s, partial agg 0.1s, uplink 0.02s
+
+  std::printf("Pipeline workflow (Eq. 2/3): %zu-level ECSM, %zu rounds\n\n", levels,
+              rounds);
+  util::Table table({"flag level", "quorum", "nu", "sigma_w", "sigma_p+g", "staleness",
+                     "total time", "sync time"});
+
+  for (std::size_t flag = 0; flag < levels - 1; ++flag) {
+    for (double quorum : {0.5, 0.75, 1.0}) {
+      const auto config = core::make_pipeline_config(regime, rounds, flag, quorum);
+      const auto result = core::simulate_pipeline(tree, config, seed);
+      double w = 0.0, pg = 0.0;
+      std::size_t counted = 0;
+      for (const auto& r : result.rounds) {
+        if (r.sigma > 0.0) {
+          w += r.sigma_w;
+          pg += r.sigma_pg;
+          ++counted;
+        }
+      }
+      if (counted > 0) {
+        w /= static_cast<double>(counted);
+        pg /= static_cast<double>(counted);
+      }
+      table.add_row({std::to_string(flag), util::Table::fmt(quorum, 2),
+                     util::Table::fmt(result.mean_nu, 3), util::Table::fmt(w, 3),
+                     util::Table::fmt(pg, 3), util::Table::fmt(result.mean_staleness, 3),
+                     util::Table::fmt(result.total_time, 2),
+                     util::Table::fmt(result.synchronous_time, 2)});
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  if (!csv.empty()) table.write_csv(csv);
+
+  if (alpha_ablation) {
+    std::printf("\nCorrection factor ablation (Eq. 1), 30%% label-flip, non-IID:\n\n");
+    util::Table ab({"alpha policy", "final acc"});
+    struct Policy {
+      const char* label;
+      core::AlphaPolicy policy;
+    };
+    std::vector<Policy> policies = {
+        {"fixed 0.1 (ignore global)", {core::AlphaMode::kFixed, 0.1, 0.05, 1.0, 1.0}},
+        {"fixed 0.5", {core::AlphaMode::kFixed, 0.5, 0.05, 1.0, 1.0}},
+        {"fixed 1.0 (replace)", {core::AlphaMode::kFixed, 1.0, 0.05, 1.0, 1.0}},
+        {"relative-size (paper)", {core::AlphaMode::kRelativeSize, 0.5, 0.05, 1.0, 1.0}},
+    };
+    for (const auto& p : policies) {
+      core::ScenarioConfig config;
+      config.iid = false;
+      config.bra_rule = "median";
+      config.malicious_fraction = 0.3;
+      config.learn.rounds = 12;
+      config.samples_per_class = 80;
+      config.alpha = p.policy;
+      config.seed = seed;
+      const auto result = core::run_scenario(config, /*run_vanilla=*/false);
+      ab.add_row({p.label, util::Table::fmt(result.abdhfl.final_accuracy, 4)});
+      std::printf("%s -> %.4f\n", p.label, result.abdhfl.final_accuracy);
+      std::fflush(stdout);
+    }
+    std::printf("\n%s\n", ab.to_text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Experiment E7 — Tables I & II coverage: every aggregation rule against
+// every model-update attack, plus the data-poisoning attacks, on a star
+// topology (so the rule is isolated from the hierarchy).
+//
+// This is the experimental backdrop for the paper's premise that each
+// Byzantine-robust technique is strong against some attacks and weak against
+// others — the reason ABD-HFL's per-level technique mixing exists.  For the
+// backdoor attack the harness also reports the attack success rate (clean
+// test images stamped with the trigger that get classified as the target).
+//
+//   ./bench_rules [--malicious 0.3] [--rounds N]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "data/synth_digits.hpp"
+#include "nn/mlp.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abdhfl;
+
+  util::Cli cli(argc, argv);
+  const double malicious = cli.real("malicious", 0.3, "fraction of Byzantine clients");
+  const auto rounds = static_cast<std::size_t>(cli.integer("rounds", 8, "global rounds"));
+  const auto spc = static_cast<std::size_t>(
+      cli.integer("samples-per-class", 80, "training samples per class"));
+  const std::string csv = cli.str("csv", "", "also write rows to this CSV file");
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 23, "RNG seed"));
+  if (!cli.finish()) return 0;
+
+  const std::vector<std::string> rules = {"mean",         "krum",   "multikrum",
+                                          "median",       "geomed", "trimmed_mean",
+                                          "centered_clip", "norm_filter"};
+  const std::vector<std::string> model_attacks = {"gaussian_noise", "sign_flip", "alie",
+                                                  "ipm"};
+  const std::vector<std::pair<std::string, attacks::PoisonType>> poisons = {
+      {"flip1", attacks::PoisonType::kLabelFlipType1},
+      {"flip2", attacks::PoisonType::kLabelFlipType2},
+      {"backdoor", attacks::PoisonType::kBackdoor},
+      {"feat_noise", attacks::PoisonType::kFeatureNoise},
+  };
+
+  std::vector<std::string> header = {"rule"};
+  for (const auto& a : model_attacks) header.push_back(a);
+  for (const auto& [name, type] : poisons) header.push_back(name);
+  header.push_back("backdoor ASR");
+  util::Table table(header);
+
+  for (const auto& rule : rules) {
+    std::vector<std::string> row = {rule};
+    std::string backdoor_asr = "-";
+    for (const auto& attack : model_attacks) {
+      core::ScenarioConfig config;
+      config.vanilla_rule = rule;
+      config.model_attack = attack;
+      config.malicious_fraction = malicious;
+      config.learn.rounds = rounds;
+      config.samples_per_class = spc;
+      config.seed = seed;
+      const auto result = core::run_scenario(config, true, /*run_abdhfl=*/false);
+      row.push_back(util::Table::fmt(result.vanilla.final_accuracy, 3));
+    }
+    for (const auto& [name, type] : poisons) {
+      core::ScenarioConfig config;
+      config.vanilla_rule = rule;
+      config.poison = type;
+      config.malicious_fraction = malicious;
+      config.learn.rounds = rounds;
+      config.samples_per_class = spc;
+      config.seed = seed;
+      const auto result = core::run_scenario(config, true, /*run_abdhfl=*/false);
+      row.push_back(util::Table::fmt(result.vanilla.final_accuracy, 3));
+
+      if (type == attacks::PoisonType::kBackdoor) {
+        // Attack success rate: stamp the trigger onto clean test images of
+        // non-target classes and measure how often the final model emits the
+        // trigger's target label.
+        util::Rng rng(seed + 999);
+        data::SynthConfig synth;
+        synth.samples_per_class = 30;
+        auto probe = data::generate_synth_digits(synth, rng);
+        attacks::PoisonConfig trig;
+        trig.type = attacks::PoisonType::kBackdoor;
+        attacks::stamp_trigger(probe, trig);
+
+        auto model = nn::make_mlp(probe.dim(), config.hidden, 10, rng);
+        model.unflatten(result.vanilla.final_model);
+        const auto logits = model.forward(probe.features);
+        const auto preds = nn::predict(logits);
+        std::size_t hits = 0, total = 0;
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+          if (probe.labels[i] == trig.target_label) continue;  // skip target class
+          ++total;
+          if (preds[i] == trig.target_label) ++hits;
+        }
+        backdoor_asr = util::Table::fmt(
+            total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total), 3);
+      }
+    }
+    row.push_back(backdoor_asr);
+    table.add_row(std::move(row));
+    std::printf("rule %-14s done\n", rule.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nfinal accuracy per (rule x attack), %.0f%% Byzantine clients:\n\n%s\n",
+              malicious * 100.0, table.to_text().c_str());
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Experiment E5 — Theorems 1-3 and Corollaries 1-3: the Byzantine tolerance
+// calculus of the ECSM/ACSM analysis, checked against counted reality.
+//
+// Part 1: p-ratio trees (Definition 4).  Builds ECSM trees, places Byzantine
+// devices with assign_p_ratio, counts them per level, and compares against
+// the Theorem 2 closed forms.  Corollary 2 (lower levels tolerate more) and
+// Corollary 3 (more levels tolerate more at a fixed bottom) are printed as
+// derived columns.
+//
+// Part 2: idealized filtering.  Propagates honest/Byzantine labels up the
+// tree under a per-cluster filter (a cluster's output is clean iff its
+// Byzantine input proportion is <= gamma) and bisects for the maximum
+// bottom-level fraction the hierarchy survives, under both the block
+// placement Theorem 2 is tight for and random placement — the contrast the
+// DESIGN.md ablation calls out.
+//
+// Part 3: ACSM (--acsm): relative reliable number psi per level and the
+// Theorem 3 bound on arbitrary-cluster-size trees.
+//
+//   ./bench_tolerance [--acsm]
+
+#include <cmath>
+#include <cstdio>
+
+#include "topology/byzantine.hpp"
+#include "topology/tree.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace abdhfl;
+
+// A cluster's aggregate is clean iff its Byzantine input share is <= gamma
+// (the idealized filter Theorem 2 assumes each level implements).  Inputs of
+// level l clusters are the aggregates of the child clusters their members
+// lead; at the bottom the inputs are the devices themselves.
+bool hierarchy_survives(const topology::HflTree& tree, const topology::ByzantineMask& mask,
+                        double gamma1, double gamma2) {
+  const std::size_t depth = tree.depth();
+  // bad[l][i] = cluster (l,i)'s aggregate is corrupted.
+  std::vector<std::vector<bool>> bad(tree.num_levels());
+  for (std::size_t l = depth; l >= 1; --l) {
+    bad[l].resize(tree.level(l).size());
+    for (std::size_t i = 0; i < tree.level(l).size(); ++i) {
+      const auto& cluster = tree.cluster(l, i);
+      std::size_t bad_inputs = 0;
+      for (topology::DeviceId d : cluster.members) {
+        bool input_bad;
+        if (l == depth) {
+          input_bad = mask[d];
+        } else {
+          input_bad = bad[l + 1][*tree.child_cluster_of(l, d)];
+        }
+        if (input_bad) ++bad_inputs;
+      }
+      const double share =
+          static_cast<double>(bad_inputs) / static_cast<double>(cluster.size());
+      bad[l][i] = share > gamma2;
+    }
+  }
+  // Top: the consensus filters up to gamma1 of the partial models.
+  const auto& top = tree.cluster(0, 0);
+  std::size_t bad_inputs = 0;
+  for (topology::DeviceId d : top.members) {
+    if (bad[1][*tree.child_cluster_of(0, d)]) ++bad_inputs;
+  }
+  const double share = static_cast<double>(bad_inputs) / static_cast<double>(top.size());
+  return share <= gamma1;
+}
+
+double empirical_max_tolerance(const topology::HflTree& tree, double gamma1, double gamma2,
+                               bool block, util::Rng& rng) {
+  const std::size_t n = tree.num_devices();
+  // Monotone in the block case: bisect on the malicious count.
+  std::size_t lo = 0, hi = n;  // lo survives, hi fails (assume full-bad fails)
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    const double fraction = static_cast<double>(mid) / static_cast<double>(n);
+    bool ok;
+    if (block) {
+      ok = hierarchy_survives(tree, topology::block_malicious(n, fraction), gamma1, gamma2);
+    } else {
+      // Random placement is not monotone per draw; majority over trials.
+      std::size_t survived = 0;
+      constexpr std::size_t kTrials = 20;
+      for (std::size_t t = 0; t < kTrials; ++t) {
+        if (hierarchy_survives(tree, topology::sample_malicious(n, fraction, rng), gamma1,
+                               gamma2)) {
+          ++survived;
+        }
+      }
+      ok = 2 * survived >= kTrials;
+    }
+    (ok ? lo : hi) = mid;
+  }
+  return static_cast<double>(lo) / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool acsm = cli.boolean("acsm", true, "include the ACSM/Theorem 3 section");
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 17, "RNG seed"));
+  if (!cli.finish()) return 0;
+
+  util::Rng rng(seed);
+  const double gamma1 = 0.25, gamma2 = 0.25;
+
+  // --- Part 1: Theorem 2 vs counted p-ratio placement. ----------------------
+  std::printf("Part 1 — Theorem 2 closed form vs counted p-ratio placement "
+              "(gamma1=gamma2=25%%)\n\n");
+  util::Table t1({"levels", "level", "nodes (Cor.1)", "max byz (Thm.2)",
+                  "max share (Thm.2)", "counted byz", "counted share"});
+  for (std::size_t levels : {3u, 4u}) {
+    const auto tree = topology::build_ecsm(levels, 4, 4);
+    topology::PRatioConfig pr;
+    pr.p = 1.0 - gamma2;
+    pr.honest_top = tree.cluster(0, 0).size() -
+                    static_cast<std::size_t>(gamma1 * static_cast<double>(
+                                                          tree.cluster(0, 0).size()));
+    const auto mask = topology::assign_p_ratio(tree, pr, rng);
+    const auto counted = topology::byzantine_per_level(tree, mask);
+    const auto totals = topology::nodes_per_level(tree);
+    for (std::size_t l = 0; l < tree.num_levels(); ++l) {
+      t1.add_row({std::to_string(levels), std::to_string(l),
+                  std::to_string(topology::corollary1_nodes(4, 4, l)),
+                  util::Table::fmt(topology::theorem2_max_byzantine(4, 4, l, gamma1, gamma2), 1),
+                  util::Table::pct(topology::theorem2_max_proportion(l, gamma1, gamma2), 2),
+                  std::to_string(counted[l]),
+                  util::Table::pct(static_cast<double>(counted[l]) /
+                                   static_cast<double>(totals[l]), 2)});
+    }
+  }
+  std::printf("%s\n", t1.to_text().c_str());
+
+  // --- Part 2: empirical filtering tolerance, block vs random. -------------
+  std::printf("Part 2 — empirical max tolerated bottom fraction (idealized per-level "
+              "filter)\n\n");
+  util::Table t2({"levels", "Thm.2 bound", "p-ratio placement", "survives at bound",
+                  "block placement", "random placement"});
+  for (std::size_t levels : {2u, 3u, 4u}) {
+    const auto tree = topology::build_ecsm(levels, 4, 4);
+    const double bound = topology::theorem2_max_proportion(levels - 1, gamma1, gamma2);
+
+    // The bound is tight for Definition 4's p-ratio structure: fill whole
+    // Byzantine subtrees under gamma1 of the top nodes and exactly gamma2 of
+    // every honest cluster.  That placement must survive the idealized
+    // filter with a bottom-level Byzantine share equal to the bound.
+    topology::PRatioConfig pr;
+    pr.p = 1.0 - gamma2;
+    pr.honest_top = tree.cluster(0, 0).size() -
+                    static_cast<std::size_t>(gamma1 * static_cast<double>(
+                                                          tree.cluster(0, 0).size()));
+    const auto pratio_mask = topology::assign_p_ratio(tree, pr, rng);
+    const double pratio_share =
+        static_cast<double>(topology::byzantine_per_level(tree, pratio_mask).back()) /
+        static_cast<double>(tree.num_devices());
+    const bool survives = hierarchy_survives(tree, pratio_mask, gamma1, gamma2);
+
+    const double block = empirical_max_tolerance(tree, gamma1, gamma2, true, rng);
+    const double random = empirical_max_tolerance(tree, gamma1, gamma2, false, rng);
+    t2.add_row({std::to_string(levels), util::Table::pct(bound, 2),
+                util::Table::pct(pratio_share, 2), survives ? "yes" : "NO",
+                util::Table::pct(block, 2), util::Table::pct(random, 2)});
+  }
+  std::printf("%s", t2.to_text().c_str());
+  std::printf(
+      "\nThe p-ratio placement realizes the bound exactly and survives (Theorem 2 is\n"
+      "tight).  Naive block placement survives less under the *idealized* gamma1\n"
+      "top filter — the implemented voting consensus is stronger (it drops every\n"
+      "majority-rejected candidate), which is why the learning experiments hold at\n"
+      "the bound and beyond, as the paper also observes at 65%%.  Random placement\n"
+      "collapses toward the single-cluster gamma because adversaries contaminate\n"
+      "every cluster.  Corollary 3 is the upward trend of the bound with levels.\n\n");
+
+  // --- Part 3: ACSM (Theorem 3). --------------------------------------------
+  if (acsm) {
+    std::printf("Part 3 — ACSM relative reliable number psi and Theorem 3 bound\n\n");
+    util::Table t3({"level", "clusters", "nodes", "byz clusters", "psi",
+                    "Thm.3 max share", "counted byz share"});
+    topology::AcsmConfig config;
+    config.bottom_devices = 96;
+    config.min_cluster = 3;
+    config.max_cluster = 6;
+    config.top_size = 4;
+    const auto tree = topology::build_acsm(config, rng);
+    const auto mask =
+        topology::sample_malicious(tree.num_devices(), 0.3, rng);
+    const auto counted = topology::byzantine_per_level(tree, mask);
+    const auto totals = topology::nodes_per_level(tree);
+    for (std::size_t l = 0; l < tree.num_levels(); ++l) {
+      const auto classes = topology::classify_clusters(tree, l, mask, gamma1, gamma2);
+      std::size_t byz_clusters = 0;
+      for (bool b : classes.byzantine_cluster) byz_clusters += b ? 1 : 0;
+      const auto tol = topology::acsm_level_tolerance(tree, l, mask, gamma1, gamma2);
+      t3.add_row({std::to_string(l), std::to_string(tree.level(l).size()),
+                  std::to_string(totals[l]), std::to_string(byz_clusters),
+                  util::Table::fmt(tol.psi, 3), util::Table::pct(tol.max_proportion, 2),
+                  util::Table::pct(static_cast<double>(counted[l]) /
+                                   static_cast<double>(totals[l]), 2)});
+    }
+    std::printf("%s\n", t3.to_text().c_str());
+  }
+  return 0;
+}

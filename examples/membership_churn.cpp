@@ -1,0 +1,110 @@
+// Membership churn: Assumption 3 in action.
+//
+// Trains a federation for a few rounds, then the device that chains all the
+// way to the top level — a bottom-cluster leader, a level-1 leader and a
+// top-cluster member at once — leaves.  Its successor inherits the whole
+// leadership chain, device ids are compacted, and training resumes from the
+// last agreed global model on the churned tree.  A new device then joins an
+// existing cluster and the process repeats.
+//
+//   ./membership_churn [--rounds-per-phase 6]
+
+#include <cstdio>
+
+#include "core/hfl_runner.hpp"
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "topology/churn.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace abdhfl;
+
+core::RunResult run_phase(const topology::HflTree& tree,
+                          const std::vector<data::Dataset>& shards,
+                          const data::Dataset& test_set,
+                          const std::vector<data::Dataset>& validation,
+                          const nn::Mlp& prototype, std::size_t rounds,
+                          std::uint64_t seed) {
+  core::HflConfig config;
+  config.learn.rounds = rounds;
+  core::HflRunner runner(tree, shards, test_set, validation, prototype, config, {}, seed);
+  return runner.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto rounds = static_cast<std::size_t>(
+      cli.integer("rounds-per-phase", 6, "global rounds per phase"));
+  const auto spc = static_cast<std::size_t>(
+      cli.integer("samples-per-class", 120, "training samples per class"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 33, "RNG seed"));
+  if (!cli.finish()) return 0;
+
+  util::Rng rng(seed);
+  auto tree = topology::build_ecsm(3, 4, 4);
+
+  data::SynthConfig synth;
+  synth.samples_per_class = spc;
+  const auto pool = data::generate_synth_digits(synth, rng);
+  synth.samples_per_class = 40;
+  const auto test_set = data::generate_synth_digits(synth, rng);
+  const auto validation = data::partition_iid(test_set, 4, rng);
+  auto shards = data::partition_iid(pool, tree.num_devices(), rng);
+
+  auto prototype = nn::make_mlp(pool.dim(), {32}, 10, rng);
+
+  // --- Phase 1: train on the original membership. --------------------------
+  auto phase1 = run_phase(tree, shards, test_set, validation, prototype, rounds, seed);
+  std::printf("phase 1 (64 devices): accuracy %.4f after %zu rounds\n",
+              phase1.final_accuracy, rounds);
+
+  // --- Churn: the top-chained device 0 leaves. ------------------------------
+  const topology::DeviceId leaver = 0;
+  std::printf("device %u leaves (it led bottom cluster 0, level-1 cluster 0 and sat "
+              "in the top cluster)\n", leaver);
+  auto left = topology::with_device_left(tree, leaver);
+  tree = std::move(left.tree);
+
+  // Remap the shards: the leaver's data disappears with it.
+  std::vector<data::Dataset> churned_shards(tree.num_devices());
+  for (topology::DeviceId d = 0; d < left.old_to_new.size(); ++d) {
+    if (left.old_to_new[d]) churned_shards[*left.old_to_new[d]] = std::move(shards[d]);
+  }
+  shards = std::move(churned_shards);
+  std::printf("successor device %u inherited the leadership chain; %zu devices remain\n",
+              tree.cluster(2, 0).leader_id(), tree.num_devices());
+
+  // --- Phase 2: resume from the agreed global model. -----------------------
+  prototype.unflatten(phase1.final_model);
+  auto phase2 = run_phase(tree, shards, test_set, validation, prototype, rounds, seed + 1);
+  std::printf("phase 2 (63 devices): accuracy %.4f (resumed, not restarted)\n",
+              phase2.final_accuracy);
+
+  // --- A new device joins bottom cluster 3. ---------------------------------
+  auto joined = topology::with_device_joined(tree, 3);
+  tree = std::move(joined.tree);
+  // The joiner brings its own data: a fresh shard.
+  util::Rng joiner_rng(seed + 99);
+  data::SynthConfig joiner_synth;
+  joiner_synth.samples_per_class = 12;
+  shards.push_back(data::generate_synth_digits(joiner_synth, joiner_rng));
+  std::printf("device %u joined bottom cluster 3; %zu devices now\n", joined.new_device,
+              tree.num_devices());
+
+  prototype.unflatten(phase2.final_model);
+  auto phase3 = run_phase(tree, shards, test_set, validation, prototype, rounds, seed + 2);
+  std::printf("phase 3 (%zu devices): accuracy %.4f\n", tree.num_devices(),
+              phase3.final_accuracy);
+
+  if (phase3.final_accuracy + 0.05 < phase1.final_accuracy) {
+    std::printf("\nnote: accuracy dipped across churn — expected when the leaver held "
+                "unique data\n");
+  } else {
+    std::printf("\nlearning continued seamlessly across both membership changes\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "agg/aggregator.hpp"
+
+#include <stdexcept>
+
+#include "agg/autogm.hpp"
+#include "agg/clipping.hpp"
+#include "agg/cluster_agg.hpp"
+#include "agg/geomed.hpp"
+#include "agg/krum.hpp"
+#include "agg/mean.hpp"
+#include "agg/median.hpp"
+
+namespace abdhfl::agg {
+
+std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
+                                            double byzantine_fraction) {
+  if (name == "mean") return std::make_unique<MeanAggregator>();
+  if (name == "krum") {
+    return std::make_unique<KrumAggregator>(KrumConfig{byzantine_fraction, 1});
+  }
+  if (name == "multikrum") {
+    // multi_k = 0 -> adaptive selection size m = n - f - 2 at aggregate time.
+    return std::make_unique<KrumAggregator>(KrumConfig{byzantine_fraction, 0});
+  }
+  if (name == "median") return std::make_unique<MedianAggregator>();
+  if (name == "trimmed_mean") {
+    return std::make_unique<TrimmedMeanAggregator>(byzantine_fraction);
+  }
+  if (name == "geomed") return std::make_unique<GeoMedAggregator>();
+  if (name == "autogm") return std::make_unique<AutoGmAggregator>();
+  if (name == "clustering") return std::make_unique<ClusterAggregator>();
+  if (name == "centered_clip") return std::make_unique<CenteredClipAggregator>();
+  if (name == "norm_filter") return std::make_unique<NormFilterAggregator>();
+  throw std::invalid_argument("unknown aggregator: " + name);
+}
+
+const std::vector<std::string>& aggregator_names() {
+  static const std::vector<std::string> names = {
+      "mean",   "krum",   "multikrum",  "median",        "trimmed_mean",
+      "geomed", "autogm", "clustering", "centered_clip", "norm_filter"};
+  return names;
+}
+
+}  // namespace abdhfl::agg

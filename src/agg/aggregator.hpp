@@ -1,0 +1,52 @@
+#pragma once
+// Common interface for the Byzantine-robust aggregation rules of Table II.
+//
+// A rule consumes the flat parameter vectors collected by a cluster leader
+// (Algorithm 4's AG) and produces the cluster's partial aggregated model.
+// Rules are stateless except where the literature requires a reference point
+// (Centered Clipping), which the runner supplies via set_reference() with
+// the previous round's model.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace abdhfl::agg {
+
+using ModelVec = std::vector<float>;
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Aggregate the given model vectors (all the same dimension; at least
+  /// one).  Throws std::invalid_argument on empty input or ragged dims.
+  [[nodiscard]] virtual ModelVec aggregate(const std::vector<ModelVec>& updates) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reference point for rules that need one (previous global/partial
+  /// model).  Default: ignored.
+  virtual void set_reference(std::span<const float> reference) { (void)reference; }
+
+  /// Fraction of Byzantine inputs this rule is designed to tolerate, used
+  /// by the tolerance analysis as γ.  Rules without a crisp bound return 0.5
+  /// (median-type rules break down at one half).
+  [[nodiscard]] virtual double tolerance_fraction(std::size_t n) const {
+    (void)n;
+    return 0.5;
+  }
+};
+
+/// Build a rule by name: "mean", "krum", "multikrum", "median",
+/// "trimmed_mean", "geomed", "centered_clip", "norm_filter".
+/// byzantine_fraction parameterizes rules that assume an f bound
+/// (Krum/MultiKrum/TrimmedMean).  Throws on unknown names.
+[[nodiscard]] std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
+                                                          double byzantine_fraction = 0.25);
+
+/// Names accepted by make_aggregator, for CLIs and test sweeps.
+[[nodiscard]] const std::vector<std::string>& aggregator_names();
+
+}  // namespace abdhfl::agg

@@ -1,0 +1,45 @@
+#include "agg/autogm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/stats.hpp"
+
+namespace abdhfl::agg {
+
+AutoGmAggregator::AutoGmAggregator(AutoGmConfig config) : config_(config) {
+  if (config_.cut <= 1.0 || config_.max_outer_rounds == 0) {
+    throw std::invalid_argument("AutoGmAggregator: bad config");
+  }
+}
+
+ModelVec AutoGmAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  tensor::checked_common_size(updates);
+  GeoMedAggregator geomed(config_.geomed);
+
+  std::vector<ModelVec> kept = updates;
+  ModelVec estimate = geomed.aggregate(kept);
+
+  for (std::size_t round = 0; round < config_.max_outer_rounds; ++round) {
+    std::vector<double> dist(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      dist[i] = std::sqrt(tensor::distance_squared(kept[i], estimate));
+    }
+    const double med = util::median_of(dist);
+    if (med == 0.0) break;  // all kept updates coincide with the estimate
+
+    std::vector<ModelVec> next;
+    next.reserve(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (dist[i] <= config_.cut * med) next.push_back(kept[i]);
+    }
+    if (next.empty() || next.size() == kept.size()) break;
+    kept = std::move(next);
+    estimate = geomed.aggregate(kept);
+  }
+  last_kept_ = kept.size();
+  return estimate;
+}
+
+}  // namespace abdhfl::agg

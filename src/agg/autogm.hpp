@@ -1,0 +1,35 @@
+#pragma once
+// AutoGM — automated outlier-suppressed geometric median (Table II lists it
+// under both the Euclidean-distance and median strategies).  Runs Weiszfeld
+// to a geometric median, then automatically re-weights: updates farther than
+// `cut` times the median distance from the current estimate are excluded and
+// the median is re-solved, iterating until the kept set is stable.  This
+// captures the "auto" part — no fixed Byzantine count is assumed.
+
+#include "agg/aggregator.hpp"
+#include "agg/geomed.hpp"
+
+namespace abdhfl::agg {
+
+struct AutoGmConfig {
+  GeoMedConfig geomed;
+  double cut = 2.5;                // distance multiple that marks an outlier
+  std::size_t max_outer_rounds = 5;
+};
+
+class AutoGmAggregator final : public Aggregator {
+ public:
+  explicit AutoGmAggregator(AutoGmConfig config = {});
+
+  ModelVec aggregate(const std::vector<ModelVec>& updates) override;
+  [[nodiscard]] std::string name() const override { return "autogm"; }
+
+  /// Updates kept in the final re-solve of the last aggregate() call.
+  [[nodiscard]] std::size_t last_kept() const noexcept { return last_kept_; }
+
+ private:
+  AutoGmConfig config_;
+  std::size_t last_kept_ = 0;
+};
+
+}  // namespace abdhfl::agg

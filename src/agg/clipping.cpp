@@ -1,0 +1,78 @@
+#include "agg/clipping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/stats.hpp"
+
+namespace abdhfl::agg {
+
+CenteredClipAggregator::CenteredClipAggregator(CenteredClipConfig config)
+    : config_(config) {
+  if (config_.radius <= 0.0 || config_.iterations == 0) {
+    throw std::invalid_argument("CenteredClipAggregator: bad config");
+  }
+}
+
+void CenteredClipAggregator::set_reference(std::span<const float> reference) {
+  reference_.assign(reference.begin(), reference.end());
+}
+
+ModelVec CenteredClipAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  const std::size_t dim = tensor::checked_common_size(updates);
+  ModelVec v = reference_.size() == dim ? reference_ : tensor::mean_of(updates);
+
+  std::vector<float> delta(dim);
+  for (std::size_t pass = 0; pass < config_.iterations; ++pass) {
+    std::vector<double> acc(dim, 0.0);
+    for (const auto& u : updates) {
+      for (std::size_t i = 0; i < dim; ++i) delta[i] = u[i] - v[i];
+      const double norm = tensor::norm2(delta);
+      const double scale = norm > config_.radius && norm > 0.0 ? config_.radius / norm : 1.0;
+      for (std::size_t i = 0; i < dim; ++i) acc[i] += scale * delta[i];
+    }
+    const double inv = 1.0 / static_cast<double>(updates.size());
+    for (std::size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(v[i] + acc[i] * inv);
+    }
+  }
+  return v;
+}
+
+NormFilterAggregator::NormFilterAggregator(NormFilterConfig config) : config_(config) {
+  if (config_.factor <= 0.0) throw std::invalid_argument("NormFilterAggregator: bad factor");
+}
+
+void NormFilterAggregator::set_reference(std::span<const float> reference) {
+  reference_.assign(reference.begin(), reference.end());
+}
+
+ModelVec NormFilterAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  const std::size_t dim = tensor::checked_common_size(updates);
+  const std::size_t n = updates.size();
+  const bool have_ref = reference_.size() == dim;
+
+  std::vector<double> dist(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (have_ref) {
+      dist[k] = std::sqrt(tensor::distance_squared(updates[k], reference_));
+    } else {
+      dist[k] = tensor::norm2(updates[k]);
+    }
+  }
+  const double med = util::median_of(dist);
+  const double cutoff = config_.factor * med;
+
+  std::vector<ModelVec> kept;
+  for (std::size_t k = 0; k < n; ++k) {
+    // med == 0 means all updates coincide with the reference; keep all.
+    if (med == 0.0 || dist[k] <= cutoff) kept.push_back(updates[k]);
+  }
+  if (kept.empty()) kept = updates;  // degenerate: never return nothing
+  last_kept_ = kept.size();
+  return tensor::mean_of(kept);
+}
+
+}  // namespace abdhfl::agg

@@ -1,0 +1,53 @@
+#pragma once
+// Clipping-family rules from Table II: Centered Clipping (Karimireddy et
+// al., "CC") and a norm-bound filter.  Both need a reference point — the
+// previous round's model — supplied by the runner via set_reference().
+
+#include "agg/aggregator.hpp"
+
+namespace abdhfl::agg {
+
+struct CenteredClipConfig {
+  double radius = 1.0;            // clip threshold tau
+  std::size_t iterations = 3;     // clipped-mean refinement passes
+};
+
+/// v <- v + mean_i clip(x_i - v, tau), iterated.  v starts at the reference
+/// (or the coordinate-wise mean when no reference was set).
+class CenteredClipAggregator final : public Aggregator {
+ public:
+  explicit CenteredClipAggregator(CenteredClipConfig config = {});
+
+  ModelVec aggregate(const std::vector<ModelVec>& updates) override;
+  void set_reference(std::span<const float> reference) override;
+  [[nodiscard]] std::string name() const override { return "centered_clip"; }
+
+ private:
+  CenteredClipConfig config_;
+  ModelVec reference_;
+};
+
+struct NormFilterConfig {
+  /// Updates whose distance to the reference exceeds `factor` times the
+  /// median distance are dropped before averaging.
+  double factor = 2.0;
+};
+
+class NormFilterAggregator final : public Aggregator {
+ public:
+  explicit NormFilterAggregator(NormFilterConfig config = {});
+
+  ModelVec aggregate(const std::vector<ModelVec>& updates) override;
+  void set_reference(std::span<const float> reference) override;
+  [[nodiscard]] std::string name() const override { return "norm_filter"; }
+
+  /// How many updates the last call kept (for tests / diagnostics).
+  [[nodiscard]] std::size_t last_kept() const noexcept { return last_kept_; }
+
+ private:
+  NormFilterConfig config_;
+  ModelVec reference_;
+  std::size_t last_kept_ = 0;
+};
+
+}  // namespace abdhfl::agg

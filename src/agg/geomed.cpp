@@ -1,0 +1,62 @@
+#include "agg/geomed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace abdhfl::agg {
+
+GeoMedAggregator::GeoMedAggregator(GeoMedConfig config) : config_(config) {
+  if (config_.max_iterations == 0) {
+    throw std::invalid_argument("GeoMedAggregator: max_iterations == 0");
+  }
+}
+
+ModelVec GeoMedAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  const std::size_t dim = tensor::checked_common_size(updates);
+  const std::size_t n = updates.size();
+  if (n == 1) {
+    last_iterations_ = 0;
+    return updates.front();
+  }
+
+  // Start from the coordinate-wise mean.
+  std::vector<double> estimate(dim, 0.0);
+  for (const auto& u : updates) {
+    for (std::size_t i = 0; i < dim; ++i) estimate[i] += u[i];
+  }
+  for (double& v : estimate) v /= static_cast<double>(n);
+
+  std::vector<double> next(dim);
+  last_iterations_ = 0;
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    ++last_iterations_;
+    std::fill(next.begin(), next.end(), 0.0);
+    double weight_sum = 0.0;
+    for (const auto& u : updates) {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double diff = estimate[i] - u[i];
+        d2 += diff * diff;
+      }
+      const double w = 1.0 / (std::sqrt(d2) + config_.epsilon);
+      weight_sum += w;
+      for (std::size_t i = 0; i < dim; ++i) next[i] += w * u[i];
+    }
+    double shift2 = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      next[i] /= weight_sum;
+      const double diff = next[i] - estimate[i];
+      shift2 += diff * diff;
+    }
+    estimate.swap(next);
+    if (std::sqrt(shift2) < config_.tolerance) break;
+  }
+
+  ModelVec out(dim);
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(estimate[i]);
+  return out;
+}
+
+}  // namespace abdhfl::agg

@@ -1,0 +1,31 @@
+#pragma once
+// Geometric median (GeoMed, Chen et al. 2017) via the Weiszfeld fixed-point
+// iteration, with the standard epsilon regularization to avoid division by
+// zero when the iterate lands on an input point.
+
+#include "agg/aggregator.hpp"
+
+namespace abdhfl::agg {
+
+struct GeoMedConfig {
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-7;   // stop when the iterate moves less than this
+  double epsilon = 1e-9;     // smoothing added to each distance
+};
+
+class GeoMedAggregator final : public Aggregator {
+ public:
+  explicit GeoMedAggregator(GeoMedConfig config = {});
+
+  ModelVec aggregate(const std::vector<ModelVec>& updates) override;
+  [[nodiscard]] std::string name() const override { return "geomed"; }
+
+  /// Number of Weiszfeld iterations the last aggregate() used.
+  [[nodiscard]] std::size_t last_iterations() const noexcept { return last_iterations_; }
+
+ private:
+  GeoMedConfig config_;
+  std::size_t last_iterations_ = 0;
+};
+
+}  // namespace abdhfl::agg

@@ -1,0 +1,88 @@
+#include "agg/krum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace abdhfl::agg {
+
+KrumAggregator::KrumAggregator(KrumConfig config) : config_(config) {
+  if (config_.byzantine_fraction < 0.0 || config_.byzantine_fraction >= 1.0) {
+    throw std::invalid_argument("KrumAggregator: byzantine_fraction out of [0,1)");
+  }
+}
+
+std::vector<double> KrumAggregator::scores(const std::vector<ModelVec>& updates,
+                                           std::size_t f) {
+  const std::size_t n = updates.size();
+  tensor::checked_common_size(updates);
+  if (n < 3) throw std::invalid_argument("Krum needs at least 3 updates");
+
+  // Krum sums the distances to the n - f - 2 closest peers; make sure at
+  // least one peer is counted even when f is aggressive for this n.
+  const std::size_t closest =
+      std::max<std::size_t>(1, n >= f + 2 ? n - f - 2 : 1);
+
+  // Pairwise squared distances (symmetric, O(n^2 d)).
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = tensor::distance_squared(updates[i], updates[j]);
+      dist[i][j] = d;
+      dist[j][i] = d;
+    }
+  }
+
+  std::vector<double> out(n, 0.0);
+  std::vector<double> row(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row[w++] = dist[i][j];
+    }
+    const std::size_t take = std::min(closest, row.size());
+    std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(take),
+                      row.end());
+    out[i] = std::accumulate(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(take),
+                             0.0);
+  }
+  return out;
+}
+
+std::vector<std::size_t> KrumAggregator::select(const std::vector<ModelVec>& updates,
+                                                std::size_t f, std::size_t k) {
+  const auto score = scores(updates, f);
+  std::vector<std::size_t> order(score.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+ModelVec KrumAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  const std::size_t n = updates.size();
+  if (n == 0) throw std::invalid_argument("Krum: no updates");
+  if (n < 3) {
+    // Degenerate clusters: fall back to the mean (nothing to score against).
+    return tensor::mean_of(updates);
+  }
+  const auto f = static_cast<std::size_t>(
+      std::floor(config_.byzantine_fraction * static_cast<double>(n)));
+  // Adaptive MultiKrum selects the n - f plausibly honest updates (still
+  // scored with the standard n - f - 2 neighbourhood), so a cluster of 4
+  // with f = 1 averages its 3 best-scored members instead of picking one.
+  const std::size_t k =
+      config_.multi_k != 0 ? config_.multi_k
+                           : std::max<std::size_t>(1, n > f ? n - f : 1);
+  const auto chosen = select(updates, f, k);
+  std::vector<ModelVec> picked;
+  picked.reserve(chosen.size());
+  for (std::size_t idx : chosen) picked.push_back(updates[idx]);
+  return tensor::mean_of(picked);
+}
+
+}  // namespace abdhfl::agg

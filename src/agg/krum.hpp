@@ -1,0 +1,49 @@
+#pragma once
+// Krum and MultiKrum (Blanchard et al., NeurIPS 2017).
+//
+// Krum scores each update by the sum of squared distances to its n-f-2
+// nearest peers and returns the lowest-scoring update; MultiKrum averages
+// the k best-scored updates.  The paper's IID experiments deploy MultiKrum
+// at the partial-aggregation levels with an assumed malicious proportion of
+// 25%, which is exactly what `byzantine_fraction` configures here and what
+// defines γ in the Theorem 2 tolerance bound.
+
+#include "agg/aggregator.hpp"
+
+namespace abdhfl::agg {
+
+struct KrumConfig {
+  /// Assumed fraction of Byzantine inputs; f = floor(fraction * n).
+  double byzantine_fraction = 0.25;
+  /// Updates averaged: 1 = classic Krum, >1 = MultiKrum (clamped to the
+  /// number of selectable updates), 0 = adaptive MultiKrum with the
+  /// standard selection size m = max(1, n - f - 2).
+  std::size_t multi_k = 1;
+};
+
+class KrumAggregator final : public Aggregator {
+ public:
+  explicit KrumAggregator(KrumConfig config);
+
+  ModelVec aggregate(const std::vector<ModelVec>& updates) override;
+  [[nodiscard]] std::string name() const override {
+    return config_.multi_k == 1 ? "krum" : "multikrum";
+  }
+  [[nodiscard]] double tolerance_fraction(std::size_t) const override {
+    return config_.byzantine_fraction;
+  }
+
+  /// Krum scores for all updates (exposed for tests and diagnostics);
+  /// requires n >= 3.
+  [[nodiscard]] static std::vector<double> scores(const std::vector<ModelVec>& updates,
+                                                  std::size_t f);
+
+  /// Indices of the k best-scored updates (ascending score).
+  [[nodiscard]] static std::vector<std::size_t> select(const std::vector<ModelVec>& updates,
+                                                       std::size_t f, std::size_t k);
+
+ private:
+  KrumConfig config_;
+};
+
+}  // namespace abdhfl::agg

@@ -1,0 +1,58 @@
+#include "agg/median.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace abdhfl::agg {
+
+ModelVec MedianAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  const std::size_t dim = tensor::checked_common_size(updates);
+  const std::size_t n = updates.size();
+  ModelVec out(dim);
+  std::vector<float> column(n);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
+    const std::size_t mid = n / 2;
+    std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
+                     column.end());
+    if (n % 2 == 1) {
+      out[i] = column[mid];
+    } else {
+      const float hi = column[mid];
+      const float lo =
+          *std::max_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid));
+      out[i] = 0.5f * (lo + hi);
+    }
+  }
+  return out;
+}
+
+TrimmedMeanAggregator::TrimmedMeanAggregator(double beta) : beta_(beta) {
+  if (beta < 0.0 || beta >= 0.5) {
+    throw std::invalid_argument("TrimmedMeanAggregator: beta out of [0, 0.5)");
+  }
+}
+
+ModelVec TrimmedMeanAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  const std::size_t dim = tensor::checked_common_size(updates);
+  const std::size_t n = updates.size();
+  auto trim = static_cast<std::size_t>(std::floor(beta_ * static_cast<double>(n)));
+  if (2 * trim >= n) trim = (n - 1) / 2;  // always keep at least one value
+  const std::size_t keep = n - 2 * trim;
+
+  ModelVec out(dim);
+  std::vector<float> column(n);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
+    std::sort(column.begin(), column.end());
+    double acc = 0.0;
+    for (std::size_t k = trim; k < trim + keep; ++k) acc += column[k];
+    out[i] = static_cast<float>(acc / static_cast<double>(keep));
+  }
+  return out;
+}
+
+}  // namespace abdhfl::agg

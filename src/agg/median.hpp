@@ -1,0 +1,30 @@
+#pragma once
+// Coordinate-wise Median and Trimmed Mean (Yin et al., ICML 2018).  Median
+// is what the paper's non-IID experiments deploy at the partial-aggregation
+// levels; the trimmed mean keeps the interior (1-2β) fraction of each
+// coordinate.
+
+#include "agg/aggregator.hpp"
+
+namespace abdhfl::agg {
+
+class MedianAggregator final : public Aggregator {
+ public:
+  ModelVec aggregate(const std::vector<ModelVec>& updates) override;
+  [[nodiscard]] std::string name() const override { return "median"; }
+};
+
+class TrimmedMeanAggregator final : public Aggregator {
+ public:
+  /// beta = per-side trim fraction (0 <= beta < 0.5).
+  explicit TrimmedMeanAggregator(double beta);
+
+  ModelVec aggregate(const std::vector<ModelVec>& updates) override;
+  [[nodiscard]] std::string name() const override { return "trimmed_mean"; }
+  [[nodiscard]] double tolerance_fraction(std::size_t) const override { return beta_; }
+
+ private:
+  double beta_;
+};
+
+}  // namespace abdhfl::agg

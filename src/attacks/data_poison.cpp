@@ -1,0 +1,78 @@
+#include "attacks/data_poison.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace abdhfl::attacks {
+
+namespace {
+
+void apply_trigger_row(std::span<float> pixels, const PoisonConfig& config) {
+  // Bright square in the top-left corner.
+  const std::size_t side = config.image_side;
+  const std::size_t ts = std::min(config.trigger_size, side);
+  if (pixels.size() < side * side) {
+    throw std::invalid_argument("backdoor: feature dim smaller than image_side^2");
+  }
+  for (std::size_t y = 0; y < ts; ++y) {
+    for (std::size_t x = 0; x < ts; ++x) pixels[y * side + x] = 1.0f;
+  }
+}
+
+}  // namespace
+
+void poison_dataset(data::Dataset& shard, const PoisonConfig& config, util::Rng& rng) {
+  switch (config.type) {
+    case PoisonType::kNone:
+      return;
+    case PoisonType::kLabelFlipType1:
+      std::fill(shard.labels.begin(), shard.labels.end(), config.target_label);
+      return;
+    case PoisonType::kLabelFlipType2:
+      for (auto& label : shard.labels) {
+        label = static_cast<std::uint8_t>(rng.below(config.num_classes));
+      }
+      return;
+    case PoisonType::kBackdoor:
+      for (std::size_t i = 0; i < shard.size(); ++i) {
+        apply_trigger_row(shard.features.row(i), config);
+        shard.labels[i] = config.target_label;
+      }
+      return;
+    case PoisonType::kFeatureNoise:
+      for (float& v : shard.features.flat()) {
+        v = static_cast<float>(v + rng.normal(0.0, config.noise_stddev));
+      }
+      return;
+  }
+  throw std::logic_error("poison_dataset: unhandled type");
+}
+
+void stamp_trigger(data::Dataset& shard, const PoisonConfig& config) {
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    apply_trigger_row(shard.features.row(i), config);
+  }
+}
+
+const char* poison_name(PoisonType type) noexcept {
+  switch (type) {
+    case PoisonType::kNone: return "none";
+    case PoisonType::kLabelFlipType1: return "flip1";
+    case PoisonType::kLabelFlipType2: return "flip2";
+    case PoisonType::kBackdoor: return "backdoor";
+    case PoisonType::kFeatureNoise: return "noise";
+  }
+  return "?";
+}
+
+PoisonType parse_poison(const std::string& name) {
+  if (name == "none") return PoisonType::kNone;
+  if (name == "flip1") return PoisonType::kLabelFlipType1;
+  if (name == "flip2") return PoisonType::kLabelFlipType2;
+  if (name == "backdoor") return PoisonType::kBackdoor;
+  if (name == "noise") return PoisonType::kFeatureNoise;
+  throw std::invalid_argument("unknown poison type: " + name);
+}
+
+}  // namespace abdhfl::attacks

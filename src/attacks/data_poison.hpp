@@ -1,0 +1,49 @@
+#pragma once
+// Data-poisoning attacks of Table I (training-dataset manipulation).
+//
+// The paper's evaluation uses two label-flip scenarios: Type I sets every
+// training label to 9, Type II replaces labels with uniform random values in
+// 0..9.  The backdoor trigger and feature-noise attacks complete Table I's
+// dataset row.  Poisoning mutates a device's local shard before training —
+// the Byzantine device then trains "honestly" on corrupted data, which is
+// why even a poisoned elected leader still aggregates correctly
+// (Appendix D.A).
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::attacks {
+
+enum class PoisonType {
+  kNone,
+  kLabelFlipType1,  // all labels := fixed target (9 in the paper)
+  kLabelFlipType2,  // labels := uniform random class
+  kBackdoor,        // trigger patch + target label
+  kFeatureNoise,    // additive Gaussian noise on features
+};
+
+struct PoisonConfig {
+  PoisonType type = PoisonType::kNone;
+  std::uint8_t target_label = 9;   // Type I / backdoor target
+  std::size_t num_classes = 10;    // Type II range
+  double noise_stddev = 0.5;       // feature-noise strength
+  std::size_t trigger_size = 3;    // backdoor patch is trigger_size^2 pixels
+  std::size_t image_side = 16;     // needed to place the trigger patch
+};
+
+/// Apply the configured poisoning to a shard in place.
+void poison_dataset(data::Dataset& shard, const PoisonConfig& config, util::Rng& rng);
+
+/// Stamp the backdoor trigger (without relabeling) onto every sample of a
+/// dataset — used to measure backdoor success rate on a clean test set.
+void stamp_trigger(data::Dataset& shard, const PoisonConfig& config);
+
+[[nodiscard]] const char* poison_name(PoisonType type) noexcept;
+
+/// Parse "none" / "flip1" / "flip2" / "backdoor" / "noise".
+[[nodiscard]] PoisonType parse_poison(const std::string& name);
+
+}  // namespace abdhfl::attacks

@@ -1,0 +1,87 @@
+#include "attacks/model_attack.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace abdhfl::attacks {
+
+NoiseAttack::NoiseAttack(double stddev) : stddev_(stddev) {
+  if (stddev <= 0.0) throw std::invalid_argument("NoiseAttack: stddev <= 0");
+}
+
+ModelVec NoiseAttack::craft(const std::vector<ModelVec>&, const ModelVec& base,
+                            util::Rng& rng) {
+  ModelVec out = base;
+  for (float& v : out) v = static_cast<float>(v + rng.normal(0.0, stddev_));
+  return out;
+}
+
+SignFlipAttack::SignFlipAttack(double scale) : scale_(scale) {
+  if (scale <= 0.0) throw std::invalid_argument("SignFlipAttack: scale <= 0");
+}
+
+ModelVec SignFlipAttack::craft(const std::vector<ModelVec>&, const ModelVec& base,
+                               util::Rng&) {
+  ModelVec out = base;
+  tensor::scale(out, -scale_);
+  return out;
+}
+
+AlieAttack::AlieAttack(double z) : z_(z) {
+  if (z <= 0.0) throw std::invalid_argument("AlieAttack: z <= 0");
+}
+
+ModelVec AlieAttack::craft(const std::vector<ModelVec>& honest_peers, const ModelVec& base,
+                           util::Rng&) {
+  if (honest_peers.size() < 2) return base;  // not enough statistics to hide in
+  const std::size_t dim = tensor::checked_common_size(honest_peers);
+  ModelVec out(dim);
+  const double n = static_cast<double>(honest_peers.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    double mean = 0.0;
+    for (const auto& u : honest_peers) mean += u[i];
+    mean /= n;
+    double var = 0.0;
+    for (const auto& u : honest_peers) {
+      const double d = u[i] - mean;
+      var += d * d;
+    }
+    var /= (n - 1.0);
+    out[i] = static_cast<float>(mean + z_ * std::sqrt(var));
+  }
+  return out;
+}
+
+IpmAttack::IpmAttack(double epsilon) : epsilon_(epsilon) {
+  if (epsilon <= 0.0) throw std::invalid_argument("IpmAttack: epsilon <= 0");
+}
+
+ModelVec IpmAttack::craft(const std::vector<ModelVec>& honest_peers, const ModelVec& base,
+                          util::Rng&) {
+  if (honest_peers.empty()) {
+    ModelVec out = base;
+    tensor::scale(out, -epsilon_);
+    return out;
+  }
+  ModelVec out = tensor::mean_of(honest_peers);
+  tensor::scale(out, -epsilon_);
+  return out;
+}
+
+std::unique_ptr<ModelAttack> make_model_attack(const std::string& name) {
+  if (name == "gaussian_noise") return std::make_unique<NoiseAttack>();
+  if (name == "sign_flip") return std::make_unique<SignFlipAttack>();
+  if (name == "alie") return std::make_unique<AlieAttack>();
+  if (name == "ipm") return std::make_unique<IpmAttack>();
+  throw std::invalid_argument("unknown model attack: " + name);
+}
+
+const std::vector<std::string>& model_attack_names() {
+  static const std::vector<std::string> names = {"gaussian_noise", "sign_flip", "alie",
+                                                 "ipm"};
+  return names;
+}
+
+}  // namespace abdhfl::attacks

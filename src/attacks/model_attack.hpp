@@ -1,0 +1,93 @@
+#pragma once
+// Model-update attacks of Table I (parameter manipulation).
+//
+// A Byzantine device does not train; instead it crafts a malicious vector,
+// possibly as an omniscient adversary that sees the honest updates of its
+// cluster (the standard threat model for ALE and IPM).  The crafted vector
+// is what the cluster leader receives in Algorithm 4.
+//
+//   * Gaussian noise     — honest base + N(0, sigma) per coordinate
+//   * Sign flip (SF)     — -scale * base
+//   * A Little Is Enough — mean + z * stddev per coordinate of honest peers
+//   * Inner-Product Manipulation — -epsilon * mean of honest peers
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/aggregator.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::attacks {
+
+using agg::ModelVec;
+
+class ModelAttack {
+ public:
+  virtual ~ModelAttack() = default;
+
+  /// Craft one malicious update.  `honest_peers` are the honest updates the
+  /// omniscient adversary can observe in this cluster (may be empty for
+  /// non-omniscient attacks); `base` is what the Byzantine device would have
+  /// sent had it been honest.
+  [[nodiscard]] virtual ModelVec craft(const std::vector<ModelVec>& honest_peers,
+                                       const ModelVec& base, util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class NoiseAttack final : public ModelAttack {
+ public:
+  explicit NoiseAttack(double stddev = 1.0);
+  ModelVec craft(const std::vector<ModelVec>& honest_peers, const ModelVec& base,
+                 util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "gaussian_noise"; }
+
+ private:
+  double stddev_;
+};
+
+class SignFlipAttack final : public ModelAttack {
+ public:
+  explicit SignFlipAttack(double scale = 1.0);
+  ModelVec craft(const std::vector<ModelVec>& honest_peers, const ModelVec& base,
+                 util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "sign_flip"; }
+
+ private:
+  double scale_;
+};
+
+/// Baruch et al. 2019: shift each coordinate by z standard deviations of the
+/// honest distribution — small enough to pass distance-based filters, biased
+/// enough to poison the mean.
+class AlieAttack final : public ModelAttack {
+ public:
+  explicit AlieAttack(double z = 1.0);
+  ModelVec craft(const std::vector<ModelVec>& honest_peers, const ModelVec& base,
+                 util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "alie"; }
+
+ private:
+  double z_;
+};
+
+/// Xie et al. 2020: send -epsilon * (mean of honest updates), flipping the
+/// inner product between the aggregate and the true gradient direction.
+class IpmAttack final : public ModelAttack {
+ public:
+  explicit IpmAttack(double epsilon = 0.5);
+  ModelVec craft(const std::vector<ModelVec>& honest_peers, const ModelVec& base,
+                 util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "ipm"; }
+
+ private:
+  double epsilon_;
+};
+
+/// Build by name: "gaussian_noise", "sign_flip", "alie", "ipm".
+[[nodiscard]] std::unique_ptr<ModelAttack> make_model_attack(const std::string& name);
+
+[[nodiscard]] const std::vector<std::string>& model_attack_names();
+
+}  // namespace abdhfl::attacks

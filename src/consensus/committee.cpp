@@ -1,0 +1,75 @@
+#include "consensus/committee.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace abdhfl::consensus {
+
+CommitteeConsensus::CommitteeConsensus(CommitteeConfig config) : config_(config) {
+  if (config_.committee_size == 0) {
+    throw std::invalid_argument("CommitteeConsensus: empty committee");
+  }
+  if (config_.margin < 0.0) throw std::invalid_argument("CommitteeConsensus: margin");
+}
+
+ConsensusResult CommitteeConsensus::agree(const std::vector<ModelVec>& candidates,
+                                          const Evaluator& eval,
+                                          const std::vector<bool>& byzantine, util::Rng&) {
+  const std::size_t n = candidates.size();
+  if (n == 0) throw std::invalid_argument("CommitteeConsensus: no candidates");
+  if (byzantine.size() != n) throw std::invalid_argument("CommitteeConsensus: mask size");
+  const std::size_t dim = tensor::checked_common_size(candidates);
+  const std::size_t c = std::min(config_.committee_size, n);
+
+  // Deterministic rotation: committee = members salt, salt+1, ... (mod n).
+  std::vector<std::size_t> committee(c);
+  for (std::size_t k = 0; k < c; ++k) {
+    committee[k] = (config_.round_salt + k) % n;
+  }
+
+  ConsensusResult result;
+  // Each member sends its candidate to every committee member; each
+  // committee member broadcasts its votes back to the whole group.
+  result.messages = static_cast<std::uint64_t>(n) * c + static_cast<std::uint64_t>(c) * n;
+  result.model_bytes = static_cast<std::uint64_t>(n) * c * nn::wire_size(dim);
+
+  std::vector<std::size_t> upvotes(n, 0);
+  for (std::size_t member : committee) {
+    std::vector<double> scores(n);
+    double best = -1e300;
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      scores[cand] = eval(member, candidates[cand]);
+      best = std::max(best, scores[cand]);
+    }
+    for (std::size_t cand = 0; cand < n; ++cand) {
+      bool up = scores[cand] >= best - config_.margin;
+      if (byzantine[member]) up = !up;
+      if (up) ++upvotes[cand];
+    }
+  }
+
+  result.accepted.assign(n, false);
+  std::vector<ModelVec> kept;
+  for (std::size_t cand = 0; cand < n; ++cand) {
+    if (2 * upvotes[cand] > c) {  // strict majority
+      result.accepted[cand] = true;
+      kept.push_back(candidates[cand]);
+    }
+  }
+  if (kept.empty()) {
+    // Majority rejected everything (e.g. Byzantine-dominated committee):
+    // consensus fails; fall back to the full mean so the caller still has a
+    // model, but flag the failure.
+    result.model = tensor::mean_of(candidates);
+    result.success = false;
+    return result;
+  }
+  result.model = tensor::mean_of(kept);
+  result.success = true;
+  return result;
+}
+
+}  // namespace abdhfl::consensus

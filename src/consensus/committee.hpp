@@ -1,0 +1,31 @@
+#pragma once
+// Committee-based consensus (Li et al., IEEE Network 2021): a rotating
+// subset of the group validates candidates; a candidate is accepted when a
+// strict majority of the committee upvotes it.  Cheaper than all-to-all
+// voting (traffic scales with committee size, not group size squared).
+
+#include "consensus/consensus.hpp"
+
+namespace abdhfl::consensus {
+
+struct CommitteeConfig {
+  std::size_t committee_size = 3;  // clamped to the group size
+  double margin = 0.05;            // same relative-score vote rule as voting
+  std::uint64_t round_salt = 0;    // rotates committee membership per round
+};
+
+class CommitteeConsensus final : public ConsensusProtocol {
+ public:
+  explicit CommitteeConsensus(CommitteeConfig config = {});
+
+  ConsensusResult agree(const std::vector<ModelVec>& candidates, const Evaluator& eval,
+                        const std::vector<bool>& byzantine, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "committee"; }
+
+  void set_round_salt(std::uint64_t salt) noexcept { config_.round_salt = salt; }
+
+ private:
+  CommitteeConfig config_;
+};
+
+}  // namespace abdhfl::consensus

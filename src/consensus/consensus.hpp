@@ -1,0 +1,62 @@
+#pragma once
+// Consensus-based aggregation (CBA) protocols from Table II.
+//
+// A consensus group is a cluster (the leaderless top-level cluster C_{0,0}
+// in scheme 1, or any intermediate cluster in schemes 2/4).  Every member i
+// submits a candidate model; the protocol decides which candidates are
+// accepted and returns the agreed aggregate.  Byzantine members participate
+// in the protocol adversarially: they invert votes and, when leading, make
+// malicious proposals — the simulation needs to know who is Byzantine to
+// *behave* them, never to filter them (filtering must come from the
+// protocol itself).
+//
+// All protocols meter their traffic: CBA is the expensive-but-robust arm of
+// the scheme comparison (Table III/IV), so message and byte counts are part
+// of the result.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/aggregator.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::consensus {
+
+using agg::ModelVec;
+
+/// eval(voter, model) -> score (higher is better), e.g. validation accuracy
+/// of `model` on voter's held-out shard (Appendix D.B splits the test set
+/// evenly across the top-level nodes so votes are meaningful).
+using Evaluator = std::function<double(std::size_t voter, const ModelVec& model)>;
+
+struct ConsensusResult {
+  ModelVec model;                 // agreed aggregate
+  std::vector<bool> accepted;     // per candidate: survived filtering
+  std::uint64_t messages = 0;     // protocol messages exchanged
+  std::uint64_t model_bytes = 0;  // bytes of model payloads exchanged
+  bool success = false;           // protocol reached agreement
+  std::size_t views = 1;          // leader changes + 1 (PBFT only)
+};
+
+class ConsensusProtocol {
+ public:
+  virtual ~ConsensusProtocol() = default;
+
+  /// candidates[i] was submitted by group member i; byzantine[i] marks
+  /// members whose protocol behaviour is adversarial.  Sizes must match.
+  [[nodiscard]] virtual ConsensusResult agree(const std::vector<ModelVec>& candidates,
+                                              const Evaluator& eval,
+                                              const std::vector<bool>& byzantine,
+                                              util::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Build by name: "voting", "committee", "pbft".
+[[nodiscard]] std::unique_ptr<ConsensusProtocol> make_consensus(const std::string& name);
+
+[[nodiscard]] const std::vector<std::string>& consensus_names();
+
+}  // namespace abdhfl::consensus

@@ -1,0 +1,87 @@
+#include "consensus/gossip.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace abdhfl::consensus {
+
+GossipAverage::GossipAverage(GossipConfig config) : config_(config) {
+  if (config_.epsilon <= 0.0 || config_.max_rounds == 0) {
+    throw std::invalid_argument("GossipAverage: bad config");
+  }
+}
+
+ConsensusResult GossipAverage::agree(const std::vector<ModelVec>& candidates,
+                                     const Evaluator&, const std::vector<bool>& byzantine,
+                                     util::Rng& rng) {
+  const std::size_t n = candidates.size();
+  if (n == 0) throw std::invalid_argument("GossipAverage: no candidates");
+  if (byzantine.size() != n) throw std::invalid_argument("GossipAverage: mask size");
+  const std::size_t dim = tensor::checked_common_size(candidates);
+
+  ConsensusResult result;
+  result.accepted.assign(n, true);  // gossip filters nothing
+  if (n == 1) {
+    result.model = candidates.front();
+    result.success = true;
+    return result;
+  }
+
+  std::vector<ModelVec> state = candidates;
+  auto diameter = [&] {
+    double d = 0.0;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (byzantine[a]) continue;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (byzantine[b]) continue;
+        for (std::size_t k = 0; k < dim; ++k) {
+          d = std::max(d, std::abs(static_cast<double>(state[a][k]) - state[b][k]));
+        }
+      }
+    }
+    return d;
+  };
+
+  // At least one exchange round always happens: without communicating, no
+  // node can know the group already agrees.
+  last_rounds_ = 0;
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    if (round > 0 && diameter() <= config_.epsilon) {
+      result.success = true;
+      break;
+    }
+    ++last_rounds_;
+    // One push-pull pairwise exchange per node per round.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t peer = static_cast<std::size_t>(rng.below(n - 1));
+      if (peer >= i) ++peer;
+      result.messages += 2;  // push + pull
+      result.model_bytes += 2 * nn::wire_size(dim);
+
+      // A Byzantine participant never moves: it keeps gossiping its own
+      // (malicious) vector, dragging the average toward it.
+      for (std::size_t k = 0; k < dim; ++k) {
+        const float avg = 0.5f * (state[i][k] + state[peer][k]);
+        if (!byzantine[i]) state[i][k] = avg;
+        if (!byzantine[peer]) state[peer][k] = avg;
+      }
+    }
+  }
+  if (!result.success && diameter() <= config_.epsilon) result.success = true;
+
+  // An honest node's final vector stands in for the group outcome.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!byzantine[i]) {
+      result.model = state[i];
+      return result;
+    }
+  }
+  result.model = state.front();
+  result.success = false;
+  return result;
+}
+
+}  // namespace abdhfl::consensus

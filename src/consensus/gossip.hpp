@@ -1,0 +1,38 @@
+#pragma once
+// Device-to-device gossip averaging — the intra-cluster D2D aggregation of
+// the related work (MH-FL, FL-EOCD, TT-HF): cluster members repeatedly
+// exchange and average models pairwise until the group converges to the
+// common mean, *without* a leader.
+//
+// This protocol is deliberately NOT Byzantine-robust: it converges to the
+// average of whatever the members keep injecting, so a single adversary
+// that keeps gossiping a malicious vector biases the outcome exactly as it
+// would bias a mean — the "main drawback" the paper's related-work section
+// points out, and a useful negative control next to the robust CBA
+// protocols.  It IS cheap: traffic is O(rounds · n), not O(rounds · n²).
+
+#include "consensus/consensus.hpp"
+
+namespace abdhfl::consensus {
+
+struct GossipConfig {
+  double epsilon = 1e-4;        // stop when the honest diameter is below this
+  std::size_t max_rounds = 256; // pairwise-exchange rounds
+};
+
+class GossipAverage final : public ConsensusProtocol {
+ public:
+  explicit GossipAverage(GossipConfig config = {});
+
+  ConsensusResult agree(const std::vector<ModelVec>& candidates, const Evaluator& eval,
+                        const std::vector<bool>& byzantine, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "gossip"; }
+
+  [[nodiscard]] std::size_t last_rounds() const noexcept { return last_rounds_; }
+
+ private:
+  GossipConfig config_;
+  std::size_t last_rounds_ = 0;
+};
+
+}  // namespace abdhfl::consensus

@@ -1,0 +1,112 @@
+#include "consensus/multidim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace abdhfl::consensus {
+
+MultiDimConsensus::MultiDimConsensus(MultiDimConfig config) : config_(config) {
+  if (config_.epsilon <= 0.0 || config_.max_rounds == 0 || config_.spoof_magnitude <= 0.0) {
+    throw std::invalid_argument("MultiDimConsensus: bad config");
+  }
+}
+
+ConsensusResult MultiDimConsensus::agree(const std::vector<ModelVec>& candidates,
+                                         const Evaluator&,
+                                         const std::vector<bool>& byzantine,
+                                         util::Rng& rng) {
+  const std::size_t n = candidates.size();
+  if (n == 0) throw std::invalid_argument("MultiDimConsensus: no candidates");
+  if (byzantine.size() != n) throw std::invalid_argument("MultiDimConsensus: mask size");
+  const std::size_t dim = tensor::checked_common_size(candidates);
+  const std::size_t f = max_faulty(n);
+
+  std::vector<std::size_t> honest_ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!byzantine[i]) honest_ids.push_back(i);
+  }
+
+  ConsensusResult result;
+  result.accepted.assign(n, true);
+
+  // Degenerate group: everyone Byzantine — return the plain mean, flagged.
+  if (honest_ids.empty()) {
+    result.model = tensor::mean_of(candidates);
+    result.success = false;
+    return result;
+  }
+
+  // Initial all-to-all distribution of the candidates (needed before any
+  // node can even evaluate the group's diameter).
+  result.messages += static_cast<std::uint64_t>(n) * (n - 1);
+  result.model_bytes += static_cast<std::uint64_t>(n) * (n - 1) * nn::wire_size(dim);
+
+  std::vector<ModelVec> state = candidates;
+  auto honest_diameter = [&] {
+    double diameter = 0.0;
+    for (std::size_t a = 0; a < honest_ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < honest_ids.size(); ++b) {
+        const auto& va = state[honest_ids[a]];
+        const auto& vb = state[honest_ids[b]];
+        for (std::size_t k = 0; k < dim; ++k) {
+          diameter = std::max(diameter, std::abs(static_cast<double>(va[k]) - vb[k]));
+        }
+      }
+    }
+    return diameter;
+  };
+
+  last_rounds_ = 0;
+  std::vector<float> column(n);
+  std::vector<ModelVec> next(n);
+  for (std::size_t round = 0; round < config_.max_rounds; ++round) {
+    if (honest_diameter() <= config_.epsilon) {
+      result.success = true;
+      break;
+    }
+    ++last_rounds_;
+
+    // All-to-all exchange: n(n-1) model-sized messages.
+    result.messages += static_cast<std::uint64_t>(n) * (n - 1);
+    result.model_bytes += static_cast<std::uint64_t>(n) * (n - 1) * nn::wire_size(dim);
+
+    // Honest update: per-coordinate trimmed mean with f trimmed per side.
+    // Byzantine senders EQUIVOCATE — each receiver gets its own adversarial
+    // extreme (alternating sign per receiver/round), which is exactly what
+    // makes multidimensional agreement require multiple contraction rounds.
+    for (std::size_t i : honest_ids) {
+      next[i].assign(dim, 0.0f);
+      for (std::size_t k = 0; k < dim; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!byzantine[j]) {
+            column[j] = state[j][k];
+          } else {
+            const double sign = (round + i + j) % 2 == 0 ? 1.0 : -1.0;
+            column[j] = static_cast<float>(sign * config_.spoof_magnitude *
+                                           (0.5 + rng.uniform()));
+          }
+        }
+        std::sort(column.begin(), column.end());
+        double acc = 0.0;
+        const std::size_t keep = n - 2 * std::min(f, (n - 1) / 2);
+        const std::size_t lo = (n - keep) / 2;
+        for (std::size_t j = lo; j < lo + keep; ++j) acc += column[j];
+        next[i][k] = static_cast<float>(acc / static_cast<double>(keep));
+      }
+    }
+    for (std::size_t i : honest_ids) state[i] = next[i];
+  }
+  if (!result.success && honest_diameter() <= config_.epsilon) result.success = true;
+
+  std::vector<ModelVec> finals;
+  finals.reserve(honest_ids.size());
+  for (std::size_t i : honest_ids) finals.push_back(state[i]);
+  result.model = tensor::mean_of(finals);
+  return result;
+}
+
+}  // namespace abdhfl::consensus

@@ -1,0 +1,50 @@
+#pragma once
+// Multidimensional Byzantine approximate agreement (Table II's second
+// consensus family: Mendes-Herlihy multidimensional agreement and its
+// polynomial relaxations such as (ε,p)-relaxed BVC).
+//
+// Simulated synchronous-round protocol: every node keeps a vector (its
+// candidate model), all-to-all exchanges it each round, and updates each
+// coordinate to the trimmed mean of the received values with f = ⌊(n-1)/3⌋
+// trimmed per side.  Byzantine nodes inject adversarial extremes each round
+// (alternating ±spoof per coordinate) trying to stall convergence; the
+// per-coordinate trimming discards them whenever n >= 3f+1, so the honest
+// vectors contract geometrically into an ε-ball inside the per-coordinate
+// hull of the honest inputs — the validity + ε-agreement guarantees of the
+// literature.
+//
+// The returned model is the average of the honest nodes' final vectors
+// (all within ε of each other on success).
+
+#include "consensus/consensus.hpp"
+
+namespace abdhfl::consensus {
+
+struct MultiDimConfig {
+  double epsilon = 1e-3;        // agreement diameter target (L-inf)
+  std::size_t max_rounds = 64;  // give up (success=false) beyond this
+  double spoof_magnitude = 1e3; // scale of the adversarial extremes
+};
+
+class MultiDimConsensus final : public ConsensusProtocol {
+ public:
+  explicit MultiDimConsensus(MultiDimConfig config = {});
+
+  ConsensusResult agree(const std::vector<ModelVec>& candidates, const Evaluator& eval,
+                        const std::vector<bool>& byzantine, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "multidim"; }
+
+  /// Exchange rounds the last agree() used.
+  [[nodiscard]] std::size_t last_rounds() const noexcept { return last_rounds_; }
+
+  /// Classic asynchronous-agreement resilience bound: f = ⌊(n-1)/3⌋.
+  [[nodiscard]] static std::size_t max_faulty(std::size_t n) noexcept {
+    return n == 0 ? 0 : (n - 1) / 3;
+  }
+
+ private:
+  MultiDimConfig config_;
+  std::size_t last_rounds_ = 0;
+};
+
+}  // namespace abdhfl::consensus

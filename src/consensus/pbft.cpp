@@ -1,0 +1,96 @@
+#include "consensus/pbft.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace abdhfl::consensus {
+
+PbftConsensus::PbftConsensus(PbftConfig config) : config_(config) {
+  if (config_.max_views == 0) throw std::invalid_argument("PbftConsensus: max_views == 0");
+  if (config_.margin < 0.0) throw std::invalid_argument("PbftConsensus: margin");
+}
+
+ConsensusResult PbftConsensus::agree(const std::vector<ModelVec>& candidates,
+                                     const Evaluator& eval,
+                                     const std::vector<bool>& byzantine, util::Rng&) {
+  const std::size_t n = candidates.size();
+  if (n == 0) throw std::invalid_argument("PbftConsensus: no candidates");
+  if (byzantine.size() != n) throw std::invalid_argument("PbftConsensus: mask size");
+  const std::size_t dim = tensor::checked_common_size(candidates);
+  const std::size_t quorum = 2 * max_faulty(n) + 1;
+
+  ConsensusResult result;
+  result.accepted.assign(n, false);
+
+  // Per-replica candidate scores (each replica evaluates everything once,
+  // reused across views).
+  std::vector<std::vector<double>> score(n, std::vector<double>(n));
+  std::vector<double> best(n, -1e300);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t c = 0; c < n; ++c) {
+      score[v][c] = eval(v, candidates[c]);
+      best[v] = std::max(best[v], score[v][c]);
+    }
+  }
+
+  for (std::size_t view = 0; view < config_.max_views; ++view) {
+    result.views = view + 1;
+    const std::size_t leader = (config_.round_salt + view) % n;
+
+    // --- Leader builds a proposal. ---------------------------------------
+    std::vector<bool> proposal_set(n, false);
+    ModelVec proposal;
+    if (byzantine[leader]) {
+      // Worst candidate by the leader's own scores (adversarial proposal).
+      std::size_t worst = 0;
+      for (std::size_t c = 1; c < n; ++c) {
+        if (score[leader][c] < score[leader][worst]) worst = c;
+      }
+      proposal = candidates[worst];
+      proposal_set[worst] = true;
+    } else {
+      std::vector<ModelVec> kept;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (score[leader][c] >= best[leader] - config_.margin) {
+          kept.push_back(candidates[c]);
+          proposal_set[c] = true;
+        }
+      }
+      if (kept.empty()) kept = candidates;
+      proposal = tensor::mean_of(kept);
+    }
+
+    // --- Three phases, with traffic accounting. --------------------------
+    result.messages += static_cast<std::uint64_t>(n - 1);           // pre-prepare
+    result.messages += 2 * static_cast<std::uint64_t>(n) * (n - 1);  // prepare+commit
+    result.model_bytes += static_cast<std::uint64_t>(n - 1) * nn::wire_size(dim);
+
+    // Replica vote: honest replicas accept a proposal scoring near their own
+    // best; Byzantine replicas accept only bad proposals.
+    std::size_t commits = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double s = eval(v, proposal);
+      const bool honest_accept = s >= best[v] - config_.margin;
+      const bool votes_yes = byzantine[v] ? !honest_accept : honest_accept;
+      if (votes_yes) ++commits;
+    }
+    if (commits >= quorum) {
+      result.model = std::move(proposal);
+      result.accepted = proposal_set;
+      result.success = true;
+      return result;
+    }
+    // View change: accounted as one more all-to-all round of control traffic.
+    result.messages += static_cast<std::uint64_t>(n) * (n - 1);
+  }
+
+  // No view succeeded; surface the failure with a safe fallback model.
+  result.model = tensor::mean_of(candidates);
+  result.success = false;
+  return result;
+}
+
+}  // namespace abdhfl::consensus

@@ -1,0 +1,45 @@
+#pragma once
+// PBFT-style scalar consensus over a proposed aggregate (Castro & Liskov
+// three-phase pattern, as used by blockchain-FL frameworks in Table II).
+//
+// The view's leader validates candidates on its own shard, proposes the
+// mean of those it accepts, and the replicas run prepare/commit: a replica
+// prepares iff the proposal scores within `margin` of the best candidate it
+// evaluated itself.  A Byzantine leader proposes the *worst* candidate it
+// can find; honest replicas then refuse to prepare, the view times out, and
+// leadership rotates.  Agreement requires 2f+1 commits with f =
+// floor((n-1)/3), the classic bound.
+//
+// Message accounting per view: n-1 pre-prepares + n(n-1) prepares +
+// n(n-1) commits, with model payloads only on the pre-prepare.
+
+#include "consensus/consensus.hpp"
+
+namespace abdhfl::consensus {
+
+struct PbftConfig {
+  double margin = 0.05;        // validation slack, as in the other protocols
+  std::size_t max_views = 8;   // give up (success=false) after this many
+  std::uint64_t round_salt = 0;  // initial leader = salt % n
+};
+
+class PbftConsensus final : public ConsensusProtocol {
+ public:
+  explicit PbftConsensus(PbftConfig config = {});
+
+  ConsensusResult agree(const std::vector<ModelVec>& candidates, const Evaluator& eval,
+                        const std::vector<bool>& byzantine, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "pbft"; }
+
+  void set_round_salt(std::uint64_t salt) noexcept { config_.round_salt = salt; }
+
+  /// Classic tolerance: f = floor((n-1)/3).
+  [[nodiscard]] static std::size_t max_faulty(std::size_t n) noexcept {
+    return n == 0 ? 0 : (n - 1) / 3;
+  }
+
+ private:
+  PbftConfig config_;
+};
+
+}  // namespace abdhfl::consensus

@@ -1,0 +1,82 @@
+#include "consensus/voting.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace abdhfl::consensus {
+
+VotingConsensus::VotingConsensus(VotingConfig config) : config_(config) {
+  if (config_.margin < 0.0) throw std::invalid_argument("VotingConsensus: negative margin");
+  if (config_.keep_fraction < 0.0 || config_.keep_fraction >= 1.0) {
+    throw std::invalid_argument("VotingConsensus: keep_fraction out of [0,1)");
+  }
+}
+
+ConsensusResult VotingConsensus::agree(const std::vector<ModelVec>& candidates,
+                                       const Evaluator& eval,
+                                       const std::vector<bool>& byzantine, util::Rng&) {
+  const std::size_t n = candidates.size();
+  if (n == 0) throw std::invalid_argument("VotingConsensus: no candidates");
+  if (byzantine.size() != n) throw std::invalid_argument("VotingConsensus: mask size");
+  const std::size_t dim = tensor::checked_common_size(candidates);
+
+  ConsensusResult result;
+  // Every member broadcasts its candidate to all others, then broadcasts its
+  // vote vector: n(n-1) model transfers + n(n-1) vote messages.
+  result.messages = 2 * static_cast<std::uint64_t>(n) * (n - 1);
+  result.model_bytes =
+      static_cast<std::uint64_t>(n) * (n - 1) * nn::wire_size(dim);
+
+  std::vector<std::size_t> upvotes(n, 0);
+  std::vector<double> mean_score(n, 0.0);  // tie-breaking on exclusion
+  for (std::size_t voter = 0; voter < n; ++voter) {
+    std::vector<double> scores(n);
+    double best = -1e300;
+    for (std::size_t c = 0; c < n; ++c) {
+      scores[c] = eval(voter, candidates[c]);
+      best = std::max(best, scores[c]);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      bool up = scores[c] >= best - config_.margin;
+      if (byzantine[voter]) up = !up;  // adversarial voting
+      if (up) ++upvotes[c];
+      mean_score[c] += scores[c];
+    }
+  }
+  for (double& s : mean_score) s /= static_cast<double>(n);
+
+  // Keep candidates clearing the upvote threshold; the fewest-voted ones are
+  // the "considered malicious" set of Appendix D.B.
+  const double need = config_.keep_fraction * static_cast<double>(n);
+  result.accepted.assign(n, false);
+  for (std::size_t c = 0; c < n; ++c) {
+    result.accepted[c] = static_cast<double>(upvotes[c]) > need;
+  }
+  // Never drop everything: fall back to the best-voted candidate (ties by
+  // average score).
+  if (std::none_of(result.accepted.begin(), result.accepted.end(),
+                   [](bool b) { return b; })) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < n; ++c) {
+      if (upvotes[c] > upvotes[best] ||
+          (upvotes[c] == upvotes[best] && mean_score[c] > mean_score[best])) {
+        best = c;
+      }
+    }
+    result.accepted[best] = true;
+  }
+
+  std::vector<ModelVec> kept;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (result.accepted[c]) kept.push_back(candidates[c]);
+  }
+  result.model = tensor::mean_of(kept);
+  result.success = true;
+  return result;
+}
+
+}  // namespace abdhfl::consensus

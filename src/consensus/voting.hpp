@@ -1,0 +1,41 @@
+#pragma once
+// Voting-based consensus of Appendix D.B, inspired by the PoS-style model
+// validation of Chen et al. (2021).
+//
+// Each group member evaluates every candidate on its own validation shard
+// and upvotes the candidates scoring within `margin` of the best score it
+// observed.  "The partial models that receive the fewest number of positive
+// votes are considered malicious, and are excluded": candidates whose upvote
+// count does not clear keep_fraction of the group are dropped (all of them,
+// however many — this is what lets the top level reject several poisoned
+// subtree models at once); the survivors are averaged.  At least the
+// best-voted candidate always survives.
+//
+// Byzantine voters vote adversarially (invert every vote).  With four top
+// nodes and majority keeping, a single adversarial voter cannot save a bad
+// candidate nor kill a good one — the paper's γ1 = 25%.
+
+#include "consensus/consensus.hpp"
+
+namespace abdhfl::consensus {
+
+struct VotingConfig {
+  double keep_fraction = 0.5;  // candidate needs > this fraction of upvotes
+  double margin = 0.05;        // tolerated score gap below a voter's best
+};
+
+class VotingConsensus final : public ConsensusProtocol {
+ public:
+  explicit VotingConsensus(VotingConfig config = {});
+
+  ConsensusResult agree(const std::vector<ModelVec>& candidates, const Evaluator& eval,
+                        const std::vector<bool>& byzantine, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "voting"; }
+
+  [[nodiscard]] const VotingConfig& config() const noexcept { return config_; }
+
+ private:
+  VotingConfig config_;
+};
+
+}  // namespace abdhfl::consensus

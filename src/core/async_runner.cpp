@@ -1,0 +1,402 @@
+#include "core/async_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "consensus/committee.hpp"
+#include "consensus/pbft.hpp"
+#include "nn/serialize.hpp"
+#include "nn/sgd.hpp"
+
+namespace abdhfl::core {
+
+namespace {
+
+std::size_t quorum_count(double quorum, std::size_t cluster_size) {
+  auto k = static_cast<std::size_t>(
+      std::ceil(quorum * static_cast<double>(cluster_size)));
+  return std::clamp<std::size_t>(k, 1, cluster_size);
+}
+
+}  // namespace
+
+AsyncHflRunner::AsyncHflRunner(const topology::HflTree& tree,
+                               std::vector<data::Dataset> shards, data::Dataset test_set,
+                               std::vector<data::Dataset> top_validation,
+                               const nn::Mlp& prototype, AsyncHflConfig config,
+                               AttackSetup attack, std::uint64_t seed)
+    : tree_(tree),
+      test_set_(std::move(test_set)),
+      top_validation_(std::move(top_validation)),
+      scratch_(prototype.clone()),
+      config_(std::move(config)),
+      attack_(std::move(attack)),
+      rng_(seed) {
+  if (shards.size() != tree_.num_devices()) {
+    throw std::invalid_argument("AsyncHflRunner: one shard per device required");
+  }
+  if (attack_.mask.empty()) attack_.mask.assign(tree_.num_devices(), false);
+  if (config_.flag_level >= tree_.depth()) {
+    throw std::invalid_argument("AsyncHflRunner: flag level must be < bottom level");
+  }
+  if (config_.quorum <= 0.0 || config_.quorum > 1.0) {
+    throw std::invalid_argument("AsyncHflRunner: quorum out of (0,1]");
+  }
+  if (top_validation_.size() != tree_.cluster(0, 0).size()) {
+    throw std::invalid_argument("AsyncHflRunner: need one validation shard per top node");
+  }
+
+  std::size_t total_samples = 0;
+  for (std::size_t d = 0; d < shards.size(); ++d) {
+    if (attack_.mask[d] && !attack_.model_attack) {
+      attacks::poison_dataset(shards[d], attack_.poison, rng_);
+    }
+  }
+  trainers_.reserve(shards.size());
+  for (auto& shard : shards) {
+    total_samples += shard.size();
+    trainers_.push_back(
+        std::make_unique<LocalTrainer>(std::move(shard), prototype.clone(), rng_.split()));
+  }
+
+  const auto& flag_clusters = tree_.level(config_.flag_level);
+  flag_fraction_.resize(flag_clusters.size(), 0.0);
+  for (std::size_t j = 0; j < flag_clusters.size(); ++j) {
+    std::size_t covered = 0;
+    for (topology::DeviceId m : flag_clusters[j].members) {
+      for (topology::DeviceId d : tree_.bottom_descendants(config_.flag_level, m)) {
+        covered += trainers_[d]->shard_size();
+      }
+    }
+    flag_fraction_[j] = total_samples == 0 ? 0.0
+                                           : static_cast<double>(covered) /
+                                                 static_cast<double>(total_samples);
+  }
+
+  auto make_bra = [](const LevelScheme& scheme) -> std::unique_ptr<agg::Aggregator> {
+    if (scheme.kind != AggKind::kBra) return nullptr;
+    return agg::make_aggregator(scheme.rule, scheme.byzantine_fraction);
+  };
+  auto make_cba =
+      [](const LevelScheme& scheme) -> std::unique_ptr<consensus::ConsensusProtocol> {
+    if (scheme.kind != AggKind::kCba) return nullptr;
+    return consensus::make_consensus(scheme.rule);
+  };
+  for (std::size_t l = 0; l < tree_.num_levels(); ++l) {
+    const auto& scheme = scheme_for(l);
+    if (auto bra = make_bra(scheme)) bra_by_level_[l] = std::move(bra);
+    if (auto cba = make_cba(scheme)) cba_by_level_[l] = std::move(cba);
+  }
+
+  devices_.resize(tree_.num_devices());
+  last_global_ = scratch_.flatten();
+  staleness_acc_.assign(config_.rounds, 0.0);
+  staleness_n_.assign(config_.rounds, 0);
+}
+
+void AsyncHflRunner::record(const char* kind, std::size_t round, std::uint32_t subject,
+                            std::size_t level) {
+  if (!config_.trace) return;
+  result_.trace.push_back(TraceEvent{sim_.now(), round, kind, subject, level});
+}
+
+std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
+  std::string out = "time,round,kind,subject,level\n";
+  char buf[128];
+  for (const auto& ev : trace) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%zu,%s,%u,%zu\n", ev.time, ev.round, ev.kind,
+                  ev.subject, ev.level);
+    out += buf;
+  }
+  return out;
+}
+
+double AsyncHflRunner::eval_voter(std::size_t level, topology::DeviceId voter,
+                                  const agg::ModelVec& model) {
+  if (level == 0) {
+    const auto& top = tree_.cluster(0, 0);
+    const auto it = std::find(top.members.begin(), top.members.end(), voter);
+    if (it == top.members.end()) throw std::logic_error("async: voter not a top node");
+    return evaluate_params(scratch_, model,
+                           top_validation_[static_cast<std::size_t>(
+                               it - top.members.begin())]);
+  }
+  return evaluate_params(scratch_, model, trainers_[voter]->shard());
+}
+
+const LevelScheme& AsyncHflRunner::scheme_for(std::size_t level) const {
+  if (level == 0) return config_.scheme.global;
+  const auto it = config_.level_overrides.find(level);
+  return it != config_.level_overrides.end() ? it->second : config_.scheme.partial;
+}
+
+agg::ModelVec AsyncHflRunner::aggregate(const std::vector<agg::ModelVec>& inputs,
+                                        const topology::Cluster& cluster,
+                                        std::size_t level, std::size_t round) {
+  const auto& scheme = scheme_for(level);
+  if (scheme.kind == AggKind::kBra) {
+    agg::Aggregator& rule = *bra_by_level_.at(level);
+    rule.set_reference(last_global_);
+    auto out = rule.aggregate(inputs);
+    result_.comm.messages += inputs.size() + cluster.size();
+    result_.comm.model_bytes +=
+        (inputs.size() + cluster.size()) * nn::wire_size(out.size());
+    if (attack_.model_attack && attack_.mask[cluster.leader_id()]) {
+      out = attack_.model_attack->craft(inputs, out, rng_);
+    }
+    return out;
+  }
+
+  consensus::ConsensusProtocol& protocol = *cba_by_level_.at(level);
+  if (auto* committee = dynamic_cast<consensus::CommitteeConsensus*>(&protocol)) {
+    committee->set_round_salt(round);
+  } else if (auto* pbft = dynamic_cast<consensus::PbftConsensus*>(&protocol)) {
+    pbft->set_round_salt(round);
+  }
+  // Voter identities: use the cluster members in order, clipped to the
+  // number of collected inputs (quorum may be partial).
+  const bool adversarial = static_cast<bool>(attack_.model_attack);
+  std::vector<bool> byz(inputs.size(), false);
+  for (std::size_t i = 0; i < inputs.size() && i < cluster.size(); ++i) {
+    byz[i] = adversarial && attack_.mask[cluster.members[i]];
+  }
+  auto eval = [&](std::size_t voter, const agg::ModelVec& model) {
+    const topology::DeviceId id = cluster.members[std::min(voter, cluster.size() - 1)];
+    return eval_voter(level, id, model);
+  };
+  auto agreed = protocol.agree(inputs, eval, byz, rng_);
+  result_.comm.messages += agreed.messages;
+  result_.comm.model_bytes += agreed.model_bytes;
+  if (!agreed.success) ++result_.comm.consensus_failures;
+  return std::move(agreed.model);
+}
+
+void AsyncHflRunner::start_round(topology::DeviceId d, std::size_t round,
+                                 std::vector<float> params) {
+  auto& state = devices_[d];
+  if (static_cast<std::int64_t>(round) <= state.last_started) return;
+  if (state.training) {
+    // Still busy with an older round; remember only the newest flag model —
+    // a straggler skips rounds rather than queueing them (asynchrony).
+    if (!state.pending_flag || round > state.pending_flag->first) {
+      state.pending_flag = {round, std::move(params)};
+    }
+    return;
+  }
+  state.round = round;
+  state.last_started = static_cast<std::int64_t>(round);
+  state.round_start = sim_.now();
+  state.start_params = std::move(params);
+  state.training = true;
+  record("train_start", round, d, tree_.depth());
+  const double duration =
+      config_.train_mean *
+      rng_.uniform(1.0 - config_.train_jitter, 1.0 + config_.train_jitter);
+  sim_.schedule_after(duration, [this, d] { finish_training(d); });
+}
+
+void AsyncHflRunner::finish_training(topology::DeviceId d) {
+  auto& state = devices_[d];
+  const std::size_t round = state.round;
+  record("train_end", round, d, tree_.depth());
+
+  // Merge the global model that arrived during this round (Eq. 1), at the
+  // local iteration proportional to its arrival instant.
+  std::optional<MergeEvent> merge;
+  if (state.pending_global && config_.flag_level != 0) {
+    const auto& [t_arrival, model] = *state.pending_global;
+    const double staleness = std::max(0.0, t_arrival - state.round_start);
+    const double window = std::max(1e-9, sim_.now() - state.round_start);
+    const double fraction = std::clamp(staleness / window, 0.0, 1.0);
+    const auto at_iteration = static_cast<std::size_t>(
+        std::floor(fraction * static_cast<double>(config_.learn.local_iters)));
+    const auto flag_cluster = tree_.cluster_of(config_.flag_level, [&] {
+      topology::DeviceId cursor = d;
+      for (std::size_t l = tree_.depth(); l > config_.flag_level; --l) {
+        cursor = tree_.cluster(l, *tree_.cluster_of(l, cursor)).leader_id();
+      }
+      return cursor;
+    }());
+    const double alpha =
+        compute_alpha(config_.alpha, flag_fraction_[*flag_cluster], staleness);
+    merge = MergeEvent{model, at_iteration, alpha};
+    if (round < staleness_acc_.size()) {
+      staleness_acc_[round] += staleness;
+      ++staleness_n_[round];
+    }
+    state.pending_global.reset();
+  }
+
+  std::vector<float> update;
+  if (attack_.model_attack && attack_.mask[d]) {
+    // Asynchronous model attackers cannot see peers' in-flight updates; they
+    // craft from their own would-be-honest base.
+    update = attack_.model_attack->craft({}, state.start_params, rng_);
+  } else {
+    update = trainers_[d]->train_round(state.start_params, config_.learn.local_iters,
+                                       config_.learn.batch,
+                                       nn::step_decay_lr(config_.learn.learning_rate,
+                                                         config_.learn.lr_decay_gamma,
+                                                         config_.learn.lr_decay_step,
+                                                         round),
+                                       merge);
+  }
+  state.training = false;
+
+  // Failure injection: a crashed/offline device simply never uploads this
+  // round (it still resumes when the next flag model reaches it).
+  if (config_.dropout_probability > 0.0 && rng_.bernoulli(config_.dropout_probability)) {
+    if (state.pending_flag) {
+      auto [next, params] = std::move(*state.pending_flag);
+      state.pending_flag.reset();
+      start_round(d, next, std::move(params));
+    }
+    return;
+  }
+
+  const std::size_t bottom = tree_.depth();
+  const auto cluster_idx = *tree_.cluster_of(bottom, d);
+  result_.comm.messages += 1;
+  result_.comm.model_bytes += nn::wire_size(update.size());
+  sim_.schedule_after(config_.uplink_latency, [this, round, bottom, cluster_idx,
+                                               update = std::move(update)]() mutable {
+    deliver_to_cluster(round, bottom, cluster_idx, std::move(update));
+  });
+
+  // A newer flag model may have landed while we trained.
+  if (state.pending_flag) {
+    auto [next, params] = std::move(*state.pending_flag);
+    state.pending_flag.reset();
+    start_round(d, next, std::move(params));
+  }
+}
+
+void AsyncHflRunner::deliver_to_cluster(std::size_t round, std::size_t level,
+                                        std::size_t index, agg::ModelVec model) {
+  auto& per_round = collect_[round];
+  if (per_round.empty()) {
+    per_round.resize(tree_.num_levels());
+    for (std::size_t l = 0; l < tree_.num_levels(); ++l) {
+      per_round[l].resize(tree_.level(l).size());
+    }
+  }
+  auto& cs = per_round[level][index];
+  cs.inputs.push_back(std::move(model));
+  const auto& cluster = tree_.cluster(level, index);
+  const double phi = level < config_.quorum_per_level.size()
+                         ? config_.quorum_per_level[level]
+                         : config_.quorum;
+  if (!cs.agg_scheduled && cs.inputs.size() >= quorum_count(phi, cluster.size())) {
+    cs.agg_scheduled = true;
+    record("agg_start", round, static_cast<std::uint32_t>(index), level);
+    const double duration =
+        (level == 0 ? config_.global_agg_time : config_.partial_agg_time) *
+        rng_.uniform(1.0 - config_.train_jitter, 1.0 + config_.train_jitter);
+    sim_.schedule_after(duration,
+                        [this, round, level, index] { complete_cluster(round, level, index); });
+  }
+}
+
+void AsyncHflRunner::complete_cluster(std::size_t round, std::size_t level,
+                                      std::size_t index) {
+  auto& cs = collect_[round][level][index];
+  const auto& cluster = tree_.cluster(level, index);
+  auto model = aggregate(cs.inputs, cluster, level, round);
+  record("agg_done", round, static_cast<std::uint32_t>(index), level);
+
+  if (level == 0) {
+    form_global(round, std::move(model));
+    return;
+  }
+
+  if (level == config_.flag_level) {
+    record("flag_release", round, static_cast<std::uint32_t>(index), level);
+    // Release the flag model to every bottom descendant of this cluster.
+    const double delay = config_.downlink_latency *
+                         static_cast<double>(tree_.depth() - level);
+    auto flag = std::make_shared<const std::vector<float>>(model);
+    for (topology::DeviceId m : cluster.members) {
+      for (topology::DeviceId d : tree_.bottom_descendants(level, m)) {
+        result_.comm.messages += 1;
+        result_.comm.model_bytes += nn::wire_size(flag->size());
+        sim_.schedule_after(delay, [this, d, round, flag] {
+          start_round(d, round + 1, *flag);
+        });
+      }
+    }
+  }
+
+  const auto parent = tree_.parent_cluster_of(level, index);
+  if (!parent) throw std::logic_error("async: intermediate cluster without parent");
+  result_.comm.messages += 1;
+  result_.comm.model_bytes += nn::wire_size(model.size());
+  sim_.schedule_after(config_.uplink_latency, [this, round, level, parent = *parent,
+                                               model = std::move(model)]() mutable {
+    deliver_to_cluster(round, level - 1, parent, std::move(model));
+  });
+}
+
+void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
+  last_global_ = model;
+
+  AsyncRoundRecord record;
+  record.round = round;
+  record.t_formed = sim_.now();
+  record.accuracy = evaluate_params(scratch_, model, test_set_);
+  result_.rounds.push_back(record);
+  this->record("global_formed", round, 0, 0);
+  ++globals_formed_;
+  if (globals_formed_ >= config_.rounds) {
+    sim_.clear();  // stop the simulation; remaining in-flight work is moot
+    return;
+  }
+
+  const double delay =
+      config_.downlink_latency * static_cast<double>(tree_.depth());
+  auto shared = std::make_shared<const std::vector<float>>(std::move(model));
+  for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
+    result_.comm.messages += 1;
+    result_.comm.model_bytes += nn::wire_size(shared->size());
+    sim_.schedule_after(delay, [this, d, round, shared] {
+      deliver_global(d, round, shared);
+    });
+  }
+}
+
+void AsyncHflRunner::deliver_global(topology::DeviceId d, std::size_t round,
+                                    const std::shared_ptr<const std::vector<float>>& model) {
+  auto& state = devices_[d];
+  if (config_.flag_level == 0) {
+    start_round(d, round + 1, *model);
+    return;
+  }
+  // Recorded and merged at the device's next training completion (Eq. 1).
+  state.pending_global = {sim_.now(), *model};
+}
+
+AsyncRunResult AsyncHflRunner::run() {
+  const auto init = scratch_.flatten();
+  for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
+    start_round(d, 0, init);
+  }
+  if (config_.deadline > 0.0) {
+    sim_.run_until(config_.deadline);
+  } else {
+    sim_.run();
+  }
+
+  for (auto& record : result_.rounds) {
+    if (record.round < staleness_n_.size() && staleness_n_[record.round] > 0) {
+      record.mean_staleness = staleness_acc_[record.round] /
+                              static_cast<double>(staleness_n_[record.round]);
+    }
+  }
+  result_.final_accuracy = result_.rounds.empty() ? 0.0 : result_.rounds.back().accuracy;
+  result_.total_time = result_.rounds.empty() ? 0.0 : result_.rounds.back().t_formed;
+  return result_;
+}
+
+}  // namespace abdhfl::core

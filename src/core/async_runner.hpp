@@ -1,0 +1,179 @@
+#pragma once
+// Asynchronous ABD-HFL: the pipeline learning workflow with *actual
+// learning* on the discrete-event simulator.
+//
+// The synchronous HflRunner reproduces the paper's accuracy results and the
+// pipeline simulator reproduces its timing analysis; this runner closes the
+// loop by running both at once, which is what the paper's Fig. 2 depicts:
+//
+//   * every bottom device is an actor — it starts a round when its flag
+//     model arrives, "trains" for a sampled duration, and uploads;
+//   * cluster leaders aggregate on a φ-quorum and push partial models up
+//     (each hop pays uplink latency, each aggregation pays compute time);
+//   * the flag level releases the next round while the chain above it and
+//     the top-level agreement are still running;
+//   * the global model θ_G^(r) reaches each device mid-round-(r+1) and is
+//     merged by Eq. 1, with α computed from the *measured* staleness
+//     (Sec. III-B's latency driver, which the synchronous runner can only
+//     approximate) and the flag cluster's relative dataset size.
+//
+// Output: accuracy as a function of simulated wall-clock time — the curve
+// that shows what the pipeline actually buys (more rounds per second at the
+// cost of flag-model staleness), plus the ν/σ decomposition per round.
+//
+// Determinism: the event kernel breaks time ties by schedule order and all
+// training RNG is per-device, so runs are bit-reproducible per seed.
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "agg/aggregator.hpp"
+#include "attacks/data_poison.hpp"
+#include "consensus/consensus.hpp"
+#include "core/hfl_runner.hpp"  // AttackSetup
+#include "core/trainer.hpp"
+#include "core/types.hpp"
+#include "sim/simulator.hpp"
+#include "topology/byzantine.hpp"
+#include "topology/tree.hpp"
+
+namespace abdhfl::core {
+
+struct AsyncHflConfig {
+  LearnConfig learn;
+  SchemeConfig scheme = scheme_preset(1);
+  /// Per-level scheme overrides, same semantics as HflConfig::level_overrides.
+  std::map<std::size_t, LevelScheme> level_overrides;
+  std::size_t flag_level = 1;
+  double quorum = 1.0;
+  /// Optional per-level φ_ℓ override; empty/short entries fall back to quorum.
+  std::vector<double> quorum_per_level;
+  AlphaPolicy alpha{AlphaMode::kLatencyAware, 0.6, 0.05, 1.0, 2.0};
+
+  // Timing model (simulated seconds).
+  double train_mean = 1.0;       // mean local-training duration
+  double train_jitter = 0.3;     // relative uniform jitter
+  double partial_agg_time = 0.1; // τ' at intermediate levels
+  double global_agg_time = 0.3;  // τ'_g at the top
+  double uplink_latency = 0.02;  // per-hop upload latency
+  double downlink_latency = 0.02;  // per-hop dissemination latency
+
+  /// Stop after this many global models have been formed.
+  std::size_t rounds = 20;
+
+  /// Failure injection: per round, a device silently fails to upload with
+  /// this probability (crash/offline).  With φ = 1 a single dropout stalls
+  /// its whole aggregation chain — the reason Algorithm 4's quorum exists.
+  double dropout_probability = 0.0;
+
+  /// Hard stop for the simulation clock; 0 disables.  Lets dropout-stalled
+  /// configurations terminate instead of waiting forever.
+  double deadline = 0.0;
+
+  /// Record a per-event timeline (train start/end, aggregation, flag and
+  /// global releases) — the data behind the paper's Fig. 2 diagram.
+  bool trace = false;
+};
+
+/// One timeline row of a traced run.
+struct TraceEvent {
+  double time = 0.0;
+  std::size_t round = 0;
+  /// "train_start", "train_end", "agg_start", "agg_done", "flag_release",
+  /// "global_formed".
+  const char* kind = "";
+  /// Device id for train events; cluster index for aggregation events.
+  std::uint32_t subject = 0;
+  std::size_t level = 0;  // tree level for aggregation events (0 = top)
+};
+
+struct AsyncRoundRecord {
+  std::size_t round = 0;
+  double t_formed = 0.0;   // simulated time θ_G^(r) was agreed
+  double accuracy = 0.0;   // test accuracy of θ_G^(r)
+  double mean_staleness = 0.0;  // mean (arrival − device round start)
+};
+
+struct AsyncRunResult {
+  std::vector<AsyncRoundRecord> rounds;
+  double final_accuracy = 0.0;
+  double total_time = 0.0;
+  CommStats comm;
+  std::vector<TraceEvent> trace;  // populated when config.trace is set
+};
+
+/// Render a trace as CSV (time,round,kind,subject,level).
+[[nodiscard]] std::string trace_to_csv(const std::vector<TraceEvent>& trace);
+
+class AsyncHflRunner {
+ public:
+  AsyncHflRunner(const topology::HflTree& tree, std::vector<data::Dataset> shards,
+                 data::Dataset test_set, std::vector<data::Dataset> top_validation,
+                 const nn::Mlp& prototype, AsyncHflConfig config, AttackSetup attack,
+                 std::uint64_t seed);
+
+  [[nodiscard]] AsyncRunResult run();
+
+ private:
+  struct DeviceState {
+    std::vector<float> start_params;  // flag model the current round began from
+    double round_start = 0.0;
+    std::size_t round = 0;            // round being trained (valid while training)
+    std::int64_t last_started = -1;   // highest round ever started
+    bool training = false;
+    // Flag model that arrived while still training an older round.
+    std::optional<std::pair<std::size_t, std::vector<float>>> pending_flag;
+    // Global model that arrived during the current round, if any.
+    std::optional<std::pair<double, std::vector<float>>> pending_global;
+  };
+
+  struct CollectState {
+    std::vector<agg::ModelVec> inputs;
+    bool agg_scheduled = false;
+  };
+
+  void start_round(topology::DeviceId d, std::size_t round, std::vector<float> params);
+  void finish_training(topology::DeviceId d);
+  void deliver_to_cluster(std::size_t round, std::size_t level, std::size_t index,
+                          agg::ModelVec model);
+  void complete_cluster(std::size_t round, std::size_t level, std::size_t index);
+  void form_global(std::size_t round, agg::ModelVec model);
+  void deliver_global(topology::DeviceId d, std::size_t round,
+                      const std::shared_ptr<const std::vector<float>>& model);
+  [[nodiscard]] double eval_voter(std::size_t level, topology::DeviceId voter,
+                                  const agg::ModelVec& model);
+  void record(const char* kind, std::size_t round, std::uint32_t subject,
+              std::size_t level);
+  [[nodiscard]] agg::ModelVec aggregate(const std::vector<agg::ModelVec>& inputs,
+                                        const topology::Cluster& cluster,
+                                        std::size_t level, std::size_t round);
+
+  const topology::HflTree& tree_;
+  data::Dataset test_set_;
+  std::vector<data::Dataset> top_validation_;
+  nn::Mlp scratch_;
+  AsyncHflConfig config_;
+  AttackSetup attack_;
+  util::Rng rng_;
+  sim::Simulator sim_;
+
+  std::vector<std::unique_ptr<LocalTrainer>> trainers_;
+  std::vector<DeviceState> devices_;
+  std::vector<double> flag_fraction_;
+  // collect_[round][level] -> per-cluster collection state.
+  std::map<std::size_t, std::vector<std::vector<CollectState>>> collect_;
+  std::vector<float> last_global_;
+
+  [[nodiscard]] const LevelScheme& scheme_for(std::size_t level) const;
+
+  std::map<std::size_t, std::unique_ptr<agg::Aggregator>> bra_by_level_;
+  std::map<std::size_t, std::unique_ptr<consensus::ConsensusProtocol>> cba_by_level_;
+
+  AsyncRunResult result_;
+  std::size_t globals_formed_ = 0;
+  std::vector<double> staleness_acc_;   // per round sum
+  std::vector<std::size_t> staleness_n_;
+};
+
+}  // namespace abdhfl::core

@@ -1,0 +1,195 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/conv.hpp"
+
+#include "data/mnist_idx.hpp"
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "topology/byzantine.hpp"
+#include "util/log.hpp"
+
+namespace abdhfl::core {
+
+namespace {
+
+struct ScenarioData {
+  std::vector<data::Dataset> shards;         // per device, unpoisoned
+  data::Dataset test_set;                    // reporting set
+  std::vector<data::Dataset> top_validation; // per top node (Appendix D.B)
+  std::size_t input_dim = 0;
+};
+
+ScenarioData build_data(const ScenarioConfig& config, const topology::HflTree& tree,
+                        const topology::ByzantineMask& mask, util::Rng& rng) {
+  ScenarioData out;
+
+  data::Dataset train_pool;
+  data::Dataset test_pool;
+  if (!config.mnist_dir.empty()) {
+    auto mnist = data::load_mnist_dir(config.mnist_dir);
+    if (!mnist) {
+      throw std::runtime_error("MNIST files not found in " + config.mnist_dir);
+    }
+    train_pool = std::move(mnist->train);
+    test_pool = std::move(mnist->test);
+    // Trim the pools so run times stay proportional to the configured scale.
+    const std::size_t want_train = 10 * config.samples_per_class;
+    const std::size_t want_test = 10 * config.test_samples_per_class;
+    if (train_pool.size() > want_train) {
+      train_pool.shuffle(rng);
+      std::vector<std::size_t> idx(want_train);
+      for (std::size_t i = 0; i < want_train; ++i) idx[i] = i;
+      train_pool = train_pool.subset(idx);
+    }
+    if (test_pool.size() > want_test) {
+      test_pool.shuffle(rng);
+      std::vector<std::size_t> idx(want_test);
+      for (std::size_t i = 0; i < want_test; ++i) idx[i] = i;
+      test_pool = test_pool.subset(idx);
+    }
+  } else {
+    data::SynthConfig synth;
+    synth.side = config.image_side;
+    synth.samples_per_class = config.samples_per_class;
+    train_pool = data::generate_synth_digits(synth, rng);
+    synth.samples_per_class = config.test_samples_per_class;
+    test_pool = data::generate_synth_digits(synth, rng);
+  }
+  out.input_dim = train_pool.dim();
+
+  // Partition the training pool across the bottom devices.
+  if (config.iid) {
+    out.shards = data::partition_iid(train_pool, tree.num_devices(), rng);
+  } else {
+    data::NonIidConfig part;
+    part.clients = tree.num_devices();
+    part.labels_per_client = 2;
+    // The paper's "special design": honest participants jointly cover all
+    // labels, so accuracy degradation reflects sample loss, not label loss.
+    for (std::size_t d = 0; d < mask.size(); ++d) {
+      if (!mask[d]) part.must_cover_clients.push_back(d);
+    }
+    if (part.must_cover_clients.empty()) {
+      // All-Byzantine corner (only reachable in stress tests): no coverage
+      // constraint to satisfy.
+      part.must_cover_clients.clear();
+    }
+    out.shards = data::partition_noniid(train_pool, part, rng);
+  }
+
+  // Appendix D.B: the test data is split evenly across the top-level nodes
+  // so their votes are meaningful; final accuracy is reported on the full
+  // test pool.
+  out.top_validation =
+      data::partition_iid(test_pool, tree.cluster(0, 0).size(), rng);
+  out.test_set = std::move(test_pool);
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config, bool run_vanilla,
+                            bool run_abdhfl) {
+  util::Rng rng(config.seed);
+
+  const auto tree = topology::build_ecsm(config.levels, config.cluster_size,
+                                         config.top_nodes);
+  const auto mask =
+      config.placement == ScenarioConfig::Placement::kBlock
+          ? topology::block_malicious(tree.num_devices(), config.malicious_fraction)
+          : topology::sample_malicious(tree.num_devices(), config.malicious_fraction, rng);
+
+  auto data = build_data(config, tree, mask, rng);
+
+  auto model_rng = rng.split();
+  nn::Mlp prototype;
+  if (config.model == "mlp") {
+    prototype = nn::make_mlp(data.input_dim, config.hidden, 10, model_rng);
+  } else if (config.model == "cnn") {
+    const auto side =
+        static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(data.input_dim))));
+    if (side * side != data.input_dim) {
+      throw std::invalid_argument("cnn model requires square images");
+    }
+    prototype = nn::make_cnn(side, config.cnn_filters, 10, model_rng);
+  } else {
+    throw std::invalid_argument("unknown model architecture: " + config.model);
+  }
+
+  attacks::PoisonConfig poison;
+  poison.type = config.poison;
+  poison.image_side = config.image_side;
+
+  std::shared_ptr<attacks::ModelAttack> model_attack;
+  if (!config.model_attack.empty()) {
+    model_attack = attacks::make_model_attack(config.model_attack);
+  }
+
+  ScenarioResult result;
+  if (run_abdhfl) {
+    HflConfig hfl;
+    hfl.learn = config.learn;
+    hfl.scheme = scheme_preset(config.scheme_id, config.bra_rule, config.cba_rule);
+    hfl.flag_level = config.flag_level;
+    hfl.quorum = config.quorum;
+    hfl.alpha = config.alpha;
+    hfl.merge_iteration = config.merge_iteration;
+    hfl.parallel_training = config.parallel_training;
+
+    AttackSetup attack;
+    attack.mask = mask;
+    attack.poison = poison;
+    attack.model_attack = model_attack;
+
+    HflRunner runner(tree, data.shards, data.test_set, data.top_validation, prototype,
+                     hfl, attack, config.seed ^ 0x48464CULL);
+    result.abdhfl = runner.run();
+  }
+
+  if (run_vanilla) {
+    VanillaConfig vanilla;
+    vanilla.learn = config.learn;
+    vanilla.rule = config.vanilla_rule;
+    vanilla.parallel_training = config.parallel_training;
+
+    VanillaAttackSetup attack;
+    attack.mask = mask;
+    attack.poison = poison;
+    attack.model_attack = model_attack;
+
+    VanillaFl baseline(data.shards, data.test_set, prototype, vanilla, attack,
+                       config.seed ^ 0x56464CULL);
+    result.vanilla = baseline.run();
+  }
+  return result;
+}
+
+RepeatedResult run_repeated(const ScenarioConfig& config, std::size_t repeats,
+                            bool run_vanilla) {
+  if (repeats == 0) throw std::invalid_argument("run_repeated: zero repeats");
+  RepeatedResult out;
+  std::vector<double> abdhfl_final, vanilla_final;
+  for (std::size_t k = 0; k < repeats; ++k) {
+    ScenarioConfig run_config = config;
+    run_config.seed = config.seed + k;
+    auto result = run_scenario(run_config, run_vanilla);
+    abdhfl_final.push_back(result.abdhfl.final_accuracy);
+    out.abdhfl.push_back(std::move(result.abdhfl));
+    if (run_vanilla) {
+      vanilla_final.push_back(result.vanilla.final_accuracy);
+      out.vanilla.push_back(std::move(result.vanilla));
+    }
+  }
+  out.abdhfl_final = util::summarize(abdhfl_final);
+  if (run_vanilla) out.vanilla_final = util::summarize(vanilla_final);
+  return out;
+}
+
+double theoretical_tolerance(const ScenarioConfig& config, double gamma1, double gamma2) {
+  return topology::theorem2_max_proportion(config.levels - 1, gamma1, gamma2);
+}
+
+}  // namespace abdhfl::core

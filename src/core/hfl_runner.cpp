@@ -1,0 +1,350 @@
+#include "core/hfl_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "consensus/committee.hpp"
+#include "consensus/pbft.hpp"
+#include "nn/serialize.hpp"
+#include "nn/sgd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abdhfl::core {
+
+namespace {
+
+std::unique_ptr<agg::Aggregator> make_bra(const LevelScheme& scheme) {
+  if (scheme.kind != AggKind::kBra) return nullptr;
+  return agg::make_aggregator(scheme.rule, scheme.byzantine_fraction);
+}
+
+std::unique_ptr<consensus::ConsensusProtocol> make_cba(const LevelScheme& scheme) {
+  if (scheme.kind != AggKind::kCba) return nullptr;
+  return consensus::make_consensus(scheme.rule);
+}
+
+}  // namespace
+
+HflRunner::HflRunner(const topology::HflTree& tree, std::vector<data::Dataset> shards,
+                     data::Dataset test_set, std::vector<data::Dataset> top_validation,
+                     const nn::Mlp& prototype, HflConfig config, AttackSetup attack,
+                     std::uint64_t seed)
+    : tree_(tree),
+      test_set_(std::move(test_set)),
+      top_validation_(std::move(top_validation)),
+      prototype_(prototype.clone()),
+      scratch_(prototype.clone()),
+      config_(std::move(config)),
+      attack_(std::move(attack)),
+      rng_(seed) {
+  if (shards.size() != tree_.num_devices()) {
+    throw std::invalid_argument("HflRunner: one shard per device required");
+  }
+  if (attack_.mask.empty()) attack_.mask.assign(tree_.num_devices(), false);
+  if (attack_.mask.size() != tree_.num_devices()) {
+    throw std::invalid_argument("HflRunner: Byzantine mask size mismatch");
+  }
+  if (config_.flag_level >= tree_.depth() + 1) {
+    throw std::invalid_argument("HflRunner: flag level out of range");
+  }
+  if (config_.quorum <= 0.0 || config_.quorum > 1.0) {
+    throw std::invalid_argument("HflRunner: quorum must be in (0,1]");
+  }
+  if (top_validation_.size() != tree_.cluster(0, 0).size()) {
+    throw std::invalid_argument("HflRunner: one validation shard per top node required");
+  }
+
+  // Poison Byzantine shards up front (data-poisoning threat model); under a
+  // model-update attack the Byzantine devices will not train at all.
+  for (std::size_t d = 0; d < shards.size(); ++d) {
+    if (attack_.mask[d] && !attack_.model_attack) {
+      attacks::poison_dataset(shards[d], attack_.poison, rng_);
+    }
+  }
+
+  trainers_.reserve(shards.size());
+  for (auto& shard : shards) {
+    total_samples_ += shard.size();
+    trainers_.push_back(
+        std::make_unique<LocalTrainer>(std::move(shard), prototype_.clone(), rng_.split()));
+  }
+
+  // Per-flag-cluster dataset fraction (relative size of θ_F vs θ_G, Sec III-B).
+  const auto& flag_clusters = tree_.level(config_.flag_level);
+  flag_fraction_.resize(flag_clusters.size(), 0.0);
+  for (std::size_t j = 0; j < flag_clusters.size(); ++j) {
+    std::size_t covered = 0;
+    for (topology::DeviceId m : flag_clusters[j].members) {
+      for (topology::DeviceId d : tree_.bottom_descendants(config_.flag_level, m)) {
+        covered += trainers_[d]->shard_size();
+      }
+    }
+    flag_fraction_[j] =
+        total_samples_ == 0 ? 0.0
+                            : static_cast<double>(covered) / static_cast<double>(total_samples_);
+  }
+
+  for (std::size_t l = 0; l < tree_.num_levels(); ++l) {
+    const auto& scheme = scheme_for(l);
+    if (auto bra = make_bra(scheme)) bra_by_level_[l] = std::move(bra);
+    if (auto cba = make_cba(scheme)) cba_by_level_[l] = std::move(cba);
+  }
+
+  const auto init = prototype_.flatten();
+  start_params_.assign(tree_.num_devices(), init);
+}
+
+const LevelScheme& HflRunner::scheme_for(std::size_t level) const {
+  if (level == 0) return config_.scheme.global;
+  const auto it = config_.level_overrides.find(level);
+  return it != config_.level_overrides.end() ? it->second : config_.scheme.partial;
+}
+
+double HflRunner::eval_for_voter(std::size_t level, topology::DeviceId voter,
+                                 const agg::ModelVec& model) {
+  if (level == 0) {
+    const auto& top = tree_.cluster(0, 0);
+    const auto it = std::find(top.members.begin(), top.members.end(), voter);
+    if (it == top.members.end()) throw std::logic_error("eval_for_voter: not a top node");
+    const auto idx = static_cast<std::size_t>(it - top.members.begin());
+    return evaluate_params(scratch_, model, top_validation_[idx]);
+  }
+  // Intermediate/bottom voters validate on their own local data.
+  return evaluate_params(scratch_, model, trainers_[voter]->shard());
+}
+
+std::vector<agg::ModelVec> HflRunner::collect_bottom_updates(
+    std::size_t round, std::span<const float> prev_global, bool have_prev_global) {
+  const std::size_t n = tree_.num_devices();
+  std::vector<agg::ModelVec> updates(n);
+
+  const double lr = nn::step_decay_lr(config_.learn.learning_rate,
+                                      config_.learn.lr_decay_gamma,
+                                      config_.learn.lr_decay_step, round);
+
+  // Precompute per-device merge events (the previous global model "arrives"
+  // during this round's training; flag level 0 means θ_F == θ_G, no merge).
+  std::vector<std::optional<MergeEvent>> merges(n);
+  if (have_prev_global && config_.flag_level != 0) {
+    for (std::size_t d = 0; d < n; ++d) {
+      const auto flag_cluster = tree_.cluster_of(config_.flag_level, /*walk up*/ [&] {
+        // Find the device's ancestor appearing at the flag level by walking
+        // leaders upward from the bottom cluster.
+        topology::DeviceId cursor = static_cast<topology::DeviceId>(d);
+        for (std::size_t l = tree_.depth(); l > config_.flag_level; --l) {
+          const auto ci = tree_.cluster_of(l, cursor);
+          if (!ci) throw std::logic_error("HflRunner: device missing from level");
+          cursor = tree_.cluster(l, *ci).leader_id();
+        }
+        return cursor;
+      }());
+      if (!flag_cluster) throw std::logic_error("HflRunner: no flag-level ancestor");
+      const double alpha =
+          compute_alpha(config_.alpha, flag_fraction_[*flag_cluster], /*staleness=*/1.0);
+      merges[d] = MergeEvent{{prev_global.begin(), prev_global.end()},
+                             std::min(config_.merge_iteration, config_.learn.local_iters),
+                             alpha};
+    }
+  }
+
+  const bool model_attacking = static_cast<bool>(attack_.model_attack);
+  auto train_one = [&](std::size_t d) {
+    if (model_attacking && attack_.mask[d]) return;  // crafted below
+    updates[d] = trainers_[d]->train_round(start_params_[d], config_.learn.local_iters,
+                                           config_.learn.batch, lr, merges[d]);
+  };
+  if (config_.parallel_training) {
+    util::global_pool().parallel_for(0, n, train_one);
+  } else {
+    for (std::size_t d = 0; d < n; ++d) train_one(d);
+  }
+
+  // Craft model-update attacks per bottom cluster: the omniscient adversary
+  // sees the honest updates of its own cluster.
+  if (model_attacking) {
+    for (const auto& cluster : tree_.level(tree_.depth())) {
+      std::vector<agg::ModelVec> honest;
+      for (topology::DeviceId d : cluster.members) {
+        if (!attack_.mask[d]) honest.push_back(updates[d]);
+      }
+      for (topology::DeviceId d : cluster.members) {
+        if (attack_.mask[d]) {
+          const agg::ModelVec& base = honest.empty() ? start_params_[d] : honest.front();
+          updates[d] = attack_.model_attack->craft(honest, base, rng_);
+        }
+      }
+    }
+  }
+  return updates;
+}
+
+agg::ModelVec HflRunner::aggregate_cluster_bra(const std::vector<agg::ModelVec>& inputs,
+                                               const topology::Cluster& cluster,
+                                               std::size_t level, CommStats& comm) {
+  // Algorithm 4: the leader waits for a φ_ℓ quorum; simulated arrival order
+  // is a random permutation of the senders.
+  const double phi = level < config_.quorum_per_level.size()
+                         ? config_.quorum_per_level[level]
+                         : config_.quorum;
+  if (phi <= 0.0 || phi > 1.0) {
+    throw std::invalid_argument("HflRunner: per-level quorum out of (0,1]");
+  }
+  auto quorum_count =
+      static_cast<std::size_t>(std::ceil(phi * static_cast<double>(inputs.size())));
+  quorum_count = std::clamp<std::size_t>(quorum_count, 1, inputs.size());
+
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng_.shuffle(order);
+
+  std::vector<agg::ModelVec> arrived;
+  arrived.reserve(quorum_count);
+  for (std::size_t k = 0; k < quorum_count; ++k) arrived.push_back(inputs[order[k]]);
+
+  agg::Aggregator& rule = *bra_by_level_.at(level);
+  agg::ModelVec result = rule.aggregate(arrived);
+
+  const std::size_t dim = result.size();
+  // Members upload to the leader; leader broadcasts the partial model back.
+  comm.messages += inputs.size() + cluster.size();
+  comm.model_bytes += (inputs.size() + cluster.size()) * nn::wire_size(dim);
+
+  // A Byzantine leader under a model-update attack corrupts its upload.
+  if (attack_.model_attack && attack_.mask[cluster.leader_id()]) {
+    result = attack_.model_attack->craft(inputs, result, rng_);
+  }
+  return result;
+}
+
+agg::ModelVec HflRunner::aggregate_cluster_cba(const std::vector<agg::ModelVec>& inputs,
+                                               const topology::Cluster& cluster,
+                                               std::size_t level, std::uint64_t round,
+                                               CommStats& comm) {
+  if (inputs.size() != cluster.size()) {
+    throw std::logic_error("CBA requires one candidate per cluster member");
+  }
+  // Data poisoners corrupt their *datasets* but still follow the protocol
+  // honestly (Appendix D.A: a poisoned node elected leader "honestly"
+  // aggregates).  Only model-update attackers behave adversarially inside
+  // consensus (inverted votes, malicious proposals).
+  const bool protocol_adversarial = static_cast<bool>(attack_.model_attack);
+  std::vector<bool> byz(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    byz[i] = protocol_adversarial && attack_.mask[cluster.members[i]];
+  }
+
+  consensus::ConsensusProtocol& protocol = *cba_by_level_.at(level);
+  // Rotate committee/PBFT leadership per round when the protocol supports it.
+  if (auto* committee = dynamic_cast<consensus::CommitteeConsensus*>(&protocol)) {
+    committee->set_round_salt(round);
+  } else if (auto* pbft = dynamic_cast<consensus::PbftConsensus*>(&protocol)) {
+    pbft->set_round_salt(round);
+  }
+
+  auto eval = [&](std::size_t voter, const agg::ModelVec& model) {
+    return eval_for_voter(level, cluster.members[voter], model);
+  };
+  auto result = protocol.agree(inputs, eval, byz, rng_);
+  comm.messages += result.messages;
+  comm.model_bytes += result.model_bytes;
+  if (!result.success) ++comm.consensus_failures;
+  return std::move(result.model);
+}
+
+RunResult HflRunner::run() {
+  RunResult out;
+  std::vector<float> prev_global;
+  bool have_prev_global = false;
+
+  const std::size_t depth = tree_.depth();
+
+  for (std::size_t round = 0; round < config_.learn.rounds; ++round) {
+    // --- 1. Local training (Algorithm 2). --------------------------------
+    auto updates = collect_bottom_updates(round, prev_global, have_prev_global);
+
+    // Rules that use a reference point anchor on the previous global model.
+    if (have_prev_global) {
+      for (auto& [level, rule] : bra_by_level_) rule->set_reference(prev_global);
+    }
+
+    // --- 2. Partial aggregation, levels L .. 1 (Algorithms 3/4). ---------
+    // cluster_models[l][i] = θ_{l,i} for this round.
+    std::vector<std::vector<agg::ModelVec>> cluster_models(depth + 1);
+    for (std::size_t l = depth; l >= 1; --l) {
+      const auto& clusters = tree_.level(l);
+      cluster_models[l].resize(clusters.size());
+      for (std::size_t i = 0; i < clusters.size(); ++i) {
+        const auto& cluster = clusters[i];
+        std::vector<agg::ModelVec> inputs;
+        inputs.reserve(cluster.size());
+        if (l == depth) {
+          for (topology::DeviceId d : cluster.members) inputs.push_back(updates[d]);
+        } else {
+          for (topology::DeviceId d : cluster.members) {
+            const auto child = tree_.child_cluster_of(l, d);
+            if (!child) throw std::logic_error("HflRunner: member leads no child cluster");
+            inputs.push_back(cluster_models[l + 1][*child]);
+          }
+        }
+        cluster_models[l][i] =
+            scheme_for(l).kind == AggKind::kBra
+                ? aggregate_cluster_bra(inputs, cluster, l, out.comm)
+                : aggregate_cluster_cba(inputs, cluster, l, round, out.comm);
+      }
+    }
+
+    // --- 3. Global aggregation at the top (Algorithm 6). -----------------
+    const auto& top = tree_.cluster(0, 0);
+    std::vector<agg::ModelVec> top_inputs;
+    top_inputs.reserve(top.size());
+    for (topology::DeviceId d : top.members) {
+      const auto child = tree_.child_cluster_of(0, d);
+      if (!child) throw std::logic_error("HflRunner: top node leads no cluster");
+      top_inputs.push_back(cluster_models[1][*child]);
+    }
+    agg::ModelVec global_model =
+        scheme_for(0).kind == AggKind::kBra
+            ? aggregate_cluster_bra(top_inputs, top, 0, out.comm)
+            : aggregate_cluster_cba(top_inputs, top, 0, round, out.comm);
+    cluster_models[0] = {global_model};
+
+    // --- 4. Dissemination (Algorithm 5): flag models seed the next round.
+    if (config_.flag_level == 0) {
+      for (auto& start : start_params_) start = global_model;
+    } else {
+      const auto& flag_clusters = tree_.level(config_.flag_level);
+      for (std::size_t j = 0; j < flag_clusters.size(); ++j) {
+        const auto& flag_model = cluster_models[config_.flag_level][j];
+        for (topology::DeviceId m : flag_clusters[j].members) {
+          for (topology::DeviceId d :
+               tree_.bottom_descendants(config_.flag_level, m)) {
+            start_params_[d] = flag_model;
+          }
+        }
+        // Dissemination traffic: one broadcast per tree edge below the flag
+        // cluster (counted as one message per reached device).
+        std::size_t reached = 0;
+        for (topology::DeviceId m : flag_clusters[j].members) {
+          reached += tree_.bottom_descendants(config_.flag_level, m).size();
+        }
+        out.comm.messages += reached;
+        out.comm.model_bytes += reached * nn::wire_size(flag_model.size());
+      }
+    }
+    // Global-model dissemination to every device (merged next round).
+    out.comm.messages += tree_.num_devices();
+    out.comm.model_bytes += tree_.num_devices() * nn::wire_size(global_model.size());
+
+    out.accuracy_per_round.push_back(evaluate_params(scratch_, global_model, test_set_));
+    prev_global = std::move(global_model);
+    have_prev_global = true;
+  }
+
+  out.final_accuracy =
+      out.accuracy_per_round.empty() ? 0.0 : out.accuracy_per_round.back();
+  out.final_model = std::move(prev_global);
+  return out;
+}
+
+}  // namespace abdhfl::core

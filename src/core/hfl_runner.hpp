@@ -1,0 +1,126 @@
+#pragma once
+// ABD-HFL runner: Algorithms 1-6 of the paper, executed with synchronous
+// round semantics over the real tree (the asynchronous *timing* behaviour —
+// σ_w/σ_p/σ_g and the efficiency indicator — is studied separately by
+// core/pipeline.hpp on the discrete-event simulator; this runner reproduces
+// the learning/robustness behaviour: what model every cluster aggregates,
+// what the flag mechanism feeds back, and what the top level agrees on).
+//
+// Per global round r:
+//   1. LocalModelTraining (Alg. 2): every bottom device trains T mini-batch
+//      SGD iterations from its flag model θ_F^(r); the previous round's
+//      global model arrives mid-training and is merged via the correction
+//      factor (Eq. 1).  Byzantine devices either train on poisoned shards
+//      (data poisoning — they then behave honestly, per Appendix D.A) or
+//      craft malicious updates (model-update attacks).
+//   2. PartialModelAggregation (Alg. 3/4): levels L..1, each cluster
+//      aggregates its members' inputs with the configured BRA rule (leader
+//      collects a φ_ℓ quorum in simulated arrival order) or CBA protocol
+//      (members vote with their own validation data).
+//   3. GlobalModelAggregation (Alg. 6): the leaderless top cluster agrees on
+//      θ_G^(r+1) by consensus, or a top leader applies a BRA rule.
+//   4. DisseminateModel (Alg. 5): flag-level clusters push their partial
+//      models to their bottom descendants as the next round's start; the
+//      global model is recorded for next round's merge.
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "agg/aggregator.hpp"
+#include "attacks/data_poison.hpp"
+#include "attacks/model_attack.hpp"
+#include "consensus/consensus.hpp"
+#include "core/trainer.hpp"
+#include "core/types.hpp"
+#include "topology/byzantine.hpp"
+#include "topology/tree.hpp"
+
+namespace abdhfl::core {
+
+struct HflConfig {
+  LearnConfig learn;
+  SchemeConfig scheme = scheme_preset(1);
+  /// Per-level overrides of the partial scheme ("model aggregation at
+  /// different levels using different types of approaches" — the paper's
+  /// generic mechanism).  Key = level index in [1, L]; levels without an
+  /// entry use scheme.partial.  Level 0 always uses scheme.global.
+  std::map<std::size_t, LevelScheme> level_overrides;
+  std::size_t flag_level = 1;      // ℓ_F ∈ [0, L-1]
+  double quorum = 1.0;             // φ: fraction of inputs a leader waits for
+  /// Optional per-level override of φ_ℓ (Algorithm 4 allows every level its
+  /// own quorum).  Indexed by level; empty = use `quorum` everywhere; levels
+  /// beyond the vector's size also fall back to `quorum`.
+  std::vector<double> quorum_per_level;
+  AlphaPolicy alpha;
+  /// Local iteration before which the previous global model is merged
+  /// (the "arrival" instant of θ_G inside the next round's training).
+  std::size_t merge_iteration = 2;
+  bool parallel_training = true;   // thread-pool the device loop
+};
+
+struct AttackSetup {
+  topology::ByzantineMask mask;  // per device; empty = all honest
+  attacks::PoisonConfig poison;  // applied to Byzantine shards up front
+  /// Model-update attack; when set, Byzantine devices craft updates instead
+  /// of training, and Byzantine leaders corrupt their uploads.
+  std::shared_ptr<attacks::ModelAttack> model_attack;
+};
+
+class HflRunner {
+ public:
+  /// `shards[d]` is device d's local dataset, `test_set` the reporting set,
+  /// `top_validation[k]` the validation shard of the k-th top-level node
+  /// (Appendix D.B splits the test data across the top nodes for voting).
+  HflRunner(const topology::HflTree& tree, std::vector<data::Dataset> shards,
+            data::Dataset test_set, std::vector<data::Dataset> top_validation,
+            const nn::Mlp& prototype, HflConfig config, AttackSetup attack,
+            std::uint64_t seed);
+
+  /// Run all configured rounds; returns per-round global accuracy + traffic.
+  [[nodiscard]] RunResult run();
+
+  /// Fraction of all training samples under each flag-level cluster (drives
+  /// the relative-size correction factor).
+  [[nodiscard]] const std::vector<double>& flag_cluster_fractions() const noexcept {
+    return flag_fraction_;
+  }
+
+ private:
+  std::vector<agg::ModelVec> collect_bottom_updates(std::size_t round,
+                                                    std::span<const float> prev_global,
+                                                    bool have_prev_global);
+  agg::ModelVec aggregate_cluster_bra(const std::vector<agg::ModelVec>& inputs,
+                                      const topology::Cluster& cluster, std::size_t level,
+                                      CommStats& comm);
+  agg::ModelVec aggregate_cluster_cba(const std::vector<agg::ModelVec>& inputs,
+                                      const topology::Cluster& cluster, std::size_t level,
+                                      std::uint64_t round, CommStats& comm);
+  [[nodiscard]] double eval_for_voter(std::size_t level, topology::DeviceId voter,
+                                      const agg::ModelVec& model);
+
+  const topology::HflTree& tree_;
+  data::Dataset test_set_;
+  std::vector<data::Dataset> top_validation_;
+  nn::Mlp prototype_;
+  nn::Mlp scratch_;  // evaluation scratch model
+  HflConfig config_;
+  AttackSetup attack_;
+  util::Rng rng_;
+
+  std::vector<std::unique_ptr<LocalTrainer>> trainers_;  // per device
+  std::vector<std::vector<float>> start_params_;          // per device θ_F
+  std::vector<double> flag_fraction_;                     // per flag cluster
+  std::size_t total_samples_ = 0;
+
+  /// Scheme actually applied at a level (global at 0, override or partial
+  /// elsewhere).
+  [[nodiscard]] const LevelScheme& scheme_for(std::size_t level) const;
+
+  // One rule/protocol instance per level (levels sharing a scheme still get
+  // their own instance so reference-point state never leaks across levels).
+  std::map<std::size_t, std::unique_ptr<agg::Aggregator>> bra_by_level_;
+  std::map<std::size_t, std::unique_ptr<consensus::ConsensusProtocol>> cba_by_level_;
+};
+
+}  // namespace abdhfl::core

@@ -1,0 +1,256 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace abdhfl::core {
+
+namespace {
+
+struct ClusterState {
+  std::size_t arrived = 0;
+  double first_arrival = -1.0;
+  double completed = -1.0;
+  bool agg_scheduled = false;
+};
+
+struct RoundState {
+  // state[level][cluster]
+  std::vector<std::vector<ClusterState>> clusters;
+  std::vector<double> device_start;   // per device: when its training began
+  std::vector<double> flag_receipt;   // per bottom cluster: flag-model arrival
+  double t_global = -1.0;
+  double staleness_sum = 0.0;
+  std::size_t staleness_count = 0;
+};
+
+class PipelineSim {
+ public:
+  PipelineSim(const topology::HflTree& tree, const PipelineConfig& config,
+              std::uint64_t seed)
+      : tree_(tree), config_(config), rng_(seed) {
+    if (!config_.train_duration || !config_.agg_duration || !config_.uplink_latency) {
+      throw std::invalid_argument("simulate_pipeline: missing duration samplers");
+    }
+    if (config_.flag_level >= tree_.depth()) {
+      throw std::invalid_argument("simulate_pipeline: flag level must be < bottom level");
+    }
+    if (config_.quorum <= 0.0 || config_.quorum > 1.0) {
+      throw std::invalid_argument("simulate_pipeline: quorum out of (0,1]");
+    }
+    rounds_.resize(config_.rounds);
+    for (auto& rs : rounds_) {
+      rs.clusters.resize(tree_.num_levels());
+      for (std::size_t l = 0; l < tree_.num_levels(); ++l) {
+        rs.clusters[l].resize(tree_.level(l).size());
+      }
+      rs.device_start.assign(tree_.num_devices(), -1.0);
+      rs.flag_receipt.assign(tree_.level(tree_.depth()).size(), -1.0);
+    }
+  }
+
+  PipelineResult run() {
+    // Round 0: every device holds the initial model and starts immediately.
+    for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
+      start_device(0, d, 0.0);
+    }
+    sim_.run();
+    return summarize();
+  }
+
+ private:
+  std::size_t quorum_count(std::size_t cluster_size) const {
+    auto k = static_cast<std::size_t>(
+        std::ceil(config_.quorum * static_cast<double>(cluster_size)));
+    if (k == 0) k = 1;
+    return std::min(k, cluster_size);
+  }
+
+  void start_device(std::size_t round, topology::DeviceId d, double when) {
+    if (round >= config_.rounds) return;
+    auto& rs = rounds_[round];
+    if (rs.device_start[d] >= 0.0) return;  // already started this round
+    rs.device_start[d] = when;
+    const double duration = config_.train_duration(rng_);
+    sim_.schedule_at(when + duration, [this, round, d] { device_done(round, d); });
+  }
+
+  void device_done(std::size_t round, topology::DeviceId d) {
+    const std::size_t bottom = tree_.depth();
+    const auto ci = tree_.cluster_of(bottom, d);
+    if (!ci) throw std::logic_error("pipeline: device missing from bottom level");
+    const double latency = config_.uplink_latency(bottom, rng_);
+    sim_.schedule_after(latency,
+                        [this, round, ci = *ci] { cluster_arrival(round, tree_.depth(), ci); });
+  }
+
+  void cluster_arrival(std::size_t round, std::size_t level, std::size_t i) {
+    auto& cs = rounds_[round].clusters[level][i];
+    if (cs.first_arrival < 0.0) cs.first_arrival = sim_.now();
+    ++cs.arrived;
+    const std::size_t need = quorum_count(tree_.cluster(level, i).size());
+    if (!cs.agg_scheduled && cs.arrived >= need) {
+      cs.agg_scheduled = true;
+      const double duration = config_.agg_duration(level, rng_);
+      sim_.schedule_after(duration, [this, round, level, i] {
+        cluster_complete(round, level, i);
+      });
+    }
+  }
+
+  void cluster_complete(std::size_t round, std::size_t level, std::size_t i) {
+    auto& cs = rounds_[round].clusters[level][i];
+    cs.completed = sim_.now();
+
+    if (level == config_.flag_level && level != 0) {
+      disseminate_flag(round, level, i);
+    }
+    if (level == 0) {
+      global_complete(round);
+      return;
+    }
+    // Upload the partial model to the parent cluster.
+    const auto parent = tree_.parent_cluster_of(level, i);
+    if (!parent) throw std::logic_error("pipeline: intermediate cluster has no parent");
+    const double latency = config_.uplink_latency(level, rng_);
+    sim_.schedule_after(latency, [this, round, level, parent = *parent] {
+      cluster_arrival(round, level - 1, parent);
+    });
+  }
+
+  void disseminate_flag(std::size_t round, std::size_t level, std::size_t i) {
+    const std::size_t hops = tree_.depth() - level;
+    const double delay = config_.dissemination_latency * static_cast<double>(hops);
+    for (topology::DeviceId m : tree_.cluster(level, i).members) {
+      for (topology::DeviceId d : tree_.bottom_descendants(level, m)) {
+        const auto bottom_ci = tree_.cluster_of(tree_.depth(), d);
+        sim_.schedule_after(delay, [this, round, d, bottom_ci = *bottom_ci] {
+          auto& rs = rounds_[round];
+          if (rs.flag_receipt[bottom_ci] < 0.0) rs.flag_receipt[bottom_ci] = sim_.now();
+          start_device(round + 1, d, sim_.now());
+        });
+      }
+    }
+  }
+
+  void global_complete(std::size_t round) {
+    auto& rs = rounds_[round];
+    rs.t_global = sim_.now();
+    const std::size_t hops = tree_.depth();
+    const double delay = config_.dissemination_latency * static_cast<double>(hops);
+    for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
+      sim_.schedule_after(delay, [this, round, d] {
+        // Staleness: how long the device had already been training round r+1
+        // when θ_G^(r) reached it (this is what α must correct, Sec. III-B).
+        if (round + 1 < config_.rounds) {
+          auto& next = rounds_[round + 1];
+          if (config_.flag_level == 0) {
+            // The global model *is* the flag model: it starts the next round.
+            const auto bottom_ci = tree_.cluster_of(tree_.depth(), d);
+            auto& rs_here = rounds_[round];
+            if (rs_here.flag_receipt[*bottom_ci] < 0.0) {
+              rs_here.flag_receipt[*bottom_ci] = sim_.now();
+            }
+            start_device(round + 1, d, sim_.now());
+          } else if (next.device_start[d] >= 0.0) {
+            rounds_[round].staleness_sum += sim_.now() - next.device_start[d];
+            ++rounds_[round].staleness_count;
+          }
+        }
+      });
+    }
+  }
+
+  PipelineResult summarize() const {
+    PipelineResult out;
+    const std::size_t bottom = tree_.depth();
+    const std::size_t n_bottom_clusters = tree_.level(bottom).size();
+
+    double nu_total = 0.0, stale_total = 0.0;
+    std::size_t nu_rounds = 0, stale_rounds = 0;
+    for (std::size_t r = 0; r < config_.rounds; ++r) {
+      const auto& rs = rounds_[r];
+      RoundTiming t;
+      t.t_global = rs.t_global;
+      double w_sum = 0.0, sigma_sum = 0.0, nu_sum = 0.0;
+      std::size_t counted = 0;
+      for (std::size_t c = 0; c < n_bottom_clusters; ++c) {
+        const auto& cs = rs.clusters[bottom][c];
+        const double t_first = cs.first_arrival;
+        const double t_flag = rs.flag_receipt[c];
+        if (t_first < 0.0 || t_flag < 0.0 || rs.t_global < 0.0) continue;
+        const double sigma_w = t_flag - t_first;
+        const double sigma = rs.t_global - t_first;
+        w_sum += sigma_w;
+        sigma_sum += sigma;
+        nu_sum += sigma > 0.0 ? (sigma - sigma_w) / sigma : 0.0;
+        ++counted;
+      }
+      if (counted > 0) {
+        t.sigma_w = w_sum / static_cast<double>(counted);
+        t.sigma = sigma_sum / static_cast<double>(counted);
+        t.sigma_pg = t.sigma - t.sigma_w;
+        t.nu = nu_sum / static_cast<double>(counted);
+        nu_total += t.nu;
+        ++nu_rounds;
+      }
+      if (rs.staleness_count > 0) {
+        t.staleness = rs.staleness_sum / static_cast<double>(rs.staleness_count);
+        stale_total += t.staleness;
+        ++stale_rounds;
+      }
+      out.rounds.push_back(t);
+      out.total_time = std::max(out.total_time, rs.t_global);
+    }
+    out.mean_nu = nu_rounds > 0 ? nu_total / static_cast<double>(nu_rounds) : 0.0;
+    out.mean_staleness =
+        stale_rounds > 0 ? stale_total / static_cast<double>(stale_rounds) : 0.0;
+
+    // Synchronous baseline: without pipelining every round serializes the
+    // full chain (training + all aggregation up to the global model) and the
+    // next round starts only after that.  Round 0 *is* exactly that chain
+    // (all devices start at t = 0), so the baseline is rounds x t_global[0].
+    if (!out.rounds.empty() && out.rounds.front().t_global > 0.0) {
+      out.synchronous_time =
+          out.rounds.front().t_global * static_cast<double>(config_.rounds);
+    }
+    return out;
+  }
+
+  const topology::HflTree& tree_;
+  PipelineConfig config_;
+  util::Rng rng_;
+  sim::Simulator sim_;
+  std::vector<RoundState> rounds_;
+};
+
+}  // namespace
+
+PipelineResult simulate_pipeline(const topology::HflTree& tree, const PipelineConfig& config,
+                                 std::uint64_t seed) {
+  PipelineSim sim(tree, config, seed);
+  return sim.run();
+}
+
+PipelineConfig make_pipeline_config(const DelayRegime& regime, std::size_t rounds,
+                                    std::size_t flag_level, double quorum) {
+  PipelineConfig config;
+  config.rounds = rounds;
+  config.flag_level = flag_level;
+  config.quorum = quorum;
+  const double j = regime.jitter;
+  config.train_duration = [mean = regime.train_mean, j](util::Rng& rng) {
+    return mean * rng.uniform(1.0 - j, 1.0 + j);
+  };
+  config.agg_duration = [p = regime.partial_agg, g = regime.global_agg,
+                         j](std::size_t level, util::Rng& rng) {
+    const double mean = level == 0 ? g : p;
+    return mean * rng.uniform(1.0 - j, 1.0 + j);
+  };
+  config.uplink_latency = [u = regime.uplink, j](std::size_t, util::Rng& rng) {
+    return u * rng.uniform(1.0 - j, 1.0 + j);
+  };
+  return config;
+}
+
+}  // namespace abdhfl::core

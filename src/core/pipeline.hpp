@@ -1,0 +1,89 @@
+#pragma once
+// Pipeline learning workflow simulation (Sec. III-D, Fig. 2).
+//
+// Runs the ABD-HFL message/aggregation timing on the discrete-event kernel:
+// bottom devices train for a sampled duration, cluster leaders wait for a
+// φ_ℓ quorum (τ_ℓ measured from the first arrival), aggregation takes a
+// sampled τ'_ℓ, flag-level clusters release their partial model so their
+// descendants start the next round immediately, and the chain above the
+// flag level plus the top-level agreement (τ_g + τ'_g) overlaps with that
+// next round of training.  The per-round outputs are exactly the paper's
+// quantities:
+//
+//   σ_w = Σ_{i=ℓF..L} (τ_i + τ'_i)     — waiting before the flag model
+//   σ_p + σ_g                          — aggregation overlapped with training
+//   ν   = (σ_p + σ_g) / σ              — efficiency indicator (Eq. 3)
+//
+// plus the global-model staleness the correction factor has to repair.
+// No learning happens here; durations are the object of study, matching the
+// paper's treatment of the pipeline as a timing model.
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "topology/tree.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::core {
+
+struct PipelineConfig {
+  std::size_t rounds = 10;
+  std::size_t flag_level = 1;  // ℓ_F ∈ [0, L-1]
+  double quorum = 1.0;         // φ_ℓ
+
+  /// Duration of one device's local training round (seconds).
+  std::function<double(util::Rng&)> train_duration;
+  /// Aggregation compute time τ'_ℓ at a level (level 0 = the top-level
+  /// global agreement, i.e. τ'_g; CBA levels are configured slower here).
+  std::function<double(std::size_t level, util::Rng&)> agg_duration;
+  /// One-hop upload latency from level l to its parent level.
+  std::function<double(std::size_t level, util::Rng&)> uplink_latency;
+  /// Per-hop dissemination latency of flag/global models (the paper ignores
+  /// this; default 0 reproduces its model).
+  double dissemination_latency = 0.0;
+};
+
+/// Per-round timing decomposition, averaged across bottom clusters where a
+/// quantity is per-cluster (the paper notes σ_w varies per cluster).
+struct RoundTiming {
+  double sigma_w = 0.0;   // mean over bottom clusters
+  double sigma_pg = 0.0;  // σ_p + σ_g (same for all clusters in a round)
+  double sigma = 0.0;     // σ_w + σ_p + σ_g (Eq. 2), mean over clusters
+  double nu = 0.0;        // Eq. 3, mean over clusters
+  double staleness = 0.0; // mean (global arrival − next-round start) per device
+  double t_global = 0.0;  // absolute completion time of this round's θ_G
+};
+
+struct PipelineResult {
+  std::vector<RoundTiming> rounds;
+  double total_time = 0.0;  // completion time of the last global model
+  double mean_nu = 0.0;
+  double mean_staleness = 0.0;
+
+  /// Wall-clock of a fully synchronous (non-pipelined) schedule with the
+  /// same sampled durations — the baseline the pipeline is compared to.
+  double synchronous_time = 0.0;
+};
+
+/// Run the timing simulation.  Throws std::invalid_argument on a bad config
+/// (missing samplers, flag level out of range).
+[[nodiscard]] PipelineResult simulate_pipeline(const topology::HflTree& tree,
+                                               const PipelineConfig& config,
+                                               std::uint64_t seed);
+
+/// Convenience samplers for the Table VIII delay regimes.
+struct DelayRegime {
+  double train_mean = 1.0;       // mean local-training duration
+  double partial_agg = 0.1;      // τ' at intermediate levels
+  double global_agg = 0.1;       // τ'_g at the top
+  double uplink = 0.02;          // per-hop upload latency
+  double jitter = 0.3;           // relative uniform jitter on all durations
+};
+
+[[nodiscard]] PipelineConfig make_pipeline_config(const DelayRegime& regime,
+                                                  std::size_t rounds,
+                                                  std::size_t flag_level,
+                                                  double quorum = 1.0);
+
+}  // namespace abdhfl::core

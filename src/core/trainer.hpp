@@ -1,0 +1,55 @@
+#pragma once
+// Local model training (Algorithm 2's SGD loop).
+//
+// A LocalTrainer wraps a device's shard and a private model instance.  One
+// call to train_round() realizes lines 13-22 of Algorithm 2: load the start
+// parameters (the flag model), run T mini-batch SGD iterations, optionally
+// merging an arriving global model at a given iteration via the correction
+// factor (Eq. 1), and return the flat trained parameters.
+
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/loss.hpp"
+#include "nn/sgd.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::core {
+
+struct MergeEvent {
+  std::vector<float> global_model;  // θ_G arriving mid-training
+  std::size_t at_iteration = 0;     // merge before this local iteration
+  double alpha = 0.5;               // correction factor α
+};
+
+class LocalTrainer {
+ public:
+  LocalTrainer(data::Dataset shard, nn::Mlp model, util::Rng rng);
+
+  /// Run one global round of local training.
+  [[nodiscard]] std::vector<float> train_round(std::span<const float> start_params,
+                                               std::size_t local_iters, std::size_t batch,
+                                               double learning_rate,
+                                               const std::optional<MergeEvent>& merge);
+
+  [[nodiscard]] const data::Dataset& shard() const noexcept { return shard_; }
+  [[nodiscard]] data::Dataset& mutable_shard() noexcept { return shard_; }
+  [[nodiscard]] std::size_t shard_size() const noexcept { return shard_.size(); }
+
+  /// Loss of the most recent train_round (mean over its iterations).
+  [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
+
+ private:
+  data::Dataset shard_;
+  nn::Mlp model_;
+  util::Rng rng_;
+  double last_loss_ = 0.0;
+};
+
+/// Test accuracy of a flat parameter vector, evaluated with a scratch model
+/// of the right architecture.
+[[nodiscard]] double evaluate_params(nn::Mlp& scratch, std::span<const float> params,
+                                     const data::Dataset& test_set);
+
+}  // namespace abdhfl::core

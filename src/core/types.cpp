@@ -1,0 +1,59 @@
+#include "core/types.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abdhfl::core {
+
+SchemeConfig scheme_preset(int id, const std::string& bra_rule, const std::string& cba_rule) {
+  SchemeConfig scheme;
+  LevelScheme bra{AggKind::kBra, bra_rule, 0.25};
+  LevelScheme cba{AggKind::kCba, cba_rule, 0.25};
+  switch (id) {
+    case 1:  // paper's evaluated configuration
+      scheme.partial = bra;
+      scheme.global = cba;
+      return scheme;
+    case 2:
+      scheme.partial = cba;
+      scheme.global = bra;
+      return scheme;
+    case 3:
+      scheme.partial = bra;
+      scheme.global = bra;
+      return scheme;
+    case 4:
+      scheme.partial = cba;
+      scheme.global = cba;
+      return scheme;
+    default:
+      throw std::invalid_argument("scheme_preset: id must be 1..4");
+  }
+}
+
+double compute_alpha(const AlphaPolicy& policy, double flag_fraction, double staleness) {
+  switch (policy.mode) {
+    case AlphaMode::kFixed:
+      return std::clamp(policy.fixed, policy.min, policy.max);
+    case AlphaMode::kRelativeSize:
+      // Large flag coverage -> the stale global model adds little -> small
+      // alpha; small coverage -> the global model is informative -> large.
+      return std::clamp(1.0 - flag_fraction, policy.min, policy.max);
+    case AlphaMode::kLatencyAware:
+      return std::clamp(policy.fixed * std::exp(-staleness / policy.latency_scale),
+                        policy.min, policy.max);
+    case AlphaMode::kPolynomial:
+      return std::clamp(
+          policy.fixed * std::pow(1.0 + std::max(0.0, staleness), -policy.poly_exponent),
+          policy.min, policy.max);
+    case AlphaMode::kHinge: {
+      const double over = staleness - policy.hinge_threshold;
+      const double factor = over <= 0.0 ? 1.0 : 1.0 / (1.0 + policy.hinge_slope * over);
+      return std::clamp(policy.fixed * factor, policy.min, policy.max);
+    }
+  }
+  throw std::logic_error("compute_alpha: unhandled mode");
+}
+
+}  // namespace abdhfl::core

@@ -1,0 +1,94 @@
+#pragma once
+// Shared configuration and result types of the ABD-HFL core.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abdhfl::core {
+
+/// Learning hyper-parameters (Algorithm 2's R, T and the SGD step).
+struct LearnConfig {
+  std::size_t rounds = 30;        // global rounds R
+  std::size_t local_iters = 5;    // local iterations T (paper: 5)
+  std::size_t batch = 32;         // mini-batch per local iteration
+  double learning_rate = 0.1;
+  double lr_decay_gamma = 1.0;    // 1.0 disables step decay
+  std::size_t lr_decay_step = 0;  // rounds per decay step (0 disables)
+};
+
+/// Which of the two aggregation families (Table II) a level uses.
+enum class AggKind { kBra, kCba };
+
+struct LevelScheme {
+  AggKind kind = AggKind::kBra;
+  /// BRA: an aggregator name (make_aggregator); CBA: a consensus protocol
+  /// name (make_consensus).
+  std::string rule = "multikrum";
+  /// Assumed Byzantine fraction for parameterized BRA rules; this is the γ
+  /// the tolerance analysis uses for the level.
+  double byzantine_fraction = 0.25;
+};
+
+/// One of the paper's four scheme combinations (Table III).
+struct SchemeConfig {
+  LevelScheme partial;  // applied at levels 1..L
+  LevelScheme global;   // applied at the top level
+};
+
+/// Table III presets. id in 1..4.
+[[nodiscard]] SchemeConfig scheme_preset(int id, const std::string& bra_rule = "multikrum",
+                                         const std::string& cba_rule = "voting");
+
+/// Correction-factor policy for Eq. 1 (Sec. III-B lists the two drivers:
+/// global-model latency and the relative dataset size of the flag model).
+/// The staleness-discounting modes follow the strategies of the
+/// asynchronous-FL literature the paper builds on (FedAsync, Async-HFL):
+/// exponential, polynomial s(t) = (1+t)^-a, and hinge (full weight below a
+/// staleness threshold, hyperbolic decay beyond it).
+enum class AlphaMode {
+  kFixed,           // constant alpha
+  kRelativeSize,    // alpha = clamp(1 - |D_F| / |D_G|, min, max)
+  kLatencyAware,    // alpha = fixed * exp(-staleness / latency_scale)
+  kPolynomial,      // alpha = fixed * (1 + staleness)^(-poly_exponent)
+  kHinge,           // alpha = fixed while staleness <= hinge_threshold,
+                    // else fixed / (1 + hinge_slope*(staleness - threshold))
+};
+
+struct AlphaPolicy {
+  AlphaMode mode = AlphaMode::kRelativeSize;
+  double fixed = 0.5;
+  double min = 0.05;
+  double max = 1.0;
+  double latency_scale = 1.0;   // simulated-seconds scale for kLatencyAware
+  double poly_exponent = 0.5;   // a in (1+t)^-a for kPolynomial
+  double hinge_threshold = 1.0; // staleness where the hinge starts
+  double hinge_slope = 1.0;     // decay rate past the hinge
+};
+
+[[nodiscard]] double compute_alpha(const AlphaPolicy& policy, double flag_fraction,
+                                   double staleness);
+
+/// Traffic + protocol accounting for one run.
+struct CommStats {
+  std::uint64_t messages = 0;
+  std::uint64_t model_bytes = 0;
+  std::uint64_t consensus_failures = 0;
+
+  CommStats& operator+=(const CommStats& other) {
+    messages += other.messages;
+    model_bytes += other.model_bytes;
+    consensus_failures += other.consensus_failures;
+    return *this;
+  }
+};
+
+/// Result of one training run (ABD-HFL or the vanilla baseline).
+struct RunResult {
+  std::vector<double> accuracy_per_round;  // global-model test accuracy
+  double final_accuracy = 0.0;
+  std::vector<float> final_model;          // flat params of the last θ_G
+  CommStats comm;
+};
+
+}  // namespace abdhfl::core

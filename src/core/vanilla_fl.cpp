@@ -1,0 +1,87 @@
+#include "core/vanilla_fl.hpp"
+
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+#include "nn/sgd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abdhfl::core {
+
+VanillaFl::VanillaFl(std::vector<data::Dataset> shards, data::Dataset test_set,
+                     const nn::Mlp& prototype, VanillaConfig config,
+                     VanillaAttackSetup attack, std::uint64_t seed)
+    : test_set_(std::move(test_set)),
+      scratch_(prototype.clone()),
+      config_(std::move(config)),
+      attack_(std::move(attack)),
+      rng_(seed) {
+  if (shards.empty()) throw std::invalid_argument("VanillaFl: no shards");
+  if (attack_.mask.empty()) attack_.mask.assign(shards.size(), false);
+  if (attack_.mask.size() != shards.size()) {
+    throw std::invalid_argument("VanillaFl: mask size mismatch");
+  }
+  for (std::size_t d = 0; d < shards.size(); ++d) {
+    if (attack_.mask[d] && !attack_.model_attack) {
+      attacks::poison_dataset(shards[d], attack_.poison, rng_);
+    }
+  }
+  trainers_.reserve(shards.size());
+  for (auto& shard : shards) {
+    trainers_.push_back(
+        std::make_unique<LocalTrainer>(std::move(shard), prototype.clone(), rng_.split()));
+  }
+  global_ = scratch_.flatten();
+  rule_ = agg::make_aggregator(config_.rule, config_.byzantine_fraction);
+}
+
+RunResult VanillaFl::run() {
+  RunResult out;
+  const std::size_t n = trainers_.size();
+  const bool model_attacking = static_cast<bool>(attack_.model_attack);
+
+  for (std::size_t round = 0; round < config_.learn.rounds; ++round) {
+    const double lr = nn::step_decay_lr(config_.learn.learning_rate,
+                                        config_.learn.lr_decay_gamma,
+                                        config_.learn.lr_decay_step, round);
+    std::vector<agg::ModelVec> updates(n);
+    auto train_one = [&](std::size_t d) {
+      if (model_attacking && attack_.mask[d]) return;
+      updates[d] = trainers_[d]->train_round(global_, config_.learn.local_iters,
+                                             config_.learn.batch, lr, std::nullopt);
+    };
+    if (config_.parallel_training) {
+      util::global_pool().parallel_for(0, n, train_one);
+    } else {
+      for (std::size_t d = 0; d < n; ++d) train_one(d);
+    }
+
+    if (model_attacking) {
+      std::vector<agg::ModelVec> honest;
+      for (std::size_t d = 0; d < n; ++d) {
+        if (!attack_.mask[d]) honest.push_back(updates[d]);
+      }
+      for (std::size_t d = 0; d < n; ++d) {
+        if (attack_.mask[d]) {
+          const agg::ModelVec& base = honest.empty() ? global_ : honest.front();
+          updates[d] = attack_.model_attack->craft(honest, base, rng_);
+        }
+      }
+    }
+
+    rule_->set_reference(global_);
+    global_ = rule_->aggregate(updates);
+
+    // Star topology traffic: every client uploads, the server broadcasts.
+    out.comm.messages += 2 * n;
+    out.comm.model_bytes += 2 * n * nn::wire_size(global_.size());
+
+    out.accuracy_per_round.push_back(evaluate_params(scratch_, global_, test_set_));
+  }
+  out.final_accuracy =
+      out.accuracy_per_round.empty() ? 0.0 : out.accuracy_per_round.back();
+  out.final_model = global_;
+  return out;
+}
+
+}  // namespace abdhfl::core

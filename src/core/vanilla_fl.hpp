@@ -1,0 +1,51 @@
+#pragma once
+// Vanilla (star-topology) federated learning — the baseline of Table V and
+// Fig. 3.  A single central server collects every client's update each
+// round and applies one aggregation rule (the paper's comparison arms the
+// baseline with the same MultiKrum/Median rule ABD-HFL uses for partial
+// aggregation, so the difference measured is the topology, not the rule).
+
+#include <memory>
+
+#include "agg/aggregator.hpp"
+#include "attacks/data_poison.hpp"
+#include "attacks/model_attack.hpp"
+#include "core/trainer.hpp"
+#include "core/types.hpp"
+#include "topology/byzantine.hpp"
+
+namespace abdhfl::core {
+
+struct VanillaConfig {
+  LearnConfig learn;
+  std::string rule = "multikrum";
+  double byzantine_fraction = 0.25;
+  bool parallel_training = true;
+};
+
+struct VanillaAttackSetup {
+  topology::ByzantineMask mask;
+  attacks::PoisonConfig poison;
+  std::shared_ptr<attacks::ModelAttack> model_attack;
+};
+
+class VanillaFl {
+ public:
+  VanillaFl(std::vector<data::Dataset> shards, data::Dataset test_set,
+            const nn::Mlp& prototype, VanillaConfig config, VanillaAttackSetup attack,
+            std::uint64_t seed);
+
+  [[nodiscard]] RunResult run();
+
+ private:
+  data::Dataset test_set_;
+  nn::Mlp scratch_;
+  VanillaConfig config_;
+  VanillaAttackSetup attack_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<LocalTrainer>> trainers_;
+  std::vector<float> global_;
+  std::unique_ptr<agg::Aggregator> rule_;
+};
+
+}  // namespace abdhfl::core

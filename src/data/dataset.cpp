@@ -1,0 +1,89 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace abdhfl::data {
+
+std::size_t Dataset::num_classes() const noexcept {
+  std::uint8_t mx = 0;
+  for (std::uint8_t l : labels) mx = std::max(mx, l);
+  return labels.empty() ? 0 : static_cast<std::size_t>(mx) + 1;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.features = tensor::Matrix(indices.size(), dim());
+  out.labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= size()) throw std::out_of_range("Dataset::subset index out of range");
+    std::memcpy(out.features.row(i).data(), features.row(src).data(),
+                dim() * sizeof(float));
+    out.labels[i] = labels[src];
+  }
+  return out;
+}
+
+Dataset Dataset::sample_batch(std::size_t batch, util::Rng& rng) const {
+  const std::size_t k = std::min(batch, size());
+  const auto idx = rng.sample_indices(size(), k);
+  return subset(idx);
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  std::vector<std::size_t> perm(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  *this = subset(perm);
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  if (other.dim() != dim()) throw std::invalid_argument("Dataset::append dim mismatch");
+  tensor::Matrix merged(size() + other.size(), dim());
+  std::memcpy(merged.data(), features.data(), size() * dim() * sizeof(float));
+  std::memcpy(merged.data() + size() * dim(), other.features.data(),
+              other.size() * dim() * sizeof(float));
+  features = std::move(merged);
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes(), 0);
+  for (std::uint8_t l : labels) ++hist[l];
+  return hist;
+}
+
+std::vector<std::vector<std::size_t>> Dataset::indices_by_class() const {
+  std::vector<std::vector<std::size_t>> by_class(num_classes());
+  for (std::size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+  return by_class;
+}
+
+void Dataset::validate() const {
+  if (features.rows() != labels.size()) {
+    throw std::logic_error("Dataset: feature rows != label count");
+  }
+}
+
+TrainTestSplit split_train_test(const Dataset& all, double test_fraction, util::Rng& rng) {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    throw std::invalid_argument("test_fraction must be in [0,1]");
+  }
+  std::vector<std::size_t> perm(all.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  const auto n_test = static_cast<std::size_t>(test_fraction * static_cast<double>(all.size()));
+  TrainTestSplit split;
+  split.test = all.subset(std::span(perm).subspan(0, n_test));
+  split.train = all.subset(std::span(perm).subspan(n_test));
+  return split;
+}
+
+}  // namespace abdhfl::data

@@ -1,0 +1,57 @@
+#pragma once
+// In-memory labelled dataset.  One row of `features` per sample, labels are
+// class indices.  Shards handed to simulated devices are Datasets produced
+// by the partitioners in partition.hpp.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::data {
+
+struct Dataset {
+  tensor::Matrix features;          // (n, dim)
+  std::vector<std::uint8_t> labels; // n entries
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return features.cols(); }
+  [[nodiscard]] bool empty() const noexcept { return labels.empty(); }
+
+  /// Number of distinct classes (max label + 1); 0 when empty.
+  [[nodiscard]] std::size_t num_classes() const noexcept;
+
+  /// New dataset containing the given rows, in the given order.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Random mini-batch of `batch` rows (with replacement when batch > n is
+  /// requested it clamps to n distinct rows).
+  [[nodiscard]] Dataset sample_batch(std::size_t batch, util::Rng& rng) const;
+
+  /// In-place row permutation.
+  void shuffle(util::Rng& rng);
+
+  /// Append all rows of other (dims must match).
+  void append(const Dataset& other);
+
+  /// Per-class sample counts, indexed by label (size = num_classes()).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Indices of samples with each label.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> indices_by_class() const;
+
+  /// Consistency check: labels size matches feature rows.  Throws if not.
+  void validate() const;
+};
+
+/// Split into train/test by fraction (deterministic under rng).
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+[[nodiscard]] TrainTestSplit split_train_test(const Dataset& all, double test_fraction,
+                                              util::Rng& rng);
+
+}  // namespace abdhfl::data

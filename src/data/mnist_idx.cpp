@@ -1,0 +1,79 @@
+#include "data/mnist_idx.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace abdhfl::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  std::uint8_t b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("IDX: truncated header");
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+std::vector<std::uint8_t> read_payload(std::istream& in, std::size_t n) {
+  std::vector<std::uint8_t> bytes(n);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("IDX: truncated payload");
+  return bytes;
+}
+
+}  // namespace
+
+Dataset load_idx_pair(const std::string& images_path, const std::string& labels_path) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) throw std::runtime_error("cannot open " + images_path);
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) throw std::runtime_error("cannot open " + labels_path);
+
+  if (read_be32(images) != 0x00000803U) throw std::runtime_error("not an IDX3 image file");
+  const std::uint32_t n_images = read_be32(images);
+  const std::uint32_t rows = read_be32(images);
+  const std::uint32_t cols = read_be32(images);
+
+  if (read_be32(labels) != 0x00000801U) throw std::runtime_error("not an IDX1 label file");
+  const std::uint32_t n_labels = read_be32(labels);
+  if (n_images != n_labels) throw std::runtime_error("IDX image/label count mismatch");
+
+  const std::size_t dim = static_cast<std::size_t>(rows) * cols;
+  const auto pixels = read_payload(images, static_cast<std::size_t>(n_images) * dim);
+  const auto raw_labels = read_payload(labels, n_labels);
+
+  Dataset out;
+  out.features = tensor::Matrix(n_images, dim);
+  out.labels.resize(n_labels);
+  for (std::size_t i = 0; i < n_images; ++i) {
+    auto row = out.features.row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(pixels[i * dim + j]) / 255.0f;
+    }
+    if (raw_labels[i] > 9) throw std::runtime_error("IDX label out of range");
+    out.labels[i] = raw_labels[i];
+  }
+  return out;
+}
+
+std::optional<MnistData> load_mnist_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path base(dir);
+  const fs::path train_images = base / "train-images-idx3-ubyte";
+  const fs::path train_labels = base / "train-labels-idx1-ubyte";
+  const fs::path test_images = base / "t10k-images-idx3-ubyte";
+  const fs::path test_labels = base / "t10k-labels-idx1-ubyte";
+  for (const auto& p : {train_images, train_labels, test_images, test_labels}) {
+    if (!fs::exists(p)) return std::nullopt;
+  }
+  MnistData data;
+  data.train = load_idx_pair(train_images.string(), train_labels.string());
+  data.test = load_idx_pair(test_images.string(), test_labels.string());
+  return data;
+}
+
+}  // namespace abdhfl::data

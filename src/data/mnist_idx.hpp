@@ -1,0 +1,29 @@
+#pragma once
+// Loader for the IDX file format used by the original MNIST distribution
+// (LeCun et al.).  When the four standard files are present in a directory,
+// every experiment binary can be pointed at the real dataset via
+// --mnist-dir; otherwise the synthetic generator is used.
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace abdhfl::data {
+
+/// Load an IDX3 image file + IDX1 label file pair.  Pixels are scaled to
+/// [0,1].  Throws std::runtime_error on malformed files.
+[[nodiscard]] Dataset load_idx_pair(const std::string& images_path,
+                                    const std::string& labels_path);
+
+struct MnistData {
+  Dataset train;
+  Dataset test;
+};
+
+/// Load train-images-idx3-ubyte / train-labels-idx1-ubyte /
+/// t10k-images-idx3-ubyte / t10k-labels-idx1-ubyte from `dir`.
+/// Returns nullopt if any file is missing (caller falls back to synth).
+[[nodiscard]] std::optional<MnistData> load_mnist_dir(const std::string& dir);
+
+}  // namespace abdhfl::data

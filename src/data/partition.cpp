@@ -1,0 +1,163 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace abdhfl::data {
+
+std::vector<Dataset> partition_iid(const Dataset& all, std::size_t clients, util::Rng& rng) {
+  if (clients == 0) throw std::invalid_argument("partition_iid: zero clients");
+  // Per Appendix D.A: shuffle each label's samples, then deal them out so
+  // every client sees every class in roughly the original proportions.
+  auto by_class = all.indices_by_class();
+  std::vector<std::vector<std::size_t>> shard_indices(clients);
+  std::size_t next_client = 0;
+  for (auto& class_indices : by_class) {
+    rng.shuffle(class_indices);
+    for (std::size_t idx : class_indices) {
+      shard_indices[next_client].push_back(idx);
+      next_client = (next_client + 1) % clients;
+    }
+  }
+  std::vector<Dataset> shards;
+  shards.reserve(clients);
+  for (auto& indices : shard_indices) {
+    rng.shuffle(indices);
+    shards.push_back(all.subset(indices));
+  }
+  return shards;
+}
+
+std::vector<Dataset> partition_noniid(const Dataset& all, const NonIidConfig& config,
+                                      util::Rng& rng) {
+  const std::size_t clients = config.clients;
+  const std::size_t lpc = config.labels_per_client;
+  const std::size_t classes = all.num_classes();
+  if (clients == 0 || lpc == 0) throw std::invalid_argument("partition_noniid: bad config");
+  if (!config.must_cover_clients.empty() &&
+      config.must_cover_clients.size() * lpc < classes) {
+    throw std::invalid_argument(
+        "partition_noniid: covering clients have too few label slots to span all classes");
+  }
+  for (std::size_t c : config.must_cover_clients) {
+    if (c >= clients) throw std::invalid_argument("partition_noniid: covering client out of range");
+  }
+
+  // --- Step 1: decide which labels each client holds. -----------------------
+  // Balanced slot budget per label.
+  const std::size_t total_slots = clients * lpc;
+  std::vector<std::size_t> remaining(classes, total_slots / classes);
+  for (std::size_t l = 0; l < total_slots % classes; ++l) ++remaining[l];
+
+  std::vector<std::vector<std::uint8_t>> held(clients);
+  auto has_label = [&](std::size_t c, std::uint8_t l) {
+    return std::find(held[c].begin(), held[c].end(), l) != held[c].end();
+  };
+
+  // Coverage pre-pass: walk labels and pin each onto a covering client, so
+  // the honest cohort spans all classes no matter what the random fill does.
+  if (!config.must_cover_clients.empty()) {
+    std::size_t cursor = 0;
+    for (std::size_t l = 0; l < classes; ++l) {
+      const auto label = static_cast<std::uint8_t>(l);
+      bool placed = false;
+      for (std::size_t tries = 0; tries < config.must_cover_clients.size(); ++tries) {
+        const std::size_t c = config.must_cover_clients[cursor];
+        cursor = (cursor + 1) % config.must_cover_clients.size();
+        if (held[c].size() < lpc && !has_label(c, label) && remaining[l] > 0) {
+          held[c].push_back(label);
+          --remaining[l];
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        throw std::logic_error("partition_noniid: could not satisfy label coverage");
+      }
+    }
+  }
+
+  // Random fill: clients in random order repeatedly take the most plentiful
+  // label they do not already hold (ties broken by label id after a shuffle
+  // of inspection order via rng).
+  std::vector<std::size_t> order(clients);
+  for (std::size_t i = 0; i < clients; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t c : order) {
+    while (held[c].size() < lpc) {
+      std::size_t best = classes;  // sentinel
+      for (std::size_t l = 0; l < classes; ++l) {
+        if (remaining[l] == 0) continue;
+        if (has_label(c, static_cast<std::uint8_t>(l))) continue;
+        if (best == classes || remaining[l] > remaining[best]) best = l;
+      }
+      if (best == classes) {
+        // Every label with budget left is already held; allow a duplicate
+        // slot (the client simply gets a double share of that label).
+        for (std::size_t l = 0; l < classes; ++l) {
+          if (remaining[l] > 0) {
+            best = l;
+            break;
+          }
+        }
+      }
+      if (best == classes) {
+        throw std::logic_error("partition_noniid: slot budget exhausted early");
+      }
+      held[c].push_back(static_cast<std::uint8_t>(best));
+      --remaining[best];
+    }
+  }
+
+  // --- Step 2: split each label's samples across its slot holders. ----------
+  auto by_class = all.indices_by_class();
+  std::vector<std::vector<std::size_t>> shard_indices(clients);
+  for (std::size_t l = 0; l < classes; ++l) {
+    std::vector<std::size_t> holders;  // a client appears once per slot
+    for (std::size_t c = 0; c < clients; ++c) {
+      for (std::uint8_t hl : held[c]) {
+        if (hl == l) holders.push_back(c);
+      }
+    }
+    if (holders.empty()) continue;  // label unused (possible if classes > slots)
+    auto& indices = by_class[l];
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      shard_indices[holders[i % holders.size()]].push_back(indices[i]);
+    }
+  }
+
+  std::vector<Dataset> shards;
+  shards.reserve(clients);
+  for (auto& indices : shard_indices) {
+    rng.shuffle(indices);
+    shards.push_back(all.subset(indices));
+  }
+  return shards;
+}
+
+std::vector<std::vector<std::uint8_t>> shard_label_sets(const std::vector<Dataset>& shards) {
+  std::vector<std::vector<std::uint8_t>> sets;
+  sets.reserve(shards.size());
+  for (const auto& shard : shards) {
+    std::set<std::uint8_t> labels(shard.labels.begin(), shard.labels.end());
+    sets.emplace_back(labels.begin(), labels.end());
+  }
+  return sets;
+}
+
+bool shards_cover_all_labels(const std::vector<Dataset>& shards,
+                             const std::vector<std::size_t>& which, std::size_t classes) {
+  std::set<std::uint8_t> seen;
+  for (std::size_t idx : which) {
+    if (idx >= shards.size()) throw std::out_of_range("shards_cover_all_labels: bad index");
+    seen.insert(shards[idx].labels.begin(), shards[idx].labels.end());
+  }
+  for (std::size_t l = 0; l < classes; ++l) {
+    if (!seen.contains(static_cast<std::uint8_t>(l))) return false;
+  }
+  return true;
+}
+
+}  // namespace abdhfl::data

@@ -1,0 +1,49 @@
+#pragma once
+// Client data partitioners reproducing the two distributions of the paper's
+// Appendix D.A:
+//
+//  * IID — every label's samples are shuffled and dealt equally to all
+//    clients, so each client sees all ten classes.
+//  * Extreme non-IID — equal shard sizes but each client holds only
+//    `labels_per_client` (2 in the paper) classes, with the assignment
+//    constructed so that any designated "honest" subset of clients still
+//    covers all labels ("a special design is set in the code to ensure that
+//    honest participants as a whole cover all ten labels").
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::data {
+
+/// Equal-size IID shards; all samples are used (remainder spread over the
+/// first shards).
+[[nodiscard]] std::vector<Dataset> partition_iid(const Dataset& all, std::size_t clients,
+                                                 util::Rng& rng);
+
+struct NonIidConfig {
+  std::size_t clients = 64;
+  std::size_t labels_per_client = 2;
+  /// Client indices guaranteed to jointly cover every label.  The harness
+  /// passes the honest clients here, matching the paper's special design.
+  std::vector<std::size_t> must_cover_clients;
+};
+
+/// Extreme non-IID shards per the paper's setup.  Throws if the coverage
+/// guarantee is impossible (too few covering clients for the class count).
+[[nodiscard]] std::vector<Dataset> partition_noniid(const Dataset& all,
+                                                    const NonIidConfig& config,
+                                                    util::Rng& rng);
+
+/// Label sets actually present in each shard (for tests / diagnostics).
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> shard_label_sets(
+    const std::vector<Dataset>& shards);
+
+/// True when the union of the given shards' labels covers [0, classes).
+[[nodiscard]] bool shards_cover_all_labels(const std::vector<Dataset>& shards,
+                                           const std::vector<std::size_t>& which,
+                                           std::size_t classes);
+
+}  // namespace abdhfl::data

@@ -1,0 +1,120 @@
+#include "data/synth_digits.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace abdhfl::data {
+
+namespace {
+
+// Segment endpoints in a normalized [0,1]^2 box (x right, y down):
+//   A: top bar, B: top-right, C: bottom-right, D: bottom bar,
+//   E: bottom-left, F: top-left, G: middle bar.
+struct Segment {
+  double x0, y0, x1, y1;
+};
+
+constexpr std::array<Segment, 7> kSegments = {{
+    {0.2, 0.1, 0.8, 0.1},  // A
+    {0.8, 0.1, 0.8, 0.5},  // B
+    {0.8, 0.5, 0.8, 0.9},  // C
+    {0.2, 0.9, 0.8, 0.9},  // D
+    {0.2, 0.5, 0.2, 0.9},  // E
+    {0.2, 0.1, 0.2, 0.5},  // F
+    {0.2, 0.5, 0.8, 0.5},  // G
+}};
+
+double point_segment_distance(double px, double py, const Segment& s) noexcept {
+  const double vx = s.x1 - s.x0, vy = s.y1 - s.y0;
+  const double wx = px - s.x0, wy = py - s.y0;
+  const double len2 = vx * vx + vy * vy;
+  double t = len2 > 0.0 ? (wx * vx + wy * vy) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = px - (s.x0 + t * vx);
+  const double dy = py - (s.y0 + t * vy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+std::uint8_t segment_mask(std::uint8_t digit) noexcept {
+  // Bits: A=1, B=2, C=4, D=8, E=16, F=32, G=64.
+  constexpr std::array<std::uint8_t, 10> masks = {{
+      0b0111111,  // 0: ABCDEF
+      0b0000110,  // 1: BC
+      0b1011011,  // 2: ABDEG
+      0b1001111,  // 3: ABCDG
+      0b1100110,  // 4: BCFG
+      0b1101101,  // 5: ACDFG
+      0b1111101,  // 6: ACDEFG
+      0b0000111,  // 7: ABC
+      0b1111111,  // 8: all
+      0b1101111,  // 9: ABCDFG
+  }};
+  return digit < 10 ? masks[digit] : 0;
+}
+
+std::vector<float> render_digit(std::uint8_t digit, std::size_t side, double thickness,
+                                double dx, double dy) {
+  if (digit > 9) throw std::invalid_argument("digit must be 0-9");
+  if (side < 4) throw std::invalid_argument("side must be >= 4");
+  const std::uint8_t mask = segment_mask(digit);
+  const double half_width = thickness / static_cast<double>(side);
+  std::vector<float> image(side * side, 0.0f);
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      // Pixel center in normalized box coordinates, after inverse shift.
+      const double px = (static_cast<double>(x) + 0.5 - dx) / static_cast<double>(side);
+      const double py = (static_cast<double>(y) + 0.5 - dy) / static_cast<double>(side);
+      double best = 1e9;
+      for (std::size_t s = 0; s < kSegments.size(); ++s) {
+        if ((mask >> s) & 1U) {
+          best = std::min(best, point_segment_distance(px, py, kSegments[s]));
+        }
+      }
+      // Soft stroke edge: full intensity inside half_width, linear falloff
+      // over another half_width (anti-aliased strokes train better).
+      double v = 0.0;
+      if (best <= half_width) {
+        v = 1.0;
+      } else if (best <= 2.0 * half_width) {
+        v = 1.0 - (best - half_width) / half_width;
+      }
+      image[y * side + x] = static_cast<float>(v);
+    }
+  }
+  return image;
+}
+
+Dataset generate_synth_digits(const SynthConfig& config, util::Rng& rng) {
+  const std::size_t n = 10 * config.samples_per_class;
+  const std::size_t dim = config.side * config.side;
+  Dataset out;
+  out.features = tensor::Matrix(n, dim);
+  out.labels.resize(n);
+
+  std::size_t row = 0;
+  for (std::uint8_t digit = 0; digit < 10; ++digit) {
+    for (std::size_t k = 0; k < config.samples_per_class; ++k, ++row) {
+      const double dx = rng.uniform(-config.max_shift, config.max_shift);
+      const double dy = rng.uniform(-config.max_shift, config.max_shift);
+      const double thick =
+          config.thickness * rng.uniform(0.8, 1.2);
+      auto image = render_digit(digit, config.side, thick, dx, dy);
+      const double gain = 1.0 + rng.uniform(-config.intensity_jitter,
+                                            config.intensity_jitter);
+      auto dst = out.features.row(row);
+      for (std::size_t i = 0; i < dim; ++i) {
+        double v = gain * image[i] + rng.normal(0.0, config.noise_stddev);
+        dst[i] = static_cast<float>(std::clamp(v, 0.0, 1.0));
+      }
+      out.labels[row] = digit;
+    }
+  }
+  out.shuffle(rng);
+  return out;
+}
+
+}  // namespace abdhfl::data

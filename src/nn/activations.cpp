@@ -1,0 +1,41 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+namespace abdhfl::nn {
+
+tensor::Matrix ReLU::forward(const tensor::Matrix& x) {
+  cached_input_ = x;
+  tensor::Matrix out = x;
+  for (float& v : out.flat()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return out;
+}
+
+tensor::Matrix ReLU::backward(const tensor::Matrix& grad_out) {
+  tensor::Matrix grad_in = grad_out;
+  auto in = cached_input_.flat();
+  auto g = grad_in.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+tensor::Matrix Tanh::forward(const tensor::Matrix& x) {
+  tensor::Matrix out = x;
+  for (float& v : out.flat()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+tensor::Matrix Tanh::backward(const tensor::Matrix& grad_out) {
+  tensor::Matrix grad_in = grad_out;
+  auto y = cached_output_.flat();
+  auto g = grad_in.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad_in;
+}
+
+}  // namespace abdhfl::nn

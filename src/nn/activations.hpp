@@ -1,0 +1,37 @@
+#pragma once
+// Stateless elementwise activation layers.
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace abdhfl::nn {
+
+class ReLU final : public Layer {
+ public:
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>();
+  }
+
+ private:
+  tensor::Matrix cached_input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Tanh>();
+  }
+
+ private:
+  tensor::Matrix cached_output_;
+};
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,195 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/mlp.hpp"
+
+namespace abdhfl::nn {
+
+Conv2d::Conv2d(const Conv2dShape& shape, util::Rng& rng)
+    : shape_(shape),
+      weight_(shape.out_channels, shape.in_channels * shape.kernel * shape.kernel),
+      bias_(1, shape.out_channels, 0.0f),
+      grad_weight_(weight_.rows(), weight_.cols(), 0.0f),
+      grad_bias_(1, shape.out_channels, 0.0f) {
+  if (shape.kernel == 0 || shape.kernel > shape.height || shape.kernel > shape.width) {
+    throw std::invalid_argument("Conv2d: kernel does not fit the input");
+  }
+  // He-uniform over the receptive field.
+  const double fan_in =
+      static_cast<double>(shape.in_channels * shape.kernel * shape.kernel);
+  const double limit = std::sqrt(6.0 / fan_in);
+  for (float& v : weight_.flat()) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+tensor::Matrix Conv2d::forward(const tensor::Matrix& x) {
+  if (x.cols() != shape_.in_features()) {
+    throw std::invalid_argument("Conv2d: input feature size mismatch");
+  }
+  cached_input_ = x;
+  const std::size_t batch = x.rows();
+  const std::size_t oh = shape_.out_height(), ow = shape_.out_width();
+  const std::size_t k = shape_.kernel;
+  tensor::Matrix out(batch, shape_.out_features());
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* in = x.data() + b * x.cols();
+    float* o = out.data() + b * out.cols();
+    for (std::size_t oc = 0; oc < shape_.out_channels; ++oc) {
+      const float* w = weight_.data() + oc * weight_.cols();
+      const float bias = bias_.flat()[oc];
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t xpos = 0; xpos < ow; ++xpos) {
+          float acc = bias;
+          std::size_t wi = 0;
+          for (std::size_t ic = 0; ic < shape_.in_channels; ++ic) {
+            const float* plane = in + ic * shape_.height * shape_.width;
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const float* row = plane + (y + ky) * shape_.width + xpos;
+              for (std::size_t kx = 0; kx < k; ++kx) acc += w[wi++] * row[kx];
+            }
+          }
+          o[oc * oh * ow + y * ow + xpos] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Matrix Conv2d::backward(const tensor::Matrix& grad_out) {
+  const std::size_t batch = cached_input_.rows();
+  const std::size_t oh = shape_.out_height(), ow = shape_.out_width();
+  const std::size_t k = shape_.kernel;
+  grad_weight_.fill(0.0f);
+  grad_bias_.fill(0.0f);
+  tensor::Matrix grad_in(batch, shape_.in_features(), 0.0f);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* in = cached_input_.data() + b * cached_input_.cols();
+    const float* go = grad_out.data() + b * grad_out.cols();
+    float* gi = grad_in.data() + b * grad_in.cols();
+    for (std::size_t oc = 0; oc < shape_.out_channels; ++oc) {
+      float* gw = grad_weight_.data() + oc * grad_weight_.cols();
+      const float* w = weight_.data() + oc * weight_.cols();
+      float gb = 0.0f;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t xpos = 0; xpos < ow; ++xpos) {
+          const float g = go[oc * oh * ow + y * ow + xpos];
+          if (g == 0.0f) continue;
+          gb += g;
+          std::size_t wi = 0;
+          for (std::size_t ic = 0; ic < shape_.in_channels; ++ic) {
+            const float* plane = in + ic * shape_.height * shape_.width;
+            float* gplane = gi + ic * shape_.height * shape_.width;
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const float* row = plane + (y + ky) * shape_.width + xpos;
+              float* grow = gplane + (y + ky) * shape_.width + xpos;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                gw[wi] += g * row[kx];
+                grow[kx] += g * w[wi];
+                ++wi;
+              }
+            }
+          }
+        }
+      }
+      grad_bias_.flat()[oc] += gb;
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  return {{&weight_, &grad_weight_}, {&bias_, &grad_bias_}};
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  auto copy = std::unique_ptr<Conv2d>(new Conv2d());
+  copy->shape_ = shape_;
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  copy->grad_weight_ = tensor::Matrix(weight_.rows(), weight_.cols(), 0.0f);
+  copy->grad_bias_ = tensor::Matrix(bias_.rows(), bias_.cols(), 0.0f);
+  return copy;
+}
+
+MaxPool2x2::MaxPool2x2(std::size_t channels, std::size_t height, std::size_t width)
+    : channels_(channels), height_(height), width_(width) {
+  if (height % 2 != 0 || width % 2 != 0) {
+    throw std::invalid_argument("MaxPool2x2: spatial dims must be even");
+  }
+}
+
+tensor::Matrix MaxPool2x2::forward(const tensor::Matrix& x) {
+  if (x.cols() != channels_ * height_ * width_) {
+    throw std::invalid_argument("MaxPool2x2: input feature size mismatch");
+  }
+  const std::size_t batch = x.rows();
+  const std::size_t oh = height_ / 2, ow = width_ / 2;
+  tensor::Matrix out(batch, channels_ * oh * ow);
+  cached_batch_ = batch;
+  argmax_.assign(batch * out.cols(), 0);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* in = x.data() + b * x.cols();
+    float* o = out.data() + b * out.cols();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* plane = in + c * height_ * width_;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t xp = 0; xp < ow; ++xp) {
+          const std::size_t base = (2 * y) * width_ + 2 * xp;
+          std::size_t best = base;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t idx = base + dy * width_ + dx;
+              if (plane[idx] > plane[best]) best = idx;
+            }
+          }
+          const std::size_t out_idx = c * oh * ow + y * ow + xp;
+          o[out_idx] = plane[best];
+          argmax_[b * out.cols() + out_idx] = c * height_ * width_ + best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Matrix MaxPool2x2::backward(const tensor::Matrix& grad_out) {
+  tensor::Matrix grad_in(cached_batch_, channels_ * height_ * width_, 0.0f);
+  for (std::size_t b = 0; b < cached_batch_; ++b) {
+    const float* go = grad_out.data() + b * grad_out.cols();
+    float* gi = grad_in.data() + b * grad_in.cols();
+    for (std::size_t i = 0; i < grad_out.cols(); ++i) {
+      gi[argmax_[b * grad_out.cols() + i]] += go[i];
+    }
+  }
+  return grad_in;
+}
+
+Mlp make_cnn(std::size_t side, std::size_t filters, std::size_t classes,
+             util::Rng& rng) {
+  Conv2dShape shape;
+  shape.in_channels = 1;
+  shape.height = side;
+  shape.width = side;
+  shape.out_channels = filters;
+  shape.kernel = 3;
+  if (shape.out_height() % 2 != 0 || shape.out_width() % 2 != 0) {
+    throw std::invalid_argument("make_cnn: (side - 2) must be even for the 2x2 pool");
+  }
+  Mlp net;
+  net.add(std::make_unique<Conv2d>(shape, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2x2>(filters, shape.out_height(), shape.out_width()));
+  const std::size_t pooled =
+      filters * (shape.out_height() / 2) * (shape.out_width() / 2);
+  net.add(std::make_unique<Dense>(pooled, classes, rng));
+  return net;
+}
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,85 @@
+#pragma once
+// 2-D convolution and max-pooling layers.
+//
+// The paper's evaluation uses a small DNN; these layers extend the
+// substrate to the CNN classifiers typically used on MNIST-scale images so
+// full-fidelity reruns don't change any aggregation code — models still
+// flatten to the parameter vectors the FL machinery exchanges.
+//
+// Tensors stay in the MLP's row-major (batch, features) layout with
+// features = channels * height * width, channel-major.  Convolutions are
+// direct (no im2col): at the sizes this repo trains, loop nests beat the
+// copy overhead.  Valid padding, stride 1.
+
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::nn {
+
+struct Conv2dShape {
+  std::size_t in_channels = 1;
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t out_channels = 4;
+  std::size_t kernel = 3;
+
+  [[nodiscard]] std::size_t out_height() const noexcept { return height - kernel + 1; }
+  [[nodiscard]] std::size_t out_width() const noexcept { return width - kernel + 1; }
+  [[nodiscard]] std::size_t in_features() const noexcept {
+    return in_channels * height * width;
+  }
+  [[nodiscard]] std::size_t out_features() const noexcept {
+    return out_channels * out_height() * out_width();
+  }
+};
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(const Conv2dShape& shape, util::Rng& rng);
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] const Conv2dShape& shape() const noexcept { return shape_; }
+
+ private:
+  Conv2d() = default;
+
+  Conv2dShape shape_;
+  tensor::Matrix weight_;       // (out_c, in_c * k * k)
+  tensor::Matrix bias_;         // (1, out_c)
+  tensor::Matrix grad_weight_;
+  tensor::Matrix grad_bias_;
+  tensor::Matrix cached_input_;
+};
+
+/// 2x2 max pooling with stride 2 (even spatial dims required).
+class MaxPool2x2 final : public Layer {
+ public:
+  MaxPool2x2(std::size_t channels, std::size_t height, std::size_t width);
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2x2"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2x2>(channels_, height_, width_);
+  }
+
+ private:
+  std::size_t channels_, height_, width_;
+  std::vector<std::size_t> argmax_;  // per output element of the last forward
+  std::size_t cached_batch_ = 0;
+};
+
+/// conv(1->filters, 3x3) + ReLU + maxpool 2x2 + dense(classes), for square
+/// side x side single-channel inputs.
+[[nodiscard]] Mlp make_cnn(std::size_t side, std::size_t filters, std::size_t classes,
+                           util::Rng& rng);
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,43 @@
+#include "nn/dense.hpp"
+
+namespace abdhfl::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, util::Rng& rng)
+    : weight_(in, out),
+      bias_(1, out, 0.0f),
+      grad_weight_(in, out, 0.0f),
+      grad_bias_(1, out, 0.0f) {
+  weight_.init_he_uniform(rng);
+}
+
+tensor::Matrix Dense::forward(const tensor::Matrix& x) {
+  cached_input_ = x;
+  tensor::Matrix out;
+  tensor::gemm(x, weight_, out);
+  tensor::add_row_broadcast(out, bias_.flat());
+  return out;
+}
+
+tensor::Matrix Dense::backward(const tensor::Matrix& grad_out) {
+  // dW = x^T * grad_out ; db = column sums of grad_out ; dx = grad_out * W^T.
+  tensor::gemm_tn(cached_input_, grad_out, grad_weight_);
+  tensor::column_sums(grad_out, grad_bias_.flat());
+  tensor::Matrix grad_in;
+  tensor::gemm_nt(grad_out, weight_, grad_in);
+  return grad_in;
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{&weight_, &grad_weight_}, {&bias_, &grad_bias_}};
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::unique_ptr<Dense>(new Dense());
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  copy->grad_weight_ = tensor::Matrix(weight_.rows(), weight_.cols(), 0.0f);
+  copy->grad_bias_ = tensor::Matrix(bias_.rows(), bias_.cols(), 0.0f);
+  return copy;
+}
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,38 @@
+#pragma once
+// Fully connected layer: y = x W + b, weights stored (in, out).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, util::Rng& rng);
+
+  tensor::Matrix forward(const tensor::Matrix& x) override;
+  tensor::Matrix backward(const tensor::Matrix& grad_out) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return weight_.rows(); }
+  [[nodiscard]] std::size_t out_features() const noexcept { return weight_.cols(); }
+  [[nodiscard]] const tensor::Matrix& weight() const noexcept { return weight_; }
+  [[nodiscard]] const tensor::Matrix& bias() const noexcept { return bias_; }
+
+ private:
+  Dense() = default;  // for clone
+
+  tensor::Matrix weight_;       // (in, out)
+  tensor::Matrix bias_;         // (1, out)
+  tensor::Matrix grad_weight_;  // same shape as weight_
+  tensor::Matrix grad_bias_;    // same shape as bias_
+  tensor::Matrix cached_input_;
+};
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,43 @@
+#pragma once
+// Layer interface for the MLP substrate.
+//
+// Layers process mini-batches stored as row-major matrices (one sample per
+// row).  backward() receives dLoss/dOutput, accumulates parameter gradients
+// internally, and returns dLoss/dInput.  Parameters are exposed as
+// (value, gradient) matrix pairs so optimizers and the flatten/unflatten
+// bridge to federated aggregation can traverse any architecture uniformly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace abdhfl::nn {
+
+struct ParamRef {
+  tensor::Matrix* value = nullptr;
+  tensor::Matrix* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// x: (batch, in) -> (batch, out).  Must cache whatever backward needs.
+  virtual tensor::Matrix forward(const tensor::Matrix& x) = 0;
+
+  /// grad_out: dLoss/dOutput of the most recent forward.  Returns
+  /// dLoss/dInput and *overwrites* this layer's parameter gradients.
+  virtual tensor::Matrix backward(const tensor::Matrix& grad_out) = 0;
+
+  /// Parameter/gradient pairs; empty for stateless layers.
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (parameters included, cached activations excluded).
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace abdhfl::nn

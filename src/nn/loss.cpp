@@ -1,0 +1,67 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace abdhfl::nn {
+
+tensor::Matrix softmax(const tensor::Matrix& logits) {
+  tensor::Matrix probs = logits;
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    auto row = probs.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (float& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (float& v : row) v *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const tensor::Matrix& logits,
+                                 std::span<const std::uint8_t> labels) {
+  assert(labels.size() == logits.rows());
+  const std::size_t batch = logits.rows();
+  LossResult result;
+  result.grad = softmax(logits);
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto row = result.grad.row(r);
+    const std::uint8_t y = labels[r];
+    assert(y < row.size());
+    // p was clamped below by softmax normalization; clamp against log(0).
+    loss -= std::log(std::max(row[y], 1e-12f));
+    row[y] -= 1.0f;
+    for (float& v : row) v *= inv_batch;
+  }
+  result.loss = loss / static_cast<double>(batch);
+  return result;
+}
+
+std::vector<std::uint8_t> predict(const tensor::Matrix& logits) {
+  std::vector<std::uint8_t> out(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto row = logits.row(r);
+    out[r] = static_cast<std::uint8_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+double accuracy(const tensor::Matrix& logits, std::span<const std::uint8_t> labels) {
+  assert(labels.size() == logits.rows());
+  if (logits.rows() == 0) return 0.0;
+  const auto preds = predict(logits);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,32 @@
+#pragma once
+// Softmax + cross-entropy, fused for numerical stability, plus the accuracy
+// metric the experiments report.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace abdhfl::nn {
+
+struct LossResult {
+  double loss = 0.0;            // mean cross-entropy over the batch
+  tensor::Matrix grad;          // dLoss/dLogits, already divided by batch
+};
+
+/// logits: (batch, classes); labels: batch class indices.
+[[nodiscard]] LossResult softmax_cross_entropy(const tensor::Matrix& logits,
+                                               std::span<const std::uint8_t> labels);
+
+/// Row-wise softmax probabilities (allocates).
+[[nodiscard]] tensor::Matrix softmax(const tensor::Matrix& logits);
+
+/// argmax per row.
+[[nodiscard]] std::vector<std::uint8_t> predict(const tensor::Matrix& logits);
+
+/// Fraction of rows whose argmax matches the label.
+[[nodiscard]] double accuracy(const tensor::Matrix& logits,
+                              std::span<const std::uint8_t> labels);
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,88 @@
+#include "nn/mlp.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+
+namespace abdhfl::nn {
+
+tensor::Matrix Mlp::forward(const tensor::Matrix& x) {
+  tensor::Matrix h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+void Mlp::backward(const tensor::Matrix& grad) {
+  tensor::Matrix g = grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+std::vector<ParamRef> Mlp::params() const {
+  std::vector<ParamRef> refs;
+  for (const auto& layer : layers_) {
+    for (auto ref : layer->params()) refs.push_back(ref);
+  }
+  return refs;
+}
+
+std::size_t Mlp::param_count() const {
+  std::size_t n = 0;
+  for (auto ref : params()) n += ref.value->size();
+  return n;
+}
+
+std::vector<float> Mlp::flatten() const {
+  std::vector<float> out;
+  out.reserve(param_count());
+  for (auto ref : params()) {
+    auto flat = ref.value->flat();
+    out.insert(out.end(), flat.begin(), flat.end());
+  }
+  return out;
+}
+
+void Mlp::unflatten(std::span<const float> flat) {
+  if (flat.size() != param_count()) {
+    throw std::invalid_argument("unflatten: expected " + std::to_string(param_count()) +
+                                " params, got " + std::to_string(flat.size()));
+  }
+  std::size_t offset = 0;
+  for (auto ref : params()) {
+    auto dst = ref.value->flat();
+    std::memcpy(dst.data(), flat.data() + offset, dst.size() * sizeof(float));
+    offset += dst.size();
+  }
+}
+
+std::vector<float> Mlp::flatten_grads() const {
+  std::vector<float> out;
+  out.reserve(param_count());
+  for (auto ref : params()) {
+    auto flat = ref.grad->flat();
+    out.insert(out.end(), flat.begin(), flat.end());
+  }
+  return out;
+}
+
+Mlp Mlp::clone() const {
+  Mlp copy;
+  for (const auto& layer : layers_) copy.add(layer->clone());
+  return copy;
+}
+
+Mlp make_mlp(std::size_t input, const std::vector<std::size_t>& hidden,
+             std::size_t classes, util::Rng& rng) {
+  Mlp mlp;
+  std::size_t prev = input;
+  for (std::size_t width : hidden) {
+    mlp.add(std::make_unique<Dense>(prev, width, rng));
+    mlp.add(std::make_unique<ReLU>());
+    prev = width;
+  }
+  mlp.add(std::make_unique<Dense>(prev, classes, rng));
+  return mlp;
+}
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,58 @@
+#pragma once
+// Sequential MLP container and the flatten/unflatten bridge between model
+// parameters and the flat float vectors exchanged by federated-learning
+// nodes.  Every aggregation rule and every consensus protocol in this repo
+// consumes the output of Mlp::flatten().
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::nn {
+
+class Mlp {
+ public:
+  Mlp() = default;
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Forward pass over a mini-batch; returns logits.
+  [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x);
+
+  /// Backward pass; grad is dLoss/dLogits.  Overwrites layer gradients.
+  void backward(const tensor::Matrix& grad);
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] std::size_t param_count() const;
+
+  /// Copy all parameters into one flat vector (layer order, row-major).
+  [[nodiscard]] std::vector<float> flatten() const;
+
+  /// Load parameters from a flat vector; throws on size mismatch.
+  void unflatten(std::span<const float> flat);
+
+  /// Copy all gradients into one flat vector (same layout as flatten()).
+  [[nodiscard]] std::vector<float> flatten_grads() const;
+
+  /// Deep copy.
+  [[nodiscard]] Mlp clone() const;
+
+  /// Parameter refs across all layers, in flatten() order.
+  [[nodiscard]] std::vector<ParamRef> params() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Build input -> hidden... -> classes with ReLU activations; He init.
+[[nodiscard]] Mlp make_mlp(std::size_t input, const std::vector<std::size_t>& hidden,
+                           std::size_t classes, util::Rng& rng);
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,86 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abdhfl::nn {
+
+std::size_t QuantizedVec::wire_size() const noexcept {
+  // header: bits + block + count; per block: scale + min; packed payload.
+  return sizeof(bits) + sizeof(block) + sizeof(count) +
+         scales.size() * sizeof(float) * 2 + data.size();
+}
+
+QuantizedVec quantize(std::span<const float> values, std::uint8_t bits,
+                      std::uint32_t block) {
+  if (bits == 0 || bits > 8) throw std::invalid_argument("quantize: bits must be 1..8");
+  if (block == 0) throw std::invalid_argument("quantize: zero block size");
+
+  QuantizedVec q;
+  q.bits = bits;
+  q.block = block;
+  q.count = values.size();
+  const std::size_t n_blocks = (values.size() + block - 1) / block;
+  q.scales.resize(n_blocks);
+  q.mins.resize(n_blocks);
+
+  const auto levels = static_cast<std::uint32_t>((1U << bits) - 1);
+  const std::size_t total_bits = values.size() * bits;
+  q.data.assign((total_bits + 7) / 8, 0);
+
+  std::size_t bit_pos = 0;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min<std::size_t>(values.size(), lo + block);
+    float mn = values[lo], mx = values[lo];
+    for (std::size_t i = lo; i < hi; ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+    q.mins[b] = mn;
+    const float range = mx - mn;
+    q.scales[b] = levels > 0 && range > 0.0f ? range / static_cast<float>(levels) : 0.0f;
+
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::uint32_t code = 0;
+      if (q.scales[b] > 0.0f) {
+        code = static_cast<std::uint32_t>(
+            std::lround((values[i] - mn) / q.scales[b]));
+        code = std::min(code, levels);
+      }
+      // Pack LSB-first across the byte stream.
+      for (std::uint8_t k = 0; k < bits; ++k, ++bit_pos) {
+        if ((code >> k) & 1U) {
+          q.data[bit_pos / 8] |= static_cast<std::uint8_t>(1U << (bit_pos % 8));
+        }
+      }
+    }
+  }
+  return q;
+}
+
+std::vector<float> dequantize(const QuantizedVec& q) {
+  if (q.bits == 0 || q.bits > 8) throw std::invalid_argument("dequantize: bad bits");
+  std::vector<float> out(q.count);
+  std::size_t bit_pos = 0;
+  for (std::size_t i = 0; i < q.count; ++i) {
+    std::uint32_t code = 0;
+    for (std::uint8_t k = 0; k < q.bits; ++k, ++bit_pos) {
+      if (bit_pos / 8 >= q.data.size()) throw std::invalid_argument("dequantize: truncated");
+      if ((q.data[bit_pos / 8] >> (bit_pos % 8)) & 1U) code |= 1U << k;
+    }
+    const std::size_t b = i / q.block;
+    if (b >= q.scales.size()) throw std::invalid_argument("dequantize: missing block");
+    out[i] = q.mins[b] + q.scales[b] * static_cast<float>(code);
+  }
+  return out;
+}
+
+double max_error_bound(double value_range, std::uint8_t bits) noexcept {
+  if (bits == 0) return value_range;
+  const double levels = static_cast<double>((1U << bits) - 1);
+  return levels > 0.0 ? value_range / levels / 2.0 : value_range;
+}
+
+}  // namespace abdhfl::nn

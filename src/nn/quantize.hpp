@@ -1,0 +1,40 @@
+#pragma once
+// Uniform linear quantization of model updates — the standard FL bandwidth
+// optimization (Konecny et al., "strategies for improving communication
+// efficiency", reference [3] of the paper).  A float parameter vector is
+// mapped to `bits`-wide integers per fixed-size block with a per-block
+// (scale, min) pair, cutting the wire size ~4x at 8 bits.  Exposed so the
+// communication-cost accounting of the scheme experiments can be re-run
+// under compression (see bench_micro's quantization entries for the
+// error/size trade-off).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace abdhfl::nn {
+
+struct QuantizedVec {
+  std::uint8_t bits = 8;           // 1..8 bits per value
+  std::uint32_t block = 256;       // values per (scale,min) block
+  std::uint64_t count = 0;         // original element count
+  std::vector<float> scales;       // per block
+  std::vector<float> mins;         // per block
+  std::vector<std::uint8_t> data;  // packed values
+
+  /// Bytes this representation occupies on the wire.
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+};
+
+/// Quantize to `bits` bits per value (1..8), blockwise min/max scaling.
+[[nodiscard]] QuantizedVec quantize(std::span<const float> values, std::uint8_t bits = 8,
+                                    std::uint32_t block = 256);
+
+/// Reconstruct (lossy) floats.
+[[nodiscard]] std::vector<float> dequantize(const QuantizedVec& q);
+
+/// Worst-case absolute reconstruction error for a block of the given range:
+/// half a quantization step.
+[[nodiscard]] double max_error_bound(double value_range, std::uint8_t bits) noexcept;
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,97 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace abdhfl::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xABD4F17EU;
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+template <class T>
+void append_pod(std::vector<std::uint8_t>& out, T value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T read_pod(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  if (offset + sizeof(T) > bytes.size()) throw std::runtime_error("truncated model blob");
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::size_t wire_size(std::size_t param_count) noexcept {
+  return sizeof(kMagic) + sizeof(kVersion) + sizeof(std::uint64_t) +
+         param_count * sizeof(float) + sizeof(std::uint64_t);
+}
+
+std::vector<std::uint8_t> serialize_params(std::span<const float> params) {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size(params.size()));
+  append_pod(out, kMagic);
+  append_pod(out, kVersion);
+  append_pod(out, static_cast<std::uint64_t>(params.size()));
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(params.data());
+  out.insert(out.end(), raw, raw + params.size() * sizeof(float));
+  append_pod(out, fnv1a(raw, params.size() * sizeof(float)));
+  return out;
+}
+
+std::vector<float> deserialize_params(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  if (read_pod<std::uint32_t>(bytes, offset) != kMagic) {
+    throw std::runtime_error("bad model blob magic");
+  }
+  if (read_pod<std::uint32_t>(bytes, offset) != kVersion) {
+    throw std::runtime_error("unsupported model blob version");
+  }
+  const auto count = read_pod<std::uint64_t>(bytes, offset);
+  if (offset + count * sizeof(float) + sizeof(std::uint64_t) > bytes.size()) {
+    throw std::runtime_error("truncated model blob payload");
+  }
+  std::vector<float> params(count);
+  std::memcpy(params.data(), bytes.data() + offset, count * sizeof(float));
+  offset += count * sizeof(float);
+  const auto digest = read_pod<std::uint64_t>(bytes, offset);
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(params.data());
+  if (digest != fnv1a(raw, count * sizeof(float))) {
+    throw std::runtime_error("model blob digest mismatch");
+  }
+  return params;
+}
+
+void save_params(const std::string& path, std::span<const float> params) {
+  const auto bytes = serialize_params(params);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<float> load_params(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize_params(bytes);
+}
+
+}  // namespace abdhfl::nn

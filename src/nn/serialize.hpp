@@ -1,0 +1,25 @@
+#pragma once
+// Binary (de)serialization of flat parameter vectors, used to checkpoint
+// global models from the examples and to measure the wire size of a model
+// update in the communication-cost accounting.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace abdhfl::nn {
+
+/// Little-endian framing: magic, version, count, raw floats, FNV-1a digest.
+[[nodiscard]] std::vector<std::uint8_t> serialize_params(std::span<const float> params);
+
+/// Inverse of serialize_params; throws std::runtime_error on corruption.
+[[nodiscard]] std::vector<float> deserialize_params(std::span<const std::uint8_t> bytes);
+
+/// Wire size in bytes of a parameter vector of the given length.
+[[nodiscard]] std::size_t wire_size(std::size_t param_count) noexcept;
+
+void save_params(const std::string& path, std::span<const float> params);
+[[nodiscard]] std::vector<float> load_params(const std::string& path);
+
+}  // namespace abdhfl::nn

@@ -1,0 +1,49 @@
+#include "nn/sgd.hpp"
+
+#include <cmath>
+
+namespace abdhfl::nn {
+
+void Sgd::step(Mlp& model) {
+  auto refs = model.params();
+  if (config_.momentum != 0.0 && velocity_.size() != refs.size()) {
+    velocity_.assign(refs.size(), {});
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      velocity_[i].assign(refs[i].value->size(), 0.0f);
+    }
+  }
+
+  const float lr = static_cast<float>(config_.learning_rate);
+  const float mu = static_cast<float>(config_.momentum);
+  const float wd = static_cast<float>(config_.weight_decay);
+
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    auto value = refs[i].value->flat();
+    auto grad = refs[i].grad->flat();
+    if (mu == 0.0f) {
+      for (std::size_t j = 0; j < value.size(); ++j) {
+        const float g = grad[j] + wd * value[j];
+        value[j] -= lr * g;
+      }
+    } else {
+      auto& vel = velocity_[i];
+      for (std::size_t j = 0; j < value.size(); ++j) {
+        const float g = grad[j] + wd * value[j];
+        vel[j] = mu * vel[j] + g;
+        value[j] -= lr * vel[j];
+      }
+    }
+  }
+}
+
+double step_decay_lr(double base_lr, double gamma, std::size_t step_size,
+                     std::size_t round) noexcept {
+  if (step_size == 0) return base_lr;
+  return base_lr * std::pow(gamma, static_cast<double>(round / step_size));
+}
+
+double inv_time_lr(double base_lr, double k, std::size_t round) noexcept {
+  return base_lr / (1.0 + k * static_cast<double>(round));
+}
+
+}  // namespace abdhfl::nn

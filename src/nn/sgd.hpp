@@ -1,0 +1,42 @@
+#pragma once
+// Stochastic gradient descent with optional momentum and weight decay, plus
+// the learning-rate schedules the experiments use.  The paper's devices run
+// plain SGD (Algorithm 2, line 15); momentum/decay are exposed because the
+// model-update attack ALE assumes realistic benign update statistics.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace abdhfl::nn {
+
+struct SgdConfig {
+  double learning_rate = 0.05;
+  double momentum = 0.0;       // 0 disables the velocity buffers
+  double weight_decay = 0.0;   // L2 coefficient applied to weights
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  /// Apply one step using the gradients currently stored in the model.
+  void step(Mlp& model);
+
+  [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
+  void set_learning_rate(double lr) noexcept { config_.learning_rate = lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<std::vector<float>> velocity_;  // aligned with model.params()
+};
+
+/// Step-decay schedule: lr * gamma^(round / step_size).
+[[nodiscard]] double step_decay_lr(double base_lr, double gamma, std::size_t step_size,
+                                   std::size_t round) noexcept;
+
+/// 1/t decay: lr / (1 + k * round).
+[[nodiscard]] double inv_time_lr(double base_lr, double k, std::size_t round) noexcept;
+
+}  // namespace abdhfl::nn

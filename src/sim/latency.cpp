@@ -1,0 +1,54 @@
+#include "sim/latency.hpp"
+
+#include <stdexcept>
+
+namespace abdhfl::sim {
+
+UniformLatency::UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+  if (lo < 0.0 || hi < lo) throw std::invalid_argument("UniformLatency: bad range");
+}
+
+SimTime UniformLatency::sample(std::size_t, util::Rng& rng) {
+  return rng.uniform(lo_, hi_);
+}
+
+SimTime LogNormalLatency::sample(std::size_t, util::Rng& rng) {
+  return rng.lognormal(mu_, sigma_);
+}
+
+StragglerLatency::StragglerLatency(std::unique_ptr<LatencyModel> inner, double probability,
+                                   double factor)
+    : inner_(std::move(inner)), probability_(probability), factor_(factor) {
+  if (!inner_) throw std::invalid_argument("StragglerLatency: null inner model");
+  if (probability_ < 0.0 || probability_ > 1.0 || factor_ < 1.0) {
+    throw std::invalid_argument("StragglerLatency: bad parameters");
+  }
+}
+
+SimTime StragglerLatency::sample(std::size_t bytes, util::Rng& rng) {
+  const SimTime base = inner_->sample(bytes, rng);
+  return rng.bernoulli(probability_) ? base * factor_ : base;
+}
+
+LossyLatency::LossyLatency(std::unique_ptr<LatencyModel> inner, double loss_probability,
+                           SimTime retry_timeout)
+    : inner_(std::move(inner)),
+      loss_probability_(loss_probability),
+      retry_timeout_(retry_timeout) {
+  if (!inner_) throw std::invalid_argument("LossyLatency: null inner model");
+  if (loss_probability_ < 0.0 || loss_probability_ >= 1.0 || retry_timeout_ < 0.0) {
+    throw std::invalid_argument("LossyLatency: bad parameters");
+  }
+}
+
+SimTime LossyLatency::sample(std::size_t bytes, util::Rng& rng) {
+  SimTime total = 0.0;
+  while (rng.bernoulli(loss_probability_)) {
+    // The lost attempt still burns its transmission time before the sender
+    // times out and retries.
+    total += retry_timeout_;
+  }
+  return total + inner_->sample(bytes, rng);
+}
+
+}  // namespace abdhfl::sim

@@ -1,0 +1,94 @@
+#pragma once
+// Message-delay models realizing the paper's partial-synchrony assumption:
+// delivery time is arbitrary and finite but unbounded (Assumption 1).  The
+// models here are what make σ_w, σ_p, σ_g and the efficiency indicator ν of
+// Sec. III-D non-trivial.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::sim {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// Delay for one message of `bytes` bytes.  Must be finite and >= 0.
+  [[nodiscard]] virtual SimTime sample(std::size_t bytes, util::Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Constant delay, optionally plus a bandwidth term (seconds per byte).
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime base, double seconds_per_byte = 0.0)
+      : base_(base), per_byte_(seconds_per_byte) {}
+  SimTime sample(std::size_t bytes, util::Rng&) override {
+    return base_ + per_byte_ * static_cast<double>(bytes);
+  }
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  SimTime base_;
+  double per_byte_;
+};
+
+/// Uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi);
+  SimTime sample(std::size_t bytes, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  SimTime lo_, hi_;
+};
+
+/// Log-normal (heavy upper tail — the canonical WAN model); parameters are
+/// of the underlying normal.  Matches "arbitrary, finite but unbounded".
+class LogNormalLatency final : public LatencyModel {
+ public:
+  LogNormalLatency(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+  SimTime sample(std::size_t bytes, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "lognormal"; }
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Wraps another model; with probability p a message is a straggler and its
+/// delay is multiplied by `factor`.  Models the slow devices the paper's
+/// asynchronous design exists to tolerate.
+class StragglerLatency final : public LatencyModel {
+ public:
+  StragglerLatency(std::unique_ptr<LatencyModel> inner, double probability, double factor);
+  SimTime sample(std::size_t bytes, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "straggler"; }
+
+ private:
+  std::unique_ptr<LatencyModel> inner_;
+  double probability_;
+  double factor_;
+};
+
+/// Wraps another model; with probability p the message is "lost" and retried
+/// after a timeout, adding (timeout + fresh delay) per loss.  Keeps delivery
+/// finite (geometric retries) as Assumption 1 requires.
+class LossyLatency final : public LatencyModel {
+ public:
+  LossyLatency(std::unique_ptr<LatencyModel> inner, double loss_probability,
+               SimTime retry_timeout);
+  SimTime sample(std::size_t bytes, util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "lossy"; }
+
+ private:
+  std::unique_ptr<LatencyModel> inner_;
+  double loss_probability_;
+  SimTime retry_timeout_;
+};
+
+}  // namespace abdhfl::sim

@@ -1,0 +1,61 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace abdhfl::sim {
+
+void Network::set_default_latency(std::unique_ptr<LatencyModel> model) {
+  if (!model) throw std::invalid_argument("Network: null latency model");
+  default_latency_ = std::move(model);
+}
+
+void Network::set_class_latency(std::uint32_t link_class,
+                                std::unique_ptr<LatencyModel> model) {
+  if (!model) throw std::invalid_argument("Network: null latency model");
+  class_latency_[link_class] = std::move(model);
+}
+
+void Network::register_node(NodeId id, Handler handler) {
+  if (!handler) throw std::invalid_argument("Network: null handler");
+  handlers_[id] = std::move(handler);
+}
+
+LatencyModel& Network::model_for(std::uint32_t link_class) {
+  const auto it = class_latency_.find(link_class);
+  if (it != class_latency_.end()) return *it->second;
+  if (!default_latency_) throw std::logic_error("Network: no latency model configured");
+  return *default_latency_;
+}
+
+void Network::send(Message msg, std::uint32_t link_class) {
+  const auto it = handlers_.find(msg.to);
+  if (it == handlers_.end()) {
+    throw std::logic_error("Network: send to unregistered node " + std::to_string(msg.to));
+  }
+  const SimTime delay = model_for(link_class).sample(msg.bytes, rng_);
+
+  ++totals_.messages;
+  totals_.bytes += msg.bytes;
+  auto& cls = per_class_[link_class];
+  ++cls.messages;
+  cls.bytes += msg.bytes;
+
+  // Copy the handler reference lookup into the event: the handler map can
+  // grow while events are in flight, so resolve at delivery time.
+  sim_.schedule_after(delay, [this, msg = std::move(msg)]() {
+    const auto handler_it = handlers_.find(msg.to);
+    if (handler_it != handlers_.end()) handler_it->second(msg);
+  });
+}
+
+TrafficStats Network::class_totals(std::uint32_t link_class) const {
+  const auto it = per_class_.find(link_class);
+  return it == per_class_.end() ? TrafficStats{} : it->second;
+}
+
+void Network::reset_stats() {
+  totals_ = {};
+  per_class_.clear();
+}
+
+}  // namespace abdhfl::sim

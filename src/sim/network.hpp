@@ -1,0 +1,75 @@
+#pragma once
+// Simulated message-passing layer on top of the event kernel.
+//
+// Nodes are integer ids; send() samples a delay from the latency model
+// attached to the (level of the) link and schedules delivery of an opaque
+// payload at the receiver.  All traffic is metered, which is what the
+// scheme-comparison experiment (Table III/IV) reports as communication cost.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::sim {
+
+using NodeId = std::uint32_t;
+
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t kind = 0;     // application-defined tag
+  std::uint64_t round = 0;    // application-defined round number
+  std::size_t bytes = 0;      // wire size, for accounting and bandwidth
+  std::shared_ptr<const void> payload;  // application-defined body
+};
+
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(Simulator& sim, util::Rng& rng) : sim_(sim), rng_(rng) {}
+
+  /// Delay model used when no per-link class matches.  Must be set before
+  /// the first send.
+  void set_default_latency(std::unique_ptr<LatencyModel> model);
+
+  /// Optional delay model for a "link class" (the HFL runner uses one class
+  /// per tree level so upper levels can be slower/faster than the edge).
+  void set_class_latency(std::uint32_t link_class, std::unique_ptr<LatencyModel> model);
+
+  /// Receiver registration; a node must be registered before messages for it
+  /// are delivered.  Re-registering replaces the handler.
+  void register_node(NodeId id, Handler handler);
+
+  /// Send msg; link_class selects the latency model.
+  void send(Message msg, std::uint32_t link_class = 0);
+
+  [[nodiscard]] const TrafficStats& totals() const noexcept { return totals_; }
+  [[nodiscard]] TrafficStats class_totals(std::uint32_t link_class) const;
+
+  void reset_stats();
+
+ private:
+  LatencyModel& model_for(std::uint32_t link_class);
+
+  Simulator& sim_;
+  util::Rng& rng_;
+  std::unique_ptr<LatencyModel> default_latency_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<LatencyModel>> class_latency_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  TrafficStats totals_;
+  std::unordered_map<std::uint32_t, TrafficStats> per_class_;
+};
+
+}  // namespace abdhfl::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdhfl::sim {
+
+void Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) throw std::invalid_argument("Simulator: cannot schedule in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // The callback may schedule more events, so pop before firing.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++count;
+    ++fired_;
+  }
+  return count;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++count;
+    ++fired_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace abdhfl::sim

@@ -1,0 +1,106 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace abdhfl::tensor {
+
+void Matrix::init_he_uniform(util::Rng& rng) {
+  // fan_in is the number of columns for a (out, in)-shaped weight; our dense
+  // layers store weights as (in, out), so fan_in = rows.
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows_ == 0 ? 1 : rows_));
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void Matrix::init_xavier_uniform(util::Rng& rng) {
+  const double fan = static_cast<double>(rows_ + cols_);
+  const double limit = std::sqrt(6.0 / (fan == 0.0 ? 1.0 : fan));
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+namespace {
+constexpr std::size_t kBlock = 64;  // rows-of-a block; keeps b panel in L1/L2
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  out = Matrix(m, n, 0.0f);
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(m, i0 + kBlock);
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* oi = out.data() + i * n;
+      const float* ai = a.data() + i * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float aip = ai[p];
+        if (aip == 0.0f) continue;
+        const float* bp = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) oi[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  out = Matrix(m, n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* oi = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      oi[j] = acc;
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  out = Matrix(m, n, 0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* ap = a.data() + p * m;
+    const float* bp = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = ap[i];
+      if (api == 0.0f) continue;
+      float* oi = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) oi[j] += api * bp[j];
+    }
+  }
+}
+
+void gemv(const Matrix& m, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == m.cols());
+  assert(y.size() == m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* mi = m.data() + i * m.cols();
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < m.cols(); ++j) acc += mi[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void add_row_broadcast(Matrix& m, std::span<const float> bias) {
+  assert(bias.size() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* mi = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) mi[j] += bias[j];
+  }
+}
+
+void column_sums(const Matrix& m, std::span<float> out) {
+  assert(out.size() == m.cols());
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* mi = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += mi[j];
+  }
+}
+
+}  // namespace abdhfl::tensor

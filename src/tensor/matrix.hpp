@@ -1,0 +1,79 @@
+#pragma once
+// Dense row-major matrix of float.  This is the whole linear-algebra
+// substrate the neural-network layers are built on: GEMM with a small cache
+// blocking, GEMV, rank-1 updates, and elementwise helpers.  float is used
+// throughout model training (parameter vectors exchanged between FL nodes
+// are float as well) — double precision buys nothing for the aggregation
+// behaviour under study and doubles the simulated bandwidth.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abdhfl::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<float> flat() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+  /// He/Kaiming-uniform initialization, the right scale for ReLU nets.
+  void init_he_uniform(util::Rng& rng);
+  /// Xavier/Glorot-uniform initialization.
+  void init_xavier_uniform(util::Rng& rng);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b.  Shapes: (m,k) x (k,n) -> (m,n).  out is overwritten.
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T.  Shapes: (m,k) x (n,k) -> (m,n).
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b.  Shapes: (k,m) x (k,n) -> (m,n).
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = M * x.  Shapes: (m,n) x (n) -> (m).
+void gemv(const Matrix& m, std::span<const float> x, std::span<float> y);
+
+/// Adds the bias row vector to every row of m (broadcast add).
+void add_row_broadcast(Matrix& m, std::span<const float> bias);
+
+/// column_sums[j] = sum over rows of m(i,j); used for bias gradients.
+void column_sums(const Matrix& m, std::span<float> out);
+
+}  // namespace abdhfl::tensor

@@ -1,0 +1,99 @@
+#include "tensor/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace abdhfl::tensor {
+
+double dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+double norm2_squared(std::span<const float> a) noexcept {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double norm2(std::span<const float> a) noexcept { return std::sqrt(norm2_squared(a)); }
+
+double distance_squared(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void axpy(double alpha, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+  }
+}
+
+void scale(std::span<float> x, double alpha) noexcept {
+  for (float& v : x) v = static_cast<float>(v * alpha);
+}
+
+std::vector<float> add(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<float> sub(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
+                        double alpha_on_a) {
+  assert(a.size() == b.size());
+  std::vector<float> out(a.size());
+  const double beta = 1.0 - alpha_on_a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<float>(alpha_on_a * a[i] + beta * b[i]);
+  }
+  return out;
+}
+
+std::vector<float> mean_of(const std::vector<std::vector<float>>& vs) {
+  const std::size_t dim = checked_common_size(vs);
+  std::vector<double> acc(dim, 0.0);
+  for (const auto& v : vs) {
+    for (std::size_t i = 0; i < dim; ++i) acc[i] += v[i];
+  }
+  std::vector<float> out(dim);
+  const double inv = 1.0 / static_cast<double>(vs.size());
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i] * inv);
+  return out;
+}
+
+double clip_to_ball(std::span<float> x, double radius) noexcept {
+  const double n = norm2(x);
+  if (n <= radius || n == 0.0) return 1.0;
+  const double factor = radius / n;
+  scale(x, factor);
+  return factor;
+}
+
+std::size_t checked_common_size(const std::vector<std::vector<float>>& vs) {
+  if (vs.empty()) throw std::invalid_argument("no vectors supplied");
+  const std::size_t dim = vs.front().size();
+  for (const auto& v : vs) {
+    if (v.size() != dim) throw std::invalid_argument("dimension mismatch across vectors");
+  }
+  return dim;
+}
+
+}  // namespace abdhfl::tensor

@@ -1,0 +1,52 @@
+#pragma once
+// Flat-vector operations used on model parameter vectors.  Aggregation rules
+// (Krum, Median, clipping, ...) operate on flattened models, so these are
+// the hot kernels of the Byzantine-robust aggregation layer.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace abdhfl::tensor {
+
+/// Euclidean dot product.
+[[nodiscard]] double dot(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Squared L2 norm.
+[[nodiscard]] double norm2_squared(std::span<const float> a) noexcept;
+
+/// L2 norm.
+[[nodiscard]] double norm2(std::span<const float> a) noexcept;
+
+/// Squared Euclidean distance between two equally sized vectors.
+[[nodiscard]] double distance_squared(std::span<const float> a,
+                                      std::span<const float> b) noexcept;
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const float> x, std::span<float> y) noexcept;
+
+/// x *= alpha.
+void scale(std::span<float> x, double alpha) noexcept;
+
+/// out = a + b (allocates).
+[[nodiscard]] std::vector<float> add(std::span<const float> a, std::span<const float> b);
+
+/// out = a - b (allocates).
+[[nodiscard]] std::vector<float> sub(std::span<const float> a, std::span<const float> b);
+
+/// out = alpha*a + beta*b (allocates).  The correction-factor merge (Eq. 1)
+/// is lerp(global, local, alpha) = alpha*global + (1-alpha)*local.
+[[nodiscard]] std::vector<float> lerp(std::span<const float> a, std::span<const float> b,
+                                      double alpha_on_a);
+
+/// Unweighted coordinate-wise mean of the given vectors (all same length).
+[[nodiscard]] std::vector<float> mean_of(const std::vector<std::vector<float>>& vs);
+
+/// Clip x to L2 ball of the given radius around the origin (in place).
+/// Returns the scaling factor applied (1.0 when already inside).
+double clip_to_ball(std::span<float> x, double radius) noexcept;
+
+/// All vectors in vs must share this size; throws otherwise, returns size.
+std::size_t checked_common_size(const std::vector<std::vector<float>>& vs);
+
+}  // namespace abdhfl::tensor

@@ -1,0 +1,176 @@
+#include "topology/byzantine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abdhfl::topology {
+
+ByzantineMask sample_malicious(std::size_t n, double fraction, util::Rng& rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("sample_malicious: fraction out of [0,1]");
+  }
+  const auto k = static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n)));
+  ByzantineMask mask(n, false);
+  for (std::size_t idx : rng.sample_indices(n, k)) mask[idx] = true;
+  return mask;
+}
+
+ByzantineMask block_malicious(std::size_t n, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("block_malicious: fraction out of [0,1]");
+  }
+  const auto k = static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n)));
+  ByzantineMask mask(n, false);
+  for (std::size_t i = 0; i < k; ++i) mask[i] = true;
+  return mask;
+}
+
+std::size_t count_byzantine(const ByzantineMask& mask) {
+  return static_cast<std::size_t>(std::count(mask.begin(), mask.end(), true));
+}
+
+ByzantineMask assign_p_ratio(const HflTree& tree, const PRatioConfig& config,
+                             util::Rng& rng) {
+  if (config.p < 0.0 || config.p > 1.0) throw std::invalid_argument("p out of [0,1]");
+  ByzantineMask mask(tree.num_devices(), false);
+  std::vector<bool> decided(tree.num_devices(), false);
+
+  // Top level: pick the honest subset at random among the top cluster.
+  const auto& top = tree.cluster(0, 0);
+  if (config.honest_top > top.size()) {
+    throw std::invalid_argument("assign_p_ratio: honest_top exceeds top cluster size");
+  }
+  std::vector<std::size_t> top_order(top.size());
+  for (std::size_t i = 0; i < top_order.size(); ++i) top_order[i] = i;
+  rng.shuffle(top_order);
+  for (std::size_t i = 0; i < top_order.size(); ++i) {
+    const DeviceId d = top.members[top_order[i]];
+    mask[d] = i >= config.honest_top;  // first honest_top stay honest
+    decided[d] = true;
+  }
+
+  // Descend: types of a cluster's members follow from its leader's type.
+  for (std::size_t l = 0; l + 1 < tree.num_levels(); ++l) {
+    for (const auto& cluster : tree.level(l + 1)) {
+      const DeviceId leader = cluster.leader_id();
+      if (!decided[leader]) {
+        throw std::logic_error("assign_p_ratio: leader type undecided (tree malformed)");
+      }
+      if (mask[leader]) {
+        // Children of a type-II node are all type-II (Definition 2).
+        for (DeviceId d : cluster.members) {
+          mask[d] = true;
+          decided[d] = true;
+        }
+        continue;
+      }
+      // Honest leader: exactly round(p*m) honest children, leader included.
+      const std::size_t m = cluster.size();
+      auto honest_children =
+          static_cast<std::size_t>(std::llround(config.p * static_cast<double>(m)));
+      honest_children = std::clamp<std::size_t>(honest_children, 1, m);
+
+      std::vector<DeviceId> others;
+      for (DeviceId d : cluster.members) {
+        if (d != leader) others.push_back(d);
+      }
+      rng.shuffle(others);
+      std::size_t honest_left = honest_children - 1;  // leader takes one slot
+      for (DeviceId d : others) {
+        mask[d] = honest_left == 0;
+        if (honest_left > 0) --honest_left;
+        decided[d] = true;
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<std::size_t> byzantine_per_level(const HflTree& tree, const ByzantineMask& mask) {
+  if (mask.size() != tree.num_devices()) {
+    throw std::invalid_argument("byzantine_per_level: mask size mismatch");
+  }
+  std::vector<std::size_t> out(tree.num_levels(), 0);
+  for (std::size_t l = 0; l < tree.num_levels(); ++l) {
+    for (const auto& cluster : tree.level(l)) {
+      for (DeviceId d : cluster.members) {
+        if (mask[d]) ++out[l];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> nodes_per_level(const HflTree& tree) {
+  std::vector<std::size_t> out(tree.num_levels());
+  for (std::size_t l = 0; l < tree.num_levels(); ++l) out[l] = tree.nodes_at_level(l);
+  return out;
+}
+
+double theorem1_type1_count(double p, std::size_t m, std::size_t level) {
+  return std::pow(p * static_cast<double>(m), static_cast<double>(level));
+}
+
+double theorem1_type1_ratio(double p, std::size_t level) {
+  return std::pow(p, static_cast<double>(level));
+}
+
+std::size_t corollary1_nodes(std::size_t top_nodes, std::size_t m, std::size_t level) {
+  std::size_t n = top_nodes;
+  for (std::size_t i = 0; i < level; ++i) n *= m;
+  return n;
+}
+
+double theorem2_max_byzantine(std::size_t top_nodes, std::size_t m, std::size_t level,
+                              double gamma1, double gamma2) {
+  const double nt = static_cast<double>(top_nodes);
+  const double total = nt * std::pow(static_cast<double>(m), static_cast<double>(level));
+  const double honest = (1.0 - gamma1) * nt *
+                        std::pow((1.0 - gamma2) * static_cast<double>(m),
+                                 static_cast<double>(level));
+  return total - honest;
+}
+
+double theorem2_max_proportion(std::size_t level, double gamma1, double gamma2) {
+  return 1.0 - (1.0 - gamma1) * std::pow(1.0 - gamma2, static_cast<double>(level));
+}
+
+ClusterClass classify_clusters(const HflTree& tree, std::size_t level,
+                               const ByzantineMask& mask, double gamma1, double gamma2) {
+  const double gamma = level == 0 ? gamma1 : gamma2;
+  ClusterClass out;
+  out.byzantine_cluster.reserve(tree.level(level).size());
+  for (const auto& cluster : tree.level(level)) {
+    std::size_t bad = 0;
+    for (DeviceId d : cluster.members) {
+      if (mask[d]) ++bad;
+    }
+    const double proportion =
+        static_cast<double>(bad) / static_cast<double>(cluster.size());
+    out.byzantine_cluster.push_back(proportion > gamma);
+  }
+  return out;
+}
+
+LevelTolerance acsm_level_tolerance(const HflTree& tree, std::size_t level,
+                                    const ByzantineMask& mask, double gamma1,
+                                    double gamma2) {
+  const auto classes = classify_clusters(tree, level, mask, gamma1, gamma2);
+  std::size_t honest_nodes = 0;
+  std::size_t total_nodes = 0;
+  const auto& clusters = tree.level(level);
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    total_nodes += clusters[i].size();
+    if (!classes.byzantine_cluster[i]) honest_nodes += clusters[i].size();
+  }
+  LevelTolerance tol;
+  tol.psi = total_nodes == 0
+                ? 0.0
+                : static_cast<double>(honest_nodes) / static_cast<double>(total_nodes);
+  const double gamma = level == 0 ? 0.0 : gamma2;  // top: P0 = 1 - psi0 exactly
+  tol.max_proportion = 1.0 - (1.0 - gamma) * tol.psi;
+  return tol;
+}
+
+}  // namespace abdhfl::topology

@@ -1,0 +1,102 @@
+#pragma once
+// Byzantine placement over HFL trees and the paper's tolerance calculus.
+//
+// Implements Definition 2/4 (p-ratio two-type trees and p-ratio ABD-HFL
+// structures), Definition 5/6 (Byzantine vs honest clusters and leaders),
+// Definition 7 (relative reliable number ψ_ℓ), the Theorem 1/2 and
+// Corollary 1-3 formulas of the ECSM analysis, and Theorem 3 of the ACSM
+// extension.  The `bench_tolerance` experiment checks the formulas against
+// the counted reality of generated trees.
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/tree.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::topology {
+
+/// byzantine[d] == true marks device d as Byzantine.
+using ByzantineMask = std::vector<bool>;
+
+/// Uniformly random malicious set of round(fraction * n) devices.
+[[nodiscard]] ByzantineMask sample_malicious(std::size_t n, double fraction, util::Rng& rng);
+
+/// Id-ordered ("block") malicious set: devices 0 .. round(fraction*n)-1.
+/// This is the paper's evaluation placement (clients ordered by id, the
+/// malicious proportion taken over the bottom level) and it is the placement
+/// the Theorem 2 bound is tight for — Byzantine devices concentrate into
+/// whole subtrees, leaving every honest subtree within its per-cluster γ2.
+/// Random placement at high fractions instead corrupts *every* cluster past
+/// γ2 and no hierarchical filter can help, which is exactly what Theorem 2's
+/// p-ratio structure formalizes.
+[[nodiscard]] ByzantineMask block_malicious(std::size_t n, double fraction);
+
+[[nodiscard]] std::size_t count_byzantine(const ByzantineMask& mask);
+
+struct PRatioConfig {
+  double p = 0.75;              // honest-child ratio under an honest node (Def. 2)
+  std::size_t honest_top = 3;   // honest nodes at the top level (rest are type-II roots)
+};
+
+/// Definition 4 placement: assigns honesty per device so that each honest
+/// top node roots a p-ratio two-type tree (the device chain of leaderships
+/// keeps its type, i.e. the "self child" of an honest node is honest) and
+/// each Byzantine top node roots an all-Byzantine tree.  Requires
+/// p >= 1/m for ECSM trees so the self child can stay honest.
+[[nodiscard]] ByzantineMask assign_p_ratio(const HflTree& tree, const PRatioConfig& config,
+                                           util::Rng& rng);
+
+/// Byzantine devices per level of the tree under a mask (a device counts at
+/// every level it appears on, matching the analysis' per-level node counts).
+[[nodiscard]] std::vector<std::size_t> byzantine_per_level(const HflTree& tree,
+                                                           const ByzantineMask& mask);
+
+/// Nodes per level (Corollary 1's N_t * m^ℓ for ECSM).
+[[nodiscard]] std::vector<std::size_t> nodes_per_level(const HflTree& tree);
+
+// --- ECSM closed forms -----------------------------------------------------
+
+/// Theorem 1: type-I node count (p*m)^ℓ at level ℓ of a p-ratio two-type
+/// complete m-ary tree.
+[[nodiscard]] double theorem1_type1_count(double p, std::size_t m, std::size_t level);
+
+/// Theorem 1: type-I proportion p^ℓ.
+[[nodiscard]] double theorem1_type1_ratio(double p, std::size_t level);
+
+/// Corollary 1: node count N_t * m^ℓ.
+[[nodiscard]] std::size_t corollary1_nodes(std::size_t top_nodes, std::size_t m,
+                                           std::size_t level);
+
+/// Theorem 2: maximum tolerated Byzantine count at level ℓ,
+/// N_t m^ℓ − (1−γ1) N_t [(1−γ2) m]^ℓ.
+[[nodiscard]] double theorem2_max_byzantine(std::size_t top_nodes, std::size_t m,
+                                            std::size_t level, double gamma1, double gamma2);
+
+/// Theorem 2: maximum tolerated Byzantine proportion 1 − (1−γ1)(1−γ2)^ℓ.
+[[nodiscard]] double theorem2_max_proportion(std::size_t level, double gamma1, double gamma2);
+
+// --- ACSM (Appendix C) -----------------------------------------------------
+
+struct ClusterClass {
+  std::vector<bool> byzantine_cluster;  // per cluster at one level (Def. 5)
+};
+
+struct LevelTolerance {
+  double psi = 1.0;             // relative reliable number ψ_ℓ (Def. 7)
+  double max_proportion = 0.0;  // Theorem 3 bound: 1 − (1−γ2) ψ_ℓ
+};
+
+/// Definition 5 classification: a cluster is Byzantine when its malicious
+/// member proportion exceeds the level's tolerance (γ1 at the top, γ2
+/// elsewhere).
+[[nodiscard]] ClusterClass classify_clusters(const HflTree& tree, std::size_t level,
+                                             const ByzantineMask& mask, double gamma1,
+                                             double gamma2);
+
+/// ψ_ℓ and the Theorem 3 bound for one level of any (ECSM or ACSM) tree.
+[[nodiscard]] LevelTolerance acsm_level_tolerance(const HflTree& tree, std::size_t level,
+                                                  const ByzantineMask& mask, double gamma1,
+                                                  double gamma2);
+
+}  // namespace abdhfl::topology

@@ -1,0 +1,84 @@
+#include "topology/churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abdhfl::topology {
+
+namespace {
+
+std::vector<std::vector<Cluster>> copy_levels(const HflTree& tree) {
+  std::vector<std::vector<Cluster>> levels(tree.num_levels());
+  for (std::size_t l = 0; l < tree.num_levels(); ++l) levels[l] = tree.level(l);
+  return levels;
+}
+
+}  // namespace
+
+JoinResult with_device_joined(const HflTree& tree, std::size_t bottom_cluster) {
+  const std::size_t bottom = tree.depth();
+  if (bottom_cluster >= tree.level(bottom).size()) {
+    throw std::invalid_argument("with_device_joined: bad cluster index");
+  }
+  auto levels = copy_levels(tree);
+  const auto new_id = static_cast<DeviceId>(tree.num_devices());
+  levels[bottom][bottom_cluster].members.push_back(new_id);
+  return {HflTree(std::move(levels)), new_id};
+}
+
+LeaveResult with_device_left(const HflTree& tree, DeviceId device) {
+  if (device >= tree.num_devices()) {
+    throw std::invalid_argument("with_device_left: unknown device");
+  }
+  const std::size_t bottom = tree.depth();
+  const std::size_t cluster_idx = *tree.cluster_of(bottom, device);
+  auto levels = copy_levels(tree);
+  auto& home = levels[bottom][cluster_idx];
+  if (home.size() < 2) {
+    throw std::invalid_argument(
+        "with_device_left: would empty a cluster (Assumption 3 forbids removing clusters)");
+  }
+
+  // Remove from the bottom cluster, electing a successor when it led it.
+  const bool was_leader = home.leader_id() == device;
+  const auto member_pos = static_cast<std::size_t>(
+      std::find(home.members.begin(), home.members.end(), device) -
+      home.members.begin());
+  home.members.erase(home.members.begin() + static_cast<std::ptrdiff_t>(member_pos));
+  DeviceId successor = 0;
+  if (was_leader) {
+    home.leader = 0;  // first remaining member inherits the leadership
+    successor = home.leader_id();
+  } else if (member_pos < home.leader) {
+    --home.leader;  // leader slot shifted left
+  }
+
+  // The departing device's upper-level appearances (its leadership chain)
+  // pass to the successor: replace the id in every member list above the
+  // bottom.  Leader *indices* stay valid because the replacement is
+  // positional.
+  if (was_leader) {
+    for (std::size_t l = 0; l < bottom; ++l) {
+      for (auto& cluster : levels[l]) {
+        std::replace(cluster.members.begin(), cluster.members.end(), device, successor);
+      }
+    }
+  }
+
+  // Compact ids: everything above the departed id shifts down by one.
+  std::vector<std::optional<DeviceId>> old_to_new(tree.num_devices());
+  for (DeviceId d = 0; d < tree.num_devices(); ++d) {
+    if (d == device) continue;
+    old_to_new[d] = d > device ? d - 1 : d;
+  }
+  for (auto& level : levels) {
+    for (auto& cluster : level) {
+      for (auto& member : cluster.members) {
+        member = *old_to_new[member];
+      }
+    }
+  }
+  return {HflTree(std::move(levels)), std::move(old_to_new)};
+}
+
+}  // namespace abdhfl::topology

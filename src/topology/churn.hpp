@@ -1,0 +1,47 @@
+#pragma once
+// Membership dynamics (Assumption 3: nodes can join or leave existing
+// clusters, but clusters are never split or merged).
+//
+// Both operations return a *new* tree (HflTree is immutable once built) plus
+// the device-id mapping, because device ids are dense 0..n-1 by invariant:
+//
+//   * join: a new device is appended to a chosen bottom cluster; it gets id
+//     n and every existing id is unchanged.
+//   * leave: the device is removed from its bottom cluster.  If it led that
+//     cluster, a successor is elected (the next member) and the departing
+//     device's appearances at every upper level — its whole chain of
+//     leaderships, possibly up to the top cluster — are inherited by the
+//     successor, exactly the "leader of each cluster forms the upper level"
+//     rule re-applied.  Remaining ids are compacted (ids above the departed
+//     one shift down by one).
+
+#include <optional>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace abdhfl::topology {
+
+struct JoinResult {
+  HflTree tree;
+  DeviceId new_device = 0;  // always the previous num_devices()
+};
+
+/// Append one device to the given bottom-level cluster.  Throws on a bad
+/// cluster index.
+[[nodiscard]] JoinResult with_device_joined(const HflTree& tree,
+                                            std::size_t bottom_cluster);
+
+struct LeaveResult {
+  HflTree tree;
+  /// old_to_new[d] = the device's id in the new tree; nullopt for the
+  /// departed device.
+  std::vector<std::optional<DeviceId>> old_to_new;
+};
+
+/// Remove one device.  Throws if it is the last member of its bottom
+/// cluster (Assumption 3 forbids removing clusters) or if removing it would
+/// empty the top level.
+[[nodiscard]] LeaveResult with_device_left(const HflTree& tree, DeviceId device);
+
+}  // namespace abdhfl::topology

@@ -1,0 +1,237 @@
+#include "topology/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace abdhfl::topology {
+
+HflTree::HflTree(std::vector<std::vector<Cluster>> levels) : levels_(std::move(levels)) {
+  if (levels_.size() < 2) throw std::invalid_argument("HflTree: need at least 2 levels");
+  num_devices_ = nodes_at_level(depth());
+  build_indexes();
+  validate();
+}
+
+std::size_t HflTree::nodes_at_level(std::size_t l) const {
+  std::size_t n = 0;
+  for (const auto& c : levels_.at(l)) n += c.size();
+  return n;
+}
+
+void HflTree::build_indexes() {
+  // Devices are assumed to be ids < num_devices_ (checked in validate()).
+  cluster_of_.assign(num_levels(), std::vector<std::size_t>(num_devices_, kNone));
+  child_cluster_.assign(num_levels() - 1, std::vector<std::size_t>(num_devices_, kNone));
+
+  for (std::size_t l = 0; l < num_levels(); ++l) {
+    for (std::size_t i = 0; i < levels_[l].size(); ++i) {
+      for (DeviceId d : levels_[l][i].members) {
+        if (d >= num_devices_) {
+          throw std::logic_error("HflTree: device id out of range at level " +
+                                 std::to_string(l));
+        }
+        cluster_of_[l][d] = i;
+      }
+    }
+  }
+  // A node at level l (l < depth) is the leader of exactly one cluster at
+  // level l+1: find it by leader id.
+  for (std::size_t l = 0; l + 1 < num_levels(); ++l) {
+    const auto& below = levels_[l + 1];
+    for (std::size_t i = 0; i < below.size(); ++i) {
+      const DeviceId leader = below[i].leader_id();
+      child_cluster_[l][leader] = i;
+    }
+  }
+}
+
+std::optional<std::size_t> HflTree::cluster_of(std::size_t l, DeviceId d) const {
+  if (d >= num_devices_) return std::nullopt;
+  const std::size_t idx = cluster_of_.at(l)[d];
+  return idx == kNone ? std::nullopt : std::optional(idx);
+}
+
+std::optional<std::size_t> HflTree::child_cluster_of(std::size_t l, DeviceId d) const {
+  if (l + 1 >= num_levels() || d >= num_devices_) return std::nullopt;
+  const std::size_t idx = child_cluster_.at(l)[d];
+  return idx == kNone ? std::nullopt : std::optional(idx);
+}
+
+std::optional<std::size_t> HflTree::parent_cluster_of(std::size_t l, std::size_t i) const {
+  if (l == 0) return std::nullopt;
+  return cluster_of(l - 1, cluster(l, i).leader_id());
+}
+
+std::vector<DeviceId> HflTree::bottom_descendants(std::size_t l, DeviceId d) const {
+  if (l == depth()) return {d};
+  std::vector<DeviceId> out;
+  const auto child = child_cluster_of(l, d);
+  if (!child) return {d};  // appears at l but leads nothing below (shouldn't happen)
+  for (DeviceId member : cluster(l + 1, *child).members) {
+    auto sub = bottom_descendants(l + 1, member);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::size_t HflTree::highest_level_of(DeviceId d) const {
+  for (std::size_t l = 0; l < num_levels(); ++l) {
+    if (cluster_of(l, d)) return l;
+  }
+  throw std::invalid_argument("highest_level_of: unknown device");
+}
+
+void HflTree::validate() const {
+  if (levels_.front().size() != 1) {
+    throw std::logic_error("HflTree: top level must be a single cluster");
+  }
+  for (std::size_t l = 0; l < num_levels(); ++l) {
+    if (levels_[l].empty()) throw std::logic_error("HflTree: empty level");
+    for (const auto& c : levels_[l]) {
+      if (c.members.empty()) throw std::logic_error("HflTree: empty cluster");
+      if (c.leader >= c.members.size()) throw std::logic_error("HflTree: bad leader index");
+    }
+  }
+  // Level l (for l < depth) must consist exactly of the leaders of level l+1.
+  for (std::size_t l = 0; l + 1 < num_levels(); ++l) {
+    std::vector<DeviceId> level_nodes;
+    for (const auto& c : levels_[l]) {
+      level_nodes.insert(level_nodes.end(), c.members.begin(), c.members.end());
+    }
+    std::vector<DeviceId> leaders_below;
+    for (const auto& c : levels_[l + 1]) leaders_below.push_back(c.leader_id());
+    std::sort(level_nodes.begin(), level_nodes.end());
+    std::sort(leaders_below.begin(), leaders_below.end());
+    if (level_nodes != leaders_below) {
+      throw std::logic_error("HflTree: level " + std::to_string(l) +
+                             " is not exactly the leaders of level " + std::to_string(l + 1));
+    }
+    if (std::adjacent_find(level_nodes.begin(), level_nodes.end()) != level_nodes.end()) {
+      throw std::logic_error("HflTree: duplicate node at level " + std::to_string(l));
+    }
+  }
+  // Every device appears exactly once at the bottom.
+  std::vector<DeviceId> bottom;
+  for (const auto& c : levels_.back()) {
+    bottom.insert(bottom.end(), c.members.begin(), c.members.end());
+  }
+  std::sort(bottom.begin(), bottom.end());
+  for (std::size_t i = 0; i < bottom.size(); ++i) {
+    if (bottom[i] != i) throw std::logic_error("HflTree: bottom devices must be 0..n-1");
+  }
+}
+
+HflTree build_ecsm(std::size_t levels, std::size_t m, std::size_t top_nodes,
+                   util::Rng* rng_for_leaders) {
+  if (levels < 2) throw std::invalid_argument("build_ecsm: need >= 2 levels");
+  if (m < 1 || top_nodes < 1) throw std::invalid_argument("build_ecsm: bad sizes");
+
+  const std::size_t depth = levels - 1;
+  std::size_t bottom_count = top_nodes;
+  for (std::size_t l = 0; l < depth; ++l) bottom_count *= m;
+
+  std::vector<std::vector<Cluster>> tree(levels);
+
+  // Bottom level: consecutive blocks of m devices.
+  std::vector<DeviceId> current(bottom_count);
+  for (std::size_t i = 0; i < bottom_count; ++i) current[i] = static_cast<DeviceId>(i);
+
+  for (std::size_t l = depth; l >= 1; --l) {
+    const std::size_t cluster_size = (l == 0) ? current.size() : m;
+    auto& row = tree[l];
+    std::vector<DeviceId> next;
+    for (std::size_t start = 0; start < current.size(); start += cluster_size) {
+      Cluster c;
+      c.members.assign(current.begin() + static_cast<std::ptrdiff_t>(start),
+                       current.begin() + static_cast<std::ptrdiff_t>(start + cluster_size));
+      c.leader = rng_for_leaders
+                     ? static_cast<std::size_t>(rng_for_leaders->below(c.members.size()))
+                     : 0;
+      next.push_back(c.leader_id());
+      row.push_back(std::move(c));
+    }
+    current = std::move(next);
+  }
+  // Top level: one cluster of the remaining nodes (= top_nodes of them).
+  Cluster top;
+  top.members = current;
+  top.leader = 0;
+  tree[0].push_back(std::move(top));
+
+  return HflTree(std::move(tree));
+}
+
+HflTree build_acsm(const AcsmConfig& config, util::Rng& rng) {
+  if (config.min_cluster < 2 || config.max_cluster < config.min_cluster) {
+    throw std::invalid_argument("build_acsm: bad cluster size range");
+  }
+  if (config.bottom_devices <= config.top_size) {
+    throw std::invalid_argument("build_acsm: bottom must exceed top_size");
+  }
+
+  std::vector<DeviceId> current(config.bottom_devices);
+  for (std::size_t i = 0; i < current.size(); ++i) current[i] = static_cast<DeviceId>(i);
+
+  std::vector<std::vector<Cluster>> rows_bottom_up;
+  while (current.size() > config.top_size) {
+    std::vector<Cluster> row;
+    std::vector<DeviceId> next;
+    std::size_t pos = 0;
+    while (pos < current.size()) {
+      std::size_t want = config.min_cluster +
+                         static_cast<std::size_t>(rng.below(
+                             config.max_cluster - config.min_cluster + 1));
+      std::size_t remaining = current.size() - pos;
+      if (remaining < want) want = remaining;
+      // Avoid leaving a tail smaller than min_cluster: absorb it.
+      if (remaining - want != 0 && remaining - want < config.min_cluster) {
+        want = remaining;
+      }
+      Cluster c;
+      c.members.assign(current.begin() + static_cast<std::ptrdiff_t>(pos),
+                       current.begin() + static_cast<std::ptrdiff_t>(pos + want));
+      c.leader = static_cast<std::size_t>(rng.below(c.members.size()));
+      next.push_back(c.leader_id());
+      row.push_back(std::move(c));
+      pos += want;
+    }
+    rows_bottom_up.push_back(std::move(row));
+    if (next.size() >= current.size()) {
+      throw std::logic_error("build_acsm: level failed to shrink");
+    }
+    current = std::move(next);
+  }
+
+  std::vector<std::vector<Cluster>> levels;
+  Cluster top;
+  top.members = current;
+  top.leader = 0;
+  levels.push_back({std::move(top)});
+  for (auto it = rows_bottom_up.rbegin(); it != rows_bottom_up.rend(); ++it) {
+    levels.push_back(std::move(*it));
+  }
+  return HflTree(std::move(levels));
+}
+
+std::string to_string(const HflTree& tree) {
+  std::string out;
+  for (std::size_t l = 0; l < tree.num_levels(); ++l) {
+    out += "L" + std::to_string(l) + "  ";
+    const auto& clusters = tree.level(l);
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      out += "C" + std::to_string(i) + ":";
+      for (std::size_t j = 0; j < clusters[i].members.size(); ++j) {
+        out += ' ';
+        if (j == clusters[i].leader) out += '*';
+        out += std::to_string(clusters[i].members[j]);
+      }
+      if (i + 1 < clusters.size()) out += " | ";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace abdhfl::topology

@@ -1,0 +1,115 @@
+#pragma once
+// Leaf-derived hierarchical tree of learning clusters (Sec. III-A).
+//
+// All participating devices live at the bottom level L and form clusters;
+// each cluster elects a leader, the leaders of level ℓ form level ℓ-1, and
+// the top level L0 is a single leaderless-capable cluster C_{0,0}.  A device
+// therefore appears at every level from the bottom up to wherever its chain
+// of leaderships ends — the LOT/Rcanopus "leaf-only tree" shape the paper
+// builds on.
+//
+// Two builders are provided: ECSM (equal cluster size — each top node roots
+// a complete m-ary tree, Definition 4's substrate) and ACSM (arbitrary
+// cluster sizes per Appendix C).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abdhfl::topology {
+
+using DeviceId = std::uint32_t;
+
+struct Cluster {
+  std::vector<DeviceId> members;
+  std::size_t leader = 0;  // index into members
+
+  [[nodiscard]] DeviceId leader_id() const { return members[leader]; }
+  [[nodiscard]] std::size_t size() const noexcept { return members.size(); }
+};
+
+class HflTree {
+ public:
+  /// levels[0] = top, levels.back() = bottom.
+  explicit HflTree(std::vector<std::vector<Cluster>> levels);
+
+  /// Bottom level index L; the tree has L+1 levels.
+  [[nodiscard]] std::size_t depth() const noexcept { return levels_.size() - 1; }
+  [[nodiscard]] std::size_t num_levels() const noexcept { return levels_.size(); }
+
+  [[nodiscard]] const std::vector<Cluster>& level(std::size_t l) const { return levels_.at(l); }
+  [[nodiscard]] const Cluster& cluster(std::size_t l, std::size_t i) const {
+    return levels_.at(l).at(i);
+  }
+
+  /// Total devices (= bottom-level node count; every node is a device).
+  [[nodiscard]] std::size_t num_devices() const noexcept { return num_devices_; }
+
+  /// Number of nodes appearing at a level (sum of its cluster sizes).
+  [[nodiscard]] std::size_t nodes_at_level(std::size_t l) const;
+
+  /// Index of the cluster at level l that contains the given device, if any.
+  [[nodiscard]] std::optional<std::size_t> cluster_of(std::size_t l, DeviceId d) const;
+
+  /// Cluster at level l+1 whose leader is the given device (its "children"),
+  /// if the device leads one.
+  [[nodiscard]] std::optional<std::size_t> child_cluster_of(std::size_t l, DeviceId d) const;
+
+  /// Index of the cluster at level l-1 containing cluster (l, i)'s leader.
+  /// nullopt for l == 0.
+  [[nodiscard]] std::optional<std::size_t> parent_cluster_of(std::size_t l,
+                                                             std::size_t i) const;
+
+  /// All bottom-level devices in the subtree rooted at device d's appearance
+  /// on level l (d itself included; for l == depth() this is just {d}).
+  [[nodiscard]] std::vector<DeviceId> bottom_descendants(std::size_t l, DeviceId d) const;
+
+  /// Highest level (smallest index) at which the device appears.
+  [[nodiscard]] std::size_t highest_level_of(DeviceId d) const;
+
+  /// Structural invariants: every upper-level node leads exactly one cluster
+  /// below, member lists are consistent, the top is one cluster.  Throws
+  /// std::logic_error with a description on violation.
+  void validate() const;
+
+ private:
+  void build_indexes();
+
+  std::vector<std::vector<Cluster>> levels_;
+  std::size_t num_devices_ = 0;
+  // cluster_of_[l][device] = cluster index at level l, or npos.
+  std::vector<std::vector<std::size_t>> cluster_of_;
+  // child_cluster_[l][device] = index of the level-(l+1) cluster the device
+  // leads, or npos.  Sized num_levels()-1.
+  std::vector<std::vector<std::size_t>> child_cluster_;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+/// Equal Cluster Size Model: `levels` total levels (>= 2), cluster size m,
+/// top_nodes nodes in the single top cluster.  Bottom level has
+/// top_nodes * m^(levels-1) devices.  Leaders are the first member of each
+/// cluster unless `randomize_leaders`, in which case rng picks them.
+[[nodiscard]] HflTree build_ecsm(std::size_t levels, std::size_t m, std::size_t top_nodes,
+                                 util::Rng* rng_for_leaders = nullptr);
+
+struct AcsmConfig {
+  std::size_t bottom_devices = 64;
+  std::size_t min_cluster = 3;
+  std::size_t max_cluster = 6;
+  std::size_t top_size = 4;  // stop building levels once <= this many nodes
+};
+
+/// Arbitrary Cluster Size Model (Appendix C): cluster sizes at every level
+/// are drawn uniformly from [min_cluster, max_cluster].
+[[nodiscard]] HflTree build_acsm(const AcsmConfig& config, util::Rng& rng);
+
+/// Human-readable rendering: one line per cluster, leaders marked with '*'.
+///   L0   C0: *0 16 32 48
+///   L1   C0: *0 4 8 12 | C1: *16 20 24 28 | ...
+[[nodiscard]] std::string to_string(const HflTree& tree);
+
+}  // namespace abdhfl::topology

@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace abdhfl::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Cli::raw(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t Cli::integer(const std::string& name, std::int64_t def, const std::string& help) {
+  declared_[name] = {help, std::to_string(def)};
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Cli::real(const std::string& name, double def, const std::string& help) {
+  declared_[name] = {help, std::to_string(def)};
+  const auto v = raw(name);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+std::string Cli::str(const std::string& name, std::string def, const std::string& help) {
+  declared_[name] = {help, def};
+  const auto v = raw(name);
+  return v ? *v : def;
+}
+
+bool Cli::boolean(const std::string& name, bool def, const std::string& help) {
+  declared_[name] = {help, def ? "true" : "false"};
+  const auto v = raw(name);
+  if (!v) return def;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "no") return false;
+  throw std::invalid_argument("bad boolean for --" + name + ": " + *v);
+}
+
+bool Cli::finish() {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!declared_.contains(name)) {
+      std::fprintf(stderr, "error: unknown flag --%s (see --help)\n", name.c_str());
+      std::exit(2);
+    }
+  }
+  if (help_requested_) {
+    std::printf("usage: %s [flags]\n", program_.c_str());
+    for (const auto& [name, decl] : declared_) {
+      std::printf("  --%-22s %s (default: %s)\n", name.c_str(), decl.help.c_str(),
+                  decl.default_repr.c_str());
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace abdhfl::util

@@ -1,0 +1,49 @@
+#pragma once
+// Tiny command-line flag parser shared by the bench and example binaries.
+//
+// Flags use the form --name value or --name=value; bools may omit the value
+// (--paper-scale).  Unknown flags are an error so typos in sweep scripts
+// fail loudly instead of silently running the default configuration.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace abdhfl::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare a flag with a default; returns the parsed value.  Declaring is
+  /// what marks a flag as known — call these before finish().
+  [[nodiscard]] std::int64_t integer(const std::string& name, std::int64_t def,
+                                     const std::string& help);
+  [[nodiscard]] double real(const std::string& name, double def, const std::string& help);
+  [[nodiscard]] std::string str(const std::string& name, std::string def,
+                                const std::string& help);
+  [[nodiscard]] bool boolean(const std::string& name, bool def, const std::string& help);
+
+  /// Validates that every flag supplied on the command line was declared and
+  /// handles --help (prints usage, returns false meaning "exit now").
+  [[nodiscard]] bool finish();
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string default_repr;
+  };
+
+  std::optional<std::string> raw(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;       // supplied on command line
+  std::map<std::string, Decl> declared_;            // registered by the binary
+  bool help_requested_ = false;
+};
+
+}  // namespace abdhfl::util

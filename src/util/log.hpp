@@ -1,0 +1,41 @@
+#pragma once
+// Leveled stderr logging.  Kept deliberately small: the simulator is the
+// hot path and must be able to compile logging out of inner loops, so the
+// macros evaluate their arguments only when the level is enabled.
+
+#include <cstdio>
+#include <string>
+
+namespace abdhfl::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide threshold; messages below it are suppressed.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; throws on anything else.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void vlog(LogLevel level, const char* file, int line, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+}  // namespace detail
+
+}  // namespace abdhfl::util
+
+#define ABDHFL_LOG(level, ...)                                                     \
+  do {                                                                             \
+    if (static_cast<int>(level) >= static_cast<int>(::abdhfl::util::log_level()))  \
+      ::abdhfl::util::detail::vlog(level, __FILE__, __LINE__, __VA_ARGS__);        \
+  } while (0)
+
+#define LOG_DEBUG(...) ABDHFL_LOG(::abdhfl::util::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) ABDHFL_LOG(::abdhfl::util::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) ABDHFL_LOG(::abdhfl::util::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) ABDHFL_LOG(::abdhfl::util::LogLevel::kError, __VA_ARGS__)

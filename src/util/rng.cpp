@@ -1,0 +1,45 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace abdhfl::util {
+
+double Rng::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) noexcept {
+  // uniform() is in [0,1); use 1-u in (0,1] so log() never sees zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first k slots end up as the sample.
+  for (std::size_t i = 0; i < k && i + 1 < n; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace abdhfl::util

@@ -1,0 +1,135 @@
+#pragma once
+// Deterministic, seedable random number generation for simulations.
+//
+// Everything in this repository that needs randomness draws from Rng, a
+// xoshiro256** generator seeded through SplitMix64.  Simulation results are
+// therefore reproducible bit-for-bit from a single 64-bit seed, which the
+// experiment harnesses rely on for their repeated-run confidence intervals
+// (run k uses seed base_seed + k).
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace abdhfl::util {
+
+/// SplitMix64 step; used to expand a user seed into xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xABD4F1ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with given rate (lambda > 0).
+  double exponential(double rate) noexcept;
+
+  /// true with probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices from [0, n) in random order (k <= n).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng split() noexcept {
+    Rng child(0);
+    child.state_ = {(*this)(), (*this)(), (*this)(), (*this)()};
+    // Avoid the all-zero state, which xoshiro cannot escape.
+    if (child.state_[0] == 0 && child.state_[1] == 0 && child.state_[2] == 0 &&
+        child.state_[3] == 0) {
+      child.state_[0] = 1;
+    }
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace abdhfl::util

@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace abdhfl::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("median_of: empty input");
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double ci95_halfwidth(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.ci95 = ci95_halfwidth(xs);
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  return s;
+}
+
+std::vector<double> pointwise_mean(const std::vector<std::vector<double>>& series) {
+  if (series.empty()) return {};
+  const std::size_t len = series.front().size();
+  std::vector<double> out(len, 0.0);
+  for (const auto& run : series) {
+    if (run.size() != len) throw std::invalid_argument("pointwise_mean: ragged series");
+    for (std::size_t i = 0; i < len; ++i) out[i] += run[i];
+  }
+  for (double& x : out) x /= static_cast<double>(series.size());
+  return out;
+}
+
+std::vector<double> pointwise_ci95(const std::vector<std::vector<double>>& series) {
+  if (series.empty()) return {};
+  const std::size_t len = series.front().size();
+  std::vector<double> out(len, 0.0);
+  std::vector<double> column(series.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t r = 0; r < series.size(); ++r) {
+      if (series[r].size() != len) throw std::invalid_argument("pointwise_ci95: ragged series");
+      column[r] = series[r][i];
+    }
+    out[i] = ci95_halfwidth(column);
+  }
+  return out;
+}
+
+}  // namespace abdhfl::util

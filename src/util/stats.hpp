@@ -1,0 +1,51 @@
+#pragma once
+// Small descriptive-statistics helpers used by the experiment harnesses to
+// turn repeated-run measurements into the mean ± confidence-interval numbers
+// the paper reports (Table V averages five runs; Fig. 3 shades the CI band).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace abdhfl::util {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample variance (divides by n-1).  Returns 0 for fewer than two samples.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// Median (copies and partially sorts its input).
+[[nodiscard]] double median_of(std::span<const double> xs);
+
+/// Half-width of the ~95% confidence interval of the mean, using the normal
+/// approximation (1.96 * s / sqrt(n)).  Good enough for the 5-run bands the
+/// paper plots; returns 0 for fewer than two samples.
+[[nodiscard]] double ci95_halfwidth(std::span<const double> xs) noexcept;
+
+/// Summary bundle for one measured series.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Per-index mean over a collection of equally long series (for averaging
+/// learning curves across repeated runs).
+[[nodiscard]] std::vector<double> pointwise_mean(
+    const std::vector<std::vector<double>>& series);
+
+/// Per-index 95% CI half-width over a collection of equally long series.
+[[nodiscard]] std::vector<double> pointwise_ci95(
+    const std::vector<std::vector<double>>& series);
+
+}  // namespace abdhfl::util

@@ -1,0 +1,40 @@
+#pragma once
+// Aligned text tables and CSV output for the experiment harnesses.  Every
+// bench binary prints a human-readable table matching the paper's artifact
+// and can mirror the same rows into a CSV file for plotting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace abdhfl::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience formatting helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to a file; throws on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abdhfl::util

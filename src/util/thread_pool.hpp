@@ -1,0 +1,63 @@
+#pragma once
+// Fixed-size work-stealing-free thread pool with a parallel_for helper.
+//
+// Client local training inside one simulated global round is embarrassingly
+// parallel (each device trains on its own shard), so the experiment drivers
+// use parallel_for to spread device training across hardware threads while
+// the discrete-event simulator itself stays single-threaded and
+// deterministic.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace abdhfl::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <class F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run body(i) for i in [begin, end), blocking until all complete.
+  /// Exceptions from the body propagate (the first one encountered).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool, lazily constructed.  Experiment binaries share it.
+ThreadPool& global_pool();
+
+}  // namespace abdhfl::util

@@ -1,0 +1,115 @@
+// Unit tests for the Table II rules added beyond the evaluation's pair:
+// AutoGM (auto-reweighted geometric median) and cosine-similarity
+// clustering aggregation.
+
+#include <gtest/gtest.h>
+
+#include "agg/autogm.hpp"
+#include "agg/cluster_agg.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::agg {
+namespace {
+
+std::vector<ModelVec> cloud(std::size_t n, std::size_t dim, double center,
+                            double spread, util::Rng& rng) {
+  std::vector<ModelVec> out(n, ModelVec(dim));
+  for (auto& u : out) {
+    for (float& v : u) v = static_cast<float>(rng.normal(center, spread));
+  }
+  return out;
+}
+
+TEST(AutoGm, ExcludesFarOutliersAutomatically) {
+  util::Rng rng(1);
+  auto updates = cloud(8, 8, 1.0, 0.1, rng);
+  updates.push_back(ModelVec(8, 500.0f));
+  updates.push_back(ModelVec(8, -500.0f));
+
+  AutoGmAggregator autogm;
+  const auto out = autogm.aggregate(updates);
+  EXPECT_EQ(autogm.last_kept(), 8u);  // both outliers dropped
+  EXPECT_NEAR(out[0], 1.0f, 0.3f);
+}
+
+TEST(AutoGm, NoFixedByzantineCountNeeded) {
+  // Unlike Krum, AutoGM adapts: it drops 1 outlier of 9 and also 4 of 12
+  // without any f parameter.
+  util::Rng rng(2);
+  for (std::size_t bad : {1u, 4u}) {
+    auto updates = cloud(8, 8, 0.0, 0.1, rng);
+    for (std::size_t k = 0; k < bad; ++k) updates.push_back(ModelVec(8, 100.0f));
+    AutoGmAggregator autogm;
+    const auto out = autogm.aggregate(updates);
+    EXPECT_NEAR(out[0], 0.0f, 0.3f) << bad << " outliers";
+    EXPECT_EQ(autogm.last_kept(), 8u);
+  }
+}
+
+TEST(AutoGm, AllIdenticalInputsStable) {
+  AutoGmAggregator autogm;
+  const std::vector<ModelVec> same(5, ModelVec{3.0f, -1.0f});
+  const auto out = autogm.aggregate(same);
+  EXPECT_NEAR(out[0], 3.0f, 1e-3f);
+  EXPECT_EQ(autogm.last_kept(), 5u);
+}
+
+TEST(AutoGm, RejectsBadConfig) {
+  EXPECT_THROW(AutoGmAggregator({{}, 0.5, 5}), std::invalid_argument);
+  EXPECT_THROW(AutoGmAggregator({{}, 2.0, 0}), std::invalid_argument);
+}
+
+TEST(Clustering, CosineBasics) {
+  const std::vector<float> x = {1.0f, 0.0f};
+  const std::vector<float> y = {0.0f, 1.0f};
+  const std::vector<float> neg_x = {-2.0f, 0.0f};
+  const std::vector<float> zero = {0.0f, 0.0f};
+  EXPECT_NEAR(ClusterAggregator::cosine(x, x), 1.0, 1e-12);
+  EXPECT_NEAR(ClusterAggregator::cosine(x, y), 0.0, 1e-12);
+  EXPECT_NEAR(ClusterAggregator::cosine(x, neg_x), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ClusterAggregator::cosine(x, zero), 0.0);
+}
+
+TEST(Clustering, LargestClusterWins) {
+  // 6 aligned honest updates vs 3 sign-flipped ones: two clean cosine
+  // clusters; the majority cluster is averaged.
+  std::vector<ModelVec> updates;
+  for (int k = 0; k < 6; ++k) updates.push_back(ModelVec{1.0f, 1.0f});
+  for (int k = 0; k < 3; ++k) updates.push_back(ModelVec{-1.0f, -1.0f});
+
+  ClusterAggregator clustering({0.5});
+  const auto out = clustering.aggregate(updates);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  const auto& labels = clustering.last_labels();
+  EXPECT_EQ(labels[0], labels[5]);
+  EXPECT_NE(labels[0], labels[6]);
+}
+
+TEST(Clustering, DefeatsSignFlipWhereMedianDegrades) {
+  // The Table II rationale for having multiple techniques: a coordinated
+  // sign-flip minority forms its own tight cluster, which the clustering
+  // rule removes wholesale.
+  util::Rng rng(3);
+  auto honest = cloud(7, 16, 1.0, 0.05, rng);
+  std::vector<ModelVec> all = honest;
+  for (int k = 0; k < 3; ++k) {
+    ModelVec bad = honest[static_cast<std::size_t>(k)];
+    tensor::scale(bad, -1.0);
+    all.push_back(bad);
+  }
+  ClusterAggregator clustering({0.5});
+  const auto out = clustering.aggregate(all);
+  EXPECT_NEAR(out[0], 1.0f, 0.2f);
+}
+
+TEST(Clustering, SingleInputAndValidation) {
+  ClusterAggregator clustering;
+  const std::vector<ModelVec> one = {{2.0f}};
+  EXPECT_FLOAT_EQ(clustering.aggregate(one)[0], 2.0f);
+  EXPECT_THROW(ClusterAggregator({2.0}), std::invalid_argument);
+  EXPECT_THROW(clustering.aggregate({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdhfl::agg

@@ -1,0 +1,193 @@
+// Tests for the asynchronous event-driven ABD-HFL runner: the pipeline
+// learning workflow with real training.
+
+#include <gtest/gtest.h>
+
+#include "core/async_runner.hpp"
+#include <set>
+#include <string>
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "topology/byzantine.hpp"
+
+namespace abdhfl::core {
+namespace {
+
+struct Fixture {
+  topology::HflTree tree = topology::build_ecsm(3, 4, 4);
+  std::vector<data::Dataset> shards;
+  data::Dataset test_set;
+  std::vector<data::Dataset> validation;
+  nn::Mlp prototype;
+
+  explicit Fixture(std::uint64_t seed = 1, std::size_t per_class = 40) {
+    util::Rng rng(seed);
+    data::SynthConfig synth;
+    synth.samples_per_class = per_class;
+    const auto pool = data::generate_synth_digits(synth, rng);
+    shards = data::partition_iid(pool, tree.num_devices(), rng);
+    synth.samples_per_class = 20;
+    test_set = data::generate_synth_digits(synth, rng);
+    validation = data::partition_iid(test_set, 4, rng);
+    prototype = nn::make_mlp(pool.dim(), {16}, 10, rng);
+  }
+};
+
+AsyncHflConfig quick_config(std::size_t rounds = 6, std::size_t flag = 1) {
+  AsyncHflConfig config;
+  config.rounds = rounds;
+  config.flag_level = flag;
+  config.learn.local_iters = 3;
+  config.learn.batch = 16;
+  return config;
+}
+
+TEST(Async, ProducesRequestedGlobalRounds) {
+  Fixture fx;
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        quick_config(), {}, 7);
+  const auto result = runner.run();
+  ASSERT_EQ(result.rounds.size(), 6u);
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_GT(result.rounds[r].t_formed, result.rounds[r - 1].t_formed);
+  }
+  EXPECT_GT(result.comm.messages, 0u);
+}
+
+TEST(Async, DeterministicPerSeed) {
+  Fixture fx;
+  AsyncHflRunner a(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                   quick_config(), {}, 9);
+  Fixture fx2;  // identical fixture
+  AsyncHflRunner b(fx2.tree, fx2.shards, fx2.test_set, fx2.validation, fx2.prototype,
+                   quick_config(), {}, 9);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+  for (std::size_t i = 0; i < ra.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.rounds[i].t_formed, rb.rounds[i].t_formed);
+    EXPECT_DOUBLE_EQ(ra.rounds[i].accuracy, rb.rounds[i].accuracy);
+  }
+}
+
+TEST(Async, LearnsOverTime) {
+  Fixture fx(2, 60);
+  auto config = quick_config(10);
+  config.learn.local_iters = 5;
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        config, {}, 11);
+  const auto result = runner.run();
+  EXPECT_GT(result.final_accuracy, result.rounds.front().accuracy + 0.15);
+  EXPECT_GT(result.final_accuracy, 0.4);
+}
+
+TEST(Async, PipelineBeatsSynchronousWallClock) {
+  // Same workload, flag level 1 (pipelined) vs flag level 0 (global model
+  // gates every round): the pipelined run forms its last global model
+  // earlier.
+  Fixture fx(3);
+  auto piped = quick_config(8, /*flag=*/1);
+  piped.global_agg_time = 1.0;  // make the top-level agreement expensive
+  auto synced = piped;
+  synced.flag_level = 0;
+
+  AsyncHflRunner fast(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                      piped, {}, 13);
+  Fixture fx2(3);
+  AsyncHflRunner slow(fx2.tree, fx2.shards, fx2.test_set, fx2.validation, fx2.prototype,
+                      synced, {}, 13);
+  const auto piped_result = fast.run();
+  const auto synced_result = slow.run();
+  EXPECT_LT(piped_result.total_time, synced_result.total_time);
+}
+
+TEST(Async, StalenessReportedForPipelinedRuns) {
+  Fixture fx(4);
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        quick_config(8, 1), {}, 15);
+  const auto result = runner.run();
+  bool saw_staleness = false;
+  for (const auto& r : result.rounds) saw_staleness |= r.mean_staleness > 0.0;
+  EXPECT_TRUE(saw_staleness);
+}
+
+TEST(Async, SurvivesPoisoningLikeSyncRunner) {
+  Fixture fx(5, 60);
+  AttackSetup attack;
+  attack.mask = topology::block_malicious(fx.tree.num_devices(), 0.5);
+  attack.poison.type = attacks::PoisonType::kLabelFlipType1;
+
+  auto config = quick_config(10);
+  config.learn.local_iters = 5;
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        config, attack, 17);
+  const auto result = runner.run();
+  EXPECT_GT(result.final_accuracy, 0.4);
+}
+
+TEST(Async, QuorumBelowOneStillConverges) {
+  Fixture fx(6);
+  auto config = quick_config(8);
+  config.quorum = 0.75;
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        config, {}, 19);
+  const auto result = runner.run();
+  EXPECT_EQ(result.rounds.size(), 8u);
+}
+
+TEST(Async, ValidatesConfig) {
+  Fixture fx(7);
+  auto config = quick_config();
+  config.flag_level = 2;  // == bottom level of a 3-level tree
+  EXPECT_THROW(AsyncHflRunner(fx.tree, fx.shards, fx.test_set, fx.validation,
+                              fx.prototype, config, {}, 1),
+               std::invalid_argument);
+  config = quick_config();
+  config.quorum = 1.5;
+  EXPECT_THROW(AsyncHflRunner(fx.tree, fx.shards, fx.test_set, fx.validation,
+                              fx.prototype, config, {}, 1),
+               std::invalid_argument);
+}
+
+TEST(Async, TraceRecordsTimeline) {
+  Fixture fx(9);
+  auto config = quick_config(3);
+  config.trace = true;
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        config, {}, 23);
+  const auto result = runner.run();
+  ASSERT_FALSE(result.trace.empty());
+  // Timeline is time-ordered and contains every event family.
+  std::set<std::string> kinds;
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    if (i > 0) EXPECT_GE(result.trace[i].time, result.trace[i - 1].time);
+    kinds.insert(result.trace[i].kind);
+  }
+  for (const char* expected : {"train_start", "train_end", "agg_start", "agg_done",
+                               "flag_release", "global_formed"}) {
+    EXPECT_TRUE(kinds.contains(expected)) << expected;
+  }
+  const auto csv = trace_to_csv(result.trace);
+  EXPECT_NE(csv.find("global_formed"), std::string::npos);
+
+  // Tracing off -> empty.
+  Fixture fx2(9);
+  auto quiet = quick_config(3);
+  AsyncHflRunner silent(fx2.tree, fx2.shards, fx2.test_set, fx2.validation, fx2.prototype,
+                        quiet, {}, 23);
+  EXPECT_TRUE(silent.run().trace.empty());
+}
+
+TEST(Async, ModelAttackRuns) {
+  Fixture fx(8);
+  AttackSetup attack;
+  attack.mask = topology::block_malicious(fx.tree.num_devices(), 0.25);
+  attack.model_attack = attacks::make_model_attack("sign_flip");
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        quick_config(), attack, 21);
+  const auto result = runner.run();
+  EXPECT_EQ(result.rounds.size(), 6u);
+}
+
+}  // namespace
+}  // namespace abdhfl::core

@@ -1,0 +1,193 @@
+// Unit tests for src/attacks: the Table I attack implementations.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attacks/data_poison.hpp"
+#include "attacks/model_attack.hpp"
+#include "data/synth_digits.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::attacks {
+namespace {
+
+data::Dataset sample_shard(util::Rng& rng, std::size_t per_class = 5) {
+  data::SynthConfig config;
+  config.samples_per_class = per_class;
+  return data::generate_synth_digits(config, rng);
+}
+
+TEST(DataPoison, LabelFlipType1SetsAllToTarget) {
+  util::Rng rng(1);
+  auto shard = sample_shard(rng);
+  PoisonConfig config;
+  config.type = PoisonType::kLabelFlipType1;
+  poison_dataset(shard, config, rng);
+  for (std::uint8_t l : shard.labels) EXPECT_EQ(l, 9);
+}
+
+TEST(DataPoison, LabelFlipType2Randomizes) {
+  util::Rng rng(2);
+  auto shard = sample_shard(rng, 20);
+  const auto before = shard.labels;
+  PoisonConfig config;
+  config.type = PoisonType::kLabelFlipType2;
+  poison_dataset(shard, config, rng);
+  std::set<std::uint8_t> seen(shard.labels.begin(), shard.labels.end());
+  EXPECT_GT(seen.size(), 3u);  // spread over classes
+  for (std::uint8_t l : shard.labels) EXPECT_LT(l, 10);
+  EXPECT_NE(shard.labels, before);
+}
+
+TEST(DataPoison, BackdoorStampsTriggerAndRelabels) {
+  util::Rng rng(3);
+  auto shard = sample_shard(rng);
+  PoisonConfig config;
+  config.type = PoisonType::kBackdoor;
+  config.trigger_size = 3;
+  config.image_side = 16;
+  poison_dataset(shard, config, rng);
+  for (std::uint8_t l : shard.labels) EXPECT_EQ(l, config.target_label);
+  // Trigger patch saturated on every image.
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    auto row = shard.features.row(i);
+    for (std::size_t y = 0; y < 3; ++y) {
+      for (std::size_t x = 0; x < 3; ++x) EXPECT_FLOAT_EQ(row[y * 16 + x], 1.0f);
+    }
+  }
+}
+
+TEST(DataPoison, StampTriggerKeepsLabels) {
+  util::Rng rng(4);
+  auto shard = sample_shard(rng);
+  const auto labels = shard.labels;
+  PoisonConfig config;
+  config.type = PoisonType::kBackdoor;
+  stamp_trigger(shard, config);
+  EXPECT_EQ(shard.labels, labels);
+  EXPECT_FLOAT_EQ(shard.features.at(0, 0), 1.0f);
+}
+
+TEST(DataPoison, FeatureNoisePerturbsPixels) {
+  util::Rng rng(5);
+  auto shard = sample_shard(rng);
+  const auto before = shard.features;
+  PoisonConfig config;
+  config.type = PoisonType::kFeatureNoise;
+  config.noise_stddev = 0.5;
+  poison_dataset(shard, config, rng);
+  double total_shift = 0.0;
+  for (std::size_t i = 0; i < shard.features.size(); ++i) {
+    total_shift += std::abs(shard.features.flat()[i] - before.flat()[i]);
+  }
+  EXPECT_GT(total_shift / static_cast<double>(shard.features.size()), 0.2);
+}
+
+TEST(DataPoison, NoneIsNoop) {
+  util::Rng rng(6);
+  auto shard = sample_shard(rng);
+  const auto copy = shard;
+  PoisonConfig config;
+  config.type = PoisonType::kNone;
+  poison_dataset(shard, config, rng);
+  EXPECT_EQ(shard.labels, copy.labels);
+  EXPECT_EQ(shard.features, copy.features);
+}
+
+TEST(DataPoison, NamesRoundtrip) {
+  for (auto type : {PoisonType::kNone, PoisonType::kLabelFlipType1,
+                    PoisonType::kLabelFlipType2, PoisonType::kBackdoor,
+                    PoisonType::kFeatureNoise}) {
+    EXPECT_EQ(parse_poison(poison_name(type)), type);
+  }
+  EXPECT_THROW(parse_poison("garbage"), std::invalid_argument);
+}
+
+TEST(ModelAttack, SignFlipNegates) {
+  util::Rng rng(7);
+  SignFlipAttack attack(2.0);
+  const agg::ModelVec base = {1.0f, -3.0f};
+  const auto out = attack.craft({}, base, rng);
+  EXPECT_FLOAT_EQ(out[0], -2.0f);
+  EXPECT_FLOAT_EQ(out[1], 6.0f);
+  EXPECT_THROW(SignFlipAttack(0.0), std::invalid_argument);
+}
+
+TEST(ModelAttack, NoisePerturbsAroundBase) {
+  util::Rng rng(8);
+  NoiseAttack attack(1.0);
+  const agg::ModelVec base(100, 5.0f);
+  const auto out = attack.craft({}, base, rng);
+  double mean = 0.0;
+  for (float v : out) mean += v;
+  mean /= 100.0;
+  EXPECT_NEAR(mean, 5.0, 0.5);
+  EXPECT_NE(out, base);
+}
+
+TEST(ModelAttack, AlieStaysWithinHonestStatistics) {
+  util::Rng rng(9);
+  std::vector<agg::ModelVec> honest(20, agg::ModelVec(16));
+  for (auto& u : honest) {
+    for (float& v : u) v = static_cast<float>(rng.normal(2.0, 0.5));
+  }
+  AlieAttack attack(1.0);
+  const auto out = attack.craft(honest, honest.front(), rng);
+  // z = 1: the crafted vector sits one empirical stddev above the mean —
+  // inside the cloud's spread, not an obvious outlier.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out[i], 1.0f);
+    EXPECT_LT(out[i], 4.5f);
+  }
+}
+
+TEST(ModelAttack, AlieFallsBackWithoutPeers) {
+  util::Rng rng(10);
+  AlieAttack attack(1.0);
+  const agg::ModelVec base = {1.0f};
+  EXPECT_EQ(attack.craft({}, base, rng), base);
+}
+
+TEST(ModelAttack, IpmOpposesHonestMean) {
+  util::Rng rng(11);
+  std::vector<agg::ModelVec> honest = {{2.0f, 0.0f}, {4.0f, 0.0f}};
+  IpmAttack attack(0.5);
+  const auto out = attack.craft(honest, honest.front(), rng);
+  EXPECT_FLOAT_EQ(out[0], -1.5f);  // -0.5 * mean(2, 4)
+  // Negative inner product with the honest mean.
+  const agg::ModelVec mean = {3.0f, 0.0f};
+  EXPECT_LT(tensor::dot(out, mean), 0.0);
+}
+
+TEST(ModelAttack, FactoryMakesAll) {
+  util::Rng rng(12);
+  for (const auto& name : model_attack_names()) {
+    auto attack = make_model_attack(name);
+    ASSERT_NE(attack, nullptr);
+    EXPECT_EQ(attack->name(), name);
+    const agg::ModelVec base = {1.0f, 2.0f};
+    const auto out = attack->craft({base, base, base}, base, rng);
+    EXPECT_EQ(out.size(), base.size());
+  }
+  EXPECT_THROW(make_model_attack("nope"), std::invalid_argument);
+}
+
+TEST(ModelAttack, CorruptsUndefendedMean) {
+  // Sanity link to the aggregation layer: 30% IPM attackers flip the sign of
+  // a mean aggregate but not of a median aggregate.
+  util::Rng rng(13);
+  std::vector<agg::ModelVec> honest(7, agg::ModelVec(4, 1.0f));
+  IpmAttack attack(3.0);
+  std::vector<agg::ModelVec> all = honest;
+  for (int k = 0; k < 3; ++k) all.push_back(attack.craft(honest, honest.front(), rng));
+
+  const auto mean_out = agg::make_aggregator("mean")->aggregate(all);
+  EXPECT_LT(mean_out[0], 0.5f);  // dragged toward the attack
+  const auto median_out = agg::make_aggregator("median")->aggregate(all);
+  EXPECT_FLOAT_EQ(median_out[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace abdhfl::attacks

@@ -1,0 +1,117 @@
+// Tests for membership dynamics (Assumption 3): joins, leaves, leadership
+// succession, and id compaction — all resulting trees must satisfy every
+// HflTree structural invariant (validate() runs inside the constructor).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/churn.hpp"
+#include "topology/tree.hpp"
+
+namespace abdhfl::topology {
+namespace {
+
+TEST(Churn, JoinAppendsToChosenCluster) {
+  const auto tree = build_ecsm(3, 4, 4);
+  const auto joined = with_device_joined(tree, 5);
+  EXPECT_EQ(joined.new_device, 64u);
+  EXPECT_EQ(joined.tree.num_devices(), 65u);
+  EXPECT_EQ(joined.tree.cluster(2, 5).size(), 5u);
+  // Upper levels untouched.
+  EXPECT_EQ(joined.tree.nodes_at_level(1), 16u);
+  EXPECT_EQ(*joined.tree.cluster_of(2, joined.new_device), 5u);
+  EXPECT_THROW(with_device_joined(tree, 99), std::invalid_argument);
+}
+
+TEST(Churn, JoinedDeviceIsNotALeader) {
+  const auto tree = build_ecsm(3, 4, 4);
+  const auto joined = with_device_joined(tree, 0);
+  EXPECT_EQ(joined.tree.highest_level_of(joined.new_device), joined.tree.depth());
+}
+
+TEST(Churn, NonLeaderLeaveKeepsStructure) {
+  const auto tree = build_ecsm(3, 4, 4);
+  // Device 2 is a plain member of bottom cluster 0.
+  const auto left = with_device_left(tree, 2);
+  EXPECT_EQ(left.tree.num_devices(), 63u);
+  EXPECT_EQ(left.tree.cluster(2, 0).size(), 3u);
+  // The old leader (device 0) still leads and still chains to the top.
+  EXPECT_EQ(left.tree.cluster(2, 0).leader_id(), 0u);
+  EXPECT_EQ(left.tree.highest_level_of(0), 0u);
+}
+
+TEST(Churn, IdCompactionMapping) {
+  const auto tree = build_ecsm(3, 4, 4);
+  const auto left = with_device_left(tree, 10);
+  EXPECT_FALSE(left.old_to_new[10].has_value());
+  EXPECT_EQ(left.old_to_new[9], 9u);
+  EXPECT_EQ(left.old_to_new[11], 10u);
+  EXPECT_EQ(left.old_to_new[63], 62u);
+}
+
+TEST(Churn, LeaderLeaveElectsSuccessorUpTheChain) {
+  const auto tree = build_ecsm(3, 4, 4);
+  // Device 0 leads bottom cluster 0, level-1 cluster 0 and sits in the top
+  // cluster.  After it leaves, its successor (old device 1 -> new id 0)
+  // inherits the whole chain.
+  ASSERT_EQ(tree.highest_level_of(0), 0u);
+  const auto left = with_device_left(tree, 0);
+  EXPECT_EQ(left.tree.num_devices(), 63u);
+  const DeviceId successor = *left.old_to_new[1];  // old device 1
+  EXPECT_EQ(successor, 0u);
+  EXPECT_EQ(left.tree.cluster(2, 0).leader_id(), successor);
+  EXPECT_EQ(left.tree.highest_level_of(successor), 0u);
+  // The top cluster still has 4 members.
+  EXPECT_EQ(left.tree.cluster(0, 0).size(), 4u);
+}
+
+TEST(Churn, MidLevelLeaderLeave) {
+  const auto tree = build_ecsm(3, 4, 4);
+  // Device 4 leads bottom cluster 1 and appears at level 1 (but not top).
+  ASSERT_EQ(tree.highest_level_of(4), 1u);
+  const auto left = with_device_left(tree, 4);
+  const DeviceId successor = *left.old_to_new[5];
+  EXPECT_EQ(left.tree.cluster(2, 1).leader_id(), successor);
+  EXPECT_EQ(left.tree.highest_level_of(successor), 1u);
+}
+
+TEST(Churn, CannotEmptyACluster) {
+  // 2-level tree with cluster size 1 at the bottom is impossible with ECSM;
+  // build one device per cluster manually through repeated leaves instead.
+  auto tree = build_ecsm(2, 2, 2);  // bottom clusters of 2
+  const auto once = with_device_left(tree, 1);
+  // Bottom cluster 0 now has a single member; removing it must throw.
+  EXPECT_THROW(with_device_left(once.tree, 0), std::invalid_argument);
+  EXPECT_THROW(with_device_left(tree, 99), std::invalid_argument);
+}
+
+TEST(Churn, RepeatedChurnStaysValid) {
+  auto tree = build_ecsm(3, 4, 4);
+  // Alternate joins and leaves; every intermediate tree re-validates.
+  for (int i = 0; i < 5; ++i) {
+    const auto joined = with_device_joined(tree, static_cast<std::size_t>(i));
+    tree = joined.tree;
+    const auto left = with_device_left(tree, static_cast<DeviceId>(3 * i + 1));
+    tree = left.tree;
+  }
+  EXPECT_EQ(tree.num_devices(), 64u);
+  tree.validate();
+}
+
+TEST(Churn, DescendantsConsistentAfterSuccession) {
+  const auto tree = build_ecsm(3, 4, 4);
+  const auto left = with_device_left(tree, 0);
+  // All 63 devices are still covered exactly once by the top cluster.
+  std::vector<DeviceId> seen;
+  for (DeviceId d : left.tree.cluster(0, 0).members) {
+    const auto sub = left.tree.bottom_descendants(0, d);
+    seen.insert(seen.end(), sub.begin(), sub.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 63u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace abdhfl::topology

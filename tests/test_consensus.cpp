@@ -1,0 +1,203 @@
+// Unit tests for src/consensus: voting (Appendix D.B), committee, and
+// PBFT-style protocols, including adversarial participant behaviour and
+// traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include "consensus/committee.hpp"
+#include "consensus/consensus.hpp"
+#include "consensus/pbft.hpp"
+#include "consensus/voting.hpp"
+#include "nn/serialize.hpp"
+
+namespace abdhfl::consensus {
+namespace {
+
+// Candidates: value encodes quality; the evaluator scores a candidate by its
+// first coordinate (same for every voter).
+std::vector<ModelVec> candidates_with_bad(std::size_t n, std::size_t bad_count) {
+  std::vector<ModelVec> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ModelVec{i < bad_count ? 0.0f : 1.0f, 0.5f});
+  }
+  return out;
+}
+
+double score_by_first(std::size_t, const ModelVec& m) { return m[0]; }
+
+TEST(Voting, DropsAllBadCandidates) {
+  util::Rng rng(1);
+  VotingConsensus voting;
+  // 2 of 4 candidates bad — more than any fixed exclude-one policy handles.
+  const auto cands = candidates_with_bad(4, 2);
+  const std::vector<bool> byz(4, false);
+  const auto result = voting.agree(cands, score_by_first, byz, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.accepted[0]);
+  EXPECT_FALSE(result.accepted[1]);
+  EXPECT_TRUE(result.accepted[2]);
+  EXPECT_TRUE(result.accepted[3]);
+  EXPECT_FLOAT_EQ(result.model[0], 1.0f);
+}
+
+TEST(Voting, KeepsEverythingWhenAllGood) {
+  util::Rng rng(2);
+  VotingConsensus voting;
+  const auto cands = candidates_with_bad(4, 0);
+  const auto result = voting.agree(cands, score_by_first, std::vector<bool>(4, false), rng);
+  for (bool kept : result.accepted) EXPECT_TRUE(kept);
+}
+
+TEST(Voting, SingleAdversarialVoterCannotFlipOutcome) {
+  util::Rng rng(3);
+  VotingConsensus voting;
+  const auto cands = candidates_with_bad(4, 1);
+  std::vector<bool> byz(4, false);
+  byz[0] = true;  // the bad candidate's owner votes adversarially (γ1 = 25%)
+  const auto result = voting.agree(cands, score_by_first, byz, rng);
+  EXPECT_FALSE(result.accepted[0]);
+  EXPECT_TRUE(result.accepted[1]);
+  EXPECT_FLOAT_EQ(result.model[0], 1.0f);
+}
+
+TEST(Voting, NeverDropsEverything) {
+  util::Rng rng(4);
+  VotingConsensus voting;
+  // Adversarial majority of voters: every candidate fails the threshold.
+  const auto cands = candidates_with_bad(4, 2);
+  const std::vector<bool> byz(4, true);
+  const auto result = voting.agree(cands, score_by_first, byz, rng);
+  std::size_t kept = 0;
+  for (bool b : result.accepted) kept += b ? 1 : 0;
+  EXPECT_GE(kept, 1u);
+}
+
+TEST(Voting, TrafficAccounting) {
+  util::Rng rng(5);
+  VotingConsensus voting;
+  const auto cands = candidates_with_bad(4, 0);
+  const auto result = voting.agree(cands, score_by_first, std::vector<bool>(4, false), rng);
+  EXPECT_EQ(result.messages, 2u * 4 * 3);
+  EXPECT_EQ(result.model_bytes, 4u * 3 * nn::wire_size(2));
+}
+
+TEST(Voting, ValidatesInput) {
+  util::Rng rng(6);
+  VotingConsensus voting;
+  EXPECT_THROW(voting.agree({}, score_by_first, {}, rng), std::invalid_argument);
+  EXPECT_THROW(voting.agree(candidates_with_bad(3, 0), score_by_first,
+                            std::vector<bool>(2, false), rng),
+               std::invalid_argument);
+  EXPECT_THROW(VotingConsensus({1.5, 0.05}), std::invalid_argument);
+}
+
+TEST(Committee, MajorityAcceptsGood) {
+  util::Rng rng(7);
+  CommitteeConsensus committee({3, 0.05, 0});
+  const auto cands = candidates_with_bad(5, 2);
+  const auto result =
+      committee.agree(cands, score_by_first, std::vector<bool>(5, false), rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.accepted[0]);
+  EXPECT_TRUE(result.accepted[3]);
+  EXPECT_FLOAT_EQ(result.model[0], 1.0f);
+}
+
+TEST(Committee, RotationChangesCommittee) {
+  util::Rng rng(8);
+  // Salt 0 committee = {0,1,2}: two Byzantine members outvote the honest one
+  // and push the bad candidates through — committee consensus is subverted
+  // by an adversarial committee majority.  Salt 2 committee = {2,3,4} is all
+  // honest and recovers the good outcome.
+  std::vector<bool> byz(5, false);
+  byz[0] = byz[1] = true;
+  const auto cands = candidates_with_bad(5, 2);
+
+  CommitteeConsensus bad_committee({3, 0.05, 0});
+  const auto bad = bad_committee.agree(cands, score_by_first, byz, rng);
+  EXPECT_LT(bad.model[0], 0.5f);  // corrupted outcome
+
+  CommitteeConsensus good_committee({3, 0.05, 2});
+  const auto good = good_committee.agree(cands, score_by_first, byz, rng);
+  EXPECT_TRUE(good.success);
+  EXPECT_FLOAT_EQ(good.model[0], 1.0f);
+}
+
+TEST(Committee, CheaperThanFullVoting) {
+  util::Rng rng(9);
+  const auto cands = candidates_with_bad(16, 0);
+  const std::vector<bool> byz(16, false);
+  VotingConsensus voting;
+  CommitteeConsensus committee({3, 0.05, 0});
+  const auto full = voting.agree(cands, score_by_first, byz, rng);
+  const auto cheap = committee.agree(cands, score_by_first, byz, rng);
+  EXPECT_LT(cheap.model_bytes, full.model_bytes);
+  EXPECT_LT(cheap.messages, full.messages);
+}
+
+TEST(Pbft, HonestLeaderCommitsFirstView) {
+  util::Rng rng(10);
+  PbftConsensus pbft({0.05, 8, /*salt=*/2});  // leader = member 2 (honest)
+  const auto cands = candidates_with_bad(4, 1);
+  std::vector<bool> byz(4, false);
+  byz[0] = true;
+  const auto result = pbft.agree(cands, score_by_first, byz, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.views, 1u);
+  EXPECT_FALSE(result.accepted[0]);
+  EXPECT_FLOAT_EQ(result.model[0], 1.0f);
+}
+
+TEST(Pbft, ByzantineLeaderTriggersViewChange) {
+  util::Rng rng(11);
+  PbftConsensus pbft({0.05, 8, /*salt=*/0});  // leader = member 0 (Byzantine)
+  const auto cands = candidates_with_bad(4, 1);
+  std::vector<bool> byz(4, false);
+  byz[0] = true;
+  const auto result = pbft.agree(cands, score_by_first, byz, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(result.views, 1u);  // rotated past the bad leader
+  EXPECT_FLOAT_EQ(result.model[0], 1.0f);
+}
+
+TEST(Pbft, FailsBeyondMaxViews) {
+  util::Rng rng(12);
+  PbftConsensus pbft({0.05, 2, 0});
+  // Total validation disagreement: every voter only accepts its own
+  // candidate, so no proposal can ever gather a quorum.
+  std::vector<ModelVec> cands;
+  for (float v : {0.0f, 1.0f, 2.0f, 3.0f}) cands.push_back(ModelVec{v});
+  auto own_only = [&](std::size_t voter, const ModelVec& m) {
+    return m == cands[voter] ? 1.0 : 0.0;
+  };
+  const auto result = pbft.agree(cands, own_only, std::vector<bool>(4, false), rng);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.views, 2u);
+}
+
+TEST(Pbft, ClassicFaultBound) {
+  EXPECT_EQ(PbftConsensus::max_faulty(4), 1u);
+  EXPECT_EQ(PbftConsensus::max_faulty(7), 2u);
+  EXPECT_EQ(PbftConsensus::max_faulty(1), 0u);
+}
+
+TEST(Pbft, MessageCountGrowsQuadratically) {
+  util::Rng rng(13);
+  PbftConsensus pbft({0.05, 8, 1});
+  const std::vector<bool> byz4(4, false), byz8(8, false);
+  const auto small = pbft.agree(candidates_with_bad(4, 0), score_by_first, byz4, rng);
+  const auto large = pbft.agree(candidates_with_bad(8, 0), score_by_first, byz8, rng);
+  EXPECT_GT(large.messages, 3 * small.messages);
+}
+
+TEST(Factory, MakesEveryProtocol) {
+  for (const auto& name : consensus_names()) {
+    auto protocol = make_consensus(name);
+    ASSERT_NE(protocol, nullptr);
+    EXPECT_EQ(protocol->name(), name);
+  }
+  EXPECT_THROW(make_consensus("raft"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdhfl::consensus

@@ -1,0 +1,166 @@
+// Tests for the convolution/pooling layers: numerical gradient checks,
+// shape handling, and end-to-end compatibility with the flatten/unflatten
+// aggregation bridge.
+
+#include <gtest/gtest.h>
+
+#include "data/synth_digits.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/sgd.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::nn {
+namespace {
+
+tensor::Matrix random_batch(std::size_t n, std::size_t dim, util::Rng& rng) {
+  tensor::Matrix x(n, dim);
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  return x;
+}
+
+TEST(Conv, ForwardShapeAndKnownKernel) {
+  util::Rng rng(1);
+  Conv2dShape shape;
+  shape.height = shape.width = 4;
+  shape.out_channels = 1;
+  shape.kernel = 3;
+  Conv2d conv(shape, rng);
+  EXPECT_EQ(shape.out_features(), 4u);  // 2x2 output
+
+  // Identity-center kernel: output equals the input's interior window.
+  auto refs = conv.params();
+  refs[0].value->fill(0.0f);
+  refs[0].value->at(0, 4) = 1.0f;  // center of the 3x3
+  refs[1].value->fill(0.0f);
+
+  tensor::Matrix x(1, 16);
+  for (std::size_t i = 0; i < 16; ++i) x.flat()[i] = static_cast<float>(i);
+  const auto y = conv.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 9.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 10.0f);
+}
+
+TEST(Conv, NumericalGradientCheck) {
+  util::Rng rng(2);
+  Mlp model;
+  Conv2dShape shape;
+  shape.height = shape.width = 6;
+  shape.out_channels = 2;
+  shape.kernel = 3;
+  model.add(std::make_unique<Conv2d>(shape, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2x2>(2, 4, 4));
+  // pooled: 2 * 2 * 2 = 8 features -> 3 classes via dense
+  {
+    util::Rng dense_rng(3);
+    model.add(std::make_unique<Dense>(8, 3, dense_rng));
+  }
+
+  const auto x = random_batch(4, 36, rng);
+  const std::vector<std::uint8_t> labels = {0, 1, 2, 1};
+  const auto loss = softmax_cross_entropy(model.forward(x), labels);
+  model.backward(loss.grad);
+  const auto analytic = model.flatten_grads();
+  auto params = model.flatten();
+
+  auto loss_at = [&](const std::vector<float>& p) {
+    model.unflatten(p);
+    return softmax_cross_entropy(model.forward(x), labels).loss;
+  };
+
+  util::Rng pick(4);
+  const double eps = 1e-3;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto i = static_cast<std::size_t>(pick.below(params.size()));
+    auto up = params, down = params;
+    up[i] += static_cast<float>(eps);
+    down[i] -= static_cast<float>(eps);
+    const double numeric = (loss_at(up) - loss_at(down)) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 5e-3) << "param " << i;
+  }
+  model.unflatten(params);
+}
+
+TEST(Conv, PoolSelectsMaxAndRoutesGradient) {
+  MaxPool2x2 pool(1, 2, 2);
+  tensor::Matrix x(1, 4);
+  x.flat()[0] = 1.0f;
+  x.flat()[1] = 5.0f;
+  x.flat()[2] = 3.0f;
+  x.flat()[3] = 2.0f;
+  const auto y = pool.forward(x);
+  ASSERT_EQ(y.cols(), 1u);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 5.0f);
+
+  tensor::Matrix g(1, 1, 2.0f);
+  const auto gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx.flat()[1], 2.0f);  // only the max gets gradient
+  EXPECT_FLOAT_EQ(gx.flat()[0], 0.0f);
+}
+
+TEST(Conv, ValidationErrors) {
+  util::Rng rng(5);
+  Conv2dShape bad;
+  bad.kernel = 20;
+  bad.height = bad.width = 8;
+  EXPECT_THROW(Conv2d(bad, rng), std::invalid_argument);
+  EXPECT_THROW(MaxPool2x2(1, 3, 4), std::invalid_argument);
+
+  Conv2dShape shape;  // 16x16 default
+  Conv2d conv(shape, rng);
+  EXPECT_THROW(conv.forward(tensor::Matrix(1, 7)), std::invalid_argument);
+}
+
+TEST(Conv, CloneIsDeep) {
+  util::Rng rng(6);
+  Conv2dShape shape;
+  shape.height = shape.width = 6;
+  Conv2d conv(shape, rng);
+  auto copy = conv.clone();
+  const auto x = random_batch(2, 36, rng);
+  const auto a = conv.forward(x);
+  const auto b = copy->forward(x);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Conv, CnnFlattensLikeAnyModel) {
+  util::Rng rng(7);
+  auto cnn = make_cnn(16, 4, 10, rng);
+  const auto params = cnn.flatten();
+  EXPECT_EQ(params.size(), cnn.param_count());
+  // conv: 4*(1*9)+4 weights+bias; dense: (4*7*7)*10 + 10.
+  EXPECT_EQ(params.size(), 4u * 9 + 4 + 4 * 49 * 10 + 10);
+  auto other = make_cnn(16, 4, 10, rng);
+  other.unflatten(params);
+  EXPECT_EQ(other.flatten(), params);
+  EXPECT_THROW(make_cnn(15, 4, 10, rng), std::invalid_argument);
+}
+
+TEST(Conv, CnnLearnsSynthDigits) {
+  util::Rng rng(8);
+  data::SynthConfig synth;
+  synth.samples_per_class = 20;
+  const auto train = data::generate_synth_digits(synth, rng);
+  auto cnn = make_cnn(16, 4, 10, rng);
+  Sgd sgd({0.05, 0.9, 0.0});
+
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    const auto batch = train.sample_batch(32, rng);
+    const auto loss = softmax_cross_entropy(cnn.forward(batch.features), batch.labels);
+    cnn.backward(loss.grad);
+    sgd.step(cnn);
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+  }
+  EXPECT_LT(last, first * 0.6);
+}
+
+}  // namespace
+}  // namespace abdhfl::nn

@@ -1,0 +1,274 @@
+// Unit tests for src/core: local trainer (Algorithm 2's loop + Eq. 1 merge),
+// correction-factor policies, scheme presets, and the two runners'
+// invariants (determinism, accounting, flag-level semantics).
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/hfl_runner.hpp"
+#include "core/trainer.hpp"
+#include "core/types.hpp"
+#include "core/vanilla_fl.hpp"
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "tensor/ops.hpp"
+
+namespace abdhfl::core {
+namespace {
+
+data::Dataset small_data(std::uint64_t seed, std::size_t per_class = 8) {
+  util::Rng rng(seed);
+  data::SynthConfig config;
+  config.samples_per_class = per_class;
+  return data::generate_synth_digits(config, rng);
+}
+
+TEST(Trainer, TrainingReducesLoss) {
+  util::Rng rng(1);
+  auto shard = small_data(1, 16);
+  auto model = nn::make_mlp(shard.dim(), {16}, 10, rng);
+  LocalTrainer trainer(shard, model.clone(), util::Rng(2));
+
+  auto params = model.flatten();
+  double first_loss = 0.0;
+  for (int round = 0; round < 8; ++round) {
+    params = trainer.train_round(params, 5, 16, 0.1, std::nullopt);
+    if (round == 0) first_loss = trainer.last_loss();
+  }
+  EXPECT_LT(trainer.last_loss(), first_loss * 0.8);
+}
+
+TEST(Trainer, MergeAppliesCorrectionFactor) {
+  util::Rng rng(3);
+  auto shard = small_data(3, 4);
+  auto model = nn::make_mlp(shard.dim(), {}, 10, rng);
+  LocalTrainer trainer(shard, model.clone(), util::Rng(4));
+
+  const auto start = model.flatten();
+  const std::vector<float> global(start.size(), 0.25f);
+  // Zero local iterations with a merge at iteration 0: the result is exactly
+  // the Eq. 1 blend of the global and start parameters.
+  MergeEvent merge{global, 0, 0.75};
+  const auto merged = trainer.train_round(start, 0, 4, 0.1, merge);
+  const auto expected = tensor::lerp(global, start, 0.75);
+  ASSERT_EQ(merged.size(), expected.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_NEAR(merged[i], expected[i], 1e-6f);
+  }
+}
+
+TEST(Trainer, MergeAtEndOfRoundStillApplies) {
+  util::Rng rng(5);
+  auto shard = small_data(5, 4);
+  auto model = nn::make_mlp(shard.dim(), {}, 10, rng);
+  LocalTrainer trainer(shard, model.clone(), util::Rng(6));
+  const auto start = model.flatten();
+  const std::vector<float> global(start.size(), 0.0f);
+  // alpha = 1, merge at iteration >= T: the result IS the global model.
+  MergeEvent merge{global, 99, 1.0};
+  const auto out = trainer.train_round(start, 2, 4, 0.1, merge);
+  for (float v : out) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Trainer, EmptyShardContributesStartModelUnchanged) {
+  util::Rng rng(7);
+  auto model = nn::make_mlp(4, {}, 2, rng);
+  LocalTrainer trainer(data::Dataset{}, model.clone(), util::Rng(8));
+  const auto start = model.flatten();
+  EXPECT_EQ(trainer.train_round(start, 5, 8, 0.1, std::nullopt), start);
+  // The Eq. 1 merge still applies for a data-less device.
+  const std::vector<float> global(start.size(), 0.0f);
+  const auto merged = trainer.train_round(start, 5, 8, 0.1, MergeEvent{global, 2, 1.0});
+  for (float v : merged) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Alpha, FixedClampsToRange) {
+  AlphaPolicy policy{AlphaMode::kFixed, 0.5, 0.1, 0.9, 1.0};
+  EXPECT_DOUBLE_EQ(compute_alpha(policy, 0.0, 0.0), 0.5);
+  policy.fixed = 5.0;
+  EXPECT_DOUBLE_EQ(compute_alpha(policy, 0.0, 0.0), 0.9);
+}
+
+TEST(Alpha, RelativeSizeInverse) {
+  // Sec. III-B: the larger the flag model's data coverage, the smaller α.
+  AlphaPolicy policy{AlphaMode::kRelativeSize, 0.5, 0.05, 1.0, 1.0};
+  EXPECT_GT(compute_alpha(policy, 0.1, 0.0), compute_alpha(policy, 0.9, 0.0));
+  EXPECT_DOUBLE_EQ(compute_alpha(policy, 0.25, 0.0), 0.75);
+}
+
+TEST(Alpha, LatencyAwareDecays) {
+  // Sec. III-B: larger delay -> staler global model -> smaller α.
+  AlphaPolicy policy{AlphaMode::kLatencyAware, 0.8, 0.0, 1.0, 2.0};
+  EXPECT_GT(compute_alpha(policy, 0.0, 0.5), compute_alpha(policy, 0.0, 5.0));
+  EXPECT_NEAR(compute_alpha(policy, 0.0, 0.0), 0.8, 1e-12);
+}
+
+TEST(Scheme, PresetsMatchTableIII) {
+  const auto s1 = scheme_preset(1);
+  EXPECT_EQ(s1.partial.kind, AggKind::kBra);
+  EXPECT_EQ(s1.global.kind, AggKind::kCba);
+  const auto s2 = scheme_preset(2);
+  EXPECT_EQ(s2.partial.kind, AggKind::kCba);
+  EXPECT_EQ(s2.global.kind, AggKind::kBra);
+  const auto s3 = scheme_preset(3);
+  EXPECT_EQ(s3.partial.kind, AggKind::kBra);
+  EXPECT_EQ(s3.global.kind, AggKind::kBra);
+  const auto s4 = scheme_preset(4);
+  EXPECT_EQ(s4.partial.kind, AggKind::kCba);
+  EXPECT_EQ(s4.global.kind, AggKind::kCba);
+  EXPECT_THROW(scheme_preset(5), std::invalid_argument);
+}
+
+ScenarioConfig tiny_config() {
+  ScenarioConfig config;
+  config.samples_per_class = 24;
+  config.test_samples_per_class = 12;
+  config.learn.rounds = 2;
+  config.learn.local_iters = 2;
+  config.learn.batch = 8;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  const auto config = tiny_config();
+  const auto a = run_scenario(config);
+  const auto b = run_scenario(config);
+  EXPECT_EQ(a.abdhfl.accuracy_per_round, b.abdhfl.accuracy_per_round);
+  EXPECT_EQ(a.abdhfl.final_model, b.abdhfl.final_model);
+  EXPECT_EQ(a.vanilla.accuracy_per_round, b.vanilla.accuracy_per_round);
+  EXPECT_EQ(a.abdhfl.comm.messages, b.abdhfl.comm.messages);
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  auto config = tiny_config();
+  const auto a = run_scenario(config, /*run_vanilla=*/false);
+  config.seed = 12;
+  const auto b = run_scenario(config, /*run_vanilla=*/false);
+  EXPECT_NE(a.abdhfl.final_model, b.abdhfl.final_model);
+}
+
+TEST(Runner, FlagLevelZeroBehavesLikeGlobalSync) {
+  auto config = tiny_config();
+  config.flag_level = 0;
+  const auto result = run_scenario(config, /*run_vanilla=*/false);
+  EXPECT_EQ(result.abdhfl.accuracy_per_round.size(), config.learn.rounds);
+  EXPECT_FALSE(result.abdhfl.final_model.empty());
+}
+
+TEST(Runner, AllSchemesRun) {
+  for (int scheme = 1; scheme <= 4; ++scheme) {
+    auto config = tiny_config();
+    config.scheme_id = scheme;
+    const auto result = run_scenario(config, /*run_vanilla=*/false);
+    EXPECT_EQ(result.abdhfl.accuracy_per_round.size(), config.learn.rounds)
+        << "scheme " << scheme;
+    EXPECT_GT(result.abdhfl.comm.messages, 0u);
+  }
+}
+
+TEST(Runner, CbaSchemesCostMoreTraffic) {
+  auto config = tiny_config();
+  config.scheme_id = 3;  // BRA everywhere — the cheap end of Table IV
+  const auto bra = run_scenario(config, /*run_vanilla=*/false);
+  config.scheme_id = 4;  // CBA everywhere — the expensive end
+  const auto cba = run_scenario(config, /*run_vanilla=*/false);
+  EXPECT_GT(cba.abdhfl.comm.messages, bra.abdhfl.comm.messages);
+  EXPECT_GT(cba.abdhfl.comm.model_bytes, bra.abdhfl.comm.model_bytes);
+}
+
+TEST(Runner, QuorumReducesAggregatedInputs) {
+  // With quorum 0.5 the runner still produces a model every round.
+  auto config = tiny_config();
+  config.quorum = 0.5;
+  const auto result = run_scenario(config, /*run_vanilla=*/false);
+  EXPECT_EQ(result.abdhfl.accuracy_per_round.size(), config.learn.rounds);
+}
+
+TEST(Runner, ModelAttackRuns) {
+  auto config = tiny_config();
+  config.model_attack = "sign_flip";
+  config.malicious_fraction = 0.25;
+  const auto result = run_scenario(config, /*run_vanilla=*/false);
+  EXPECT_EQ(result.abdhfl.accuracy_per_round.size(), config.learn.rounds);
+}
+
+TEST(Runner, RejectsBadConfigs) {
+  const auto tree = topology::build_ecsm(3, 4, 4);
+  util::Rng rng(1);
+  data::SynthConfig synth;
+  synth.samples_per_class = 16;
+  const auto pool = data::generate_synth_digits(synth, rng);
+  auto shards = data::partition_iid(pool, tree.num_devices(), rng);
+  auto validation = data::partition_iid(pool, 4, rng);
+  auto prototype = nn::make_mlp(pool.dim(), {8}, 10, rng);
+
+  HflConfig config;
+  config.flag_level = 99;
+  EXPECT_THROW(HflRunner(tree, shards, pool, validation, prototype, config, {}, 1),
+               std::invalid_argument);
+
+  config.flag_level = 1;
+  config.quorum = 0.0;
+  EXPECT_THROW(HflRunner(tree, shards, pool, validation, prototype, config, {}, 1),
+               std::invalid_argument);
+
+  config.quorum = 1.0;
+  shards.pop_back();
+  EXPECT_THROW(HflRunner(tree, shards, pool, validation, prototype, config, {}, 1),
+               std::invalid_argument);
+}
+
+TEST(Runner, FlagFractionsSumToOne) {
+  const auto tree = topology::build_ecsm(3, 4, 4);
+  util::Rng rng(2);
+  data::SynthConfig synth;
+  synth.samples_per_class = 16;
+  const auto pool = data::generate_synth_digits(synth, rng);
+  const auto shards = data::partition_iid(pool, tree.num_devices(), rng);
+  const auto validation = data::partition_iid(pool, 4, rng);
+  const auto prototype = nn::make_mlp(pool.dim(), {8}, 10, rng);
+
+  HflRunner runner(tree, shards, pool, validation, prototype, HflConfig{}, {}, 3);
+  double total = 0.0;
+  for (double f : runner.flag_cluster_fractions()) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Vanilla, HonestTrainingImproves) {
+  auto config = tiny_config();
+  config.learn.rounds = 6;
+  const auto result = run_scenario(config, true, /*run_abdhfl=*/false);
+  EXPECT_GT(result.vanilla.accuracy_per_round.back(),
+            result.vanilla.accuracy_per_round.front());
+}
+
+TEST(Vanilla, TrafficIsTwoMessagesPerClientPerRound) {
+  auto config = tiny_config();
+  const auto result = run_scenario(config, true, /*run_abdhfl=*/false);
+  EXPECT_EQ(result.vanilla.comm.messages, 2u * 64 * config.learn.rounds);
+}
+
+TEST(Experiment, TheoreticalToleranceMatchesPaper) {
+  ScenarioConfig config;  // 3 levels
+  EXPECT_NEAR(theoretical_tolerance(config, 0.25, 0.25), 0.578125, 1e-12);
+}
+
+TEST(Experiment, RepeatedRunsSummarize) {
+  auto config = tiny_config();
+  const auto result = run_repeated(config, 2);
+  EXPECT_EQ(result.abdhfl.size(), 2u);
+  EXPECT_EQ(result.abdhfl_final.n, 2u);
+  EXPECT_THROW(run_repeated(config, 0), std::invalid_argument);
+}
+
+TEST(Experiment, RandomPlacementSupported) {
+  auto config = tiny_config();
+  config.placement = ScenarioConfig::Placement::kRandom;
+  config.malicious_fraction = 0.25;
+  const auto result = run_scenario(config, /*run_vanilla=*/false);
+  EXPECT_EQ(result.abdhfl.accuracy_per_round.size(), config.learn.rounds);
+}
+
+}  // namespace
+}  // namespace abdhfl::core

@@ -1,0 +1,263 @@
+// Unit tests for src/data: dataset container, synthetic digit generator,
+// IDX loader (against files written by the test), and the two partitioners
+// of Appendix D.A.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "data/dataset.hpp"
+#include "data/mnist_idx.hpp"
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::data {
+namespace {
+
+Dataset tiny_dataset(std::size_t n, std::size_t dim, std::size_t classes,
+                     util::Rng& rng) {
+  Dataset d;
+  d.features = tensor::Matrix(n, dim);
+  d.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      d.features.at(i, j) = static_cast<float>(rng.uniform());
+    }
+    d.labels[i] = static_cast<std::uint8_t>(i % classes);
+  }
+  return d;
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  util::Rng rng(1);
+  const auto d = tiny_dataset(10, 3, 5, rng);
+  const std::vector<std::size_t> idx = {7, 0, 3};
+  const auto s = d.subset(idx);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.labels[0], d.labels[7]);
+  EXPECT_FLOAT_EQ(s.features.at(1, 2), d.features.at(0, 2));
+  EXPECT_THROW(d.subset(std::vector<std::size_t>{99}), std::out_of_range);
+}
+
+TEST(Dataset, SampleBatchSizeAndClamp) {
+  util::Rng rng(2);
+  const auto d = tiny_dataset(6, 2, 3, rng);
+  EXPECT_EQ(d.sample_batch(4, rng).size(), 4u);
+  EXPECT_EQ(d.sample_batch(100, rng).size(), 6u);
+}
+
+TEST(Dataset, ShufflePreservesContent) {
+  util::Rng rng(3);
+  auto d = tiny_dataset(20, 2, 4, rng);
+  const auto hist_before = d.class_histogram();
+  d.shuffle(rng);
+  EXPECT_EQ(d.class_histogram(), hist_before);
+  EXPECT_EQ(d.size(), 20u);
+}
+
+TEST(Dataset, AppendAndHistogram) {
+  util::Rng rng(4);
+  auto a = tiny_dataset(4, 2, 2, rng);
+  const auto b = tiny_dataset(6, 2, 3, rng);
+  a.append(b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a.num_classes(), 3u);
+  Dataset empty;
+  empty.append(a);
+  EXPECT_EQ(empty.size(), 10u);
+
+  auto c = tiny_dataset(2, 5, 2, rng);
+  EXPECT_THROW(a.append(c), std::invalid_argument);
+}
+
+TEST(Dataset, IndicesByClass) {
+  util::Rng rng(5);
+  const auto d = tiny_dataset(9, 2, 3, rng);
+  const auto by_class = d.indices_by_class();
+  ASSERT_EQ(by_class.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t idx : by_class[c]) EXPECT_EQ(d.labels[idx], c);
+  }
+}
+
+TEST(Dataset, TrainTestSplit) {
+  util::Rng rng(6);
+  const auto d = tiny_dataset(100, 2, 4, rng);
+  const auto split = split_train_test(d, 0.2, rng);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_THROW(split_train_test(d, 1.5, rng), std::invalid_argument);
+}
+
+TEST(SynthDigits, DeterministicAndShaped) {
+  SynthConfig config;
+  config.samples_per_class = 10;
+  util::Rng a(42), b(42);
+  const auto d1 = generate_synth_digits(config, a);
+  const auto d2 = generate_synth_digits(config, b);
+  EXPECT_EQ(d1.labels, d2.labels);
+  EXPECT_EQ(d1.features, d2.features);
+  EXPECT_EQ(d1.size(), 100u);
+  EXPECT_EQ(d1.dim(), 256u);
+  EXPECT_EQ(d1.num_classes(), 10u);
+  for (float v : d1.features.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Balanced classes.
+  for (std::size_t count : d1.class_histogram()) EXPECT_EQ(count, 10u);
+}
+
+TEST(SynthDigits, ClassesAreVisuallyDistinct) {
+  // The clean renders of different digits must differ substantially —
+  // otherwise the classification task would be degenerate.
+  for (std::uint8_t a = 0; a < 10; ++a) {
+    for (std::uint8_t b = a + 1; b < 10; ++b) {
+      const auto ia = render_digit(a, 16, 1.3, 0, 0);
+      const auto ib = render_digit(b, 16, 1.3, 0, 0);
+      double diff = 0.0;
+      for (std::size_t i = 0; i < ia.size(); ++i) diff += std::abs(ia[i] - ib[i]);
+      EXPECT_GT(diff, 3.0) << "digits " << int(a) << " and " << int(b);
+    }
+  }
+}
+
+TEST(SynthDigits, SegmentMasksMatchSevenSegmentConvention) {
+  // 8 lights everything; 1 lights exactly the two right-hand segments.
+  EXPECT_EQ(segment_mask(8), 0b1111111);
+  EXPECT_EQ(segment_mask(1), 0b0000110);
+  EXPECT_EQ(segment_mask(200), 0);
+}
+
+TEST(SynthDigits, RenderValidation) {
+  EXPECT_THROW(render_digit(10, 16, 1.0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(render_digit(1, 2, 1.0, 0, 0), std::invalid_argument);
+}
+
+TEST(MnistIdx, RoundtripThroughWrittenFiles) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "abdhfl_idx_test";
+  fs::create_directories(dir);
+  const auto img_path = (dir / "imgs").string();
+  const auto lbl_path = (dir / "lbls").string();
+
+  // Write 3 images of 2x2 pixels.
+  auto be32 = [](std::ofstream& f, std::uint32_t v) {
+    const char b[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                       static_cast<char>(v >> 8), static_cast<char>(v)};
+    f.write(b, 4);
+  };
+  {
+    std::ofstream f(img_path, std::ios::binary);
+    be32(f, 0x803);
+    be32(f, 3);
+    be32(f, 2);
+    be32(f, 2);
+    for (int i = 0; i < 12; ++i) f.put(static_cast<char>(i * 20));
+  }
+  {
+    std::ofstream f(lbl_path, std::ios::binary);
+    be32(f, 0x801);
+    be32(f, 3);
+    f.put(1);
+    f.put(2);
+    f.put(3);
+  }
+  const auto d = load_idx_pair(img_path, lbl_path);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dim(), 4u);
+  EXPECT_EQ(d.labels[2], 3);
+  EXPECT_NEAR(d.features.at(0, 1), 20.0f / 255.0f, 1e-6f);
+
+  // Corrupt magic -> error.
+  {
+    std::ofstream f(img_path, std::ios::binary);
+    be32(f, 0xdead);
+  }
+  EXPECT_THROW(load_idx_pair(img_path, lbl_path), std::runtime_error);
+
+  EXPECT_EQ(load_mnist_dir(dir.string()), std::nullopt);  // standard names absent
+  fs::remove_all(dir);
+}
+
+TEST(Partition, IidBalancedAndComplete) {
+  util::Rng rng(7);
+  SynthConfig synth;
+  synth.samples_per_class = 32;
+  const auto all = generate_synth_digits(synth, rng);
+  const auto shards = partition_iid(all, 8, rng);
+  ASSERT_EQ(shards.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.size();
+    // IID: every shard sees every class.
+    const auto hist = shard.class_histogram();
+    ASSERT_EQ(hist.size(), 10u);
+    for (std::size_t count : hist) EXPECT_GT(count, 0u);
+  }
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(Partition, NonIidTwoLabelsPerClient) {
+  util::Rng rng(8);
+  SynthConfig synth;
+  synth.samples_per_class = 64;
+  const auto all = generate_synth_digits(synth, rng);
+  NonIidConfig config;
+  config.clients = 16;
+  config.labels_per_client = 2;
+  const auto shards = partition_noniid(all, config, rng);
+  ASSERT_EQ(shards.size(), 16u);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.size();
+    std::set<std::uint8_t> labels(shard.labels.begin(), shard.labels.end());
+    EXPECT_LE(labels.size(), 2u);
+    EXPECT_GE(labels.size(), 1u);
+  }
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(Partition, NonIidHonestCoverageGuarantee) {
+  util::Rng rng(9);
+  SynthConfig synth;
+  synth.samples_per_class = 64;
+  const auto all = generate_synth_digits(synth, rng);
+  NonIidConfig config;
+  config.clients = 64;
+  config.labels_per_client = 2;
+  // Honest clients = the last 27 (the 57.8% block-malicious scenario).
+  for (std::size_t c = 37; c < 64; ++c) config.must_cover_clients.push_back(c);
+  const auto shards = partition_noniid(all, config, rng);
+  EXPECT_TRUE(shards_cover_all_labels(shards, config.must_cover_clients, 10));
+}
+
+TEST(Partition, NonIidCoverageImpossibleThrows) {
+  util::Rng rng(10);
+  SynthConfig synth;
+  synth.samples_per_class = 16;
+  const auto all = generate_synth_digits(synth, rng);
+  NonIidConfig config;
+  config.clients = 8;
+  config.labels_per_client = 2;
+  config.must_cover_clients = {0, 1};  // 2 clients x 2 labels < 10 classes
+  EXPECT_THROW(partition_noniid(all, config, rng), std::invalid_argument);
+}
+
+TEST(Partition, ShardLabelSets) {
+  util::Rng rng(11);
+  SynthConfig synth;
+  synth.samples_per_class = 16;
+  const auto all = generate_synth_digits(synth, rng);
+  const auto shards = partition_iid(all, 4, rng);
+  const auto sets = shard_label_sets(shards);
+  ASSERT_EQ(sets.size(), 4u);
+  EXPECT_EQ(sets[0].size(), 10u);
+  EXPECT_THROW(shards_cover_all_labels(shards, {99}, 10), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace abdhfl::data

@@ -1,0 +1,180 @@
+// Additional end-to-end coverage: the HFL runner on non-ECSM trees (ACSM,
+// churned), every consensus protocol as the top-level CBA, alpha policies
+// in the loop, and simulator payload transport.
+
+#include <gtest/gtest.h>
+
+#include "consensus/consensus.hpp"
+#include "core/hfl_runner.hpp"
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "sim/network.hpp"
+#include "topology/churn.hpp"
+
+namespace abdhfl {
+namespace {
+
+struct Workload {
+  std::vector<data::Dataset> shards;
+  data::Dataset test_set;
+  std::vector<data::Dataset> validation;
+  nn::Mlp prototype;
+
+  Workload(const topology::HflTree& tree, std::uint64_t seed) {
+    util::Rng rng(seed);
+    data::SynthConfig synth;
+    synth.samples_per_class = 24;
+    const auto pool = data::generate_synth_digits(synth, rng);
+    shards = data::partition_iid(pool, tree.num_devices(), rng);
+    synth.samples_per_class = 12;
+    test_set = data::generate_synth_digits(synth, rng);
+    validation = data::partition_iid(test_set, tree.cluster(0, 0).size(), rng);
+    prototype = nn::make_mlp(pool.dim(), {8}, 10, rng);
+  }
+};
+
+core::HflConfig short_config() {
+  core::HflConfig config;
+  config.learn.rounds = 2;
+  config.learn.local_iters = 2;
+  config.learn.batch = 8;
+  return config;
+}
+
+TEST(EndToEnd, RunnerWorksOnAcsmTrees) {
+  util::Rng rng(1);
+  topology::AcsmConfig acsm;
+  acsm.bottom_devices = 40;
+  acsm.min_cluster = 3;
+  acsm.max_cluster = 5;
+  acsm.top_size = 4;
+  const auto tree = topology::build_acsm(acsm, rng);
+  Workload w(tree, 2);
+  core::HflRunner runner(tree, w.shards, w.test_set, w.validation, w.prototype,
+                         short_config(), {}, 3);
+  const auto result = runner.run();
+  EXPECT_EQ(result.accuracy_per_round.size(), 2u);
+  EXPECT_GT(result.comm.messages, 0u);
+}
+
+TEST(EndToEnd, RunnerWorksAfterChurn) {
+  auto tree = topology::build_ecsm(3, 4, 4);
+  tree = topology::with_device_left(tree, 0).tree;       // top-chained leaver
+  tree = topology::with_device_joined(tree, 7).tree;     // replacement joins
+  Workload w(tree, 4);
+  core::HflRunner runner(tree, w.shards, w.test_set, w.validation, w.prototype,
+                         short_config(), {}, 5);
+  const auto result = runner.run();
+  EXPECT_EQ(result.accuracy_per_round.size(), 2u);
+}
+
+class CbaProtocolEndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CbaProtocolEndToEnd, WorksAsGlobalAggregation) {
+  const auto tree = topology::build_ecsm(3, 4, 4);
+  Workload w(tree, 6);
+  auto config = short_config();
+  config.scheme = core::scheme_preset(1, "multikrum", GetParam());
+  core::HflRunner runner(tree, w.shards, w.test_set, w.validation, w.prototype, config,
+                         {}, 7);
+  const auto result = runner.run();
+  EXPECT_EQ(result.accuracy_per_round.size(), 2u);
+  EXPECT_GT(result.comm.model_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, CbaProtocolEndToEnd,
+                         ::testing::ValuesIn(consensus::consensus_names()),
+                         [](const auto& info) { return info.param; });
+
+class AlphaModeEndToEnd
+    : public ::testing::TestWithParam<core::AlphaMode> {};
+
+TEST_P(AlphaModeEndToEnd, RunnerAcceptsEveryPolicy) {
+  const auto tree = topology::build_ecsm(3, 4, 4);
+  Workload w(tree, 8);
+  auto config = short_config();
+  config.learn.rounds = 3;
+  config.alpha.mode = GetParam();
+  core::HflRunner runner(tree, w.shards, w.test_set, w.validation, w.prototype, config,
+                         {}, 9);
+  const auto result = runner.run();
+  EXPECT_EQ(result.accuracy_per_round.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, AlphaModeEndToEnd,
+                         ::testing::Values(core::AlphaMode::kFixed,
+                                           core::AlphaMode::kRelativeSize,
+                                           core::AlphaMode::kLatencyAware),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case core::AlphaMode::kFixed: return "fixed";
+                             case core::AlphaMode::kRelativeSize: return "relative";
+                             case core::AlphaMode::kLatencyAware: return "latency";
+                           }
+                           return "?";
+                         });
+
+TEST(EndToEnd, TinyQuorumStillProducesModels) {
+  const auto tree = topology::build_ecsm(3, 4, 4);
+  Workload w(tree, 10);
+  auto config = short_config();
+  config.quorum = 0.01;  // a single arrival triggers every aggregation
+  core::HflRunner runner(tree, w.shards, w.test_set, w.validation, w.prototype, config,
+                         {}, 11);
+  const auto result = runner.run();
+  EXPECT_EQ(result.accuracy_per_round.size(), 2u);
+}
+
+TEST(EndToEnd, SimulatorCarriesTypedPayloads) {
+  sim::Simulator simulator;
+  util::Rng rng(12);
+  sim::Network net(simulator, rng);
+  net.set_default_latency(std::make_unique<sim::FixedLatency>(0.5));
+
+  auto payload = std::make_shared<std::vector<float>>(std::vector<float>{1.0f, 2.0f});
+  std::vector<float> received;
+  net.register_node(1, [&](const sim::Message& m) {
+    const auto* body = static_cast<const std::vector<float>*>(m.payload.get());
+    received = *body;
+  });
+  sim::Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  msg.bytes = payload->size() * sizeof(float);
+  msg.payload = payload;
+  net.send(std::move(msg));
+  simulator.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_FLOAT_EQ(received[1], 2.0f);
+}
+
+TEST(EndToEnd, NonIidShardsWorkOnAcsm) {
+  util::Rng rng(13);
+  topology::AcsmConfig acsm;
+  acsm.bottom_devices = 30;
+  acsm.top_size = 3;
+  const auto tree = topology::build_acsm(acsm, rng);
+
+  data::SynthConfig synth;
+  synth.samples_per_class = 30;
+  const auto pool = data::generate_synth_digits(synth, rng);
+  data::NonIidConfig part;
+  part.clients = tree.num_devices();
+  part.labels_per_client = 2;
+  for (std::size_t c = 0; c < part.clients; ++c) part.must_cover_clients.push_back(c);
+  auto shards = data::partition_noniid(pool, part, rng);
+
+  synth.samples_per_class = 10;
+  const auto test_set = data::generate_synth_digits(synth, rng);
+  const auto validation = data::partition_iid(test_set, tree.cluster(0, 0).size(), rng);
+  auto prototype = nn::make_mlp(pool.dim(), {8}, 10, rng);
+
+  auto config = short_config();
+  config.scheme = core::scheme_preset(1, "median", "voting");
+  core::HflRunner runner(tree, shards, test_set, validation, prototype, config, {}, 14);
+  const auto result = runner.run();
+  EXPECT_EQ(result.accuracy_per_round.size(), 2u);
+}
+
+}  // namespace
+}  // namespace abdhfl

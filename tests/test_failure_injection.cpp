@@ -1,0 +1,119 @@
+// Failure-injection tests: device dropouts, straggler and lossy links in
+// the pipeline simulator — the availability story behind Algorithm 4's
+// quorum and Assumption 1's partial synchrony.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/async_runner.hpp"
+#include "core/pipeline.hpp"
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "sim/latency.hpp"
+
+namespace abdhfl::core {
+namespace {
+
+struct Fixture {
+  topology::HflTree tree = topology::build_ecsm(3, 4, 4);
+  std::vector<data::Dataset> shards;
+  data::Dataset test_set;
+  std::vector<data::Dataset> validation;
+  nn::Mlp prototype;
+
+  Fixture() {
+    util::Rng rng(42);
+    data::SynthConfig synth;
+    synth.samples_per_class = 24;
+    const auto pool = data::generate_synth_digits(synth, rng);
+    shards = data::partition_iid(pool, tree.num_devices(), rng);
+    synth.samples_per_class = 12;
+    test_set = data::generate_synth_digits(synth, rng);
+    validation = data::partition_iid(test_set, 4, rng);
+    prototype = nn::make_mlp(pool.dim(), {8}, 10, rng);
+  }
+};
+
+AsyncHflConfig base_config() {
+  AsyncHflConfig config;
+  config.rounds = 6;
+  config.learn.local_iters = 2;
+  config.learn.batch = 8;
+  config.deadline = 500.0;
+  return config;
+}
+
+TEST(FailureInjection, QuorumToleratesDropouts) {
+  Fixture fx;
+  auto config = base_config();
+  config.dropout_probability = 0.2;
+  config.quorum = 0.5;  // half the cluster suffices
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        config, {}, 3);
+  const auto result = runner.run();
+  // All requested rounds complete despite one in five uploads vanishing.
+  EXPECT_EQ(result.rounds.size(), 6u);
+}
+
+TEST(FailureInjection, FullQuorumStallsUnderDropouts) {
+  Fixture fx;
+  auto config = base_config();
+  config.dropout_probability = 0.3;
+  config.quorum = 1.0;  // every upload required: one dropout stalls a cluster
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        config, {}, 5);
+  const auto result = runner.run();
+  // The run hits the deadline with fewer global models than requested —
+  // exactly the availability failure the quorum exists to avoid.
+  EXPECT_LT(result.rounds.size(), 6u);
+}
+
+TEST(FailureInjection, DropoutFreeRunsUnaffectedByDeadline) {
+  Fixture fx;
+  auto config = base_config();
+  AsyncHflRunner runner(fx.tree, fx.shards, fx.test_set, fx.validation, fx.prototype,
+                        config, {}, 7);
+  const auto result = runner.run();
+  EXPECT_EQ(result.rounds.size(), 6u);
+  EXPECT_LT(result.total_time, 500.0);
+}
+
+TEST(FailureInjection, StragglerLinksSlowButDoNotBreakPipeline) {
+  const auto tree = topology::build_ecsm(4, 3, 3);
+  DelayRegime regime;
+  auto fast = make_pipeline_config(regime, 8, 1);
+  auto slow = make_pipeline_config(regime, 8, 1);
+  // 20% of local trainings take 8x longer (straggler devices).
+  slow.train_duration = [](util::Rng& rng) {
+    const double base = rng.uniform(0.7, 1.3);
+    return rng.bernoulli(0.2) ? base * 8.0 : base;
+  };
+  const auto quick = simulate_pipeline(tree, fast, 11);
+  const auto delayed = simulate_pipeline(tree, slow, 11);
+  ASSERT_EQ(delayed.rounds.size(), 8u);
+  EXPECT_GT(delayed.total_time, quick.total_time);
+  // A 2-of-3 quorum recovers most of the loss: stragglers get left behind.
+  auto tolerant = slow;
+  tolerant.quorum = 0.6;
+  const auto recovered = simulate_pipeline(tree, tolerant, 11);
+  EXPECT_LT(recovered.total_time, delayed.total_time);
+}
+
+TEST(FailureInjection, LossyUplinksDelayButDeliver) {
+  const auto tree = topology::build_ecsm(3, 3, 3);
+  DelayRegime regime;
+  auto config = make_pipeline_config(regime, 6, 1);
+  // 30% message loss with a 0.5 s retransmit timeout on every uplink.
+  config.uplink_latency = [](std::size_t, util::Rng& rng) {
+    sim::LossyLatency lossy(std::make_unique<sim::FixedLatency>(0.05), 0.3, 0.5);
+    return lossy.sample(0, rng);
+  };
+  const auto lossy_run = simulate_pipeline(tree, config, 13);
+  ASSERT_EQ(lossy_run.rounds.size(), 6u);  // everything still completes
+  const auto clean = simulate_pipeline(tree, make_pipeline_config(regime, 6, 1), 13);
+  EXPECT_GT(lossy_run.total_time, clean.total_time);
+}
+
+}  // namespace
+}  // namespace abdhfl::core

@@ -1,0 +1,84 @@
+// Tests for D2D gossip averaging — including the property that makes it a
+// *negative control*: it is cheap and converges, but a single persistent
+// adversary biases it like a mean.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "consensus/gossip.hpp"
+#include "consensus/voting.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::consensus {
+namespace {
+
+double ignore_eval(std::size_t, const ModelVec&) { return 0.0; }
+
+TEST(Gossip, HonestGroupConvergesToMean) {
+  util::Rng rng(1);
+  GossipAverage gossip({1e-5, 512});
+  const std::vector<ModelVec> candidates = {{0.0f}, {1.0f}, {2.0f}, {3.0f}};
+  const auto result =
+      gossip.agree(candidates, ignore_eval, std::vector<bool>(4, false), rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_NEAR(result.model[0], 1.5f, 0.01f);
+  EXPECT_GT(gossip.last_rounds(), 0u);
+}
+
+TEST(Gossip, PersistentAdversaryBiasesOutcome) {
+  util::Rng rng(2);
+  GossipAverage gossip({1e-3, 512});
+  // Three honest members near 1.0, one adversary stuck at 100.
+  std::vector<ModelVec> candidates = {{1.0f}, {1.1f}, {0.9f}, {100.0f}};
+  std::vector<bool> byz(4, false);
+  byz[3] = true;
+  const auto result = gossip.agree(candidates, ignore_eval, byz, rng);
+  // The honest nodes get dragged far above their own range — the
+  // non-robustness the related work warns about.
+  EXPECT_GT(result.model[0], 5.0f);
+}
+
+TEST(Gossip, CheaperThanVotingPerParticipant) {
+  util::Rng rng(3);
+  const std::size_t n = 16;
+  std::vector<ModelVec> candidates(n, ModelVec{1.0f});
+  candidates[0][0] = 0.0f;  // something to converge over
+  const std::vector<bool> byz(n, false);
+
+  GossipAverage gossip({0.1, 512});
+  VotingConsensus voting;
+  const auto cheap = gossip.agree(candidates, ignore_eval, byz, rng);
+  auto eval = [](std::size_t, const ModelVec& m) { return static_cast<double>(m[0]); };
+  const auto full = voting.agree(candidates, eval, byz, rng);
+  EXPECT_LT(cheap.model_bytes, full.model_bytes);
+}
+
+TEST(Gossip, SingleCandidatePassthrough) {
+  util::Rng rng(4);
+  GossipAverage gossip;
+  const std::vector<ModelVec> one = {{7.0f}};
+  const auto result = gossip.agree(one, ignore_eval, {false}, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_FLOAT_EQ(result.model[0], 7.0f);
+}
+
+TEST(Gossip, Validation) {
+  EXPECT_THROW(GossipAverage({0.0, 10}), std::invalid_argument);
+  EXPECT_THROW(GossipAverage({1e-3, 0}), std::invalid_argument);
+  util::Rng rng(5);
+  GossipAverage gossip;
+  EXPECT_THROW(gossip.agree({}, ignore_eval, {}, rng), std::invalid_argument);
+}
+
+TEST(Gossip, AllByzantineFlagsFailure) {
+  util::Rng rng(6);
+  GossipAverage gossip({1e-3, 8});
+  const std::vector<ModelVec> candidates = {{0.0f}, {5.0f}};
+  const auto result =
+      gossip.agree(candidates, ignore_eval, std::vector<bool>(2, true), rng);
+  EXPECT_FALSE(result.success);
+}
+
+}  // namespace
+}  // namespace abdhfl::consensus

@@ -1,0 +1,120 @@
+// Unit tests for the multidimensional approximate agreement protocol:
+// ε-agreement, validity (outputs inside the honest per-coordinate hull),
+// resilience at n >= 3f+1, and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "consensus/multidim.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::consensus {
+namespace {
+
+double ignore_eval(std::size_t, const ModelVec&) { return 0.0; }
+
+std::vector<ModelVec> spread_candidates(std::size_t n, std::size_t dim,
+                                        util::Rng& rng) {
+  std::vector<ModelVec> out(n, ModelVec(dim));
+  for (auto& v : out) {
+    for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return out;
+}
+
+TEST(MultiDim, HonestGroupConverges) {
+  util::Rng rng(1);
+  MultiDimConsensus protocol({1e-4, 64, 1e3});
+  const auto candidates = spread_candidates(7, 8, rng);
+  const auto result =
+      protocol.agree(candidates, ignore_eval, std::vector<bool>(7, false), rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(protocol.last_rounds(), 0u);
+}
+
+TEST(MultiDim, ValidityWithinHonestHull) {
+  util::Rng rng(2);
+  MultiDimConsensus protocol({1e-4, 64, 1e3});
+  const std::size_t n = 7, dim = 6;
+  auto candidates = spread_candidates(n, dim, rng);
+  std::vector<bool> byz(n, false);
+  byz[0] = byz[1] = true;  // f = 2 = (7-1)/3
+
+  const auto result = protocol.agree(candidates, ignore_eval, byz, rng);
+  EXPECT_TRUE(result.success);
+  for (std::size_t k = 0; k < dim; ++k) {
+    float lo = 1e30f, hi = -1e30f;
+    for (std::size_t i = 2; i < n; ++i) {  // honest inputs only
+      lo = std::min(lo, candidates[i][k]);
+      hi = std::max(hi, candidates[i][k]);
+    }
+    EXPECT_GE(result.model[k], lo - 1e-3f);
+    EXPECT_LE(result.model[k], hi + 1e-3f);
+  }
+}
+
+TEST(MultiDim, ToleratesFByzantineSpoofers) {
+  // n = 4, f = 1: one spoofing adversary blasting ±1000 cannot prevent
+  // ε-agreement of the other three.
+  util::Rng rng(3);
+  MultiDimConsensus protocol({1e-3, 64, 1e3});
+  auto candidates = spread_candidates(4, 4, rng);
+  std::vector<bool> byz(4, false);
+  byz[3] = true;
+  const auto result = protocol.agree(candidates, ignore_eval, byz, rng);
+  EXPECT_TRUE(result.success);
+  for (float v : result.model) EXPECT_LT(std::abs(v), 2.0f);  // not dragged away
+}
+
+TEST(MultiDim, IdenticalInputsAgreeInstantly) {
+  util::Rng rng(4);
+  MultiDimConsensus protocol;
+  const std::vector<ModelVec> same(5, ModelVec{1.0f, 2.0f});
+  const auto result =
+      protocol.agree(same, ignore_eval, std::vector<bool>(5, false), rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(protocol.last_rounds(), 0u);
+  EXPECT_FLOAT_EQ(result.model[0], 1.0f);
+  // The initial candidate distribution is still paid for.
+  EXPECT_EQ(result.messages, 5u * 4);
+}
+
+TEST(MultiDim, EquivocatorForcesMultipleRounds) {
+  // An equivocating adversary (different extreme per receiver) keeps honest
+  // views apart, so agreement needs several contraction rounds — and a
+  // tighter ε needs more of them.
+  util::Rng rng(5);
+  MultiDimConsensus strict({1e-6, 128, 1e3});
+  MultiDimConsensus loose({0.5, 128, 1e3});
+  const auto candidates = spread_candidates(5, 4, rng);
+  std::vector<bool> byz(5, false);
+  byz[4] = true;  // f = 1 = (5-1)/3
+  const auto tight = strict.agree(candidates, ignore_eval, byz, rng);
+  const auto quick = loose.agree(candidates, ignore_eval, byz, rng);
+  EXPECT_TRUE(tight.success);
+  EXPECT_GT(strict.last_rounds(), 1u);
+  EXPECT_GT(tight.messages, quick.messages);
+}
+
+TEST(MultiDim, AllByzantineFlagsFailure) {
+  util::Rng rng(6);
+  MultiDimConsensus protocol;
+  const auto candidates = spread_candidates(4, 2, rng);
+  const auto result =
+      protocol.agree(candidates, ignore_eval, std::vector<bool>(4, true), rng);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(MultiDim, FaultBoundAndValidation) {
+  EXPECT_EQ(MultiDimConsensus::max_faulty(4), 1u);
+  EXPECT_EQ(MultiDimConsensus::max_faulty(10), 3u);
+  EXPECT_THROW(MultiDimConsensus({0.0, 64, 1e3}), std::invalid_argument);
+  EXPECT_THROW(MultiDimConsensus({1e-3, 0, 1e3}), std::invalid_argument);
+  util::Rng rng(7);
+  MultiDimConsensus protocol;
+  EXPECT_THROW(protocol.agree({}, ignore_eval, {}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdhfl::consensus

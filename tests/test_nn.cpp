@@ -1,0 +1,250 @@
+// Unit tests for src/nn: numerical gradient checks, loss behaviour,
+// flatten/unflatten, serialization, SGD and schedules, and that a small MLP
+// actually learns a separable problem.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "nn/sgd.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::nn {
+namespace {
+
+tensor::Matrix random_batch(std::size_t n, std::size_t dim, util::Rng& rng) {
+  tensor::Matrix x(n, dim);
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  return x;
+}
+
+double loss_of(Mlp& model, const tensor::Matrix& x, std::span<const std::uint8_t> y) {
+  return softmax_cross_entropy(model.forward(x), y).loss;
+}
+
+TEST(Nn, NumericalGradientCheck) {
+  util::Rng rng(1);
+  Mlp model = make_mlp(4, {5}, 3, rng);
+  const auto x = random_batch(6, 4, rng);
+  const std::vector<std::uint8_t> y = {0, 1, 2, 0, 1, 2};
+
+  const auto loss = softmax_cross_entropy(model.forward(x), y);
+  model.backward(loss.grad);
+  const auto analytic = model.flatten_grads();
+  auto params = model.flatten();
+
+  const double eps = 1e-3;
+  util::Rng pick(2);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto i = static_cast<std::size_t>(pick.below(params.size()));
+    const float saved = params[i];
+    params[i] = saved + static_cast<float>(eps);
+    model.unflatten(params);
+    const double up = loss_of(model, x, y);
+    params[i] = saved - static_cast<float>(eps);
+    model.unflatten(params);
+    const double down = loss_of(model, x, y);
+    params[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 5e-3)
+        << "param " << i << " analytic " << analytic[i] << " numeric " << numeric;
+  }
+  model.unflatten(params);
+}
+
+TEST(Nn, SoftmaxRowsSumToOne) {
+  util::Rng rng(3);
+  const auto logits = random_batch(5, 7, rng);
+  const auto probs = softmax(logits);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    double sum = 0.0;
+    for (float v : probs.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Nn, SoftmaxNumericallyStable) {
+  tensor::Matrix logits(1, 3);
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = 1000.0f;
+  logits.at(0, 2) = -1000.0f;
+  const auto probs = softmax(logits);
+  EXPECT_NEAR(probs.at(0, 0), 0.5f, 1e-5f);
+  EXPECT_FALSE(std::isnan(probs.at(0, 0)));
+}
+
+TEST(Nn, CrossEntropyUniformBaseline) {
+  // Zero logits over C classes -> loss == log(C).
+  tensor::Matrix logits(4, 10, 0.0f);
+  const std::vector<std::uint8_t> y = {0, 3, 7, 9};
+  const auto loss = softmax_cross_entropy(logits, y);
+  EXPECT_NEAR(loss.loss, std::log(10.0), 1e-5);
+}
+
+TEST(Nn, AccuracyAndPredict) {
+  tensor::Matrix logits(2, 3, 0.0f);
+  logits.at(0, 2) = 5.0f;
+  logits.at(1, 0) = 5.0f;
+  const std::vector<std::uint8_t> y = {2, 1};
+  EXPECT_EQ(predict(logits)[0], 2);
+  EXPECT_DOUBLE_EQ(accuracy(logits, y), 0.5);
+}
+
+TEST(Nn, ReluForwardBackward) {
+  ReLU relu;
+  tensor::Matrix x(1, 4);
+  x.at(0, 0) = -1.0f;
+  x.at(0, 1) = 2.0f;
+  x.at(0, 2) = 0.0f;
+  x.at(0, 3) = 3.0f;
+  const auto y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.0f);
+  tensor::Matrix g(1, 4, 1.0f);
+  const auto gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx.at(0, 0), 0.0f);  // gradient gated at negative input
+  EXPECT_FLOAT_EQ(gx.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gx.at(0, 2), 0.0f);  // gate closed at exactly zero too
+}
+
+TEST(Nn, TanhBackwardUsesDerivative) {
+  Tanh tanh_layer;
+  tensor::Matrix x(1, 1);
+  x.at(0, 0) = 0.5f;
+  const auto y = tanh_layer.forward(x);
+  tensor::Matrix g(1, 1, 1.0f);
+  const auto gx = tanh_layer.backward(g);
+  EXPECT_NEAR(gx.at(0, 0), 1.0f - y.at(0, 0) * y.at(0, 0), 1e-6f);
+}
+
+TEST(Nn, FlattenUnflattenRoundtrip) {
+  util::Rng rng(5);
+  Mlp model = make_mlp(6, {4, 3}, 2, rng);
+  const auto params = model.flatten();
+  EXPECT_EQ(params.size(), model.param_count());
+  EXPECT_EQ(params.size(), 6u * 4 + 4 + 4 * 3 + 3 + 3 * 2 + 2);
+
+  Mlp other = make_mlp(6, {4, 3}, 2, rng);
+  other.unflatten(params);
+  EXPECT_EQ(other.flatten(), params);
+  EXPECT_THROW(other.unflatten(std::vector<float>(3)), std::invalid_argument);
+}
+
+TEST(Nn, CloneIsDeepCopy) {
+  util::Rng rng(6);
+  Mlp model = make_mlp(3, {4}, 2, rng);
+  Mlp copy = model.clone();
+  EXPECT_EQ(copy.flatten(), model.flatten());
+  auto params = model.flatten();
+  params[0] += 1.0f;
+  model.unflatten(params);
+  EXPECT_NE(copy.flatten(), model.flatten());
+}
+
+TEST(Nn, SgdStepReducesLossOnBatch) {
+  util::Rng rng(7);
+  Mlp model = make_mlp(4, {8}, 3, rng);
+  const auto x = random_batch(32, 4, rng);
+  std::vector<std::uint8_t> y(32);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    // A learnable rule: class = sign pattern of the first feature.
+    y[i] = x.at(i, 0) > 0.5f ? 0 : (x.at(i, 0) < -0.5f ? 1 : 2);
+  }
+  Sgd sgd({0.1, 0.0, 0.0});
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    const auto loss = softmax_cross_entropy(model.forward(x), y);
+    model.backward(loss.grad);
+    sgd.step(model);
+    if (step == 0) first = loss.loss;
+    last = loss.loss;
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Nn, SgdMomentumAcceleratesDescent) {
+  util::Rng rng(8);
+  Mlp plain_model = make_mlp(4, {6}, 2, rng);
+  Mlp momentum_model = plain_model.clone();
+  const auto x = random_batch(16, 4, rng);
+  std::vector<std::uint8_t> y(16);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = x.at(i, 1) > 0.0f ? 1 : 0;
+
+  auto run = [&](Mlp& model, double momentum) {
+    Sgd sgd({0.02, momentum, 0.0});
+    double loss_value = 0.0;
+    for (int step = 0; step < 40; ++step) {
+      const auto loss = softmax_cross_entropy(model.forward(x), y);
+      model.backward(loss.grad);
+      sgd.step(model);
+      loss_value = loss.loss;
+    }
+    return loss_value;
+  };
+  const double plain = run(plain_model, 0.0);
+  const double with_momentum = run(momentum_model, 0.9);
+  EXPECT_LT(with_momentum, plain);
+}
+
+TEST(Nn, WeightDecayShrinksWeights) {
+  util::Rng rng(9);
+  Mlp model = make_mlp(3, {}, 2, rng);
+  const double before = tensor::norm2(model.flatten());
+  Sgd sgd({0.1, 0.0, 0.5});
+  // Zero gradients: only the decay acts.
+  const auto x = random_batch(1, 3, rng);
+  const auto logits = model.forward(x);
+  tensor::Matrix zero_grad(logits.rows(), logits.cols(), 0.0f);
+  model.backward(zero_grad);
+  sgd.step(model);
+  EXPECT_LT(tensor::norm2(model.flatten()), before);
+}
+
+TEST(Nn, LrSchedules) {
+  EXPECT_DOUBLE_EQ(step_decay_lr(1.0, 0.5, 10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(step_decay_lr(1.0, 0.5, 10, 25), 0.25);
+  EXPECT_DOUBLE_EQ(step_decay_lr(1.0, 0.5, 0, 99), 1.0);
+  EXPECT_DOUBLE_EQ(inv_time_lr(1.0, 1.0, 1), 0.5);
+}
+
+TEST(Nn, SerializeRoundtrip) {
+  util::Rng rng(10);
+  Mlp model = make_mlp(5, {4}, 3, rng);
+  const auto params = model.flatten();
+  const auto bytes = serialize_params(params);
+  EXPECT_EQ(bytes.size(), wire_size(params.size()));
+  EXPECT_EQ(deserialize_params(bytes), params);
+}
+
+TEST(Nn, SerializeDetectsCorruption) {
+  const std::vector<float> params = {1.0f, 2.0f, 3.0f};
+  auto bytes = serialize_params(params);
+  bytes[bytes.size() / 2] ^= 0xFF;
+  EXPECT_THROW(deserialize_params(bytes), std::runtime_error);
+  bytes = serialize_params(params);
+  bytes.resize(bytes.size() - 4);
+  EXPECT_THROW(deserialize_params(bytes), std::runtime_error);
+}
+
+TEST(Nn, SaveLoadFile) {
+  const std::vector<float> params = {0.5f, -1.5f};
+  const auto path = std::filesystem::temp_directory_path() / "abdhfl_model_test.bin";
+  save_params(path.string(), params);
+  EXPECT_EQ(load_params(path.string()), params);
+  std::filesystem::remove(path);
+  EXPECT_THROW(load_params(path.string()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace abdhfl::nn

@@ -1,0 +1,128 @@
+// Unit tests for core/pipeline: the Sec. III-D timing model on the event
+// kernel — Eq. 2/3 invariants, flag-level trade-offs, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "topology/tree.hpp"
+
+namespace abdhfl::core {
+namespace {
+
+topology::HflTree test_tree() { return topology::build_ecsm(4, 3, 3); }
+
+PipelineConfig regime_config(std::size_t flag, std::size_t rounds = 8,
+                             double quorum = 1.0) {
+  DelayRegime regime;
+  return make_pipeline_config(regime, rounds, flag, quorum);
+}
+
+TEST(Pipeline, RunsAndProducesAllRounds) {
+  const auto tree = test_tree();
+  const auto result = simulate_pipeline(tree, regime_config(1), 1);
+  ASSERT_EQ(result.rounds.size(), 8u);
+  for (const auto& r : result.rounds) {
+    EXPECT_GT(r.t_global, 0.0);
+  }
+  EXPECT_GT(result.total_time, 0.0);
+}
+
+TEST(Pipeline, DeterministicForSameSeed) {
+  const auto tree = test_tree();
+  const auto a = simulate_pipeline(tree, regime_config(1), 7);
+  const auto b = simulate_pipeline(tree, regime_config(1), 7);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.mean_nu, b.mean_nu);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].sigma_w, b.rounds[i].sigma_w);
+  }
+}
+
+TEST(Pipeline, NuWithinUnitInterval) {
+  const auto tree = test_tree();
+  for (std::size_t flag = 0; flag < 3; ++flag) {
+    const auto result = simulate_pipeline(tree, regime_config(flag), 3);
+    EXPECT_GE(result.mean_nu, 0.0);
+    EXPECT_LE(result.mean_nu, 1.0);
+    for (const auto& r : result.rounds) {
+      if (r.sigma > 0.0) {
+        EXPECT_NEAR(r.sigma_w + r.sigma_pg, r.sigma, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Pipeline, FlagLevelZeroMeansNoOverlap) {
+  // ℓF = 0: the flag model IS the global model, nothing overlaps, ν = 0
+  // and no staleness remains for the correction factor to repair.
+  const auto tree = test_tree();
+  const auto result = simulate_pipeline(tree, regime_config(0), 5);
+  EXPECT_DOUBLE_EQ(result.mean_nu, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_staleness, 0.0);
+}
+
+TEST(Pipeline, LowerFlagLevelGainsNuButAddsStaleness) {
+  // The Appendix E trade-off: flag levels closer to the bottom start the
+  // next round earlier (higher ν) but receive the global model later into
+  // that round (higher staleness).
+  const auto tree = test_tree();
+  const auto near_top = simulate_pipeline(tree, regime_config(1, 10), 3);
+  const auto near_bottom = simulate_pipeline(tree, regime_config(2, 10), 3);
+  EXPECT_GT(near_bottom.mean_nu, near_top.mean_nu);
+  EXPECT_GT(near_bottom.mean_staleness, near_top.mean_staleness);
+}
+
+TEST(Pipeline, PipeliningBeatsSynchronousSchedule) {
+  // With slow global aggregation the pipelined end-to-end time must beat the
+  // serial round chain.
+  const auto tree = test_tree();
+  DelayRegime regime;
+  regime.global_agg = 2.0;  // τ_g comparable to training time
+  const auto config = make_pipeline_config(regime, 10, /*flag=*/2);
+  const auto result = simulate_pipeline(tree, config, 5);
+  EXPECT_LT(result.total_time, result.synchronous_time);
+}
+
+TEST(Pipeline, LooserQuorumNeverSlower) {
+  const auto tree = test_tree();
+  const auto strict = simulate_pipeline(tree, regime_config(1, 8, 1.0), 9);
+  const auto loose = simulate_pipeline(tree, regime_config(1, 8, 0.5), 9);
+  EXPECT_LE(loose.total_time, strict.total_time + 1e-9);
+}
+
+TEST(Pipeline, ValidatesConfig) {
+  const auto tree = test_tree();
+  auto config = regime_config(1);
+  config.flag_level = 3;  // == bottom level, not allowed
+  EXPECT_THROW(simulate_pipeline(tree, config, 1), std::invalid_argument);
+
+  config = regime_config(1);
+  config.quorum = 0.0;
+  EXPECT_THROW(simulate_pipeline(tree, config, 1), std::invalid_argument);
+
+  config = regime_config(1);
+  config.train_duration = nullptr;
+  EXPECT_THROW(simulate_pipeline(tree, config, 1), std::invalid_argument);
+}
+
+TEST(Pipeline, DisseminationLatencyDelaysRounds) {
+  const auto tree = test_tree();
+  auto fast = regime_config(1, 6);
+  auto slow = regime_config(1, 6);
+  slow.dissemination_latency = 0.5;
+  const auto quick = simulate_pipeline(tree, fast, 3);
+  const auto delayed = simulate_pipeline(tree, slow, 3);
+  EXPECT_GT(delayed.total_time, quick.total_time);
+}
+
+TEST(Pipeline, StalenessNonNegative) {
+  const auto tree = test_tree();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto result = simulate_pipeline(tree, regime_config(2, 6), seed);
+    for (const auto& r : result.rounds) EXPECT_GE(r.staleness, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace abdhfl::core

@@ -1,0 +1,107 @@
+// Tests for the model-update quantization utility.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::nn {
+namespace {
+
+std::vector<float> random_params(std::size_t n, util::Rng& rng) {
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return out;
+}
+
+TEST(Quantize, RoundtripErrorWithinBound) {
+  util::Rng rng(1);
+  const auto params = random_params(2000, rng);
+  for (std::uint8_t bits : {2, 4, 8}) {
+    const auto q = quantize(params, bits, 256);
+    const auto restored = dequantize(q);
+    ASSERT_EQ(restored.size(), params.size());
+    // Per block the error must respect the half-step bound for that block's
+    // range; use the global range as a generous envelope.
+    float mn = params[0], mx = params[0];
+    for (float v : params) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    const double bound = max_error_bound(mx - mn, bits) + 1e-6;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      ASSERT_LE(std::abs(restored[i] - params[i]), bound)
+          << "bits=" << int(bits) << " index " << i;
+    }
+  }
+}
+
+TEST(Quantize, EightBitsShrinksWireFourfold) {
+  util::Rng rng(2);
+  const auto params = random_params(10000, rng);
+  const auto q = quantize(params, 8);
+  const std::size_t raw = wire_size(params.size());
+  EXPECT_LT(q.wire_size(), raw / 3);  // ~4x minus block headers
+  const auto q4 = quantize(params, 4);
+  EXPECT_LT(q4.wire_size(), q.wire_size());
+}
+
+TEST(Quantize, HigherBitsLowerError) {
+  util::Rng rng(3);
+  const auto params = random_params(4096, rng);
+  double prev_err = 1e30;
+  for (std::uint8_t bits : {1, 2, 4, 8}) {
+    const auto restored = dequantize(quantize(params, bits));
+    double err = 0.0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      err += std::abs(restored[i] - params[i]);
+    }
+    err /= static_cast<double>(params.size());
+    EXPECT_LT(err, prev_err) << "bits=" << int(bits);
+    prev_err = err;
+  }
+}
+
+TEST(Quantize, ConstantBlockIsExact) {
+  const std::vector<float> constant(500, 3.25f);
+  const auto restored = dequantize(quantize(constant, 4));
+  for (float v : restored) EXPECT_FLOAT_EQ(v, 3.25f);
+}
+
+TEST(Quantize, ExtremesPreserved) {
+  // Block min and max must be representable exactly.
+  std::vector<float> values = {-2.0f, 0.1f, 0.5f, 7.0f};
+  const auto restored = dequantize(quantize(values, 8, 256));
+  EXPECT_FLOAT_EQ(restored.front(), -2.0f);
+  EXPECT_FLOAT_EQ(restored.back(), 7.0f);
+}
+
+TEST(Quantize, PartialTailBlock) {
+  util::Rng rng(4);
+  const auto params = random_params(300, rng);  // 256 + 44 tail
+  const auto q = quantize(params, 8, 256);
+  EXPECT_EQ(q.scales.size(), 2u);
+  EXPECT_EQ(dequantize(q).size(), 300u);
+}
+
+TEST(Quantize, Validation) {
+  const std::vector<float> v = {1.0f};
+  EXPECT_THROW(quantize(v, 0), std::invalid_argument);
+  EXPECT_THROW(quantize(v, 9), std::invalid_argument);
+  EXPECT_THROW(quantize(v, 8, 0), std::invalid_argument);
+  QuantizedVec corrupt = quantize(v, 8);
+  corrupt.data.clear();
+  EXPECT_THROW(dequantize(corrupt), std::invalid_argument);
+}
+
+TEST(Quantize, EmptyInput) {
+  const auto q = quantize(std::vector<float>{}, 8);
+  EXPECT_EQ(q.count, 0u);
+  EXPECT_TRUE(dequantize(q).empty());
+}
+
+}  // namespace
+}  // namespace abdhfl::nn

@@ -1,0 +1,189 @@
+// Unit tests for src/sim: event kernel ordering and determinism, latency
+// models (including the partial-synchrony wrappers), and network metering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/latency.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace abdhfl::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.schedule_after(1.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, CannotScheduleInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.clear();
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Latency, FixedWithBandwidthTerm) {
+  util::Rng rng(1);
+  FixedLatency model(0.5, 0.001);
+  EXPECT_DOUBLE_EQ(model.sample(1000, rng), 1.5);
+}
+
+TEST(Latency, UniformWithinRange) {
+  util::Rng rng(2);
+  UniformLatency model(0.2, 0.8);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = model.sample(0, rng);
+    ASSERT_GE(d, 0.2);
+    ASSERT_LE(d, 0.8);
+  }
+  EXPECT_THROW(UniformLatency(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(UniformLatency(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Latency, LognormalHeavyTailPositive) {
+  util::Rng rng(3);
+  LogNormalLatency model(0.0, 1.0);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = model.sample(0, rng);
+  for (double x : xs) ASSERT_GT(x, 0.0);
+  // Mean of lognormal(0,1) is exp(0.5) ~ 1.65 > median 1.0 (right skew).
+  EXPECT_GT(util::mean(xs), util::median_of(xs));
+}
+
+TEST(Latency, StragglerInflatesTail) {
+  util::Rng rng(4);
+  StragglerLatency model(std::make_unique<FixedLatency>(1.0), 0.2, 10.0);
+  int slow = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = model.sample(0, rng);
+    if (d > 5.0) ++slow;
+    ASSERT_TRUE(d == 1.0 || d == 10.0);
+  }
+  EXPECT_NEAR(slow, 400, 80);
+  EXPECT_THROW(StragglerLatency(nullptr, 0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(StragglerLatency(std::make_unique<FixedLatency>(1.0), 2.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Latency, LossyAddsRetriesButStaysFinite) {
+  util::Rng rng(5);
+  LossyLatency model(std::make_unique<FixedLatency>(1.0), 0.5, 3.0);
+  double max_delay = 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double d = model.sample(0, rng);
+    ASSERT_GE(d, 1.0);
+    max_delay = std::max(max_delay, d);
+    sum += d;
+  }
+  // Expected extra = p/(1-p) * timeout = 3.0; total mean = 4.0.
+  EXPECT_NEAR(sum / 4000.0, 4.0, 0.4);
+  EXPECT_GT(max_delay, 4.0);  // retries observed
+  EXPECT_THROW(LossyLatency(std::make_unique<FixedLatency>(1.0), 1.0, 3.0),
+               std::invalid_argument);
+}
+
+TEST(Network, DeliversAndMeters) {
+  Simulator sim;
+  util::Rng rng(6);
+  Network net(sim, rng);
+  net.set_default_latency(std::make_unique<FixedLatency>(1.0));
+
+  std::vector<std::uint32_t> received;
+  net.register_node(1, [&](const Message& m) { received.push_back(m.kind); });
+  net.register_node(2, [&](const Message& m) {
+    received.push_back(m.kind);
+    // Relaying from inside a handler must work.
+    net.send({2, 1, 99, 0, 10, nullptr});
+  });
+
+  net.send({1, 2, 7, 0, 100, nullptr});
+  sim.run();
+  EXPECT_EQ(received, (std::vector<std::uint32_t>{7, 99}));
+  EXPECT_EQ(net.totals().messages, 2u);
+  EXPECT_EQ(net.totals().bytes, 110u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Network, PerClassLatencyAndStats) {
+  Simulator sim;
+  util::Rng rng(7);
+  Network net(sim, rng);
+  net.set_default_latency(std::make_unique<FixedLatency>(1.0));
+  net.set_class_latency(5, std::make_unique<FixedLatency>(10.0));
+
+  double slow_arrival = 0.0;
+  net.register_node(1, [&](const Message&) { slow_arrival = sim.now(); });
+  net.send({0, 1, 0, 0, 50, nullptr}, /*link_class=*/5);
+  sim.run();
+  EXPECT_DOUBLE_EQ(slow_arrival, 10.0);
+  EXPECT_EQ(net.class_totals(5).bytes, 50u);
+  EXPECT_EQ(net.class_totals(1).messages, 0u);
+  net.reset_stats();
+  EXPECT_EQ(net.totals().messages, 0u);
+}
+
+TEST(Network, SendToUnregisteredThrows) {
+  Simulator sim;
+  util::Rng rng(8);
+  Network net(sim, rng);
+  net.set_default_latency(std::make_unique<FixedLatency>(1.0));
+  EXPECT_THROW(net.send({0, 42, 0, 0, 1, nullptr}), std::logic_error);
+}
+
+TEST(Network, RequiresLatencyModel) {
+  Simulator sim;
+  util::Rng rng(9);
+  Network net(sim, rng);
+  net.register_node(1, [](const Message&) {});
+  EXPECT_THROW(net.send({0, 1, 0, 0, 1, nullptr}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace abdhfl::sim

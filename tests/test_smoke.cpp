@@ -1,0 +1,25 @@
+// End-to-end smoke: a tiny ABD-HFL run completes and learns something.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace abdhfl {
+namespace {
+
+TEST(Smoke, TinyScenarioRuns) {
+  core::ScenarioConfig config;
+  config.samples_per_class = 40;
+  config.test_samples_per_class = 20;
+  config.learn.rounds = 3;
+  config.learn.local_iters = 2;
+  config.learn.batch = 8;
+  config.seed = 7;
+  const auto result = core::run_scenario(config);
+  ASSERT_EQ(result.abdhfl.accuracy_per_round.size(), 3u);
+  ASSERT_EQ(result.vanilla.accuracy_per_round.size(), 3u);
+  EXPECT_GT(result.abdhfl.comm.messages, 0u);
+}
+
+}  // namespace
+}  // namespace abdhfl

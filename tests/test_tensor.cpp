@@ -1,0 +1,169 @@
+// Unit tests for src/tensor: matrix kernels against naive references and
+// flat-vector operations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::tensor {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (float& v : m.flat()) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void expect_close(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.flat()[i], b.flat()[i], tol) << "index " << i;
+  }
+}
+
+TEST(Matrix, GemmMatchesNaive) {
+  util::Rng rng(1);
+  for (auto [m, k, n] : {std::tuple{3, 5, 7}, {1, 1, 1}, {70, 33, 65}, {16, 128, 4}}) {
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    Matrix out;
+    gemm(a, b, out);
+    expect_close(out, naive_gemm(a, b));
+  }
+}
+
+TEST(Matrix, GemmNtMatchesNaiveTranspose) {
+  util::Rng rng(2);
+  const auto a = random_matrix(6, 9, rng);
+  const auto bt = random_matrix(4, 9, rng);  // b^T shape (n,k)
+  Matrix b(9, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) b.at(j, i) = bt.at(i, j);
+  }
+  Matrix out;
+  gemm_nt(a, bt, out);
+  expect_close(out, naive_gemm(a, b));
+}
+
+TEST(Matrix, GemmTnMatchesNaiveTranspose) {
+  util::Rng rng(3);
+  const auto at = random_matrix(9, 6, rng);  // a^T shape (k,m)
+  const auto b = random_matrix(9, 5, rng);
+  Matrix a(6, 9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) a.at(j, i) = at.at(i, j);
+  }
+  Matrix out;
+  gemm_tn(at, b, out);
+  expect_close(out, naive_gemm(a, b));
+}
+
+TEST(Matrix, GemvMatchesGemm) {
+  util::Rng rng(4);
+  const auto m = random_matrix(8, 5, rng);
+  const auto x = random_matrix(5, 1, rng);
+  Matrix expected;
+  gemm(m, x, expected);
+  std::vector<float> y(8);
+  gemv(m, std::span<const float>(x.data(), 5), y);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(y[i], expected.at(i, 0), 1e-5f);
+}
+
+TEST(Matrix, RowBroadcastAndColumnSums) {
+  Matrix m(2, 3, 1.0f);
+  const std::vector<float> bias = {1.0f, 2.0f, 3.0f};
+  add_row_broadcast(m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 4.0f);
+  std::vector<float> sums(3);
+  column_sums(m, sums);
+  EXPECT_FLOAT_EQ(sums[0], 4.0f);
+  EXPECT_FLOAT_EQ(sums[2], 8.0f);
+}
+
+TEST(Matrix, InitializersBounded) {
+  util::Rng rng(5);
+  Matrix m(64, 32);
+  m.init_he_uniform(rng);
+  const double limit = std::sqrt(6.0 / 64.0);
+  for (float v : m.flat()) {
+    EXPECT_LE(std::abs(v), limit + 1e-6);
+  }
+  bool nonzero = false;
+  for (float v : m.flat()) nonzero |= v != 0.0f;
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Ops, DotAndNorms) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2_squared(a), 14.0);
+  EXPECT_NEAR(norm2(a), std::sqrt(14.0), 1e-12);
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 9.0 + 49.0 + 9.0);
+}
+
+TEST(Ops, AxpyScaleAddSub) {
+  std::vector<float> y = {1.0f, 1.0f};
+  const std::vector<float> x = {2.0f, 4.0f};
+  axpy(0.5, x, y);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  scale(y, 2.0);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  const auto s = add(x, y);
+  EXPECT_FLOAT_EQ(s[1], 10.0f);
+  const auto d = sub(s, x);
+  EXPECT_FLOAT_EQ(d[0], 4.0f);
+}
+
+TEST(Ops, LerpIsCorrectionFactorMerge) {
+  const std::vector<float> global = {1.0f, 0.0f};
+  const std::vector<float> local = {0.0f, 1.0f};
+  const auto merged = lerp(global, local, 0.25);
+  EXPECT_FLOAT_EQ(merged[0], 0.25f);
+  EXPECT_FLOAT_EQ(merged[1], 0.75f);
+  // alpha = 1 replaces with the global model, alpha = 0 keeps the local one.
+  EXPECT_EQ(lerp(global, local, 1.0), global);
+  EXPECT_EQ(lerp(global, local, 0.0), local);
+}
+
+TEST(Ops, MeanOf) {
+  const std::vector<std::vector<float>> vs = {{1.0f, 2.0f}, {3.0f, 6.0f}};
+  const auto m = mean_of(vs);
+  EXPECT_FLOAT_EQ(m[0], 2.0f);
+  EXPECT_FLOAT_EQ(m[1], 4.0f);
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+  EXPECT_THROW(mean_of({{1.0f}, {1.0f, 2.0f}}), std::invalid_argument);
+}
+
+TEST(Ops, ClipToBall) {
+  std::vector<float> x = {3.0f, 4.0f};  // norm 5
+  const double factor = clip_to_ball(x, 2.5);
+  EXPECT_NEAR(factor, 0.5, 1e-12);
+  EXPECT_NEAR(norm2(x), 2.5, 1e-6);
+  std::vector<float> small = {0.1f, 0.1f};
+  EXPECT_DOUBLE_EQ(clip_to_ball(small, 10.0), 1.0);
+  std::vector<float> zero = {0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(clip_to_ball(zero, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace abdhfl::tensor

@@ -1,0 +1,246 @@
+// Unit tests for src/topology: ECSM/ACSM construction, structural queries,
+// Byzantine placement, and the ECSM/ACSM tolerance calculus (Theorems 1-3,
+// Corollaries 1-3) checked against counted trees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "topology/byzantine.hpp"
+#include "topology/tree.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::topology {
+namespace {
+
+TEST(Tree, EcsmPaperConfiguration) {
+  // 3 levels, cluster size 4, 4 top nodes -> 64 bottom devices (Table VII).
+  const auto tree = build_ecsm(3, 4, 4);
+  EXPECT_EQ(tree.num_levels(), 3u);
+  EXPECT_EQ(tree.depth(), 2u);
+  EXPECT_EQ(tree.num_devices(), 64u);
+  EXPECT_EQ(tree.level(0).size(), 1u);
+  EXPECT_EQ(tree.level(1).size(), 4u);
+  EXPECT_EQ(tree.level(2).size(), 16u);
+  EXPECT_EQ(tree.nodes_at_level(0), 4u);
+  EXPECT_EQ(tree.nodes_at_level(1), 16u);
+  EXPECT_EQ(tree.nodes_at_level(2), 64u);
+}
+
+TEST(Tree, Corollary1NodeCounts) {
+  for (std::size_t levels : {2u, 3u, 4u}) {
+    for (std::size_t m : {2u, 3u, 4u}) {
+      const auto tree = build_ecsm(levels, m, 3);
+      for (std::size_t l = 0; l < levels; ++l) {
+        EXPECT_EQ(tree.nodes_at_level(l), corollary1_nodes(3, m, l))
+            << "levels=" << levels << " m=" << m << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(Tree, LeadersFormUpperLevel) {
+  const auto tree = build_ecsm(3, 4, 4);
+  // Every node at level l (l < bottom) leads exactly one cluster below and
+  // is a member of its own child cluster (leaf-derived property).
+  for (std::size_t l = 0; l + 1 < tree.num_levels(); ++l) {
+    for (const auto& cluster : tree.level(l)) {
+      for (DeviceId d : cluster.members) {
+        const auto child = tree.child_cluster_of(l, d);
+        ASSERT_TRUE(child.has_value());
+        const auto& below = tree.cluster(l + 1, *child);
+        EXPECT_EQ(below.leader_id(), d);
+        EXPECT_NE(std::find(below.members.begin(), below.members.end(), d),
+                  below.members.end());
+      }
+    }
+  }
+}
+
+TEST(Tree, ParentChildConsistency) {
+  const auto tree = build_ecsm(4, 3, 2);
+  for (std::size_t l = 1; l < tree.num_levels(); ++l) {
+    for (std::size_t i = 0; i < tree.level(l).size(); ++i) {
+      const auto parent = tree.parent_cluster_of(l, i);
+      ASSERT_TRUE(parent.has_value());
+      const DeviceId leader = tree.cluster(l, i).leader_id();
+      const auto& up = tree.cluster(l - 1, *parent);
+      EXPECT_NE(std::find(up.members.begin(), up.members.end(), leader),
+                up.members.end());
+    }
+  }
+  EXPECT_EQ(tree.parent_cluster_of(0, 0), std::nullopt);
+}
+
+TEST(Tree, BottomDescendantsPartitionDevices) {
+  const auto tree = build_ecsm(3, 4, 4);
+  // The descendants of the top cluster's members partition all devices.
+  std::set<DeviceId> seen;
+  for (DeviceId d : tree.cluster(0, 0).members) {
+    for (DeviceId leaf : tree.bottom_descendants(0, d)) {
+      EXPECT_TRUE(seen.insert(leaf).second) << "device counted twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), tree.num_devices());
+  // A bottom device's descendants are itself.
+  EXPECT_EQ(tree.bottom_descendants(tree.depth(), 5), std::vector<DeviceId>{5});
+}
+
+TEST(Tree, HighestLevelOf) {
+  const auto tree = build_ecsm(3, 4, 4);
+  // Device 0 chains to the top in the deterministic first-member-leads build.
+  EXPECT_EQ(tree.highest_level_of(0), 0u);
+  // Device 1 is not a leader of anything.
+  EXPECT_EQ(tree.highest_level_of(1), 2u);
+}
+
+TEST(Tree, RandomizedLeadersStillValid) {
+  util::Rng rng(3);
+  const auto tree = build_ecsm(3, 4, 4, &rng);
+  tree.validate();  // would throw on inconsistency
+  EXPECT_EQ(tree.num_devices(), 64u);
+}
+
+TEST(Tree, MalformedTreesRejected) {
+  // Two clusters at the top.
+  std::vector<std::vector<Cluster>> two_tops(2);
+  two_tops[0] = {Cluster{{0}, 0}, Cluster{{1}, 0}};
+  two_tops[1] = {Cluster{{0, 1}, 0}};
+  EXPECT_THROW(HflTree{two_tops}, std::logic_error);
+
+  // Upper level that is not the leaders of the level below.
+  std::vector<std::vector<Cluster>> bad_leaders(2);
+  bad_leaders[0] = {Cluster{{1}, 0}};           // node 1 on top...
+  bad_leaders[1] = {Cluster{{0, 1}, 0}};        // ...but cluster led by 0
+  EXPECT_THROW(HflTree{bad_leaders}, std::logic_error);
+
+  EXPECT_THROW(build_ecsm(1, 4, 4), std::invalid_argument);
+}
+
+TEST(Tree, AcsmShapeAndInvariants) {
+  util::Rng rng(5);
+  AcsmConfig config;
+  config.bottom_devices = 100;
+  config.min_cluster = 3;
+  config.max_cluster = 7;
+  config.top_size = 5;
+  const auto tree = build_acsm(config, rng);
+  tree.validate();
+  EXPECT_EQ(tree.num_devices(), 100u);
+  EXPECT_LE(tree.cluster(0, 0).size(), 5u);
+  for (std::size_t l = 1; l < tree.num_levels(); ++l) {
+    for (const auto& cluster : tree.level(l)) {
+      EXPECT_GE(cluster.size(), 3u);
+      // The tail-absorption rule can exceed max_cluster by < min_cluster.
+      EXPECT_LT(cluster.size(), config.max_cluster + config.min_cluster);
+    }
+  }
+  EXPECT_THROW(build_acsm({.bottom_devices = 4, .min_cluster = 3, .max_cluster = 3,
+                           .top_size = 4},
+                          rng),
+               std::invalid_argument);
+}
+
+TEST(Byzantine, SampleAndBlockPlacement) {
+  util::Rng rng(7);
+  const auto random_mask = sample_malicious(64, 0.25, rng);
+  EXPECT_EQ(count_byzantine(random_mask), 16u);
+  const auto block = block_malicious(64, 0.578125);
+  EXPECT_EQ(count_byzantine(block), 37u);
+  for (std::size_t i = 0; i < 37; ++i) EXPECT_TRUE(block[i]);
+  for (std::size_t i = 37; i < 64; ++i) EXPECT_FALSE(block[i]);
+  EXPECT_THROW(block_malicious(10, 1.5), std::invalid_argument);
+  EXPECT_THROW(sample_malicious(10, -0.1, rng), std::invalid_argument);
+}
+
+TEST(Byzantine, Theorem1ClosedForms) {
+  EXPECT_DOUBLE_EQ(theorem1_type1_count(0.75, 4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(theorem1_type1_count(0.75, 4, 2), 9.0);
+  EXPECT_DOUBLE_EQ(theorem1_type1_ratio(0.75, 2), 0.5625);
+}
+
+TEST(Byzantine, Theorem2PaperNumber) {
+  // The worked example of Sec. V-A: gamma1 = gamma2 = 25%, bottom level 2.
+  EXPECT_NEAR(theorem2_max_proportion(2, 0.25, 0.25), 0.578125, 1e-12);
+  EXPECT_NEAR(theorem2_max_byzantine(4, 4, 2, 0.25, 0.25), 37.0, 1e-9);
+}
+
+TEST(Byzantine, Corollary2MonotoneInLevel) {
+  for (std::size_t l = 0; l + 1 < 6; ++l) {
+    EXPECT_LT(theorem2_max_proportion(l, 0.25, 0.25),
+              theorem2_max_proportion(l + 1, 0.25, 0.25));
+  }
+}
+
+TEST(Byzantine, Corollary3MoreLevelsMoreTolerance) {
+  // Fixed bottom size, deeper trees tolerate a larger bottom fraction.
+  const double three_levels = theorem2_max_proportion(2, 0.25, 0.25);
+  const double four_levels = theorem2_max_proportion(3, 0.25, 0.25);
+  EXPECT_LT(three_levels, four_levels);
+}
+
+TEST(Byzantine, PRatioPlacementMatchesTheorem1Counts) {
+  util::Rng rng(9);
+  const auto tree = build_ecsm(3, 4, 4);
+  PRatioConfig config;
+  config.p = 0.75;
+  config.honest_top = 3;
+  const auto mask = assign_p_ratio(tree, config, rng);
+  const auto byz = byzantine_per_level(tree, mask);
+  // Honest per level: (1-gamma1)*Nt * (p*m)^l with p = 0.75, m = 4.
+  EXPECT_EQ(tree.nodes_at_level(0) - byz[0], 3u);
+  EXPECT_EQ(tree.nodes_at_level(1) - byz[1], 9u);   // 3 * 3
+  EXPECT_EQ(tree.nodes_at_level(2) - byz[2], 27u);  // 3 * 9
+}
+
+TEST(Byzantine, PRatioByzantineLeaderPropagates) {
+  util::Rng rng(11);
+  const auto tree = build_ecsm(3, 4, 4);
+  PRatioConfig config;
+  config.p = 0.75;
+  config.honest_top = 0;  // everything Byzantine
+  const auto mask = assign_p_ratio(tree, config, rng);
+  EXPECT_EQ(count_byzantine(mask), tree.num_devices());
+
+  config.honest_top = 4;
+  config.p = 1.0;  // everything honest
+  const auto honest = assign_p_ratio(tree, config, rng);
+  EXPECT_EQ(count_byzantine(honest), 0u);
+}
+
+TEST(Byzantine, ClassifyClustersDefinition5) {
+  const auto tree = build_ecsm(3, 4, 4);
+  ByzantineMask mask(64, false);
+  // Make bottom cluster 0 have 2/4 Byzantine (over gamma2 = 25%) and
+  // cluster 1 have 1/4 (at the limit, not over).
+  mask[1] = mask[2] = true;
+  mask[5] = true;
+  const auto classes = classify_clusters(tree, 2, mask, 0.25, 0.25);
+  EXPECT_TRUE(classes.byzantine_cluster[0]);
+  EXPECT_FALSE(classes.byzantine_cluster[1]);
+  EXPECT_FALSE(classes.byzantine_cluster[2]);
+}
+
+TEST(Byzantine, AcsmPsiAndTheorem3) {
+  const auto tree = build_ecsm(3, 4, 4);
+  ByzantineMask mask(64, false);
+  // Corrupt bottom clusters 0..3 completely: 4 of 16 bottom clusters bad.
+  for (std::size_t d = 0; d < 16; ++d) mask[d] = true;
+  const auto tol = acsm_level_tolerance(tree, 2, mask, 0.25, 0.25);
+  EXPECT_NEAR(tol.psi, 48.0 / 64.0, 1e-12);
+  EXPECT_NEAR(tol.max_proportion, 1.0 - 0.75 * 0.75, 1e-12);
+
+  // Top level: P0 = 1 - psi0 exactly (Theorem 3 base case).
+  const auto top = acsm_level_tolerance(tree, 0, mask, 0.25, 0.25);
+  EXPECT_NEAR(top.max_proportion, 1.0 - top.psi, 1e-12);
+}
+
+TEST(Byzantine, PerLevelCountsMaskValidation) {
+  const auto tree = build_ecsm(3, 4, 4);
+  EXPECT_THROW(byzantine_per_level(tree, ByzantineMask(5, false)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abdhfl::topology

@@ -1,0 +1,75 @@
+// Compile-level test: the umbrella header pulls in the whole public API,
+// plus cross-cutting properties that span several modules at once.
+
+#include <gtest/gtest.h>
+
+#include "abdhfl.hpp"
+
+namespace abdhfl {
+namespace {
+
+TEST(Umbrella, PublicApiCompilesAndLinks) {
+  util::Rng rng(1);
+  auto model = nn::make_mlp(8, {4}, 2, rng);
+  EXPECT_GT(model.param_count(), 0u);
+  const auto tree = topology::build_ecsm(3, 4, 4);
+  EXPECT_EQ(tree.num_devices(), 64u);
+  EXPECT_EQ(agg::make_aggregator("median")->name(), "median");
+  EXPECT_EQ(consensus::make_consensus("voting")->name(), "voting");
+}
+
+TEST(Umbrella, QuantizedUpdatesSurviveRobustAggregation) {
+  // End-to-end compression property: aggregating 8-bit-quantized updates
+  // lands within quantization error of aggregating the originals, for every
+  // robust rule — compression composes with robustness.
+  util::Rng rng(2);
+  std::vector<agg::ModelVec> updates(7, agg::ModelVec(64));
+  for (auto& u : updates) {
+    for (float& v : u) v = static_cast<float>(rng.normal(1.0, 0.2));
+  }
+  updates.push_back(agg::ModelVec(64, 50.0f));  // one outlier
+
+  std::vector<agg::ModelVec> compressed;
+  for (const auto& u : updates) {
+    compressed.push_back(nn::dequantize(nn::quantize(u, 8)));
+  }
+
+  for (const char* rule : {"multikrum", "median", "geomed", "trimmed_mean"}) {
+    const auto exact = agg::make_aggregator(rule)->aggregate(updates);
+    const auto lossy = agg::make_aggregator(rule)->aggregate(compressed);
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_NEAR(exact[i], lossy[i], 0.05f) << rule << " index " << i;
+    }
+  }
+}
+
+TEST(Umbrella, ChurnedTreeKeepsToleranceCalculusUsable) {
+  // Topology mutation composes with the Byzantine analysis: after churn the
+  // per-level counting, classification and psi computation still work.
+  auto tree = topology::build_ecsm(3, 4, 4);
+  tree = topology::with_device_left(tree, 5).tree;
+  tree = topology::with_device_joined(tree, 2).tree;
+  util::Rng rng(3);
+  const auto mask = topology::sample_malicious(tree.num_devices(), 0.25, rng);
+  const auto per_level = topology::byzantine_per_level(tree, mask);
+  EXPECT_EQ(per_level.size(), tree.num_levels());
+  const auto tol = topology::acsm_level_tolerance(tree, tree.depth(), mask, 0.25, 0.25);
+  EXPECT_GE(tol.psi, 0.0);
+  EXPECT_LE(tol.psi, 1.0);
+}
+
+TEST(Umbrella, SerializationRoundtripsThroughAggregation) {
+  // A model can be flattened, serialized, shipped, aggregated with peers,
+  // and loaded back — the full life of a model update.
+  util::Rng rng(4);
+  auto model = nn::make_mlp(6, {5}, 3, rng);
+  const auto params = model.flatten();
+  const auto wire = nn::serialize_params(params);
+  const auto received = nn::deserialize_params(wire);
+  const auto agreed = agg::make_aggregator("mean")->aggregate({received, params});
+  model.unflatten(agreed);
+  EXPECT_EQ(model.flatten(), params);  // mean of two identical copies
+}
+
+}  // namespace
+}  // namespace abdhfl

@@ -1,0 +1,238 @@
+// Unit tests for src/util: RNG, statistics, tables, CLI, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abdhfl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsUniformAndInRange) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 14000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.exponential(2.0);
+  EXPECT_NEAR(mean(xs), 0.5, 0.02);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(19);
+  const auto sample = rng.sample_indices(50, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(Rng, SampleIndicesAll) {
+  Rng rng(21);
+  const auto sample = rng.sample_indices(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // The child stream should not track the parent's subsequent output.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleInputs) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_EQ(variance(one), 0.0);
+  EXPECT_EQ(ci95_halfwidth(one), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median_of(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_of(even), 2.5);
+  EXPECT_THROW(median_of({}), std::invalid_argument);
+}
+
+TEST(Stats, SummarizeBundle) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.n, 3u);
+}
+
+TEST(Stats, PointwiseMeanAndCi) {
+  const std::vector<std::vector<double>> series = {{1.0, 2.0}, {3.0, 4.0}};
+  const auto m = pointwise_mean(series);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 3.0);
+  const auto ci = pointwise_ci95(series);
+  EXPECT_GT(ci[0], 0.0);
+}
+
+TEST(Stats, PointwiseRaggedThrows) {
+  const std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(pointwise_mean(ragged), std::invalid_argument);
+}
+
+TEST(Table, TextAndArity) {
+  Table t({"a", "b"});
+  t.add_row({"1", "22"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  const auto text = t.to_text();
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x"});
+  t.add_row({"a,b \"quoted\""});
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b \"\"quoted\"\"\""), std::string::npos);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.5781, 2), "57.81%");
+}
+
+TEST(Cli, ParsesFormsAndDefaults) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--count", "7", "--flag"};
+  Cli cli(5, argv);
+  EXPECT_DOUBLE_EQ(cli.real("alpha", 0.1, ""), 0.5);
+  EXPECT_EQ(cli.integer("count", 1, ""), 7);
+  EXPECT_TRUE(cli.boolean("flag", false, ""));
+  EXPECT_EQ(cli.str("missing", "dflt", ""), "dflt");
+  EXPECT_TRUE(cli.finish());
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--b=maybe"};
+  Cli cli(2, argv);
+  EXPECT_THROW((void)cli.boolean("b", false, ""), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 50) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SubmitReturnsFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] {});
+  fut.wait();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace abdhfl::util
