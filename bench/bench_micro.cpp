@@ -3,15 +3,29 @@
 // GeoMed iterations; clipping passes), the dense GEMM kernel, event-kernel
 // throughput, and the synthetic-digit generator.
 //
+// The kernel-layer before/after pairs live here too: BM_Dot vs BM_DotRef,
+// BM_Distance vs BM_DistanceRef, BM_Gemm vs BM_GemmNaive (the *Ref/Naive
+// variants are the pre-kernel-layer scalar paths, kept in the library for
+// exactly this comparison), and BM_Aggregate's third argument is the
+// aggregator thread fan-out (1 = serial).  At startup the binary asserts
+// that serial and 8-thread aggregation agree bitwise before timing anything.
+//
 // Run via google-benchmark:  ./bench_micro [--benchmark_filter=...]
+// JSON export for EXPERIMENTS.md: --benchmark_out=micro.json
+//                                 --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "agg/aggregator.hpp"
 #include "consensus/voting.hpp"
 #include "data/synth_digits.hpp"
 #include "nn/quantize.hpp"
 #include "sim/simulator.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -32,8 +46,9 @@ std::vector<agg::ModelVec> make_updates(std::size_t n, std::size_t dim,
 void BM_Aggregate(benchmark::State& state, const std::string& rule) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
   const auto updates = make_updates(n, dim, 99);
-  auto agg = agg::make_aggregator(rule);
+  auto agg = agg::make_aggregator(rule, 0.25, threads);
   for (auto _ : state) {
     benchmark::DoNotOptimize(agg->aggregate(updates));
   }
@@ -49,7 +64,34 @@ void RegisterAggBenches() {
         [rule = std::string(rule)](benchmark::State& state) {
           BM_Aggregate(state, rule);
         });
-    bench->Args({8, 1000})->Args({32, 1000})->Args({8, 10000})->Args({32, 10000});
+    // Third arg: aggregator thread fan-out (serial baseline vs pool).
+    bench->Args({8, 1000, 1})->Args({32, 1000, 1})->Args({8, 10000, 1})->Args(
+        {32, 10000, 1});
+    if (std::strcmp(rule, "mean") != 0) {
+      bench->Args({8, 100000, 1})
+          ->Args({32, 100000, 1})
+          ->Args({8, 100000, 8})
+          ->Args({32, 100000, 8});
+    }
+  }
+}
+
+/// Parallel aggregation must be bitwise-identical to serial — checked once
+/// before any timing so a determinism regression fails loudly here instead
+/// of silently skewing results.
+void CheckParallelDeterminism() {
+  const auto updates = make_updates(16, 40000, 123);
+  for (const char* rule :
+       {"krum", "multikrum", "median", "trimmed_mean", "geomed", "autogm",
+        "centered_clip", "norm_filter"}) {
+    const auto serial = agg::make_aggregator(rule, 0.25, 1)->aggregate(updates);
+    const auto parallel = agg::make_aggregator(rule, 0.25, 8)->aggregate(updates);
+    if (serial.size() != parallel.size() ||
+        std::memcmp(serial.data(), parallel.data(),
+                    serial.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FATAL: %s parallel != serial (bitwise)\n", rule);
+      std::abort();
+    }
   }
 }
 
@@ -66,6 +108,69 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  tensor::Matrix a(n, n), b(n, n), c;
+  a.init_he_uniform(rng);
+  b.init_he_uniform(rng);
+  for (auto _ : state) {
+    tensor::gemm_naive(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+std::vector<float> make_vec(std::size_t dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vec(dim, 21), b = make_vec(dim, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::kern::dot(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Dot)->Arg(1000)->Arg(100000);
+
+void BM_DotRef(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vec(dim, 21), b = make_vec(dim, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::kern::dot_ref(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DotRef)->Arg(1000)->Arg(100000);
+
+void BM_Distance(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vec(dim, 23), b = make_vec(dim, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::kern::distance_squared(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_Distance)->Arg(1000)->Arg(100000);
+
+void BM_DistanceRef(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = make_vec(dim, 23), b = make_vec(dim, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::kern::distance_squared_ref(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_DistanceRef)->Arg(1000)->Arg(100000);
 
 void BM_EventKernel(benchmark::State& state) {
   const auto events = static_cast<std::size_t>(state.range(0));
@@ -123,6 +228,7 @@ BENCHMARK(BM_Quantize)->Args({10000, 8})->Args({10000, 4})->Args({100000, 8});
 }  // namespace
 
 int main(int argc, char** argv) {
+  CheckParallelDeterminism();
   RegisterAggBenches();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -13,25 +13,35 @@
 namespace abdhfl::agg {
 
 std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
-                                            double byzantine_fraction) {
-  if (name == "mean") return std::make_unique<MeanAggregator>();
-  if (name == "krum") {
-    return std::make_unique<KrumAggregator>(KrumConfig{byzantine_fraction, 1});
-  }
-  if (name == "multikrum") {
+                                            double byzantine_fraction,
+                                            std::size_t threads) {
+  std::unique_ptr<Aggregator> rule;
+  if (name == "mean") {
+    rule = std::make_unique<MeanAggregator>();
+  } else if (name == "krum") {
+    rule = std::make_unique<KrumAggregator>(KrumConfig{byzantine_fraction, 1});
+  } else if (name == "multikrum") {
     // multi_k = 0 -> adaptive selection size m = n - f - 2 at aggregate time.
-    return std::make_unique<KrumAggregator>(KrumConfig{byzantine_fraction, 0});
+    rule = std::make_unique<KrumAggregator>(KrumConfig{byzantine_fraction, 0});
+  } else if (name == "median") {
+    rule = std::make_unique<MedianAggregator>();
+  } else if (name == "trimmed_mean") {
+    rule = std::make_unique<TrimmedMeanAggregator>(byzantine_fraction);
+  } else if (name == "geomed") {
+    rule = std::make_unique<GeoMedAggregator>();
+  } else if (name == "autogm") {
+    rule = std::make_unique<AutoGmAggregator>();
+  } else if (name == "clustering") {
+    rule = std::make_unique<ClusterAggregator>();
+  } else if (name == "centered_clip") {
+    rule = std::make_unique<CenteredClipAggregator>();
+  } else if (name == "norm_filter") {
+    rule = std::make_unique<NormFilterAggregator>();
+  } else {
+    throw std::invalid_argument("unknown aggregator: " + name);
   }
-  if (name == "median") return std::make_unique<MedianAggregator>();
-  if (name == "trimmed_mean") {
-    return std::make_unique<TrimmedMeanAggregator>(byzantine_fraction);
-  }
-  if (name == "geomed") return std::make_unique<GeoMedAggregator>();
-  if (name == "autogm") return std::make_unique<AutoGmAggregator>();
-  if (name == "clustering") return std::make_unique<ClusterAggregator>();
-  if (name == "centered_clip") return std::make_unique<CenteredClipAggregator>();
-  if (name == "norm_filter") return std::make_unique<NormFilterAggregator>();
-  throw std::invalid_argument("unknown aggregator: " + name);
+  rule->set_threads(threads);
+  return rule;
 }
 
 const std::vector<std::string>& aggregator_names() {

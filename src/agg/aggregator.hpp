@@ -37,14 +37,31 @@ class Aggregator {
     (void)n;
     return 0.5;
   }
+
+  /// Numeric-kernel fan-out inside aggregate().  1 (the default) keeps the
+  /// rule single-threaded so the discrete-event simulator stays serial and
+  /// deterministic; higher values partition the work (pairwise-distance
+  /// rows, coordinates, updates) across util::global_pool().  Every rule's
+  /// parallel path is bitwise-identical to its serial path for any thread
+  /// count — each output element is produced by exactly one kernel call
+  /// chain, so the partition never changes the arithmetic.
+  void set_threads(std::size_t threads) noexcept {
+    threads_ = threads == 0 ? 1 : threads;
+  }
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+ protected:
+  std::size_t threads_ = 1;
 };
 
 /// Build a rule by name: "mean", "krum", "multikrum", "median",
 /// "trimmed_mean", "geomed", "centered_clip", "norm_filter".
 /// byzantine_fraction parameterizes rules that assume an f bound
-/// (Krum/MultiKrum/TrimmedMean).  Throws on unknown names.
+/// (Krum/MultiKrum/TrimmedMean); threads is forwarded to set_threads().
+/// Throws on unknown names.
 [[nodiscard]] std::unique_ptr<Aggregator> make_aggregator(const std::string& name,
-                                                          double byzantine_fraction = 0.25);
+                                                          double byzantine_fraction = 0.25,
+                                                          std::size_t threads = 1);
 
 /// Names accepted by make_aggregator, for CLIs and test sweeps.
 [[nodiscard]] const std::vector<std::string>& aggregator_names();

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace abdhfl::agg {
 
@@ -15,17 +17,24 @@ AutoGmAggregator::AutoGmAggregator(AutoGmConfig config) : config_(config) {
 }
 
 ModelVec AutoGmAggregator::aggregate(const std::vector<ModelVec>& updates) {
-  tensor::checked_common_size(updates);
+  const std::size_t dim = tensor::checked_common_size(updates);
   GeoMedAggregator geomed(config_.geomed);
+  geomed.set_threads(threads());
 
   std::vector<ModelVec> kept = updates;
   ModelVec estimate = geomed.aggregate(kept);
 
   for (std::size_t round = 0; round < config_.max_outer_rounds; ++round) {
+    // One distance per kept update, each from a single kernel call chain —
+    // parallel over updates is bitwise-deterministic.
     std::vector<double> dist(kept.size());
-    for (std::size_t i = 0; i < kept.size(); ++i) {
-      dist[i] = std::sqrt(tensor::distance_squared(kept[i], estimate));
-    }
+    util::global_pool().parallel_for(
+        0, kept.size(),
+        [&](std::size_t i) {
+          dist[i] = std::sqrt(
+              tensor::kern::distance_squared(kept[i].data(), estimate.data(), dim));
+        },
+        threads_);
     const double med = util::median_of(dist);
     if (med == 0.0) break;  // all kept updates coincide with the estimate
 

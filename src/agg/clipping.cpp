@@ -4,8 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace abdhfl::agg {
 
@@ -22,18 +24,45 @@ void CenteredClipAggregator::set_reference(std::span<const float> reference) {
 
 ModelVec CenteredClipAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t dim = tensor::checked_common_size(updates);
+  const std::size_t n = updates.size();
   ModelVec v = reference_.size() == dim ? reference_ : tensor::mean_of(updates);
 
-  std::vector<float> delta(dim);
+  auto& pool = util::global_pool();
+
+  // Each clipping pass splits into two deterministic parallel phases:
+  //   (a) per-update clip scales — parallel over updates, each scale written
+  //       by exactly one task from one distance_squared call chain;
+  //   (b) acc[i] = sum_k scale[k] * (u_k[i] - v[i]) — parallel over
+  //       coordinates, every chunk adding k in the same ascending order the
+  //       serial loop uses.
+  // So the parallel result is bitwise-identical to the serial one.
+  std::vector<double> scale(n);
+  std::vector<double> acc(dim);
   for (std::size_t pass = 0; pass < config_.iterations; ++pass) {
-    std::vector<double> acc(dim, 0.0);
-    for (const auto& u : updates) {
-      for (std::size_t i = 0; i < dim; ++i) delta[i] = u[i] - v[i];
-      const double norm = tensor::norm2(delta);
-      const double scale = norm > config_.radius && norm > 0.0 ? config_.radius / norm : 1.0;
-      for (std::size_t i = 0; i < dim; ++i) acc[i] += scale * delta[i];
-    }
-    const double inv = 1.0 / static_cast<double>(updates.size());
+    pool.parallel_for(
+        0, n,
+        [&](std::size_t k) {
+          const double norm =
+              std::sqrt(tensor::kern::distance_squared(updates[k].data(), v.data(), dim));
+          scale[k] =
+              norm > config_.radius && norm > 0.0 ? config_.radius / norm : 1.0;
+        },
+        threads_);
+
+    pool.parallel_ranges(
+        0, dim,
+        [&](std::size_t lo, std::size_t hi) {
+          std::fill(acc.begin() + static_cast<std::ptrdiff_t>(lo),
+                    acc.begin() + static_cast<std::ptrdiff_t>(hi), 0.0);
+          for (std::size_t k = 0; k < n; ++k) {
+            tensor::kern::accumulate_clipped_diff(scale[k], updates[k].data() + lo,
+                                                  v.data() + lo, acc.data() + lo,
+                                                  hi - lo);
+          }
+        },
+        threads_);
+
+    const double inv = 1.0 / static_cast<double>(n);
     for (std::size_t i = 0; i < dim; ++i) {
       v[i] = static_cast<float>(v[i] + acc[i] * inv);
     }
@@ -54,14 +83,20 @@ ModelVec NormFilterAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t n = updates.size();
   const bool have_ref = reference_.size() == dim;
 
+  // Each distance is one kernel call chain per update — parallel over
+  // updates is trivially bitwise-deterministic.
   std::vector<double> dist(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    if (have_ref) {
-      dist[k] = std::sqrt(tensor::distance_squared(updates[k], reference_));
-    } else {
-      dist[k] = tensor::norm2(updates[k]);
-    }
-  }
+  util::global_pool().parallel_for(
+      0, n,
+      [&](std::size_t k) {
+        if (have_ref) {
+          dist[k] = std::sqrt(
+              tensor::kern::distance_squared(updates[k].data(), reference_.data(), dim));
+        } else {
+          dist[k] = std::sqrt(tensor::kern::norm2_squared(updates[k].data(), dim));
+        }
+      },
+      threads_);
   const double med = util::median_of(dist);
   const double cutoff = config_.factor * med;
 

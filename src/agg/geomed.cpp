@@ -1,9 +1,12 @@
 #include "agg/geomed.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace abdhfl::agg {
 
@@ -21,29 +24,52 @@ ModelVec GeoMedAggregator::aggregate(const std::vector<ModelVec>& updates) {
     return updates.front();
   }
 
+  auto& pool = util::global_pool();
+
   // Start from the coordinate-wise mean.
   std::vector<double> estimate(dim, 0.0);
   for (const auto& u : updates) {
-    for (std::size_t i = 0; i < dim; ++i) estimate[i] += u[i];
+    tensor::kern::accumulate(u.data(), estimate.data(), dim);
   }
   for (double& v : estimate) v /= static_cast<double>(n);
 
+  // Weiszfeld iterations.  Each round splits into
+  //   (a) per-update distances to the current estimate — parallel over
+  //       updates, each weight written by exactly one task;
+  //   (b) the weight sum — serial, in fixed update order;
+  //   (c) the weighted accumulation next[i] = sum_k w[k] * u_k[i] — parallel
+  //       over coordinates, every chunk walking k in the same ascending
+  //       order, so each next[i] sees the identical addition sequence the
+  //       serial loop produces.
+  // Hence the result is bitwise-identical for any thread count.
   std::vector<double> next(dim);
+  std::vector<double> weight(n);
   last_iterations_ = 0;
   for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
     ++last_iterations_;
-    std::fill(next.begin(), next.end(), 0.0);
+    pool.parallel_for(
+        0, n,
+        [&](std::size_t k) {
+          const double d2 = tensor::kern::distance_squared_df(
+              estimate.data(), updates[k].data(), dim);
+          weight[k] = 1.0 / (std::sqrt(d2) + config_.epsilon);
+        },
+        threads_);
     double weight_sum = 0.0;
-    for (const auto& u : updates) {
-      double d2 = 0.0;
-      for (std::size_t i = 0; i < dim; ++i) {
-        const double diff = estimate[i] - u[i];
-        d2 += diff * diff;
-      }
-      const double w = 1.0 / (std::sqrt(d2) + config_.epsilon);
-      weight_sum += w;
-      for (std::size_t i = 0; i < dim; ++i) next[i] += w * u[i];
-    }
+    for (std::size_t k = 0; k < n; ++k) weight_sum += weight[k];
+
+    pool.parallel_ranges(
+        0, dim,
+        [&](std::size_t lo, std::size_t hi) {
+          std::fill(next.begin() + static_cast<std::ptrdiff_t>(lo),
+                    next.begin() + static_cast<std::ptrdiff_t>(hi), 0.0);
+          for (std::size_t k = 0; k < n; ++k) {
+            tensor::kern::accumulate_scaled(weight[k], updates[k].data() + lo,
+                                            next.data() + lo, hi - lo);
+          }
+        },
+        threads_);
+
     double shift2 = 0.0;
     for (std::size_t i = 0; i < dim; ++i) {
       next[i] /= weight_sum;

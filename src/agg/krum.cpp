@@ -5,7 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace abdhfl::agg {
 
@@ -16,9 +18,9 @@ KrumAggregator::KrumAggregator(KrumConfig config) : config_(config) {
 }
 
 std::vector<double> KrumAggregator::scores(const std::vector<ModelVec>& updates,
-                                           std::size_t f) {
+                                           std::size_t f, std::size_t threads) {
   const std::size_t n = updates.size();
-  tensor::checked_common_size(updates);
+  const std::size_t dim = tensor::checked_common_size(updates);
   if (n < 3) throw std::invalid_argument("Krum needs at least 3 updates");
 
   // Krum sums the distances to the n - f - 2 closest peers; make sure at
@@ -26,35 +28,61 @@ std::vector<double> KrumAggregator::scores(const std::vector<ModelVec>& updates,
   const std::size_t closest =
       std::max<std::size_t>(1, n >= f + 2 ? n - f - 2 : 1);
 
-  // Pairwise squared distances (symmetric, O(n^2 d)).
-  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  std::vector<const float*> ptr(n);
+  for (std::size_t i = 0; i < n; ++i) ptr[i] = updates[i].data();
+
+  // Pairwise squared distances (symmetric, O(n^2 d)), row-partitioned across
+  // the pool.  The d loop is tiled by one kernel flush block with all pairs
+  // visited per tile: each tile's operands stay cache-resident across the
+  // O(n^2) pair visits instead of streaming 2 full vectors per pair, and the
+  // per-pair accumulation order (tile-ascending, one flush block per call)
+  // is exactly distance_squared's — so the result is bitwise-independent of
+  // the row partition and of `threads`.
+  std::vector<double> dist(n * n, 0.0);
+  auto& pool = util::global_pool();
+  pool.parallel_ranges(
+      0, n,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t tile = 0; tile < dim; tile += tensor::kern::kFlushBlock) {
+          const std::size_t len = std::min(tensor::kern::kFlushBlock, dim - tile);
+          for (std::size_t i = row_lo; i < row_hi; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+              dist[i * n + j] +=
+                  tensor::kern::distance_squared(ptr[i] + tile, ptr[j] + tile, len);
+            }
+          }
+        }
+      },
+      threads);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = tensor::distance_squared(updates[i], updates[j]);
-      dist[i][j] = d;
-      dist[j][i] = d;
-    }
+    for (std::size_t j = i + 1; j < n; ++j) dist[j * n + i] = dist[i * n + j];
   }
 
   std::vector<double> out(n, 0.0);
-  std::vector<double> row(n - 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::size_t w = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j != i) row[w++] = dist[i][j];
-    }
-    const std::size_t take = std::min(closest, row.size());
-    std::partial_sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(take),
-                      row.end());
-    out[i] = std::accumulate(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(take),
-                             0.0);
-  }
+  pool.parallel_ranges(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> row(n - 1);
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::size_t w = 0;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j != i) row[w++] = dist[i * n + j];
+          }
+          const std::size_t take = std::min(closest, row.size());
+          std::partial_sort(row.begin(),
+                            row.begin() + static_cast<std::ptrdiff_t>(take), row.end());
+          out[i] = std::accumulate(
+              row.begin(), row.begin() + static_cast<std::ptrdiff_t>(take), 0.0);
+        }
+      },
+      threads);
   return out;
 }
 
 std::vector<std::size_t> KrumAggregator::select(const std::vector<ModelVec>& updates,
-                                                std::size_t f, std::size_t k) {
-  const auto score = scores(updates, f);
+                                                std::size_t f, std::size_t k,
+                                                std::size_t threads) {
+  const auto score = scores(updates, f, threads);
   std::vector<std::size_t> order(score.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
@@ -78,7 +106,7 @@ ModelVec KrumAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t k =
       config_.multi_k != 0 ? config_.multi_k
                            : std::max<std::size_t>(1, n > f ? n - f : 1);
-  const auto chosen = select(updates, f, k);
+  const auto chosen = select(updates, f, k, threads());
   std::vector<ModelVec> picked;
   picked.reserve(chosen.size());
   for (std::size_t idx : chosen) picked.push_back(updates[idx]);

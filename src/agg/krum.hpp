@@ -34,13 +34,17 @@ class KrumAggregator final : public Aggregator {
   }
 
   /// Krum scores for all updates (exposed for tests and diagnostics);
-  /// requires n >= 3.
+  /// requires n >= 3.  threads > 1 fans the pairwise-distance matrix and the
+  /// per-row scoring out across util::global_pool(); the result is bitwise
+  /// identical for any thread count.
   [[nodiscard]] static std::vector<double> scores(const std::vector<ModelVec>& updates,
-                                                  std::size_t f);
+                                                  std::size_t f,
+                                                  std::size_t threads = 1);
 
   /// Indices of the k best-scored updates (ascending score).
   [[nodiscard]] static std::vector<std::size_t> select(const std::vector<ModelVec>& updates,
-                                                       std::size_t f, std::size_t k);
+                                                       std::size_t f, std::size_t k,
+                                                       std::size_t threads = 1);
 
  private:
   KrumConfig config_;

@@ -4,29 +4,62 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace abdhfl::agg {
+
+namespace {
+
+/// Run `column_fn(column_of_n_floats) -> float` for every coordinate,
+/// partitioning the coordinate range across the pool.  Coordinates are
+/// gathered in tiles so each chunk reads the update matrix in long row
+/// segments (kern::gather_columns) instead of one strided float per
+/// coordinate.  column_fn may permute its column in place (it is per-chunk
+/// scratch).  Every output element depends only on its own column, so the
+/// partition cannot change the result: parallel output is bitwise-identical
+/// to serial.
+template <class ColumnFn>
+void for_each_column(const std::vector<ModelVec>& updates, std::size_t dim,
+                     std::size_t threads, ModelVec& out, ColumnFn column_fn) {
+  const std::size_t n = updates.size();
+  std::vector<const float*> rows(n);
+  for (std::size_t k = 0; k < n; ++k) rows[k] = updates[k].data();
+
+  // ~64K floats of gather scratch per chunk, at least 16 coordinates.
+  const std::size_t tile =
+      std::clamp<std::size_t>(std::size_t{65536} / std::max<std::size_t>(n, 1), 16, 1024);
+
+  util::global_pool().parallel_ranges(
+      0, dim,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<float> gathered(tile * n);
+        for (std::size_t base = lo; base < hi; base += tile) {
+          const std::size_t stop = std::min(base + tile, hi);
+          tensor::kern::gather_columns(rows.data(), n, base, stop, gathered.data());
+          for (std::size_t c = base; c < stop; ++c) {
+            out[c] = column_fn(gathered.data() + (c - base) * n);
+          }
+        }
+      },
+      threads);
+}
+
+}  // namespace
 
 ModelVec MedianAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t dim = tensor::checked_common_size(updates);
   const std::size_t n = updates.size();
   ModelVec out(dim);
-  std::vector<float> column(n);
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
-    const std::size_t mid = n / 2;
-    std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
-                     column.end());
-    if (n % 2 == 1) {
-      out[i] = column[mid];
-    } else {
-      const float hi = column[mid];
-      const float lo =
-          *std::max_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid));
-      out[i] = 0.5f * (lo + hi);
-    }
-  }
+  const std::size_t mid = n / 2;
+  for_each_column(updates, dim, threads(), out, [n, mid](float* col) {
+    std::nth_element(col, col + mid, col + n);
+    if (n % 2 == 1) return col[mid];
+    const float hi = col[mid];
+    const float lo = *std::max_element(col, col + mid);
+    return 0.5f * (lo + hi);
+  });
   return out;
 }
 
@@ -44,14 +77,12 @@ ModelVec TrimmedMeanAggregator::aggregate(const std::vector<ModelVec>& updates) 
   const std::size_t keep = n - 2 * trim;
 
   ModelVec out(dim);
-  std::vector<float> column(n);
-  for (std::size_t i = 0; i < dim; ++i) {
-    for (std::size_t k = 0; k < n; ++k) column[k] = updates[k][i];
-    std::sort(column.begin(), column.end());
+  for_each_column(updates, dim, threads(), out, [n, trim, keep](float* col) {
+    std::sort(col, col + n);
     double acc = 0.0;
-    for (std::size_t k = trim; k < trim + keep; ++k) acc += column[k];
-    out[i] = static_cast<float>(acc / static_cast<double>(keep));
-  }
+    for (std::size_t k = trim; k < trim + keep; ++k) acc += col[k];
+    return static_cast<float>(acc / static_cast<double>(keep));
+  });
   return out;
 }
 

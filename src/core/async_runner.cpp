@@ -78,7 +78,8 @@ AsyncHflRunner::AsyncHflRunner(const topology::HflTree& tree,
 
   auto make_bra = [](const LevelScheme& scheme) -> std::unique_ptr<agg::Aggregator> {
     if (scheme.kind != AggKind::kBra) return nullptr;
-    return agg::make_aggregator(scheme.rule, scheme.byzantine_fraction);
+    return agg::make_aggregator(scheme.rule, scheme.byzantine_fraction,
+                                scheme.agg_threads);
   };
   auto make_cba =
       [](const LevelScheme& scheme) -> std::unique_ptr<consensus::ConsensusProtocol> {

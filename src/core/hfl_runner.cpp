@@ -16,7 +16,8 @@ namespace {
 
 std::unique_ptr<agg::Aggregator> make_bra(const LevelScheme& scheme) {
   if (scheme.kind != AggKind::kBra) return nullptr;
-  return agg::make_aggregator(scheme.rule, scheme.byzantine_fraction);
+  return agg::make_aggregator(scheme.rule, scheme.byzantine_fraction,
+                              scheme.agg_threads);
 }
 
 std::unique_ptr<consensus::ConsensusProtocol> make_cba(const LevelScheme& scheme) {

@@ -28,6 +28,11 @@ struct LevelScheme {
   /// Assumed Byzantine fraction for parameterized BRA rules; this is the γ
   /// the tolerance analysis uses for the level.
   double byzantine_fraction = 0.25;
+  /// Thread fan-out of the level's BRA numeric kernels
+  /// (Aggregator::set_threads).  1 keeps aggregation serial; any value
+  /// yields bitwise-identical results, so the simulated schedule stays
+  /// deterministic either way.
+  std::size_t agg_threads = 1;
 };
 
 /// One of the paper's four scheme combinations (Table III).

@@ -32,7 +32,8 @@ VanillaFl::VanillaFl(std::vector<data::Dataset> shards, data::Dataset test_set,
         std::make_unique<LocalTrainer>(std::move(shard), prototype.clone(), rng_.split()));
   }
   global_ = scratch_.flatten();
-  rule_ = agg::make_aggregator(config_.rule, config_.byzantine_fraction);
+  rule_ = agg::make_aggregator(config_.rule, config_.byzantine_fraction,
+                               config_.agg_threads);
 }
 
 RunResult VanillaFl::run() {

@@ -21,6 +21,9 @@ struct VanillaConfig {
   std::string rule = "multikrum";
   double byzantine_fraction = 0.25;
   bool parallel_training = true;
+  /// Thread fan-out of the aggregation rule's numeric kernels; bitwise
+  /// result-invariant (see Aggregator::set_threads).
+  std::size_t agg_threads = 1;
 };
 
 struct VanillaAttackSetup {

@@ -1,13 +1,61 @@
 #include "nn/conv.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
 #include "nn/mlp.hpp"
+#include "tensor/kernels.hpp"
 
 namespace abdhfl::nn {
+
+namespace {
+
+/// im2col: unfold one (ic, h, w) input image into a (ic*k*k, oh*ow) patch
+/// matrix so the convolution becomes one GEMM against the (oc, ic*k*k)
+/// weight matrix.  Row (ic, ky, kx) of `cols` holds, for every output
+/// position (y, x), the input value at (ic, y+ky, x+kx); for fixed (row, y)
+/// that is a contiguous run of ow floats in the input, so the unfold is
+/// pure memcpy.
+void im2col(const float* in, const Conv2dShape& s, tensor::Matrix& cols) {
+  const std::size_t oh = s.out_height(), ow = s.out_width(), k = s.kernel;
+  for (std::size_t ic = 0; ic < s.in_channels; ++ic) {
+    const float* plane = in + ic * s.height * s.width;
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx) {
+        float* dst = cols.data() + ((ic * k + ky) * k + kx) * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          std::memcpy(dst + y * ow, plane + (y + ky) * s.width + kx,
+                      ow * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+/// col2im: scatter-add the (ic*k*k, oh*ow) patch-gradient matrix back onto
+/// the (ic, h, w) input-gradient image (the transpose of im2col, with +=
+/// because input pixels belong to several patches).
+void col2im(const tensor::Matrix& cols, const Conv2dShape& s, float* grad_in) {
+  const std::size_t oh = s.out_height(), ow = s.out_width(), k = s.kernel;
+  for (std::size_t ic = 0; ic < s.in_channels; ++ic) {
+    float* plane = grad_in + ic * s.height * s.width;
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx) {
+        const float* src = cols.data() + ((ic * k + ky) * k + kx) * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          float* dst = plane + (y + ky) * s.width + kx;
+          const float* g = src + y * ow;
+          for (std::size_t x = 0; x < ow; ++x) dst[x] += g[x];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(const Conv2dShape& shape, util::Rng& rng)
     : shape_(shape),
@@ -31,30 +79,22 @@ tensor::Matrix Conv2d::forward(const tensor::Matrix& x) {
   }
   cached_input_ = x;
   const std::size_t batch = x.rows();
-  const std::size_t oh = shape_.out_height(), ow = shape_.out_width();
-  const std::size_t k = shape_.kernel;
+  const std::size_t ohw = shape_.out_height() * shape_.out_width();
   tensor::Matrix out(batch, shape_.out_features());
 
+  // One im2col + GEMM per batch item: the packed GEMM turns the former
+  // 6-deep scalar loop nest into register-blocked kernel calls.
+  tensor::Matrix cols(weight_.cols(), ohw);
+  tensor::Matrix prod(shape_.out_channels, ohw);
   for (std::size_t b = 0; b < batch; ++b) {
-    const float* in = x.data() + b * x.cols();
+    im2col(x.data() + b * x.cols(), shape_, cols);
+    tensor::gemm(weight_, cols, prod);
     float* o = out.data() + b * out.cols();
     for (std::size_t oc = 0; oc < shape_.out_channels; ++oc) {
-      const float* w = weight_.data() + oc * weight_.cols();
       const float bias = bias_.flat()[oc];
-      for (std::size_t y = 0; y < oh; ++y) {
-        for (std::size_t xpos = 0; xpos < ow; ++xpos) {
-          float acc = bias;
-          std::size_t wi = 0;
-          for (std::size_t ic = 0; ic < shape_.in_channels; ++ic) {
-            const float* plane = in + ic * shape_.height * shape_.width;
-            for (std::size_t ky = 0; ky < k; ++ky) {
-              const float* row = plane + (y + ky) * shape_.width + xpos;
-              for (std::size_t kx = 0; kx < k; ++kx) acc += w[wi++] * row[kx];
-            }
-          }
-          o[oc * oh * ow + y * ow + xpos] = acc;
-        }
-      }
+      const float* p = prod.data() + oc * ohw;
+      float* dst = o + oc * ohw;
+      for (std::size_t j = 0; j < ohw; ++j) dst[j] = p[j] + bias;
     }
   }
   return out;
@@ -62,41 +102,37 @@ tensor::Matrix Conv2d::forward(const tensor::Matrix& x) {
 
 tensor::Matrix Conv2d::backward(const tensor::Matrix& grad_out) {
   const std::size_t batch = cached_input_.rows();
-  const std::size_t oh = shape_.out_height(), ow = shape_.out_width();
-  const std::size_t k = shape_.kernel;
+  const std::size_t ohw = shape_.out_height() * shape_.out_width();
   grad_weight_.fill(0.0f);
   grad_bias_.fill(0.0f);
   tensor::Matrix grad_in(batch, shape_.in_features(), 0.0f);
 
+  // Per batch item, with go_b = the (oc, oh*ow) output-gradient plane and
+  // cols = im2col(input) recomputed from the cached input:
+  //   grad_weight += go_b * cols^T      (gemm_nt)
+  //   grad_in     += col2im(W^T * go_b) (gemm_tn + scatter)
+  //   grad_bias   += row sums of go_b
+  tensor::Matrix cols(weight_.cols(), ohw);
+  tensor::Matrix go_b(shape_.out_channels, ohw);
+  tensor::Matrix gw_b(grad_weight_.rows(), grad_weight_.cols());
+  tensor::Matrix gcols(weight_.cols(), ohw);
   for (std::size_t b = 0; b < batch; ++b) {
-    const float* in = cached_input_.data() + b * cached_input_.cols();
-    const float* go = grad_out.data() + b * grad_out.cols();
-    float* gi = grad_in.data() + b * grad_in.cols();
+    std::memcpy(go_b.data(), grad_out.data() + b * grad_out.cols(),
+                go_b.size() * sizeof(float));
+    im2col(cached_input_.data() + b * cached_input_.cols(), shape_, cols);
+
+    tensor::gemm_nt(go_b, cols, gw_b);
+    for (std::size_t i = 0; i < grad_weight_.size(); ++i) {
+      grad_weight_.flat()[i] += gw_b.flat()[i];
+    }
+
+    tensor::gemm_tn(weight_, go_b, gcols);
+    col2im(gcols, shape_, grad_in.data() + b * grad_in.cols());
+
     for (std::size_t oc = 0; oc < shape_.out_channels; ++oc) {
-      float* gw = grad_weight_.data() + oc * grad_weight_.cols();
-      const float* w = weight_.data() + oc * weight_.cols();
       float gb = 0.0f;
-      for (std::size_t y = 0; y < oh; ++y) {
-        for (std::size_t xpos = 0; xpos < ow; ++xpos) {
-          const float g = go[oc * oh * ow + y * ow + xpos];
-          if (g == 0.0f) continue;
-          gb += g;
-          std::size_t wi = 0;
-          for (std::size_t ic = 0; ic < shape_.in_channels; ++ic) {
-            const float* plane = in + ic * shape_.height * shape_.width;
-            float* gplane = gi + ic * shape_.height * shape_.width;
-            for (std::size_t ky = 0; ky < k; ++ky) {
-              const float* row = plane + (y + ky) * shape_.width + xpos;
-              float* grow = gplane + (y + ky) * shape_.width + xpos;
-              for (std::size_t kx = 0; kx < k; ++kx) {
-                gw[wi] += g * row[kx];
-                grow[kx] += g * w[wi];
-                ++wi;
-              }
-            }
-          }
-        }
-      }
+      const float* g = go_b.data() + oc * ohw;
+      for (std::size_t j = 0; j < ohw; ++j) gb += g[j];
       grad_bias_.flat()[oc] += gb;
     }
   }

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <vector>
+
+#include "tensor/kernels.hpp"
 
 namespace abdhfl::tensor {
 
@@ -21,56 +24,145 @@ void Matrix::init_xavier_uniform(util::Rng& rng) {
 }
 
 namespace {
-constexpr std::size_t kBlock = 64;  // rows-of-a block; keeps b panel in L1/L2
+
+// Packed register-blocked GEMM.  The three public variants (NN, NT, TN) all
+// funnel into one 4x8 micro-kernel over panels packed with generic strides,
+// so a transposed operand costs only a different packing walk, never a
+// materialized transpose.  Accumulation per output element runs over p in
+// ascending order inside float registers — for k <= kKC this is exactly the
+// naive triple loop's arithmetic, so results match it bitwise.
+constexpr std::size_t kMR = 4;    // micro-tile rows
+constexpr std::size_t kNR = 8;    // micro-tile cols (one v8f)
+constexpr std::size_t kKC = 256;  // k panel: A panel 64x256 floats = 64 KiB (L1/L2)
+constexpr std::size_t kMC = 64;   // m panel
+constexpr std::size_t kNC = 512;  // n panel: B panel 256x512 floats = 512 KiB (L2)
+
+typedef float v8f __attribute__((vector_size(32), aligned(4)));
+
+inline v8f load8(const float* p) noexcept {
+  v8f v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
 }
 
-void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.cols() == b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  out = Matrix(m, n, 0.0f);
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::size_t i1 = std::min(m, i0 + kBlock);
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* oi = out.data() + i * n;
-      const float* ai = a.data() + i * k;
-      for (std::size_t p = 0; p < k; ++p) {
-        const float aip = ai[p];
-        if (aip == 0.0f) continue;
-        const float* bp = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) oi[j] += aip * bp[j];
+/// Pack an (mc x kc) block of A into kMR-row panels, k-major within each
+/// panel: buf[panel][p * kMR + r].  Short panels are zero-padded.
+/// Element (i, p) of the block lives at a[i * row_stride + p * col_stride].
+void pack_a(const float* a, std::size_t row_stride, std::size_t col_stride,
+            std::size_t mc, std::size_t kc, float* buf) {
+  for (std::size_t i = 0; i < mc; i += kMR) {
+    const std::size_t mr = std::min(kMR, mc - i);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t r = 0; r < kMR; ++r) {
+        *buf++ = r < mr ? a[(i + r) * row_stride + p * col_stride] : 0.0f;
       }
     }
   }
 }
 
-void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.cols() == b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  out = Matrix(m, n, 0.0f);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* ai = a.data() + i * k;
-    float* oi = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* bj = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      oi[j] = acc;
+/// Pack a (kc x nc) block of B into kNR-column panels, k-major within each
+/// panel: buf[panel][p * kNR + c].  Element (p, j) of the block lives at
+/// b[p * row_stride + j * col_stride].
+void pack_b(const float* b, std::size_t row_stride, std::size_t col_stride,
+            std::size_t kc, std::size_t nc, float* buf) {
+  for (std::size_t j = 0; j < nc; j += kNR) {
+    const std::size_t nr = std::min(kNR, nc - j);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t c = 0; c < kNR; ++c) {
+        *buf++ = c < nr ? b[p * row_stride + (j + c) * col_stride] : 0.0f;
+      }
     }
   }
 }
 
+/// c[0..mr)[0..nr) += packed-A panel x packed-B panel over kc.
+inline void micro_4x8(const float* ap, const float* bp, std::size_t kc, float* c,
+                      std::size_t ldc, std::size_t mr, std::size_t nr) {
+  v8f c0{}, c1{}, c2{}, c3{};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const v8f bv = load8(bp + p * kNR);
+    const float* ar = ap + p * kMR;
+    c0 += ar[0] * bv;
+    c1 += ar[1] * bv;
+    c2 += ar[2] * bv;
+    c3 += ar[3] * bv;
+  }
+  float tmp[kMR][kNR];
+  __builtin_memcpy(tmp[0], &c0, sizeof(c0));
+  __builtin_memcpy(tmp[1], &c1, sizeof(c1));
+  __builtin_memcpy(tmp[2], &c2, sizeof(c2));
+  __builtin_memcpy(tmp[3], &c3, sizeof(c3));
+  for (std::size_t r = 0; r < mr; ++r) {
+    for (std::size_t c2i = 0; c2i < nr; ++c2i) c[r * ldc + c2i] += tmp[r][c2i];
+  }
+}
+
+/// out(m,n) = A(m,k) x B(k,n) with A/B addressed through generic strides.
+void gemm_packed(const float* a, std::size_t a_row_stride, std::size_t a_col_stride,
+                 const float* b, std::size_t b_row_stride, std::size_t b_col_stride,
+                 std::size_t m, std::size_t k, std::size_t n, Matrix& out) {
+  out = Matrix(m, n, 0.0f);
+  if (m == 0 || n == 0 || k == 0) return;
+  std::vector<float> abuf(kMC * kKC);
+  std::vector<float> bbuf(kKC * kNC);
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      pack_b(b + pc * b_row_stride + jc * b_col_stride, b_row_stride, b_col_stride,
+             kc, nc, bbuf.data());
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        pack_a(a + ic * a_row_stride + pc * a_col_stride, a_row_stride, a_col_stride,
+               mc, kc, abuf.data());
+        for (std::size_t jr = 0; jr < nc; jr += kNR) {
+          const std::size_t nr = std::min(kNR, nc - jr);
+          const float* bp = bbuf.data() + (jr / kNR) * kc * kNR;
+          for (std::size_t ir = 0; ir < mc; ir += kMR) {
+            const std::size_t mr = std::min(kMR, mc - ir);
+            const float* ap = abuf.data() + (ir / kMR) * kc * kMR;
+            micro_4x8(ap, bp, kc, out.data() + (ic + ir) * n + jc + jr, n, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  gemm_packed(a.data(), a.cols(), 1, b.data(), b.cols(), 1, a.rows(), a.cols(),
+              b.cols(), out);
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  // B' = b^T: element (p, j) of B' is b(j, p).
+  gemm_packed(a.data(), a.cols(), 1, b.data(), 1, b.cols(), a.rows(), a.cols(),
+              b.rows(), out);
+}
+
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.rows() == b.rows());
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  // A' = a^T: element (i, p) of A' is a(p, i).
+  gemm_packed(a.data(), 1, a.cols(), b.data(), b.cols(), 1, a.cols(), a.rows(),
+              b.cols(), out);
+}
+
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   out = Matrix(m, n, 0.0f);
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* ap = a.data() + p * m;
-    const float* bp = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float api = ap[i];
-      if (api == 0.0f) continue;
-      float* oi = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) oi[j] += api * bp[j];
+  for (std::size_t i = 0; i < m; ++i) {
+    float* oi = out.data() + i * n;
+    const float* ai = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) oi[j] += aip * bp[j];
     }
   }
 }
@@ -79,10 +171,7 @@ void gemv(const Matrix& m, std::span<const float> x, std::span<float> y) {
   assert(x.size() == m.cols());
   assert(y.size() == m.rows());
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const float* mi = m.data() + i * m.cols();
-    float acc = 0.0f;
-    for (std::size_t j = 0; j < m.cols(); ++j) acc += mi[j] * x[j];
-    y[i] = acc;
+    y[i] = static_cast<float>(kern::dot(m.data() + i * m.cols(), x.data(), m.cols()));
   }
 }
 
@@ -90,7 +179,7 @@ void add_row_broadcast(Matrix& m, std::span<const float> bias) {
   assert(bias.size() == m.cols());
   for (std::size_t i = 0; i < m.rows(); ++i) {
     float* mi = m.data() + i * m.cols();
-    for (std::size_t j = 0; j < m.cols(); ++j) mi[j] += bias[j];
+    kern::add(mi, bias.data(), mi, m.cols());
   }
 }
 
@@ -98,8 +187,7 @@ void column_sums(const Matrix& m, std::span<float> out) {
   assert(out.size() == m.cols());
   std::fill(out.begin(), out.end(), 0.0f);
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const float* mi = m.data() + i * m.cols();
-    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += mi[j];
+    kern::add(out.data(), m.data() + i * m.cols(), out.data(), m.cols());
   }
 }
 

@@ -59,7 +59,13 @@ class Matrix {
 };
 
 /// out = a * b.  Shapes: (m,k) x (k,n) -> (m,n).  out is overwritten.
+/// Packed register-blocked kernel; accumulation order per output element
+/// matches gemm_naive, so results agree bitwise for k <= 256.
 void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Reference triple-loop GEMM (the pre-kernel-layer implementation), kept
+/// for correctness tests and before/after benchmarks.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a * b^T.  Shapes: (m,k) x (n,k) -> (m,n).
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 
 namespace abdhfl::util {
 
@@ -39,41 +41,118 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size() * 4));
-  const std::size_t chunk = (n + chunks - 1) / chunks;
+namespace {
 
+/// Shared state of one parallel_ranges call.  Heap-allocated and owned
+/// jointly by the caller and the helper tasks, so a helper that only gets
+/// scheduled after the caller has already finished every chunk still touches
+/// valid memory (it sees no chunks left and returns).
+struct ParallelState {
+  std::size_t begin = 0;
+  std::size_t chunks = 0;
+  std::size_t base = 0;  // minimum chunk size; the first `extra` chunks get +1
+  std::size_t extra = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(submit([&, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi && !failed.load(std::memory_order_relaxed); ++i) {
-          body(i);
-        }
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }));
+  /// Chunk c covers [lo(c), lo(c+1)); sizes differ by at most one.
+  [[nodiscard]] std::size_t lo(std::size_t c) const noexcept {
+    return begin + c * base + std::min(c, extra);
   }
-  for (auto& f : futures) f.wait();
-  if (first_error) std::rethrow_exception(first_error);
+
+  /// Claim and run chunks until none remain.
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          (*body)(lo(c), lo(c + 1));
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_tasks) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t limit =
+      max_tasks != 0 ? max_tasks : std::max<std::size_t>(1, size() * 4);
+  const std::size_t chunks = std::min(n, limit);
+  if (size() == 1 || n == 1 || chunks == 1) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelState>();
+  state->begin = begin;
+  state->chunks = chunks;
+  state->base = n / chunks;
+  state->extra = n % chunks;
+  state->body = &body;
+
+  // Helper tasks are fire-and-forget: each drains whatever chunks remain and
+  // holds the state alive.  One helper per chunk the caller cannot take.
+  const std::size_t helpers = std::min(size(), chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([state] { state->run_chunks(); });
+  }
+
+  // The caller participates too, so progress never depends on a worker being
+  // free — this is what makes nested calls deadlock-free.
+  state->run_chunks();
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == state->chunks;
+    });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t max_tasks) {
+  parallel_ranges(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      max_tasks);
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool([]() -> std::size_t {
+    // ABDHFL_POOL_THREADS overrides hardware_concurrency — useful to pin the
+    // worker count on shared machines, and to exercise real multi-worker
+    // schedules in tests on single-core hosts.
+    if (const char* env = std::getenv("ABDHFL_POOL_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return 0;  // ThreadPool default: hardware_concurrency
+  }());
   return pool;
 }
 

@@ -1,11 +1,21 @@
 #pragma once
-// Fixed-size work-stealing-free thread pool with a parallel_for helper.
+// Fixed-size work-stealing-free thread pool with parallel_for helpers.
 //
 // Client local training inside one simulated global round is embarrassingly
 // parallel (each device trains on its own shard), so the experiment drivers
 // use parallel_for to spread device training across hardware threads while
 // the discrete-event simulator itself stays single-threaded and
-// deterministic.
+// deterministic.  The aggregation layer uses the same pool to fan out its
+// numeric kernels (pairwise distances, coordinate partitions).
+//
+// Nesting: parallel_for / parallel_ranges may be called from inside a worker
+// (e.g. an aggregator parallelizing under a parallelized experiment driver).
+// The calling thread participates in executing chunks and helper tasks are
+// fire-and-forget, so completion never depends on another worker becoming
+// free — nested calls cannot deadlock.  Raw submit() + future::wait() from a
+// worker does NOT have that property: with every worker blocked on a future
+// the queue never drains, so from worker context either avoid waiting or use
+// parallel_for, which is safe by construction.
 
 #include <condition_variable>
 #include <cstddef>
@@ -44,8 +54,21 @@ class ThreadPool {
 
   /// Run body(i) for i in [begin, end), blocking until all complete.
   /// Exceptions from the body propagate (the first one encountered).
+  /// Runs inline on the calling thread when the pool has a single worker,
+  /// the range has a single element, or max_tasks == 1.
+  /// max_tasks caps the number of parallel chunks (0 = pool default); chunk
+  /// sizes across the range differ by at most one element.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t max_tasks = 0);
+
+  /// Run body(lo, hi) over a balanced partition of [begin, end) into at most
+  /// max_tasks contiguous chunks (0 = pool default).  Same inline and
+  /// exception semantics as parallel_for.  Use this when the body wants a
+  /// per-chunk scratch buffer (e.g. coordinate tiles).
+  void parallel_ranges(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t, std::size_t)>& body,
+                       std::size_t max_tasks = 0);
 
  private:
   void worker_loop();
@@ -58,6 +81,8 @@ class ThreadPool {
 };
 
 /// Process-wide pool, lazily constructed.  Experiment binaries share it.
+/// Worker count: ABDHFL_POOL_THREADS if set (read at first use), otherwise
+/// hardware_concurrency.
 ThreadPool& global_pool();
 
 }  // namespace abdhfl::util

@@ -1,0 +1,235 @@
+// Kernel-layer tests: vectorized reductions vs the sequential-double
+// references (float-ULP-scale tolerance, adversarial inputs included),
+// elementwise kernels bitwise against their references, the packed GEMM
+// bitwise against the naive triple loop, and every aggregation rule bitwise
+// identical across thread counts 1 / 2 / 8.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "agg/aggregator.hpp"
+#include "agg/krum.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace abdhfl;
+namespace kern = tensor::kern;
+
+// Give the process-wide pool real workers even on single-core CI hosts, so
+// the cross-thread determinism tests below exercise genuine multi-worker
+// schedules.  Static initialization runs before main, hence before the
+// pool's first use.
+const bool kForcePoolWorkers = [] {
+  setenv("ABDHFL_POOL_THREADS", "8", 0);
+  return true;
+}();
+
+const std::vector<std::size_t> kSizes = {1,    2,    3,    15,   16,  17,
+                                         100,  1000, 4095, 4096, 4097, 10000};
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed, double scale = 1.0) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(scale * rng.normal());
+  return v;
+}
+
+/// Tolerance scaled to the magnitude sum of the products — the float-lane
+/// accumulation error bound — plus a tiny absolute floor for all-zero and
+/// denormal inputs.
+double tol_for(const std::vector<float>& a, const std::vector<float>& b) {
+  double mag = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mag += std::abs(static_cast<double>(a[i])) * std::abs(static_cast<double>(b[i]));
+  }
+  return 1e-5 * mag + 1e-30;
+}
+
+void expect_reductions_close(const std::vector<float>& a, const std::vector<float>& b) {
+  const std::size_t n = a.size();
+  const double tol = tol_for(a, b);
+  EXPECT_NEAR(kern::dot(a.data(), b.data(), n), kern::dot_ref(a.data(), b.data(), n),
+              tol);
+  EXPECT_NEAR(kern::norm2_squared(a.data(), n), kern::norm2_squared_ref(a.data(), n),
+              tol);
+  EXPECT_NEAR(kern::distance_squared(a.data(), b.data(), n),
+              kern::distance_squared_ref(a.data(), b.data(), n), 4.0 * tol);
+}
+
+TEST(Kernels, ReductionsMatchReferenceOnRandomData) {
+  for (std::size_t n : kSizes) {
+    SCOPED_TRACE(n);
+    expect_reductions_close(random_vec(n, 100 + n), random_vec(n, 200 + n));
+  }
+}
+
+TEST(Kernels, ReductionsMatchReferenceOnAdversarialData) {
+  for (std::size_t n : kSizes) {
+    SCOPED_TRACE(n);
+    // Denormals: products underflow the float lanes but not the double refs;
+    // the difference must stay under the (tiny) magnitude-scaled tolerance.
+    std::vector<float> denorm(n, 1e-40f);
+    expect_reductions_close(denorm, denorm);
+
+    // Signed zeros.
+    std::vector<float> zeros(n);
+    for (std::size_t i = 0; i < n; ++i) zeros[i] = (i % 2 == 0) ? 0.0f : -0.0f;
+    expect_reductions_close(zeros, zeros);
+
+    // Alternating-sign cancellation at large magnitude.
+    std::vector<float> ones(n, 1e3f), alt(n);
+    for (std::size_t i = 0; i < n; ++i) alt[i] = (i % 2 == 0) ? 1e3f : -1e3f;
+    expect_reductions_close(ones, alt);
+  }
+}
+
+TEST(Kernels, ReductionsAreRunToRunDeterministic) {
+  const auto a = random_vec(10000, 7), b = random_vec(10000, 8);
+  const double first = kern::dot(a.data(), b.data(), a.size());
+  for (int rep = 0; rep < 5; ++rep) {
+    const double again = kern::dot(a.data(), b.data(), a.size());
+    EXPECT_EQ(std::memcmp(&first, &again, sizeof(double)), 0);
+  }
+}
+
+TEST(Kernels, TiledDistanceEqualsMonolithic) {
+  // Krum accumulates distance_squared one kFlushBlock tile at a time; the
+  // tiled sum must be bitwise what the monolithic call produces.
+  const std::size_t n = 3 * kern::kFlushBlock + 123;
+  const auto a = random_vec(n, 31), b = random_vec(n, 32);
+  const double whole = kern::distance_squared(a.data(), b.data(), n);
+  double tiled = 0.0;
+  for (std::size_t t = 0; t < n; t += kern::kFlushBlock) {
+    const std::size_t len = std::min(kern::kFlushBlock, n - t);
+    tiled += kern::distance_squared(a.data() + t, b.data() + t, len);
+  }
+  EXPECT_EQ(std::memcmp(&whole, &tiled, sizeof(double)), 0);
+}
+
+TEST(Kernels, AxpyBitwiseMatchesReference) {
+  for (std::size_t n : kSizes) {
+    SCOPED_TRACE(n);
+    const auto x = random_vec(n, 300 + n);
+    auto y1 = random_vec(n, 400 + n);
+    auto y2 = y1;
+    kern::axpy(0.37, x.data(), y1.data(), n);
+    kern::axpy_ref(0.37, x.data(), y2.data(), n);
+    EXPECT_EQ(std::memcmp(y1.data(), y2.data(), n * sizeof(float)), 0);
+  }
+}
+
+TEST(Kernels, ElementwiseKernelsMatchScalarFormulas) {
+  const std::size_t n = 4097;
+  const auto a = random_vec(n, 51), b = random_vec(n, 52);
+  const double alpha = 0.3, beta = -1.7;
+
+  std::vector<float> out(n);
+  kern::lerp(a.data(), b.data(), alpha, beta, out.data(), n);
+  std::vector<float> axpby_out(b);
+  kern::axpby(alpha, a.data(), beta, axpby_out.data(), n);
+  std::vector<float> scaled(a);
+  kern::scale(scaled.data(), alpha, n);
+  std::vector<float> added(n), subbed(n);
+  kern::add(a.data(), b.data(), added.data(), n);
+  kern::sub(a.data(), b.data(), subbed.data(), n);
+  std::vector<double> acc(n, 0.25);
+  kern::accumulate_scaled(beta, a.data(), acc.data(), n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], static_cast<float>(alpha * a[i] + beta * b[i]));
+    EXPECT_EQ(axpby_out[i], static_cast<float>(alpha * a[i] + beta * b[i]));
+    EXPECT_EQ(scaled[i], static_cast<float>(a[i] * alpha));
+    EXPECT_EQ(added[i], a[i] + b[i]);
+    EXPECT_EQ(subbed[i], a[i] - b[i]);
+    EXPECT_EQ(acc[i], 0.25 + beta * a[i]);
+  }
+}
+
+TEST(Kernels, GatherColumnsMatchesDirectIndexing) {
+  const std::size_t n_rows = 7, row_len = 523;
+  std::vector<std::vector<float>> rows;
+  std::vector<const float*> ptrs;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    rows.push_back(random_vec(row_len, 600 + r));
+    ptrs.push_back(rows.back().data());
+  }
+  const std::size_t lo = 13, hi = 300;
+  std::vector<float> out((hi - lo) * n_rows);
+  kern::gather_columns(ptrs.data(), n_rows, lo, hi, out.data());
+  for (std::size_t c = lo; c < hi; ++c) {
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      EXPECT_EQ(out[(c - lo) * n_rows + r], rows[r][c]);
+    }
+  }
+}
+
+TEST(Kernels, PackedGemmBitwiseMatchesNaive) {
+  util::Rng rng(77);
+  const std::size_t shapes[][3] = {{3, 5, 7}, {1, 1, 1}, {16, 128, 4},
+                                   {70, 33, 65}, {64, 256, 48}, {129, 200, 77}};
+  for (const auto& s : shapes) {
+    SCOPED_TRACE(::testing::Message() << s[0] << "x" << s[1] << "x" << s[2]);
+    tensor::Matrix a(s[0], s[1]), b(s[1], s[2]), c1, c2;
+    a.init_he_uniform(rng);
+    b.init_he_uniform(rng);
+    tensor::gemm(a, b, c1);
+    tensor::gemm_naive(a, b, c2);
+    ASSERT_EQ(c1.size(), c2.size());
+    EXPECT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)), 0);
+  }
+}
+
+std::vector<agg::ModelVec> make_updates(std::size_t n, std::size_t dim,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<agg::ModelVec> updates(n, agg::ModelVec(dim));
+  for (auto& u : updates) {
+    for (float& v : u) v = static_cast<float>(rng.normal());
+  }
+  return updates;
+}
+
+class RuleDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RuleDeterminism, ParallelBitwiseEqualsSerial) {
+  const std::string rule = GetParam();
+  // Large enough that every parallel partition (rows, coordinates, updates)
+  // actually splits; odd sizes hit the chunk-remainder paths.
+  const auto updates = make_updates(13, 3 * kern::kFlushBlock + 131, 2024);
+  const auto serial = agg::make_aggregator(rule, 0.25, 1)->aggregate(updates);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(threads);
+    const auto parallel =
+        agg::make_aggregator(rule, 0.25, threads)->aggregate(updates);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(float)), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, RuleDeterminism,
+                         ::testing::Values("krum", "multikrum", "median",
+                                           "trimmed_mean", "geomed", "autogm",
+                                           "centered_clip", "norm_filter",
+                                           "mean"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Kernels, KrumScoresBitwiseAcrossThreadCounts) {
+  const auto updates = make_updates(9, kern::kFlushBlock + 77, 5);
+  const auto s1 = agg::KrumAggregator::scores(updates, 2, 1);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto st = agg::KrumAggregator::scores(updates, 2, threads);
+    ASSERT_EQ(s1.size(), st.size());
+    EXPECT_EQ(std::memcmp(s1.data(), st.data(), s1.size() * sizeof(double)), 0);
+  }
+}
+
+}  // namespace

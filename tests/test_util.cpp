@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <thread>
@@ -232,6 +233,91 @@ TEST(ThreadPool, SubmitReturnsFuture) {
   auto fut = pool.submit([] {});
   fut.wait();
   SUCCEED();
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, SingleElementRangeRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(10, 11, [&](std::size_t i) {
+    EXPECT_EQ(i, 10u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ParallelRangesPartitionIsBalanced) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_ranges(
+      5, 105,
+      [&](std::size_t lo, std::size_t hi) {
+        std::lock_guard lock(m);
+        chunks.emplace_back(lo, hi);
+      },
+      7);
+  ASSERT_EQ(chunks.size(), 7u);
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expected_lo = 5, min_len = 100, max_len = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expected_lo);  // contiguous, gap-free cover of [5, 105)
+    expected_lo = hi;
+    min_len = std::min(min_len, hi - lo);
+    max_len = std::max(max_len, hi - lo);
+  }
+  EXPECT_EQ(expected_lo, 105u);
+  EXPECT_LE(max_len - min_len, 1u);  // chunk sizes differ by at most one
+}
+
+TEST(ThreadPool, ExceptionMidRangeStillCompletesAndPropagates) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i == 500) throw std::runtime_error("mid");
+                                 }),
+               std::runtime_error);
+  // The pool must be fully drained and reusable after the throw.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+  EXPECT_GT(ran.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerCompletes) {
+  // parallel_for from inside a parallel_for body (i.e. from worker threads).
+  // The caller of the inner loop participates in executing its chunks, so
+  // this must complete even when every worker is busy with the outer loop.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 16, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SubmitFromWorkerWithoutWaitingIsSafe) {
+  // Fire-and-forget submission from a worker is fine (the deadlock hazard
+  // documented in thread_pool.hpp is submit + future::wait from a worker).
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  std::vector<std::future<void>> futs;
+  std::mutex m;
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    auto f = pool.submit([&] { inner.fetch_add(1); });
+    std::lock_guard lock(m);
+    futs.push_back(std::move(f));
+  });
+  for (auto& f : futs) f.wait();  // safe: waited from the non-worker caller
+  EXPECT_EQ(inner.load(), 4);
 }
 
 }  // namespace
