@@ -16,6 +16,7 @@
 #include "core/async_runner.hpp"
 #include "data/partition.hpp"
 #include "data/synth_digits.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -34,7 +35,10 @@ int main(int argc, char** argv) {
   const std::string trace_path =
       cli.str("trace", "", "write a Fig.2-style event timeline CSV (flag level 1 run)");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 29, "RNG seed"));
+  const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
 
   const auto tree = topology::build_ecsm(3, 4, 4);
   util::Rng rng(seed);
@@ -72,6 +76,10 @@ int main(int argc, char** argv) {
     config.global_agg_time = global_agg;
     config.learn.local_iters = 5;
     config.trace = !trace_path.empty() && flag == 1;
+    if (obs_opts.active()) {
+      recorder.set_context("flag_level", static_cast<double>(flag));
+      config.recorder = &recorder;
+    }
     core::AsyncHflRunner runner(tree, shards, test_set, validation, prototype, config,
                                 attack, seed);
     results.push_back(runner.run());
@@ -116,5 +124,6 @@ int main(int argc, char** argv) {
     table.write_csv(csv);
     std::printf("per-round series written to %s\n", csv.c_str());
   }
+  if (obs_opts.active() && !obs::write_outputs(obs_opts, recorder)) return 1;
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -37,7 +38,10 @@ int main(int argc, char** argv) {
       cli.integer("samples-per-class", 100, "training samples per class"));
   const std::string csv = cli.str("csv", "", "also write the series to this CSV file");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42, "base RNG seed"));
+  const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
 
   const Scenario scenarios[] = {
       {true, attacks::PoisonType::kLabelFlipType1, 0.30, "IID/TypeI/30%"},
@@ -60,6 +64,11 @@ int main(int argc, char** argv) {
     if (!s.iid) {
       config.bra_rule = "median";
       config.vanilla_rule = "median";
+    }
+    if (obs_opts.active()) {
+      recorder.set_context("iid", s.iid ? 1.0 : 0.0);
+      recorder.set_context("malicious_fraction", s.fraction);
+      config.recorder = &recorder;
     }
 
     const auto result = core::run_repeated(config, repeats);
@@ -89,5 +98,6 @@ int main(int argc, char** argv) {
     series.write_csv(csv);
     std::printf("\nseries written to %s\n", csv.c_str());
   }
+  if (obs_opts.active() && !obs::write_outputs(obs_opts, recorder)) return 1;
   return 0;
 }

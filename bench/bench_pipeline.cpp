@@ -17,6 +17,7 @@
 
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
+#include "obs/obs.hpp"
 #include "topology/tree.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -32,7 +33,10 @@ int main(int argc, char** argv) {
       cli.boolean("alpha-ablation", false, "also run the correction-factor ablation");
   const std::string csv = cli.str("csv", "", "also write rows to this CSV file");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 9, "RNG seed"));
+  const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
 
   const auto tree = topology::build_ecsm(levels, 3, 3);
   core::DelayRegime regime;  // training 1.0s, partial agg 0.1s, uplink 0.02s
@@ -44,7 +48,12 @@ int main(int argc, char** argv) {
 
   for (std::size_t flag = 0; flag < levels - 1; ++flag) {
     for (double quorum : {0.5, 0.75, 1.0}) {
-      const auto config = core::make_pipeline_config(regime, rounds, flag, quorum);
+      auto config = core::make_pipeline_config(regime, rounds, flag, quorum);
+      if (obs_opts.active()) {
+        recorder.set_context("flag_level", static_cast<double>(flag));
+        recorder.set_context("quorum", quorum);
+        config.recorder = &recorder;
+      }
       const auto result = core::simulate_pipeline(tree, config, seed);
       double w = 0.0, pg = 0.0;
       std::size_t counted = 0;
@@ -91,6 +100,11 @@ int main(int argc, char** argv) {
       config.samples_per_class = 80;
       config.alpha = p.policy;
       config.seed = seed;
+      if (obs_opts.active()) {
+        recorder.clear_context();
+        recorder.set_context("alpha_fixed", p.policy.fixed);
+        config.recorder = &recorder;
+      }
       const auto result = core::run_scenario(config, /*run_vanilla=*/false);
       ab.add_row({p.label, util::Table::fmt(result.abdhfl.final_accuracy, 4)});
       std::printf("%s -> %.4f\n", p.label, result.abdhfl.final_accuracy);
@@ -98,5 +112,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s\n", ab.to_text().c_str());
   }
+  if (obs_opts.active() && !obs::write_outputs(obs_opts, recorder)) return 1;
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "core/experiment.hpp"
 #include "data/synth_digits.hpp"
 #include "nn/mlp.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -30,7 +31,10 @@ int main(int argc, char** argv) {
       cli.integer("samples-per-class", 80, "training samples per class"));
   const std::string csv = cli.str("csv", "", "also write rows to this CSV file");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 23, "RNG seed"));
+  const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
 
   const std::vector<std::string> rules = {"mean",         "krum",   "multikrum",
                                           "median",       "geomed", "trimmed_mean",
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
       config.learn.rounds = rounds;
       config.samples_per_class = spc;
       config.seed = seed;
+      if (obs_opts.active()) config.recorder = &recorder;
       const auto result = core::run_scenario(config, true, /*run_abdhfl=*/false);
       row.push_back(util::Table::fmt(result.vanilla.final_accuracy, 3));
     }
@@ -72,6 +77,7 @@ int main(int argc, char** argv) {
       config.learn.rounds = rounds;
       config.samples_per_class = spc;
       config.seed = seed;
+      if (obs_opts.active()) config.recorder = &recorder;
       const auto result = core::run_scenario(config, true, /*run_abdhfl=*/false);
       row.push_back(util::Table::fmt(result.vanilla.final_accuracy, 3));
 
@@ -110,5 +116,6 @@ int main(int argc, char** argv) {
   std::printf("\nfinal accuracy per (rule x attack), %.0f%% Byzantine clients:\n\n%s\n",
               malicious * 100.0, table.to_text().c_str());
   if (!csv.empty()) table.write_csv(csv);
+  if (obs_opts.active() && !obs::write_outputs(obs_opts, recorder)) return 1;
   return 0;
 }

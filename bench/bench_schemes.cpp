@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -28,7 +29,10 @@ int main(int argc, char** argv) {
       cli.str("cba", "voting", "consensus protocol: voting|committee|pbft");
   const std::string csv = cli.str("csv", "", "also write rows to this CSV file");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42, "RNG seed"));
+  const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
 
   std::printf("Scheme comparison (Table III/IV): %.0f%% malicious, %zu rounds, CBA=%s\n\n",
               malicious * 100.0, rounds, cba.c_str());
@@ -44,10 +48,16 @@ int main(int argc, char** argv) {
     config.learn.rounds = rounds;
     config.samples_per_class = spc;
     config.seed = seed;
+    if (obs_opts.active()) {
+      recorder.set_context("scheme_id", static_cast<double>(scheme_id));
+      recorder.set_context("malicious_fraction", malicious);
+      config.recorder = &recorder;
+    }
 
     const auto attacked = core::run_scenario(config, /*run_vanilla=*/false);
 
     config.malicious_fraction = 0.0;
+    if (obs_opts.active()) recorder.set_context("malicious_fraction", 0.0);
     const auto honest = core::run_scenario(config, /*run_vanilla=*/false);
 
     const auto preset = core::scheme_preset(scheme_id);
@@ -66,5 +76,6 @@ int main(int argc, char** argv) {
 
   std::printf("\n%s\n", table.to_text().c_str());
   if (!csv.empty()) table.write_csv(csv);
+  if (obs_opts.active() && !obs::write_outputs(obs_opts, recorder)) return 1;
   return 0;
 }

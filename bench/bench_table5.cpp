@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -39,7 +40,10 @@ int main(int argc, char** argv) {
   const std::string mnist_dir =
       cli.str("mnist-dir", "", "directory with MNIST IDX files (optional)");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42, "base RNG seed"));
+  const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
 
   if (paper_scale) {
     rounds = 200;
@@ -79,6 +83,15 @@ int main(int argc, char** argv) {
           config.bra_rule = "median";
           config.vanilla_rule = "median";
         }
+        if (obs_opts.active()) {
+          // Tag every round record with this grid point.
+          recorder.set_context("iid", iid ? 1.0 : 0.0);
+          recorder.set_context(
+              "poison_type",
+              poison == attacks::PoisonType::kLabelFlipType1 ? 1.0 : 2.0);
+          recorder.set_context("malicious_fraction", fraction);
+          config.recorder = &recorder;
+        }
         const auto result = core::run_repeated(config, repeats);
         abd_row.push_back(util::Table::pct(result.abdhfl_final.mean));
         van_row.push_back(util::Table::pct(result.vanilla_final.mean));
@@ -98,5 +111,6 @@ int main(int argc, char** argv) {
     table.write_csv(csv);
     std::printf("rows written to %s\n", csv.c_str());
   }
+  if (obs_opts.active() && !obs::write_outputs(obs_opts, recorder)) return 1;
   return 0;
 }

@@ -6,10 +6,12 @@
 // ABD-HFL next to the vanilla-FL baseline.
 //
 //   ./quickstart [--rounds 20] [--malicious 0.2] [--seed 42]
+//                [--metrics-out run.jsonl] [--trace-out trace.jsonl]
 
 #include <cstdio>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -25,7 +27,15 @@ int main(int argc, char** argv) {
   config.mnist_dir = cli.str("mnist-dir", "", "directory with MNIST IDX files (optional)");
   config.vanilla_rule = cli.str("vanilla-rule", "multikrum", "baseline aggregation rule");
   config.bra_rule = cli.str("bra-rule", "multikrum", "ABD-HFL partial aggregation rule");
+  const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
+  obs::TraceBuffer trace;
+  if (obs_opts.active()) {
+    config.recorder = &recorder;
+    config.trace = &trace;
+  }
 
   std::printf("ABD-HFL quickstart: %zu rounds, %.0f%% malicious devices (label-flip)\n",
               config.learn.rounds, config.malicious_fraction * 100.0);
@@ -45,5 +55,6 @@ int main(int argc, char** argv) {
   std::printf("ABD-HFL traffic: %llu messages, %.2f MB of model payloads\n",
               static_cast<unsigned long long>(result.abdhfl.comm.messages),
               static_cast<double>(result.abdhfl.comm.model_bytes) / 1e6);
+  if (obs_opts.active() && !obs::write_outputs(obs_opts, recorder, &trace)) return 1;
   return 0;
 }

@@ -16,6 +16,18 @@ namespace abdhfl::agg {
 
 using ModelVec = std::vector<float>;
 
+/// What the most recent aggregate() call did to its inputs, for the
+/// observability layer: how many updates were offered, how many actually
+/// contributed to the output, and a rule-specific distance/score statistic
+/// (Krum scores, norm-filter distances, clip norms — 0 where the rule has no
+/// natural notion of distance).  "Filtered" is inputs - kept.
+struct AggTelemetry {
+  std::size_t inputs = 0;
+  std::size_t kept = 0;
+  double score_mean = 0.0;
+  double score_max = 0.0;
+};
+
 class Aggregator {
  public:
   virtual ~Aggregator() = default;
@@ -50,8 +62,16 @@ class Aggregator {
   }
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
+  /// Telemetry of the most recent aggregate() call on this instance.  Not
+  /// synchronized: read it from the thread that called aggregate() (the
+  /// runners drive each rule instance from a single thread).
+  [[nodiscard]] const AggTelemetry& last_telemetry() const noexcept {
+    return telemetry_;
+  }
+
  protected:
   std::size_t threads_ = 1;
+  AggTelemetry telemetry_;
 };
 
 /// Build a rule by name: "mean", "krum", "multikrum", "median",

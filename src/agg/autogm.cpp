@@ -36,6 +36,8 @@ ModelVec AutoGmAggregator::aggregate(const std::vector<ModelVec>& updates) {
         },
         threads_);
     const double med = util::median_of(dist);
+    telemetry_.score_mean = util::mean(dist);
+    telemetry_.score_max = util::max_of(dist);
     if (med == 0.0) break;  // all kept updates coincide with the estimate
 
     std::vector<ModelVec> next;
@@ -48,6 +50,8 @@ ModelVec AutoGmAggregator::aggregate(const std::vector<ModelVec>& updates) {
     estimate = geomed.aggregate(kept);
   }
   last_kept_ = kept.size();
+  telemetry_.inputs = updates.size();
+  telemetry_.kept = kept.size();
   return estimate;
 }
 

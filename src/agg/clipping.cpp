@@ -37,6 +37,7 @@ ModelVec CenteredClipAggregator::aggregate(const std::vector<ModelVec>& updates)
   //       serial loop uses.
   // So the parallel result is bitwise-identical to the serial one.
   std::vector<double> scale(n);
+  std::vector<double> dist(n);
   std::vector<double> acc(dim);
   for (std::size_t pass = 0; pass < config_.iterations; ++pass) {
     pool.parallel_for(
@@ -44,6 +45,7 @@ ModelVec CenteredClipAggregator::aggregate(const std::vector<ModelVec>& updates)
         [&](std::size_t k) {
           const double norm =
               std::sqrt(tensor::kern::distance_squared(updates[k].data(), v.data(), dim));
+          dist[k] = norm;
           scale[k] =
               norm > config_.radius && norm > 0.0 ? config_.radius / norm : 1.0;
         },
@@ -67,6 +69,16 @@ ModelVec CenteredClipAggregator::aggregate(const std::vector<ModelVec>& updates)
       v[i] = static_cast<float>(v[i] + acc[i] * inv);
     }
   }
+  // kept = updates left unclipped in the final pass; scores are the final
+  // distances to the estimate.
+  std::size_t unclipped = 0;
+  for (double s : scale) {
+    if (s >= 1.0) ++unclipped;
+  }
+  telemetry_.inputs = n;
+  telemetry_.kept = unclipped;
+  telemetry_.score_mean = util::mean(dist);
+  telemetry_.score_max = util::max_of(dist);
   return v;
 }
 
@@ -107,6 +119,10 @@ ModelVec NormFilterAggregator::aggregate(const std::vector<ModelVec>& updates) {
   }
   if (kept.empty()) kept = updates;  // degenerate: never return nothing
   last_kept_ = kept.size();
+  telemetry_.inputs = n;
+  telemetry_.kept = kept.size();
+  telemetry_.score_mean = util::mean(dist);
+  telemetry_.score_max = util::max_of(dist);
   return tensor::mean_of(kept);
 }
 

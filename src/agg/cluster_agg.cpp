@@ -56,6 +56,10 @@ ModelVec ClusterAggregator::aggregate(const std::vector<ModelVec>& updates) {
   for (std::size_t i = 0; i < n; ++i) {
     if (last_labels_[i] == best) kept.push_back(updates[i]);
   }
+  telemetry_.inputs = n;
+  telemetry_.kept = kept.size();
+  telemetry_.score_mean = 0.0;
+  telemetry_.score_max = 0.0;
   return tensor::mean_of(kept);
 }
 

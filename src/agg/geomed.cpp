@@ -21,6 +21,7 @@ ModelVec GeoMedAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t n = updates.size();
   if (n == 1) {
     last_iterations_ = 0;
+    telemetry_ = {1, 1, 0.0, 0.0};
     return updates.front();
   }
 
@@ -79,6 +80,20 @@ ModelVec GeoMedAggregator::aggregate(const std::vector<ModelVec>& updates) {
     estimate.swap(next);
     if (std::sqrt(shift2) < config_.tolerance) break;
   }
+
+  // Every update contributes (with weight 1/distance); report the final
+  // iteration's distances, recovered from the Weiszfeld weights.
+  telemetry_.inputs = n;
+  telemetry_.kept = n;
+  double dist_sum = 0.0;
+  double dist_max = 0.0;
+  for (double w : weight) {
+    const double d = 1.0 / w - config_.epsilon;
+    dist_sum += d;
+    dist_max = std::max(dist_max, d);
+  }
+  telemetry_.score_mean = dist_sum / static_cast<double>(n);
+  telemetry_.score_max = dist_max;
 
   ModelVec out(dim);
   for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(estimate[i]);

@@ -7,6 +7,7 @@
 
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace abdhfl::agg {
@@ -96,6 +97,7 @@ ModelVec KrumAggregator::aggregate(const std::vector<ModelVec>& updates) {
   if (n == 0) throw std::invalid_argument("Krum: no updates");
   if (n < 3) {
     // Degenerate clusters: fall back to the mean (nothing to score against).
+    telemetry_ = {n, n, 0.0, 0.0};
     return tensor::mean_of(updates);
   }
   const auto f = static_cast<std::size_t>(
@@ -106,10 +108,21 @@ ModelVec KrumAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t k =
       config_.multi_k != 0 ? config_.multi_k
                            : std::max<std::size_t>(1, n > f ? n - f : 1);
-  const auto chosen = select(updates, f, k, threads());
+  const auto score = scores(updates, f, threads());
+  std::vector<std::size_t> order(score.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+  order.resize(std::min(k, order.size()));
+
+  telemetry_.inputs = n;
+  telemetry_.kept = order.size();
+  telemetry_.score_mean = util::mean(score);
+  telemetry_.score_max = util::max_of(score);
+
   std::vector<ModelVec> picked;
-  picked.reserve(chosen.size());
-  for (std::size_t idx : chosen) picked.push_back(updates[idx]);
+  picked.reserve(order.size());
+  for (std::size_t idx : order) picked.push_back(updates[idx]);
   return tensor::mean_of(picked);
 }
 

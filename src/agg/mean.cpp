@@ -7,6 +7,7 @@
 namespace abdhfl::agg {
 
 ModelVec MeanAggregator::aggregate(const std::vector<ModelVec>& updates) {
+  telemetry_ = {updates.size(), updates.size(), 0.0, 0.0};
   return tensor::mean_of(updates);
 }
 

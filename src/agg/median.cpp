@@ -52,6 +52,7 @@ ModelVec MedianAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t dim = tensor::checked_common_size(updates);
   const std::size_t n = updates.size();
   ModelVec out(dim);
+  telemetry_ = {n, n, 0.0, 0.0};
   const std::size_t mid = n / 2;
   for_each_column(updates, dim, threads(), out, [n, mid](float* col) {
     std::nth_element(col, col + mid, col + n);
@@ -75,6 +76,7 @@ ModelVec TrimmedMeanAggregator::aggregate(const std::vector<ModelVec>& updates) 
   auto trim = static_cast<std::size_t>(std::floor(beta_ * static_cast<double>(n)));
   if (2 * trim >= n) trim = (n - 1) / 2;  // always keep at least one value
   const std::size_t keep = n - 2 * trim;
+  telemetry_ = {n, keep, 0.0, 0.0};
 
   ModelVec out(dim);
   for_each_column(updates, dim, threads(), out, [n, trim, keep](float* col) {

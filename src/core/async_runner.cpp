@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -10,6 +9,8 @@
 #include "consensus/pbft.hpp"
 #include "nn/serialize.hpp"
 #include "nn/sgd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/record.hpp"
 
 namespace abdhfl::core {
 
@@ -96,23 +97,14 @@ AsyncHflRunner::AsyncHflRunner(const topology::HflTree& tree,
   last_global_ = scratch_.flatten();
   staleness_acc_.assign(config_.rounds, 0.0);
   staleness_n_.assign(config_.rounds, 0);
+  train_wall_.assign(config_.rounds, 0.0);
+  agg_wall_.assign(config_.rounds, 0.0);
 }
 
 void AsyncHflRunner::record(const char* kind, std::size_t round, std::uint32_t subject,
                             std::size_t level) {
   if (!config_.trace) return;
   result_.trace.push_back(TraceEvent{sim_.now(), round, kind, subject, level});
-}
-
-std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
-  std::string out = "time,round,kind,subject,level\n";
-  char buf[128];
-  for (const auto& ev : trace) {
-    std::snprintf(buf, sizeof(buf), "%.6f,%zu,%s,%u,%zu\n", ev.time, ev.round, ev.kind,
-                  ev.subject, ev.level);
-    out += buf;
-  }
-  return out;
 }
 
 double AsyncHflRunner::eval_voter(std::size_t level, topology::DeviceId voter,
@@ -137,6 +129,8 @@ const LevelScheme& AsyncHflRunner::scheme_for(std::size_t level) const {
 agg::ModelVec AsyncHflRunner::aggregate(const std::vector<agg::ModelVec>& inputs,
                                         const topology::Cluster& cluster,
                                         std::size_t level, std::size_t round) {
+  double sink = 0.0;
+  obs::ScopedTimer timer(round < agg_wall_.size() ? agg_wall_[round] : sink);
   const auto& scheme = scheme_for(level);
   if (scheme.kind == AggKind::kBra) {
     agg::Aggregator& rule = *bra_by_level_.at(level);
@@ -228,22 +222,33 @@ void AsyncHflRunner::finish_training(topology::DeviceId d) {
       staleness_acc_[round] += staleness;
       ++staleness_n_[round];
     }
+    if (obs::enabled()) {
+      obs::global_registry()
+          .histogram("async_staleness_seconds",
+                     obs::exponential_bounds(0.01, 2.0, 16),
+                     "Simulated global-model staleness at merge time (Eq. 1)")
+          .observe(staleness);
+    }
     state.pending_global.reset();
   }
 
   std::vector<float> update;
-  if (attack_.model_attack && attack_.mask[d]) {
-    // Asynchronous model attackers cannot see peers' in-flight updates; they
-    // craft from their own would-be-honest base.
-    update = attack_.model_attack->craft({}, state.start_params, rng_);
-  } else {
-    update = trainers_[d]->train_round(state.start_params, config_.learn.local_iters,
-                                       config_.learn.batch,
-                                       nn::step_decay_lr(config_.learn.learning_rate,
-                                                         config_.learn.lr_decay_gamma,
-                                                         config_.learn.lr_decay_step,
-                                                         round),
-                                       merge);
+  {
+    double sink = 0.0;
+    obs::ScopedTimer timer(round < train_wall_.size() ? train_wall_[round] : sink);
+    if (attack_.model_attack && attack_.mask[d]) {
+      // Asynchronous model attackers cannot see peers' in-flight updates;
+      // they craft from their own would-be-honest base.
+      update = attack_.model_attack->craft({}, state.start_params, rng_);
+    } else {
+      update = trainers_[d]->train_round(state.start_params, config_.learn.local_iters,
+                                         config_.learn.batch,
+                                         nn::step_decay_lr(config_.learn.learning_rate,
+                                                           config_.learn.lr_decay_gamma,
+                                                           config_.learn.lr_decay_step,
+                                                           round),
+                                         merge);
+    }
   }
   state.training = false;
 
@@ -348,6 +353,10 @@ void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
   record.t_formed = sim_.now();
   record.accuracy = evaluate_params(scratch_, model, test_set_);
   result_.rounds.push_back(record);
+  comm_delta_.emplace_back(result_.comm.messages - last_messages_,
+                           result_.comm.model_bytes - last_bytes_);
+  last_messages_ = result_.comm.messages;
+  last_bytes_ = result_.comm.model_bytes;
   this->record("global_formed", round, 0, 0);
   ++globals_formed_;
   if (globals_formed_ >= config_.rounds) {
@@ -397,6 +406,25 @@ AsyncRunResult AsyncHflRunner::run() {
   }
   result_.final_accuracy = result_.rounds.empty() ? 0.0 : result_.rounds.back().accuracy;
   result_.total_time = result_.rounds.empty() ? 0.0 : result_.rounds.back().t_formed;
+
+  if (config_.recorder != nullptr) {
+    for (std::size_t i = 0; i < result_.rounds.size(); ++i) {
+      const auto& r = result_.rounds[i];
+      obs::RoundRecord& rec = config_.recorder->begin_round("async", r.round);
+      rec.set("t_formed", r.t_formed);
+      rec.set("accuracy", r.accuracy);
+      rec.set("mean_staleness", r.mean_staleness);
+      rec.set("train_s", r.round < train_wall_.size() ? train_wall_[r.round] : 0.0);
+      rec.set("agg_s", r.round < agg_wall_.size() ? agg_wall_[r.round] : 0.0);
+      rec.set("messages", static_cast<double>(comm_delta_[i].first));
+      rec.set("model_bytes", static_cast<double>(comm_delta_[i].second));
+    }
+  }
+  if (obs::enabled()) {
+    obs::global_registry()
+        .counter("async_globals_total", "Global models formed by the async runner")
+        .add(result_.rounds.size());
+  }
   return result_;
 }
 

@@ -34,6 +34,7 @@
 #include "core/hfl_runner.hpp"  // AttackSetup
 #include "core/trainer.hpp"
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "topology/byzantine.hpp"
 #include "topology/tree.hpp"
@@ -74,19 +75,17 @@ struct AsyncHflConfig {
   /// Record a per-event timeline (train start/end, aggregation, flag and
   /// global releases) — the data behind the paper's Fig. 2 diagram.
   bool trace = false;
+
+  /// Optional per-round record sink (not owned); see HflConfig::recorder.
+  obs::Recorder* recorder = nullptr;
 };
 
-/// One timeline row of a traced run.
-struct TraceEvent {
-  double time = 0.0;
-  std::size_t round = 0;
-  /// "train_start", "train_end", "agg_start", "agg_done", "flag_release",
-  /// "global_formed".
-  const char* kind = "";
-  /// Device id for train events; cluster index for aggregation events.
-  std::uint32_t subject = 0;
-  std::size_t level = 0;  // tree level for aggregation events (0 = top)
-};
+/// One timeline row of a traced run.  The shared obs event type: `time` here
+/// carries *simulated* seconds, `kind` is one of "train_start", "train_end",
+/// "agg_start", "agg_done", "flag_release", "global_formed", `subject` the
+/// device id for train events / cluster index for aggregation events.
+using TraceEvent = obs::TraceEvent;
+using obs::trace_to_csv;
 
 struct AsyncRoundRecord {
   std::size_t round = 0;
@@ -102,9 +101,6 @@ struct AsyncRunResult {
   CommStats comm;
   std::vector<TraceEvent> trace;  // populated when config.trace is set
 };
-
-/// Render a trace as CSV (time,round,kind,subject,level).
-[[nodiscard]] std::string trace_to_csv(const std::vector<TraceEvent>& trace);
 
 class AsyncHflRunner {
  public:
@@ -174,6 +170,15 @@ class AsyncHflRunner {
   std::size_t globals_formed_ = 0;
   std::vector<double> staleness_acc_;   // per round sum
   std::vector<std::size_t> staleness_n_;
+
+  // Observability: wall-clock seconds actually spent computing per round
+  // (the sim clock above is virtual), and comm totals at each global
+  // formation so the recorder can report per-round deltas.
+  std::vector<double> train_wall_;
+  std::vector<double> agg_wall_;
+  std::uint64_t last_messages_ = 0;
+  std::uint64_t last_bytes_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> comm_delta_;
 };
 
 }  // namespace abdhfl::core

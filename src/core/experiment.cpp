@@ -138,6 +138,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config, bool run_vanilla,
     hfl.alpha = config.alpha;
     hfl.merge_iteration = config.merge_iteration;
     hfl.parallel_training = config.parallel_training;
+    hfl.recorder = config.recorder;
+    hfl.trace = config.trace;
 
     AttackSetup attack;
     attack.mask = mask;
@@ -154,6 +156,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, bool run_vanilla,
     vanilla.learn = config.learn;
     vanilla.rule = config.vanilla_rule;
     vanilla.parallel_training = config.parallel_training;
+    vanilla.recorder = config.recorder;
 
     VanillaAttackSetup attack;
     attack.mask = mask;

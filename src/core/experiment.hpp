@@ -65,6 +65,10 @@ struct ScenarioConfig {
 
   std::uint64_t seed = 42;
   bool parallel_training = true;
+
+  /// Observability sinks forwarded to both runners (not owned; optional).
+  obs::Recorder* recorder = nullptr;
+  obs::TraceBuffer* trace = nullptr;
 };
 
 struct ScenarioResult {

@@ -8,6 +8,9 @@
 #include "consensus/pbft.hpp"
 #include "nn/serialize.hpp"
 #include "nn/sgd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace abdhfl::core {
@@ -143,6 +146,8 @@ std::vector<agg::ModelVec> HflRunner::collect_bottom_updates(
       if (!flag_cluster) throw std::logic_error("HflRunner: no flag-level ancestor");
       const double alpha =
           compute_alpha(config_.alpha, flag_fraction_[*flag_cluster], /*staleness=*/1.0);
+      telem_.alpha_sum += alpha;
+      ++telem_.alpha_n;
       merges[d] = MergeEvent{{prev_global.begin(), prev_global.end()},
                              std::min(config_.merge_iteration, config_.learn.local_iters),
                              alpha};
@@ -206,6 +211,13 @@ agg::ModelVec HflRunner::aggregate_cluster_bra(const std::vector<agg::ModelVec>&
   agg::Aggregator& rule = *bra_by_level_.at(level);
   agg::ModelVec result = rule.aggregate(arrived);
 
+  const agg::AggTelemetry& rt = rule.last_telemetry();
+  ++telem_.bra_calls;
+  telem_.bra_inputs += rt.inputs;
+  telem_.bra_kept += rt.kept;
+  telem_.bra_score_sum += rt.score_mean;
+  telem_.bra_score_max = std::max(telem_.bra_score_max, rt.score_max);
+
   const std::size_t dim = result.size();
   // Members upload to the leader; leader broadcasts the partial model back.
   comm.messages += inputs.size() + cluster.size();
@@ -250,7 +262,80 @@ agg::ModelVec HflRunner::aggregate_cluster_cba(const std::vector<agg::ModelVec>&
   comm.messages += result.messages;
   comm.model_bytes += result.model_bytes;
   if (!result.success) ++comm.consensus_failures;
+
+  ++telem_.cba_calls;
+  telem_.cba_candidates += inputs.size();
+  telem_.cba_messages += result.messages;
+  if (!result.success) ++telem_.cba_failures;
   return std::move(result.model);
+}
+
+void HflRunner::emit_round_record(std::size_t round, double round_s, double train_s,
+                                  double partial_agg_s, double global_agg_s,
+                                  double broadcast_s, double eval_s, double accuracy,
+                                  const std::vector<std::size_t>& level_inputs,
+                                  const CommStats& comm_before,
+                                  const CommStats& comm_after,
+                                  const util::ThreadPool::Stats& pool_before) {
+  if (config_.recorder != nullptr) {
+    const auto pool_after = util::global_pool().stats();
+    const double pool_busy_s = pool_after.busy_seconds - pool_before.busy_seconds;
+    const std::size_t workers = util::global_pool().size();
+
+    obs::RoundRecord& rec = config_.recorder->begin_round("hfl", round);
+    rec.set("round_s", round_s);
+    rec.set("train_s", train_s);
+    rec.set("partial_agg_s", partial_agg_s);
+    rec.set("global_agg_s", global_agg_s);
+    rec.set("broadcast_s", broadcast_s);
+    rec.set("eval_s", eval_s);
+    rec.set("accuracy", accuracy);
+    rec.set("bra_calls", static_cast<double>(telem_.bra_calls));
+    rec.set("bra_inputs", static_cast<double>(telem_.bra_inputs));
+    rec.set("bra_kept", static_cast<double>(telem_.bra_kept));
+    rec.set("bra_filtered",
+            static_cast<double>(telem_.bra_inputs - telem_.bra_kept));
+    rec.set("bra_score_mean",
+            telem_.bra_calls == 0
+                ? 0.0
+                : telem_.bra_score_sum / static_cast<double>(telem_.bra_calls));
+    rec.set("bra_score_max", telem_.bra_score_max);
+    rec.set("cba_calls", static_cast<double>(telem_.cba_calls));
+    rec.set("cba_candidates", static_cast<double>(telem_.cba_candidates));
+    rec.set("cba_messages", static_cast<double>(telem_.cba_messages));
+    rec.set("cba_failures", static_cast<double>(telem_.cba_failures));
+    rec.set("alpha_mean", telem_.alpha_n == 0
+                              ? 0.0
+                              : telem_.alpha_sum / static_cast<double>(telem_.alpha_n));
+    rec.set("messages",
+            static_cast<double>(comm_after.messages - comm_before.messages));
+    rec.set("model_bytes",
+            static_cast<double>(comm_after.model_bytes - comm_before.model_bytes));
+    for (std::size_t l = 0; l < level_inputs.size(); ++l) {
+      rec.set("inputs_l" + std::to_string(l), static_cast<double>(level_inputs[l]));
+    }
+    rec.set("pool_tasks",
+            static_cast<double>(pool_after.completed - pool_before.completed));
+    rec.set("pool_wait_s", pool_after.wait_seconds - pool_before.wait_seconds);
+    rec.set("pool_busy_s", pool_busy_s);
+    rec.set("pool_utilization",
+            round_s > 0.0 && workers > 0
+                ? pool_busy_s / (round_s * static_cast<double>(workers))
+                : 0.0);
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::global_registry();
+    reg.counter("hfl_rounds_total", "Completed HFL global rounds").add(1);
+    reg.histogram("hfl_round_seconds", obs::exponential_bounds(1e-3, 2.0, 16),
+                  "Wall-clock duration of one global round")
+        .observe(round_s);
+    reg.counter("hfl_bra_filtered_total",
+                "Updates discarded by Byzantine-robust aggregation rules")
+        .add(telem_.bra_inputs - telem_.bra_kept);
+    reg.counter("hfl_cba_failures_total", "Consensus rounds that did not decide")
+        .add(telem_.cba_failures);
+  }
 }
 
 RunResult HflRunner::run() {
@@ -261,83 +346,124 @@ RunResult HflRunner::run() {
   const std::size_t depth = tree_.depth();
 
   for (std::size_t round = 0; round < config_.learn.rounds; ++round) {
-    // --- 1. Local training (Algorithm 2). --------------------------------
-    auto updates = collect_bottom_updates(round, prev_global, have_prev_global);
+    telem_ = {};
+    double round_s = 0.0, train_s = 0.0, partial_agg_s = 0.0, global_agg_s = 0.0,
+           broadcast_s = 0.0, eval_s = 0.0;
+    std::vector<std::size_t> level_inputs(depth + 1, 0);
+    const CommStats comm_before = out.comm;
+    const auto pool_before = util::global_pool().stats();
+    agg::ModelVec global_model;
+    {
+      obs::Span round_span(config_.trace, "round", round);
+      obs::ScopedTimer round_timer(round_s);
 
-    // Rules that use a reference point anchor on the previous global model.
-    if (have_prev_global) {
-      for (auto& [level, rule] : bra_by_level_) rule->set_reference(prev_global);
-    }
+      // --- 1. Local training (Algorithm 2). ------------------------------
+      std::vector<agg::ModelVec> updates;
+      {
+        obs::Span span(config_.trace, "train", round);
+        obs::ScopedTimer timer(train_s);
+        updates = collect_bottom_updates(round, prev_global, have_prev_global);
+      }
 
-    // --- 2. Partial aggregation, levels L .. 1 (Algorithms 3/4). ---------
-    // cluster_models[l][i] = θ_{l,i} for this round.
-    std::vector<std::vector<agg::ModelVec>> cluster_models(depth + 1);
-    for (std::size_t l = depth; l >= 1; --l) {
-      const auto& clusters = tree_.level(l);
-      cluster_models[l].resize(clusters.size());
-      for (std::size_t i = 0; i < clusters.size(); ++i) {
-        const auto& cluster = clusters[i];
-        std::vector<agg::ModelVec> inputs;
-        inputs.reserve(cluster.size());
-        if (l == depth) {
-          for (topology::DeviceId d : cluster.members) inputs.push_back(updates[d]);
+      // Rules that use a reference point anchor on the previous global model.
+      if (have_prev_global) {
+        for (auto& [level, rule] : bra_by_level_) rule->set_reference(prev_global);
+      }
+
+      // --- 2. Partial aggregation, levels L .. 1 (Algorithms 3/4). -------
+      // cluster_models[l][i] = θ_{l,i} for this round.
+      std::vector<std::vector<agg::ModelVec>> cluster_models(depth + 1);
+      {
+        obs::Span span(config_.trace, "partial_agg", round);
+        obs::ScopedTimer timer(partial_agg_s);
+        for (std::size_t l = depth; l >= 1; --l) {
+          const auto& clusters = tree_.level(l);
+          cluster_models[l].resize(clusters.size());
+          for (std::size_t i = 0; i < clusters.size(); ++i) {
+            const auto& cluster = clusters[i];
+            std::vector<agg::ModelVec> inputs;
+            inputs.reserve(cluster.size());
+            if (l == depth) {
+              for (topology::DeviceId d : cluster.members) inputs.push_back(updates[d]);
+            } else {
+              for (topology::DeviceId d : cluster.members) {
+                const auto child = tree_.child_cluster_of(l, d);
+                if (!child) throw std::logic_error("HflRunner: member leads no child cluster");
+                inputs.push_back(cluster_models[l + 1][*child]);
+              }
+            }
+            level_inputs[l] += inputs.size();
+            cluster_models[l][i] =
+                scheme_for(l).kind == AggKind::kBra
+                    ? aggregate_cluster_bra(inputs, cluster, l, out.comm)
+                    : aggregate_cluster_cba(inputs, cluster, l, round, out.comm);
+          }
+        }
+      }
+
+      // --- 3. Global aggregation at the top (Algorithm 6). ---------------
+      {
+        obs::Span span(config_.trace, "global_agg", round);
+        obs::ScopedTimer timer(global_agg_s);
+        const auto& top = tree_.cluster(0, 0);
+        std::vector<agg::ModelVec> top_inputs;
+        top_inputs.reserve(top.size());
+        for (topology::DeviceId d : top.members) {
+          const auto child = tree_.child_cluster_of(0, d);
+          if (!child) throw std::logic_error("HflRunner: top node leads no cluster");
+          top_inputs.push_back(cluster_models[1][*child]);
+        }
+        level_inputs[0] += top_inputs.size();
+        global_model =
+            scheme_for(0).kind == AggKind::kBra
+                ? aggregate_cluster_bra(top_inputs, top, 0, out.comm)
+                : aggregate_cluster_cba(top_inputs, top, 0, round, out.comm);
+        cluster_models[0] = {global_model};
+      }
+
+      // --- 4. Dissemination (Algorithm 5): flag models seed the next round.
+      {
+        obs::Span span(config_.trace, "broadcast", round);
+        obs::ScopedTimer timer(broadcast_s);
+        if (config_.flag_level == 0) {
+          for (auto& start : start_params_) start = global_model;
         } else {
-          for (topology::DeviceId d : cluster.members) {
-            const auto child = tree_.child_cluster_of(l, d);
-            if (!child) throw std::logic_error("HflRunner: member leads no child cluster");
-            inputs.push_back(cluster_models[l + 1][*child]);
+          const auto& flag_clusters = tree_.level(config_.flag_level);
+          for (std::size_t j = 0; j < flag_clusters.size(); ++j) {
+            const auto& flag_model = cluster_models[config_.flag_level][j];
+            for (topology::DeviceId m : flag_clusters[j].members) {
+              for (topology::DeviceId d :
+                   tree_.bottom_descendants(config_.flag_level, m)) {
+                start_params_[d] = flag_model;
+              }
+            }
+            // Dissemination traffic: one broadcast per tree edge below the
+            // flag cluster (counted as one message per reached device).
+            std::size_t reached = 0;
+            for (topology::DeviceId m : flag_clusters[j].members) {
+              reached += tree_.bottom_descendants(config_.flag_level, m).size();
+            }
+            out.comm.messages += reached;
+            out.comm.model_bytes += reached * nn::wire_size(flag_model.size());
           }
         }
-        cluster_models[l][i] =
-            scheme_for(l).kind == AggKind::kBra
-                ? aggregate_cluster_bra(inputs, cluster, l, out.comm)
-                : aggregate_cluster_cba(inputs, cluster, l, round, out.comm);
+        // Global-model dissemination to every device (merged next round).
+        out.comm.messages += tree_.num_devices();
+        out.comm.model_bytes += tree_.num_devices() * nn::wire_size(global_model.size());
+      }
+
+      {
+        obs::Span span(config_.trace, "eval", round);
+        obs::ScopedTimer timer(eval_s);
+        out.accuracy_per_round.push_back(
+            evaluate_params(scratch_, global_model, test_set_));
       }
     }
 
-    // --- 3. Global aggregation at the top (Algorithm 6). -----------------
-    const auto& top = tree_.cluster(0, 0);
-    std::vector<agg::ModelVec> top_inputs;
-    top_inputs.reserve(top.size());
-    for (topology::DeviceId d : top.members) {
-      const auto child = tree_.child_cluster_of(0, d);
-      if (!child) throw std::logic_error("HflRunner: top node leads no cluster");
-      top_inputs.push_back(cluster_models[1][*child]);
-    }
-    agg::ModelVec global_model =
-        scheme_for(0).kind == AggKind::kBra
-            ? aggregate_cluster_bra(top_inputs, top, 0, out.comm)
-            : aggregate_cluster_cba(top_inputs, top, 0, round, out.comm);
-    cluster_models[0] = {global_model};
+    emit_round_record(round, round_s, train_s, partial_agg_s, global_agg_s,
+                      broadcast_s, eval_s, out.accuracy_per_round.back(),
+                      level_inputs, comm_before, out.comm, pool_before);
 
-    // --- 4. Dissemination (Algorithm 5): flag models seed the next round.
-    if (config_.flag_level == 0) {
-      for (auto& start : start_params_) start = global_model;
-    } else {
-      const auto& flag_clusters = tree_.level(config_.flag_level);
-      for (std::size_t j = 0; j < flag_clusters.size(); ++j) {
-        const auto& flag_model = cluster_models[config_.flag_level][j];
-        for (topology::DeviceId m : flag_clusters[j].members) {
-          for (topology::DeviceId d :
-               tree_.bottom_descendants(config_.flag_level, m)) {
-            start_params_[d] = flag_model;
-          }
-        }
-        // Dissemination traffic: one broadcast per tree edge below the flag
-        // cluster (counted as one message per reached device).
-        std::size_t reached = 0;
-        for (topology::DeviceId m : flag_clusters[j].members) {
-          reached += tree_.bottom_descendants(config_.flag_level, m).size();
-        }
-        out.comm.messages += reached;
-        out.comm.model_bytes += reached * nn::wire_size(flag_model.size());
-      }
-    }
-    // Global-model dissemination to every device (merged next round).
-    out.comm.messages += tree_.num_devices();
-    out.comm.model_bytes += tree_.num_devices() * nn::wire_size(global_model.size());
-
-    out.accuracy_per_round.push_back(evaluate_params(scratch_, global_model, test_set_));
     prev_global = std::move(global_model);
     have_prev_global = true;
   }

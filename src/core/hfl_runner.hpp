@@ -35,6 +35,12 @@
 #include "core/types.hpp"
 #include "topology/byzantine.hpp"
 #include "topology/tree.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abdhfl::obs {
+class Recorder;
+class TraceBuffer;
+}
 
 namespace abdhfl::core {
 
@@ -57,6 +63,14 @@ struct HflConfig {
   /// (the "arrival" instant of θ_G inside the next round's training).
   std::size_t merge_iteration = 2;
   bool parallel_training = true;   // thread-pool the device loop
+
+  /// Observability sinks (optional, not owned).  With a recorder the runner
+  /// emits one RoundRecord per global round (phase wall-clock splits, BRA
+  /// filter counts, consensus traffic, pool utilization); with a trace
+  /// buffer it emits nested wall-clock Spans (round > train/partial_agg/
+  /// global_agg/broadcast/eval).
+  obs::Recorder* recorder = nullptr;
+  obs::TraceBuffer* trace = nullptr;
 };
 
 struct AttackSetup {
@@ -99,6 +113,15 @@ class HflRunner {
   [[nodiscard]] double eval_for_voter(std::size_t level, topology::DeviceId voter,
                                       const agg::ModelVec& model);
 
+  /// Flush one round's telemetry into the recorder and the global metrics
+  /// registry.  No-op when neither sink is armed.
+  void emit_round_record(std::size_t round, double round_s, double train_s,
+                         double partial_agg_s, double global_agg_s,
+                         double broadcast_s, double eval_s, double accuracy,
+                         const std::vector<std::size_t>& level_inputs,
+                         const CommStats& comm_before, const CommStats& comm_after,
+                         const util::ThreadPool::Stats& pool_before);
+
   const topology::HflTree& tree_;
   data::Dataset test_set_;
   std::vector<data::Dataset> top_validation_;
@@ -121,6 +144,23 @@ class HflRunner {
   // their own instance so reference-point state never leaks across levels).
   std::map<std::size_t, std::unique_ptr<agg::Aggregator>> bra_by_level_;
   std::map<std::size_t, std::unique_ptr<consensus::ConsensusProtocol>> cba_by_level_;
+
+  /// Telemetry accumulated by the aggregate/collect helpers within one
+  /// global round, flushed into the RoundRecord and zeroed at round start.
+  struct RoundTelemetry {
+    std::size_t bra_calls = 0;
+    std::size_t bra_inputs = 0;
+    std::size_t bra_kept = 0;
+    double bra_score_sum = 0.0;  // sum of per-call score means
+    double bra_score_max = 0.0;
+    std::size_t cba_calls = 0;
+    std::size_t cba_candidates = 0;
+    std::size_t cba_messages = 0;
+    std::size_t cba_failures = 0;
+    double alpha_sum = 0.0;  // flag-correction magnitudes (Eq. 1)
+    std::size_t alpha_n = 0;
+  };
+  RoundTelemetry telem_;
 };
 
 }  // namespace abdhfl::core

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/record.hpp"
+
 namespace abdhfl::core {
 
 namespace {
@@ -229,7 +231,20 @@ class PipelineSim {
 PipelineResult simulate_pipeline(const topology::HflTree& tree, const PipelineConfig& config,
                                  std::uint64_t seed) {
   PipelineSim sim(tree, config, seed);
-  return sim.run();
+  PipelineResult result = sim.run();
+  if (config.recorder != nullptr) {
+    for (std::size_t r = 0; r < result.rounds.size(); ++r) {
+      const RoundTiming& t = result.rounds[r];
+      obs::RoundRecord& rec = config.recorder->begin_round("pipeline", r);
+      rec.set("sigma_w", t.sigma_w);
+      rec.set("sigma_pg", t.sigma_pg);
+      rec.set("sigma", t.sigma);
+      rec.set("nu", t.nu);
+      rec.set("staleness", t.staleness);
+      rec.set("t_global", t.t_global);
+    }
+  }
+  return result;
 }
 
 PipelineConfig make_pipeline_config(const DelayRegime& regime, std::size_t rounds,

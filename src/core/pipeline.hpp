@@ -25,6 +25,10 @@
 #include "topology/tree.hpp"
 #include "util/rng.hpp"
 
+namespace abdhfl::obs {
+class Recorder;
+}
+
 namespace abdhfl::core {
 
 struct PipelineConfig {
@@ -42,6 +46,10 @@ struct PipelineConfig {
   /// Per-hop dissemination latency of flag/global models (the paper ignores
   /// this; default 0 reproduces its model).
   double dissemination_latency = 0.0;
+
+  /// Optional per-round record sink (not owned); one record per round with
+  /// the σ_w/σ_p+σ_g/ν decomposition.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Per-round timing decomposition, averaged across bottom clusters where a

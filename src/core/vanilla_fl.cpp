@@ -4,6 +4,8 @@
 
 #include "nn/serialize.hpp"
 #include "nn/sgd.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace abdhfl::core {
@@ -42,42 +44,72 @@ RunResult VanillaFl::run() {
   const bool model_attacking = static_cast<bool>(attack_.model_attack);
 
   for (std::size_t round = 0; round < config_.learn.rounds; ++round) {
-    const double lr = nn::step_decay_lr(config_.learn.learning_rate,
-                                        config_.learn.lr_decay_gamma,
-                                        config_.learn.lr_decay_step, round);
-    std::vector<agg::ModelVec> updates(n);
-    auto train_one = [&](std::size_t d) {
-      if (model_attacking && attack_.mask[d]) return;
-      updates[d] = trainers_[d]->train_round(global_, config_.learn.local_iters,
-                                             config_.learn.batch, lr, std::nullopt);
-    };
-    if (config_.parallel_training) {
-      util::global_pool().parallel_for(0, n, train_one);
-    } else {
-      for (std::size_t d = 0; d < n; ++d) train_one(d);
-    }
-
-    if (model_attacking) {
-      std::vector<agg::ModelVec> honest;
-      for (std::size_t d = 0; d < n; ++d) {
-        if (!attack_.mask[d]) honest.push_back(updates[d]);
-      }
-      for (std::size_t d = 0; d < n; ++d) {
-        if (attack_.mask[d]) {
-          const agg::ModelVec& base = honest.empty() ? global_ : honest.front();
-          updates[d] = attack_.model_attack->craft(honest, base, rng_);
+    double round_s = 0.0, train_s = 0.0, agg_s = 0.0, eval_s = 0.0;
+    {
+      obs::ScopedTimer round_timer(round_s);
+      const double lr = nn::step_decay_lr(config_.learn.learning_rate,
+                                          config_.learn.lr_decay_gamma,
+                                          config_.learn.lr_decay_step, round);
+      std::vector<agg::ModelVec> updates(n);
+      {
+        obs::ScopedTimer timer(train_s);
+        auto train_one = [&](std::size_t d) {
+          if (model_attacking && attack_.mask[d]) return;
+          updates[d] = trainers_[d]->train_round(global_, config_.learn.local_iters,
+                                                 config_.learn.batch, lr, std::nullopt);
+        };
+        if (config_.parallel_training) {
+          util::global_pool().parallel_for(0, n, train_one);
+        } else {
+          for (std::size_t d = 0; d < n; ++d) train_one(d);
         }
       }
+
+      if (model_attacking) {
+        std::vector<agg::ModelVec> honest;
+        for (std::size_t d = 0; d < n; ++d) {
+          if (!attack_.mask[d]) honest.push_back(updates[d]);
+        }
+        for (std::size_t d = 0; d < n; ++d) {
+          if (attack_.mask[d]) {
+            const agg::ModelVec& base = honest.empty() ? global_ : honest.front();
+            updates[d] = attack_.model_attack->craft(honest, base, rng_);
+          }
+        }
+      }
+
+      {
+        obs::ScopedTimer timer(agg_s);
+        rule_->set_reference(global_);
+        global_ = rule_->aggregate(updates);
+      }
+
+      // Star topology traffic: every client uploads, the server broadcasts.
+      out.comm.messages += 2 * n;
+      out.comm.model_bytes += 2 * n * nn::wire_size(global_.size());
+
+      {
+        obs::ScopedTimer timer(eval_s);
+        out.accuracy_per_round.push_back(evaluate_params(scratch_, global_, test_set_));
+      }
     }
 
-    rule_->set_reference(global_);
-    global_ = rule_->aggregate(updates);
-
-    // Star topology traffic: every client uploads, the server broadcasts.
-    out.comm.messages += 2 * n;
-    out.comm.model_bytes += 2 * n * nn::wire_size(global_.size());
-
-    out.accuracy_per_round.push_back(evaluate_params(scratch_, global_, test_set_));
+    if (config_.recorder != nullptr) {
+      const agg::AggTelemetry& rt = rule_->last_telemetry();
+      obs::RoundRecord& rec = config_.recorder->begin_round("vanilla", round);
+      rec.set("round_s", round_s);
+      rec.set("train_s", train_s);
+      rec.set("agg_s", agg_s);
+      rec.set("eval_s", eval_s);
+      rec.set("accuracy", out.accuracy_per_round.back());
+      rec.set("agg_inputs", static_cast<double>(rt.inputs));
+      rec.set("agg_kept", static_cast<double>(rt.kept));
+      rec.set("agg_filtered", static_cast<double>(rt.inputs - rt.kept));
+      rec.set("agg_score_mean", rt.score_mean);
+      rec.set("agg_score_max", rt.score_max);
+      rec.set("messages", static_cast<double>(2 * n));
+      rec.set("model_bytes", static_cast<double>(2 * n * nn::wire_size(global_.size())));
+    }
   }
   out.final_accuracy =
       out.accuracy_per_round.empty() ? 0.0 : out.accuracy_per_round.back();

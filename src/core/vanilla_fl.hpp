@@ -14,6 +14,10 @@
 #include "core/types.hpp"
 #include "topology/byzantine.hpp"
 
+namespace abdhfl::obs {
+class Recorder;
+}
+
 namespace abdhfl::core {
 
 struct VanillaConfig {
@@ -24,6 +28,8 @@ struct VanillaConfig {
   /// Thread fan-out of the aggregation rule's numeric kernels; bitwise
   /// result-invariant (see Aggregator::set_threads).
   std::size_t agg_threads = 1;
+  /// Optional per-round record sink (not owned); see HflConfig::recorder.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct VanillaAttackSetup {

@@ -1,0 +1,146 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace abdhfl::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// "name{label=\"v\"}" -> ("name", "{label=\"v\"}"); no selector -> ("name", "").
+std::pair<std::string_view, std::string_view> split_selector(std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const std::vector<MetricValue>& snapshot) {
+  std::string out;
+  std::string last_family;
+  char buf[192];
+  for (const auto& m : snapshot) {
+    const auto [family, selector] = split_selector(m.name);
+    // One HELP/TYPE header per family: labeled variants of the same family
+    // (sorted adjacently by the registry) share it.
+    if (family != last_family) {
+      last_family = std::string(family);
+      if (!m.help.empty()) {
+        out += "# HELP " + last_family + " " + m.help + "\n";
+      }
+      out += "# TYPE " + last_family + " " + kind_name(m.kind) + "\n";
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", m.name.c_str(),
+                      static_cast<std::uint64_t>(m.value));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += m.name + " " + fmt_double(m.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          cumulative += m.buckets[b];
+          const std::string le =
+              b < m.bounds.size() ? fmt_double(m.bounds[b]) : std::string("+Inf");
+          std::snprintf(buf, sizeof(buf), "%.*s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                        static_cast<int>(family.size()), family.data(), le.c_str(),
+                        cumulative);
+          out += buf;
+        }
+        out += std::string(family) + "_sum " + fmt_double(m.sum) + "\n";
+        std::snprintf(buf, sizeof(buf), "%.*s_count %" PRIu64 "\n",
+                      static_cast<int>(family.size()), family.data(), m.count);
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string metrics_to_jsonl(const std::vector<MetricValue>& snapshot) {
+  std::string out;
+  for (const auto& m : snapshot) {
+    out += "{\"name\":\"" + json_escape(m.name) + "\",\"kind\":\"" +
+           kind_name(m.kind) + "\"";
+    if (m.kind == MetricKind::kHistogram) {
+      out += ",\"sum\":" + fmt_double(m.sum) + ",\"count\":" + std::to_string(m.count);
+      out += ",\"bounds\":[";
+      for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+        if (b) out += ",";
+        out += fmt_double(m.bounds[b]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        if (b) out += ",";
+        out += std::to_string(m.buckets[b]);
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + fmt_double(m.value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    LOG_ERROR("obs: cannot open %s for writing", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    LOG_ERROR("obs: short write to %s", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace abdhfl::obs

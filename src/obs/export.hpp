@@ -1,0 +1,30 @@
+#pragma once
+// Exposition formats for the metrics registry, plus the shared JSON string
+// escaper used by every JSONL writer in the subsystem.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace abdhfl::obs {
+
+/// Escape for embedding inside a JSON string literal (quotes, backslash,
+/// control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Prometheus text exposition (v0.0.4): # HELP / # TYPE headers per metric
+/// family, cumulative `_bucket{le=...}` lines plus `_sum`/`_count` for
+/// histograms.  Names registered with a baked-in `{label="v"}` selector are
+/// split so the family headers carry the bare name.
+[[nodiscard]] std::string to_prometheus(const std::vector<MetricValue>& snapshot);
+
+/// Registry snapshot as JSONL: one {"name":...,"kind":...} object per line
+/// (histograms carry bounds/buckets arrays).
+[[nodiscard]] std::string metrics_to_jsonl(const std::vector<MetricValue>& snapshot);
+
+/// Write `content` to `path`; returns false (and logs) on failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace abdhfl::obs

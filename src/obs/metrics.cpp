@@ -1,0 +1,168 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abdhfl::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint32_t> g_next_thread_ordinal{0};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::size_t stripe_index() noexcept {
+  thread_local const std::size_t index =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) total += cell.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Gauge::add(double delta) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: no buckets");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  for (auto& stripe : stripes_) {
+    stripe.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) stripe.buckets[b] = 0;
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  auto& stripe = stripes_[stripe_index()];
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  double cur = stripe.sum.load(std::memory_order_relaxed);
+  while (!stripe.sum.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& stripe : stripes_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const auto& stripe : stripes_) total += stripe.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    total += stripe.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto& entry = metrics_[name];
+  if (entry.counter) return *entry.counter;
+  if (entry.gauge || entry.histogram) {
+    throw std::invalid_argument("metric registered with a different kind: " + name);
+  }
+  entry.kind = MetricKind::kCounter;
+  entry.help = help;
+  entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto& entry = metrics_[name];
+  if (entry.gauge) return *entry.gauge;
+  if (entry.counter || entry.histogram) {
+    throw std::invalid_argument("metric registered with a different kind: " + name);
+  }
+  entry.kind = MetricKind::kGauge;
+  entry.help = help;
+  entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& help) {
+  std::lock_guard lock(mutex_);
+  auto& entry = metrics_[name];
+  if (entry.histogram) return *entry.histogram;
+  if (entry.counter || entry.gauge) {
+    throw std::invalid_argument("metric registered with a different kind: " + name);
+  }
+  entry.kind = MetricKind::kHistogram;
+  entry.help = help;
+  entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *entry.histogram;
+}
+
+std::vector<MetricValue> MetricsRegistry::scrape() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricValue> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricValue v;
+    v.name = name;
+    v.help = entry.help;
+    v.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        v.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        v.value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        v.bounds = entry.histogram->bounds();
+        v.buckets = entry.histogram->bucket_counts();
+        v.sum = entry.histogram->sum();
+        v.count = entry.histogram->count();
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::vector<double> exponential_bounds(double start, double factor, std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument("exponential_bounds: bad parameters");
+  }
+  std::vector<double> out(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = bound;
+    bound *= factor;
+  }
+  return out;
+}
+
+}  // namespace abdhfl::obs

@@ -1,0 +1,147 @@
+#pragma once
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//
+// Built in the spirit of util/log.hpp: near-zero cost when observability is
+// off (one relaxed atomic load behind obs::enabled()), and uncontended when
+// on.  Every counter and histogram is split into kStripes cache-line-padded
+// cells; a thread writes only the cell selected by its (sequentially
+// assigned) thread index, so the PR-1 parallel aggregation paths never bounce
+// a shared line, and scrape() merges the per-thread shards into one value.
+// All cells are relaxed atomics, which keeps the subsystem TSan-clean without
+// fences on the hot path — metrics tolerate momentarily stale reads.
+//
+// Metric naming convention (see DESIGN.md §7): snake_case, `_total` suffix
+// for counters, `_seconds`/`_bytes` unit suffixes, optional
+// `{label="value"}` selector baked into the registered name (the Prometheus
+// exporter splits it back out).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace abdhfl::obs {
+
+/// Master switch for the whole subsystem.  Off by default; the runners and
+/// the sim skip their metric updates entirely while disabled.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Shard count of every striped metric.
+inline constexpr std::size_t kStripes = 16;
+
+/// This thread's shard index: a process-unique thread ordinal modulo
+/// kStripes, assigned on first use (cheap thread_local read afterwards).
+[[nodiscard]] std::size_t stripe_index() noexcept;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[stripe_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Merged value across all shards.
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_{};
+};
+
+/// Last-write-wins instantaneous value (queue depth, utilization).  Writes
+/// are rare, so a single atomic suffices — no striping.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending upper bounds; one implicit
+/// +Inf bucket catches the rest.  observe() touches only the caller's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts merged across shards; size bounds().size() + 1 (the
+  /// last entry is the +Inf bucket).  Not cumulative.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+ private:
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::vector<double> bounds_;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric as seen by scrape(): shards already merged.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;                  // counter / gauge
+  std::vector<double> bounds;          // histogram upper bounds
+  std::vector<std::uint64_t> buckets;  // histogram per-bucket counts (+Inf last)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Name -> metric map with stable storage: references returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime, so
+/// call sites can cache them and skip the name lookup on the hot path.
+/// Registration is idempotent (same name + kind returns the same object) and
+/// throws std::invalid_argument when a name is re-registered as a different
+/// kind.  Registration and scrape are thread-safe.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds,
+                       const std::string& help = "");
+
+  /// Merged snapshot of every registered metric, sorted by name.
+  [[nodiscard]] std::vector<MetricValue> scrape() const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;
+};
+
+/// Process-wide registry the runners, pool, and sim record into.
+[[nodiscard]] MetricsRegistry& global_registry();
+
+/// `count` ascending bounds start, start*factor, start*factor^2, ...
+[[nodiscard]] std::vector<double> exponential_bounds(double start, double factor,
+                                                     std::size_t count);
+
+}  // namespace abdhfl::obs

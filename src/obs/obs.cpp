@@ -1,0 +1,67 @@
+#include "obs/obs.hpp"
+
+#include <stdexcept>
+
+#include "util/cli.hpp"
+
+namespace abdhfl::obs {
+
+Options declare_cli(util::Cli& cli) {
+  Options options;
+  options.metrics_out = cli.str(
+      "metrics-out", "", "write per-round run records here (see --metrics-format)");
+  options.trace_out = cli.str("trace-out", "", "write a JSONL event trace here");
+  options.format = cli.str("metrics-format", "jsonl",
+                           "format of --metrics-out: jsonl, csv, or prom");
+  if (options.format != "jsonl" && options.format != "csv" && options.format != "prom") {
+    throw std::invalid_argument("--metrics-format must be jsonl, csv, or prom");
+  }
+  if (options.active()) set_enabled(true);
+  return options;
+}
+
+void export_pool_metrics(MetricsRegistry& registry, const util::ThreadPool::Stats& stats,
+                         std::size_t workers) {
+  registry.gauge("pool_workers", "thread-pool worker count")
+      .set(static_cast<double>(workers));
+  registry.gauge("pool_queue_depth", "tasks currently queued")
+      .set(static_cast<double>(stats.queue_depth));
+  registry.gauge("pool_queue_peak", "high-water queue depth")
+      .set(static_cast<double>(stats.queue_peak));
+  registry.gauge("pool_tasks_submitted", "tasks submitted since start")
+      .set(static_cast<double>(stats.submitted));
+  registry.gauge("pool_tasks_completed", "tasks completed since start")
+      .set(static_cast<double>(stats.completed));
+  registry.gauge("pool_task_wait_seconds", "total enqueue-to-start wait")
+      .set(stats.wait_seconds);
+  registry.gauge("pool_task_busy_seconds", "total task execution time")
+      .set(stats.busy_seconds);
+  registry
+      .gauge("pool_task_wait_seconds_mean", "mean enqueue-to-start wait per task")
+      .set(stats.completed > 0 ? stats.wait_seconds / static_cast<double>(stats.completed)
+                               : 0.0);
+}
+
+bool write_outputs(const Options& options, const Recorder& recorder,
+                   const TraceBuffer* trace) {
+  bool ok = true;
+  if (!options.metrics_out.empty()) {
+    export_pool_metrics(global_registry(), util::global_pool().stats(),
+                        util::global_pool().size());
+    std::string content;
+    if (options.format == "csv") {
+      content = recorder.to_csv();
+    } else if (options.format == "prom") {
+      content = to_prometheus(global_registry().scrape());
+    } else {
+      content = recorder.to_jsonl();
+    }
+    ok = write_text_file(options.metrics_out, content) && ok;
+  }
+  if (!options.trace_out.empty() && trace != nullptr) {
+    ok = write_text_file(options.trace_out, trace_to_jsonl(trace->snapshot())) && ok;
+  }
+  return ok;
+}
+
+}  // namespace abdhfl::obs

@@ -1,0 +1,57 @@
+#pragma once
+// Umbrella header + CLI plumbing for the observability subsystem.
+//
+//   util::Cli cli(argc, argv);
+//   auto obs_opts = obs::declare_cli(cli);        // --metrics-out / --trace-out /
+//   ...                                            //   --metrics-format
+//   obs::Recorder recorder;
+//   config.recorder = obs_opts.active() ? &recorder : nullptr;
+//   ... run ...
+//   obs::write_outputs(obs_opts, recorder, trace_buffer_or_null);
+//
+// declare_cli() also flips obs::set_enabled() on when any output was
+// requested, which is what arms the thread-pool / sim-network registry
+// counters for the run.
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace abdhfl::util {
+class Cli;
+}
+
+namespace abdhfl::obs {
+
+struct Options {
+  /// Per-round records destination ("" = off).  Content depends on format:
+  /// jsonl/csv render the Recorder; prom renders the registry exposition.
+  std::string metrics_out;
+  /// Event-trace destination ("" = off), always JSONL.
+  std::string trace_out;
+  /// "jsonl" (default), "csv", or "prom".
+  std::string format = "jsonl";
+
+  [[nodiscard]] bool active() const noexcept {
+    return !metrics_out.empty() || !trace_out.empty();
+  }
+};
+
+/// Declare the shared observability flags on a Cli (call before
+/// cli.finish()).  Validates --metrics-format and arms obs::set_enabled()
+/// when any output was requested.
+[[nodiscard]] Options declare_cli(util::Cli& cli);
+
+/// Refresh the thread-pool gauges (queue depth, task counts, wait/busy
+/// seconds) in `registry` from a pool-stats snapshot.
+void export_pool_metrics(MetricsRegistry& registry, const util::ThreadPool::Stats& stats,
+                         std::size_t workers);
+
+/// Write whatever the options ask for.  Refreshes pool gauges first so a
+/// prom scrape reflects the finished run.  Returns false if any file failed.
+bool write_outputs(const Options& options, const Recorder& recorder,
+                   const TraceBuffer* trace = nullptr);
+
+}  // namespace abdhfl::obs

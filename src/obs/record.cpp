@@ -1,0 +1,130 @@
+#include "obs/record.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/export.hpp"
+#include "util/stats.hpp"
+
+namespace abdhfl::obs {
+
+namespace {
+
+/// Shortest round-trip-safe rendering: %.9g keeps round numbers ("0.5") and
+/// survives the values we record (accuracies, seconds, counts as doubles).
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void RoundRecord::set(const std::string& key, double value) {
+  for (auto& [k, v] : fields) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  fields.emplace_back(key, value);
+}
+
+double RoundRecord::get(const std::string& key, double def) const noexcept {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return def;
+}
+
+bool RoundRecord::has(const std::string& key) const noexcept {
+  return std::any_of(fields.begin(), fields.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+}
+
+RoundRecord& Recorder::begin_round(std::string runner, std::size_t round) {
+  RoundRecord& record = records_.emplace_back();
+  record.runner = std::move(runner);
+  record.round = round;
+  record.fields = context_;
+  return record;
+}
+
+void Recorder::set_context(const std::string& key, double value) {
+  for (auto& [k, v] : context_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+void Recorder::clear_context() { context_.clear(); }
+
+std::string Recorder::to_jsonl() const {
+  std::string out;
+  for (const auto& record : records_) {
+    out += "{\"runner\":\"" + json_escape(record.runner) + "\",\"round\":" +
+           std::to_string(record.round);
+    for (const auto& [key, value] : record.fields) {
+      out += ",\"" + json_escape(key) + "\":" + fmt_double(value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string Recorder::to_csv() const {
+  // Union of field names, ordered by first appearance across all records.
+  std::vector<std::string> columns;
+  for (const auto& record : records_) {
+    for (const auto& [key, value] : record.fields) {
+      (void)value;
+      if (std::find(columns.begin(), columns.end(), key) == columns.end()) {
+        columns.push_back(key);
+      }
+    }
+  }
+  std::string out = "runner,round";
+  for (const auto& c : columns) out += "," + c;
+  out += "\n";
+  for (const auto& record : records_) {
+    out += record.runner + "," + std::to_string(record.round);
+    for (const auto& c : columns) {
+      out += ",";
+      if (record.has(c)) out += fmt_double(record.get(c));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Recorder::summary() const {
+  std::vector<std::string> columns;
+  for (const auto& record : records_) {
+    for (const auto& [key, value] : record.fields) {
+      (void)value;
+      if (std::find(columns.begin(), columns.end(), key) == columns.end()) {
+        columns.push_back(key);
+      }
+    }
+  }
+  std::string out = "field: p50 / p95 / p99 over " + std::to_string(records_.size()) +
+                    " record(s)\n";
+  char buf[160];
+  for (const auto& c : columns) {
+    std::vector<double> xs;
+    for (const auto& record : records_) {
+      if (record.has(c)) xs.push_back(record.get(c));
+    }
+    if (xs.empty()) continue;
+    std::snprintf(buf, sizeof(buf), "  %-24s %.6g / %.6g / %.6g\n", c.c_str(),
+                  util::percentile(xs, 50.0), util::percentile(xs, 95.0),
+                  util::percentile(xs, 99.0));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace abdhfl::obs

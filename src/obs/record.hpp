@@ -1,0 +1,62 @@
+#pragma once
+// Per-round run records: the machine-readable time series behind every
+// paper claim (Table V accuracy trajectories, Fig. 3 convergence bands,
+// pipeline speedups).
+//
+// A runner calls begin_round() once per global round and fills the returned
+// record with named numeric fields (phase wall-clock splits, filtered-update
+// counts, consensus traffic, accuracy, ...).  Field order is preserved, so
+// exports read in the order the runner emitted.  The Recorder is single-
+// writer: runners emit rounds from one thread; exports happen after run().
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace abdhfl::obs {
+
+struct RoundRecord {
+  std::string runner;  // "hfl", "vanilla", "async", "pipeline"
+  std::size_t round = 0;
+  std::vector<std::pair<std::string, double>> fields;  // insertion-ordered
+
+  /// Overwrite an existing field or append a new one.
+  void set(const std::string& key, double value);
+  [[nodiscard]] double get(const std::string& key, double def = 0.0) const noexcept;
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+};
+
+class Recorder {
+ public:
+  /// Append a record.  Context fields (set_context) are pre-populated so a
+  /// sweep harness can tag every round of one run with e.g. the malicious
+  /// fraction of that grid point.
+  RoundRecord& begin_round(std::string runner, std::size_t round);
+
+  void set_context(const std::string& key, double value);
+  void clear_context();
+
+  [[nodiscard]] const std::vector<RoundRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// One flat JSON object per line: {"runner":"hfl","round":0,...}.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// CSV with the union of all field names, ordered by first appearance;
+  /// rounds missing a field leave its cell empty.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Human summary: per field, p50/p95/p99 across all records (percentiles
+  /// from util::percentile).  Meant for a quick look at where round time
+  /// goes without leaving the terminal.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<RoundRecord> records_;
+  std::vector<std::pair<std::string, double>> context_;
+};
+
+}  // namespace abdhfl::obs

@@ -1,0 +1,94 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/export.hpp"
+
+namespace abdhfl::obs {
+
+namespace {
+thread_local std::uint32_t t_span_depth = 0;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceBuffer::push(const TraceEvent& ev) {
+  std::lock_guard lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+double TraceBuffer::seconds_since_epoch() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+Span::Span(TraceBuffer* buffer, const char* kind, std::size_t round,
+           std::uint32_t subject, std::size_t level)
+    : buffer_(buffer), kind_(kind), round_(round), subject_(subject), level_(level) {
+  if (!buffer_) return;
+  depth_ = t_span_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!buffer_) return;
+  --t_span_depth;
+  const auto end = std::chrono::steady_clock::now();
+  TraceEvent ev;
+  ev.time = buffer_->seconds_since_epoch() -
+            std::chrono::duration<double>(end - start_).count();
+  ev.round = round_;
+  ev.kind = kind_;
+  ev.subject = subject_;
+  ev.level = level_;
+  ev.duration = std::chrono::duration<double>(end - start_).count();
+  ev.depth = depth_;
+  buffer_->push(ev);
+}
+
+std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
+  std::string out = "time,round,kind,subject,level,duration,depth\n";
+  char buf[192];
+  for (const auto& ev : trace) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%zu,%s,%u,%zu,%.6f,%u\n", ev.time, ev.round,
+                  ev.kind, ev.subject, ev.level, ev.duration, ev.depth);
+    out += buf;
+  }
+  return out;
+}
+
+std::string trace_to_jsonl(const std::vector<TraceEvent>& trace) {
+  std::string out;
+  char buf[256];
+  for (const auto& ev : trace) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"time\":%.6f,\"round\":%zu,\"kind\":\"%s\",\"subject\":%u,"
+                  "\"level\":%zu,\"duration\":%.6f,\"depth\":%u}\n",
+                  ev.time, ev.round, json_escape(ev.kind).c_str(), ev.subject, ev.level,
+                  ev.duration, ev.depth);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace abdhfl::obs

@@ -1,0 +1,106 @@
+#pragma once
+// Bounded in-memory tracing: instantaneous events and nested RAII spans.
+//
+// One TraceEvent type serves both clocks in the system: the discrete-event
+// runners push events stamped with *simulated* seconds (the Fig. 2
+// timeline), and wall-clock Spans push events stamped with real seconds
+// since their buffer's construction.  The buffer is a hard-bounded vector —
+// when full, new events are dropped and counted rather than growing without
+// limit inside a long run.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace abdhfl::obs {
+
+struct TraceEvent {
+  double time = 0.0;      // seconds: simulated time, or wall time since the buffer epoch
+  std::size_t round = 0;
+  const char* kind = "";  // static-lifetime string ("train", "agg_done", ...)
+  std::uint32_t subject = 0;  // device id / cluster index, event-family defined
+  std::size_t level = 0;      // tree level for aggregation events (0 = top)
+  double duration = 0.0;      // seconds; 0 = instantaneous event
+  std::uint32_t depth = 0;    // span nesting depth (0 = outermost)
+};
+
+/// Thread-safe bounded event sink.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = std::size_t{1} << 16);
+
+  /// Append; silently dropped (and counted) once the buffer is full.
+  void push(const TraceEvent& ev);
+
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Wall seconds elapsed since this buffer was constructed (the epoch every
+  /// Span's `time` is relative to).
+  [[nodiscard]] double seconds_since_epoch() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII wall-clock span.  Construction notes the start, destruction records
+/// one TraceEvent with `time` = start offset and `duration` = elapsed.
+/// Spans nest: a thread-local depth counter tags each event so an exporter
+/// can rebuild the train -> aggregate -> consensus -> broadcast hierarchy.
+/// A null buffer makes the span inert (no clock reads).
+class Span {
+ public:
+  Span(TraceBuffer* buffer, const char* kind, std::size_t round = 0,
+       std::uint32_t subject = 0, std::size_t level = 0);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  const char* kind_;
+  std::size_t round_;
+  std::uint32_t subject_;
+  std::size_t level_;
+  std::uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// RAII accumulator: adds its elapsed wall seconds to `acc` on destruction.
+/// The cheap building block for per-round phase splits (the runner keeps a
+/// plain double per phase and sums Scoped sections into it).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& acc) noexcept
+      : acc_(&acc), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { *acc_ += elapsed(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction.
+  [[nodiscard]] double elapsed() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// CSV rendering: time,round,kind,subject,level,duration,depth.
+[[nodiscard]] std::string trace_to_csv(const std::vector<TraceEvent>& trace);
+
+/// JSONL rendering: one {"time":...,"kind":...} object per line.
+[[nodiscard]] std::string trace_to_jsonl(const std::vector<TraceEvent>& trace);
+
+}  // namespace abdhfl::obs

@@ -1,6 +1,9 @@
 #include "sim/network.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace abdhfl::sim {
 
@@ -40,12 +43,34 @@ void Network::send(Message msg, std::uint32_t link_class) {
   ++cls.messages;
   cls.bytes += msg.bytes;
 
+  if (obs::enabled()) {
+    auto& counters = obs_counters(link_class);
+    counters.messages->add(1);
+    counters.bytes->add(msg.bytes);
+  }
+
   // Copy the handler reference lookup into the event: the handler map can
   // grow while events are in flight, so resolve at delivery time.
   sim_.schedule_after(delay, [this, msg = std::move(msg)]() {
     const auto handler_it = handlers_.find(msg.to);
     if (handler_it != handlers_.end()) handler_it->second(msg);
   });
+}
+
+Network::ClassCounters& Network::obs_counters(std::uint32_t link_class) {
+  auto it = obs_counters_.find(link_class);
+  if (it == obs_counters_.end()) {
+    const std::string label = "{link_class=\"" + std::to_string(link_class) + "\"}";
+    auto& registry = obs::global_registry();
+    ClassCounters counters;
+    counters.messages =
+        &registry.counter("sim_network_messages_total" + label,
+                          "Messages sent over links of this class");
+    counters.bytes = &registry.counter("sim_network_bytes_total" + label,
+                                       "Bytes sent over links of this class");
+    it = obs_counters_.emplace(link_class, counters).first;
+  }
+  return it->second;
 }
 
 TrafficStats Network::class_totals(std::uint32_t link_class) const {

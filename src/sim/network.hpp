@@ -16,6 +16,10 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace abdhfl::obs {
+class Counter;
+}
+
 namespace abdhfl::sim {
 
 using NodeId = std::uint32_t;
@@ -70,6 +74,16 @@ class Network {
   std::unordered_map<NodeId, Handler> handlers_;
   TrafficStats totals_;
   std::unordered_map<std::uint32_t, TrafficStats> per_class_;
+
+  // Lazily created global-registry counters per link class, one pair of
+  // pointers cached so the hot send() path does a map probe instead of a
+  // registry lookup.  Populated only while obs::enabled().
+  struct ClassCounters {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  ClassCounters& obs_counters(std::uint32_t link_class);
+  std::unordered_map<std::uint32_t, ClassCounters> obs_counters_;
 };
 
 }  // namespace abdhfl::sim

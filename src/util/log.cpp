@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
 
 namespace abdhfl::util {
 
@@ -45,12 +47,41 @@ void vlog(LogLevel level, const char* file, int line, const char* fmt, ...) {
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] ", level_name(level), base, line);
+  // Format the whole message (prefix + body + newline) into one buffer and
+  // emit it with a single fwrite: pool workers log concurrently, and
+  // separate fprintf/vfprintf/fputc calls let two threads interleave partial
+  // lines.  stderr is unbuffered, so one fwrite is one write() call.
+  char stack_buf[1024];
+  char* buf = stack_buf;
+  std::vector<char> heap_buf;
+  const int prefix =
+      std::snprintf(stack_buf, sizeof(stack_buf), "[%s %s:%d] ", level_name(level),
+                    base, line);
+  if (prefix < 0) return;
+  auto head = static_cast<std::size_t>(prefix);
+  if (head >= sizeof(stack_buf)) head = sizeof(stack_buf) - 1;
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_retry;
+  va_copy(args_retry, args);
+  const int body =
+      std::vsnprintf(stack_buf + head, sizeof(stack_buf) - head, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  std::size_t len = head;
+  if (body >= 0) {
+    len += static_cast<std::size_t>(body);
+    if (len + 1 > sizeof(stack_buf)) {
+      // Truncated: redo the body into an exactly sized heap buffer.
+      heap_buf.resize(len + 2);
+      std::memcpy(heap_buf.data(), stack_buf, head);
+      std::vsnprintf(heap_buf.data() + head, heap_buf.size() - head, fmt, args_retry);
+      buf = heap_buf.data();
+    }
+  }
+  va_end(args_retry);
+  buf[len] = '\n';
+  std::fwrite(buf, 1, len + 1, stderr);
 }
 }  // namespace detail
 

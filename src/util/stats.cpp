@@ -44,6 +44,18 @@ double median_of(std::span<const double> xs) {
   return 0.5 * (lo + hi);
 }
 
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
 double ci95_halfwidth(std::span<const double> xs) noexcept {
   if (xs.size() < 2) return 0.0;
   return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));

@@ -22,6 +22,12 @@ namespace abdhfl::util {
 /// Median (copies and partially sorts its input).
 [[nodiscard]] double median_of(std::span<const double> xs);
 
+/// Linear-interpolation percentile, p in [0, 100] (p=50 matches median_of;
+/// p=0/100 are min/max).  Copies and sorts its input.  Used by the
+/// observability exporters for p50/p95/p99 latency summaries.  Throws on
+/// empty input or p outside [0, 100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
 /// Half-width of the ~95% confidence interval of the mean, using the normal
 /// approximation (1.96 * s / sqrt(n)).  Good enough for the 5-run bands the
 /// paper plots; returns 0 for fewer than two samples.

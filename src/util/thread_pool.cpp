@@ -27,6 +27,22 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  {
+    std::lock_guard lock(mutex_);
+    s.queue_depth = queue_.size();
+  }
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  s.wait_seconds =
+      static_cast<double>(wait_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.busy_seconds =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -17,8 +17,11 @@
 // the queue never drains, so from worker context either avoid waiting or use
 // parallel_for, which is safe by construction.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -39,15 +42,48 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Instrumentation snapshot for the observability layer.  wait_seconds is
+  /// total enqueue-to-start latency and busy_seconds total execution time of
+  /// queued tasks (parallel_for chunks the caller runs inline are not queued
+  /// and therefore not counted here).  Counters are relaxed atomics bumped
+  /// per task — noise next to the queue's mutex + condition variable — so
+  /// metering is always on.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::size_t queue_depth = 0;    // at snapshot time
+    std::uint64_t queue_peak = 0;   // high-water depth since construction
+    double wait_seconds = 0.0;
+    double busy_seconds = 0.0;
+  };
+  [[nodiscard]] Stats stats() const;
+
   /// Enqueue a task; returns a future for its completion.
   template <class F>
   std::future<void> submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     std::future<void> fut = task->get_future();
+    const auto enqueued = std::chrono::steady_clock::now();
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace([task]() mutable { (*task)(); });
+      queue_.emplace([this, task, enqueued]() mutable {
+        const auto begin = std::chrono::steady_clock::now();
+        wait_ns_.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(begin - enqueued)
+                .count(),
+            std::memory_order_relaxed);
+        (*task)();
+        busy_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - begin)
+                               .count(),
+                           std::memory_order_relaxed);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      });
+      if (queue_.size() > queue_peak_.load(std::memory_order_relaxed)) {
+        queue_peak_.store(queue_.size(), std::memory_order_relaxed);
+      }
     }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
     cv_.notify_one();
     return fut;
   }
@@ -75,9 +111,15 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> queue_peak_{0};
+  std::atomic<std::int64_t> wait_ns_{0};
+  std::atomic<std::int64_t> busy_ns_{0};
 };
 
 /// Process-wide pool, lazily constructed.  Experiment binaries share it.

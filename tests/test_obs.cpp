@@ -1,0 +1,417 @@
+// Unit and integration tests for src/obs: striped metrics, the bounded
+// trace buffer, per-round records, the exporters, and an end-to-end check
+// that a real HFL run emits coherent per-round telemetry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+#include "sim/latency.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace abdhfl::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Histogram semantics.
+
+TEST(ObsMetrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(ObsMetrics, HistogramBucketsSumCount) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0
+  h.observe(0.5);    // bucket 1
+  h.observe(1.0);    // bucket 2 (bounds are upper bounds, 1.0 <= 1.0)
+  h.observe(100.0);  // +Inf bucket
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.05 + 0.5 + 1.0 + 100.0);
+}
+
+TEST(ObsMetrics, ExponentialBounds) {
+  const auto bounds = exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+
+TEST(ObsRegistry, IdempotentRegistrationReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", "help");
+  Counter& b = reg.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("m");
+  EXPECT_THROW(reg.gauge("m"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("m", {1.0}), std::invalid_argument);
+}
+
+TEST(ObsRegistry, ScrapeIsSortedAndMerged) {
+  MetricsRegistry reg;
+  reg.counter("b_total").add(2);
+  reg.gauge("a_gauge").set(7.0);
+  reg.histogram("c_seconds", {1.0}).observe(0.5);
+  const auto snap = reg.scrape();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a_gauge");
+  EXPECT_EQ(snap[1].name, "b_total");
+  EXPECT_EQ(snap[2].name, "c_seconds");
+  EXPECT_DOUBLE_EQ(snap[0].value, 7.0);
+  EXPECT_DOUBLE_EQ(snap[1].value, 2.0);
+  EXPECT_EQ(snap[2].count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-merge correctness under contention: 8 threads hammer one counter and
+// one histogram; merged totals must be exact.  (Runs under TSan in CI.)
+
+TEST(ObsMetrics, ConcurrentHammerMergesExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  Counter counter;
+  Histogram histogram({0.5});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.add(1);
+        histogram.observe(t % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  const auto buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0] + buckets[1], static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kThreads / 2) * kIters);
+}
+
+TEST(ObsMetrics, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) reg.counter("shared_total").add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared_total").value(), static_cast<std::uint64_t>(kThreads) * 500);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST(ObsExport, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.counter("requests_total", "Requests seen").add(3);
+  reg.gauge("depth").set(2.5);
+  auto& h = reg.histogram("lat_seconds", {0.1, 1.0}, "Latency");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const auto text = to_prometheus(reg.scrape());
+  EXPECT_NE(text.find("# HELP requests_total Requests seen\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 2.5\n"), std::string::npos);
+  // Cumulative buckets: le=0.1 -> 1, le=1 -> 2, +Inf -> 3.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(ObsExport, PrometheusSplitsBakedInSelector) {
+  MetricsRegistry reg;
+  reg.counter("msgs_total{link_class=\"0\"}", "Messages").add(4);
+  reg.counter("msgs_total{link_class=\"1\"}").add(6);
+  const auto text = to_prometheus(reg.scrape());
+  // One family header, two labeled samples.
+  EXPECT_NE(text.find("# TYPE msgs_total counter\n"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE msgs_total counter",
+                      text.find("# TYPE msgs_total counter") + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("msgs_total{link_class=\"0\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("msgs_total{link_class=\"1\"} 6\n"), std::string::npos);
+}
+
+TEST(ObsExport, MetricsJsonl) {
+  MetricsRegistry reg;
+  reg.counter("a_total").add(1);
+  reg.histogram("h_seconds", {1.0}).observe(0.5);
+  const auto text = metrics_to_jsonl(reg.scrape());
+  EXPECT_NE(text.find("{\"name\":\"a_total\",\"kind\":\"counter\",\"value\":1}\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("{\"name\":\"h_seconds\",\"kind\":\"histogram\",\"sum\":0.5,"
+                      "\"count\":1,\"bounds\":[1],\"buckets\":[1,0]}\n"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer and spans.
+
+TEST(ObsTrace, BufferBoundsAndCountsDrops) {
+  TraceBuffer buffer(4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    buffer.push(TraceEvent{static_cast<double>(i), i, "ev"});
+  }
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].time, 0.0);  // oldest kept, newest dropped
+  EXPECT_DOUBLE_EQ(events[3].time, 3.0);
+}
+
+TEST(ObsTrace, SpansRecordNestingDepthAndDuration) {
+  TraceBuffer buffer;
+  {
+    Span outer(&buffer, "round", 7);
+    { Span inner(&buffer, "train", 7, 3, 2); }
+  }
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner span finishes (and records) first.
+  EXPECT_STREQ(events[0].kind, "train");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[0].subject, 3u);
+  EXPECT_EQ(events[0].level, 2u);
+  EXPECT_STREQ(events[1].kind, "round");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_EQ(events[1].round, 7u);
+  EXPECT_GE(events[1].duration, events[0].duration);
+}
+
+TEST(ObsTrace, NullBufferSpanIsInert) {
+  Span span(nullptr, "noop");  // must not crash or record anywhere
+}
+
+TEST(ObsTrace, CsvAndJsonlRenderings) {
+  std::vector<TraceEvent> trace = {{1.5, 2, "train", 4, 1, 0.25, 1}};
+  const auto csv = trace_to_csv(trace);
+  EXPECT_NE(csv.find("time,round,kind,subject,level,duration,depth"), std::string::npos);
+  EXPECT_NE(csv.find("1.500000,2,train,4,1,0.250000,1"), std::string::npos);
+  const auto jsonl = trace_to_jsonl(trace);
+  EXPECT_NE(jsonl.find("\"kind\":\"train\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"duration\":0.25"), std::string::npos);
+}
+
+TEST(ObsTrace, ScopedTimerAccumulates) {
+  double acc = 0.0;
+  { ScopedTimer t(acc); }
+  { ScopedTimer t(acc); }
+  EXPECT_GE(acc, 0.0);
+  double second = acc;
+  { ScopedTimer t(second); }
+  EXPECT_GE(second, acc);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder.
+
+TEST(ObsRecorder, ContextTagsEveryRecord) {
+  Recorder recorder;
+  recorder.set_context("grid", 3.0);
+  auto& r0 = recorder.begin_round("hfl", 0);
+  r0.set("accuracy", 0.5);
+  recorder.set_context("grid", 4.0);
+  auto& r1 = recorder.begin_round("hfl", 1);
+  r1.set("accuracy", 0.75);
+  ASSERT_EQ(recorder.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.records()[0].get("grid"), 3.0);
+  EXPECT_DOUBLE_EQ(recorder.records()[1].get("grid"), 4.0);
+  recorder.clear_context();
+  auto& r2 = recorder.begin_round("vanilla", 0);
+  EXPECT_FALSE(r2.has("grid"));
+}
+
+TEST(ObsRecorder, JsonlRoundTrips) {
+  Recorder recorder;
+  auto& rec = recorder.begin_round("hfl", 2);
+  rec.set("round_s", 0.5);
+  rec.set("accuracy", 0.875);
+  EXPECT_EQ(recorder.to_jsonl(),
+            "{\"runner\":\"hfl\",\"round\":2,\"round_s\":0.5,\"accuracy\":0.875}\n");
+}
+
+TEST(ObsRecorder, CsvUnionsColumnsInFirstAppearanceOrder) {
+  Recorder recorder;
+  recorder.begin_round("hfl", 0).set("a", 1.0);
+  auto& second = recorder.begin_round("vanilla", 0);
+  second.set("b", 2.0);
+  second.set("a", 3.0);
+  const auto csv = recorder.to_csv();
+  EXPECT_NE(csv.find("runner,round,a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("hfl,0,1,\n"), std::string::npos);
+  EXPECT_NE(csv.find("vanilla,0,3,2\n"), std::string::npos);
+}
+
+TEST(ObsRecorder, SummaryListsPercentiles) {
+  Recorder recorder;
+  for (std::size_t r = 0; r < 10; ++r) {
+    recorder.begin_round("hfl", r).set("round_s", static_cast<double>(r));
+  }
+  const auto summary = recorder.summary();
+  EXPECT_NE(summary.find("round_s"), std::string::npos);
+  EXPECT_NE(summary.find("p50 / p95 / p99"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sim network wiring: sends feed per-link-class counters in the global
+// registry while enabled, and cost nothing while disabled.
+
+TEST(ObsNetwork, SendFeedsPerLinkClassCounters) {
+  const bool was_enabled = enabled();
+  set_enabled(true);
+  sim::Simulator sim;
+  util::Rng rng(3);
+  sim::Network net(sim, rng);
+  net.set_default_latency(std::make_unique<sim::FixedLatency>(1.0));
+  net.register_node(1, [](const sim::Message&) {});
+
+  auto& reg = global_registry();
+  const auto msgs_before =
+      reg.counter("sim_network_messages_total{link_class=\"7\"}").value();
+  const auto bytes_before =
+      reg.counter("sim_network_bytes_total{link_class=\"7\"}").value();
+
+  net.send({0, 1, 0, 0, 100, nullptr}, /*link_class=*/7);
+  net.send({0, 1, 0, 0, 50, nullptr}, /*link_class=*/7);
+  set_enabled(false);
+  net.send({0, 1, 0, 0, 999, nullptr}, /*link_class=*/7);  // not counted
+  sim.run();
+  set_enabled(was_enabled);
+
+  EXPECT_EQ(reg.counter("sim_network_messages_total{link_class=\"7\"}").value(),
+            msgs_before + 2);
+  EXPECT_EQ(reg.counter("sim_network_bytes_total{link_class=\"7\"}").value(),
+            bytes_before + 150);
+  EXPECT_EQ(net.totals().messages, 3u);  // plain metering is unconditional
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a small real run emits per-round records whose phase splits
+// sum to (at most) the round wall-clock, with the rule and pool telemetry
+// present.  Loose bounds only — CI machines are noisy.
+
+TEST(ObsEndToEnd, HflRunEmitsCoherentRoundRecords) {
+  const bool was_enabled = enabled();
+  set_enabled(true);
+
+  core::ScenarioConfig config;
+  config.learn.rounds = 2;
+  config.samples_per_class = 20;
+  config.test_samples_per_class = 10;
+  config.malicious_fraction = 0.2;
+  config.seed = 7;
+
+  Recorder recorder;
+  TraceBuffer trace;
+  config.recorder = &recorder;
+  config.trace = &trace;
+
+  const auto result = core::run_scenario(config);
+  set_enabled(was_enabled);
+  EXPECT_GT(result.abdhfl.final_accuracy, 0.0);
+
+  std::size_t hfl_records = 0, vanilla_records = 0;
+  for (const auto& rec : recorder.records()) {
+    if (rec.runner == "hfl") {
+      ++hfl_records;
+      const double round_s = rec.get("round_s");
+      const double phases = rec.get("train_s") + rec.get("partial_agg_s") +
+                            rec.get("global_agg_s") + rec.get("broadcast_s") +
+                            rec.get("eval_s");
+      EXPECT_GT(round_s, 0.0);
+      EXPECT_GT(rec.get("train_s"), 0.0);
+      EXPECT_LE(phases, round_s + 0.01);  // phases nest inside the round
+      EXPECT_GT(phases, 0.25 * round_s);  // ...and cover most of it
+      // Rule telemetry: every partial aggregation saw the full cluster.
+      EXPECT_GT(rec.get("bra_calls"), 0.0);
+      EXPECT_GT(rec.get("bra_inputs"), 0.0);
+      EXPECT_GE(rec.get("bra_filtered"), 0.0);
+      EXPECT_EQ(rec.get("bra_filtered"),
+                rec.get("bra_inputs") - rec.get("bra_kept"));
+      // Consensus and pool telemetry present.
+      EXPECT_GT(rec.get("cba_messages"), 0.0);
+      EXPECT_TRUE(rec.has("pool_utilization"));
+      EXPECT_GE(rec.get("pool_utilization"), 0.0);
+      EXPECT_GT(rec.get("messages"), 0.0);
+      EXPECT_TRUE(rec.has("inputs_l1"));
+    } else if (rec.runner == "vanilla") {
+      ++vanilla_records;
+      EXPECT_TRUE(rec.has("agg_filtered"));
+      EXPECT_GT(rec.get("round_s"), 0.0);
+    }
+  }
+  EXPECT_EQ(hfl_records, config.learn.rounds);
+  EXPECT_EQ(vanilla_records, config.learn.rounds);
+
+  // The trace contains the nested phase spans for each round.
+  bool saw_round = false, saw_train = false;
+  for (const auto& ev : trace.snapshot()) {
+    if (std::string(ev.kind) == "round") saw_round = true;
+    if (std::string(ev.kind) == "train") saw_train = true;
+  }
+  EXPECT_TRUE(saw_round);
+  EXPECT_TRUE(saw_train);
+
+  // The run also fed the global registry.
+  const auto snap = global_registry().scrape();
+  bool saw_rounds_total = false;
+  for (const auto& m : snap) {
+    if (m.name == "hfl_rounds_total") {
+      saw_rounds_total = true;
+      EXPECT_GE(m.value, static_cast<double>(config.learn.rounds));
+    }
+  }
+  EXPECT_TRUE(saw_rounds_total);
+}
+
+}  // namespace
+}  // namespace abdhfl::obs

@@ -1,13 +1,16 @@
-// Unit tests for src/util: RNG, statistics, tables, CLI, thread pool.
+// Unit tests for src/util: RNG, statistics, tables, CLI, logging, thread pool.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -170,6 +173,25 @@ TEST(Stats, PointwiseRaggedThrows) {
   EXPECT_THROW(pointwise_mean(ragged), std::invalid_argument);
 }
 
+TEST(Stats, PercentileInterpolatesLinearly) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), median_of(xs));
+  // Rank 0.75 between the 1st and 2nd order statistics.
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Stats, PercentileSingleElementAndErrors) {
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.0);
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 100.5), std::invalid_argument);
+}
+
 TEST(Table, TextAndArity) {
   Table t({"a", "b"});
   t.add_row({"1", "22"});
@@ -318,6 +340,75 @@ TEST(ThreadPool, SubmitFromWorkerWithoutWaitingIsSafe) {
   });
   for (auto& f : futs) f.wait();  // safe: waited from the non-worker caller
   EXPECT_EQ(inner.load(), 4);
+}
+
+TEST(ThreadPool, StatsCountTasksAndTime) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.wait();
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GE(stats.queue_peak, 1u);
+  EXPECT_GE(stats.wait_seconds, 0.0);
+  EXPECT_GE(stats.busy_seconds, 0.0);
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(Log, LevelParsingAndNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("loud"), std::invalid_argument);
+  EXPECT_STREQ(level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Log, ConcurrentWritersEmitWholeLines) {
+  // vlog formats the entire message and emits it with one fwrite to the
+  // unbuffered stderr stream, so lines from concurrent pool workers must
+  // never interleave.  Every captured line has exactly one prefix and the
+  // full "worker W line L" body.
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i) LOG_ERROR("worker %d line %d", t, i);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+
+  std::istringstream in(captured);
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ++count;
+    EXPECT_EQ(line.rfind("[ERROR test_util.cpp:", 0), 0u) << line;
+    EXPECT_NE(line.find("] worker "), std::string::npos) << line;
+    EXPECT_NE(line.find(" line "), std::string::npos) << line;
+    // Exactly one message per line: a second '[' would mean interleaving.
+    EXPECT_EQ(line.find('[', 1), std::string::npos) << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
+
+TEST(Log, LongMessageSurvivesHeapFallback) {
+  // Messages longer than vlog's stack buffer are reformatted on the heap;
+  // the tail must not be truncated.
+  testing::internal::CaptureStderr();
+  const std::string payload(2000, 'x');
+  LOG_ERROR("%s-end", payload.c_str());
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find(payload + "-end\n"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+// validate_jsonl — schema-lite checker for the per-round metrics JSONL that
+// the runners emit via --metrics-out (DESIGN.md §7).
+//
+// Every line must be a flat JSON object with a "runner" string and a
+// "round" number; any further keys listed on the command line must be
+// present on every line as numbers.  The parser accepts exactly what
+// obs::Recorder::to_jsonl() produces (flat objects, string or numeric
+// values, JSON string escapes) — it is a validator for our own exporter,
+// not a general JSON library.
+//
+//   ./validate_jsonl run.jsonl [required-key ...]
+//
+// Exits 0 and prints a one-line summary when every line passes; exits 1
+// with the offending line number and reason otherwise.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Value {
+  bool is_string = false;
+  std::string text;  // raw string payload or numeric literal
+};
+
+// Parses a flat JSON object into key -> value.  Returns std::nullopt and
+// fills `error` on malformed input; nested objects/arrays are rejected.
+std::optional<std::map<std::string, Value>> parse_flat_object(const std::string& line,
+                                                              std::string& error) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  };
+  const auto parse_string = [&](std::string& out) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        if (i >= line.size()) return false;
+        switch (line[i]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (i + 4 >= line.size()) return false;
+            out.push_back('?');  // presence check only; code point dropped
+            i += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(line[i]);
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  std::map<std::string, Value> fields;
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') {
+    error = "line does not start with '{'";
+    return std::nullopt;
+  }
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) {
+        error = "expected a quoted key";
+        return std::nullopt;
+      }
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') {
+        error = "expected ':' after key \"" + key + "\"";
+        return std::nullopt;
+      }
+      ++i;
+      skip_ws();
+      Value value;
+      if (i < line.size() && line[i] == '"') {
+        value.is_string = true;
+        if (!parse_string(value.text)) {
+          error = "unterminated string value for key \"" + key + "\"";
+          return std::nullopt;
+        }
+      } else {
+        const std::size_t start = i;
+        while (i < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[i])) || line[i] == '-' ||
+                line[i] == '+' || line[i] == '.' || line[i] == 'e' || line[i] == 'E')) {
+          ++i;
+        }
+        value.text = line.substr(start, i - start);
+        if (value.text.empty()) {
+          error = "non-numeric, non-string value for key \"" + key + "\"";
+          return std::nullopt;
+        }
+        char* end = nullptr;
+        (void)std::strtod(value.text.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          error = "malformed number '" + value.text + "' for key \"" + key + "\"";
+          return std::nullopt;
+        }
+      }
+      fields[key] = std::move(value);
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      error = "expected ',' or '}' in object";
+      return std::nullopt;
+    }
+  }
+  skip_ws();
+  if (i != line.size()) {
+    error = "trailing characters after object";
+    return std::nullopt;
+  }
+  return fields;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.jsonl> [required-key ...]\n", argv[0]);
+    return 1;
+  }
+  std::vector<std::string> required;
+  for (int a = 2; a < argc; ++a) required.emplace_back(argv[a]);
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "validate_jsonl: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t records = 0;
+  std::map<std::string, std::size_t> per_runner;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+
+    std::string error;
+    const auto fields = parse_flat_object(line, error);
+    if (!fields) {
+      std::fprintf(stderr, "validate_jsonl: %s:%zu: %s\n", argv[1], lineno, error.c_str());
+      return 1;
+    }
+
+    const auto runner = fields->find("runner");
+    if (runner == fields->end() || !runner->second.is_string ||
+        runner->second.text.empty()) {
+      std::fprintf(stderr, "validate_jsonl: %s:%zu: missing \"runner\" string\n",
+                   argv[1], lineno);
+      return 1;
+    }
+    const auto round = fields->find("round");
+    if (round == fields->end() || round->second.is_string) {
+      std::fprintf(stderr, "validate_jsonl: %s:%zu: missing \"round\" number\n",
+                   argv[1], lineno);
+      return 1;
+    }
+    for (const auto& key : required) {
+      const auto it = fields->find(key);
+      if (it == fields->end()) {
+        std::fprintf(stderr, "validate_jsonl: %s:%zu: missing required key \"%s\"\n",
+                     argv[1], lineno, key.c_str());
+        return 1;
+      }
+      if (it->second.is_string && key != "runner") {
+        std::fprintf(stderr, "validate_jsonl: %s:%zu: key \"%s\" is not a number\n",
+                     argv[1], lineno, key.c_str());
+        return 1;
+      }
+    }
+    ++records;
+    ++per_runner[runner->second.text];
+  }
+
+  if (records == 0) {
+    std::fprintf(stderr, "validate_jsonl: %s: no records\n", argv[1]);
+    return 1;
+  }
+
+  std::ostringstream summary;
+  summary << records << " record(s) OK";
+  for (const auto& [name, count] : per_runner) {
+    summary << "  " << name << "=" << count;
+  }
+  std::printf("validate_jsonl: %s: %s\n", argv[1], summary.str().c_str());
+  return 0;
+}
