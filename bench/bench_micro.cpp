@@ -13,12 +13,21 @@
 // Run via google-benchmark:  ./bench_micro [--benchmark_filter=...]
 // JSON export for EXPERIMENTS.md: --benchmark_out=micro.json
 //                                 --benchmark_out_format=json
+// Compact CI artifact:            --bench-json=BENCH_micro.json
+//   (one entry per benchmark: op, n/d/threads parsed from the name, median
+//   per-iteration nanoseconds across repetitions — the file CI uploads so
+//   perf drift is visible without parsing google-benchmark's full schema).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "agg/aggregator.hpp"
 #include "consensus/voting.hpp"
@@ -225,12 +234,121 @@ void BM_Quantize(benchmark::State& state) {
 }
 BENCHMARK(BM_Quantize)->Args({10000, 8})->Args({10000, 4})->Args({100000, 8});
 
+/// Console reporter that additionally accumulates per-run timings so main()
+/// can write the compact BENCH_micro.json artifact.  Benchmark names follow
+/// "<op>[/<rule>]/<n>/<d>/<threads>" with a variable number of numeric args;
+/// the non-numeric prefix is the op and the numeric tail maps to n/d/threads
+/// (missing positions default to 0/0/1).
+class MicroJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string op;
+    std::int64_t n = 0;
+    std::int64_t d = 0;
+    std::int64_t threads = 1;
+    std::vector<double> ns_per_iter;  // one sample per repetition
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || !run.aggregate_name.empty() ||
+          run.iterations == 0) {
+        continue;
+      }
+      Entry& e = entries_[run.benchmark_name()];
+      if (e.op.empty()) parse_name(run.benchmark_name(), e);
+      e.ns_per_iter.push_back(run.real_accumulated_time /
+                              static_cast<double>(run.iterations) * 1e9);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Writes the accumulated entries as a JSON array.  Returns false when the
+  /// file cannot be opened.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+      std::vector<double> xs = e.ns_per_iter;
+      std::sort(xs.begin(), xs.end());
+      const double median = xs.empty() ? 0.0
+                            : xs.size() % 2 == 1
+                                ? xs[xs.size() / 2]
+                                : 0.5 * (xs[xs.size() / 2 - 1] + xs[xs.size() / 2]);
+      if (!first) out << ",\n";
+      first = false;
+      out << "  {\"name\": \"" << name << "\", \"op\": \"" << e.op
+          << "\", \"n\": " << e.n << ", \"d\": " << e.d
+          << ", \"threads\": " << e.threads << ", \"median_ns\": " << median
+          << ", \"repetitions\": " << xs.size() << "}";
+    }
+    out << "\n]\n";
+    return out.good();
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  static void parse_name(const std::string& name, Entry& e) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= name.size()) {
+      const std::size_t slash = name.find('/', start);
+      parts.push_back(name.substr(start, slash - start));
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+    std::vector<std::int64_t> args;
+    std::string op;
+    for (const std::string& part : parts) {
+      char* end = nullptr;
+      const long long v = std::strtoll(part.c_str(), &end, 10);
+      const bool numeric = !part.empty() && end != nullptr && *end == '\0';
+      if (numeric && !op.empty()) {
+        args.push_back(v);
+      } else {
+        op = op.empty() ? part : op + "/" + part;
+      }
+    }
+    e.op = op;
+    if (!args.empty()) e.n = args[0];
+    if (args.size() > 1) e.d = args[1];
+    if (args.size() > 2) e.threads = args[2];
+  }
+
+  std::map<std::string, Entry> entries_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Extract our --bench-json=PATH flag before google-benchmark sees (and
+  // rejects) it.
+  std::string bench_json;
+  int kept_argc = 1;
+  for (int a = 1; a < argc; ++a) {
+    constexpr const char* kFlag = "--bench-json=";
+    if (std::strncmp(argv[a], kFlag, std::strlen(kFlag)) == 0) {
+      bench_json = argv[a] + std::strlen(kFlag);
+    } else {
+      argv[kept_argc++] = argv[a];
+    }
+  }
+  argc = kept_argc;
+
   CheckParallelDeterminism();
   RegisterAggBenches();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  MicroJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!bench_json.empty()) {
+    if (reporter.empty() || !reporter.write(bench_json)) {
+      std::fprintf(stderr, "bench_micro: failed to write %s\n", bench_json.c_str());
+      return 1;
+    }
+    std::printf("bench_micro: wrote %s\n", bench_json.c_str());
+  }
   return 0;
 }

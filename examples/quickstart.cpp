@@ -6,6 +6,7 @@
 // ABD-HFL next to the vanilla-FL baseline.
 //
 //   ./quickstart [--rounds 20] [--malicious 0.2] [--seed 42]
+//                [--model-attack sign_flip] [--scheme 1]
 //                [--metrics-out run.jsonl] [--trace-out trace.jsonl]
 
 #include <cstdio>
@@ -27,6 +28,11 @@ int main(int argc, char** argv) {
   config.mnist_dir = cli.str("mnist-dir", "", "directory with MNIST IDX files (optional)");
   config.vanilla_rule = cli.str("vanilla-rule", "multikrum", "baseline aggregation rule");
   config.bra_rule = cli.str("bra-rule", "multikrum", "ABD-HFL partial aggregation rule");
+  config.model_attack =
+      cli.str("model-attack", "", "model-update attack instead of label flip "
+                                  "(sign_flip, gaussian_noise, alie, ipm)");
+  config.scheme_id =
+      static_cast<int>(cli.integer("scheme", 1, "Table III scheme preset (1-4)"));
   const auto obs_opts = obs::declare_cli(cli);
   if (!cli.finish()) return 0;
 
@@ -37,11 +43,11 @@ int main(int argc, char** argv) {
     config.trace = &trace;
   }
 
-  std::printf("ABD-HFL quickstart: %zu rounds, %.0f%% malicious devices (label-flip)\n",
-              config.learn.rounds, config.malicious_fraction * 100.0);
-  std::printf("topology: %zu levels, cluster size %zu, %zu top nodes, scheme 1 "
-              "(MultiKrum partial + voting consensus global)\n\n",
-              config.levels, config.cluster_size, config.top_nodes);
+  std::printf("ABD-HFL quickstart: %zu rounds, %.0f%% malicious devices (%s)\n",
+              config.learn.rounds, config.malicious_fraction * 100.0,
+              config.model_attack.empty() ? "label-flip" : config.model_attack.c_str());
+  std::printf("topology: %zu levels, cluster size %zu, %zu top nodes, scheme %d\n\n",
+              config.levels, config.cluster_size, config.top_nodes, config.scheme_id);
 
   const auto result = core::run_scenario(config);
 

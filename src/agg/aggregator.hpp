@@ -16,16 +16,33 @@ namespace abdhfl::agg {
 
 using ModelVec = std::vector<float>;
 
+/// Per-input attribution of one aggregate() call, for the forensics layer:
+/// did this input survive the rule's filter, with what contribution weight,
+/// and at what rule-specific distance/score.  Weights sum to ~1 across kept
+/// inputs (0 for filtered ones); score is 0 where the rule has no natural
+/// notion of distance.
+struct InputVerdict {
+  bool kept = true;
+  double weight = 0.0;
+  double score = 0.0;
+};
+
 /// What the most recent aggregate() call did to its inputs, for the
 /// observability layer: how many updates were offered, how many actually
 /// contributed to the output, and a rule-specific distance/score statistic
 /// (Krum scores, norm-filter distances, clip norms — 0 where the rule has no
 /// natural notion of distance).  "Filtered" is inputs - kept.
+///
+/// `verdicts` is aligned with the input order of the aggregate() call and is
+/// only filled when forensics is enabled (see Aggregator::set_forensics);
+/// otherwise it stays empty.  When filled, the number of kept verdicts
+/// equals `kept`.
 struct AggTelemetry {
   std::size_t inputs = 0;
   std::size_t kept = 0;
   double score_mean = 0.0;
   double score_max = 0.0;
+  std::vector<InputVerdict> verdicts;
 };
 
 class Aggregator {
@@ -69,8 +86,17 @@ class Aggregator {
     return telemetry_;
   }
 
+  /// Enable per-input verdict recording (AggTelemetry::verdicts).  Off by
+  /// default: verdict extraction can cost extra O(n·d) passes in rules whose
+  /// aggregation discards input identity (median, trimmed_mean, clustering).
+  /// Forensics is diagnostic-only — it never changes aggregate()'s output,
+  /// which stays bitwise-identical to the forensics-off result.
+  void set_forensics(bool enabled) noexcept { forensics_ = enabled; }
+  [[nodiscard]] bool forensics() const noexcept { return forensics_; }
+
  protected:
   std::size_t threads_ = 1;
+  bool forensics_ = false;
   AggTelemetry telemetry_;
 };
 

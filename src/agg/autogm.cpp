@@ -1,6 +1,7 @@
 #include "agg/autogm.hpp"
 
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "tensor/kernels.hpp"
@@ -22,6 +23,13 @@ ModelVec AutoGmAggregator::aggregate(const std::vector<ModelVec>& updates) {
   geomed.set_threads(threads());
 
   std::vector<ModelVec> kept = updates;
+  // Original input index of each surviving update, so the iterative cuts can
+  // be attributed back to the aggregate() caller's input order.
+  std::vector<std::size_t> live(updates.size());
+  std::iota(live.begin(), live.end(), std::size_t{0});
+  // Last distance observed for each input — at the iteration it was cut for
+  // filtered inputs, at the final iteration for survivors.
+  std::vector<double> last_dist(updates.size(), 0.0);
   ModelVec estimate = geomed.aggregate(kept);
 
   for (std::size_t round = 0; round < config_.max_outer_rounds; ++round) {
@@ -38,20 +46,39 @@ ModelVec AutoGmAggregator::aggregate(const std::vector<ModelVec>& updates) {
     const double med = util::median_of(dist);
     telemetry_.score_mean = util::mean(dist);
     telemetry_.score_max = util::max_of(dist);
+    for (std::size_t i = 0; i < kept.size(); ++i) last_dist[live[i]] = dist[i];
     if (med == 0.0) break;  // all kept updates coincide with the estimate
 
     std::vector<ModelVec> next;
+    std::vector<std::size_t> next_live;
     next.reserve(kept.size());
+    next_live.reserve(kept.size());
     for (std::size_t i = 0; i < kept.size(); ++i) {
-      if (dist[i] <= config_.cut * med) next.push_back(kept[i]);
+      if (dist[i] <= config_.cut * med) {
+        next.push_back(kept[i]);
+        next_live.push_back(live[i]);
+      }
     }
     if (next.empty() || next.size() == kept.size()) break;
     kept = std::move(next);
+    live = std::move(next_live);
     estimate = geomed.aggregate(kept);
   }
   last_kept_ = kept.size();
   telemetry_.inputs = updates.size();
   telemetry_.kept = kept.size();
+  telemetry_.verdicts.clear();
+  if (forensics()) {
+    telemetry_.verdicts.resize(updates.size());
+    for (std::size_t k = 0; k < updates.size(); ++k) {
+      telemetry_.verdicts[k] = {false, 0.0, last_dist[k]};
+    }
+    const double w = 1.0 / static_cast<double>(kept.size());
+    for (std::size_t idx : live) {
+      telemetry_.verdicts[idx].kept = true;
+      telemetry_.verdicts[idx].weight = w;
+    }
+  }
   return estimate;
 }
 

@@ -79,6 +79,16 @@ ModelVec CenteredClipAggregator::aggregate(const std::vector<ModelVec>& updates)
   telemetry_.kept = unclipped;
   telemetry_.score_mean = util::mean(dist);
   telemetry_.score_max = util::max_of(dist);
+  telemetry_.verdicts.clear();
+  if (forensics()) {
+    // "Kept" = unclipped in the final pass; weight = the fraction of the
+    // input's offset that survived the clip (scale / n).
+    telemetry_.verdicts.resize(n);
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      telemetry_.verdicts[k] = {scale[k] >= 1.0, scale[k] * inv, dist[k]};
+    }
+  }
   return v;
 }
 
@@ -113,16 +123,32 @@ ModelVec NormFilterAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const double cutoff = config_.factor * med;
 
   std::vector<ModelVec> kept;
+  std::vector<char> keep_mask(n, 0);
   for (std::size_t k = 0; k < n; ++k) {
     // med == 0 means all updates coincide with the reference; keep all.
-    if (med == 0.0 || dist[k] <= cutoff) kept.push_back(updates[k]);
+    if (med == 0.0 || dist[k] <= cutoff) {
+      kept.push_back(updates[k]);
+      keep_mask[k] = 1;
+    }
   }
-  if (kept.empty()) kept = updates;  // degenerate: never return nothing
+  if (kept.empty()) {  // degenerate: never return nothing
+    kept = updates;
+    std::fill(keep_mask.begin(), keep_mask.end(), char{1});
+  }
   last_kept_ = kept.size();
   telemetry_.inputs = n;
   telemetry_.kept = kept.size();
   telemetry_.score_mean = util::mean(dist);
   telemetry_.score_max = util::max_of(dist);
+  telemetry_.verdicts.clear();
+  if (forensics()) {
+    telemetry_.verdicts.resize(n);
+    const double w = 1.0 / static_cast<double>(kept.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      telemetry_.verdicts[k] = {keep_mask[k] != 0, keep_mask[k] != 0 ? w : 0.0,
+                                dist[k]};
+    }
+  }
   return tensor::mean_of(kept);
 }
 

@@ -60,6 +60,19 @@ ModelVec ClusterAggregator::aggregate(const std::vector<ModelVec>& updates) {
   telemetry_.kept = kept.size();
   telemetry_.score_mean = 0.0;
   telemetry_.score_max = 0.0;
+  telemetry_.verdicts.clear();
+  if (forensics()) {
+    // Score each input by cosine dissimilarity to the winning cluster's
+    // representative (diagnostic only; the clustering itself is unchanged).
+    const std::size_t rep = representative[best];
+    telemetry_.verdicts.resize(n);
+    const double w = 1.0 / static_cast<double>(kept.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool in_best = last_labels_[i] == best;
+      telemetry_.verdicts[i] = {in_best, in_best ? w : 0.0,
+                                1.0 - cosine(updates[i], updates[rep])};
+    }
+  }
   return tensor::mean_of(kept);
 }
 

@@ -21,7 +21,8 @@ ModelVec GeoMedAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t n = updates.size();
   if (n == 1) {
     last_iterations_ = 0;
-    telemetry_ = {1, 1, 0.0, 0.0};
+    telemetry_ = {1, 1, 0.0, 0.0, {}};
+    if (forensics()) telemetry_.verdicts.assign(1, {true, 1.0, 0.0});
     return updates.front();
   }
 
@@ -85,15 +86,25 @@ ModelVec GeoMedAggregator::aggregate(const std::vector<ModelVec>& updates) {
   // iteration's distances, recovered from the Weiszfeld weights.
   telemetry_.inputs = n;
   telemetry_.kept = n;
+  telemetry_.verdicts.clear();
   double dist_sum = 0.0;
   double dist_max = 0.0;
+  double weight_total = 0.0;
   for (double w : weight) {
     const double d = 1.0 / w - config_.epsilon;
     dist_sum += d;
     dist_max = std::max(dist_max, d);
+    weight_total += w;
   }
   telemetry_.score_mean = dist_sum / static_cast<double>(n);
   telemetry_.score_max = dist_max;
+  if (forensics()) {
+    telemetry_.verdicts.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      telemetry_.verdicts[k] = {true, weight[k] / weight_total,
+                                1.0 / weight[k] - config_.epsilon};
+    }
+  }
 
   ModelVec out(dim);
   for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(estimate[i]);

@@ -97,7 +97,10 @@ ModelVec KrumAggregator::aggregate(const std::vector<ModelVec>& updates) {
   if (n == 0) throw std::invalid_argument("Krum: no updates");
   if (n < 3) {
     // Degenerate clusters: fall back to the mean (nothing to score against).
-    telemetry_ = {n, n, 0.0, 0.0};
+    telemetry_ = {n, n, 0.0, 0.0, {}};
+    if (forensics()) {
+      telemetry_.verdicts.assign(n, {true, 1.0 / static_cast<double>(n), 0.0});
+    }
     return tensor::mean_of(updates);
   }
   const auto f = static_cast<std::size_t>(
@@ -119,6 +122,18 @@ ModelVec KrumAggregator::aggregate(const std::vector<ModelVec>& updates) {
   telemetry_.kept = order.size();
   telemetry_.score_mean = util::mean(score);
   telemetry_.score_max = util::max_of(score);
+  telemetry_.verdicts.clear();
+  if (forensics()) {
+    telemetry_.verdicts.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      telemetry_.verdicts[i] = {false, 0.0, score[i]};
+    }
+    const double w = 1.0 / static_cast<double>(order.size());
+    for (std::size_t idx : order) {
+      telemetry_.verdicts[idx].kept = true;
+      telemetry_.verdicts[idx].weight = w;
+    }
+  }
 
   std::vector<ModelVec> picked;
   picked.reserve(order.size());

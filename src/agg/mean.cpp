@@ -7,7 +7,11 @@
 namespace abdhfl::agg {
 
 ModelVec MeanAggregator::aggregate(const std::vector<ModelVec>& updates) {
-  telemetry_ = {updates.size(), updates.size(), 0.0, 0.0};
+  const std::size_t n = updates.size();
+  telemetry_ = {n, n, 0.0, 0.0, {}};
+  if (forensics() && n > 0) {
+    telemetry_.verdicts.assign(n, {true, 1.0 / static_cast<double>(n), 0.0});
+  }
   return tensor::mean_of(updates);
 }
 

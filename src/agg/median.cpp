@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 #include "tensor/kernels.hpp"
@@ -46,13 +47,31 @@ void for_each_column(const std::vector<ModelVec>& updates, std::size_t dim,
       threads);
 }
 
+/// Per-input Euclidean distances to the aggregate output — the forensics
+/// score for rules whose column-wise math discards input identity.  One
+/// kernel call chain per input, parallel over inputs: bitwise-deterministic
+/// for any thread count.
+std::vector<double> distances_to(const std::vector<ModelVec>& updates,
+                                 const ModelVec& out, std::size_t dim,
+                                 std::size_t threads) {
+  std::vector<double> dist(updates.size());
+  util::global_pool().parallel_for(
+      0, updates.size(),
+      [&](std::size_t k) {
+        dist[k] =
+            std::sqrt(tensor::kern::distance_squared(updates[k].data(), out.data(), dim));
+      },
+      threads);
+  return dist;
+}
+
 }  // namespace
 
 ModelVec MedianAggregator::aggregate(const std::vector<ModelVec>& updates) {
   const std::size_t dim = tensor::checked_common_size(updates);
   const std::size_t n = updates.size();
   ModelVec out(dim);
-  telemetry_ = {n, n, 0.0, 0.0};
+  telemetry_ = {n, n, 0.0, 0.0, {}};
   const std::size_t mid = n / 2;
   for_each_column(updates, dim, threads(), out, [n, mid](float* col) {
     std::nth_element(col, col + mid, col + n);
@@ -61,6 +80,12 @@ ModelVec MedianAggregator::aggregate(const std::vector<ModelVec>& updates) {
     const float lo = *std::max_element(col, col + mid);
     return 0.5f * (lo + hi);
   });
+  if (forensics()) {
+    const auto dist = distances_to(updates, out, dim, threads());
+    telemetry_.verdicts.resize(n);
+    const double w = 1.0 / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) telemetry_.verdicts[k] = {true, w, dist[k]};
+  }
   return out;
 }
 
@@ -76,7 +101,7 @@ ModelVec TrimmedMeanAggregator::aggregate(const std::vector<ModelVec>& updates) 
   auto trim = static_cast<std::size_t>(std::floor(beta_ * static_cast<double>(n)));
   if (2 * trim >= n) trim = (n - 1) / 2;  // always keep at least one value
   const std::size_t keep = n - 2 * trim;
-  telemetry_ = {n, keep, 0.0, 0.0};
+  telemetry_ = {n, keep, 0.0, 0.0, {}};
 
   ModelVec out(dim);
   for_each_column(updates, dim, threads(), out, [n, trim, keep](float* col) {
@@ -85,6 +110,23 @@ ModelVec TrimmedMeanAggregator::aggregate(const std::vector<ModelVec>& updates) 
     for (std::size_t k = trim; k < trim + keep; ++k) acc += col[k];
     return static_cast<float>(acc / static_cast<double>(keep));
   });
+  if (forensics()) {
+    // Coordinate-wise trimming has no per-input keep set; attribute by
+    // distance to the output — the `keep` closest inputs count as kept
+    // (stable index tie-break), matching telemetry_.kept.
+    const auto dist = distances_to(updates, out, dim, threads());
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
+    telemetry_.verdicts.resize(n);
+    for (std::size_t k = 0; k < n; ++k) telemetry_.verdicts[k] = {false, 0.0, dist[k]};
+    const double w = 1.0 / static_cast<double>(keep);
+    for (std::size_t r = 0; r < keep; ++r) {
+      telemetry_.verdicts[order[r]].kept = true;
+      telemetry_.verdicts[order[r]].weight = w;
+    }
+  }
   return out;
 }
 

@@ -93,6 +93,14 @@ AsyncHflRunner::AsyncHflRunner(const topology::HflTree& tree,
     if (auto cba = make_cba(scheme)) cba_by_level_[l] = std::move(cba);
   }
 
+  if (config_.recorder != nullptr) {
+    ledger_ = std::make_unique<obs::SuspicionLedger>(tree_.num_devices(),
+                                                     tree_.num_levels());
+    for (auto& [level, rule] : bra_by_level_) rule->set_forensics(true);
+    round_flagged_.assign(tree_.num_levels(),
+                          std::vector<bool>(tree_.num_devices(), false));
+  }
+
   devices_.resize(tree_.num_devices());
   last_global_ = scratch_.flatten();
   staleness_acc_.assign(config_.rounds, 0.0);
@@ -127,6 +135,7 @@ const LevelScheme& AsyncHflRunner::scheme_for(std::size_t level) const {
 }
 
 agg::ModelVec AsyncHflRunner::aggregate(const std::vector<agg::ModelVec>& inputs,
+                                        const std::vector<topology::DeviceId>& senders,
                                         const topology::Cluster& cluster,
                                         std::size_t level, std::size_t round) {
   double sink = 0.0;
@@ -136,6 +145,21 @@ agg::ModelVec AsyncHflRunner::aggregate(const std::vector<agg::ModelVec>& inputs
     agg::Aggregator& rule = *bra_by_level_.at(level);
     rule.set_reference(last_global_);
     auto out = rule.aggregate(inputs);
+    const agg::AggTelemetry& rt = rule.last_telemetry();
+    if (ledger_ && !rt.verdicts.empty() && senders.size() == rt.verdicts.size()) {
+      std::vector<double> scores(rt.verdicts.size());
+      for (std::size_t k = 0; k < rt.verdicts.size(); ++k) {
+        scores[k] = rt.verdicts[k].score;
+      }
+      const auto rel = obs::relative_scores(scores);
+      for (std::size_t k = 0; k < rt.verdicts.size(); ++k) {
+        const bool kept = rt.verdicts[k].kept;
+        for (topology::DeviceId d : tree_.bottom_descendants(level, senders[k])) {
+          ledger_->observe(d, level, kept, rel[k]);
+          if (!kept) round_flagged_[level][d] = true;
+        }
+      }
+    }
     result_.comm.messages += inputs.size() + cluster.size();
     result_.comm.model_bytes +=
         (inputs.size() + cluster.size()) * nn::wire_size(out.size());
@@ -267,9 +291,9 @@ void AsyncHflRunner::finish_training(topology::DeviceId d) {
   const auto cluster_idx = *tree_.cluster_of(bottom, d);
   result_.comm.messages += 1;
   result_.comm.model_bytes += nn::wire_size(update.size());
-  sim_.schedule_after(config_.uplink_latency, [this, round, bottom, cluster_idx,
+  sim_.schedule_after(config_.uplink_latency, [this, round, bottom, cluster_idx, d,
                                                update = std::move(update)]() mutable {
-    deliver_to_cluster(round, bottom, cluster_idx, std::move(update));
+    deliver_to_cluster(round, bottom, cluster_idx, d, std::move(update));
   });
 
   // A newer flag model may have landed while we trained.
@@ -281,7 +305,8 @@ void AsyncHflRunner::finish_training(topology::DeviceId d) {
 }
 
 void AsyncHflRunner::deliver_to_cluster(std::size_t round, std::size_t level,
-                                        std::size_t index, agg::ModelVec model) {
+                                        std::size_t index, topology::DeviceId sender,
+                                        agg::ModelVec model) {
   auto& per_round = collect_[round];
   if (per_round.empty()) {
     per_round.resize(tree_.num_levels());
@@ -291,6 +316,7 @@ void AsyncHflRunner::deliver_to_cluster(std::size_t round, std::size_t level,
   }
   auto& cs = per_round[level][index];
   cs.inputs.push_back(std::move(model));
+  cs.senders.push_back(sender);
   const auto& cluster = tree_.cluster(level, index);
   const double phi = level < config_.quorum_per_level.size()
                          ? config_.quorum_per_level[level]
@@ -310,7 +336,7 @@ void AsyncHflRunner::complete_cluster(std::size_t round, std::size_t level,
                                       std::size_t index) {
   auto& cs = collect_[round][level][index];
   const auto& cluster = tree_.cluster(level, index);
-  auto model = aggregate(cs.inputs, cluster, level, round);
+  auto model = aggregate(cs.inputs, cs.senders, cluster, level, round);
   record("agg_done", round, static_cast<std::uint32_t>(index), level);
 
   if (level == 0) {
@@ -339,9 +365,13 @@ void AsyncHflRunner::complete_cluster(std::size_t round, std::size_t level,
   if (!parent) throw std::logic_error("async: intermediate cluster without parent");
   result_.comm.messages += 1;
   result_.comm.model_bytes += nn::wire_size(model.size());
-  sim_.schedule_after(config_.uplink_latency, [this, round, level, parent = *parent,
-                                               model = std::move(model)]() mutable {
-    deliver_to_cluster(round, level - 1, parent, std::move(model));
+  // The partial model travels upward under the identity of this cluster's
+  // leader (the member representing it in the parent cluster).
+  sim_.schedule_after(config_.uplink_latency,
+                      [this, round, level, parent = *parent,
+                       sender = cluster.leader_id(),
+                       model = std::move(model)]() mutable {
+    deliver_to_cluster(round, level - 1, parent, sender, std::move(model));
   });
 }
 
@@ -358,6 +388,23 @@ void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
   last_messages_ = result_.comm.messages;
   last_bytes_ = result_.comm.model_bytes;
   this->record("global_formed", round, 0, 0);
+  if (ledger_) {
+    // One ledger round per global formation; overlapping-round observations
+    // fold into whichever window they landed in.
+    ledger_->commit_round();
+    std::vector<double> byz_scores;
+    std::vector<double> honest_scores;
+    for (std::size_t d = 0; d < tree_.num_devices(); ++d) {
+      (attack_.mask[d] ? byz_scores : honest_scores).push_back(ledger_->suspicion(d));
+    }
+    suspicion_auc_per_global_.push_back(obs::separation_auc(byz_scores, honest_scores));
+    std::vector<std::pair<std::size_t, obs::FilterQuality>> quality;
+    for (const auto& [level, rule] : bra_by_level_) {
+      quality.emplace_back(level, obs::filter_quality(round_flagged_[level], attack_.mask));
+    }
+    quality_per_global_.push_back(std::move(quality));
+    for (auto& mask : round_flagged_) mask.assign(mask.size(), false);
+  }
   ++globals_formed_;
   if (globals_formed_ >= config_.rounds) {
     sim_.clear();  // stop the simulation; remaining in-flight work is moot
@@ -418,6 +465,31 @@ AsyncRunResult AsyncHflRunner::run() {
       rec.set("agg_s", r.round < agg_wall_.size() ? agg_wall_[r.round] : 0.0);
       rec.set("messages", static_cast<double>(comm_delta_[i].first));
       rec.set("model_bytes", static_cast<double>(comm_delta_[i].second));
+      if (i < suspicion_auc_per_global_.size()) {
+        rec.set("suspicion_auc", suspicion_auc_per_global_[i]);
+      }
+      if (i < quality_per_global_.size()) {
+        for (const auto& [level, q] : quality_per_global_[i]) {
+          const std::string suffix = "_l" + std::to_string(level);
+          rec.set("filter_precision" + suffix, q.precision);
+          rec.set("filter_recall" + suffix, q.recall);
+          rec.set("filter_f1" + suffix, q.f1);
+        }
+      }
+    }
+    if (ledger_) {
+      for (const auto& ns : ledger_->snapshot()) {
+        obs::RoundRecord& rec = config_.recorder->begin_round(
+            "async_suspicion", ledger_->rounds_committed());
+        rec.set("node", static_cast<double>(ns.node));
+        rec.set("suspicion", ns.total);
+        rec.set("filter_events", static_cast<double>(ns.filter_events));
+        rec.set("observations", static_cast<double>(ns.observations));
+        rec.set("byzantine", attack_.mask[ns.node] ? 1.0 : 0.0);
+        for (std::size_t l = 0; l < ns.per_level.size(); ++l) {
+          rec.set("suspicion_l" + std::to_string(l), ns.per_level[l]);
+        }
+      }
     }
   }
   if (obs::enabled()) {

@@ -34,6 +34,7 @@
 #include "core/hfl_runner.hpp"  // AttackSetup
 #include "core/trainer.hpp"
 #include "core/types.hpp"
+#include "obs/suspicion.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "topology/byzantine.hpp"
@@ -126,13 +127,17 @@ class AsyncHflRunner {
 
   struct CollectState {
     std::vector<agg::ModelVec> inputs;
+    // Device identity behind each input (the uploading device at the bottom,
+    // the child cluster's leader above), aligned with `inputs` — what lets
+    // the forensics layer attribute verdicts back to bottom devices.
+    std::vector<topology::DeviceId> senders;
     bool agg_scheduled = false;
   };
 
   void start_round(topology::DeviceId d, std::size_t round, std::vector<float> params);
   void finish_training(topology::DeviceId d);
   void deliver_to_cluster(std::size_t round, std::size_t level, std::size_t index,
-                          agg::ModelVec model);
+                          topology::DeviceId sender, agg::ModelVec model);
   void complete_cluster(std::size_t round, std::size_t level, std::size_t index);
   void form_global(std::size_t round, agg::ModelVec model);
   void deliver_global(topology::DeviceId d, std::size_t round,
@@ -142,6 +147,7 @@ class AsyncHflRunner {
   void record(const char* kind, std::size_t round, std::uint32_t subject,
               std::size_t level);
   [[nodiscard]] agg::ModelVec aggregate(const std::vector<agg::ModelVec>& inputs,
+                                        const std::vector<topology::DeviceId>& senders,
                                         const topology::Cluster& cluster,
                                         std::size_t level, std::size_t round);
 
@@ -179,6 +185,19 @@ class AsyncHflRunner {
   std::uint64_t last_messages_ = 0;
   std::uint64_t last_bytes_ = 0;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> comm_delta_;
+
+  // Forensics (armed iff config_.recorder != nullptr).  The ledger commits
+  // at each global formation; since rounds overlap in the pipeline, a
+  // commit folds whatever observations (including the next round's early
+  // aggregations) accumulated since the previous global — attribution is by
+  // wall-clock window, not strict round identity.
+  std::unique_ptr<obs::SuspicionLedger> ledger_;
+  std::vector<std::vector<bool>> round_flagged_;  // [level][device]
+  std::vector<double> suspicion_auc_per_global_;
+  // Per global formation, per BRA level: (level, quality of this window's
+  // "filtered => Byzantine" flags).
+  std::vector<std::vector<std::pair<std::size_t, obs::FilterQuality>>>
+      quality_per_global_;
 };
 
 }  // namespace abdhfl::core

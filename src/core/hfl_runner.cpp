@@ -95,6 +95,17 @@ HflRunner::HflRunner(const topology::HflTree& tree, std::vector<data::Dataset> s
     if (auto cba = make_cba(scheme)) cba_by_level_[l] = std::move(cba);
   }
 
+  // Forensics rides on the recorder: per-input verdicts are extracted from
+  // every BRA call and attributed to bottom devices.  Diagnostic only — the
+  // aggregated models are bitwise-identical with or without it.
+  if (config_.recorder != nullptr) {
+    ledger_ = std::make_unique<obs::SuspicionLedger>(tree_.num_devices(),
+                                                     tree_.num_levels());
+    for (auto& [level, rule] : bra_by_level_) rule->set_forensics(true);
+    round_flagged_.assign(tree_.num_levels(),
+                          std::vector<bool>(tree_.num_devices(), false));
+  }
+
   const auto init = prototype_.flatten();
   start_params_.assign(tree_.num_devices(), init);
 }
@@ -217,6 +228,7 @@ agg::ModelVec HflRunner::aggregate_cluster_bra(const std::vector<agg::ModelVec>&
   telem_.bra_kept += rt.kept;
   telem_.bra_score_sum += rt.score_mean;
   telem_.bra_score_max = std::max(telem_.bra_score_max, rt.score_max);
+  attribute_verdicts(rt, order, cluster, level);
 
   const std::size_t dim = result.size();
   // Members upload to the leader; leader broadcasts the partial model back.
@@ -268,6 +280,75 @@ agg::ModelVec HflRunner::aggregate_cluster_cba(const std::vector<agg::ModelVec>&
   telem_.cba_messages += result.messages;
   if (!result.success) ++telem_.cba_failures;
   return std::move(result.model);
+}
+
+void HflRunner::attribute_verdicts(const agg::AggTelemetry& telem,
+                                   const std::vector<std::size_t>& arrival_order,
+                                   const topology::Cluster& cluster, std::size_t level) {
+  if (!ledger_ || telem.verdicts.empty()) return;
+  // Scores are normalized per call so "3x the median distance of this call"
+  // means the same at every level and for every rule.
+  std::vector<double> scores(telem.verdicts.size());
+  for (std::size_t k = 0; k < telem.verdicts.size(); ++k) {
+    scores[k] = telem.verdicts[k].score;
+  }
+  const auto rel = obs::relative_scores(scores);
+  for (std::size_t k = 0; k < telem.verdicts.size(); ++k) {
+    const topology::DeviceId member = cluster.members[arrival_order[k]];
+    const bool kept = telem.verdicts[k].kept;
+    for (topology::DeviceId d : tree_.bottom_descendants(level, member)) {
+      ledger_->observe(d, level, kept, rel[k]);
+      if (!kept) round_flagged_[level][d] = true;
+    }
+  }
+}
+
+void HflRunner::emit_forensics_fields(obs::RoundRecord& rec) {
+  if (!ledger_) return;
+  for (const auto& [level, rule] : bra_by_level_) {
+    const auto q = obs::filter_quality(round_flagged_[level], attack_.mask);
+    const std::string suffix = "_l" + std::to_string(level);
+    rec.set("filter_precision" + suffix, q.precision);
+    rec.set("filter_recall" + suffix, q.recall);
+    rec.set("filter_f1" + suffix, q.f1);
+    rec.set("filter_flagged" + suffix, static_cast<double>(q.flagged));
+  }
+  ledger_->commit_round();
+  std::vector<double> byz_scores;
+  std::vector<double> honest_scores;
+  double byz_min = 0.0, honest_max = 0.0;
+  for (std::size_t d = 0; d < tree_.num_devices(); ++d) {
+    const double s = ledger_->suspicion(d);
+    if (attack_.mask[d]) {
+      byz_min = byz_scores.empty() ? s : std::min(byz_min, s);
+      byz_scores.push_back(s);
+    } else {
+      honest_max = honest_scores.empty() ? s : std::max(honest_max, s);
+      honest_scores.push_back(s);
+    }
+  }
+  rec.set("suspicion_auc", obs::separation_auc(byz_scores, honest_scores));
+  if (!byz_scores.empty() && !honest_scores.empty()) {
+    rec.set("suspicion_margin", byz_min - honest_max);
+  }
+  for (auto& mask : round_flagged_) mask.assign(mask.size(), false);
+}
+
+void HflRunner::emit_suspicion_records() {
+  if (!ledger_ || config_.recorder == nullptr) return;
+  const auto snapshot = ledger_->snapshot();
+  for (const auto& ns : snapshot) {
+    obs::RoundRecord& rec =
+        config_.recorder->begin_round("hfl_suspicion", ledger_->rounds_committed());
+    rec.set("node", static_cast<double>(ns.node));
+    rec.set("suspicion", ns.total);
+    rec.set("filter_events", static_cast<double>(ns.filter_events));
+    rec.set("observations", static_cast<double>(ns.observations));
+    rec.set("byzantine", attack_.mask[ns.node] ? 1.0 : 0.0);
+    for (std::size_t l = 0; l < ns.per_level.size(); ++l) {
+      rec.set("suspicion_l" + std::to_string(l), ns.per_level[l]);
+    }
+  }
 }
 
 void HflRunner::emit_round_record(std::size_t round, double round_s, double train_s,
@@ -322,6 +403,7 @@ void HflRunner::emit_round_record(std::size_t round, double round_s, double trai
             round_s > 0.0 && workers > 0
                 ? pool_busy_s / (round_s * static_cast<double>(workers))
                 : 0.0);
+    emit_forensics_fields(rec);
   }
 
   if (obs::enabled()) {
@@ -467,6 +549,8 @@ RunResult HflRunner::run() {
     prev_global = std::move(global_model);
     have_prev_global = true;
   }
+
+  emit_suspicion_records();
 
   out.final_accuracy =
       out.accuracy_per_round.empty() ? 0.0 : out.accuracy_per_round.back();

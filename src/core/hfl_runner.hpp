@@ -33,6 +33,7 @@
 #include "consensus/consensus.hpp"
 #include "core/trainer.hpp"
 #include "core/types.hpp"
+#include "obs/suspicion.hpp"
 #include "topology/byzantine.hpp"
 #include "topology/tree.hpp"
 #include "util/thread_pool.hpp"
@@ -40,6 +41,7 @@
 namespace abdhfl::obs {
 class Recorder;
 class TraceBuffer;
+struct RoundRecord;
 }
 
 namespace abdhfl::core {
@@ -100,6 +102,12 @@ class HflRunner {
     return flag_fraction_;
   }
 
+  /// Forensics ledger accumulated over the run, or nullptr when no recorder
+  /// was configured (forensics is armed iff a recorder is present).
+  [[nodiscard]] const obs::SuspicionLedger* suspicion_ledger() const noexcept {
+    return ledger_.get();
+  }
+
  private:
   std::vector<agg::ModelVec> collect_bottom_updates(std::size_t round,
                                                     std::span<const float> prev_global,
@@ -107,6 +115,20 @@ class HflRunner {
   agg::ModelVec aggregate_cluster_bra(const std::vector<agg::ModelVec>& inputs,
                                       const topology::Cluster& cluster, std::size_t level,
                                       CommStats& comm);
+
+  /// Map one BRA call's per-input verdicts back to bottom-level devices and
+  /// feed the suspicion ledger; verdict k belongs to cluster member
+  /// `arrival_order[k]`.  No-op when forensics is off.
+  void attribute_verdicts(const agg::AggTelemetry& telem,
+                          const std::vector<std::size_t>& arrival_order,
+                          const topology::Cluster& cluster, std::size_t level);
+
+  /// Per-level detection quality of this round's flags plus the ledger's
+  /// honest/Byzantine separation, written into `rec`.
+  void emit_forensics_fields(obs::RoundRecord& rec);
+
+  /// Per-node ledger records ("hfl_suspicion"), emitted once after the run.
+  void emit_suspicion_records();
   agg::ModelVec aggregate_cluster_cba(const std::vector<agg::ModelVec>& inputs,
                                       const topology::Cluster& cluster, std::size_t level,
                                       std::uint64_t round, CommStats& comm);
@@ -161,6 +183,12 @@ class HflRunner {
     std::size_t alpha_n = 0;
   };
   RoundTelemetry telem_;
+
+  // Forensics (armed iff config_.recorder != nullptr): per-device suspicion
+  // ledger plus this round's per-level "attributed to a filtered input"
+  // device masks for precision/recall against the ground-truth mask.
+  std::unique_ptr<obs::SuspicionLedger> ledger_;
+  std::vector<std::vector<bool>> round_flagged_;  // [level][device]
 };
 
 }  // namespace abdhfl::core

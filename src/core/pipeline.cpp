@@ -1,9 +1,11 @@
 #include "core/pipeline.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "obs/record.hpp"
+#include "obs/suspicion.hpp"
 
 namespace abdhfl::core {
 
@@ -24,6 +26,7 @@ struct RoundState {
   double t_global = -1.0;
   double staleness_sum = 0.0;
   std::size_t staleness_count = 0;
+  std::size_t late_arrivals = 0;      // uploads landing after quorum aggregation
 };
 
 class PipelineSim {
@@ -49,7 +52,15 @@ class PipelineSim {
       rs.device_start.assign(tree_.num_devices(), -1.0);
       rs.flag_receipt.assign(tree_.level(tree_.depth()).size(), -1.0);
     }
+    // Forensics: no model vectors exist here, so "filtered" means quorum-late
+    // — an upload arriving after its cluster's aggregation was scheduled.
+    if (config_.recorder != nullptr) {
+      ledger_ = std::make_unique<obs::SuspicionLedger>(tree_.num_devices(),
+                                                       tree_.num_levels());
+    }
   }
+
+  [[nodiscard]] const obs::SuspicionLedger* ledger() const { return ledger_.get(); }
 
   PipelineResult run() {
     // Round 0: every device holds the initial model and starts immediately.
@@ -82,13 +93,24 @@ class PipelineSim {
     const auto ci = tree_.cluster_of(bottom, d);
     if (!ci) throw std::logic_error("pipeline: device missing from bottom level");
     const double latency = config_.uplink_latency(bottom, rng_);
-    sim_.schedule_after(latency,
-                        [this, round, ci = *ci] { cluster_arrival(round, tree_.depth(), ci); });
+    sim_.schedule_after(latency, [this, round, d, ci = *ci] {
+      cluster_arrival(round, tree_.depth(), ci, d);
+    });
   }
 
-  void cluster_arrival(std::size_t round, std::size_t level, std::size_t i) {
+  void cluster_arrival(std::size_t round, std::size_t level, std::size_t i,
+                       topology::DeviceId sender) {
     auto& cs = rounds_[round].clusters[level][i];
     if (cs.first_arrival < 0.0) cs.first_arrival = sim_.now();
+    // An arrival after the quorum aggregation was scheduled missed the
+    // round's cut — the pipeline's filter event.
+    const bool late = cs.agg_scheduled;
+    if (late) ++rounds_[round].late_arrivals;
+    if (ledger_) {
+      for (topology::DeviceId d : tree_.bottom_descendants(level, sender)) {
+        ledger_->observe(d, level, /*kept=*/!late, 0.0);
+      }
+    }
     ++cs.arrived;
     const std::size_t need = quorum_count(tree_.cluster(level, i).size());
     if (!cs.agg_scheduled && cs.arrived >= need) {
@@ -115,8 +137,9 @@ class PipelineSim {
     const auto parent = tree_.parent_cluster_of(level, i);
     if (!parent) throw std::logic_error("pipeline: intermediate cluster has no parent");
     const double latency = config_.uplink_latency(level, rng_);
-    sim_.schedule_after(latency, [this, round, level, parent = *parent] {
-      cluster_arrival(round, level - 1, parent);
+    sim_.schedule_after(latency, [this, round, level, parent = *parent,
+                                  sender = tree_.cluster(level, i).leader_id()] {
+      cluster_arrival(round, level - 1, parent, sender);
     });
   }
 
@@ -138,6 +161,9 @@ class PipelineSim {
   void global_complete(std::size_t round) {
     auto& rs = rounds_[round];
     rs.t_global = sim_.now();
+    // One ledger round per global completion; stragglers observed after it
+    // fold into the next commit (rounds overlap in the pipeline).
+    if (ledger_) ledger_->commit_round();
     const std::size_t hops = tree_.depth();
     const double delay = config_.dissemination_latency * static_cast<double>(hops);
     for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
@@ -201,6 +227,7 @@ class PipelineSim {
         stale_total += t.staleness;
         ++stale_rounds;
       }
+      t.late_arrivals = rs.late_arrivals;
       out.rounds.push_back(t);
       out.total_time = std::max(out.total_time, rs.t_global);
     }
@@ -224,6 +251,7 @@ class PipelineSim {
   util::Rng rng_;
   sim::Simulator sim_;
   std::vector<RoundState> rounds_;
+  std::unique_ptr<obs::SuspicionLedger> ledger_;
 };
 
 }  // namespace
@@ -242,6 +270,17 @@ PipelineResult simulate_pipeline(const topology::HflTree& tree, const PipelineCo
       rec.set("nu", t.nu);
       rec.set("staleness", t.staleness);
       rec.set("t_global", t.t_global);
+      rec.set("late_arrivals", static_cast<double>(t.late_arrivals));
+    }
+    if (const obs::SuspicionLedger* ledger = sim.ledger()) {
+      for (const auto& ns : ledger->snapshot()) {
+        obs::RoundRecord& rec = config.recorder->begin_round(
+            "pipeline_suspicion", ledger->rounds_committed());
+        rec.set("node", static_cast<double>(ns.node));
+        rec.set("suspicion", ns.total);
+        rec.set("filter_events", static_cast<double>(ns.filter_events));
+        rec.set("observations", static_cast<double>(ns.observations));
+      }
     }
   }
   return result;

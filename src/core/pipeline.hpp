@@ -61,6 +61,11 @@ struct RoundTiming {
   double nu = 0.0;        // Eq. 3, mean over clusters
   double staleness = 0.0; // mean (global arrival − next-round start) per device
   double t_global = 0.0;  // absolute completion time of this round's θ_G
+  /// Uploads that landed after their cluster's quorum aggregation was
+  /// already scheduled — the timing analogue of a filtered update (the
+  /// pipeline's forensics signal: chronically late senders accumulate
+  /// suspicion exactly like distance-filtered ones in the learning runners).
+  std::size_t late_arrivals = 0;
 };
 
 struct PipelineResult {

@@ -36,6 +36,10 @@ VanillaFl::VanillaFl(std::vector<data::Dataset> shards, data::Dataset test_set,
   global_ = scratch_.flatten();
   rule_ = agg::make_aggregator(config_.rule, config_.byzantine_fraction,
                                config_.agg_threads);
+  if (config_.recorder != nullptr) {
+    rule_->set_forensics(true);
+    ledger_ = std::make_unique<obs::SuspicionLedger>(trainers_.size(), /*levels=*/1);
+  }
 }
 
 RunResult VanillaFl::run() {
@@ -109,6 +113,44 @@ RunResult VanillaFl::run() {
       rec.set("agg_score_max", rt.score_max);
       rec.set("messages", static_cast<double>(2 * n));
       rec.set("model_bytes", static_cast<double>(2 * n * nn::wire_size(global_.size())));
+
+      // Forensics: verdict k is client k (no quorum shuffle in the star).
+      if (ledger_ && !rt.verdicts.empty()) {
+        std::vector<double> scores(rt.verdicts.size());
+        for (std::size_t k = 0; k < rt.verdicts.size(); ++k) {
+          scores[k] = rt.verdicts[k].score;
+        }
+        const auto rel = obs::relative_scores(scores);
+        std::vector<bool> flagged(n, false);
+        for (std::size_t k = 0; k < rt.verdicts.size(); ++k) {
+          ledger_->observe(k, 0, rt.verdicts[k].kept, rel[k]);
+          if (!rt.verdicts[k].kept) flagged[k] = true;
+        }
+        ledger_->commit_round();
+        const auto q = obs::filter_quality(flagged, attack_.mask);
+        rec.set("filter_precision", q.precision);
+        rec.set("filter_recall", q.recall);
+        rec.set("filter_f1", q.f1);
+        std::vector<double> byz_scores;
+        std::vector<double> honest_scores;
+        for (std::size_t d = 0; d < n; ++d) {
+          (attack_.mask[d] ? byz_scores : honest_scores)
+              .push_back(ledger_->suspicion(d));
+        }
+        rec.set("suspicion_auc", obs::separation_auc(byz_scores, honest_scores));
+      }
+    }
+  }
+
+  if (ledger_ && config_.recorder != nullptr) {
+    for (const auto& ns : ledger_->snapshot()) {
+      obs::RoundRecord& rec = config_.recorder->begin_round(
+          "vanilla_suspicion", ledger_->rounds_committed());
+      rec.set("node", static_cast<double>(ns.node));
+      rec.set("suspicion", ns.total);
+      rec.set("filter_events", static_cast<double>(ns.filter_events));
+      rec.set("observations", static_cast<double>(ns.observations));
+      rec.set("byzantine", attack_.mask[ns.node] ? 1.0 : 0.0);
     }
   }
   out.final_accuracy =

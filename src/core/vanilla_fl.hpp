@@ -12,6 +12,7 @@
 #include "attacks/model_attack.hpp"
 #include "core/trainer.hpp"
 #include "core/types.hpp"
+#include "obs/suspicion.hpp"
 #include "topology/byzantine.hpp"
 
 namespace abdhfl::obs {
@@ -46,6 +47,12 @@ class VanillaFl {
 
   [[nodiscard]] RunResult run();
 
+  /// Forensics ledger (one level — the star's single server), or nullptr
+  /// when no recorder was configured.
+  [[nodiscard]] const obs::SuspicionLedger* suspicion_ledger() const noexcept {
+    return ledger_.get();
+  }
+
  private:
   data::Dataset test_set_;
   nn::Mlp scratch_;
@@ -55,6 +62,7 @@ class VanillaFl {
   std::vector<std::unique_ptr<LocalTrainer>> trainers_;
   std::vector<float> global_;
   std::unique_ptr<agg::Aggregator> rule_;
+  std::unique_ptr<obs::SuspicionLedger> ledger_;
 };
 
 }  // namespace abdhfl::core

@@ -16,6 +16,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
+#include "obs/suspicion.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 

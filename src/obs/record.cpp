@@ -120,8 +120,8 @@ std::string Recorder::summary() const {
     }
     if (xs.empty()) continue;
     std::snprintf(buf, sizeof(buf), "  %-24s %.6g / %.6g / %.6g\n", c.c_str(),
-                  util::percentile(xs, 50.0), util::percentile(xs, 95.0),
-                  util::percentile(xs, 99.0));
+                  util::percentile_or(xs, 50.0, 0.0), util::percentile_or(xs, 95.0, 0.0),
+                  util::percentile_or(xs, 99.0, 0.0));
     out += buf;
   }
   return out;

@@ -1,0 +1,162 @@
+#include "obs/suspicion.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace abdhfl::obs {
+
+SuspicionLedger::SuspicionLedger(std::size_t num_nodes, std::size_t num_levels,
+                                 double ewma_lambda)
+    : nodes_(num_nodes), levels_(num_levels), lambda_(ewma_lambda) {
+  if (num_nodes == 0 || num_levels == 0) {
+    throw std::invalid_argument("SuspicionLedger: zero nodes or levels");
+  }
+  if (!(ewma_lambda > 0.0) || ewma_lambda > 1.0) {
+    throw std::invalid_argument("SuspicionLedger: lambda out of (0,1]");
+  }
+  ewma_.assign(nodes_ * levels_, 0.0);
+  round_.assign(nodes_ * levels_, 0.0);
+  filter_events_.assign(nodes_, 0);
+  observations_.assign(nodes_, 0);
+}
+
+void SuspicionLedger::observe(std::size_t node, std::size_t level, bool kept,
+                              double relative_score) {
+  if (node >= nodes_ || level >= levels_) {
+    throw std::out_of_range("SuspicionLedger::observe: node/level out of range");
+  }
+  round_[node * levels_ + level] += (kept ? 0.0 : 1.0) + relative_score;
+  ++observations_[node];
+  if (!kept) ++filter_events_[node];
+}
+
+void SuspicionLedger::commit_round() {
+  for (std::size_t i = 0; i < ewma_.size(); ++i) {
+    ewma_[i] = (1.0 - lambda_) * ewma_[i] + lambda_ * round_[i];
+    round_[i] = 0.0;
+  }
+  ++rounds_;
+}
+
+double SuspicionLedger::suspicion(std::size_t node) const {
+  if (node >= nodes_) throw std::out_of_range("SuspicionLedger::suspicion");
+  double total = 0.0;
+  for (std::size_t l = 0; l < levels_; ++l) total += ewma_[node * levels_ + l];
+  return total;
+}
+
+double SuspicionLedger::suspicion(std::size_t node, std::size_t level) const {
+  if (node >= nodes_ || level >= levels_) {
+    throw std::out_of_range("SuspicionLedger::suspicion");
+  }
+  return ewma_[node * levels_ + level];
+}
+
+std::uint64_t SuspicionLedger::filter_events(std::size_t node) const {
+  if (node >= nodes_) throw std::out_of_range("SuspicionLedger::filter_events");
+  return filter_events_[node];
+}
+
+std::uint64_t SuspicionLedger::observations(std::size_t node) const {
+  if (node >= nodes_) throw std::out_of_range("SuspicionLedger::observations");
+  return observations_[node];
+}
+
+std::vector<std::size_t> SuspicionLedger::ranking() const {
+  std::vector<double> total(nodes_);
+  for (std::size_t n = 0; n < nodes_; ++n) total[n] = suspicion(n);
+  std::vector<std::size_t> order(nodes_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return total[a] > total[b]; });
+  return order;
+}
+
+std::vector<NodeSuspicion> SuspicionLedger::snapshot() const {
+  std::vector<NodeSuspicion> out(nodes_);
+  for (std::size_t n = 0; n < nodes_; ++n) {
+    out[n].node = n;
+    out[n].per_level.resize(levels_);
+    for (std::size_t l = 0; l < levels_; ++l) {
+      out[n].per_level[l] = ewma_[n * levels_ + l];
+      out[n].total += out[n].per_level[l];
+    }
+    out[n].filter_events = filter_events_[n];
+    out[n].observations = observations_[n];
+  }
+  return out;
+}
+
+std::vector<double> relative_scores(std::span<const double> scores) {
+  std::vector<double> out(scores.begin(), scores.end());
+  if (out.empty()) return out;
+  double denom = util::median_of(out);
+  if (denom <= 0.0) denom = util::mean(out);
+  if (denom <= 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (double& s : out) s /= denom;
+  return out;
+}
+
+FilterQuality filter_quality(const std::vector<bool>& flagged,
+                             const std::vector<bool>& byzantine) {
+  if (flagged.size() != byzantine.size()) {
+    throw std::invalid_argument("filter_quality: mask size mismatch");
+  }
+  FilterQuality q;
+  for (std::size_t i = 0; i < flagged.size(); ++i) {
+    if (flagged[i]) ++q.flagged;
+    if (byzantine[i]) ++q.byzantine;
+    if (flagged[i] && byzantine[i]) ++q.true_positives;
+  }
+  if (q.flagged > 0) {
+    q.precision = static_cast<double>(q.true_positives) / static_cast<double>(q.flagged);
+  }
+  if (q.byzantine > 0) {
+    q.recall = static_cast<double>(q.true_positives) / static_cast<double>(q.byzantine);
+  }
+  if (q.precision + q.recall > 0.0) {
+    q.f1 = 2.0 * q.precision * q.recall / (q.precision + q.recall);
+  }
+  return q;
+}
+
+double separation_auc(std::span<const double> byzantine, std::span<const double> honest) {
+  if (byzantine.empty() || honest.empty()) return 0.5;
+  // Average-rank Mann-Whitney U: pool both groups, rank ascending with ties
+  // sharing their average rank, then AUC = (R_byz − n_b(n_b+1)/2) / (n_b n_h).
+  struct Entry {
+    double value;
+    bool byz;
+  };
+  std::vector<Entry> pool;
+  pool.reserve(byzantine.size() + honest.size());
+  for (double v : byzantine) pool.push_back({v, true});
+  for (double v : honest) pool.push_back({v, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Entry& a, const Entry& b) { return a.value < b.value; });
+
+  double rank_sum_byz = 0.0;
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].value == pool[i].value) ++j;
+    // 1-based ranks i+1 .. j share the average rank.
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].byz) rank_sum_byz += avg_rank;
+    }
+    i = j;
+  }
+  const auto nb = static_cast<double>(byzantine.size());
+  const auto nh = static_cast<double>(honest.size());
+  const double u = rank_sum_byz - nb * (nb + 1.0) / 2.0;
+  return u / (nb * nh);
+}
+
+}  // namespace abdhfl::obs

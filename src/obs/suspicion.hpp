@@ -1,0 +1,119 @@
+#pragma once
+// Per-node suspicion ledger: the forensics core of the observability layer.
+//
+// Each aggregation call yields per-input verdicts (agg::AggTelemetry); the
+// runners map verdict indices back to bottom-level device ids and feed every
+// observation here.  The ledger folds one round's observations per node and
+// level into an EWMA suspicion score, so a device that is repeatedly
+// filtered — or that repeatedly submits updates scored far from its peers —
+// climbs the ranking even when the filter's binary decision is ambiguous.
+//
+// The increment for one observation is
+//
+//     (kept ? 0 : 1) + relative_score
+//
+// where relative_score is the rule's distance/score for that input divided
+// by the median score of the same call (see relative_scores()).  The score
+// term is what separates honest-but-unlucky nodes from Byzantine ones: an
+// honest update deterministically dropped by a tight filter contributes ~1
+// per round, while a sign-flipped update scored orders of magnitude from the
+// honest cloud contributes its (huge) relative score at every level that
+// sees it.
+//
+// The ledger is topology-agnostic — it knows nothing about trees or
+// aggregation rules, only node ids and level indices — so it lives in obs
+// and depends only on util.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace abdhfl::obs {
+
+/// One node's ledger state, for reporting.
+struct NodeSuspicion {
+  std::size_t node = 0;
+  double total = 0.0;                 // sum of per-level EWMA scores
+  std::vector<double> per_level;      // EWMA score per level (0 = top)
+  std::uint64_t filter_events = 0;    // observations with kept == false
+  std::uint64_t observations = 0;     // total observations
+};
+
+class SuspicionLedger {
+ public:
+  /// EWMA folding constant: s ← (1−λ)·s + λ·round_sum.  0.2 weights the
+  /// last ~5 rounds most while keeping early-round evidence alive.
+  static constexpr double kDefaultLambda = 0.2;
+
+  SuspicionLedger(std::size_t num_nodes, std::size_t num_levels,
+                  double ewma_lambda = kDefaultLambda);
+
+  /// Record one verdict attributed to `node` at tree level `level` in the
+  /// current round.  relative_score must be >= 0 (see relative_scores()).
+  void observe(std::size_t node, std::size_t level, bool kept, double relative_score);
+
+  /// Fold the current round's accumulated observations into the EWMA scores
+  /// and reset the round accumulators.
+  void commit_round();
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t num_levels() const noexcept { return levels_; }
+  [[nodiscard]] std::size_t rounds_committed() const noexcept { return rounds_; }
+
+  /// Total suspicion (sum of per-level EWMA scores).  Higher = more suspect.
+  [[nodiscard]] double suspicion(std::size_t node) const;
+  [[nodiscard]] double suspicion(std::size_t node, std::size_t level) const;
+  [[nodiscard]] std::uint64_t filter_events(std::size_t node) const;
+  [[nodiscard]] std::uint64_t observations(std::size_t node) const;
+
+  /// Node ids sorted by descending total suspicion (stable: ties keep id
+  /// order).
+  [[nodiscard]] std::vector<std::size_t> ranking() const;
+
+  /// Full per-node state, in node-id order.
+  [[nodiscard]] std::vector<NodeSuspicion> snapshot() const;
+
+ private:
+  std::size_t nodes_;
+  std::size_t levels_;
+  double lambda_;
+  std::size_t rounds_ = 0;
+  std::vector<double> ewma_;    // nodes_ x levels_, row-major by node
+  std::vector<double> round_;   // current-round accumulators, same layout
+  std::vector<std::uint64_t> filter_events_;
+  std::vector<std::uint64_t> observations_;
+};
+
+/// Normalize one aggregation call's scores to a relative scale: each score
+/// divided by the call's median score (falling back to the mean when the
+/// median is 0, and to all-zeros when every score is 0).  This makes scores
+/// comparable across rules and rounds — "how far from the typical input of
+/// this call" — which is what the ledger accumulates.
+[[nodiscard]] std::vector<double> relative_scores(std::span<const double> scores);
+
+/// Detection quality of one round's "filtered ⇒ Byzantine" decisions at one
+/// level.  precision = TP / flagged, recall = TP / byzantine; both 0 when
+/// their denominator is 0 (f1 likewise).
+struct FilterQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t flagged = 0;
+  std::size_t true_positives = 0;
+  std::size_t byzantine = 0;
+};
+
+/// Compare a per-node flagged mask against the ground-truth Byzantine mask
+/// (same length; index = node id).
+[[nodiscard]] FilterQuality filter_quality(const std::vector<bool>& flagged,
+                                           const std::vector<bool>& byzantine);
+
+/// Mann-Whitney AUC of the separation between Byzantine and honest score
+/// distributions: P(score_byz > score_honest), ties counted 1/2, computed
+/// with average ranks.  1.0 = perfect separation (every Byzantine above
+/// every honest node), 0.5 = chance or either group empty.
+[[nodiscard]] double separation_auc(std::span<const double> byzantine,
+                                    std::span<const double> honest);
+
+}  // namespace abdhfl::obs

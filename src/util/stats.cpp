@@ -56,6 +56,11 @@ double percentile(std::span<const double> xs, double p) {
   return v[lo] + frac * (v[lo + 1] - v[lo]);
 }
 
+double percentile_or(std::span<const double> xs, double p, double fallback) noexcept {
+  if (xs.empty() || p < 0.0 || p > 100.0) return fallback;
+  return percentile(xs, p);
+}
+
 double ci95_halfwidth(std::span<const double> xs) noexcept {
   if (xs.size() < 2) return 0.0;
   return 1.96 * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));

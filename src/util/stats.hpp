@@ -28,6 +28,12 @@ namespace abdhfl::util {
 /// empty input or p outside [0, 100].
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
 
+/// percentile() that degrades instead of throwing: returns `fallback` on
+/// empty input or p outside [0, 100].  For export/report paths where a run
+/// with zero events of some class must not abort the writer.
+[[nodiscard]] double percentile_or(std::span<const double> xs, double p,
+                                   double fallback) noexcept;
+
 /// Half-width of the ~95% confidence interval of the mean, using the normal
 /// approximation (1.96 * s / sqrt(n)).  Good enough for the 5-run bands the
 /// paper plots; returns 0 for fewer than two samples.

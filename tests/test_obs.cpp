@@ -6,15 +6,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "agg/aggregator.hpp"
 #include "core/experiment.hpp"
 #include "obs/obs.hpp"
 #include "sim/latency.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace abdhfl::obs {
 namespace {
@@ -411,6 +414,290 @@ TEST(ObsEndToEnd, HflRunEmitsCoherentRoundRecords) {
     }
   }
   EXPECT_TRUE(saw_rounds_total);
+}
+
+// ---------------------------------------------------------------------------
+// Forensics: per-input verdicts from the aggregation rules.
+
+std::vector<agg::ModelVec> forensics_updates(std::size_t n, std::size_t dim,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<agg::ModelVec> updates(n, agg::ModelVec(dim));
+  for (auto& u : updates) {
+    for (float& v : u) v = static_cast<float>(rng.normal());
+  }
+  return updates;
+}
+
+TEST(ObsForensicsVerdicts, AlignedWithInputsAndKeptCountMatchesTelemetry) {
+  const auto updates = forensics_updates(8, 64, 11);
+  for (const auto& rule : agg::aggregator_names()) {
+    auto aggregator = agg::make_aggregator(rule, 0.25, 1);
+    aggregator->set_forensics(true);
+    (void)aggregator->aggregate(updates);
+    const auto& telemetry = aggregator->last_telemetry();
+    ASSERT_EQ(telemetry.verdicts.size(), updates.size()) << rule;
+    std::size_t kept = 0;
+    for (const auto& v : telemetry.verdicts) {
+      if (v.kept) ++kept;
+      EXPECT_GE(v.weight, 0.0) << rule;
+      EXPECT_GE(v.score, 0.0) << rule;
+    }
+    EXPECT_EQ(kept, telemetry.kept) << rule;
+  }
+}
+
+TEST(ObsForensicsVerdicts, EmptyWhenForensicsOff) {
+  const auto updates = forensics_updates(8, 32, 12);
+  for (const auto& rule : agg::aggregator_names()) {
+    auto aggregator = agg::make_aggregator(rule, 0.25, 1);
+    ASSERT_FALSE(aggregator->forensics()) << rule;
+    (void)aggregator->aggregate(updates);
+    EXPECT_TRUE(aggregator->last_telemetry().verdicts.empty()) << rule;
+  }
+}
+
+TEST(ObsForensicsVerdicts, IdenticalAcrossThreadCounts) {
+  const auto updates = forensics_updates(12, 512, 13);
+  for (const auto& rule : agg::aggregator_names()) {
+    auto serial = agg::make_aggregator(rule, 0.25, 1);
+    serial->set_forensics(true);
+    const auto out_serial = serial->aggregate(updates);
+    const auto verdicts_serial = serial->last_telemetry().verdicts;
+    ASSERT_EQ(verdicts_serial.size(), updates.size()) << rule;
+    for (const std::size_t threads : {2u, 8u}) {
+      auto parallel = agg::make_aggregator(rule, 0.25, threads);
+      parallel->set_forensics(true);
+      const auto out_parallel = parallel->aggregate(updates);
+      ASSERT_EQ(out_parallel.size(), out_serial.size()) << rule;
+      EXPECT_EQ(std::memcmp(out_parallel.data(), out_serial.data(),
+                            out_serial.size() * sizeof(float)),
+                0)
+          << rule << " threads=" << threads;
+      const auto& verdicts = parallel->last_telemetry().verdicts;
+      ASSERT_EQ(verdicts.size(), verdicts_serial.size()) << rule;
+      for (std::size_t i = 0; i < verdicts.size(); ++i) {
+        EXPECT_EQ(verdicts[i].kept, verdicts_serial[i].kept)
+            << rule << " threads=" << threads << " i=" << i;
+        EXPECT_EQ(verdicts[i].weight, verdicts_serial[i].weight)
+            << rule << " threads=" << threads << " i=" << i;
+        EXPECT_EQ(verdicts[i].score, verdicts_serial[i].score)
+            << rule << " threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ObsForensicsVerdicts, ForensicsNeverChangesAggregateOutput) {
+  const auto updates = forensics_updates(10, 256, 14);
+  for (const auto& rule : agg::aggregator_names()) {
+    auto off = agg::make_aggregator(rule, 0.25, 4);
+    auto on = agg::make_aggregator(rule, 0.25, 4);
+    on->set_forensics(true);
+    const auto out_off = off->aggregate(updates);
+    const auto out_on = on->aggregate(updates);
+    ASSERT_EQ(out_on.size(), out_off.size()) << rule;
+    EXPECT_EQ(std::memcmp(out_on.data(), out_off.data(),
+                          out_off.size() * sizeof(float)),
+              0)
+        << rule;
+  }
+}
+
+TEST(ObsForensicsVerdicts, KrumMarksOutlierFiltered) {
+  auto updates = forensics_updates(8, 32, 15);
+  for (float& v : updates[5]) v = 100.0f;  // blatant outlier
+  auto krum = agg::make_aggregator("multikrum", 0.25, 1);
+  krum->set_forensics(true);
+  (void)krum->aggregate(updates);
+  const auto& verdicts = krum->last_telemetry().verdicts;
+  ASSERT_EQ(verdicts.size(), 8u);
+  EXPECT_FALSE(verdicts[5].kept);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (i != 5) EXPECT_LT(verdicts[i].score, verdicts[5].score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forensics: the suspicion ledger and its scoring helpers.
+
+TEST(ObsForensicsLedger, EwmaFoldsAndDecays) {
+  SuspicionLedger ledger(2, 1, /*ewma_lambda=*/0.5);
+  ledger.observe(0, 0, /*kept=*/false, /*relative_score=*/1.0);  // increment 2
+  ledger.observe(1, 0, /*kept=*/true, 0.0);                      // increment 0
+  ledger.commit_round();
+  EXPECT_DOUBLE_EQ(ledger.suspicion(0), 1.0);  // 0.5 * 2
+  EXPECT_DOUBLE_EQ(ledger.suspicion(1), 0.0);
+  EXPECT_EQ(ledger.filter_events(0), 1u);
+  EXPECT_EQ(ledger.observations(0), 1u);
+  EXPECT_EQ(ledger.rounds_committed(), 1u);
+  ledger.commit_round();  // quiet round: score decays
+  EXPECT_DOUBLE_EQ(ledger.suspicion(0), 0.5);
+}
+
+TEST(ObsForensicsLedger, PerLevelScoresAndTotal) {
+  SuspicionLedger ledger(1, 3, 1.0);  // lambda 1: EWMA == last round
+  ledger.observe(0, 1, false, 0.0);
+  ledger.observe(0, 2, false, 1.0);
+  ledger.commit_round();
+  EXPECT_DOUBLE_EQ(ledger.suspicion(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.suspicion(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.suspicion(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.suspicion(0), 3.0);
+  const auto snap = ledger.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  ASSERT_EQ(snap[0].per_level.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0].per_level[2], 2.0);
+}
+
+TEST(ObsForensicsLedger, RankingIsStableDescending) {
+  SuspicionLedger ledger(4, 1, 1.0);
+  ledger.observe(2, 0, false, 1.0);
+  ledger.observe(1, 0, false, 0.0);
+  ledger.commit_round();
+  const auto ranking = ledger.ranking();
+  ASSERT_EQ(ranking.size(), 4u);
+  EXPECT_EQ(ranking[0], 2u);
+  EXPECT_EQ(ranking[1], 1u);
+  EXPECT_EQ(ranking[2], 0u);  // tie with node 3 keeps id order
+  EXPECT_EQ(ranking[3], 3u);
+}
+
+TEST(ObsForensicsLedger, RejectsBadArguments) {
+  EXPECT_THROW(SuspicionLedger(0, 1), std::invalid_argument);
+  EXPECT_THROW(SuspicionLedger(1, 0), std::invalid_argument);
+  SuspicionLedger ledger(2, 2);
+  EXPECT_THROW(ledger.observe(2, 0, true, 0.0), std::out_of_range);
+  EXPECT_THROW(ledger.observe(0, 2, true, 0.0), std::out_of_range);
+  EXPECT_THROW(ledger.suspicion(5), std::out_of_range);
+}
+
+TEST(ObsForensicsLedger, RelativeScoresNormalizeByMedian) {
+  const double xs[] = {1.0, 2.0, 3.0};
+  const auto rel = relative_scores(xs);
+  ASSERT_EQ(rel.size(), 3u);
+  EXPECT_DOUBLE_EQ(rel[0], 0.5);
+  EXPECT_DOUBLE_EQ(rel[1], 1.0);
+  EXPECT_DOUBLE_EQ(rel[2], 1.5);
+
+  const double zero_median[] = {0.0, 0.0, 3.0};  // median 0 -> mean fallback
+  const auto rel2 = relative_scores(zero_median);
+  EXPECT_DOUBLE_EQ(rel2[2], 3.0);
+
+  const double zeros[] = {0.0, 0.0};
+  const auto rel3 = relative_scores(zeros);
+  EXPECT_DOUBLE_EQ(rel3[0], 0.0);
+  EXPECT_DOUBLE_EQ(rel3[1], 0.0);
+  EXPECT_TRUE(relative_scores({}).empty());
+}
+
+TEST(ObsForensicsLedger, FilterQualityPrecisionRecallF1) {
+  const std::vector<bool> flagged = {true, false, true, false};
+  const std::vector<bool> byzantine = {true, true, false, false};
+  const auto q = filter_quality(flagged, byzantine);
+  EXPECT_EQ(q.flagged, 2u);
+  EXPECT_EQ(q.true_positives, 1u);
+  EXPECT_EQ(q.byzantine, 2u);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.f1, 0.5);
+
+  const auto none = filter_quality({false, false}, {false, false});
+  EXPECT_DOUBLE_EQ(none.precision, 0.0);
+  EXPECT_DOUBLE_EQ(none.recall, 0.0);
+  EXPECT_DOUBLE_EQ(none.f1, 0.0);
+
+  const auto perfect = filter_quality({true, false}, {true, false});
+  EXPECT_DOUBLE_EQ(perfect.precision, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.recall, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+}
+
+TEST(ObsForensicsLedger, SeparationAucEndpointsAndTies) {
+  const double byz[] = {5.0, 6.0};
+  const double honest[] = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(separation_auc(byz, honest), 1.0);
+  EXPECT_DOUBLE_EQ(separation_auc(honest, byz), 0.0);
+  const double same[] = {1.0};
+  EXPECT_DOUBLE_EQ(separation_auc(same, same), 0.5);
+  EXPECT_DOUBLE_EQ(separation_auc({}, honest), 0.5);
+  EXPECT_DOUBLE_EQ(separation_auc(byz, {}), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Forensics acceptance: a seeded 25%-Byzantine sign-flip run on the paper's
+// 64-device ECSM tree (scheme 3 = BRA at every level so each level produces
+// verdicts).  The ledger must rank every true Byzantine device above every
+// honest one, the round records must carry per-level detection quality, and
+// enabling forensics must not perturb the learning computation.
+
+TEST(ObsForensicsEndToEnd, LedgerSeparatesByzantineAndRecordsQuality) {
+  core::ScenarioConfig config;
+  config.learn.rounds = 3;
+  config.samples_per_class = 20;
+  config.test_samples_per_class = 10;
+  config.malicious_fraction = 0.25;
+  config.model_attack = "sign_flip";
+  config.scheme_id = 3;  // BRA partial + BRA global: verdicts at every level
+  config.seed = 21;
+
+  Recorder recorder;
+  config.recorder = &recorder;
+  const auto with_forensics = core::run_scenario(config, /*run_vanilla=*/false);
+
+  // Round records carry per-level precision/recall and the AUC field.
+  std::size_t hfl_records = 0;
+  for (const auto& rec : recorder.records()) {
+    if (rec.runner != "hfl") continue;
+    ++hfl_records;
+    EXPECT_TRUE(rec.has("suspicion_auc"));
+    bool any_level = false;
+    for (std::size_t l = 0; l < config.levels; ++l) {
+      const std::string suffix = "_l" + std::to_string(l);
+      if (rec.has("filter_precision" + suffix)) {
+        any_level = true;
+        EXPECT_TRUE(rec.has("filter_recall" + suffix));
+        EXPECT_TRUE(rec.has("filter_f1" + suffix));
+      }
+    }
+    EXPECT_TRUE(any_level);
+  }
+  EXPECT_EQ(hfl_records, config.learn.rounds);
+
+  // The suspicion snapshot separates the 16 Byzantine devices perfectly.
+  double byz_min = 0.0, honest_max = 0.0;
+  std::size_t byz_n = 0, honest_n = 0;
+  for (const auto& rec : recorder.records()) {
+    if (rec.runner != "hfl_suspicion") continue;
+    const double s = rec.get("suspicion");
+    if (rec.get("byzantine") != 0.0) {
+      byz_min = byz_n == 0 ? s : std::min(byz_min, s);
+      ++byz_n;
+    } else {
+      honest_max = honest_n == 0 ? s : std::max(honest_max, s);
+      ++honest_n;
+    }
+  }
+  EXPECT_EQ(byz_n, 16u);
+  EXPECT_EQ(honest_n, 48u);
+  EXPECT_GT(byz_min, honest_max);
+
+  // Forensics is observation-only: the same run without a recorder produces
+  // a bitwise-identical model.
+  config.recorder = nullptr;
+  const auto without = core::run_scenario(config, /*run_vanilla=*/false);
+  ASSERT_EQ(with_forensics.abdhfl.final_model.size(),
+            without.abdhfl.final_model.size());
+  EXPECT_EQ(std::memcmp(with_forensics.abdhfl.final_model.data(),
+                        without.abdhfl.final_model.data(),
+                        without.abdhfl.final_model.size() * sizeof(float)),
+            0);
+  ASSERT_EQ(with_forensics.abdhfl.accuracy_per_round.size(),
+            without.abdhfl.accuracy_per_round.size());
+  for (std::size_t r = 0; r < without.abdhfl.accuracy_per_round.size(); ++r) {
+    EXPECT_EQ(with_forensics.abdhfl.accuracy_per_round[r],
+              without.abdhfl.accuracy_per_round[r]);
+  }
 }
 
 }  // namespace

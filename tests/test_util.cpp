@@ -192,6 +192,23 @@ TEST(Stats, PercentileSingleElementAndErrors) {
   EXPECT_THROW(percentile(xs, 100.5), std::invalid_argument);
 }
 
+TEST(Stats, PercentileOrFallsBackInsteadOfThrowing) {
+  EXPECT_DOUBLE_EQ(percentile_or({}, 50.0, -1.0), -1.0);
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_or(xs, -1.0, -2.0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 100.5, -2.0), -2.0);
+}
+
+TEST(Stats, PercentileOrMatchesPercentileOnValidInput) {
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(percentile_or(one, 0.0, -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_or(one, 100.0, -1.0), 7.0);
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 0.0, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 100.0, -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_or(xs, 50.0, -1.0), percentile(xs, 50.0));
+}
+
 TEST(Table, TextAndArity) {
   Table t({"a", "b"});
   t.add_row({"1", "22"});

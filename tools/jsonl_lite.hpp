@@ -1,0 +1,140 @@
+#pragma once
+// Minimal flat-JSON-object line parser shared by the developer tools
+// (validate_jsonl, report).  Accepts exactly what obs::Recorder::to_jsonl()
+// produces — flat objects with string or numeric values and JSON string
+// escapes; nested objects/arrays are rejected.  This is a reader for our own
+// exporter, not a general JSON library.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace abdhfl::tools {
+
+struct JsonValue {
+  bool is_string = false;
+  std::string text;  // raw string payload or numeric literal
+
+  [[nodiscard]] double number() const { return std::strtod(text.c_str(), nullptr); }
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one flat JSON object line into key -> value.  Returns std::nullopt
+/// and fills `error` on malformed input.
+inline std::optional<JsonObject> parse_flat_object(const std::string& line,
+                                                   std::string& error) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  };
+  const auto parse_string = [&](std::string& out) -> bool {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        if (i >= line.size()) return false;
+        switch (line[i]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (i + 4 >= line.size()) return false;
+            out.push_back('?');  // presence check only; code point dropped
+            i += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(line[i]);
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  JsonObject fields;
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') {
+    error = "line does not start with '{'";
+    return std::nullopt;
+  }
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) {
+        error = "expected a quoted key";
+        return std::nullopt;
+      }
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') {
+        error = "expected ':' after key \"" + key + "\"";
+        return std::nullopt;
+      }
+      ++i;
+      skip_ws();
+      JsonValue value;
+      if (i < line.size() && line[i] == '"') {
+        value.is_string = true;
+        if (!parse_string(value.text)) {
+          error = "unterminated string value for key \"" + key + "\"";
+          return std::nullopt;
+        }
+      } else {
+        const std::size_t start = i;
+        while (i < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[i])) || line[i] == '-' ||
+                line[i] == '+' || line[i] == '.' || line[i] == 'e' || line[i] == 'E')) {
+          ++i;
+        }
+        value.text = line.substr(start, i - start);
+        if (value.text.empty()) {
+          error = "non-numeric, non-string value for key \"" + key + "\"";
+          return std::nullopt;
+        }
+        char* end = nullptr;
+        (void)std::strtod(value.text.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          error = "malformed number '" + value.text + "' for key \"" + key + "\"";
+          return std::nullopt;
+        }
+      }
+      fields[key] = std::move(value);
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      error = "expected ',' or '}' in object";
+      return std::nullopt;
+    }
+  }
+  skip_ws();
+  if (i != line.size()) {
+    error = "trailing characters after object";
+    return std::nullopt;
+  }
+  return fields;
+}
+
+}  // namespace abdhfl::tools

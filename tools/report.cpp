@@ -1,0 +1,320 @@
+// report — renders a per-run Markdown summary from the metrics JSONL that
+// the runners emit via --metrics-out (DESIGN.md §7/§8).
+//
+// The input is self-describing: round records (runner "hfl", "vanilla",
+// "async", "pipeline") carry timings/accuracy/filter-quality fields, and the
+// companion "<runner>_suspicion" records carry the per-node suspicion ledger
+// snapshot.  The report is built from the JSONL alone — no access to the run
+// configuration — so it renders exactly what a CI artifact consumer sees:
+//
+//   * per-runner phase-time p50/p95/p99 (util::percentile_or),
+//   * correction-factor (alpha_mean) drift across rounds,
+//   * per-level filter quality (mean precision/recall/F1 of
+//     "filtered => Byzantine") and the suspicion-AUC trajectory,
+//   * suspicion top-K table with ground-truth Byzantine marks and a
+//     separation verdict (does every true Byzantine outrank every honest?).
+//
+//   ./report run.jsonl [--top K] [-o out.md]
+//
+// Exits 0 after writing the Markdown (stdout by default); exits 1 on an
+// unreadable/malformed/empty input.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "jsonl_lite.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using abdhfl::tools::JsonObject;
+
+struct Record {
+  std::string runner;
+  double round = 0.0;
+  JsonObject fields;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return fields.find(key) != fields.end();
+  }
+  [[nodiscard]] double num(const std::string& key, double def = 0.0) const {
+    const auto it = fields.find(key);
+    return it == fields.end() || it->second.is_string ? def : it->second.number();
+  }
+};
+
+constexpr const char* kSuspicionSuffix = "_suspicion";
+
+bool is_suspicion_runner(const std::string& runner) {
+  const std::size_t n = std::strlen(kSuspicionSuffix);
+  return runner.size() > n &&
+         runner.compare(runner.size() - n, n, kSuspicionSuffix) == 0;
+}
+
+std::vector<double> column(const std::vector<const Record*>& recs,
+                           const std::string& key) {
+  std::vector<double> xs;
+  xs.reserve(recs.size());
+  for (const Record* r : recs) {
+    if (r->has(key)) xs.push_back(r->num(key));
+  }
+  return xs;
+}
+
+void phase_time_section(std::ostream& out, const std::vector<const Record*>& recs) {
+  // The union of per-phase wall-clock fields across all runners; only the
+  // ones actually present in this run are rendered.
+  static const char* kPhases[] = {"round_s",      "train_s",     "partial_agg_s",
+                                  "global_agg_s", "broadcast_s", "eval_s",
+                                  "agg_s",        "t_formed",    "t_global"};
+  bool any = false;
+  for (const char* phase : kPhases) {
+    const std::vector<double> xs = column(recs, phase);
+    if (xs.empty()) continue;
+    if (!any) {
+      out << "\n### Phase times (seconds)\n\n";
+      out << "| phase | p50 | p95 | p99 |\n|---|---|---|---|\n";
+      any = true;
+    }
+    char row[160];
+    std::snprintf(row, sizeof(row), "| %s | %.4f | %.4f | %.4f |\n", phase,
+                  abdhfl::util::percentile_or(xs, 50.0, 0.0),
+                  abdhfl::util::percentile_or(xs, 95.0, 0.0),
+                  abdhfl::util::percentile_or(xs, 99.0, 0.0));
+    out << row;
+  }
+}
+
+void alpha_drift_section(std::ostream& out, const std::vector<const Record*>& recs) {
+  const std::vector<double> alpha = column(recs, "alpha_mean");
+  if (alpha.empty()) return;
+  const auto [lo, hi] = std::minmax_element(alpha.begin(), alpha.end());
+  char buf[220];
+  std::snprintf(buf, sizeof(buf),
+                "\n### Correction-factor drift\n\n"
+                "alpha_mean: first %.4f, last %.4f, min %.4f, max %.4f "
+                "(drift %+.4f over %zu rounds)\n",
+                alpha.front(), alpha.back(), *lo, *hi,
+                alpha.back() - alpha.front(), alpha.size());
+  out << buf;
+}
+
+void filter_quality_section(std::ostream& out, const std::vector<const Record*>& recs) {
+  // Collect every precision key present ("filter_precision" for flat runners,
+  // "filter_precision_l<N>" per level for hierarchical ones) and report the
+  // cross-round mean of the matching precision/recall/F1 triple.
+  std::vector<std::string> suffixes;
+  for (const Record* r : recs) {
+    for (const auto& [key, value] : r->fields) {
+      (void)value;
+      const std::string prefix = "filter_precision";
+      if (key.compare(0, prefix.size(), prefix) == 0) {
+        const std::string suffix = key.substr(prefix.size());
+        if (std::find(suffixes.begin(), suffixes.end(), suffix) == suffixes.end()) {
+          suffixes.push_back(suffix);
+        }
+      }
+    }
+  }
+  if (suffixes.empty()) return;
+  std::sort(suffixes.begin(), suffixes.end());
+
+  out << "\n### Filter quality (mean over rounds, \"filtered => Byzantine\")\n\n";
+  out << "| level | precision | recall | F1 |\n|---|---|---|---|\n";
+  for (const std::string& suffix : suffixes) {
+    const auto mean = [&](const std::string& base) {
+      const std::vector<double> xs = column(recs, base + suffix);
+      double sum = 0.0;
+      for (double x : xs) sum += x;
+      return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+    };
+    const std::string label = suffix.empty() ? std::string("(flat)")
+                                             : suffix.substr(1);  // drop '_'
+    char row[160];
+    std::snprintf(row, sizeof(row), "| %s | %.3f | %.3f | %.3f |\n", label.c_str(),
+                  mean("filter_precision"), mean("filter_recall"), mean("filter_f1"));
+    out << row;
+  }
+
+  const std::vector<double> auc = column(recs, "suspicion_auc");
+  if (!auc.empty()) {
+    double sum = 0.0;
+    for (double x : auc) sum += x;
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "\nSuspicion AUC (Byzantine vs honest ledger separation): "
+                  "first %.3f, last %.3f, mean %.3f\n",
+                  auc.front(), auc.back(), sum / static_cast<double>(auc.size()));
+    out << buf;
+  }
+}
+
+void suspicion_section(std::ostream& out, const std::string& runner,
+                       std::vector<const Record*> recs, std::size_t top_k) {
+  std::stable_sort(recs.begin(), recs.end(), [](const Record* a, const Record* b) {
+    return a->num("suspicion") > b->num("suspicion");
+  });
+  const bool labelled = !recs.empty() && recs.front()->has("byzantine");
+
+  out << "\n### Suspicion ledger: " << runner << " (top "
+      << std::min(top_k, recs.size()) << " of " << recs.size() << " nodes)\n\n";
+  out << (labelled
+              ? "| rank | node | suspicion | filter events | observations | byzantine |\n"
+                "|---|---|---|---|---|---|\n"
+              : "| rank | node | suspicion | filter events | observations |\n"
+                "|---|---|---|---|---|\n");
+  for (std::size_t i = 0; i < recs.size() && i < top_k; ++i) {
+    const Record* r = recs[i];
+    char row[220];
+    if (labelled) {
+      std::snprintf(row, sizeof(row), "| %zu | %.0f | %.4f | %.0f | %.0f | %s |\n",
+                    i + 1, r->num("node"), r->num("suspicion"),
+                    r->num("filter_events"), r->num("observations"),
+                    r->num("byzantine") != 0.0 ? "yes" : "no");
+    } else {
+      std::snprintf(row, sizeof(row), "| %zu | %.0f | %.4f | %.0f | %.0f |\n", i + 1,
+                    r->num("node"), r->num("suspicion"), r->num("filter_events"),
+                    r->num("observations"));
+    }
+    out << row;
+  }
+
+  if (labelled) {
+    // Separation verdict: the acceptance bar is every true Byzantine node
+    // ranking above every honest one by final suspicion.
+    double byz_min = 0.0, honest_max = 0.0;
+    std::size_t byz_n = 0, honest_n = 0;
+    for (const Record* r : recs) {
+      const double s = r->num("suspicion");
+      if (r->num("byzantine") != 0.0) {
+        byz_min = byz_n == 0 ? s : std::min(byz_min, s);
+        ++byz_n;
+      } else {
+        honest_max = honest_n == 0 ? s : std::max(honest_max, s);
+        ++honest_n;
+      }
+    }
+    if (byz_n > 0 && honest_n > 0) {
+      char buf[240];
+      std::snprintf(buf, sizeof(buf),
+                    "\nSeparation: min Byzantine suspicion %.4f vs max honest "
+                    "%.4f — %s (%zu Byzantine, %zu honest)\n",
+                    byz_min, honest_max,
+                    byz_min > honest_max ? "**perfect ranking**" : "overlapping",
+                    byz_n, honest_n);
+      out << buf;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* input = nullptr;
+  const char* output = nullptr;
+  std::size_t top_k = 10;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--top") == 0 && a + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::strtoul(argv[++a], nullptr, 10));
+    } else if (std::strcmp(argv[a], "-o") == 0 && a + 1 < argc) {
+      output = argv[++a];
+    } else if (input == nullptr) {
+      input = argv[a];
+    } else {
+      std::fprintf(stderr, "usage: %s <file.jsonl> [--top K] [-o out.md]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (input == nullptr || top_k == 0) {
+    std::fprintf(stderr, "usage: %s <file.jsonl> [--top K] [-o out.md]\n", argv[0]);
+    return 1;
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "report: cannot open %s\n", input);
+    return 1;
+  }
+
+  std::vector<Record> records;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string error;
+    auto fields = abdhfl::tools::parse_flat_object(line, error);
+    if (!fields) {
+      std::fprintf(stderr, "report: %s:%zu: %s\n", input, lineno, error.c_str());
+      return 1;
+    }
+    Record rec;
+    const auto runner = fields->find("runner");
+    if (runner == fields->end() || !runner->second.is_string) {
+      std::fprintf(stderr, "report: %s:%zu: missing \"runner\" string\n", input, lineno);
+      return 1;
+    }
+    rec.runner = runner->second.text;
+    const auto round = fields->find("round");
+    rec.round = round != fields->end() && !round->second.is_string
+                    ? round->second.number()
+                    : 0.0;
+    rec.fields = std::move(*fields);
+    records.push_back(std::move(rec));
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "report: %s: no records\n", input);
+    return 1;
+  }
+
+  // Group by runner, preserving file order within a group.
+  std::map<std::string, std::vector<const Record*>> by_runner;
+  for (const Record& r : records) by_runner[r.runner].push_back(&r);
+
+  std::ostringstream md;
+  md << "# Run report: " << input << "\n\n" << records.size() << " record(s)";
+  for (const auto& [name, recs] : by_runner) {
+    md << ", " << name << "=" << recs.size();
+  }
+  md << "\n";
+
+  for (const auto& [name, recs] : by_runner) {
+    if (is_suspicion_runner(name)) continue;
+    md << "\n## Runner: " << name << " (" << recs.size() << " rounds)\n";
+    const std::vector<double> acc = column(recs, "accuracy");
+    if (!acc.empty()) {
+      char buf[120];
+      std::snprintf(buf, sizeof(buf), "\nAccuracy: first %.4f, final %.4f\n",
+                    acc.front(), acc.back());
+      md << buf;
+    }
+    phase_time_section(md, recs);
+    alpha_drift_section(md, recs);
+    filter_quality_section(md, recs);
+  }
+  for (const auto& [name, recs] : by_runner) {
+    if (!is_suspicion_runner(name)) continue;
+    md << "\n## Forensics: " << name << "\n";
+    suspicion_section(md, name, recs, top_k);
+  }
+
+  const std::string text = md.str();
+  if (output != nullptr) {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "report: cannot write %s\n", output);
+      return 1;
+    }
+    out << text;
+  } else {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  }
+  return 0;
+}

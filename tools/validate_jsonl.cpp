@@ -2,158 +2,68 @@
 // the runners emit via --metrics-out (DESIGN.md §7).
 //
 // Every line must be a flat JSON object with a "runner" string and a
-// "round" number; any further keys listed on the command line must be
-// present on every line as numbers.  The parser accepts exactly what
-// obs::Recorder::to_jsonl() produces (flat objects, string or numeric
-// values, JSON string escapes) — it is a validator for our own exporter,
-// not a general JSON library.
+// "round" number.  Further required keys come in two flavours:
 //
-//   ./validate_jsonl run.jsonl [required-key ...]
+//   * positional keys apply to every line whose runner has no dedicated
+//     group (backward compatible with the original single-schema usage);
+//   * `--runner NAME key...` opens a group whose keys are required only on
+//     lines with that runner — this is how the per-node suspicion records
+//     ("hfl_suspicion" etc.), which carry node/suspicion fields instead of
+//     round timings, coexist with round records in one file.
+//
+//   ./validate_jsonl run.jsonl [key ...] [--runner NAME key ...] ...
 //
 // Exits 0 and prints a one-line summary when every line passes; exits 1
-// with the offending line number and reason otherwise.
+// with the offending line number and reason otherwise.  The parser lives in
+// jsonl_lite.hpp (shared with tools/report) and accepts exactly what
+// obs::Recorder::to_jsonl() produces.
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "jsonl_lite.hpp"
+
 namespace {
 
-struct Value {
-  bool is_string = false;
-  std::string text;  // raw string payload or numeric literal
+struct Schema {
+  std::vector<std::string> default_keys;  // runners without a dedicated group
+  std::map<std::string, std::vector<std::string>> per_runner;
 };
 
-// Parses a flat JSON object into key -> value.  Returns std::nullopt and
-// fills `error` on malformed input; nested objects/arrays are rejected.
-std::optional<std::map<std::string, Value>> parse_flat_object(const std::string& line,
-                                                              std::string& error) {
-  std::size_t i = 0;
-  const auto skip_ws = [&] {
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
-  };
-  const auto parse_string = [&](std::string& out) -> bool {
-    if (i >= line.size() || line[i] != '"') return false;
-    ++i;
-    while (i < line.size() && line[i] != '"') {
-      if (line[i] == '\\') {
-        ++i;
-        if (i >= line.size()) return false;
-        switch (line[i]) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u': {
-            if (i + 4 >= line.size()) return false;
-            out.push_back('?');  // presence check only; code point dropped
-            i += 4;
-            break;
-          }
-          default: return false;
-        }
-      } else {
-        out.push_back(line[i]);
+Schema parse_schema(int argc, char** argv) {
+  Schema schema;
+  std::vector<std::string>* target = &schema.default_keys;
+  for (int a = 2; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--runner") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "validate_jsonl: --runner needs a runner name\n");
+        std::exit(1);
       }
-      ++i;
-    }
-    if (i >= line.size()) return false;
-    ++i;  // closing quote
-    return true;
-  };
-
-  std::map<std::string, Value> fields;
-  skip_ws();
-  if (i >= line.size() || line[i] != '{') {
-    error = "line does not start with '{'";
-    return std::nullopt;
-  }
-  ++i;
-  skip_ws();
-  if (i < line.size() && line[i] == '}') {
-    ++i;
-  } else {
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!parse_string(key)) {
-        error = "expected a quoted key";
-        return std::nullopt;
-      }
-      skip_ws();
-      if (i >= line.size() || line[i] != ':') {
-        error = "expected ':' after key \"" + key + "\"";
-        return std::nullopt;
-      }
-      ++i;
-      skip_ws();
-      Value value;
-      if (i < line.size() && line[i] == '"') {
-        value.is_string = true;
-        if (!parse_string(value.text)) {
-          error = "unterminated string value for key \"" + key + "\"";
-          return std::nullopt;
-        }
-      } else {
-        const std::size_t start = i;
-        while (i < line.size() &&
-               (std::isdigit(static_cast<unsigned char>(line[i])) || line[i] == '-' ||
-                line[i] == '+' || line[i] == '.' || line[i] == 'e' || line[i] == 'E')) {
-          ++i;
-        }
-        value.text = line.substr(start, i - start);
-        if (value.text.empty()) {
-          error = "non-numeric, non-string value for key \"" + key + "\"";
-          return std::nullopt;
-        }
-        char* end = nullptr;
-        (void)std::strtod(value.text.c_str(), &end);
-        if (end == nullptr || *end != '\0') {
-          error = "malformed number '" + value.text + "' for key \"" + key + "\"";
-          return std::nullopt;
-        }
-      }
-      fields[key] = std::move(value);
-      skip_ws();
-      if (i < line.size() && line[i] == ',') {
-        ++i;
-        continue;
-      }
-      if (i < line.size() && line[i] == '}') {
-        ++i;
-        break;
-      }
-      error = "expected ',' or '}' in object";
-      return std::nullopt;
+      ++a;
+      target = &schema.per_runner[argv[a]];
+    } else {
+      target->emplace_back(argv[a]);
     }
   }
-  skip_ws();
-  if (i != line.size()) {
-    error = "trailing characters after object";
-    return std::nullopt;
-  }
-  return fields;
+  return schema;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file.jsonl> [required-key ...]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <file.jsonl> [required-key ...] "
+                 "[--runner NAME required-key ...] ...\n",
+                 argv[0]);
     return 1;
   }
-  std::vector<std::string> required;
-  for (int a = 2; a < argc; ++a) required.emplace_back(argv[a]);
+  const Schema schema = parse_schema(argc, argv);
 
   std::ifstream in(argv[1]);
   if (!in) {
@@ -170,7 +80,7 @@ int main(int argc, char** argv) {
     if (line.empty()) continue;
 
     std::string error;
-    const auto fields = parse_flat_object(line, error);
+    const auto fields = abdhfl::tools::parse_flat_object(line, error);
     if (!fields) {
       std::fprintf(stderr, "validate_jsonl: %s:%zu: %s\n", argv[1], lineno, error.c_str());
       return 1;
@@ -189,11 +99,16 @@ int main(int argc, char** argv) {
                    argv[1], lineno);
       return 1;
     }
+
+    const auto group = schema.per_runner.find(runner->second.text);
+    const std::vector<std::string>& required =
+        group != schema.per_runner.end() ? group->second : schema.default_keys;
     for (const auto& key : required) {
       const auto it = fields->find(key);
       if (it == fields->end()) {
-        std::fprintf(stderr, "validate_jsonl: %s:%zu: missing required key \"%s\"\n",
-                     argv[1], lineno, key.c_str());
+        std::fprintf(stderr,
+                     "validate_jsonl: %s:%zu: runner \"%s\" missing required key \"%s\"\n",
+                     argv[1], lineno, runner->second.text.c_str(), key.c_str());
         return 1;
       }
       if (it->second.is_string && key != "runner") {
