@@ -1,0 +1,223 @@
+// Distributed federation: the same 2-level ABD-HFL run three ways.
+//
+//   1. reference — a transport-free loop calling the shared node arithmetic
+//      (net::cluster_round / merge_models) directly;
+//   2. loopback  — RootNode + WorkerNodes in one process over the loopback
+//      transport, every model crossing the codec as real encoded frames;
+//   3. tcp       — the same nodes as separate OS processes (fork) exchanging
+//      frames over localhost sockets.
+//
+// The run asserts the paper-level invariants the transport must preserve:
+// the loopback global model is BITWISE equal to the reference (framing adds
+// zero arithmetic), and the TCP federation lands within 1pp of it.  With
+// --kill-worker one TCP worker dies mid-run; the root must degrade through
+// the peer-loss/churn path and still finish with the remaining quorum.
+//
+//   ./distributed_federation [--rounds 3] [--workers 3] [--kill-worker]
+//                            [--metrics-out dist.jsonl]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "agg/aggregator.hpp"
+#include "net/loopback.hpp"
+#include "net/node.hpp"
+#include "net/tcp.hpp"
+#include "obs/obs.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace abdhfl;
+
+// The transport-free loop: identical arithmetic, direct function calls.
+struct Reference {
+  std::vector<float> global;
+  double accuracy = 0.0;
+};
+
+Reference run_reference(const net::FederationConfig& config) {
+  auto data = net::build_federation_data(config);
+  std::vector<std::vector<core::LocalTrainer>> trainers(config.workers);
+  std::vector<std::unique_ptr<agg::Aggregator>> cluster_rules;
+  std::vector<std::vector<float>> current(config.workers, data.init_params);
+  std::vector<std::vector<float>> last_cluster(config.workers);
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    for (std::size_t k = 0; k < config.devices_per_worker; ++k) {
+      trainers[w].push_back(
+          net::make_device_trainer(config, data, w * config.devices_per_worker + k));
+    }
+    cluster_rules.push_back(agg::make_aggregator(config.cluster_rule));
+  }
+  auto root_rule = agg::make_aggregator(config.root_rule);
+  std::vector<float> global = data.init_params;
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    std::vector<agg::ModelVec> updates;
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      last_cluster[w] =
+          net::cluster_round(config, trainers[w], *cluster_rules[w], current[w]);
+      updates.push_back(last_cluster[w]);
+    }
+    root_rule->set_reference(global);
+    global = root_rule->aggregate(updates);
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      current[w] = net::merge_models(global, last_cluster[w], config.alpha);
+    }
+  }
+  Reference out;
+  out.accuracy = core::evaluate_params(data.prototype, global, data.test_set);
+  out.global = std::move(global);
+  return out;
+}
+
+// One process, one loopback transport, all nodes: frames are encoded,
+// queued, decoded — the codec path of a socket run without the sockets.
+net::RootResult run_loopback(const net::FederationConfig& config, obs::Recorder* rec,
+                             obs::TraceBuffer* trace) {
+  net::LoopbackTransport transport;
+  if (trace != nullptr) transport.set_trace(trace);
+  net::RootNode root(config, transport, rec);
+  std::vector<std::unique_ptr<net::WorkerNode>> workers;
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    workers.push_back(std::make_unique<net::WorkerNode>(config, w, transport, rec));
+  }
+  root.start();
+  for (auto& worker : workers) worker->start();
+  net::pump_until(transport, [&] { root.on_idle(); return root.done(); }, 300.0);
+  if (rec != nullptr) transport.record_traffic(*rec, root.result().rounds_run);
+  return root.result();
+}
+
+// Worker child process: never returns.  Exits via _exit so the parent's
+// stdio buffers (duplicated by fork) are not flushed twice; with
+// die_after_round >= 0 the process vanishes mid-run without a goodbye —
+// the crash the root's churn path must absorb.
+[[noreturn]] void worker_process(const net::FederationConfig& config, std::size_t index,
+                                 std::uint16_t port, long die_after_round) {
+  net::TcpTransport transport(net::worker_node_id(index));
+  transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
+  if (!transport.connect_peer(net::kRootId, "127.0.0.1", port)) _exit(3);
+  net::WorkerNode worker(config, index, transport);
+  worker.start();
+  const bool finished = net::pump_until(
+      transport,
+      [&] {
+        worker.on_idle();
+        if (die_after_round >= 0 &&
+            worker.rounds_run() >= static_cast<std::size_t>(die_after_round)) {
+          _exit(0);  // simulated crash: no leave, socket torn down by the kernel
+        }
+        return worker.done();
+      },
+      300.0);
+  _exit(finished && !worker.failed() ? 0 : 2);
+}
+
+struct TcpOutcome {
+  net::RootResult result;
+  bool children_ok = true;
+};
+
+TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
+                   obs::Recorder* rec) {
+  net::TcpTransport transport(net::kRootId);
+  const std::uint16_t port = transport.listen(0);
+
+  std::vector<pid_t> children;
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    // Worker 0 is the sacrificial one in --kill-worker mode: it exits right
+    // after merging the first global model.
+    const long die_after = kill_worker && w == 0 ? 1 : -1;
+    const pid_t pid = fork();
+    if (pid == 0) worker_process(config, w, port, die_after);
+    children.push_back(pid);
+  }
+
+  net::RootNode root(config, transport, rec);
+  root.start();
+  net::pump_until(transport, [&] { root.on_idle(); return root.done(); }, 300.0);
+  if (rec != nullptr) transport.record_traffic(*rec, root.result().rounds_run);
+
+  TcpOutcome out;
+  out.result = root.result();
+  for (std::size_t w = 0; w < children.size(); ++w) {
+    int status = 0;
+    waitpid(children[w], &status, 0);
+    const bool sacrificed = kill_worker && w == 0;
+    if (!sacrificed && (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+      out.children_ok = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  net::FederationConfig config;
+  config.seed = static_cast<std::uint64_t>(cli.integer("seed", 17, "RNG seed"));
+  config.workers =
+      static_cast<std::size_t>(cli.integer("workers", 3, "cluster leaders"));
+  config.devices_per_worker = static_cast<std::size_t>(
+      cli.integer("devices-per-worker", 2, "devices each worker trains"));
+  config.rounds = static_cast<std::size_t>(cli.integer("rounds", 3, "global rounds"));
+  config.samples_per_class = static_cast<std::size_t>(
+      cli.integer("samples-per-class", 12, "training samples per digit class"));
+  config.local_iters =
+      static_cast<std::size_t>(cli.integer("local-iters", 8, "SGD iters per round"));
+  const bool kill_worker =
+      cli.boolean("kill-worker", false, "kill one TCP worker mid-run (churn demo)");
+  const bool skip_tcp = cli.boolean("skip-tcp", false, "run only reference + loopback");
+  const auto obs_opts = obs::declare_cli(cli);
+  if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
+  obs::TraceBuffer trace;
+  obs::Recorder* rec = obs_opts.active() ? &recorder : nullptr;
+
+  std::printf("distributed federation: %zu workers x %zu devices, %zu rounds\n\n",
+              config.workers, config.devices_per_worker, config.rounds);
+
+  const Reference reference = run_reference(config);
+  std::printf("reference (no transport):    accuracy %.4f\n", reference.accuracy);
+
+  const net::RootResult loop = run_loopback(config, rec, rec ? &trace : nullptr);
+  std::printf("loopback  (1 process):       accuracy %.4f\n", loop.final_accuracy);
+  const bool bitwise =
+      loop.global_model.size() == reference.global.size() &&
+      std::memcmp(loop.global_model.data(), reference.global.data(),
+                  reference.global.size() * sizeof(float)) == 0;
+  std::printf("loopback vs reference:       %s\n",
+              bitwise ? "bitwise equal" : "MISMATCH");
+
+  bool tcp_ok = true;
+  if (!skip_tcp) {
+    const TcpOutcome tcp = run_tcp(config, kill_worker, rec);
+    std::printf("tcp       (%zu processes):    accuracy %.4f  (%zu joined, %zu lost)\n",
+                config.workers + 1, tcp.result.final_accuracy, tcp.result.workers_joined,
+                tcp.result.workers_lost);
+    if (kill_worker) {
+      // The federation must complete through the degradation path: all
+      // rounds run, exactly the sacrificed worker lost.
+      tcp_ok = tcp.children_ok && tcp.result.rounds_run == config.rounds &&
+               tcp.result.workers_lost == 1;
+      std::printf("kill-worker churn path:      %s\n", tcp_ok ? "completed" : "FAILED");
+    } else {
+      const double gap = tcp.result.final_accuracy - reference.accuracy;
+      tcp_ok = tcp.children_ok && tcp.result.rounds_run == config.rounds &&
+               gap > -0.01 && gap < 0.01;
+      std::printf("tcp vs reference:            %+.4f (|gap| < 0.01 required)\n", gap);
+    }
+  }
+
+  obs::write_outputs(obs_opts, recorder, obs_opts.active() ? &trace : nullptr);
+  return bitwise && tcp_ok ? 0 : 1;
+}

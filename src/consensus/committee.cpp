@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "tensor/ops.hpp"
 
 namespace abdhfl::consensus {
@@ -34,7 +34,8 @@ ConsensusResult CommitteeConsensus::agree(const std::vector<ModelVec>& candidate
   // Each member sends its candidate to every committee member; each
   // committee member broadcasts its votes back to the whole group.
   result.messages = static_cast<std::uint64_t>(n) * c + static_cast<std::uint64_t>(c) * n;
-  result.model_bytes = static_cast<std::uint64_t>(n) * c * nn::wire_size(dim);
+  result.model_bytes = static_cast<std::uint64_t>(n) * c * net::model_update_wire_size(dim);
+  result.vote_bytes = static_cast<std::uint64_t>(c) * n * net::vote_wire_size();
 
   std::vector<std::size_t> upvotes(n, 0);
   for (std::size_t member : committee) {

@@ -35,7 +35,11 @@ struct ConsensusResult {
   ModelVec model;                 // agreed aggregate
   std::vector<bool> accepted;     // per candidate: survived filtering
   std::uint64_t messages = 0;     // protocol messages exchanged
-  std::uint64_t model_bytes = 0;  // bytes of model payloads exchanged
+  /// Wire bytes of model-carrying frames (net::model_update_wire_size per
+  /// transfer — real codec framing, not the bare parameter blob).
+  std::uint64_t model_bytes = 0;
+  /// Wire bytes of vote/ack frames (net::vote_wire_size each).
+  std::uint64_t vote_bytes = 0;
   bool success = false;           // protocol reached agreement
   std::size_t views = 1;          // leader changes + 1 (PBFT only)
 };

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "tensor/ops.hpp"
 
 namespace abdhfl::consensus {
@@ -59,7 +59,7 @@ ConsensusResult GossipAverage::agree(const std::vector<ModelVec>& candidates,
       std::size_t peer = static_cast<std::size_t>(rng.below(n - 1));
       if (peer >= i) ++peer;
       result.messages += 2;  // push + pull
-      result.model_bytes += 2 * nn::wire_size(dim);
+      result.model_bytes += 2 * net::model_update_wire_size(dim);
 
       // A Byzantine participant never moves: it keeps gossiping its own
       // (malicious) vector, dragging the average toward it.

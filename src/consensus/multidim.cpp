@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "tensor/ops.hpp"
 
 namespace abdhfl::consensus {
@@ -43,7 +43,7 @@ ConsensusResult MultiDimConsensus::agree(const std::vector<ModelVec>& candidates
   // Initial all-to-all distribution of the candidates (needed before any
   // node can even evaluate the group's diameter).
   result.messages += static_cast<std::uint64_t>(n) * (n - 1);
-  result.model_bytes += static_cast<std::uint64_t>(n) * (n - 1) * nn::wire_size(dim);
+  result.model_bytes += static_cast<std::uint64_t>(n) * (n - 1) * net::model_update_wire_size(dim);
 
   std::vector<ModelVec> state = candidates;
   auto honest_diameter = [&] {
@@ -72,7 +72,7 @@ ConsensusResult MultiDimConsensus::agree(const std::vector<ModelVec>& candidates
 
     // All-to-all exchange: n(n-1) model-sized messages.
     result.messages += static_cast<std::uint64_t>(n) * (n - 1);
-    result.model_bytes += static_cast<std::uint64_t>(n) * (n - 1) * nn::wire_size(dim);
+    result.model_bytes += static_cast<std::uint64_t>(n) * (n - 1) * net::model_update_wire_size(dim);
 
     // Honest update: per-coordinate trimmed mean with f trimmed per side.
     // Byzantine senders EQUIVOCATE — each receiver gets its own adversarial

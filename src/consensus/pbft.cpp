@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "tensor/ops.hpp"
 
 namespace abdhfl::consensus {
@@ -66,7 +66,8 @@ ConsensusResult PbftConsensus::agree(const std::vector<ModelVec>& candidates,
     // --- Three phases, with traffic accounting. --------------------------
     result.messages += static_cast<std::uint64_t>(n - 1);           // pre-prepare
     result.messages += 2 * static_cast<std::uint64_t>(n) * (n - 1);  // prepare+commit
-    result.model_bytes += static_cast<std::uint64_t>(n - 1) * nn::wire_size(dim);
+    result.model_bytes += static_cast<std::uint64_t>(n - 1) * net::model_update_wire_size(dim);
+    result.vote_bytes += 2 * static_cast<std::uint64_t>(n) * (n - 1) * net::vote_wire_size();
 
     // Replica vote: honest replicas accept a proposal scoring near their own
     // best; Byzantine replicas accept only bad proposals.

@@ -4,7 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "tensor/ops.hpp"
 
 namespace abdhfl::consensus {
@@ -29,7 +29,9 @@ ConsensusResult VotingConsensus::agree(const std::vector<ModelVec>& candidates,
   // vote vector: n(n-1) model transfers + n(n-1) vote messages.
   result.messages = 2 * static_cast<std::uint64_t>(n) * (n - 1);
   result.model_bytes =
-      static_cast<std::uint64_t>(n) * (n - 1) * nn::wire_size(dim);
+      static_cast<std::uint64_t>(n) * (n - 1) * net::model_update_wire_size(dim);
+  result.vote_bytes =
+      static_cast<std::uint64_t>(n) * (n - 1) * net::vote_wire_size();
 
   std::vector<std::size_t> upvotes(n, 0);
   std::vector<double> mean_score(n, 0.0);  // tie-breaking on exclusion

@@ -7,7 +7,7 @@
 
 #include "consensus/committee.hpp"
 #include "consensus/pbft.hpp"
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "nn/sgd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
@@ -162,7 +162,8 @@ agg::ModelVec AsyncHflRunner::aggregate(const std::vector<agg::ModelVec>& inputs
     }
     result_.comm.messages += inputs.size() + cluster.size();
     result_.comm.model_bytes +=
-        (inputs.size() + cluster.size()) * nn::wire_size(out.size());
+        inputs.size() * net::model_update_wire_size(out.size()) +
+        cluster.size() * net::partial_model_wire_size(out.size());
     if (attack_.model_attack && attack_.mask[cluster.leader_id()]) {
       out = attack_.model_attack->craft(inputs, out, rng_);
     }
@@ -188,7 +189,7 @@ agg::ModelVec AsyncHflRunner::aggregate(const std::vector<agg::ModelVec>& inputs
   };
   auto agreed = protocol.agree(inputs, eval, byz, rng_);
   result_.comm.messages += agreed.messages;
-  result_.comm.model_bytes += agreed.model_bytes;
+  result_.comm.model_bytes += agreed.model_bytes + agreed.vote_bytes;
   if (!agreed.success) ++result_.comm.consensus_failures;
   return std::move(agreed.model);
 }
@@ -290,7 +291,7 @@ void AsyncHflRunner::finish_training(topology::DeviceId d) {
   const std::size_t bottom = tree_.depth();
   const auto cluster_idx = *tree_.cluster_of(bottom, d);
   result_.comm.messages += 1;
-  result_.comm.model_bytes += nn::wire_size(update.size());
+  result_.comm.model_bytes += net::model_update_wire_size(update.size());
   sim_.schedule_after(config_.uplink_latency, [this, round, bottom, cluster_idx, d,
                                                update = std::move(update)]() mutable {
     deliver_to_cluster(round, bottom, cluster_idx, d, std::move(update));
@@ -353,7 +354,7 @@ void AsyncHflRunner::complete_cluster(std::size_t round, std::size_t level,
     for (topology::DeviceId m : cluster.members) {
       for (topology::DeviceId d : tree_.bottom_descendants(level, m)) {
         result_.comm.messages += 1;
-        result_.comm.model_bytes += nn::wire_size(flag->size());
+        result_.comm.model_bytes += net::partial_model_wire_size(flag->size());
         sim_.schedule_after(delay, [this, d, round, flag] {
           start_round(d, round + 1, *flag);
         });
@@ -364,7 +365,7 @@ void AsyncHflRunner::complete_cluster(std::size_t round, std::size_t level,
   const auto parent = tree_.parent_cluster_of(level, index);
   if (!parent) throw std::logic_error("async: intermediate cluster without parent");
   result_.comm.messages += 1;
-  result_.comm.model_bytes += nn::wire_size(model.size());
+  result_.comm.model_bytes += net::model_update_wire_size(model.size());
   // The partial model travels upward under the identity of this cluster's
   // leader (the member representing it in the parent cluster).
   sim_.schedule_after(config_.uplink_latency,
@@ -416,7 +417,7 @@ void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
   auto shared = std::make_shared<const std::vector<float>>(std::move(model));
   for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
     result_.comm.messages += 1;
-    result_.comm.model_bytes += nn::wire_size(shared->size());
+    result_.comm.model_bytes += net::partial_model_wire_size(shared->size());
     sim_.schedule_after(delay, [this, d, round, shared] {
       deliver_global(d, round, shared);
     });

@@ -6,7 +6,7 @@
 
 #include "consensus/committee.hpp"
 #include "consensus/pbft.hpp"
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "nn/sgd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
@@ -233,7 +233,8 @@ agg::ModelVec HflRunner::aggregate_cluster_bra(const std::vector<agg::ModelVec>&
   const std::size_t dim = result.size();
   // Members upload to the leader; leader broadcasts the partial model back.
   comm.messages += inputs.size() + cluster.size();
-  comm.model_bytes += (inputs.size() + cluster.size()) * nn::wire_size(dim);
+  comm.model_bytes += inputs.size() * net::model_update_wire_size(dim) +
+                      cluster.size() * net::partial_model_wire_size(dim);
 
   // A Byzantine leader under a model-update attack corrupts its upload.
   if (attack_.model_attack && attack_.mask[cluster.leader_id()]) {
@@ -272,7 +273,7 @@ agg::ModelVec HflRunner::aggregate_cluster_cba(const std::vector<agg::ModelVec>&
   };
   auto result = protocol.agree(inputs, eval, byz, rng_);
   comm.messages += result.messages;
-  comm.model_bytes += result.model_bytes;
+  comm.model_bytes += result.model_bytes + result.vote_bytes;
   if (!result.success) ++comm.consensus_failures;
 
   ++telem_.cba_calls;
@@ -526,12 +527,13 @@ RunResult HflRunner::run() {
               reached += tree_.bottom_descendants(config_.flag_level, m).size();
             }
             out.comm.messages += reached;
-            out.comm.model_bytes += reached * nn::wire_size(flag_model.size());
+            out.comm.model_bytes += reached * net::partial_model_wire_size(flag_model.size());
           }
         }
         // Global-model dissemination to every device (merged next round).
         out.comm.messages += tree_.num_devices();
-        out.comm.model_bytes += tree_.num_devices() * nn::wire_size(global_model.size());
+        out.comm.model_bytes +=
+            tree_.num_devices() * net::partial_model_wire_size(global_model.size());
       }
 
       {

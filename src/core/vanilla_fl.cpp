@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 #include "nn/sgd.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
@@ -90,7 +90,8 @@ RunResult VanillaFl::run() {
 
       // Star topology traffic: every client uploads, the server broadcasts.
       out.comm.messages += 2 * n;
-      out.comm.model_bytes += 2 * n * nn::wire_size(global_.size());
+      out.comm.model_bytes += n * (net::model_update_wire_size(global_.size()) +
+                                    net::partial_model_wire_size(global_.size()));
 
       {
         obs::ScopedTimer timer(eval_s);
@@ -112,7 +113,9 @@ RunResult VanillaFl::run() {
       rec.set("agg_score_mean", rt.score_mean);
       rec.set("agg_score_max", rt.score_max);
       rec.set("messages", static_cast<double>(2 * n));
-      rec.set("model_bytes", static_cast<double>(2 * n * nn::wire_size(global_.size())));
+      rec.set("model_bytes",
+              static_cast<double>(n * (net::model_update_wire_size(global_.size()) +
+                                       net::partial_model_wire_size(global_.size()))));
 
       // Forensics: verdict k is client k (no quorum shuffle in the star).
       if (ledger_ && !rt.verdicts.empty()) {

@@ -1,0 +1,379 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "data/partition.hpp"
+#include "data/synth_digits.hpp"
+#include "obs/record.hpp"
+#include "topology/churn.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::net {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FederationData build_federation_data(const FederationConfig& config) {
+  if (config.workers == 0 || config.devices_per_worker == 0) {
+    throw std::invalid_argument("federation needs at least one worker and device");
+  }
+  FederationData out;
+  util::Rng rng(config.seed);
+
+  data::SynthConfig synth;
+  synth.side = config.image_side;
+  synth.samples_per_class = config.samples_per_class;
+  const data::Dataset train_pool = data::generate_synth_digits(synth, rng);
+  synth.samples_per_class = config.test_samples_per_class;
+  out.test_set = data::generate_synth_digits(synth, rng);
+  out.input_dim = train_pool.dim();
+
+  out.shards = data::partition_iid(train_pool, config.workers * config.devices_per_worker,
+                                   rng);
+
+  auto model_rng = rng.split();
+  out.prototype = nn::make_mlp(out.input_dim, config.hidden, 10, model_rng);
+  out.init_params = out.prototype.flatten();
+  return out;
+}
+
+core::LocalTrainer make_device_trainer(const FederationConfig& config,
+                                       const FederationData& data, std::size_t device) {
+  if (device >= data.shards.size()) {
+    throw std::out_of_range("make_device_trainer: device index out of range");
+  }
+  // Seed derivation is a pure function of (federation seed, device index):
+  // any process can rebuild any device's SGD stream.
+  util::Rng rng(config.seed ^
+                (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(device + 1)));
+  return core::LocalTrainer(data.shards[device], data.prototype.clone(), rng);
+}
+
+std::vector<float> merge_models(std::span<const float> global,
+                                std::span<const float> local, double alpha) {
+  if (global.size() != local.size()) {
+    throw std::invalid_argument("merge_models: dimension mismatch");
+  }
+  const float a = static_cast<float>(alpha);
+  std::vector<float> merged(global.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    merged[i] = a * global[i] + (1.0f - a) * local[i];
+  }
+  return merged;
+}
+
+std::vector<float> cluster_round(const FederationConfig& config,
+                                 std::vector<core::LocalTrainer>& trainers,
+                                 agg::Aggregator& rule, std::span<const float> start) {
+  std::vector<agg::ModelVec> updates;
+  updates.reserve(trainers.size());
+  for (auto& trainer : trainers) {
+    updates.push_back(trainer.train_round(start, config.local_iters, config.batch,
+                                          config.learning_rate, std::nullopt));
+  }
+  rule.set_reference(start);
+  return rule.aggregate(updates);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerNode
+
+WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
+                       Transport& transport, obs::Recorder* recorder)
+    : config_(std::move(config)),
+      index_(worker_index),
+      id_(worker_node_id(worker_index)),
+      transport_(transport),
+      recorder_(recorder) {
+  const FederationData data = build_federation_data(config_);
+  trainers_.reserve(config_.devices_per_worker);
+  for (std::size_t k = 0; k < config_.devices_per_worker; ++k) {
+    const std::size_t device = index_ * config_.devices_per_worker + k;
+    trainers_.push_back(make_device_trainer(config_, data, device));
+    subtree_samples_ += trainers_.back().shard_size();
+  }
+  rule_ = agg::make_aggregator(config_.cluster_rule);
+  current_ = data.init_params;
+
+  transport_.register_node(id_, [this](const WireMessage& msg) { on_message(msg); });
+  transport_.add_peer_loss_handler([this](NodeId peer) {
+    if (peer == kRootId && !done_) finish(/*failed=*/true);
+  });
+}
+
+void WorkerNode::start() {
+  Membership join;
+  join.event = Membership::Event::kJoin;
+  join.device = id_;
+  join.cluster = static_cast<std::uint32_t>(index_);
+  join.subtree_samples = subtree_samples_;
+  join.codec.quantize_bits = config_.quantize_bits;
+  const SendStatus status =
+      transport_.send({id_, kRootId, 0}, join, kLeaderLinkClass);
+  if (status != SendStatus::kOk) finish(/*failed=*/true);
+}
+
+void WorkerNode::on_idle() {}
+
+void WorkerNode::on_message(const WireMessage& msg) {
+  if (done_) return;
+  if (msg.kind == MsgKind::kMembership) {
+    const auto& member = std::get<Membership>(msg.payload);
+    if (member.event == Membership::Event::kJoin && !started_) {
+      // Join echo: the root confirmed us and fixed the link codec.
+      transport_.set_peer_codec(kRootId, member.codec);
+      started_ = true;
+      train_and_send();
+    } else if (member.event == Membership::Event::kShutdown) {
+      finish(/*failed=*/false);
+    }
+    return;
+  }
+  if (msg.kind == MsgKind::kPartialModel) {
+    const auto& partial = std::get<PartialModel>(msg.payload);
+    if (msg.env.round != round_) return;  // stale frame from a dropped round
+    current_ = merge_models(partial.params, last_cluster_, partial.alpha);
+    ++round_;
+    if (recorder_ != nullptr) {
+      obs::RoundRecord& rec = recorder_->begin_round("dist_worker", round_ - 1);
+      rec.set("worker", static_cast<double>(index_));
+      rec.set("alpha", partial.alpha);
+      rec.set("is_global", partial.is_global ? 1.0 : 0.0);
+    }
+    if (round_ >= config_.rounds) {
+      Membership leave;
+      leave.event = Membership::Event::kLeave;
+      leave.device = id_;
+      leave.cluster = static_cast<std::uint32_t>(index_);
+      transport_.send({id_, kRootId, round_}, leave, kLeaderLinkClass);
+      finish(/*failed=*/false);
+    } else {
+      train_and_send();
+    }
+  }
+}
+
+void WorkerNode::train_and_send() {
+  last_cluster_ = cluster_round(config_, trainers_, *rule_, current_);
+  ModelUpdate update;
+  update.sender = id_;
+  update.level = 1;
+  update.samples = subtree_samples_;
+  update.params = last_cluster_;
+  const SendStatus status =
+      transport_.send({id_, kRootId, round_}, update, kLeaderLinkClass);
+  if (status != SendStatus::kOk) finish(/*failed=*/true);
+}
+
+void WorkerNode::finish(bool failed) {
+  done_ = true;
+  failed_ = failed;
+}
+
+// ---------------------------------------------------------------------------
+// RootNode
+
+RootNode::RootNode(FederationConfig config, Transport& transport,
+                   obs::Recorder* recorder)
+    : config_(std::move(config)),
+      transport_(transport),
+      recorder_(recorder),
+      data_(build_federation_data(config_)),
+      rule_(agg::make_aggregator(config_.root_rule)),
+      tree_(topology::build_ecsm(2, config_.devices_per_worker, config_.workers)),
+      global_(data_.init_params) {
+  transport_.register_node(kRootId, [this](const WireMessage& msg) { on_message(msg); });
+  transport_.add_peer_loss_handler([this](NodeId peer) { on_peer_loss(peer); });
+}
+
+void RootNode::start() { phase_deadline_ = wall_now() + config_.join_timeout_s; }
+
+void RootNode::on_idle() {
+  if (phase_ == Phase::kDone || wall_now() < phase_deadline_) return;
+  if (phase_ == Phase::kJoining) {
+    // Proceed with whoever showed up; nobody at all means nothing to run.
+    if (live_.empty()) {
+      phase_ = Phase::kDone;
+    } else {
+      begin_training();
+    }
+    return;
+  }
+  if (phase_ == Phase::kTraining) {
+    // Round deadline: workers that never delivered are treated as lost.
+    const std::set<NodeId> live = live_;
+    for (const NodeId worker : live) {
+      if (pending_.find(worker) == pending_.end()) on_peer_loss(worker);
+    }
+    return;
+  }
+  if (phase_ == Phase::kFinishing) phase_ = Phase::kDone;  // stragglers' loss
+}
+
+void RootNode::on_message(const WireMessage& msg) {
+  if (phase_ == Phase::kDone) return;
+  switch (msg.kind) {
+    case MsgKind::kMembership: {
+      const auto& member = std::get<Membership>(msg.payload);
+      if (member.event == Membership::Event::kJoin && phase_ == Phase::kJoining) {
+        live_.insert(msg.env.from);
+        subtree_samples_[msg.env.from] = member.subtree_samples;
+        // Codec negotiation: accept what the worker advertised (bounded by
+        // our own config) and fix it for both directions of the link.
+        Codec chosen = member.codec;
+        chosen.quantize_bits = std::min(chosen.quantize_bits, config_.quantize_bits);
+        transport_.set_peer_codec(msg.env.from, chosen);
+        if (live_.size() >= config_.workers) begin_training();
+      } else if (member.event == Membership::Event::kLeave) {
+        left_.insert(msg.env.from);
+        transport_.expect_close(msg.env.from);  // its EOF is not churn
+        maybe_finish();
+      }
+      return;
+    }
+    case MsgKind::kModelUpdate: {
+      if (phase_ != Phase::kTraining) return;
+      if (msg.env.round != round_) return;  // stale retransmission
+      if (live_.find(msg.env.from) == live_.end()) return;
+      const auto& update = std::get<ModelUpdate>(msg.payload);
+      pending_[msg.env.from] = update.params;
+      maybe_aggregate();
+      return;
+    }
+    default:
+      return;  // votes are not part of this runner's protocol
+  }
+}
+
+void RootNode::begin_training() {
+  result_.workers_joined = live_.size();
+  phase_ = Phase::kTraining;
+  phase_deadline_ = wall_now() + config_.round_timeout_s;
+  // Echo every join: this is the workers' starting gun.
+  for (const NodeId worker : live_) {
+    Membership echo;
+    echo.event = Membership::Event::kJoin;
+    echo.device = kRootId;
+    echo.cluster = worker - 1;
+    echo.codec = transport_.codec_for(worker);
+    transport_.send({kRootId, worker, 0}, echo, kLeaderLinkClass);
+  }
+}
+
+void RootNode::maybe_aggregate() {
+  if (phase_ != Phase::kTraining || live_.empty()) return;
+  if (pending_.size() < live_.size()) return;
+
+  // Deterministic input order: pending_ is keyed by node id, and std::map
+  // iterates in ascending key order regardless of arrival order.
+  std::vector<agg::ModelVec> inputs;
+  inputs.reserve(pending_.size());
+  for (const auto& [worker, params] : pending_) inputs.push_back(params);
+  rule_->set_reference(global_);
+  global_ = rule_->aggregate(inputs);
+  pending_.clear();
+
+  const double accuracy =
+      core::evaluate_params(data_.prototype, global_, data_.test_set);
+  result_.round_accuracy.push_back(accuracy);
+  result_.final_accuracy = accuracy;
+  result_.global_model = global_;
+  result_.rounds_run = round_ + 1;
+  if (recorder_ != nullptr) {
+    obs::RoundRecord& rec = recorder_->begin_round("dist_root", round_);
+    rec.set("accuracy", accuracy);
+    rec.set("live_workers", static_cast<double>(live_.size()));
+    rec.set("inputs", static_cast<double>(inputs.size()));
+  }
+
+  PartialModel partial;
+  partial.origin = kRootId;
+  partial.flag_level = 0;
+  partial.is_global = true;
+  partial.alpha = static_cast<float>(config_.alpha);
+  partial.flag_fraction = 1.0;  // the global model covers all of D_G
+  partial.params = global_;
+  for (const NodeId worker : live_) {
+    transport_.send({kRootId, worker, round_}, partial, kLeaderLinkClass);
+  }
+
+  ++round_;
+  phase_deadline_ = wall_now() + config_.round_timeout_s;
+  if (round_ >= config_.rounds) {
+    phase_ = Phase::kFinishing;
+    maybe_finish();
+  }
+}
+
+void RootNode::maybe_finish() {
+  if (phase_ != Phase::kFinishing) return;
+  for (const NodeId worker : live_) {
+    if (left_.find(worker) == left_.end()) return;
+  }
+  phase_ = Phase::kDone;
+}
+
+void RootNode::on_peer_loss(NodeId peer) {
+  if (phase_ == Phase::kDone || live_.find(peer) == live_.end()) return;
+  // A worker that already said goodbye closing its socket is not churn.
+  if (left_.find(peer) != left_.end()) return;
+  live_.erase(peer);
+  pending_.erase(peer);
+  ++result_.workers_lost;
+  apply_churn(peer);
+  if (recorder_ != nullptr) {
+    obs::RoundRecord& rec = recorder_->begin_round("dist_churn", round_);
+    rec.set("worker", static_cast<double>(peer));
+    rec.set("live_workers", static_cast<double>(live_.size()));
+  }
+  if (phase_ == Phase::kTraining) {
+    if (live_.empty()) {
+      phase_ = Phase::kDone;
+    } else {
+      maybe_aggregate();  // the quorum may now be complete
+    }
+  } else if (phase_ == Phase::kFinishing) {
+    maybe_finish();
+  }
+}
+
+void RootNode::apply_churn(NodeId worker) {
+  // Mirror the loss on the topology: the crashed worker is the leader of
+  // bottom cluster (worker-1); with_device_left elects its successor and
+  // re-derives the upper level, the paper's Assumption 3 leave path.
+  const std::size_t cluster_index = static_cast<std::size_t>(worker - 1);
+  if (cluster_index >= tree_.level(1).size()) return;
+  const topology::DeviceId leader = tree_.cluster(1, cluster_index).leader_id();
+  try {
+    auto left = topology::with_device_left(tree_, leader);
+    tree_ = std::move(left.tree);
+  } catch (const std::exception&) {
+    // Assumption 3 forbids emptying a cluster / the top level; the mirror
+    // simply keeps the old shape then — the live set already shrank.
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+bool pump_until(Transport& transport, const std::function<bool()>& done,
+                double deadline_s, double poll_s) {
+  const double deadline = wall_now() + deadline_s;
+  while (!done()) {
+    if (wall_now() >= deadline) return false;
+    transport.poll(poll_s);
+  }
+  return true;
+}
+
+}  // namespace abdhfl::net

@@ -1,0 +1,209 @@
+#pragma once
+// Federation node logic over the transport layer (DESIGN.md §9.3).
+//
+// A two-level ABD-HFL deployment as communicating nodes: one RootNode
+// (global aggregator) and W WorkerNodes (cluster leaders, each training a
+// fixed set of bottom devices).  Nodes are poll-driven state machines — the
+// owning process pumps its Transport and the handlers advance the protocol —
+// so the same classes run single-process over a LoopbackTransport or as
+// separate OS processes over TcpTransport, exchanging byte-identical frames.
+//
+// Protocol per run:
+//   worker -> root   Membership kJoin (subtree samples + advertised codec)
+//   root   -> worker Membership kJoin echo (negotiated codec) once every
+//                    expected worker joined (or the join deadline passed)
+//   per round r:
+//     worker trains its devices from its current model, BRA-aggregates them
+//       (cluster rule), sends ModelUpdate{level=1} to the root;
+//     root BRA-aggregates the live workers' updates (root rule, inputs
+//       sorted by node id for determinism), evaluates, answers every live
+//       worker with PartialModel{is_global, alpha};
+//     worker merges: current = alpha * global + (1-alpha) * cluster model.
+//   worker -> root   Membership kLeave after the final round; the root exits
+//                    once every live worker said goodbye (clean TCP shutdown
+//                    — no RST can clip the last global model in flight).
+//
+// Degradation: a worker that dies mid-run surfaces as a transport peer loss;
+// the root drops it from the live set, feeds the event through
+// topology::with_device_left (leader succession on the mirrored HflTree),
+// records a "dist_churn" JSONL line, and finishes the round with the
+// remaining quorum.  Determinism: every process rebuilds identical data and
+// models from FederationConfig::seed (build_federation_data), and device
+// RNGs are derived from the global device index, so a loopback run is
+// bitwise equal to the transport-free reference loop and a lossless TCP run
+// matches it too.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "agg/aggregator.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "net/transport.hpp"
+#include "nn/mlp.hpp"
+#include "topology/tree.hpp"
+
+namespace abdhfl::obs {
+class Recorder;
+}
+
+namespace abdhfl::net {
+
+struct FederationConfig {
+  std::uint64_t seed = 17;
+  std::size_t workers = 3;            // cluster leaders under the root
+  std::size_t devices_per_worker = 2; // bottom devices each worker trains
+  std::size_t rounds = 4;
+  std::size_t local_iters = 8;
+  std::size_t batch = 16;
+  double learning_rate = 0.05;
+  double alpha = 0.5;                 // Eq. 1 correction factor
+  std::vector<std::size_t> hidden = {16};
+  std::size_t image_side = 8;         // synth-digit image side
+  std::size_t samples_per_class = 12;
+  std::size_t test_samples_per_class = 6;
+  std::string cluster_rule = "trimmed_mean";  // BRA at each worker
+  std::string root_rule = "median";           // BRA at the root
+  std::uint8_t quantize_bits = 0;     // codec workers advertise (0 = raw)
+  double join_timeout_s = 20.0;       // root's wait for worker joins
+  double round_timeout_s = 60.0;      // root's wait for a round's updates
+};
+
+inline constexpr NodeId kRootId = 0;
+[[nodiscard]] inline NodeId worker_node_id(std::size_t worker_index) noexcept {
+  return static_cast<NodeId>(worker_index + 1);
+}
+/// Tree level of the root<->worker links, used as the traffic link class.
+inline constexpr std::uint32_t kLeaderLinkClass = 1;
+
+/// Everything a process derives from the seed alone — identical in every
+/// process of a federation, which is what makes the runs comparable.
+struct FederationData {
+  std::vector<data::Dataset> shards;  // one per device: worker*dpw + k
+  data::Dataset test_set;             // root's reporting set
+  std::size_t input_dim = 0;
+  std::vector<float> init_params;     // round-0 model
+  nn::Mlp prototype;                  // scratch architecture for evaluation
+};
+
+[[nodiscard]] FederationData build_federation_data(const FederationConfig& config);
+
+/// Trainer for one global device index, with its RNG derived from the seed
+/// and the index so every process reproduces the same SGD stream.
+[[nodiscard]] core::LocalTrainer make_device_trainer(const FederationConfig& config,
+                                                     const FederationData& data,
+                                                     std::size_t device);
+
+/// Eq. 1 merge: alpha * global + (1 - alpha) * local, elementwise.
+[[nodiscard]] std::vector<float> merge_models(std::span<const float> global,
+                                              std::span<const float> local, double alpha);
+
+/// One worker-local round: train every trainer from `start`, aggregate with
+/// `rule`.  Exposed so the transport-free reference loop and WorkerNode
+/// share the exact arithmetic (the bitwise-equivalence check depends on it).
+[[nodiscard]] std::vector<float> cluster_round(const FederationConfig& config,
+                                               std::vector<core::LocalTrainer>& trainers,
+                                               agg::Aggregator& rule,
+                                               std::span<const float> start);
+
+// ---------------------------------------------------------------------------
+
+class WorkerNode {
+ public:
+  /// `transport` must outlive the node; the node registers itself under
+  /// worker_node_id(worker_index) and expects a link to kRootId.
+  WorkerNode(FederationConfig config, std::size_t worker_index, Transport& transport,
+             obs::Recorder* recorder = nullptr);
+
+  /// Send the join; training starts when the root echoes it.
+  void start();
+  /// Deadline bookkeeping; call between poll()s.
+  void on_idle();
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  /// The worker's final merged model (valid once done() && !failed()).
+  [[nodiscard]] const std::vector<float>& model() const noexcept { return current_; }
+  [[nodiscard]] std::size_t rounds_run() const noexcept { return round_; }
+
+ private:
+  void on_message(const WireMessage& msg);
+  void train_and_send();
+  void finish(bool failed);
+
+  FederationConfig config_;
+  std::size_t index_;
+  NodeId id_;
+  Transport& transport_;
+  obs::Recorder* recorder_;
+  std::vector<core::LocalTrainer> trainers_;
+  std::unique_ptr<agg::Aggregator> rule_;
+  std::uint64_t subtree_samples_ = 0;
+  std::vector<float> current_;       // model the next round trains from
+  std::vector<float> last_cluster_;  // this worker's latest BRA output
+  std::size_t round_ = 0;
+  bool started_ = false;  // join echoed, training underway
+  bool done_ = false;
+  bool failed_ = false;
+};
+
+struct RootResult {
+  std::vector<float> global_model;
+  std::vector<double> round_accuracy;  // one entry per completed round
+  double final_accuracy = 0.0;
+  std::size_t rounds_run = 0;
+  std::size_t workers_joined = 0;
+  std::size_t workers_lost = 0;
+};
+
+class RootNode {
+ public:
+  RootNode(FederationConfig config, Transport& transport,
+           obs::Recorder* recorder = nullptr);
+
+  void start();
+  void on_idle();
+
+  [[nodiscard]] bool done() const noexcept { return phase_ == Phase::kDone; }
+  [[nodiscard]] const RootResult& result() const noexcept { return result_; }
+
+ private:
+  enum class Phase { kJoining, kTraining, kFinishing, kDone };
+
+  void on_message(const WireMessage& msg);
+  void on_peer_loss(NodeId peer);
+  void begin_training();
+  void maybe_aggregate();  // fires once every live worker's update arrived
+  void maybe_finish();
+  void apply_churn(NodeId worker);
+
+  FederationConfig config_;
+  Transport& transport_;
+  obs::Recorder* recorder_;
+  FederationData data_;
+  std::unique_ptr<agg::Aggregator> rule_;
+  topology::HflTree tree_;  // mirrored topology the churn events update
+  Phase phase_ = Phase::kJoining;
+  std::set<NodeId> live_;
+  std::set<NodeId> left_;
+  std::map<NodeId, std::uint64_t> subtree_samples_;
+  std::map<NodeId, std::vector<float>> pending_;  // current round's updates
+  std::vector<float> global_;
+  std::size_t round_ = 0;
+  double phase_deadline_ = 0.0;  // seconds_since_epoch()-style wall clock
+  RootResult result_;
+};
+
+/// Pump `transport` until `done()` returns true (it may advance node state,
+/// e.g. call on_idle) or `deadline_s` of wall clock elapses.  Returns
+/// whether `done` fired.
+bool pump_until(Transport& transport, const std::function<bool()>& done,
+                double deadline_s, double poll_s = 0.05);
+
+}  // namespace abdhfl::net

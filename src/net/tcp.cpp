@@ -1,0 +1,402 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace abdhfl::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void tune_stream(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  make_nonblocking(fd);
+}
+
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in& out) {
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  const char* addr = host == "localhost" || host.empty() ? "127.0.0.1" : host.c_str();
+  return ::inet_pton(AF_INET, addr, &out.sin_addr) == 1;
+}
+
+void sleep_seconds(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(NodeId self, RetryPolicy policy)
+    : Transport("tcp"), self_(self), policy_(policy) {}
+
+TcpTransport::~TcpTransport() { close(); }
+
+std::uint16_t TcpTransport::listen(std::uint16_t port) {
+  if (listen_fd_ >= 0) throw std::logic_error("TcpTransport: already listening");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 32) < 0) throw_errno("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  make_nonblocking(listen_fd_);
+  return port_;
+}
+
+bool TcpTransport::dial(Peer& peer) {
+  sockaddr_in addr{};
+  if (!resolve(peer.host, peer.port, addr)) return false;
+  for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      note_retry();
+      sleep_seconds(policy_.backoff_for(attempt - 1));
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      tune_stream(fd);
+      peer.fd = fd;
+      return true;
+    }
+    ::close(fd);
+  }
+  return false;
+}
+
+bool TcpTransport::connect_peer(NodeId peer_id, const std::string& host, std::uint16_t port) {
+  Peer& peer = peers_[peer_id];
+  peer.host = host;
+  peer.port = port;
+  if (peer.fd >= 0) {
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+  peer.lost = false;
+  peer.rx.clear();
+  if (dial(peer)) return true;
+  drop_peer(peer_id, peer, /*report=*/true);
+  return false;
+}
+
+void TcpTransport::set_peer_link_class(NodeId peer, std::uint32_t link_class) {
+  peers_[peer].link_class = link_class;
+}
+
+void TcpTransport::expect_close(NodeId peer_id) {
+  const auto it = peers_.find(peer_id);
+  // Marking the peer lost without reporting makes the upcoming EOF silent
+  // (drop_peer only reports the first transition) and fails further sends
+  // fast — both correct after a goodbye.
+  if (it != peers_.end()) it->second.lost = true;
+}
+
+void TcpTransport::register_node(NodeId id, MessageHandler handler) {
+  if (id != self_) {
+    throw std::invalid_argument("TcpTransport hosts node " + std::to_string(self_) +
+                                ", cannot register node " + std::to_string(id));
+  }
+  if (!handler) throw std::invalid_argument("TcpTransport: null handler");
+  handler_ = std::move(handler);
+}
+
+SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
+                              std::uint32_t link_class) {
+  const auto it = peers_.find(env.to);
+  if (it == peers_.end()) return SendStatus::kNoRoute;
+  Peer& peer = it->second;
+  if (peer.lost) return SendStatus::kPeerLost;
+
+  obs::Span span(trace(), "net_send", static_cast<std::size_t>(env.round), env.to);
+  const std::vector<std::uint8_t> frame = encode_frame(env, payload, codec_for(env.to));
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(policy_.send_timeout_s);
+  std::size_t attempts_left = policy_.max_attempts;
+
+  while (true) {
+    if (peer.fd < 0) {
+      if (peer.host.empty() || !dial(peer)) {
+        drop_peer(env.to, peer, /*report=*/true);
+        return SendStatus::kPeerLost;
+      }
+      note_reconnect();
+    }
+    std::size_t offset = 0;
+    bool link_failed = false;
+    while (offset < frame.size()) {
+      const ssize_t n = ::send(peer.fd, frame.data() + offset, frame.size() - offset,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        const auto now = Clock::now();
+        if (now >= deadline) {
+          note_timeout();
+          return SendStatus::kTimeout;
+        }
+        pollfd waiter{peer.fd, POLLOUT, 0};
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+        ::poll(&waiter, 1, static_cast<int>(std::max<std::int64_t>(remaining.count(), 1)));
+        continue;
+      }
+      link_failed = true;
+      break;
+    }
+    if (!link_failed) {
+      note_sent(frame.size(), link_class);
+      return SendStatus::kOk;
+    }
+    ::close(peer.fd);
+    peer.fd = -1;
+    peer.rx.clear();
+    if (--attempts_left == 0 || peer.host.empty()) {
+      drop_peer(env.to, peer, /*report=*/true);
+      return SendStatus::kPeerLost;
+    }
+    note_retry();
+    sleep_seconds(policy_.backoff_for(policy_.max_attempts - attempts_left - 1));
+  }
+}
+
+std::size_t TcpTransport::poll(double timeout_s) {
+  // Prune pending connections that died outside this call.
+  std::erase_if(pending_, [](const PendingConn& conn) { return conn.fd < 0; });
+
+  std::vector<pollfd> fds;
+  std::vector<NodeId> peer_ids;  // parallel to the peer entries in `fds`
+  if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+  const std::size_t first_peer = fds.size();
+  for (auto& [id, peer] : peers_) {
+    if (peer.fd < 0) continue;
+    fds.push_back({peer.fd, POLLIN, 0});
+    peer_ids.push_back(id);
+  }
+  const std::size_t first_pending = fds.size();
+  for (const PendingConn& conn : pending_) fds.push_back({conn.fd, POLLIN, 0});
+
+  const int timeout_ms =
+      timeout_s <= 0.0 ? 0 : static_cast<int>(timeout_s * 1000.0);
+  if (fds.empty()) {
+    if (timeout_ms > 0) ::poll(nullptr, 0, timeout_ms);
+    return 0;
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  std::size_t delivered = 0;
+  if (listen_fd_ >= 0 && (fds[0].revents & POLLIN) != 0) accept_pending();
+  // Pending first: identifying a reconnecting peer before reading its old fd
+  // keeps the "replaced link" path deterministic.
+  for (std::size_t i = first_pending; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      delivered += read_pending(i - first_pending);
+    }
+  }
+  std::erase_if(pending_, [](const PendingConn& conn) { return conn.fd < 0; });
+  for (std::size_t i = first_peer; i < first_pending; ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const auto it = peers_.find(peer_ids[i - first_peer]);
+    if (it == peers_.end() || it->second.fd != fds[i].fd) continue;  // replaced mid-poll
+    delivered += read_peer(it->first, it->second);
+  }
+  return delivered;
+}
+
+void TcpTransport::accept_pending() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or a transient error; retry next poll
+    }
+    tune_stream(fd);
+    pending_.push_back({fd, {}});
+  }
+}
+
+std::size_t TcpTransport::read_peer(NodeId id, Peer& peer) {
+  std::uint8_t buf[65536];
+  bool eof = false;
+  while (true) {
+    const ssize_t n = ::recv(peer.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      peer.rx.insert(peer.rx.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    eof = true;  // hard error: treat like a dead link
+    break;
+  }
+  bool framing_ok = true;
+  const std::size_t delivered =
+      extract_frames(peer.rx, peer.link_class, framing_ok, nullptr);
+  if (eof || !framing_ok) drop_peer(id, peer, /*report=*/true);
+  return delivered;
+}
+
+std::size_t TcpTransport::read_pending(std::size_t index) {
+  PendingConn& conn = pending_[index];
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn.rx.insert(conn.rx.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {  // closed before identifying itself: nothing to report
+      ::close(conn.fd);
+      conn.fd = -1;
+      return 0;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    ::close(conn.fd);
+    conn.fd = -1;
+    return 0;
+  }
+  if (conn.rx.size() < kHeaderSize) return 0;
+
+  // Wait for — and fully verify — the first frame before trusting its sender
+  // id; a frame that fails the digest must not map this socket to a node.
+  std::size_t total = 0;
+  WireMessage first;
+  try {
+    total = peek_frame_size({conn.rx.data(), kHeaderSize});
+    if (conn.rx.size() < total) return 0;
+    first = decode_frame({conn.rx.data(), total});
+  } catch (const WireError&) {
+    note_decode_error();
+    ::close(conn.fd);
+    conn.fd = -1;
+    return 0;
+  }
+
+  Peer& peer = peers_[first.env.from];
+  if (peer.fd >= 0) ::close(peer.fd);  // reconnect replaces the stale link
+  peer.fd = conn.fd;
+  peer.lost = false;
+  peer.rx = std::move(conn.rx);
+  conn.fd = -1;
+  bool framing_ok = true;
+  const std::size_t delivered =
+      extract_frames(peer.rx, peer.link_class, framing_ok, nullptr);
+  if (!framing_ok) drop_peer(first.env.from, peer, /*report=*/true);
+  return delivered;
+}
+
+std::size_t TcpTransport::extract_frames(std::vector<std::uint8_t>& rx,
+                                         std::uint32_t link_class, bool& framing_ok,
+                                         NodeId* learned_from) {
+  framing_ok = true;
+  std::size_t delivered = 0;
+  std::size_t pos = 0;
+  while (rx.size() - pos >= kHeaderSize) {
+    std::size_t total = 0;
+    WireMessage msg;
+    try {
+      total = peek_frame_size({rx.data() + pos, kHeaderSize});
+      if (rx.size() - pos < total) break;
+      msg = decode_frame({rx.data() + pos, total});
+    } catch (const WireError&) {
+      // A stream cannot resynchronize after a framing error; the caller
+      // drops the connection.
+      note_decode_error();
+      framing_ok = false;
+      break;
+    }
+    pos += total;
+    note_received(total, link_class);
+    if (trace() != nullptr) {
+      trace()->push({trace()->seconds_since_epoch(),
+                     static_cast<std::size_t>(msg.env.round), "net_recv", msg.env.to, 0,
+                     0.0, 0});
+    }
+    if (learned_from != nullptr && delivered == 0) *learned_from = msg.env.from;
+    ++delivered;
+    if (handler_) handler_(msg);
+  }
+  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(pos));
+  return delivered;
+}
+
+void TcpTransport::drop_peer(NodeId id, Peer& peer, bool report) {
+  if (peer.fd >= 0) {
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+  peer.rx.clear();
+  if (report && !peer.lost) {
+    peer.lost = true;
+    note_peer_loss(id);
+  }
+}
+
+void TcpTransport::close() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [id, peer] : peers_) {
+    if (peer.fd >= 0) {
+      ::close(peer.fd);
+      peer.fd = -1;
+    }
+  }
+  for (PendingConn& conn : pending_) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+  pending_.clear();
+}
+
+}  // namespace abdhfl::net

@@ -1,0 +1,103 @@
+#pragma once
+// POSIX TCP transport backend.
+//
+// One TcpTransport hosts exactly one federation node.  Links are ordinary
+// stream sockets: children dial their parent (connect_peer, with retry and
+// exponential backoff per RetryPolicy) and the parent learns each child's
+// node id from the first frame that arrives on the accepted connection — no
+// separate handshake beyond the codec's own framing.
+//
+// The transport is poll-driven and single-threaded like every other backend:
+// poll() multiplexes the listen socket and all peer links with ::poll,
+// accepts, reads, reassembles frames via peek_frame_size, and runs handlers
+// on the calling thread.  send() writes the whole frame before returning,
+// waiting for writability up to the per-message deadline; a failed write on
+// a dialable link triggers reconnect attempts under the same policy, and a
+// link that stays dead is reported once through the peer-loss handler so the
+// churn layer can remove the subtree (graceful degradation instead of a
+// crash).
+//
+// Corrupt input never propagates: a frame the codec rejects bumps
+// decode_errors and drops the connection (stream framing cannot resync on
+// garbage), which surfaces as a peer loss upstream.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace abdhfl::net {
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(NodeId self, RetryPolicy policy = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Bind and listen on `port` (0 = pick an ephemeral port); returns the
+  /// bound port.  Throws std::system_error on failure.
+  std::uint16_t listen(std::uint16_t port);
+
+  /// Dial `peer` with the retry/backoff policy.  The address is remembered
+  /// so a later send() can re-establish a dropped link.  Returns false when
+  /// every attempt failed (the peer is then reported lost).
+  bool connect_peer(NodeId peer, const std::string& host, std::uint16_t port);
+
+  /// Traffic-accounting bucket for frames received from `peer` (sends carry
+  /// their class explicitly).  Defaults to 0.
+  void set_peer_link_class(NodeId peer, std::uint32_t link_class);
+
+  void register_node(NodeId id, MessageHandler handler) override;
+  void expect_close(NodeId peer) override;
+  SendStatus send(const Envelope& env, const Payload& payload,
+                  std::uint32_t link_class = 0) override;
+  std::size_t poll(double timeout_s) override;
+
+  /// Close every socket.  Safe to call more than once; the destructor calls
+  /// it too.
+  void close();
+
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::string host;         // empty for inbound links (cannot redial)
+    std::uint16_t port = 0;
+    std::uint32_t link_class = 0;
+    std::vector<std::uint8_t> rx;
+    bool lost = false;  // reported dead; further sends fail fast
+  };
+
+  [[nodiscard]] bool dial(Peer& peer);  // one connect pass with retries
+  void drop_peer(NodeId id, Peer& peer, bool report);
+  /// Drain readable bytes; returns frames delivered, marks `lost` on EOF or
+  /// a framing error.
+  std::size_t read_peer(NodeId id, Peer& peer);
+  std::size_t extract_frames(std::vector<std::uint8_t>& rx, std::uint32_t link_class,
+                             bool& framing_ok, NodeId* learned_from);
+  void accept_pending();
+  std::size_t read_pending(std::size_t index);
+
+  NodeId self_;
+  RetryPolicy policy_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  MessageHandler handler_;
+  std::map<NodeId, Peer> peers_;
+
+  // Accepted connections whose node id is still unknown (first frame not yet
+  // complete); fd plus its partial receive buffer.
+  struct PendingConn {
+    int fd = -1;
+    std::vector<std::uint8_t> rx;
+  };
+  std::vector<PendingConn> pending_;
+};
+
+}  // namespace abdhfl::net

@@ -1,0 +1,130 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
+
+namespace abdhfl::net {
+
+const char* to_string(SendStatus status) noexcept {
+  switch (status) {
+    case SendStatus::kOk: return "ok";
+    case SendStatus::kNoRoute: return "no_route";
+    case SendStatus::kTimeout: return "timeout";
+    case SendStatus::kPeerLost: return "peer_lost";
+  }
+  return "unknown";
+}
+
+double RetryPolicy::backoff_for(std::size_t retry) const noexcept {
+  const double backoff =
+      initial_backoff_s * std::pow(backoff_factor, static_cast<double>(retry));
+  return std::min(backoff, max_backoff_s);
+}
+
+Transport::Transport(std::string name) : name_(std::move(name)) {}
+
+Codec Transport::codec_for(NodeId peer) const {
+  const auto it = peer_codec_.find(peer);
+  return it == peer_codec_.end() ? Codec{} : it->second;
+}
+
+TransportStats Transport::class_stats(std::uint32_t link_class) const {
+  const auto it = per_class_.find(link_class);
+  return it == per_class_.end() ? TransportStats{} : it->second;
+}
+
+Transport::ObsCounters& Transport::obs_counters() {
+  if (!obs_ready_) {
+    const std::string label = "{transport=\"" + name_ + "\"}";
+    auto& registry = obs::global_registry();
+    obs_counters_.frames_sent =
+        &registry.counter("net_frames_sent_total" + label, "Frames handed to the backend");
+    obs_counters_.bytes_sent =
+        &registry.counter("net_bytes_sent_total" + label, "Encoded bytes sent");
+    obs_counters_.frames_received =
+        &registry.counter("net_frames_received_total" + label, "Frames decoded and delivered");
+    obs_counters_.bytes_received =
+        &registry.counter("net_bytes_received_total" + label, "Encoded bytes received");
+    obs_counters_.retries =
+        &registry.counter("net_retries_total" + label, "Send/connect re-attempts");
+    obs_counters_.timeouts =
+        &registry.counter("net_timeouts_total" + label, "Sends abandoned on the deadline");
+    obs_counters_.peer_losses =
+        &registry.counter("net_peer_losses_total" + label, "Links declared dead");
+    obs_ready_ = true;
+  }
+  return obs_counters_;
+}
+
+void Transport::note_sent(std::size_t bytes, std::uint32_t link_class) {
+  ++stats_.frames_sent;
+  stats_.bytes_sent += bytes;
+  auto& cls = per_class_[link_class];
+  ++cls.frames_sent;
+  cls.bytes_sent += bytes;
+  if (obs::enabled()) {
+    auto& counters = obs_counters();
+    counters.frames_sent->add(1);
+    counters.bytes_sent->add(bytes);
+  }
+}
+
+void Transport::note_received(std::size_t bytes, std::uint32_t link_class) {
+  ++stats_.frames_received;
+  stats_.bytes_received += bytes;
+  auto& cls = per_class_[link_class];
+  ++cls.frames_received;
+  cls.bytes_received += bytes;
+  if (obs::enabled()) {
+    auto& counters = obs_counters();
+    counters.frames_received->add(1);
+    counters.bytes_received->add(bytes);
+  }
+}
+
+void Transport::note_retry() {
+  ++stats_.retries;
+  if (obs::enabled()) obs_counters().retries->add(1);
+}
+
+void Transport::note_reconnect() { ++stats_.reconnects; }
+
+void Transport::note_timeout() {
+  ++stats_.timeouts;
+  if (obs::enabled()) obs_counters().timeouts->add(1);
+}
+
+void Transport::note_peer_loss(NodeId peer) {
+  ++stats_.peer_losses;
+  if (obs::enabled()) obs_counters().peer_losses->add(1);
+  if (trace_) {
+    trace_->push({trace_->seconds_since_epoch(), 0, "net_peer_loss", peer, 0, 0.0, 0});
+  }
+  for (const auto& handler : on_peer_loss_) handler(peer);
+}
+
+void Transport::note_decode_error() { ++stats_.decode_errors; }
+
+void Transport::record_traffic(obs::Recorder& recorder, std::uint64_t round) const {
+  for (const auto& [link_class, s] : per_class_) {
+    obs::RoundRecord& rec =
+        recorder.begin_round("net_link", static_cast<std::size_t>(round));
+    rec.set("link_class", static_cast<double>(link_class));
+    rec.set("frames_sent", static_cast<double>(s.frames_sent));
+    rec.set("bytes_sent", static_cast<double>(s.bytes_sent));
+    rec.set("frames_received", static_cast<double>(s.frames_received));
+    rec.set("bytes_received", static_cast<double>(s.bytes_received));
+  }
+  obs::RoundRecord& ev = recorder.begin_round("net_events", static_cast<std::size_t>(round));
+  ev.set("retries", static_cast<double>(stats_.retries));
+  ev.set("reconnects", static_cast<double>(stats_.reconnects));
+  ev.set("timeouts", static_cast<double>(stats_.timeouts));
+  ev.set("peer_losses", static_cast<double>(stats_.peer_losses));
+  ev.set("decode_errors", static_cast<double>(stats_.decode_errors));
+}
+
+}  // namespace abdhfl::net

@@ -1,0 +1,161 @@
+#pragma once
+// Pluggable message transport (DESIGN.md §9).
+//
+// A Transport moves encoded wire frames between federation nodes and hands
+// decoded WireMessages to registered handlers.  Two backends ship:
+//
+//   * LoopbackTransport (loopback.hpp) — in-process delivery, optionally
+//     riding sim::Network so the discrete-event experiments meter the real
+//     encoded byte count of every frame;
+//   * TcpTransport (tcp.hpp) — real sockets with connect/send retry,
+//     exponential backoff, per-message timeouts, and graceful peer-loss
+//     degradation (the hook the churn layer consumes).
+//
+// The interface is deliberately poll-driven and single-threaded: a node owns
+// its transport and pumps it (`poll`) from its event loop, exactly like the
+// simulator pumps sim::Network.  Handlers run inside poll() on the calling
+// thread, so no cross-thread synchronization is needed anywhere in the
+// protocol logic.
+//
+// Observability: every send/receive/retry/timeout/peer-loss bumps both the
+// per-transport TransportStats and (while obs::enabled()) the global
+// registry counters net_frames_*_total{transport=...}; an attached
+// obs::TraceBuffer receives one span per send and per delivered frame.
+// record_traffic() flushes per-link-class traffic plus the retry/loss event
+// counters into an obs::Recorder using the "net_link"/"net_events" JSONL
+// schema that tools/validate_jsonl --group net checks.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace abdhfl::obs {
+class Counter;
+class Recorder;
+class TraceBuffer;
+}
+
+namespace abdhfl::net {
+
+/// Outcome of one send() call.
+enum class SendStatus {
+  kOk,        // frame handed to the backend (loopback: queued; tcp: written)
+  kNoRoute,   // no link to the destination and no address to dial
+  kTimeout,   // per-message deadline expired with the link still congested
+  kPeerLost,  // link died and could not be re-established within the policy
+};
+
+[[nodiscard]] const char* to_string(SendStatus status) noexcept;
+
+/// Retry/backoff policy shared by connect and send paths.  attempt k (0-based
+/// retry index) sleeps min(initial * factor^k, max) before trying again.
+struct RetryPolicy {
+  std::size_t max_attempts = 5;   // total tries per operation (>= 1)
+  double initial_backoff_s = 0.05;
+  double backoff_factor = 2.0;
+  double max_backoff_s = 1.0;
+  double send_timeout_s = 5.0;    // per-message write deadline
+
+  [[nodiscard]] double backoff_for(std::size_t retry) const noexcept;
+};
+
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t retries = 0;        // send or connect re-attempts
+  std::uint64_t reconnects = 0;     // links re-established after a failure
+  std::uint64_t timeouts = 0;       // sends abandoned on the deadline
+  std::uint64_t peer_losses = 0;    // links declared dead
+  std::uint64_t decode_errors = 0;  // frames rejected by the codec
+};
+
+class Transport {
+ public:
+  using MessageHandler = std::function<void(const WireMessage&)>;
+  using PeerLossHandler = std::function<void(NodeId peer)>;
+
+  virtual ~Transport() = default;
+
+  /// Attach the handler for a local node id.  Loopback hosts any number of
+  /// local nodes; TCP hosts exactly the id it was constructed with.
+  virtual void register_node(NodeId id, MessageHandler handler) = 0;
+
+  /// Encode and send one message.  `link_class` buckets the traffic
+  /// accounting (the federation uses the tree level of the link).
+  virtual SendStatus send(const Envelope& env, const Payload& payload,
+                          std::uint32_t link_class = 0) = 0;
+
+  /// Deliver pending frames to handlers, waiting up to `timeout_s` for
+  /// activity.  Returns the number of frames delivered.
+  virtual std::size_t poll(double timeout_s) = 0;
+
+  /// Invoked (from poll()/send()) when a link is declared dead — the churn
+  /// feed: the federation turns this into a membership event.  Additive, so
+  /// several nodes sharing one loopback transport can all subscribe.
+  void add_peer_loss_handler(PeerLossHandler handler) {
+    on_peer_loss_.push_back(std::move(handler));
+  }
+
+  /// Announce that `peer` is about to close its link on purpose (it sent a
+  /// graceful leave): the backend must not report the upcoming EOF as a
+  /// peer loss.  Default: nothing to suppress.
+  virtual void expect_close(NodeId peer) { (void)peer; }
+
+  /// Parameter compression negotiated for frames addressed to `peer`.
+  void set_peer_codec(NodeId peer, Codec codec) { peer_codec_[peer] = codec; }
+  [[nodiscard]] Codec codec_for(NodeId peer) const;
+
+  /// Span sink for send/deliver tracing (not owned; nullptr disables).
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
+  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] TransportStats class_stats(std::uint32_t link_class) const;
+
+  /// Flush per-link-class traffic ("net_link" records: one per class seen)
+  /// and the event counters ("net_events") into `recorder` under the given
+  /// round tag.  Schema: see tools/validate_jsonl --group net.
+  void record_traffic(obs::Recorder& recorder, std::uint64_t round) const;
+
+ protected:
+  explicit Transport(std::string name);
+
+  // Stats + obs plumbing shared by the backends.  All of these also bump the
+  // registry counters while obs::enabled().
+  void note_sent(std::size_t bytes, std::uint32_t link_class);
+  void note_received(std::size_t bytes, std::uint32_t link_class);
+  void note_retry();
+  void note_reconnect();
+  void note_timeout();
+  void note_peer_loss(NodeId peer);  // also fires the peer-loss handler
+  void note_decode_error();
+
+  [[nodiscard]] obs::TraceBuffer* trace() const noexcept { return trace_; }
+
+ private:
+  struct ObsCounters {
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* peer_losses = nullptr;
+  };
+  ObsCounters& obs_counters();
+
+  std::string name_;
+  TransportStats stats_;
+  std::map<std::uint32_t, TransportStats> per_class_;
+  std::map<NodeId, Codec> peer_codec_;
+  std::vector<PeerLossHandler> on_peer_loss_;
+  obs::TraceBuffer* trace_ = nullptr;
+  ObsCounters obs_counters_;
+  bool obs_ready_ = false;
+};
+
+}  // namespace abdhfl::net

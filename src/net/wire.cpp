@@ -1,0 +1,357 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+
+namespace abdhfl::net {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "wire codec assumes a little-endian host");
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+template <class T>
+void append_pod(std::vector<std::uint8_t>& out, T value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T read_pod(std::span<const std::uint8_t> bytes, std::size_t& offset) {
+  if (offset + sizeof(T) > bytes.size()) throw WireError("truncated frame body");
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+// --- parameter blobs -------------------------------------------------------
+// Raw params reuse the nn/serialize blob unchanged.  Quantized params carry
+// the nn/quantize block format: bits, block, count, per-block (scale, min)
+// pairs, packed codes — exactly QuantizedVec::wire_size() bytes.
+
+void append_params(std::vector<std::uint8_t>& out, std::span<const float> params,
+                   const Codec& codec) {
+  if (!codec.quantized()) {
+    const auto blob = nn::serialize_params(params);
+    out.insert(out.end(), blob.begin(), blob.end());
+    return;
+  }
+  const auto q = nn::quantize(params, codec.quantize_bits, codec.block);
+  append_pod(out, q.bits);
+  append_pod(out, q.block);
+  append_pod(out, q.count);
+  for (std::size_t b = 0; b < q.scales.size(); ++b) {
+    append_pod(out, q.scales[b]);
+    append_pod(out, q.mins[b]);
+  }
+  out.insert(out.end(), q.data.begin(), q.data.end());
+}
+
+std::vector<float> read_params(std::span<const std::uint8_t> body, std::size_t& offset,
+                               bool quantized) {
+  if (!quantized) {
+    // The nn/serialize blob is self-delimiting: magic/version/count header.
+    if (offset + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t) > body.size()) {
+      throw WireError("truncated parameter blob header");
+    }
+    std::uint64_t count;
+    std::memcpy(&count, body.data() + offset + 2 * sizeof(std::uint32_t), sizeof(count));
+    const std::size_t blob_size = nn::wire_size(count);
+    if (offset + blob_size > body.size()) throw WireError("truncated parameter blob");
+    try {
+      auto params = nn::deserialize_params(body.subspan(offset, blob_size));
+      offset += blob_size;
+      return params;
+    } catch (const std::runtime_error& e) {
+      throw WireError(std::string("parameter blob: ") + e.what());
+    }
+  }
+  nn::QuantizedVec q;
+  q.bits = read_pod<std::uint8_t>(body, offset);
+  q.block = read_pod<std::uint32_t>(body, offset);
+  q.count = read_pod<std::uint64_t>(body, offset);
+  if (q.bits == 0 || q.bits > 8 || q.block == 0) {
+    throw WireError("corrupt quantized parameter header");
+  }
+  const std::size_t n_blocks =
+      (static_cast<std::size_t>(q.count) + q.block - 1) / q.block;
+  q.scales.resize(n_blocks);
+  q.mins.resize(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    q.scales[b] = read_pod<float>(body, offset);
+    q.mins[b] = read_pod<float>(body, offset);
+  }
+  const std::size_t data_bytes =
+      (static_cast<std::size_t>(q.count) * q.bits + 7) / 8;
+  if (offset + data_bytes > body.size()) throw WireError("truncated quantized payload");
+  q.data.assign(body.begin() + static_cast<std::ptrdiff_t>(offset),
+                body.begin() + static_cast<std::ptrdiff_t>(offset + data_bytes));
+  offset += data_bytes;
+  try {
+    return nn::dequantize(q);
+  } catch (const std::invalid_argument& e) {
+    throw WireError(std::string("quantized payload: ") + e.what());
+  }
+}
+
+std::size_t params_body_size(std::size_t count, const Codec& codec) noexcept {
+  if (!codec.quantized()) return nn::wire_size(count);
+  const std::size_t n_blocks = codec.block == 0 ? 0 : (count + codec.block - 1) / codec.block;
+  return sizeof(std::uint8_t) + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+         n_blocks * 2 * sizeof(float) + (count * codec.quantize_bits + 7) / 8;
+}
+
+// --- per-kind bodies -------------------------------------------------------
+
+void encode_body(std::vector<std::uint8_t>& out, const ModelUpdate& m, const Codec& codec) {
+  append_pod(out, m.sender);
+  append_pod(out, m.level);
+  append_pod(out, m.samples);
+  append_params(out, m.params, codec);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const PartialModel& m, const Codec& codec) {
+  append_pod(out, m.origin);
+  append_pod(out, m.flag_level);
+  append_pod(out, static_cast<std::uint8_t>(m.is_global ? 1 : 0));
+  append_pod(out, m.alpha);
+  append_pod(out, m.flag_fraction);
+  append_params(out, m.params, codec);
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const ConsensusVote& m, const Codec&) {
+  append_pod(out, m.voter);
+  append_pod(out, m.candidate);
+  append_pod(out, m.score);
+  append_pod(out, static_cast<std::uint8_t>(m.accept ? 1 : 0));
+}
+
+void encode_body(std::vector<std::uint8_t>& out, const Membership& m, const Codec&) {
+  append_pod(out, static_cast<std::uint8_t>(m.event));
+  append_pod(out, m.device);
+  append_pod(out, m.cluster);
+  append_pod(out, m.subtree_samples);
+  append_pod(out, m.codec.quantize_bits);
+  append_pod(out, m.codec.block);
+}
+
+Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body, bool quantized) {
+  std::size_t offset = 0;
+  switch (kind) {
+    case MsgKind::kModelUpdate: {
+      ModelUpdate m;
+      m.sender = read_pod<std::uint32_t>(body, offset);
+      m.level = read_pod<std::uint32_t>(body, offset);
+      m.samples = read_pod<std::uint64_t>(body, offset);
+      m.params = read_params(body, offset, quantized);
+      if (offset != body.size()) throw WireError("trailing bytes after model update");
+      return m;
+    }
+    case MsgKind::kPartialModel: {
+      PartialModel m;
+      m.origin = read_pod<std::uint32_t>(body, offset);
+      m.flag_level = read_pod<std::uint32_t>(body, offset);
+      m.is_global = read_pod<std::uint8_t>(body, offset) != 0;
+      m.alpha = read_pod<float>(body, offset);
+      m.flag_fraction = read_pod<double>(body, offset);
+      m.params = read_params(body, offset, quantized);
+      if (offset != body.size()) throw WireError("trailing bytes after partial model");
+      return m;
+    }
+    case MsgKind::kConsensusVote: {
+      ConsensusVote m;
+      m.voter = read_pod<std::uint32_t>(body, offset);
+      m.candidate = read_pod<std::uint32_t>(body, offset);
+      m.score = read_pod<float>(body, offset);
+      m.accept = read_pod<std::uint8_t>(body, offset) != 0;
+      if (offset != body.size()) throw WireError("trailing bytes after vote");
+      return m;
+    }
+    case MsgKind::kMembership: {
+      Membership m;
+      const auto event = read_pod<std::uint8_t>(body, offset);
+      if (event > static_cast<std::uint8_t>(Membership::Event::kShutdown)) {
+        throw WireError("unknown membership event");
+      }
+      m.event = static_cast<Membership::Event>(event);
+      m.device = read_pod<std::uint32_t>(body, offset);
+      m.cluster = read_pod<std::uint32_t>(body, offset);
+      m.subtree_samples = read_pod<std::uint64_t>(body, offset);
+      m.codec.quantize_bits = read_pod<std::uint8_t>(body, offset);
+      m.codec.block = read_pod<std::uint32_t>(body, offset);
+      if (offset != body.size()) throw WireError("trailing bytes after membership");
+      return m;
+    }
+  }
+  throw WireError("unknown message kind " +
+                  std::to_string(static_cast<unsigned>(kind)));
+}
+
+constexpr std::size_t kModelUpdateFixed =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t);
+constexpr std::size_t kPartialModelFixed = sizeof(std::uint32_t) * 2 +
+                                           sizeof(std::uint8_t) + sizeof(float) +
+                                           sizeof(double);
+constexpr std::size_t kVoteFixed =
+    sizeof(std::uint32_t) * 2 + sizeof(float) + sizeof(std::uint8_t);
+constexpr std::size_t kMembershipFixed = sizeof(std::uint8_t) + sizeof(std::uint32_t) * 2 +
+                                         sizeof(std::uint64_t) + sizeof(std::uint8_t) +
+                                         sizeof(std::uint32_t);
+
+bool carries_params(const Payload& payload) noexcept {
+  return std::holds_alternative<ModelUpdate>(payload) ||
+         std::holds_alternative<PartialModel>(payload);
+}
+
+}  // namespace
+
+const char* to_string(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kModelUpdate: return "model_update";
+    case MsgKind::kPartialModel: return "partial_model";
+    case MsgKind::kConsensusVote: return "consensus_vote";
+    case MsgKind::kMembership: return "membership";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(const Envelope& env, const Payload& payload,
+                                       const Codec& codec) {
+  const MsgKind kind = static_cast<MsgKind>(
+      std::visit([](const auto& p) { return p.kMessageKind; }, payload));
+  const bool quantized = codec.quantized() && carries_params(payload);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(payload, codec));
+  append_pod(out, kWireMagic);
+  append_pod(out, kWireVersion);
+  append_pod(out, static_cast<std::uint16_t>(kind));
+  append_pod(out, static_cast<std::uint16_t>(quantized ? kFlagQuantized : 0));
+  append_pod(out, static_cast<std::uint16_t>(0));  // reserved
+  append_pod(out, env.from);
+  append_pod(out, env.to);
+  append_pod(out, env.round);
+  append_pod(out, static_cast<std::uint32_t>(0));  // body_len patched below
+
+  const std::size_t body_start = out.size();
+  std::visit([&](const auto& p) { encode_body(out, p, codec); }, payload);
+  const auto body_len = static_cast<std::uint32_t>(out.size() - body_start);
+  std::memcpy(out.data() + kHeaderSize - sizeof(std::uint32_t), &body_len,
+              sizeof(body_len));
+
+  append_pod(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+std::size_t peek_frame_size(std::span<const std::uint8_t> prefix) {
+  if (prefix.size() < kHeaderSize) throw WireError("header underrun");
+  std::size_t offset = 0;
+  const auto magic = read_pod<std::uint32_t>(prefix, offset);
+  if (magic != kWireMagic) {
+    if (magic == __builtin_bswap32(kWireMagic)) {
+      throw WireError("byte-swapped frame magic (big-endian sender unsupported)");
+    }
+    throw WireError("bad frame magic");
+  }
+  const auto version = read_pod<std::uint16_t>(prefix, offset);
+  if (version != kWireVersion) {
+    throw WireError("unsupported wire version " + std::to_string(version));
+  }
+  std::uint32_t body_len;
+  std::memcpy(&body_len, prefix.data() + kHeaderSize - sizeof(body_len), sizeof(body_len));
+  return frame_overhead() + body_len;
+}
+
+WireMessage decode_frame(std::span<const std::uint8_t> frame) {
+  const std::size_t total = peek_frame_size(frame);
+  if (frame.size() < total) throw WireError("truncated frame");
+  if (frame.size() > total) throw WireError("trailing bytes after frame");
+
+  std::uint64_t digest;
+  std::memcpy(&digest, frame.data() + total - kDigestSize, sizeof(digest));
+  if (digest != fnv1a(frame.data(), total - kDigestSize)) {
+    throw WireError("frame digest mismatch");
+  }
+
+  std::size_t offset = sizeof(std::uint32_t) + sizeof(std::uint16_t);  // magic+version
+  const auto kind_raw = read_pod<std::uint16_t>(frame, offset);
+  const auto flags = read_pod<std::uint16_t>(frame, offset);
+  const auto reserved = read_pod<std::uint16_t>(frame, offset);
+  if (reserved != 0) throw WireError("nonzero reserved header field");
+  if (flags & ~kFlagQuantized) throw WireError("unknown frame flags");
+
+  WireMessage msg;
+  msg.kind = static_cast<MsgKind>(kind_raw);
+  msg.quantized = (flags & kFlagQuantized) != 0;
+  msg.env.from = read_pod<std::uint32_t>(frame, offset);
+  msg.env.to = read_pod<std::uint32_t>(frame, offset);
+  msg.env.round = read_pod<std::uint64_t>(frame, offset);
+  offset += sizeof(std::uint32_t);  // body_len, already validated via total
+
+  msg.payload = decode_body(
+      msg.kind, frame.subspan(kHeaderSize, total - frame_overhead()), msg.quantized);
+  return msg;
+}
+
+std::size_t encoded_size(const Payload& payload, const Codec& codec) {
+  const Codec effective = carries_params(payload) ? codec : Codec{};
+  std::size_t body = 0;
+  std::visit(
+      [&](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, ModelUpdate>) {
+          body = kModelUpdateFixed + params_body_size(p.params.size(), effective);
+        } else if constexpr (std::is_same_v<T, PartialModel>) {
+          body = kPartialModelFixed + params_body_size(p.params.size(), effective);
+        } else if constexpr (std::is_same_v<T, ConsensusVote>) {
+          body = kVoteFixed;
+        } else {
+          body = kMembershipFixed;
+        }
+      },
+      payload);
+  return frame_overhead() + body;
+}
+
+std::size_t model_update_wire_size(std::size_t param_count) noexcept {
+  return frame_overhead() + kModelUpdateFixed + nn::wire_size(param_count);
+}
+
+std::size_t partial_model_wire_size(std::size_t param_count) noexcept {
+  return frame_overhead() + kPartialModelFixed + nn::wire_size(param_count);
+}
+
+std::size_t vote_wire_size() noexcept { return frame_overhead() + kVoteFixed; }
+
+std::size_t membership_wire_size() noexcept {
+  return frame_overhead() + kMembershipFixed;
+}
+
+std::size_t estimated_model_bytes(std::size_t param_count) noexcept {
+  return nn::wire_size(param_count);
+}
+
+std::size_t estimated_payload_bytes(const Payload& payload) noexcept {
+  if (const auto* update = std::get_if<ModelUpdate>(&payload)) {
+    return estimated_model_bytes(update->params.size());
+  }
+  if (const auto* partial = std::get_if<PartialModel>(&payload)) {
+    return estimated_model_bytes(partial->params.size());
+  }
+  return 0;
+}
+
+}  // namespace abdhfl::net

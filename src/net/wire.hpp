@@ -1,0 +1,205 @@
+#pragma once
+// Wire codec for federation traffic (DESIGN.md §9).
+//
+// Every message that crosses a link — in-process loopback or a real socket —
+// is one length-framed, versioned, checksummed frame:
+//
+//   offset size  field
+//   0      4    magic 0xABDF4E71
+//   4      2    codec version (kWireVersion)
+//   6      2    message kind (MsgKind)
+//   8      2    flags (bit 0: quantized parameter payload)
+//   10     2    reserved, must be 0
+//   12     4    sender node id
+//   16     4    receiver node id
+//   20     8    round number
+//   28     4    body length in bytes
+//   32     ...  body (kind-specific, see the payload structs)
+//   32+n   8    FNV-1a digest over bytes [0, 32+n)
+//
+// All integers are little-endian (the codec refuses byte-swapped frames with
+// a clear error instead of mis-decoding them).  Model parameters inside a
+// body reuse the nn/serialize.hpp blob — magic, version, count, floats,
+// digest — so a corrupted tensor is caught twice, once per layer.  Links
+// that negotiated compression carry the nn/quantize block format instead
+// (flags bit 0), trading ~4x wire size for bounded reconstruction error.
+//
+// The four payload kinds cover everything the federation exchanges: trained
+// model updates going up, flag/global partial models (with their Eq. 1
+// correction factor) going down, consensus votes, and membership/churn
+// events.  encoded_size()/the *_wire_size() helpers are the codec-computed
+// byte accounting the runners report (replacing the hand-estimated
+// nn::wire_size arithmetic); estimated_model_bytes() preserves the old
+// estimate so tests can assert the two agree up to the frame overhead.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace abdhfl::net {
+
+using NodeId = std::uint32_t;
+
+inline constexpr std::uint32_t kWireMagic = 0xABDF4E71U;
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Header bytes before the body; the trailing digest adds 8 more.
+inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::size_t kDigestSize = 8;
+
+/// Frame flags.
+inline constexpr std::uint16_t kFlagQuantized = 1u << 0;
+
+enum class MsgKind : std::uint16_t {
+  kModelUpdate = 1,    // device/cluster update going up the tree
+  kPartialModel = 2,   // flag or global model going down (+ correction factor)
+  kConsensusVote = 3,  // vote/commit-ack on a candidate model
+  kMembership = 4,     // join / leave / crash / shutdown
+};
+
+[[nodiscard]] const char* to_string(MsgKind kind) noexcept;
+
+struct WireError : std::runtime_error {
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-link parameter compression, negotiated by the membership handshake:
+/// a joining node advertises the strongest codec it accepts and the parent
+/// echoes its choice back; both sides then encode with the agreed setting.
+struct Codec {
+  std::uint8_t quantize_bits = 0;  // 0 = raw float32, 1..8 = nn/quantize
+  std::uint32_t block = 256;       // values per quantization block
+
+  [[nodiscard]] bool quantized() const noexcept { return quantize_bits != 0; }
+};
+
+// ---------------------------------------------------------------------------
+// Payload kinds.  Each carries its MsgKind as kMessageKind so checked casts
+// (sim::payload_cast, the transport dispatch) can validate tag vs type.
+
+/// A trained model going up: bottom device -> leader, or leader -> parent.
+struct ModelUpdate {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kModelUpdate);
+  std::uint32_t sender = 0;   // originating device id
+  std::uint32_t level = 0;    // tree level the update leaves from
+  std::uint64_t samples = 0;  // training samples behind the update
+  std::vector<float> params;
+};
+
+/// A flag or global partial model going down, with the Eq. 1 correction
+/// factor the receiver should merge it with.
+struct PartialModel {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kPartialModel);
+  std::uint32_t origin = 0;      // aggregating node id
+  std::uint32_t flag_level = 0;  // level the model was formed at
+  bool is_global = false;        // true for θ_G, false for a flag model
+  float alpha = 0.0f;            // correction factor α (Eq. 1)
+  double flag_fraction = 0.0;    // |D_F| / |D_G| of the originating cluster
+  std::vector<float> params;
+};
+
+/// A vote on a candidate model (CBA protocols, commit acknowledgements).
+struct ConsensusVote {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kConsensusVote);
+  std::uint32_t voter = 0;
+  std::uint32_t candidate = 0;  // candidate index / round the vote refers to
+  float score = 0.0f;           // voter's validation score (0 when unused)
+  bool accept = false;
+};
+
+/// Membership and churn events (Assumption 3 dynamics over a real link).
+struct Membership {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kMembership);
+  enum class Event : std::uint8_t {
+    kJoin = 0,      // hello: node joins, advertises its codec capability
+    kLeave = 1,     // graceful departure
+    kCrash = 2,     // peer loss detected by the transport, relayed upward
+    kShutdown = 3,  // coordinator tells the subtree to finish
+  };
+  Event event = Event::kJoin;
+  std::uint32_t device = 0;
+  std::uint32_t cluster = 0;
+  std::uint64_t subtree_samples = 0;  // join: samples behind this subtree
+  Codec codec;                        // join: advertised / echoed codec
+};
+
+using Payload = std::variant<ModelUpdate, PartialModel, ConsensusVote, Membership>;
+
+/// An already-encoded frame travelling as an opaque sim::Message payload
+/// (the loopback-over-simulator bridge).  Tagged like every other payload so
+/// receivers use the checked sim::payload_cast instead of a blind cast.
+struct EncodedFrame {
+  static constexpr std::uint32_t kMessageKind = 0xF7A3;
+  std::vector<std::uint8_t> bytes;
+  std::uint32_t link_class = 0;
+};
+
+/// Addressing common to every frame.
+struct Envelope {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t round = 0;
+};
+
+/// A fully decoded frame.
+struct WireMessage {
+  Envelope env;
+  MsgKind kind = MsgKind::kModelUpdate;
+  bool quantized = false;
+  Payload payload;
+};
+
+// ---------------------------------------------------------------------------
+// Encode / decode.
+
+/// Encode one frame.  `codec` applies to payloads that carry parameters
+/// (ModelUpdate, PartialModel); other kinds ignore it.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Envelope& env,
+                                                     const Payload& payload,
+                                                     const Codec& codec = {});
+
+/// Decode a complete frame; throws WireError on any corruption (bad magic,
+/// byte-swapped magic, version/kind mismatch, truncation, digest failure).
+[[nodiscard]] WireMessage decode_frame(std::span<const std::uint8_t> frame);
+
+/// Stream-parsing helper: given at least kHeaderSize buffered bytes, returns
+/// the total frame length (header + body + digest) after validating magic and
+/// version.  Throws WireError on a bad header so a socket reader can drop the
+/// connection instead of resynchronizing on garbage.
+[[nodiscard]] std::size_t peek_frame_size(std::span<const std::uint8_t> prefix);
+
+// ---------------------------------------------------------------------------
+// Wire-size accounting (what the runners report as communication cost).
+
+/// Header + digest bytes around any body.
+[[nodiscard]] constexpr std::size_t frame_overhead() noexcept {
+  return kHeaderSize + kDigestSize;
+}
+
+/// Exact encoded frame size of a payload under a codec.
+[[nodiscard]] std::size_t encoded_size(const Payload& payload, const Codec& codec = {});
+
+/// Exact frame size of a ModelUpdate carrying `param_count` raw floats.
+[[nodiscard]] std::size_t model_update_wire_size(std::size_t param_count) noexcept;
+
+/// Exact frame size of a PartialModel carrying `param_count` raw floats.
+[[nodiscard]] std::size_t partial_model_wire_size(std::size_t param_count) noexcept;
+
+/// Exact frame size of a ConsensusVote / Membership frame.
+[[nodiscard]] std::size_t vote_wire_size() noexcept;
+[[nodiscard]] std::size_t membership_wire_size() noexcept;
+
+/// The pre-codec estimate callers used to hand-compute (nn::wire_size): the
+/// parameter blob alone, no frame.  Kept as the documented fallback so tests
+/// can assert estimate + frame_overhead + fixed fields == codec size.
+[[nodiscard]] std::size_t estimated_model_bytes(std::size_t param_count) noexcept;
+
+/// The same estimate for an arbitrary payload (0 for kinds that carry no
+/// parameters) — what sim::Message::bytes_estimated is populated with when a
+/// frame rides the simulated network.
+[[nodiscard]] std::size_t estimated_payload_bytes(const Payload& payload) noexcept;
+
+}  // namespace abdhfl::net

@@ -56,7 +56,13 @@ std::vector<std::uint8_t> serialize_params(std::span<const float> params) {
 
 std::vector<float> deserialize_params(std::span<const std::uint8_t> bytes) {
   std::size_t offset = 0;
-  if (read_pod<std::uint32_t>(bytes, offset) != kMagic) {
+  const auto magic = read_pod<std::uint32_t>(bytes, offset);
+  if (magic != kMagic) {
+    if (magic == __builtin_bswap32(kMagic)) {
+      throw std::runtime_error(
+          "big-endian model blob (byte-swapped magic): the wire format is "
+          "little-endian only");
+    }
     throw std::runtime_error("bad model blob magic");
   }
   if (read_pod<std::uint32_t>(bytes, offset) != kVersion) {

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -27,11 +29,31 @@ using NodeId = std::uint32_t;
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
-  std::uint32_t kind = 0;     // application-defined tag
+  std::uint32_t kind = 0;     // payload tag (the payload type's kMessageKind)
   std::uint64_t round = 0;    // application-defined round number
   std::size_t bytes = 0;      // wire size, for accounting and bandwidth
-  std::shared_ptr<const void> payload;  // application-defined body
+  /// Caller's pre-codec size estimate, when `bytes` came from the real wire
+  /// codec (net/wire.hpp).  0 = no estimate recorded.  Kept so tests can
+  /// cross-check codec-computed sizes against the legacy estimate.
+  std::size_t bytes_estimated = 0;
+  std::shared_ptr<const void> payload;  // body; type identified by `kind`
 };
+
+/// Checked alternative to static_pointer_cast on Message::payload: the
+/// payload type declares its tag as `static constexpr std::uint32_t
+/// kMessageKind`, and the cast throws std::logic_error when the message's
+/// declared kind doesn't match or the payload is empty — a mis-tagged frame
+/// fails loudly at the receiver instead of reinterpreting foreign bytes.
+template <class T>
+[[nodiscard]] const T& payload_cast(const Message& msg) {
+  if (msg.kind != T::kMessageKind) {
+    throw std::logic_error("payload_cast: message kind " + std::to_string(msg.kind) +
+                           " does not match payload tag " +
+                           std::to_string(T::kMessageKind));
+  }
+  if (!msg.payload) throw std::logic_error("payload_cast: empty payload");
+  return *static_cast<const T*>(msg.payload.get());
+}
 
 struct TrafficStats {
   std::uint64_t messages = 0;

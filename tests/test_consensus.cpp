@@ -8,7 +8,7 @@
 #include "consensus/consensus.hpp"
 #include "consensus/pbft.hpp"
 #include "consensus/voting.hpp"
-#include "nn/serialize.hpp"
+#include "net/wire.hpp"
 
 namespace abdhfl::consensus {
 namespace {
@@ -78,7 +78,8 @@ TEST(Voting, TrafficAccounting) {
   const auto cands = candidates_with_bad(4, 0);
   const auto result = voting.agree(cands, score_by_first, std::vector<bool>(4, false), rng);
   EXPECT_EQ(result.messages, 2u * 4 * 3);
-  EXPECT_EQ(result.model_bytes, 4u * 3 * nn::wire_size(2));
+  EXPECT_EQ(result.model_bytes, 4u * 3 * net::model_update_wire_size(2));
+  EXPECT_EQ(result.vote_bytes, 4u * 3 * net::vote_wire_size());
 }
 
 TEST(Voting, ValidatesInput) {

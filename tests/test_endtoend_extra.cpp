@@ -125,27 +125,44 @@ TEST(EndToEnd, TinyQuorumStillProducesModels) {
   EXPECT_EQ(result.accuracy_per_round.size(), 2u);
 }
 
+// A message body with the tag payload_cast checks.
+struct FloatBody {
+  static constexpr std::uint32_t kMessageKind = 0x42;
+  std::vector<float> values;
+};
+
 TEST(EndToEnd, SimulatorCarriesTypedPayloads) {
   sim::Simulator simulator;
   util::Rng rng(12);
   sim::Network net(simulator, rng);
   net.set_default_latency(std::make_unique<sim::FixedLatency>(0.5));
 
-  auto payload = std::make_shared<std::vector<float>>(std::vector<float>{1.0f, 2.0f});
+  auto payload = std::make_shared<FloatBody>(FloatBody{{1.0f, 2.0f}});
   std::vector<float> received;
   net.register_node(1, [&](const sim::Message& m) {
-    const auto* body = static_cast<const std::vector<float>*>(m.payload.get());
-    received = *body;
+    received = sim::payload_cast<FloatBody>(m).values;
   });
   sim::Message msg;
   msg.from = 0;
   msg.to = 1;
-  msg.bytes = payload->size() * sizeof(float);
+  msg.kind = FloatBody::kMessageKind;
+  msg.bytes = payload->values.size() * sizeof(float);
   msg.payload = payload;
   net.send(std::move(msg));
   simulator.run();
   ASSERT_EQ(received.size(), 2u);
   EXPECT_FLOAT_EQ(received[1], 2.0f);
+}
+
+TEST(EndToEnd, PayloadCastRejectsMismatchedKind) {
+  sim::Message msg;
+  msg.kind = FloatBody::kMessageKind + 1;  // tag disagrees with the cast
+  msg.payload = std::make_shared<FloatBody>(FloatBody{{1.0f}});
+  EXPECT_THROW((void)sim::payload_cast<FloatBody>(msg), std::logic_error);
+
+  msg.kind = FloatBody::kMessageKind;  // right tag, but nothing attached
+  msg.payload.reset();
+  EXPECT_THROW((void)sim::payload_cast<FloatBody>(msg), std::logic_error);
 }
 
 TEST(EndToEnd, NonIidShardsWorkOnAcsm) {

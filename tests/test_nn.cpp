@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
@@ -235,6 +237,49 @@ TEST(Nn, SerializeDetectsCorruption) {
   bytes = serialize_params(params);
   bytes.resize(bytes.size() - 4);
   EXPECT_THROW(deserialize_params(bytes), std::runtime_error);
+}
+
+TEST(Nn, SerializeRejectsTruncationAtEveryBoundary) {
+  const std::vector<float> params = {1.0f, 2.0f, 3.0f};
+  const auto full = serialize_params(params);
+  // Header-only, mid-payload, and missing-digest truncations all throw
+  // instead of reading past the buffer or returning garbage.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                           std::size_t{16}, full.size() - 8, full.size() - 1}) {
+    const std::vector<std::uint8_t> cut(full.begin(),
+                                        full.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(deserialize_params(cut), std::runtime_error) << "keep=" << keep;
+  }
+}
+
+TEST(Nn, SerializeRejectsFlippedChecksumByte) {
+  const std::vector<float> params = {4.0f, 5.0f};
+  auto bytes = serialize_params(params);
+  bytes.back() ^= 0x01;  // corrupt the digest trailer itself, not the payload
+  EXPECT_THROW(deserialize_params(bytes), std::runtime_error);
+}
+
+TEST(Nn, SerializeRejectsVersionMismatch) {
+  const std::vector<float> params = {6.0f};
+  auto bytes = serialize_params(params);
+  bytes[4] += 1;  // version field follows the 4-byte magic
+  EXPECT_THROW(deserialize_params(bytes), std::runtime_error);
+}
+
+TEST(Nn, SerializeRejectsBigEndianBlob) {
+  // Fixture produced by a big-endian writer: every multi-byte field is
+  // byte-swapped, starting with the magic.  The error must name endianness
+  // rather than report a generic bad magic.
+  const std::vector<float> params = {1.0f};
+  auto bytes = serialize_params(params);
+  std::reverse(bytes.begin(), bytes.begin() + 4);    // magic
+  std::reverse(bytes.begin() + 4, bytes.begin() + 8);  // version
+  try {
+    (void)deserialize_params(bytes);
+    FAIL() << "big-endian blob accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("big-endian"), std::string::npos);
+  }
 }
 
 TEST(Nn, SaveLoadFile) {

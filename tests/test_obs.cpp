@@ -323,10 +323,10 @@ TEST(ObsNetwork, SendFeedsPerLinkClassCounters) {
   const auto bytes_before =
       reg.counter("sim_network_bytes_total{link_class=\"7\"}").value();
 
-  net.send({0, 1, 0, 0, 100, nullptr}, /*link_class=*/7);
-  net.send({0, 1, 0, 0, 50, nullptr}, /*link_class=*/7);
+  net.send({0, 1, 0, 0, 100, 0, nullptr}, /*link_class=*/7);
+  net.send({0, 1, 0, 0, 50, 0, nullptr}, /*link_class=*/7);
   set_enabled(false);
-  net.send({0, 1, 0, 0, 999, nullptr}, /*link_class=*/7);  // not counted
+  net.send({0, 1, 0, 0, 999, 0, nullptr}, /*link_class=*/7);  // not counted
   sim.run();
   set_enabled(was_enabled);
 

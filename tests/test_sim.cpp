@@ -140,10 +140,10 @@ TEST(Network, DeliversAndMeters) {
   net.register_node(2, [&](const Message& m) {
     received.push_back(m.kind);
     // Relaying from inside a handler must work.
-    net.send({2, 1, 99, 0, 10, nullptr});
+    net.send({2, 1, 99, 0, 10, 0, nullptr});
   });
 
-  net.send({1, 2, 7, 0, 100, nullptr});
+  net.send({1, 2, 7, 0, 100, 0, nullptr});
   sim.run();
   EXPECT_EQ(received, (std::vector<std::uint32_t>{7, 99}));
   EXPECT_EQ(net.totals().messages, 2u);
@@ -160,7 +160,7 @@ TEST(Network, PerClassLatencyAndStats) {
 
   double slow_arrival = 0.0;
   net.register_node(1, [&](const Message&) { slow_arrival = sim.now(); });
-  net.send({0, 1, 0, 0, 50, nullptr}, /*link_class=*/5);
+  net.send({0, 1, 0, 0, 50, 0, nullptr}, /*link_class=*/5);
   sim.run();
   EXPECT_DOUBLE_EQ(slow_arrival, 10.0);
   EXPECT_EQ(net.class_totals(5).bytes, 50u);
@@ -174,7 +174,7 @@ TEST(Network, SendToUnregisteredThrows) {
   util::Rng rng(8);
   Network net(sim, rng);
   net.set_default_latency(std::make_unique<FixedLatency>(1.0));
-  EXPECT_THROW(net.send({0, 42, 0, 0, 1, nullptr}), std::logic_error);
+  EXPECT_THROW(net.send({0, 42, 0, 0, 1, 0, nullptr}), std::logic_error);
 }
 
 TEST(Network, RequiresLatencyModel) {
@@ -182,7 +182,7 @@ TEST(Network, RequiresLatencyModel) {
   util::Rng rng(9);
   Network net(sim, rng);
   net.register_node(1, [](const Message&) {});
-  EXPECT_THROW(net.send({0, 1, 0, 0, 1, nullptr}), std::logic_error);
+  EXPECT_THROW(net.send({0, 1, 0, 0, 1, 0, nullptr}), std::logic_error);
 }
 
 }  // namespace

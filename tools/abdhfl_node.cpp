@@ -1,0 +1,135 @@
+// Standalone federation node: one process of a 2-level ABD-HFL tree over
+// real TCP sockets (src/net).  Every process rebuilds the same data and
+// initial model from --seed, so the federation's result is comparable with
+// the in-process runners.
+//
+// Two-terminal quickstart (README "Multi-process federation"):
+//
+//   terminal 1:  ./abdhfl_node --role root --port 9400 --workers 1
+//   terminal 2:  ./abdhfl_node --role worker --index 0 --port 9400
+//
+// The root waits for all --workers joins (or --join-timeout), runs --rounds
+// global rounds, prints the per-round accuracy, and exits once every worker
+// said goodbye.  Workers that die mid-run degrade the federation instead of
+// wedging it: the root drops them via the transport's peer-loss path and
+// finishes with the remaining quorum.
+
+#include <cstdio>
+
+#include "net/loopback.hpp"
+#include "net/node.hpp"
+#include "net/tcp.hpp"
+#include "obs/obs.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+abdhfl::net::FederationConfig config_from_cli(abdhfl::util::Cli& cli) {
+  abdhfl::net::FederationConfig config;
+  config.seed = static_cast<std::uint64_t>(cli.integer("seed", 17, "RNG seed"));
+  config.workers = static_cast<std::size_t>(
+      cli.integer("workers", 2, "cluster leaders the root waits for"));
+  config.devices_per_worker = static_cast<std::size_t>(
+      cli.integer("devices-per-worker", 2, "bottom devices each worker trains"));
+  config.rounds = static_cast<std::size_t>(cli.integer("rounds", 4, "global rounds"));
+  config.local_iters = static_cast<std::size_t>(
+      cli.integer("local-iters", 8, "SGD iterations per device round"));
+  config.batch = static_cast<std::size_t>(cli.integer("batch", 16, "mini-batch size"));
+  config.learning_rate = cli.real("lr", 0.05, "SGD learning rate");
+  config.alpha = cli.real("alpha", 0.5, "Eq. 1 correction factor");
+  config.samples_per_class = static_cast<std::size_t>(
+      cli.integer("samples-per-class", 12, "training samples per digit class"));
+  config.cluster_rule = cli.str("cluster-rule", "trimmed_mean", "BRA rule at workers");
+  config.root_rule = cli.str("root-rule", "median", "BRA rule at the root");
+  config.quantize_bits = static_cast<std::uint8_t>(
+      cli.integer("quantize-bits", 0, "link codec: 0 = raw float32, 1..8 = quantized"));
+  config.join_timeout_s = cli.real("join-timeout", 20.0, "root's wait for joins (s)");
+  config.round_timeout_s = cli.real("round-timeout", 60.0, "root's wait per round (s)");
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace abdhfl;
+
+  util::Cli cli(argc, argv);
+  const std::string role = cli.str("role", "root", "root | worker");
+  const auto index =
+      static_cast<std::size_t>(cli.integer("index", 0, "worker index (worker role)"));
+  const std::string host = cli.str("host", "127.0.0.1", "root's address (worker role)");
+  const auto port = static_cast<std::uint16_t>(
+      cli.integer("port", 9400, "root's TCP port (0 = ephemeral, root role)"));
+  const double deadline = cli.real("deadline", 600.0, "overall wall-clock budget (s)");
+  net::FederationConfig config = config_from_cli(cli);
+  const auto obs_opts = obs::declare_cli(cli);
+  if (!cli.finish()) return 0;
+
+  obs::Recorder recorder;
+  obs::TraceBuffer trace;
+  obs::Recorder* rec = obs_opts.active() ? &recorder : nullptr;
+
+  if (role == "root") {
+    net::TcpTransport transport(net::kRootId);
+    const std::uint16_t bound = transport.listen(port);
+    if (obs_opts.active()) transport.set_trace(&trace);
+    std::printf("root: listening on port %u, waiting for %zu worker(s)\n", bound,
+                config.workers);
+    std::fflush(stdout);
+
+    net::RootNode root(config, transport, rec);
+    root.start();
+    const bool finished = net::pump_until(
+        transport, [&] { root.on_idle(); return root.done(); }, deadline);
+    const net::RootResult& result = root.result();
+
+    std::printf("\n%-7s %-10s\n", "round", "accuracy");
+    for (std::size_t r = 0; r < result.round_accuracy.size(); ++r) {
+      std::printf("%-7zu %-10.4f\n", r + 1, result.round_accuracy[r]);
+    }
+    std::printf("\nfinal accuracy %.4f  (%zu/%zu rounds, %zu joined, %zu lost)\n",
+                result.final_accuracy, result.rounds_run, config.rounds,
+                result.workers_joined, result.workers_lost);
+    const net::TransportStats& stats = transport.stats();
+    std::printf("traffic: %llu frames / %llu bytes sent, %llu frames / %llu bytes "
+                "received, %llu retries, %llu peer losses\n",
+                static_cast<unsigned long long>(stats.frames_sent),
+                static_cast<unsigned long long>(stats.bytes_sent),
+                static_cast<unsigned long long>(stats.frames_received),
+                static_cast<unsigned long long>(stats.bytes_received),
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.peer_losses));
+    if (rec != nullptr) transport.record_traffic(*rec, result.rounds_run);
+    obs::write_outputs(obs_opts, recorder, obs_opts.active() ? &trace : nullptr);
+    return finished && result.rounds_run > 0 ? 0 : 1;
+  }
+
+  if (role != "worker") {
+    std::fprintf(stderr, "unknown --role '%s' (expected root or worker)\n", role.c_str());
+    return 2;
+  }
+
+  net::TcpTransport transport(net::worker_node_id(index));
+  if (obs_opts.active()) transport.set_trace(&trace);
+  transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
+  if (!transport.connect_peer(net::kRootId, host, port)) {
+    std::fprintf(stderr, "worker %zu: cannot reach root at %s:%u\n", index, host.c_str(),
+                 port);
+    return 1;
+  }
+  std::printf("worker %zu: connected to %s:%u, %zu device(s)\n", index, host.c_str(),
+              port, config.devices_per_worker);
+  std::fflush(stdout);
+
+  net::WorkerNode worker(config, index, transport, rec);
+  worker.start();
+  const bool finished = net::pump_until(
+      transport, [&] { worker.on_idle(); return worker.done(); }, deadline);
+  std::printf("worker %zu: %s after %zu round(s)\n", index,
+              worker.failed() ? "FAILED" : "finished", worker.rounds_run());
+  if (rec != nullptr) transport.record_traffic(*rec, worker.rounds_run());
+  obs::write_outputs(obs_opts, recorder, obs_opts.active() ? &trace : nullptr);
+  return finished && !worker.failed() ? 0 : 1;
+}

@@ -11,7 +11,12 @@
 //     ("hfl_suspicion" etc.), which carry node/suspicion fields instead of
 //     round timings, coexist with round records in one file.
 //
-//   ./validate_jsonl run.jsonl [key ...] [--runner NAME key ...] ...
+//   ./validate_jsonl run.jsonl [key ...] [--runner NAME key ...] [--group net] ...
+//
+// `--group NAME` expands to a predefined set of --runner groups.  The only
+// group today is "net": the transport layer's per-link-class traffic
+// ("net_link") and retry/loss event ("net_events") records emitted by
+// net::Transport::record_traffic().
 //
 // Exits 0 and prints a one-line summary when every line passes; exits 1
 // with the offending line number and reason otherwise.  The parser lives in
@@ -35,6 +40,22 @@ struct Schema {
   std::map<std::string, std::vector<std::string>> per_runner;
 };
 
+// Predefined --group expansions.  Keep in sync with the record writers they
+// describe (net: net::Transport::record_traffic).
+const std::map<std::string, std::map<std::string, std::vector<std::string>>>&
+group_schemas() {
+  static const std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      groups = {
+          {"net",
+           {{"net_link",
+             {"link_class", "frames_sent", "bytes_sent", "frames_received",
+              "bytes_received"}},
+            {"net_events",
+             {"retries", "reconnects", "timeouts", "peer_losses", "decode_errors"}}}},
+      };
+  return groups;
+}
+
 Schema parse_schema(int argc, char** argv) {
   Schema schema;
   std::vector<std::string>* target = &schema.default_keys;
@@ -46,6 +67,22 @@ Schema parse_schema(int argc, char** argv) {
       }
       ++a;
       target = &schema.per_runner[argv[a]];
+    } else if (std::strcmp(argv[a], "--group") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "validate_jsonl: --group needs a group name\n");
+        std::exit(1);
+      }
+      ++a;
+      const auto group = group_schemas().find(argv[a]);
+      if (group == group_schemas().end()) {
+        std::fprintf(stderr, "validate_jsonl: unknown --group \"%s\"\n", argv[a]);
+        std::exit(1);
+      }
+      for (const auto& [runner, keys] : group->second) {
+        schema.per_runner[runner] = keys;
+      }
+      // Keys after a --group belong to the default schema again.
+      target = &schema.default_keys;
     } else {
       target->emplace_back(argv[a]);
     }
