@@ -130,11 +130,20 @@ void WorkerNode::on_message(const WireMessage& msg) {
   if (done_) return;
   if (msg.kind == MsgKind::kMembership) {
     const auto& member = std::get<Membership>(msg.payload);
-    if (member.event == Membership::Event::kJoin && !started_) {
-      // Join echo: the root confirmed us and fixed the link codec.
+    if (member.event == Membership::Event::kJoin) {
       transport_.set_peer_codec(kRootId, member.codec);
-      started_ = true;
-      train_and_send();
+      if (!started_) {
+        // Join echo: the root confirmed us and fixed the link codec.
+        started_ = true;
+        train_and_send();
+      } else if (msg.env.round != round_) {
+        // Resync echo after the root re-admitted us mid-run: adopt the round
+        // the root is collecting and rejoin its quorum from our current
+        // model.  If the echoed round is our own, the update we retried over
+        // the reconnect already covers it — nothing to redo.
+        round_ = static_cast<std::size_t>(msg.env.round);
+        train_and_send();
+      }
     } else if (member.event == Membership::Event::kShutdown) {
       finish(/*failed=*/false);
     }
@@ -195,6 +204,8 @@ RootNode::RootNode(FederationConfig config, Transport& transport,
       global_(data_.init_params) {
   transport_.register_node(kRootId, [this](const WireMessage& msg) { on_message(msg); });
   transport_.add_peer_loss_handler([this](NodeId peer) { on_peer_loss(peer); });
+  transport_.add_peer_reconnect_handler(
+      [this](NodeId peer) { on_peer_reconnect(peer); });
 }
 
 void RootNode::start() { phase_deadline_ = wall_now() + config_.join_timeout_s; }
@@ -348,6 +359,34 @@ void RootNode::on_peer_loss(NodeId peer) {
   }
 }
 
+void RootNode::on_peer_reconnect(NodeId peer) {
+  // A transient link drop the worker's own send-retry machinery repaired:
+  // re-admit the member the loss path evicted.  Only mid-training, and only
+  // for a worker that joined this run and has not said goodbye.
+  if (phase_ != Phase::kTraining) return;
+  if (live_.find(peer) != live_.end() || left_.find(peer) != left_.end()) return;
+  if (subtree_samples_.find(peer) == subtree_samples_.end()) return;
+  live_.insert(peer);
+  ++result_.workers_rejoined;
+  apply_rejoin(peer);
+  if (recorder_ != nullptr) {
+    obs::RoundRecord& rec = recorder_->begin_round("dist_rejoin", round_);
+    rec.set("worker", static_cast<double>(peer));
+    rec.set("live_workers", static_cast<double>(live_.size()));
+  }
+  // Resync echo: the envelope round is the round the root is collecting, so
+  // the worker knows which quorum its next update must land in.  This is
+  // sent BEFORE the reconnect's buffered frames are delivered — if they
+  // carry the worker's retried update for this round, it is accepted below
+  // and the worker (seeing its own round echoed) does not retrain.
+  Membership echo;
+  echo.event = Membership::Event::kJoin;
+  echo.device = kRootId;
+  echo.cluster = peer - 1;
+  echo.codec = transport_.codec_for(peer);
+  transport_.send({kRootId, peer, round_}, echo, kLeaderLinkClass);
+}
+
 void RootNode::apply_churn(NodeId worker) {
   // Mirror the loss on the topology: the crashed worker is the leader of
   // bottom cluster (worker-1); with_device_left elects its successor and
@@ -361,6 +400,20 @@ void RootNode::apply_churn(NodeId worker) {
   } catch (const std::exception&) {
     // Assumption 3 forbids emptying a cluster / the top level; the mirror
     // simply keeps the old shape then — the live set already shrank.
+  }
+}
+
+void RootNode::apply_rejoin(NodeId worker) {
+  // Inverse of apply_churn: the returning leader re-enters its old bottom
+  // cluster via the paper's Assumption 3 join path.
+  const std::size_t cluster_index = static_cast<std::size_t>(worker - 1);
+  if (cluster_index >= tree_.level(1).size()) return;
+  try {
+    auto joined = topology::with_device_joined(tree_, cluster_index);
+    tree_ = std::move(joined.tree);
+  } catch (const std::exception&) {
+    // Mirror-only bookkeeping; a shape the topology rejects keeps the old
+    // tree — the live set already grew.
   }
 }
 

@@ -27,7 +27,12 @@
 // the root drops it from the live set, feeds the event through
 // topology::with_device_left (leader succession on the mirrored HflTree),
 // records a "dist_churn" JSONL line, and finishes the round with the
-// remaining quorum.  Determinism: every process rebuilds identical data and
+// remaining quorum.  A transient drop is recoverable: when the worker's own
+// send-retry machinery re-establishes the link, the transport's
+// peer-reconnect event lets the root re-admit the member (a "dist_rejoin"
+// line) and answer with a resync join echo whose envelope round tells the
+// worker which quorum to land its next update in.
+// Determinism: every process rebuilds identical data and
 // models from FederationConfig::seed (build_federation_data), and device
 // RNGs are derived from the global device index, so a loopback run is
 // bitwise equal to the transport-free reference loop and a lossless TCP run
@@ -160,6 +165,7 @@ struct RootResult {
   std::size_t rounds_run = 0;
   std::size_t workers_joined = 0;
   std::size_t workers_lost = 0;
+  std::size_t workers_rejoined = 0;  // re-admitted after a transient drop
 };
 
 class RootNode {
@@ -178,10 +184,12 @@ class RootNode {
 
   void on_message(const WireMessage& msg);
   void on_peer_loss(NodeId peer);
+  void on_peer_reconnect(NodeId peer);
   void begin_training();
   void maybe_aggregate();  // fires once every live worker's update arrived
   void maybe_finish();
   void apply_churn(NodeId worker);
+  void apply_rejoin(NodeId worker);
 
   FederationConfig config_;
   Transport& transport_;

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -93,8 +94,33 @@ bool TcpTransport::dial(Peer& peer) {
     }
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) continue;
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
-      tune_stream(fd);
+    // Connect nonblocking and bound the wait ourselves: a blocking connect
+    // to a host that drops packets would stall the single-threaded poll
+    // loop for the OS SYN timeout (minutes), far past anything RetryPolicy
+    // promises.
+    try {
+      make_nonblocking(fd);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (rc < 0 && (errno == EINPROGRESS || errno == EINTR)) {
+      pollfd waiter{fd, POLLOUT, 0};
+      const int timeout_ms = static_cast<int>(
+          std::max(policy_.connect_timeout_s, 0.001) * 1000.0);
+      rc = -1;
+      if (::poll(&waiter, 1, timeout_ms) > 0) {
+        int err = 0;
+        socklen_t len = sizeof err;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0) {
+          rc = 0;
+        }
+      }
+    }
+    if (rc == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       peer.fd = fd;
       return true;
     }
@@ -276,8 +302,7 @@ std::size_t TcpTransport::read_peer(NodeId id, Peer& peer) {
     break;
   }
   bool framing_ok = true;
-  const std::size_t delivered =
-      extract_frames(peer.rx, peer.link_class, framing_ok, nullptr);
+  const std::size_t delivered = extract_frames(peer.rx, peer.link_class, framing_ok);
   if (eof || !framing_ok) drop_peer(id, peer, /*report=*/true);
   return delivered;
 }
@@ -319,32 +344,38 @@ std::size_t TcpTransport::read_pending(std::size_t index) {
     return 0;
   }
 
+  const bool known = peers_.find(first.env.from) != peers_.end();
   Peer& peer = peers_[first.env.from];
   if (peer.fd >= 0) ::close(peer.fd);  // reconnect replaces the stale link
   peer.fd = conn.fd;
   peer.lost = false;
   peer.rx = std::move(conn.rx);
   conn.fd = -1;
+  // A known peer coming back on a fresh socket is a reconnect.  Announce it
+  // BEFORE draining the buffered frames: a parent that evicted the peer on
+  // the earlier loss re-admits it first, so the frames riding the new
+  // connection (typically the retried model update) land in restored state.
+  if (known) note_peer_reconnect(first.env.from);
   bool framing_ok = true;
-  const std::size_t delivered =
-      extract_frames(peer.rx, peer.link_class, framing_ok, nullptr);
+  const std::size_t delivered = extract_frames(peer.rx, peer.link_class, framing_ok);
   if (!framing_ok) drop_peer(first.env.from, peer, /*report=*/true);
   return delivered;
 }
 
 std::size_t TcpTransport::extract_frames(std::vector<std::uint8_t>& rx,
-                                         std::uint32_t link_class, bool& framing_ok,
-                                         NodeId* learned_from) {
+                                         std::uint32_t link_class, bool& framing_ok) {
   framing_ok = true;
-  std::size_t delivered = 0;
+  // Decode and consume every complete frame BEFORE running any handler: a
+  // handler may reentrantly call send()/connect_peer() on this same peer,
+  // whose failure paths clear the buffer this loop is parsing.
+  std::vector<std::pair<WireMessage, std::size_t>> batch;  // message, frame size
   std::size_t pos = 0;
-  while (rx.size() - pos >= kHeaderSize) {
-    std::size_t total = 0;
-    WireMessage msg;
+  while (pos + kHeaderSize <= rx.size()) {
     try {
-      total = peek_frame_size({rx.data() + pos, kHeaderSize});
+      const std::size_t total = peek_frame_size({rx.data() + pos, kHeaderSize});
       if (rx.size() - pos < total) break;
-      msg = decode_frame({rx.data() + pos, total});
+      batch.emplace_back(decode_frame({rx.data() + pos, total}), total);
+      pos += total;
     } catch (const WireError&) {
       // A stream cannot resynchronize after a framing error; the caller
       // drops the connection.
@@ -352,19 +383,18 @@ std::size_t TcpTransport::extract_frames(std::vector<std::uint8_t>& rx,
       framing_ok = false;
       break;
     }
-    pos += total;
+  }
+  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (const auto& [msg, total] : batch) {
     note_received(total, link_class);
     if (trace() != nullptr) {
       trace()->push({trace()->seconds_since_epoch(),
                      static_cast<std::size_t>(msg.env.round), "net_recv", msg.env.to, 0,
                      0.0, 0});
     }
-    if (learned_from != nullptr && delivered == 0) *learned_from = msg.env.from;
-    ++delivered;
     if (handler_) handler_(msg);
   }
-  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(pos));
-  return delivered;
+  return batch.size();
 }
 
 void TcpTransport::drop_peer(NodeId id, Peer& peer, bool report) {

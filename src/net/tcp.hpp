@@ -12,10 +12,14 @@
 // accepts, reads, reassembles frames via peek_frame_size, and runs handlers
 // on the calling thread.  send() writes the whole frame before returning,
 // waiting for writability up to the per-message deadline; a failed write on
-// a dialable link triggers reconnect attempts under the same policy, and a
-// link that stays dead is reported once through the peer-loss handler so the
-// churn layer can remove the subtree (graceful degradation instead of a
-// crash).
+// a dialable link triggers reconnect attempts under the same policy
+// (connects are nonblocking with a poll()-bounded wait, so an unresponsive
+// host cannot stall the loop for the OS SYN timeout), and a link that stays
+// dead is reported once through the peer-loss handler so the churn layer can
+// remove the subtree (graceful degradation instead of a crash).  An accepted
+// socket that re-identifies as a peer that already had a link fires the
+// peer-reconnect handler before its frames are delivered, which is how a
+// parent re-admits a member it wrote off after a transient drop.
 //
 // Corrupt input never propagates: a frame the codec rejects bumps
 // decode_errors and drops the connection (stream framing cannot resync on
@@ -79,8 +83,10 @@ class TcpTransport : public Transport {
   /// Drain readable bytes; returns frames delivered, marks `lost` on EOF or
   /// a framing error.
   std::size_t read_peer(NodeId id, Peer& peer);
+  /// Decode and consume every complete frame in `rx`, then dispatch them to
+  /// the handler (in that order: handlers may reentrantly mutate `rx`).
   std::size_t extract_frames(std::vector<std::uint8_t>& rx, std::uint32_t link_class,
-                             bool& framing_ok, NodeId* learned_from);
+                             bool& framing_ok);
   void accept_pending();
   std::size_t read_pending(std::size_t index);
 

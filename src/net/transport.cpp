@@ -107,6 +107,14 @@ void Transport::note_peer_loss(NodeId peer) {
   for (const auto& handler : on_peer_loss_) handler(peer);
 }
 
+void Transport::note_peer_reconnect(NodeId peer) {
+  ++stats_.reconnects;
+  if (trace_) {
+    trace_->push({trace_->seconds_since_epoch(), 0, "net_peer_reconnect", peer, 0, 0.0, 0});
+  }
+  for (const auto& handler : on_peer_reconnect_) handler(peer);
+}
+
 void Transport::note_decode_error() { ++stats_.decode_errors; }
 
 void Transport::record_traffic(obs::Recorder& recorder, std::uint64_t round) const {

@@ -58,6 +58,7 @@ struct RetryPolicy {
   double backoff_factor = 2.0;
   double max_backoff_s = 1.0;
   double send_timeout_s = 5.0;    // per-message write deadline
+  double connect_timeout_s = 2.0; // per connect attempt (nonblocking + poll)
 
   [[nodiscard]] double backoff_for(std::size_t retry) const noexcept;
 };
@@ -78,6 +79,7 @@ class Transport {
  public:
   using MessageHandler = std::function<void(const WireMessage&)>;
   using PeerLossHandler = std::function<void(NodeId peer)>;
+  using PeerReconnectHandler = std::function<void(NodeId peer)>;
 
   virtual ~Transport() = default;
 
@@ -99,6 +101,15 @@ class Transport {
   /// several nodes sharing one loopback transport can all subscribe.
   void add_peer_loss_handler(PeerLossHandler handler) {
     on_peer_loss_.push_back(std::move(handler));
+  }
+
+  /// Invoked when a peer that already had a link re-establishes one (TCP: an
+  /// accepted socket re-identifies as a known node).  Fired before the new
+  /// link's frames are delivered, so a parent that evicted the peer on the
+  /// earlier loss can re-admit it first — a transient drop the peer's own
+  /// retry machinery repaired must not permanently remove a member.
+  void add_peer_reconnect_handler(PeerReconnectHandler handler) {
+    on_peer_reconnect_.push_back(std::move(handler));
   }
 
   /// Announce that `peer` is about to close its link on purpose (it sent a
@@ -131,7 +142,8 @@ class Transport {
   void note_retry();
   void note_reconnect();
   void note_timeout();
-  void note_peer_loss(NodeId peer);  // also fires the peer-loss handler
+  void note_peer_loss(NodeId peer);       // also fires the peer-loss handlers
+  void note_peer_reconnect(NodeId peer);  // also fires the reconnect handlers
   void note_decode_error();
 
   [[nodiscard]] obs::TraceBuffer* trace() const noexcept { return trace_; }
@@ -153,6 +165,7 @@ class Transport {
   std::map<std::uint32_t, TransportStats> per_class_;
   std::map<NodeId, Codec> peer_codec_;
   std::vector<PeerLossHandler> on_peer_loss_;
+  std::vector<PeerReconnectHandler> on_peer_reconnect_;
   obs::TraceBuffer* trace_ = nullptr;
   ObsCounters obs_counters_;
   bool obs_ready_ = false;

@@ -64,12 +64,19 @@ std::vector<float> read_params(std::span<const std::uint8_t> body, std::size_t& 
                                bool quantized) {
   if (!quantized) {
     // The nn/serialize blob is self-delimiting: magic/version/count header.
-    if (offset + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t) > body.size()) {
+    constexpr std::size_t kBlobHeader = 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+    if (offset + kBlobHeader + sizeof(std::uint64_t) > body.size()) {
       throw WireError("truncated parameter blob header");
     }
     std::uint64_t count;
     std::memcpy(&count, body.data() + offset + 2 * sizeof(std::uint32_t), sizeof(count));
-    const std::size_t blob_size = nn::wire_size(count);
+    // The count comes straight off the wire (and the frame digest is not a
+    // MAC): bound it by the bytes actually present before it sizes anything
+    // — nn::wire_size(count) itself overflows for count near 2^64.
+    const std::size_t capacity =
+        body.size() - offset - kBlobHeader - sizeof(std::uint64_t);
+    if (count > capacity / sizeof(float)) throw WireError("truncated parameter blob");
+    const std::size_t blob_size = nn::wire_size(static_cast<std::size_t>(count));
     if (offset + blob_size > body.size()) throw WireError("truncated parameter blob");
     try {
       auto params = nn::deserialize_params(body.subspan(offset, blob_size));
@@ -86,8 +93,22 @@ std::vector<float> read_params(std::span<const std::uint8_t> body, std::size_t& 
   if (q.bits == 0 || q.bits > 8 || q.block == 0) {
     throw WireError("corrupt quantized parameter header");
   }
+  // Bound the wire-supplied count against the bytes actually present BEFORE
+  // any allocation: the packed codes alone need ceil(count*bits/8) bytes and
+  // each block carries a (scale, min) pair.  Without this, a forged count
+  // drives resize() into std::length_error/bad_alloc, which are not
+  // WireError and would escape the transports' decode-error handling.
+  const std::size_t remaining = body.size() - offset;
+  if (q.count > static_cast<std::uint64_t>(remaining) * 8 / q.bits) {
+    throw WireError("truncated quantized payload");
+  }
   const std::size_t n_blocks =
       (static_cast<std::size_t>(q.count) + q.block - 1) / q.block;
+  if (n_blocks * 2 * sizeof(float) +
+          (static_cast<std::size_t>(q.count) * q.bits + 7) / 8 >
+      remaining) {
+    throw WireError("truncated quantized payload");
+  }
   q.scales.resize(n_blocks);
   q.mins.resize(n_blocks);
   for (std::size_t b = 0; b < n_blocks; ++b) {

@@ -69,7 +69,10 @@ std::vector<float> deserialize_params(std::span<const std::uint8_t> bytes) {
     throw std::runtime_error("unsupported model blob version");
   }
   const auto count = read_pod<std::uint64_t>(bytes, offset);
-  if (offset + count * sizeof(float) + sizeof(std::uint64_t) > bytes.size()) {
+  // Bound count before it sizes the vector: the naive size check would wrap
+  // for count near 2^62 and admit an absurd allocation.
+  if (bytes.size() - offset < sizeof(std::uint64_t) ||
+      count > (bytes.size() - offset - sizeof(std::uint64_t)) / sizeof(float)) {
     throw std::runtime_error("truncated model blob payload");
   }
   std::vector<float> params(count);

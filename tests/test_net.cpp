@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/loopback.hpp"
+#include "net/node.hpp"
 #include "net/tcp.hpp"
 #include "net/wire.hpp"
 #include "nn/serialize.hpp"
@@ -436,6 +437,136 @@ TEST(Tcp, NoRouteWithoutLink) {
   EXPECT_EQ(node.send({3, 4, 0}, ConsensusVote{}), SendStatus::kNoRoute);
 }
 
+// FNV-1a 64, same constants as the codec: the frame digest is an integrity
+// check, not a MAC, so a connected peer can forge it — these tests do.
+std::uint64_t forge_fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void refresh_digest(std::vector<std::uint8_t>& frame) {
+  const std::uint64_t digest = forge_fnv1a(frame.data(), frame.size() - kDigestSize);
+  std::memcpy(frame.data() + frame.size() - kDigestSize, &digest, sizeof digest);
+}
+
+TEST(Wire, ForgedParamCountCannotDriveAllocation) {
+  // A forged parameter count must be rejected against the bytes actually
+  // present before it sizes any allocation: std::length_error/bad_alloc are
+  // not WireError and would escape the transports' decode-error handling.
+  ModelUpdate update;
+  update.params = test_params(64);
+
+  // Raw path: blob count lives at body offset 16 (fixed fields) + 8 (blob
+  // magic+version).  1<<62 makes the naive count*4 size check wrap to 0.
+  auto raw = encode_frame({1, 2, 0}, update);
+  std::uint64_t huge = std::uint64_t{1} << 62;
+  std::memcpy(raw.data() + kHeaderSize + 24, &huge, sizeof huge);
+  refresh_digest(raw);
+  EXPECT_THROW((void)decode_frame(raw), WireError);
+
+  // Quantized path: count lives after bits(1)+block(4) at body offset 21.
+  // 1<<61 would resize the per-block scale/min vectors to ~2^55 entries.
+  Codec codec;
+  codec.quantize_bits = 8;
+  codec.block = 64;
+  auto packed = encode_frame({1, 2, 0}, update, codec);
+  huge = std::uint64_t{1} << 61;
+  std::memcpy(packed.data() + kHeaderSize + 21, &huge, sizeof huge);
+  refresh_digest(packed);
+  EXPECT_THROW((void)decode_frame(packed), WireError);
+}
+
+TEST(Tcp, HandlerReentrantLinkMutationDoesNotCorruptDrain) {
+  // Handlers run inside the frame drain and may reentrantly kill the very
+  // link being drained (send() failure or an explicit redial both clear the
+  // peer's receive buffer).  Every frame already buffered must still be
+  // delivered, without touching freed memory.
+  RetryPolicy fast;
+  fast.max_attempts = 1;
+  fast.initial_backoff_s = 0.005;
+  fast.max_backoff_s = 0.01;
+  fast.connect_timeout_s = 0.5;
+
+  TcpTransport root(0, fast);
+  const auto port = root.listen(0);
+  int delivered = 0;
+  root.register_node(0, [&](const WireMessage& msg) {
+    ++delivered;
+    if (delivered == 1) {
+      // Redial the sender at a dead port: fails fast, drops the peer, and
+      // clears its rx buffer while the second frame is still in flight.
+      (void)root.connect_peer(msg.env.from, "127.0.0.1", 1);
+    }
+  });
+
+  TcpTransport worker(5, fast);
+  worker.register_node(5, [](const WireMessage&) {});
+  ASSERT_TRUE(worker.connect_peer(0, "127.0.0.1", port));
+  ConsensusVote vote;
+  vote.voter = 5;
+  EXPECT_EQ(worker.send({5, 0, 0}, vote), SendStatus::kOk);
+  EXPECT_EQ(worker.send({5, 0, 1}, vote), SendStatus::kOk);
+
+  ASSERT_TRUE(pump(root, worker, [&] { return delivered >= 2; }));
+  EXPECT_EQ(delivered, 2);
+  root.close();
+  worker.close();
+}
+
+TEST(Tcp, ReidentifiedPeerFiresReconnectHandler) {
+  RetryPolicy fast;
+  fast.max_attempts = 3;
+  fast.initial_backoff_s = 0.01;
+  fast.max_backoff_s = 0.05;
+  fast.send_timeout_s = 2.0;
+
+  TcpTransport root(0, fast);
+  const auto port = root.listen(0);
+  int joins = 0;
+  NodeId lost_peer = 999;
+  NodeId reconnected = 999;
+  root.register_node(0, [&](const WireMessage& msg) {
+    if (msg.kind != MsgKind::kMembership) return;
+    ++joins;
+    if (joins == 2) {
+      // Ordering contract: the reconnect event precedes the frames that
+      // rode the new connection.
+      EXPECT_EQ(reconnected, 5u);
+    }
+  });
+  root.add_peer_loss_handler([&](NodeId peer) { lost_peer = peer; });
+  root.add_peer_reconnect_handler([&](NodeId peer) { reconnected = peer; });
+
+  Membership join;
+  join.event = Membership::Event::kJoin;
+  join.device = 5;
+  {
+    TcpTransport worker(5, fast);
+    worker.register_node(5, [](const WireMessage&) {});
+    ASSERT_TRUE(worker.connect_peer(0, "127.0.0.1", port));
+    EXPECT_EQ(worker.send({5, 0, 0}, join), SendStatus::kOk);
+    ASSERT_TRUE(pump(root, worker, [&] { return joins == 1; }));
+    EXPECT_EQ(reconnected, 999u);  // first contact is not a reconnect
+    worker.close();
+    ASSERT_TRUE(pump(root, worker, [&] { return lost_peer == 5; }));
+  }
+
+  // The same node id coming back on a fresh socket is a reconnect.
+  TcpTransport revived(5, fast);
+  revived.register_node(5, [](const WireMessage&) {});
+  ASSERT_TRUE(revived.connect_peer(0, "127.0.0.1", port));
+  EXPECT_EQ(revived.send({5, 0, 1}, join), SendStatus::kOk);
+  ASSERT_TRUE(pump(root, revived, [&] { return joins == 2; }));
+  EXPECT_EQ(reconnected, 5u);
+  EXPECT_GE(root.stats().reconnects, 1u);
+  root.close();
+  revived.close();
+}
+
 TEST(Tcp, ConnectToDeadAddressFailsAfterRetries) {
   RetryPolicy fast;
   fast.max_attempts = 2;
@@ -452,6 +583,130 @@ TEST(Tcp, ConnectToDeadAddressFailsAfterRetries) {
   EXPECT_EQ(lost_peer, 8u);
   EXPECT_GE(node.stats().retries, 1u);
   EXPECT_EQ(node.send({3, 8, 0}, ConsensusVote{}), SendStatus::kPeerLost);
+}
+
+// A worker scripted by the test: lets the rejoin scenario control exactly
+// when each protocol step happens, which RootNode+WorkerNode pumping can't.
+struct ScriptedWorker {
+  TcpTransport transport;
+  std::vector<WireMessage> partials;
+  std::vector<WireMessage> echoes;
+
+  ScriptedWorker(NodeId id, const RetryPolicy& policy) : transport(id, policy) {
+    transport.register_node(id, [this](const WireMessage& msg) {
+      if (msg.kind == MsgKind::kPartialModel) partials.push_back(msg);
+      if (msg.kind == MsgKind::kMembership) echoes.push_back(msg);
+    });
+  }
+};
+
+TEST(Node, RootReadmitsWorkerAfterTransientDrop) {
+  FederationConfig config;
+  config.workers = 2;
+  config.devices_per_worker = 1;
+  config.rounds = 2;
+  config.local_iters = 1;
+  config.batch = 4;
+  config.hidden = {4};
+  config.samples_per_class = 2;
+  config.test_samples_per_class = 1;
+  const FederationData data = build_federation_data(config);
+
+  RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.initial_backoff_s = 0.005;
+  fast.max_backoff_s = 0.02;
+  fast.send_timeout_s = 2.0;
+  fast.connect_timeout_s = 1.0;
+
+  TcpTransport root_transport(kRootId, fast);
+  const auto port = root_transport.listen(0);
+  RootNode root(config, root_transport);
+  root.start();
+
+  auto pump_all = [&](std::initializer_list<TcpTransport*> transports,
+                      const std::function<bool()>& done, int max_iters = 1000) {
+    for (int i = 0; i < max_iters && !done(); ++i) {
+      root_transport.poll(0.005);
+      for (TcpTransport* t : transports) t->poll(0.005);
+    }
+    return done();
+  };
+
+  const NodeId w1 = worker_node_id(0);
+  const NodeId w2 = worker_node_id(1);
+  Membership join;
+  join.event = Membership::Event::kJoin;
+  join.subtree_samples = 20;
+
+  ModelUpdate update;
+  update.level = 1;
+  update.samples = 20;
+  update.params = data.init_params;
+
+  auto scripted_join = [&](ScriptedWorker& w, NodeId id, std::uint64_t round) {
+    ASSERT_TRUE(w.transport.connect_peer(kRootId, "127.0.0.1", port));
+    join.device = id;
+    join.cluster = id - 1;
+    ASSERT_EQ(w.transport.send({id, kRootId, round}, join), SendStatus::kOk);
+  };
+
+  ScriptedWorker worker1(w1, fast);
+  ScriptedWorker worker2(w2, fast);
+  scripted_join(worker1, w1, 0);
+  scripted_join(worker2, w2, 0);
+  ASSERT_TRUE(pump_all({&worker1.transport, &worker2.transport}, [&] {
+    return !worker1.echoes.empty() && !worker2.echoes.empty();
+  }));
+
+  // Round 0: both updates arrive, both get the global partial back.
+  update.sender = w1;
+  ASSERT_EQ(worker1.transport.send({w1, kRootId, 0}, update), SendStatus::kOk);
+  update.sender = w2;
+  ASSERT_EQ(worker2.transport.send({w2, kRootId, 0}, update), SendStatus::kOk);
+  ASSERT_TRUE(pump_all({&worker1.transport, &worker2.transport}, [&] {
+    return !worker1.partials.empty() && !worker2.partials.empty();
+  }));
+
+  // Worker 1 "crashes": unannounced close; the root must evict it.
+  worker1.transport.close();
+  ASSERT_TRUE(pump_all({&worker2.transport},
+                       [&] { return root.result().workers_lost == 1; }));
+
+  // ... and comes back on a fresh socket, retrying its round-1 update: the
+  // root re-admits it and answers with a resync echo naming round 1.
+  ScriptedWorker revived(w1, fast);
+  ASSERT_TRUE(revived.transport.connect_peer(kRootId, "127.0.0.1", port));
+  update.sender = w1;
+  ASSERT_EQ(revived.transport.send({w1, kRootId, 1}, update), SendStatus::kOk);
+  ASSERT_TRUE(pump_all({&revived.transport, &worker2.transport}, [&] {
+    return root.result().workers_rejoined == 1 && !revived.echoes.empty();
+  }));
+  EXPECT_EQ(revived.echoes.front().env.round, 1u);
+
+  // Round 1 completes with the re-admitted worker in the quorum.
+  update.sender = w2;
+  ASSERT_EQ(worker2.transport.send({w2, kRootId, 1}, update), SendStatus::kOk);
+  ASSERT_TRUE(pump_all({&revived.transport, &worker2.transport}, [&] {
+    return !revived.partials.empty() && worker2.partials.size() == 2;
+  }));
+  EXPECT_EQ(revived.partials.front().env.round, 1u);
+
+  // Goodbyes end the run cleanly.
+  Membership leave;
+  leave.event = Membership::Event::kLeave;
+  leave.device = w1;
+  ASSERT_EQ(revived.transport.send({w1, kRootId, 2}, leave), SendStatus::kOk);
+  leave.device = w2;
+  ASSERT_EQ(worker2.transport.send({w2, kRootId, 2}, leave), SendStatus::kOk);
+  ASSERT_TRUE(pump_all({&revived.transport, &worker2.transport},
+                       [&] { return root.done(); }));
+
+  EXPECT_EQ(root.result().rounds_run, 2u);
+  EXPECT_EQ(root.result().workers_joined, 2u);
+  EXPECT_EQ(root.result().workers_lost, 1u);
+  EXPECT_EQ(root.result().workers_rejoined, 1u);
+  EXPECT_EQ(root.result().round_accuracy.size(), 2u);
 }
 
 }  // namespace

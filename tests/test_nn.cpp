@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -250,6 +252,17 @@ TEST(Nn, SerializeRejectsTruncationAtEveryBoundary) {
                                         full.begin() + static_cast<std::ptrdiff_t>(keep));
     EXPECT_THROW(deserialize_params(cut), std::runtime_error) << "keep=" << keep;
   }
+}
+
+TEST(Nn, SerializeRejectsForgedHugeCount) {
+  // A count near 2^62 makes the naive count*sizeof(float) bound wrap to a
+  // tiny number; the check must reject it (cleanly, as std::runtime_error)
+  // before the count sizes the output vector.
+  const std::vector<float> params = {1.0f, 2.0f, 3.0f};
+  auto bytes = serialize_params(params);
+  const std::uint64_t huge = std::uint64_t{1} << 62;
+  std::memcpy(bytes.data() + 8, &huge, sizeof huge);  // count follows magic+version
+  EXPECT_THROW(deserialize_params(bytes), std::runtime_error);
 }
 
 TEST(Nn, SerializeRejectsFlippedChecksumByte) {
