@@ -10,9 +10,12 @@
 // on the correction factor.
 //
 //   ./bench_async [--rounds N] [--global-agg-time T]
+//                 [--checkpoint-dir ckpts] [--checkpoint-every 1] [--resume]
 
 #include <cstdio>
+#include <memory>
 
+#include "ckpt/store.hpp"
 #include "core/async_runner.hpp"
 #include "data/partition.hpp"
 #include "data/synth_digits.hpp"
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
       cli.str("trace", "", "write a Fig.2-style event timeline CSV (flag level 1 run)");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 29, "RNG seed"));
   const auto obs_opts = obs::declare_cli(cli);
+  const auto ckpt_opts = ckpt::declare_cli(cli);
   if (!cli.finish()) return 0;
 
   obs::Recorder recorder;
@@ -79,6 +83,15 @@ int main(int argc, char** argv) {
     if (obs_opts.active()) {
       recorder.set_context("flag_level", static_cast<double>(flag));
       config.recorder = &recorder;
+    }
+    // One store per sweep point — each configuration is its own run.
+    std::unique_ptr<ckpt::Store> store;
+    if (ckpt_opts.active()) {
+      store = std::make_unique<ckpt::Store>(
+          ckpt_opts.dir + "/async-flag" + std::to_string(flag), 3, config.recorder);
+      config.checkpoint = store.get();
+      config.checkpoint_every = ckpt_opts.every;
+      config.resume = ckpt_opts.resume;
     }
     core::AsyncHflRunner runner(tree, shards, test_set, validation, prototype, config,
                                 attack, seed);

@@ -11,10 +11,13 @@
 // the correction factor is worth in accuracy.
 //
 //   ./bench_pipeline [--rounds N] [--alpha-ablation]
+//                    [--checkpoint-dir ckpts] [--checkpoint-every 1] [--resume]
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "ckpt/store.hpp"
 #include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 #include "obs/obs.hpp"
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
   const std::string csv = cli.str("csv", "", "also write rows to this CSV file");
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 9, "RNG seed"));
   const auto obs_opts = obs::declare_cli(cli);
+  const auto ckpt_opts = ckpt::declare_cli(cli);
   if (!cli.finish()) return 0;
 
   obs::Recorder recorder;
@@ -53,6 +57,17 @@ int main(int argc, char** argv) {
         recorder.set_context("flag_level", static_cast<double>(flag));
         recorder.set_context("quorum", quorum);
         config.recorder = &recorder;
+      }
+      // One store per sweep point — each configuration is its own run.
+      std::unique_ptr<ckpt::Store> store;
+      if (ckpt_opts.active()) {
+        store = std::make_unique<ckpt::Store>(
+            ckpt_opts.dir + "/pipeline-f" + std::to_string(flag) + "-q" +
+                std::to_string(static_cast<int>(quorum * 100.0)),
+            3, config.recorder);
+        config.checkpoint = store.get();
+        config.checkpoint_every = ckpt_opts.every;
+        config.resume = ckpt_opts.resume;
       }
       const auto result = core::simulate_pipeline(tree, config, seed);
       double w = 0.0, pg = 0.0;

@@ -12,10 +12,15 @@
 // zero arithmetic), and the TCP federation lands within 1pp of it.  With
 // --kill-worker one TCP worker dies mid-run; the root must degrade through
 // the peer-loss/churn path and still finish with the remaining quorum.
+// Adding --checkpoint-dir turns the kill into a recovery drill: the dead
+// worker's process is respawned with --resume semantics, restores its last
+// snapshot, and must rejoin the running federation (workers_rejoined == 1)
+// instead of retraining from round 0 — the CI crash-recovery smoke.
 //
 //   ./distributed_federation [--rounds 3] [--workers 3] [--kill-worker]
-//                            [--metrics-out dist.jsonl]
+//                            [--checkpoint-dir ckpts] [--metrics-out dist.jsonl]
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "agg/aggregator.hpp"
+#include "ckpt/store.hpp"
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
@@ -98,13 +104,20 @@ net::RootResult run_loopback(const net::FederationConfig& config, obs::Recorder*
 // Worker child process: never returns.  Exits via _exit so the parent's
 // stdio buffers (duplicated by fork) are not flushed twice; with
 // die_after_round >= 0 the process vanishes mid-run without a goodbye —
-// the crash the root's churn path must absorb.
+// the crash the root's churn path must absorb.  A non-empty ckpt_dir makes
+// the worker snapshot per round (and restore first when resume is set), so
+// a respawned process continues where the crashed one stopped.
 [[noreturn]] void worker_process(const net::FederationConfig& config, std::size_t index,
-                                 std::uint16_t port, long die_after_round) {
+                                 std::uint16_t port, long die_after_round,
+                                 const std::string& ckpt_dir, bool resume) {
   net::TcpTransport transport(net::worker_node_id(index));
   transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
   if (!transport.connect_peer(net::kRootId, "127.0.0.1", port)) _exit(3);
-  net::WorkerNode worker(config, index, transport);
+  std::unique_ptr<ckpt::Store> store;
+  if (!ckpt_dir.empty()) store = std::make_unique<ckpt::Store>(ckpt_dir);
+  net::WorkerNode worker(config, index, transport, nullptr, store.get(),
+                         /*checkpoint_every=*/1, resume);
+  if (resume && worker.resume_round() == 0) _exit(4);  // no snapshot found
   worker.start();
   const bool finished = net::pump_until(
       transport,
@@ -123,12 +136,19 @@ net::RootResult run_loopback(const net::FederationConfig& config, obs::Recorder*
 struct TcpOutcome {
   net::RootResult result;
   bool children_ok = true;
+  bool respawned = false;      // recovery mode: replacement was launched
+  bool respawn_ok = false;     // ... and finished the run cleanly
 };
 
 TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
-                   obs::Recorder* rec) {
+                   const std::string& ckpt_dir, obs::Recorder* rec) {
   net::TcpTransport transport(net::kRootId);
   const std::uint16_t port = transport.listen(0);
+  const bool recovery = kill_worker && !ckpt_dir.empty();
+  auto worker_dir = [&](std::size_t w) {
+    return ckpt_dir.empty() ? std::string()
+                            : ckpt_dir + "/worker-" + std::to_string(w);
+  };
 
   std::vector<pid_t> children;
   for (std::size_t w = 0; w < config.workers; ++w) {
@@ -136,24 +156,66 @@ TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
     // after merging the first global model.
     const long die_after = kill_worker && w == 0 ? 1 : -1;
     const pid_t pid = fork();
-    if (pid == 0) worker_process(config, w, port, die_after);
+    if (pid == 0) worker_process(config, w, port, die_after, worker_dir(w), false);
     children.push_back(pid);
   }
 
-  net::RootNode root(config, transport, rec);
+  std::unique_ptr<ckpt::Store> root_store;
+  if (!ckpt_dir.empty()) root_store = std::make_unique<ckpt::Store>(ckpt_dir + "/root");
+  net::RootNode root(config, transport, rec, root_store.get());
   root.start();
-  net::pump_until(transport, [&] { root.on_idle(); return root.done(); }, 300.0);
+
+  // Recovery drill: once the sacrificial worker's corpse is reapable,
+  // respawn it with resume semantics — it must restore its snapshot and
+  // rejoin the federation the root kept running.
+  TcpOutcome out;
+  pid_t replacement = -1;
+  net::pump_until(
+      transport,
+      [&] {
+        root.on_idle();
+        if (recovery && !out.respawned) {
+          int status = 0;
+          if (waitpid(children[0], &status, WNOHANG) == children[0]) {
+            out.respawned = true;
+            children[0] = -1;  // reaped here; skip it in the wait loop below
+            replacement = fork();
+            if (replacement == 0) {
+              worker_process(config, 0, port, -1, worker_dir(0), true);
+            }
+          }
+        }
+        return root.done();
+      },
+      300.0);
   if (rec != nullptr) transport.record_traffic(*rec, root.result().rounds_run);
 
-  TcpOutcome out;
   out.result = root.result();
   for (std::size_t w = 0; w < children.size(); ++w) {
+    if (children[w] < 0) continue;
     int status = 0;
     waitpid(children[w], &status, 0);
     const bool sacrificed = kill_worker && w == 0;
     if (!sacrificed && (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
       out.children_ok = false;
     }
+  }
+  if (replacement > 0) {
+    // The replacement normally exits right after the root (its leave closed
+    // the link).  If the rejoin raced the end of the run it would wait for a
+    // round that never comes — bound that with a grace period so a timing
+    // failure shows up as a failed assertion, not a wedged run.
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 300 && !reaped; ++i) {
+      reaped = waitpid(replacement, &status, WNOHANG) == replacement;
+      if (!reaped) ::usleep(50 * 1000);
+    }
+    if (!reaped) {
+      ::kill(replacement, SIGKILL);
+      waitpid(replacement, &status, 0);
+    }
+    out.respawn_ok = reaped && WIFEXITED(status) && WEXITSTATUS(status) == 0;
   }
   return out;
 }
@@ -177,6 +239,7 @@ int main(int argc, char** argv) {
       cli.boolean("kill-worker", false, "kill one TCP worker mid-run (churn demo)");
   const bool skip_tcp = cli.boolean("skip-tcp", false, "run only reference + loopback");
   const auto obs_opts = obs::declare_cli(cli);
+  const auto ckpt_opts = ckpt::declare_cli(cli);
   if (!cli.finish()) return 0;
 
   obs::Recorder recorder;
@@ -200,11 +263,21 @@ int main(int argc, char** argv) {
 
   bool tcp_ok = true;
   if (!skip_tcp) {
-    const TcpOutcome tcp = run_tcp(config, kill_worker, rec);
+    const TcpOutcome tcp = run_tcp(config, kill_worker, ckpt_opts.dir, rec);
     std::printf("tcp       (%zu processes):    accuracy %.4f  (%zu joined, %zu lost)\n",
                 config.workers + 1, tcp.result.final_accuracy, tcp.result.workers_joined,
                 tcp.result.workers_lost);
-    if (kill_worker) {
+    if (kill_worker && ckpt_opts.active()) {
+      // Crash-recovery drill: the run must complete, the sacrificed worker
+      // must have been lost AND re-admitted (its replacement restored the
+      // checkpoint and rejoined mid-training), and the replacement process
+      // must finish the remaining rounds cleanly.
+      tcp_ok = tcp.children_ok && tcp.respawned && tcp.respawn_ok &&
+               tcp.result.rounds_run == config.rounds &&
+               tcp.result.workers_lost == 1 && tcp.result.workers_rejoined == 1;
+      std::printf("crash recovery (resume):     %s  (%zu rejoined)\n",
+                  tcp_ok ? "completed" : "FAILED", tcp.result.workers_rejoined);
+    } else if (kill_worker) {
       // The federation must complete through the degradation path: all
       // rounds run, exactly the sacrificed worker lost.
       tcp_ok = tcp.children_ok && tcp.result.rounds_run == config.rounds &&

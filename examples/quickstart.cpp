@@ -8,9 +8,12 @@
 //   ./quickstart [--rounds 20] [--malicious 0.2] [--seed 42]
 //                [--model-attack sign_flip] [--scheme 1]
 //                [--metrics-out run.jsonl] [--trace-out trace.jsonl]
+//                [--checkpoint-dir ckpts] [--checkpoint-every 1] [--resume]
 
 #include <cstdio>
+#include <memory>
 
+#include "ckpt/store.hpp"
 #include "core/experiment.hpp"
 #include "obs/obs.hpp"
 #include "util/cli.hpp"
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
   config.scheme_id =
       static_cast<int>(cli.integer("scheme", 1, "Table III scheme preset (1-4)"));
   const auto obs_opts = obs::declare_cli(cli);
+  const auto ckpt_opts = ckpt::declare_cli(cli);
   if (!cli.finish()) return 0;
 
   obs::Recorder recorder;
@@ -41,6 +45,20 @@ int main(int argc, char** argv) {
   if (obs_opts.active()) {
     config.recorder = &recorder;
     config.trace = &trace;
+  }
+
+  // Each runner snapshots into its own subdirectory of --checkpoint-dir.
+  std::unique_ptr<ckpt::Store> hfl_store;
+  std::unique_ptr<ckpt::Store> vanilla_store;
+  if (ckpt_opts.active()) {
+    hfl_store = std::make_unique<ckpt::Store>(ckpt_opts.dir + "/hfl", 3,
+                                              config.recorder);
+    vanilla_store = std::make_unique<ckpt::Store>(ckpt_opts.dir + "/vanilla", 3,
+                                                  config.recorder);
+    config.checkpoint_hfl = hfl_store.get();
+    config.checkpoint_vanilla = vanilla_store.get();
+    config.checkpoint_every = ckpt_opts.every;
+    config.resume = ckpt_opts.resume;
   }
 
   std::printf("ABD-HFL quickstart: %zu rounds, %.0f%% malicious devices (%s)\n",

@@ -1,0 +1,145 @@
+#pragma once
+// Checkpoint container format (DESIGN.md §10.1).
+//
+// A snapshot is one self-describing binary file:
+//
+//   u32  magic 'ABCK'          u32  version
+//   u32  producer length       ...  producer string ("hfl", "dist_worker_2")
+//   u64  round                 u32  chunk count (<= kMaxChunks)
+//   per chunk:
+//     u32 tag (fourcc)   u64 payload size   u32 CRC-32 of the payload
+//     ... payload bytes
+//   u32  CRC-32 of everything above (the whole-file footer)
+//
+// Everything is little-endian, the only byte order this repository's wire
+// formats speak (see nn/serialize).  Decoding follows the net/wire
+// hardening discipline: every count and size is bounded against the bytes
+// actually remaining BEFORE it sizes an allocation, so a forged chunk count
+// or a truncated file throws CkptError instead of std::bad_alloc or a read
+// past the buffer.  The whole-file CRC is checked first (catches flipped
+// bytes anywhere), then each chunk's own CRC as it is extracted (localizes
+// the damage for diagnostics).
+//
+// Chunks are typed by fourcc tag (see state.hpp for the registry) so
+// tools/ckpt_inspect can render any producer's snapshot, and readers look
+// chunks up by tag rather than position — producers may append new chunk
+// types without breaking older readers.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace abdhfl::ckpt {
+
+/// Any structural or integrity failure while decoding a snapshot.
+class CkptError : public std::runtime_error {
+ public:
+  explicit CkptError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kMagic = 0x4B434241u;  // "ABCK" little-endian
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kMaxChunks = 4096;
+inline constexpr std::uint32_t kMaxProducer = 256;
+
+/// Chunk tag from its four-character name, e.g. fourcc("PARM").
+[[nodiscard]] constexpr std::uint32_t fourcc(const char (&name)[5]) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(name[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(name[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(name[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(name[3])) << 24;
+}
+
+/// Render a tag back to its four characters ('.' for non-printable bytes).
+[[nodiscard]] std::string tag_name(std::uint32_t tag);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected, table-driven).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+struct Chunk {
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A decoded snapshot.
+struct Container {
+  std::uint32_t version = kVersion;
+  std::string producer;
+  std::uint64_t round = 0;
+  std::vector<Chunk> chunks;
+
+  [[nodiscard]] const Chunk* find(std::uint32_t tag) const noexcept;
+  /// find() or throw CkptError naming the missing tag.
+  [[nodiscard]] const Chunk& require(std::uint32_t tag) const;
+};
+
+/// Serialize a snapshot (header, chunks, CRC footer).
+[[nodiscard]] std::vector<std::uint8_t> encode_container(const Container& c);
+
+/// Inverse of encode_container; throws CkptError on any corruption.
+[[nodiscard]] Container decode_container(std::span<const std::uint8_t> bytes);
+
+// ---------------------------------------------------------------------------
+// Chunk payload encoding helpers.  Little-endian PODs and length-prefixed
+// vectors; the reader bounds every count before allocating, mirroring the
+// container-level discipline.
+
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void f32(float v) { pod(v); }
+  void f64(double v) { pod(v); }
+
+  void f32vec(std::span<const float> v);
+  void f64vec(std::span<const double> v);
+  void u64vec(std::span<const std::uint64_t> v);
+  void u32vec(std::span<const std::uint32_t> v);
+  void str(std::string_view s);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  template <class T>
+  void pod(T v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+  std::vector<std::uint8_t> bytes_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] float f32();
+  [[nodiscard]] double f64();
+
+  [[nodiscard]] std::vector<float> f32vec();
+  [[nodiscard]] std::vector<double> f64vec();
+  [[nodiscard]] std::vector<std::uint64_t> u64vec();
+  [[nodiscard]] std::vector<std::uint32_t> u32vec();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - off_; }
+  /// Throw unless the payload was consumed exactly.
+  void expect_done() const;
+
+ private:
+  template <class T>
+  T pod();
+  template <class T>
+  std::vector<T> vec();
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace abdhfl::ckpt

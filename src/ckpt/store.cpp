@@ -1,0 +1,296 @@
+#include "ckpt/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/record.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace abdhfl::ckpt {
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+
+/// write + fsync; the caller renames afterwards.  Throws CkptError so a
+/// full disk surfaces as a checkpoint failure, not a silent no-op.
+void write_file_durable(const std::string& path, std::span<const std::uint8_t> bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw CkptError("cannot open " + path + ": " + std::strerror(errno));
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw CkptError("write failed: " + path + ": " + std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw CkptError("fsync failed: " + path + ": " + std::strerror(err));
+  }
+  ::close(fd);
+}
+
+/// fsync the directory so the rename's new entry is durable.  Best effort:
+/// some filesystems reject directory fsync and the data is already synced.
+void fsync_dir(const std::string& dir) noexcept {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void rename_durable(const std::string& from, const std::string& to,
+                    const std::string& dir) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    throw CkptError("rename failed: " + to + ": " + std::strerror(errno));
+  }
+  fsync_dir(dir);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  if (f.bad()) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace
+
+Options declare_cli(util::Cli& cli) {
+  Options options;
+  options.dir = cli.str("checkpoint-dir", "",
+                        "write crash-recovery snapshots into this directory (empty = off)");
+  const auto every =
+      cli.integer("checkpoint-every", 1, "snapshot every N rounds (with --checkpoint-dir)");
+  if (every < 1) throw std::invalid_argument("--checkpoint-every must be >= 1");
+  options.every = static_cast<std::size_t>(every);
+  options.resume =
+      cli.boolean("resume", false, "resume from the latest snapshot in --checkpoint-dir");
+  return options;
+}
+
+Store::Store(std::string dir, std::size_t keep_last, obs::Recorder* recorder)
+    : dir_(std::move(dir)), keep_(keep_last == 0 ? 1 : keep_last), recorder_(recorder) {
+  if (dir_.empty()) throw std::invalid_argument("Store: empty directory");
+  std::filesystem::create_directories(dir_);
+  read_manifest();
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+Store::~Store() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+std::string Store::file_name(std::uint64_t seq) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "ckpt-%06" PRIu64 ".abck", seq);
+  return buf;
+}
+
+std::uint64_t Store::save(std::uint64_t round, std::vector<std::uint8_t> container) {
+  std::uint64_t seq = 0;
+  const std::size_t bytes = container.size();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seq = next_seq_++;
+    if (staged_.has_value()) ++replaced_;  // writer still busy: newer wins
+    staged_ = Staged{seq, round, std::move(container)};
+  }
+  cv_.notify_all();
+  if (recorder_ != nullptr) {
+    auto& rec = recorder_->begin_round("ckpt_save", static_cast<std::size_t>(round));
+    rec.set("seq", static_cast<double>(seq));
+    rec.set("bytes", static_cast<double>(bytes));
+  }
+  return seq;
+}
+
+std::uint64_t Store::save_now(std::uint64_t round, std::vector<std::uint8_t> container) {
+  std::uint64_t seq = 0;
+  const std::size_t bytes = container.size();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !staged_.has_value() && !writing_; });
+    writing_ = true;
+    seq = next_seq_++;
+  }
+  try {
+    install(Staged{seq, round, std::move(container)});
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      writing_ = false;
+    }
+    cv_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    writing_ = false;
+  }
+  cv_.notify_all();
+  if (recorder_ != nullptr) {
+    auto& rec = recorder_->begin_round("ckpt_save", static_cast<std::size_t>(round));
+    rec.set("seq", static_cast<double>(seq));
+    rec.set("bytes", static_cast<double>(bytes));
+  }
+  return seq;
+}
+
+void Store::flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !staged_.has_value() && !writing_; });
+}
+
+std::optional<Container> Store::load_latest() {
+  flush();
+  std::vector<Entry> entries;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries = entries_;
+  }
+  std::uint64_t skipped = 0;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const std::string path = dir_ + "/" + file_name(it->seq);
+    const auto bytes = read_file(path);
+    if (!bytes.has_value()) {
+      ++skipped;
+      continue;
+    }
+    try {
+      Container c = decode_container(*bytes);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        corrupt_skipped_ += skipped;
+      }
+      if (recorder_ != nullptr) {
+        auto& rec =
+            recorder_->begin_round("ckpt_restore", static_cast<std::size_t>(c.round));
+        rec.set("seq", static_cast<double>(it->seq));
+        rec.set("bytes", static_cast<double>(bytes->size()));
+        rec.set("skipped", static_cast<double>(skipped));
+      }
+      return c;
+    } catch (const CkptError& e) {
+      LOG_ERROR("checkpoint %s rejected: %s", path.c_str(), e.what());
+      ++skipped;
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  corrupt_skipped_ += skipped;
+  return std::nullopt;
+}
+
+std::uint64_t Store::installs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return installs_;
+}
+
+std::uint64_t Store::replaced() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return replaced_;
+}
+
+std::uint64_t Store::corrupt_skipped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return corrupt_skipped_;
+}
+
+void Store::writer_loop() {
+  for (;;) {
+    Staged snapshot;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return staged_.has_value() || stop_; });
+      if (!staged_.has_value()) break;  // stop requested, nothing pending
+      snapshot = std::move(*staged_);
+      staged_.reset();
+      writing_ = true;
+    }
+    cv_.notify_all();  // the staging slot is free again
+    try {
+      install(std::move(snapshot));
+    } catch (const std::exception& e) {
+      LOG_ERROR("checkpoint install failed: %s", e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      writing_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+void Store::install(Staged snapshot) {
+  const std::string name = file_name(snapshot.seq);
+  const std::string final_path = dir_ + "/" + name;
+  const std::string tmp_path = final_path + ".tmp";
+  write_file_durable(tmp_path, snapshot.bytes);
+  rename_durable(tmp_path, final_path, dir_);
+
+  std::vector<std::string> pruned;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.push_back(Entry{snapshot.seq, snapshot.round});
+    while (entries_.size() > keep_) {
+      pruned.push_back(file_name(entries_.front().seq));
+      entries_.erase(entries_.begin());
+    }
+    write_manifest_locked();
+    ++installs_;
+  }
+  for (const std::string& victim : pruned) {
+    std::remove((dir_ + "/" + victim).c_str());
+  }
+}
+
+void Store::read_manifest() {
+  std::ifstream f(dir_ + "/" + kManifestName);
+  if (!f) return;
+  std::string line;
+  while (std::getline(f, line)) {
+    std::uint64_t seq = 0, round = 0;
+    if (std::sscanf(line.c_str(), "ckpt-%" SCNu64 ".abck %" SCNu64, &seq, &round) == 2) {
+      entries_.push_back(Entry{seq, round});
+      if (seq >= next_seq_) next_seq_ = seq + 1;
+    }
+  }
+}
+
+void Store::write_manifest_locked() {
+  std::string content;
+  for (const Entry& e : entries_) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", file_name(e.seq).c_str(), e.round);
+    content += buf;
+  }
+  const std::string path = dir_ + "/" + kManifestName;
+  write_file_durable(path + ".tmp",
+                     {reinterpret_cast<const std::uint8_t*>(content.data()), content.size()});
+  rename_durable(path + ".tmp", path, dir_);
+}
+
+}  // namespace abdhfl::ckpt

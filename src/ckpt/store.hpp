@@ -1,0 +1,135 @@
+#pragma once
+// Durable checkpoint store: atomic installation, retention, background
+// writer (DESIGN.md §10.2).
+//
+// A Store owns one directory of snapshots:
+//
+//   <dir>/ckpt-<seq>.abck     encoded containers, seq strictly increasing
+//   <dir>/MANIFEST            one "ckpt-<seq>.abck <round>" line per kept
+//                             generation, oldest first
+//
+// Installation is crash-atomic: the container is written to a ".tmp" name,
+// fsync'd, renamed over the final name, and the directory entry fsync'd —
+// a crash at any point leaves either the previous generation set or the new
+// one, never a half-written visible file.  The MANIFEST is rewritten the
+// same way after every install, and keep-last-K retention deletes the
+// oldest generation beyond K.
+//
+// save() never blocks on the disk: the encoded container is staged under a
+// mutex and a dedicated writer thread performs the write/fsync/rename.  The
+// staging slot holds one snapshot; staging a newer one before the writer
+// picked up the old one replaces it (the training loop outrunning the disk
+// degrades to coarser checkpoint spacing, never to a stall).  flush() waits
+// for the slot and any in-flight write to drain; the destructor flushes.
+//
+// load_latest() walks the manifest newest-to-oldest and returns the first
+// snapshot that decodes cleanly, counting the corrupt generations it
+// skipped — the fallback path the corruption tests exercise.
+
+#include <cstdint>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/container.hpp"
+
+namespace abdhfl::util {
+class Cli;
+}
+namespace abdhfl::obs {
+class Recorder;
+}
+
+namespace abdhfl::ckpt {
+
+/// The shared `--checkpoint-dir/--checkpoint-every/--resume` flags, declared
+/// once per binary like obs::declare_cli.
+struct Options {
+  std::string dir;          // "" = checkpointing off
+  std::size_t every = 1;    // snapshot every N rounds
+  bool resume = false;      // load the latest snapshot before training
+
+  [[nodiscard]] bool active() const noexcept { return !dir.empty(); }
+};
+
+/// Declare the checkpoint flags on a Cli (call before cli.finish()).
+[[nodiscard]] Options declare_cli(util::Cli& cli);
+
+class Store {
+ public:
+  /// Creates `dir` if needed and reads an existing MANIFEST, so a restarted
+  /// process continues the sequence it finds.  `recorder` (optional) gets a
+  /// "ckpt_save" record per staged snapshot and a "ckpt_restore" per
+  /// successful load, both emitted on the calling thread.
+  explicit Store(std::string dir, std::size_t keep_last = 3,
+                 obs::Recorder* recorder = nullptr);
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Stage an encoded container for the background writer.  Returns the
+  /// sequence number the snapshot will install under.
+  std::uint64_t save(std::uint64_t round, std::vector<std::uint8_t> container);
+
+  /// Encode-and-install synchronously (the caller needs durability NOW,
+  /// e.g. a node about to exit).  Waits for any staged snapshot first so
+  /// sequence order on disk matches staging order.
+  std::uint64_t save_now(std::uint64_t round, std::vector<std::uint8_t> container);
+
+  /// Block until the staging slot is empty and no write is in flight.
+  void flush();
+
+  /// Newest snapshot that decodes cleanly, or nullopt when none exists.
+  /// Corrupt newer generations are skipped (and counted); unreadable files
+  /// count the same as corrupt ones.
+  [[nodiscard]] std::optional<Container> load_latest();
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  /// Snapshots actually installed on disk over this Store's lifetime.
+  [[nodiscard]] std::uint64_t installs() const;
+  /// Staged snapshots replaced before the writer picked them up.
+  [[nodiscard]] std::uint64_t replaced() const;
+  /// Corrupt generations skipped by load_latest() calls.
+  [[nodiscard]] std::uint64_t corrupt_skipped() const;
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint64_t round = 0;
+  };
+  struct Staged {
+    std::uint64_t seq = 0;
+    std::uint64_t round = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  [[nodiscard]] std::string file_name(std::uint64_t seq) const;
+  void writer_loop();
+  /// Write/fsync/rename one snapshot and update manifest + retention.
+  /// Called with the lock held only for the bookkeeping parts.
+  void install(Staged snapshot);
+  void read_manifest();
+  void write_manifest_locked();
+
+  std::string dir_;
+  std::size_t keep_;
+  obs::Recorder* recorder_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Staged> staged_;
+  bool writing_ = false;
+  bool stop_ = false;
+  std::vector<Entry> entries_;  // oldest first
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t installs_ = 0;
+  std::uint64_t replaced_ = 0;
+  std::uint64_t corrupt_skipped_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace abdhfl::ckpt

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/state.hpp"
+#include "ckpt/store.hpp"
 #include "consensus/committee.hpp"
 #include "consensus/pbft.hpp"
 #include "net/wire.hpp"
@@ -20,6 +23,26 @@ std::size_t quorum_count(double quorum, std::size_t cluster_size) {
   auto k = static_cast<std::size_t>(
       std::ceil(quorum * static_cast<double>(cluster_size)));
   return std::clamp<std::size_t>(k, 1, cluster_size);
+}
+
+// TraceEvent.kind is a static-lifetime string; checkpoints store the code
+// and restore re-interns the literal so restored events stay valid forever.
+constexpr const char* kTraceKinds[] = {"train_start",  "train_end",
+                                       "agg_start",    "agg_done",
+                                       "flag_release", "global_formed"};
+
+std::uint8_t trace_kind_code(const char* kind) {
+  for (std::uint8_t i = 0; i < std::size(kTraceKinds); ++i) {
+    if (std::strcmp(kTraceKinds[i], kind) == 0) return i;
+  }
+  throw ckpt::CkptError("async: unknown trace kind \"" + std::string(kind) + "\"");
+}
+
+const char* trace_kind_from_code(std::uint8_t code) {
+  if (code >= std::size(kTraceKinds)) {
+    throw ckpt::CkptError("async: trace kind code out of range");
+  }
+  return kTraceKinds[code];
 }
 
 }  // namespace
@@ -215,7 +238,43 @@ void AsyncHflRunner::start_round(topology::DeviceId d, std::size_t round,
   const double duration =
       config_.train_mean *
       rng_.uniform(1.0 - config_.train_jitter, 1.0 + config_.train_jitter);
-  sim_.schedule_after(duration, [this, d] { finish_training(d); });
+  PendingEvent ev;
+  ev.kind = EventKind::kTrainDone;
+  ev.round = round;
+  ev.device = d;
+  schedule_event(duration, std::move(ev));
+}
+
+void AsyncHflRunner::schedule_event(double delay, PendingEvent ev) {
+  ev.time = sim_.now() + delay;
+  const double when = ev.time;
+  const std::uint64_t id = next_event_id_++;
+  pending_.emplace(id, std::move(ev));
+  sim_.schedule_at(when, [this, id] { fire(id); });
+}
+
+void AsyncHflRunner::fire(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // cancelled alongside a sim_.clear()
+  PendingEvent ev = std::move(it->second);
+  pending_.erase(it);
+  switch (ev.kind) {
+    case EventKind::kTrainDone:
+      finish_training(ev.device);
+      break;
+    case EventKind::kUplink:
+      deliver_to_cluster(ev.round, ev.level, ev.index, ev.device, *ev.model);
+      break;
+    case EventKind::kAggDone:
+      complete_cluster(ev.round, ev.level, ev.index);
+      break;
+    case EventKind::kFlagRelease:
+      start_round(ev.device, ev.round, *ev.model);
+      break;
+    case EventKind::kGlobalDeliver:
+      deliver_global(ev.device, ev.round, ev.model);
+      break;
+  }
 }
 
 void AsyncHflRunner::finish_training(topology::DeviceId d) {
@@ -292,10 +351,14 @@ void AsyncHflRunner::finish_training(topology::DeviceId d) {
   const auto cluster_idx = *tree_.cluster_of(bottom, d);
   result_.comm.messages += 1;
   result_.comm.model_bytes += net::model_update_wire_size(update.size());
-  sim_.schedule_after(config_.uplink_latency, [this, round, bottom, cluster_idx, d,
-                                               update = std::move(update)]() mutable {
-    deliver_to_cluster(round, bottom, cluster_idx, d, std::move(update));
-  });
+  PendingEvent ev;
+  ev.kind = EventKind::kUplink;
+  ev.round = round;
+  ev.level = bottom;
+  ev.index = cluster_idx;
+  ev.device = d;
+  ev.model = std::make_shared<const std::vector<float>>(std::move(update));
+  schedule_event(config_.uplink_latency, std::move(ev));
 
   // A newer flag model may have landed while we trained.
   if (state.pending_flag) {
@@ -328,8 +391,12 @@ void AsyncHflRunner::deliver_to_cluster(std::size_t round, std::size_t level,
     const double duration =
         (level == 0 ? config_.global_agg_time : config_.partial_agg_time) *
         rng_.uniform(1.0 - config_.train_jitter, 1.0 + config_.train_jitter);
-    sim_.schedule_after(duration,
-                        [this, round, level, index] { complete_cluster(round, level, index); });
+    PendingEvent ev;
+    ev.kind = EventKind::kAggDone;
+    ev.round = round;
+    ev.level = level;
+    ev.index = index;
+    schedule_event(duration, std::move(ev));
   }
 }
 
@@ -355,9 +422,12 @@ void AsyncHflRunner::complete_cluster(std::size_t round, std::size_t level,
       for (topology::DeviceId d : tree_.bottom_descendants(level, m)) {
         result_.comm.messages += 1;
         result_.comm.model_bytes += net::partial_model_wire_size(flag->size());
-        sim_.schedule_after(delay, [this, d, round, flag] {
-          start_round(d, round + 1, *flag);
-        });
+        PendingEvent ev;
+        ev.kind = EventKind::kFlagRelease;
+        ev.round = round + 1;
+        ev.device = d;
+        ev.model = flag;
+        schedule_event(delay, std::move(ev));
       }
     }
   }
@@ -368,12 +438,14 @@ void AsyncHflRunner::complete_cluster(std::size_t round, std::size_t level,
   result_.comm.model_bytes += net::model_update_wire_size(model.size());
   // The partial model travels upward under the identity of this cluster's
   // leader (the member representing it in the parent cluster).
-  sim_.schedule_after(config_.uplink_latency,
-                      [this, round, level, parent = *parent,
-                       sender = cluster.leader_id(),
-                       model = std::move(model)]() mutable {
-    deliver_to_cluster(round, level - 1, parent, sender, std::move(model));
-  });
+  PendingEvent ev;
+  ev.kind = EventKind::kUplink;
+  ev.round = round;
+  ev.level = level - 1;
+  ev.index = *parent;
+  ev.device = cluster.leader_id();
+  ev.model = std::make_shared<const std::vector<float>>(std::move(model));
+  schedule_event(config_.uplink_latency, std::move(ev));
 }
 
 void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
@@ -407,8 +479,16 @@ void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
     for (auto& mask : round_flagged_) mask.assign(mask.size(), false);
   }
   ++globals_formed_;
+  const bool halting =
+      config_.halt_after_globals != 0 && globals_formed_ >= config_.halt_after_globals;
+  const bool snapshot_due =
+      config_.checkpoint != nullptr &&
+      (globals_formed_ % std::max<std::size_t>(config_.checkpoint_every, 1) == 0 ||
+       globals_formed_ >= config_.rounds || halting);
   if (globals_formed_ >= config_.rounds) {
     sim_.clear();  // stop the simulation; remaining in-flight work is moot
+    pending_.clear();
+    if (snapshot_due) save_checkpoint(round);
     return;
   }
 
@@ -418,9 +498,23 @@ void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
   for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
     result_.comm.messages += 1;
     result_.comm.model_bytes += net::partial_model_wire_size(shared->size());
-    sim_.schedule_after(delay, [this, d, round, shared] {
-      deliver_global(d, round, shared);
-    });
+    PendingEvent ev;
+    ev.kind = EventKind::kGlobalDeliver;
+    ev.round = round;
+    ev.device = d;
+    ev.model = shared;
+    schedule_event(delay, std::move(ev));
+  }
+
+  // The snapshot lands after the dissemination is scheduled, so the pending
+  // map it carries includes every delivery a full run would have in flight
+  // at this instant — the invariant behind bit-identical resume.
+  if (snapshot_due) save_checkpoint(round);
+  if (halting) {
+    sim_.clear();
+    pending_.clear();
+    // Simulated crash point for the kill/resume tests.
+    if (config_.checkpoint != nullptr) config_.checkpoint->flush();
   }
 }
 
@@ -435,10 +529,349 @@ void AsyncHflRunner::deliver_global(topology::DeviceId d, std::size_t round,
   state.pending_global = {sim_.now(), *model};
 }
 
+void AsyncHflRunner::save_checkpoint(std::size_t round) {
+  ckpt::Container c;
+  c.producer = "async";
+  c.round = round;
+  {
+    ckpt::PayloadWriter w;
+    w.f32vec(last_global_);
+    c.chunks.push_back({ckpt::kTagParams, w.take()});
+  }
+  {
+    std::vector<ckpt::RngState> states;
+    states.reserve(trainers_.size() + 1);
+    states.push_back(rng_.state());
+    for (const auto& t : trainers_) states.push_back(t->rng_state());
+    c.chunks.push_back({ckpt::kTagRngStates, ckpt::encode_rng_states(states)});
+  }
+  {
+    ckpt::PayloadWriter w;
+    std::vector<double> losses;
+    losses.reserve(trainers_.size());
+    for (const auto& t : trainers_) losses.push_back(t->last_loss());
+    w.f64vec(losses);
+    c.chunks.push_back({ckpt::kTagLosses, w.take()});
+  }
+  {
+    // DEVS: full per-device actor state, not just start parameters.
+    ckpt::PayloadWriter w;
+    w.u64(devices_.size());
+    for (const auto& s : devices_) {
+      w.f32vec(s.start_params);
+      w.f64(s.round_start);
+      w.u64(s.round);
+      w.u64(static_cast<std::uint64_t>(s.last_started));
+      w.u8(s.training ? 1 : 0);
+      w.u8(s.pending_flag ? 1 : 0);
+      if (s.pending_flag) {
+        w.u64(s.pending_flag->first);
+        w.f32vec(s.pending_flag->second);
+      }
+      w.u8(s.pending_global ? 1 : 0);
+      if (s.pending_global) {
+        w.f64(s.pending_global->first);
+        w.f32vec(s.pending_global->second);
+      }
+    }
+    c.chunks.push_back({ckpt::kTagDevices, w.take()});
+  }
+  {
+    // EVNT: the in-flight event registry, in id (= schedule) order.
+    ckpt::PayloadWriter w;
+    w.u64(next_event_id_);
+    w.u64(pending_.size());
+    for (const auto& [id, ev] : pending_) {
+      w.u64(id);
+      w.u8(static_cast<std::uint8_t>(ev.kind));
+      w.f64(ev.time);
+      w.u64(ev.round);
+      w.u64(ev.level);
+      w.u64(ev.index);
+      w.u64(ev.device);
+      w.u8(ev.model ? 1 : 0);
+      if (ev.model) w.f32vec(*ev.model);
+    }
+    c.chunks.push_back({ckpt::kTagEvents, w.take()});
+  }
+  {
+    // XTRA: partially collected cluster inputs, per (round, level, cluster).
+    ckpt::PayloadWriter w;
+    w.u64(collect_.size());
+    for (const auto& [r, levels] : collect_) {
+      w.u64(r);
+      w.u64(levels.size());
+      for (const auto& clusters : levels) {
+        w.u64(clusters.size());
+        for (const auto& cs : clusters) {
+          w.u64(cs.inputs.size());
+          for (const auto& m : cs.inputs) w.f32vec(m);
+          w.u64(cs.senders.size());
+          for (const auto sender : cs.senders) w.u64(sender);
+          w.u8(cs.agg_scheduled ? 1 : 0);
+        }
+      }
+    }
+    c.chunks.push_back({ckpt::kTagExtra, w.take()});
+  }
+  if (ledger_) c.chunks.push_back({ckpt::kTagLedger, ckpt::encode_ledger(*ledger_)});
+  {
+    ckpt::PayloadWriter w;
+    w.u64(globals_formed_);
+    w.u64(result_.rounds.size());
+    for (const auto& r : result_.rounds) {
+      w.u64(r.round);
+      w.f64(r.t_formed);
+      w.f64(r.accuracy);
+      w.f64(r.mean_staleness);
+    }
+    w.u64(result_.comm.messages);
+    w.u64(result_.comm.model_bytes);
+    w.u64(result_.comm.consensus_failures);
+    w.u64(last_messages_);
+    w.u64(last_bytes_);
+    w.u64(comm_delta_.size());
+    for (const auto& [m, b] : comm_delta_) {
+      w.u64(m);
+      w.u64(b);
+    }
+    w.f64vec(staleness_acc_);
+    w.u64vec(std::vector<std::uint64_t>(staleness_n_.begin(), staleness_n_.end()));
+    w.f64vec(train_wall_);
+    w.f64vec(agg_wall_);
+    w.f64vec(suspicion_auc_per_global_);
+    w.u64(quality_per_global_.size());
+    for (const auto& per : quality_per_global_) {
+      w.u64(per.size());
+      for (const auto& [level, q] : per) {
+        w.u64(level);
+        w.f64(q.precision);
+        w.f64(q.recall);
+        w.f64(q.f1);
+        w.u64(q.flagged);
+        w.u64(q.true_positives);
+        w.u64(q.byzantine);
+      }
+    }
+    w.u64(round_flagged_.size());
+    for (const auto& mask : round_flagged_) {
+      w.u64(mask.size());
+      for (const bool flagged : mask) w.u8(flagged ? 1 : 0);
+    }
+    w.u64(result_.trace.size());
+    for (const auto& ev : result_.trace) {
+      w.f64(ev.time);
+      w.u64(ev.round);
+      w.u8(trace_kind_code(ev.kind));
+      w.u32(ev.subject);
+      w.u64(ev.level);
+    }
+    c.chunks.push_back({ckpt::kTagResult, w.take()});
+  }
+  config_.checkpoint->save(round, ckpt::encode_container(c));
+}
+
+bool AsyncHflRunner::restore_checkpoint() {
+  auto snap = config_.checkpoint->load_latest();
+  if (!snap.has_value()) return false;
+  if (snap->producer != "async") {
+    throw ckpt::CkptError("checkpoint produced by \"" + snap->producer +
+                          "\", expected \"async\"");
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagParams).payload);
+    last_global_ = r.f32vec();
+    r.expect_done();
+  }
+  const auto states = ckpt::decode_rng_states(snap->require(ckpt::kTagRngStates).payload);
+  if (states.size() != trainers_.size() + 1) {
+    throw ckpt::CkptError("RNGS chunk stream count mismatch");
+  }
+  rng_.set_state(states[0]);
+  for (std::size_t d = 0; d < trainers_.size(); ++d) {
+    trainers_[d]->set_rng_state(states[d + 1]);
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagLosses).payload);
+    const auto losses = r.f64vec();
+    r.expect_done();
+    if (losses.size() != trainers_.size()) {
+      throw ckpt::CkptError("LOSS chunk trainer count mismatch");
+    }
+    for (std::size_t d = 0; d < trainers_.size(); ++d) {
+      trainers_[d]->set_last_loss(losses[d]);
+    }
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagDevices).payload);
+    if (r.u64() != devices_.size()) {
+      throw ckpt::CkptError("DEVS chunk device count mismatch");
+    }
+    for (auto& s : devices_) {
+      s.start_params = r.f32vec();
+      s.round_start = r.f64();
+      s.round = r.u64();
+      s.last_started = static_cast<std::int64_t>(r.u64());
+      s.training = r.u8() != 0;
+      s.pending_flag.reset();
+      if (r.u8() != 0) {
+        const std::size_t flag_round = r.u64();
+        s.pending_flag = {flag_round, r.f32vec()};
+      }
+      s.pending_global.reset();
+      if (r.u8() != 0) {
+        const double arrival = r.f64();
+        s.pending_global = {arrival, r.f32vec()};
+      }
+    }
+    r.expect_done();
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagEvents).payload);
+    next_event_id_ = r.u64();
+    const std::uint64_t count = r.u64();
+    pending_.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t id = r.u64();
+      PendingEvent ev;
+      const std::uint8_t kind = r.u8();
+      if (kind > static_cast<std::uint8_t>(EventKind::kGlobalDeliver)) {
+        throw ckpt::CkptError("EVNT chunk event kind out of range");
+      }
+      ev.kind = static_cast<EventKind>(kind);
+      ev.time = r.f64();
+      ev.round = r.u64();
+      ev.level = r.u64();
+      ev.index = r.u64();
+      ev.device = static_cast<topology::DeviceId>(r.u64());
+      if (r.u8() != 0) {
+        ev.model = std::make_shared<const std::vector<float>>(r.f32vec());
+      }
+      pending_.emplace(id, std::move(ev));
+    }
+    r.expect_done();
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagExtra).payload);
+    collect_.clear();
+    const std::uint64_t rounds = r.u64();
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      const std::size_t key = r.u64();
+      auto& levels = collect_[key];
+      levels.resize(r.u64());
+      for (auto& clusters : levels) {
+        clusters.resize(r.u64());
+        for (auto& cs : clusters) {
+          cs.inputs.resize(r.u64());
+          for (auto& m : cs.inputs) m = r.f32vec();
+          cs.senders.resize(r.u64());
+          for (auto& sender : cs.senders) {
+            sender = static_cast<topology::DeviceId>(r.u64());
+          }
+          cs.agg_scheduled = r.u8() != 0;
+        }
+      }
+    }
+    r.expect_done();
+  }
+  if (ledger_) {
+    if (const auto* chunk = snap->find(ckpt::kTagLedger)) {
+      ckpt::restore_ledger(chunk->payload, *ledger_);
+    }
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagResult).payload);
+    globals_formed_ = r.u64();
+    result_.rounds.resize(r.u64());
+    for (auto& rr : result_.rounds) {
+      rr.round = r.u64();
+      rr.t_formed = r.f64();
+      rr.accuracy = r.f64();
+      rr.mean_staleness = r.f64();
+    }
+    result_.comm.messages = r.u64();
+    result_.comm.model_bytes = r.u64();
+    result_.comm.consensus_failures = r.u64();
+    last_messages_ = r.u64();
+    last_bytes_ = r.u64();
+    comm_delta_.resize(r.u64());
+    for (auto& [m, b] : comm_delta_) {
+      m = r.u64();
+      b = r.u64();
+    }
+    const auto staleness_acc = r.f64vec();
+    const auto staleness_n = r.u64vec();
+    const auto train_wall = r.f64vec();
+    const auto agg_wall = r.f64vec();
+    if (staleness_acc.size() != staleness_acc_.size() ||
+        staleness_n.size() != staleness_n_.size() ||
+        train_wall.size() != train_wall_.size() ||
+        agg_wall.size() != agg_wall_.size()) {
+      throw ckpt::CkptError("RSLT chunk round-accumulator size mismatch "
+                            "(resume with the same configured rounds)");
+    }
+    staleness_acc_ = staleness_acc;
+    staleness_n_.assign(staleness_n.begin(), staleness_n.end());
+    train_wall_ = train_wall;
+    agg_wall_ = agg_wall;
+    suspicion_auc_per_global_ = r.f64vec();
+    quality_per_global_.resize(r.u64());
+    for (auto& per : quality_per_global_) {
+      per.resize(r.u64());
+      for (auto& [level, q] : per) {
+        level = r.u64();
+        q.precision = r.f64();
+        q.recall = r.f64();
+        q.f1 = r.f64();
+        q.flagged = r.u64();
+        q.true_positives = r.u64();
+        q.byzantine = r.u64();
+      }
+    }
+    const std::uint64_t flag_levels = r.u64();
+    if (!round_flagged_.empty() && flag_levels != round_flagged_.size()) {
+      throw ckpt::CkptError("RSLT chunk round_flagged level count mismatch");
+    }
+    for (std::uint64_t l = 0; l < flag_levels; ++l) {
+      const std::uint64_t n = r.u64();
+      std::vector<bool> mask(n);
+      for (std::uint64_t d = 0; d < n; ++d) mask[d] = r.u8() != 0;
+      if (l < round_flagged_.size()) {
+        if (round_flagged_[l].size() != mask.size()) {
+          throw ckpt::CkptError("RSLT chunk round_flagged device count mismatch");
+        }
+        round_flagged_[l] = std::move(mask);
+      }
+    }
+    result_.trace.resize(r.u64());
+    for (auto& ev : result_.trace) {
+      ev.time = r.f64();
+      ev.round = r.u64();
+      ev.kind = trace_kind_from_code(r.u8());
+      ev.subject = r.u32();
+      ev.level = r.u64();
+    }
+    r.expect_done();
+  }
+
+  // Re-arm the simulator: one thunk per restored event, in id order, which
+  // reproduces the original (time, schedule-order) firing sequence.
+  for (const auto& [id, ev] : pending_) {
+    sim_.schedule_at(ev.time, [this, id] { fire(id); });
+  }
+  return true;
+}
+
 AsyncRunResult AsyncHflRunner::run() {
-  const auto init = scratch_.flatten();
-  for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
-    start_round(d, 0, init);
+  bool resumed = false;
+  if (config_.checkpoint != nullptr && config_.resume) {
+    resumed = restore_checkpoint();
+  }
+  if (!resumed) {
+    const auto init = scratch_.flatten();
+    for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
+      start_round(d, 0, init);
+    }
   }
   if (config_.deadline > 0.0) {
     sim_.run_until(config_.deadline);

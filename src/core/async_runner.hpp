@@ -79,6 +79,17 @@ struct AsyncHflConfig {
 
   /// Optional per-round record sink (not owned); see HflConfig::recorder.
   obs::Recorder* recorder = nullptr;
+
+  /// Durable snapshots (optional, not owned), same semantics as HflConfig:
+  /// a snapshot lands after every checkpoint_every-th global formation and
+  /// carries the whole simulation (device states, in-flight events, partial
+  /// collections) so a resumed run continues bit-identically mid-pipeline.
+  /// halt_after_globals > 0 cancels all in-flight work after that many
+  /// globals — the kill/resume tests' crash point.
+  ckpt::Store* checkpoint = nullptr;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t halt_after_globals = 0;
 };
 
 /// One timeline row of a traced run.  The shared obs event type: `time` here
@@ -134,6 +145,35 @@ class AsyncHflRunner {
     bool agg_scheduled = false;
   };
 
+  // Typed mirror of every in-flight simulator event, keyed by a monotonic
+  // id.  The simulator's queue holds only [this, id] thunks; all payload
+  // lives here, which is what makes the event queue serializable: a
+  // checkpoint writes the pending map, and a resumed run re-schedules the
+  // entries in id order (the simulator breaks time ties by schedule order,
+  // so id order reproduces the original firing order exactly).
+  enum class EventKind : std::uint8_t {
+    kTrainDone = 0,      // finish_training(device)
+    kUplink = 1,         // deliver_to_cluster(round, level, index, device, *model)
+    kAggDone = 2,        // complete_cluster(round, level, index)
+    kFlagRelease = 3,    // start_round(device, round, *model); round is the target
+    kGlobalDeliver = 4,  // deliver_global(device, round, model)
+  };
+  struct PendingEvent {
+    EventKind kind = EventKind::kTrainDone;
+    double time = 0.0;  // absolute simulated fire time
+    std::size_t round = 0;
+    std::size_t level = 0;
+    std::size_t index = 0;
+    topology::DeviceId device = 0;
+    std::shared_ptr<const std::vector<float>> model;  // null for payload-free kinds
+  };
+
+  void schedule_event(double delay, PendingEvent ev);
+  void fire(std::uint64_t id);
+  void save_checkpoint(std::size_t round);
+  /// True when a snapshot was found and the full simulation state restored.
+  [[nodiscard]] bool restore_checkpoint();
+
   void start_round(topology::DeviceId d, std::size_t round, std::vector<float> params);
   void finish_training(topology::DeviceId d);
   void deliver_to_cluster(std::size_t round, std::size_t level, std::size_t index,
@@ -159,6 +199,8 @@ class AsyncHflRunner {
   AttackSetup attack_;
   util::Rng rng_;
   sim::Simulator sim_;
+  std::map<std::uint64_t, PendingEvent> pending_;
+  std::uint64_t next_event_id_ = 1;
 
   std::vector<std::unique_ptr<LocalTrainer>> trainers_;
   std::vector<DeviceState> devices_;

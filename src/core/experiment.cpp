@@ -140,6 +140,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config, bool run_vanilla,
     hfl.parallel_training = config.parallel_training;
     hfl.recorder = config.recorder;
     hfl.trace = config.trace;
+    hfl.checkpoint = config.checkpoint_hfl;
+    hfl.checkpoint_every = config.checkpoint_every;
+    hfl.resume = config.resume;
+    hfl.halt_after_rounds = config.halt_after_rounds;
 
     AttackSetup attack;
     attack.mask = mask;
@@ -157,6 +161,10 @@ ScenarioResult run_scenario(const ScenarioConfig& config, bool run_vanilla,
     vanilla.rule = config.vanilla_rule;
     vanilla.parallel_training = config.parallel_training;
     vanilla.recorder = config.recorder;
+    vanilla.checkpoint = config.checkpoint_vanilla;
+    vanilla.checkpoint_every = config.checkpoint_every;
+    vanilla.resume = config.resume;
+    vanilla.halt_after_rounds = config.halt_after_rounds;
 
     VanillaAttackSetup attack;
     attack.mask = mask;

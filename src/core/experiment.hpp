@@ -69,6 +69,16 @@ struct ScenarioConfig {
   /// Observability sinks forwarded to both runners (not owned; optional).
   obs::Recorder* recorder = nullptr;
   obs::TraceBuffer* trace = nullptr;
+
+  /// Checkpoint stores forwarded to the runners (not owned; optional).  A
+  /// scenario runs two independent systems, so each needs its own store —
+  /// conventionally the <dir>/hfl and <dir>/vanilla subdirectories of one
+  /// --checkpoint-dir.  every/resume/halt mirror HflConfig's fields.
+  ckpt::Store* checkpoint_hfl = nullptr;
+  ckpt::Store* checkpoint_vanilla = nullptr;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t halt_after_rounds = 0;
 };
 
 struct ScenarioResult {

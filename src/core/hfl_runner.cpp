@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
+#include "ckpt/store.hpp"
 #include "consensus/committee.hpp"
 #include "consensus/pbft.hpp"
 #include "net/wire.hpp"
@@ -421,14 +423,126 @@ void HflRunner::emit_round_record(std::size_t round, double round_s, double trai
   }
 }
 
+void HflRunner::save_checkpoint(std::size_t round, const RunResult& out,
+                                const std::vector<float>& prev_global,
+                                bool have_prev_global) {
+  ckpt::Container c;
+  c.producer = "hfl";
+  c.round = round;
+  {
+    ckpt::PayloadWriter w;
+    w.u8(have_prev_global ? 1 : 0);
+    w.f32vec(prev_global);
+    c.chunks.push_back({ckpt::kTagParams, w.take()});
+  }
+  c.chunks.push_back({ckpt::kTagDevices, ckpt::encode_f32_buffers(start_params_)});
+  {
+    std::vector<ckpt::RngState> states;
+    states.reserve(trainers_.size() + 1);
+    states.push_back(rng_.state());
+    for (const auto& t : trainers_) states.push_back(t->rng_state());
+    c.chunks.push_back({ckpt::kTagRngStates, ckpt::encode_rng_states(states)});
+  }
+  {
+    ckpt::PayloadWriter w;
+    std::vector<double> losses;
+    losses.reserve(trainers_.size());
+    for (const auto& t : trainers_) losses.push_back(t->last_loss());
+    w.f64vec(losses);
+    c.chunks.push_back({ckpt::kTagLosses, w.take()});
+  }
+  {
+    ckpt::PayloadWriter w;
+    w.f64(config_.learn.learning_rate);
+    w.u64(round + 1);  // the schedule round the resumed run trains with next
+    c.chunks.push_back({ckpt::kTagLrSchedule, w.take()});
+  }
+  if (ledger_) c.chunks.push_back({ckpt::kTagLedger, ckpt::encode_ledger(*ledger_)});
+  {
+    ckpt::PayloadWriter w;
+    w.f64vec(out.accuracy_per_round);
+    w.u64(out.comm.messages);
+    w.u64(out.comm.model_bytes);
+    w.u64(out.comm.consensus_failures);
+    c.chunks.push_back({ckpt::kTagResult, w.take()});
+  }
+  config_.checkpoint->save(round, ckpt::encode_container(c));
+}
+
+std::size_t HflRunner::restore_checkpoint(RunResult& out, std::vector<float>& prev_global,
+                                          bool& have_prev_global) {
+  auto snap = config_.checkpoint->load_latest();
+  if (!snap.has_value()) return 0;
+  if (snap->producer != "hfl") {
+    throw ckpt::CkptError("checkpoint produced by \"" + snap->producer +
+                          "\", expected \"hfl\"");
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagParams).payload);
+    have_prev_global = r.u8() != 0;
+    prev_global = r.f32vec();
+    r.expect_done();
+  }
+  auto devices = ckpt::decode_f32_buffers(snap->require(ckpt::kTagDevices).payload);
+  if (devices.size() != start_params_.size()) {
+    throw ckpt::CkptError("DEVS chunk device count mismatch");
+  }
+  start_params_ = std::move(devices);
+  const auto states = ckpt::decode_rng_states(snap->require(ckpt::kTagRngStates).payload);
+  if (states.size() != trainers_.size() + 1) {
+    throw ckpt::CkptError("RNGS chunk stream count mismatch");
+  }
+  rng_.set_state(states[0]);
+  for (std::size_t d = 0; d < trainers_.size(); ++d) {
+    trainers_[d]->set_rng_state(states[d + 1]);
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagLosses).payload);
+    const auto losses = r.f64vec();
+    r.expect_done();
+    if (losses.size() != trainers_.size()) {
+      throw ckpt::CkptError("LOSS chunk trainer count mismatch");
+    }
+    for (std::size_t d = 0; d < trainers_.size(); ++d) {
+      trainers_[d]->set_last_loss(losses[d]);
+    }
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagLrSchedule).payload);
+    const double base_lr = r.f64();
+    if (base_lr != config_.learn.learning_rate) {
+      throw ckpt::CkptError("LRSC chunk base learning rate differs from the config");
+    }
+  }
+  if (ledger_) {
+    if (const auto* chunk = snap->find(ckpt::kTagLedger)) {
+      ckpt::restore_ledger(chunk->payload, *ledger_);
+    }
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagResult).payload);
+    out.accuracy_per_round = r.f64vec();
+    out.comm.messages = r.u64();
+    out.comm.model_bytes = r.u64();
+    out.comm.consensus_failures = r.u64();
+    r.expect_done();
+  }
+  return static_cast<std::size_t>(snap->round) + 1;
+}
+
 RunResult HflRunner::run() {
   RunResult out;
   std::vector<float> prev_global;
   bool have_prev_global = false;
+  std::size_t first_round = 0;
+
+  if (config_.checkpoint != nullptr && config_.resume) {
+    first_round = restore_checkpoint(out, prev_global, have_prev_global);
+  }
 
   const std::size_t depth = tree_.depth();
 
-  for (std::size_t round = 0; round < config_.learn.rounds; ++round) {
+  for (std::size_t round = first_round; round < config_.learn.rounds; ++round) {
     telem_ = {};
     double round_s = 0.0, train_s = 0.0, partial_agg_s = 0.0, global_agg_s = 0.0,
            broadcast_s = 0.0, eval_s = 0.0;
@@ -550,6 +664,16 @@ RunResult HflRunner::run() {
 
     prev_global = std::move(global_model);
     have_prev_global = true;
+
+    if (config_.checkpoint != nullptr &&
+        ((round + 1) % std::max<std::size_t>(config_.checkpoint_every, 1) == 0 ||
+         round + 1 == config_.learn.rounds)) {
+      save_checkpoint(round, out, prev_global, have_prev_global);
+    }
+    if (config_.halt_after_rounds != 0 && round + 1 >= config_.halt_after_rounds) {
+      if (config_.checkpoint != nullptr) config_.checkpoint->flush();
+      break;  // simulated crash point for the kill/resume tests
+    }
   }
 
   emit_suspicion_records();

@@ -44,6 +44,10 @@ class TraceBuffer;
 struct RoundRecord;
 }
 
+namespace abdhfl::ckpt {
+class Store;
+}
+
 namespace abdhfl::core {
 
 struct HflConfig {
@@ -73,6 +77,18 @@ struct HflConfig {
   /// global_agg/broadcast/eval).
   obs::Recorder* recorder = nullptr;
   obs::TraceBuffer* trace = nullptr;
+
+  /// Durable snapshots (optional, not owned).  A snapshot lands after every
+  /// checkpoint_every-th completed round; with resume the runner loads the
+  /// newest snapshot and continues after its round instead of starting at 0
+  /// (bit-identically — the snapshot carries every cross-round bit of
+  /// state).  halt_after_rounds > 0 stops the run after that many completed
+  /// rounds, which is how the kill/resume tests cut a long run mid-way
+  /// without changing what the surviving rounds compute.
+  ckpt::Store* checkpoint = nullptr;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t halt_after_rounds = 0;
 };
 
 struct AttackSetup {
@@ -129,6 +145,14 @@ class HflRunner {
 
   /// Per-node ledger records ("hfl_suspicion"), emitted once after the run.
   void emit_suspicion_records();
+
+  /// Snapshot everything run() carries across rounds (`round` = last
+  /// completed round), and the inverse: restore from the newest snapshot,
+  /// returning the round to resume at (0 when no snapshot exists).
+  void save_checkpoint(std::size_t round, const RunResult& out,
+                       const std::vector<float>& prev_global, bool have_prev_global);
+  std::size_t restore_checkpoint(RunResult& out, std::vector<float>& prev_global,
+                                 bool& have_prev_global);
   agg::ModelVec aggregate_cluster_cba(const std::vector<agg::ModelVec>& inputs,
                                       const topology::Cluster& cluster, std::size_t level,
                                       std::uint64_t round, CommStats& comm);

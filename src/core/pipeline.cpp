@@ -1,9 +1,14 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
+#include "ckpt/store.hpp"
 #include "obs/record.hpp"
 #include "obs/suspicion.hpp"
 
@@ -63,15 +68,74 @@ class PipelineSim {
   [[nodiscard]] const obs::SuspicionLedger* ledger() const { return ledger_.get(); }
 
   PipelineResult run() {
-    // Round 0: every device holds the initial model and starts immediately.
-    for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
-      start_device(0, d, 0.0);
+    bool resumed = false;
+    if (config_.checkpoint != nullptr && config_.resume) {
+      resumed = restore_checkpoint();
+    }
+    if (!resumed) {
+      // Round 0: every device holds the initial model and starts immediately.
+      for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
+        start_device(0, d, 0.0);
+      }
     }
     sim_.run();
     return summarize();
   }
 
  private:
+  // Typed mirror of every in-flight simulator event (same scheme as the
+  // async runner): the simulator queue holds only [this, id] thunks and all
+  // event data lives in this serializable map.  Pipeline events carry no
+  // model payload — just indices.
+  enum class EventKind : std::uint8_t {
+    kDeviceDone = 0,       // device_done(round, device)
+    kClusterArrival = 1,   // cluster_arrival(round, level, index, device)
+    kClusterComplete = 2,  // cluster_complete(round, level, index)
+    kFlagReceipt = 3,      // flag model reaches a device; index = bottom cluster
+    kGlobalDeliver = 4,    // global model reaches a device
+  };
+  struct PendingEvent {
+    EventKind kind = EventKind::kDeviceDone;
+    double time = 0.0;  // absolute simulated fire time
+    std::size_t round = 0;
+    std::size_t level = 0;
+    std::size_t index = 0;
+    topology::DeviceId device = 0;
+  };
+
+  void schedule_event_at(double when, PendingEvent ev) {
+    ev.time = when;
+    const std::uint64_t id = next_event_id_++;
+    pending_.emplace(id, ev);
+    sim_.schedule_at(when, [this, id] { fire(id); });
+  }
+
+  void fire(std::uint64_t id) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // cancelled alongside a sim_.clear()
+    const PendingEvent ev = it->second;
+    pending_.erase(it);
+    switch (ev.kind) {
+      case EventKind::kDeviceDone:
+        device_done(ev.round, ev.device);
+        break;
+      case EventKind::kClusterArrival:
+        cluster_arrival(ev.round, ev.level, ev.index, ev.device);
+        break;
+      case EventKind::kClusterComplete:
+        cluster_complete(ev.round, ev.level, ev.index);
+        break;
+      case EventKind::kFlagReceipt: {
+        auto& rs = rounds_[ev.round];
+        if (rs.flag_receipt[ev.index] < 0.0) rs.flag_receipt[ev.index] = sim_.now();
+        start_device(ev.round + 1, ev.device, sim_.now());
+        break;
+      }
+      case EventKind::kGlobalDeliver:
+        global_arrival(ev.round, ev.device);
+        break;
+    }
+  }
   std::size_t quorum_count(std::size_t cluster_size) const {
     auto k = static_cast<std::size_t>(
         std::ceil(config_.quorum * static_cast<double>(cluster_size)));
@@ -85,7 +149,11 @@ class PipelineSim {
     if (rs.device_start[d] >= 0.0) return;  // already started this round
     rs.device_start[d] = when;
     const double duration = config_.train_duration(rng_);
-    sim_.schedule_at(when + duration, [this, round, d] { device_done(round, d); });
+    PendingEvent ev;
+    ev.kind = EventKind::kDeviceDone;
+    ev.round = round;
+    ev.device = d;
+    schedule_event_at(when + duration, ev);
   }
 
   void device_done(std::size_t round, topology::DeviceId d) {
@@ -93,9 +161,13 @@ class PipelineSim {
     const auto ci = tree_.cluster_of(bottom, d);
     if (!ci) throw std::logic_error("pipeline: device missing from bottom level");
     const double latency = config_.uplink_latency(bottom, rng_);
-    sim_.schedule_after(latency, [this, round, d, ci = *ci] {
-      cluster_arrival(round, tree_.depth(), ci, d);
-    });
+    PendingEvent ev;
+    ev.kind = EventKind::kClusterArrival;
+    ev.round = round;
+    ev.level = bottom;
+    ev.index = *ci;
+    ev.device = d;
+    schedule_event_at(sim_.now() + latency, ev);
   }
 
   void cluster_arrival(std::size_t round, std::size_t level, std::size_t i,
@@ -116,9 +188,12 @@ class PipelineSim {
     if (!cs.agg_scheduled && cs.arrived >= need) {
       cs.agg_scheduled = true;
       const double duration = config_.agg_duration(level, rng_);
-      sim_.schedule_after(duration, [this, round, level, i] {
-        cluster_complete(round, level, i);
-      });
+      PendingEvent ev;
+      ev.kind = EventKind::kClusterComplete;
+      ev.round = round;
+      ev.level = level;
+      ev.index = i;
+      schedule_event_at(sim_.now() + duration, ev);
     }
   }
 
@@ -137,10 +212,13 @@ class PipelineSim {
     const auto parent = tree_.parent_cluster_of(level, i);
     if (!parent) throw std::logic_error("pipeline: intermediate cluster has no parent");
     const double latency = config_.uplink_latency(level, rng_);
-    sim_.schedule_after(latency, [this, round, level, parent = *parent,
-                                  sender = tree_.cluster(level, i).leader_id()] {
-      cluster_arrival(round, level - 1, parent, sender);
-    });
+    PendingEvent ev;
+    ev.kind = EventKind::kClusterArrival;
+    ev.round = round;
+    ev.level = level - 1;
+    ev.index = *parent;
+    ev.device = tree_.cluster(level, i).leader_id();
+    schedule_event_at(sim_.now() + latency, ev);
   }
 
   void disseminate_flag(std::size_t round, std::size_t level, std::size_t i) {
@@ -149,11 +227,12 @@ class PipelineSim {
     for (topology::DeviceId m : tree_.cluster(level, i).members) {
       for (topology::DeviceId d : tree_.bottom_descendants(level, m)) {
         const auto bottom_ci = tree_.cluster_of(tree_.depth(), d);
-        sim_.schedule_after(delay, [this, round, d, bottom_ci = *bottom_ci] {
-          auto& rs = rounds_[round];
-          if (rs.flag_receipt[bottom_ci] < 0.0) rs.flag_receipt[bottom_ci] = sim_.now();
-          start_device(round + 1, d, sim_.now());
-        });
+        PendingEvent ev;
+        ev.kind = EventKind::kFlagReceipt;
+        ev.round = round;
+        ev.index = *bottom_ci;
+        ev.device = d;
+        schedule_event_at(sim_.now() + delay, ev);
       }
     }
   }
@@ -167,26 +246,181 @@ class PipelineSim {
     const std::size_t hops = tree_.depth();
     const double delay = config_.dissemination_latency * static_cast<double>(hops);
     for (topology::DeviceId d = 0; d < tree_.num_devices(); ++d) {
-      sim_.schedule_after(delay, [this, round, d] {
-        // Staleness: how long the device had already been training round r+1
-        // when θ_G^(r) reached it (this is what α must correct, Sec. III-B).
-        if (round + 1 < config_.rounds) {
-          auto& next = rounds_[round + 1];
-          if (config_.flag_level == 0) {
-            // The global model *is* the flag model: it starts the next round.
-            const auto bottom_ci = tree_.cluster_of(tree_.depth(), d);
-            auto& rs_here = rounds_[round];
-            if (rs_here.flag_receipt[*bottom_ci] < 0.0) {
-              rs_here.flag_receipt[*bottom_ci] = sim_.now();
-            }
-            start_device(round + 1, d, sim_.now());
-          } else if (next.device_start[d] >= 0.0) {
-            rounds_[round].staleness_sum += sim_.now() - next.device_start[d];
-            ++rounds_[round].staleness_count;
+      PendingEvent ev;
+      ev.kind = EventKind::kGlobalDeliver;
+      ev.round = round;
+      ev.device = d;
+      schedule_event_at(sim_.now() + delay, ev);
+    }
+
+    ++globals_completed_;
+    const bool halting = config_.halt_after_rounds != 0 &&
+                         globals_completed_ >= config_.halt_after_rounds;
+    // The snapshot lands after the dissemination is scheduled, so the pending
+    // map it carries matches what a full run would have in flight here.
+    if (config_.checkpoint != nullptr &&
+        (globals_completed_ % std::max<std::size_t>(config_.checkpoint_every, 1) == 0 ||
+         globals_completed_ >= config_.rounds || halting)) {
+      save_checkpoint(round);
+    }
+    if (halting) {
+      sim_.clear();
+      pending_.clear();
+      // Simulated crash point for the kill/resume tests.
+      if (config_.checkpoint != nullptr) config_.checkpoint->flush();
+    }
+  }
+
+  void global_arrival(std::size_t round, topology::DeviceId d) {
+    // Staleness: how long the device had already been training round r+1
+    // when θ_G^(r) reached it (this is what α must correct, Sec. III-B).
+    if (round + 1 >= config_.rounds) return;
+    auto& next = rounds_[round + 1];
+    if (config_.flag_level == 0) {
+      // The global model *is* the flag model: it starts the next round.
+      const auto bottom_ci = tree_.cluster_of(tree_.depth(), d);
+      auto& rs_here = rounds_[round];
+      if (rs_here.flag_receipt[*bottom_ci] < 0.0) {
+        rs_here.flag_receipt[*bottom_ci] = sim_.now();
+      }
+      start_device(round + 1, d, sim_.now());
+    } else if (next.device_start[d] >= 0.0) {
+      rounds_[round].staleness_sum += sim_.now() - next.device_start[d];
+      ++rounds_[round].staleness_count;
+    }
+  }
+
+  void save_checkpoint(std::size_t round) {
+    ckpt::Container c;
+    c.producer = "pipeline";
+    c.round = round;
+    {
+      const std::array<ckpt::RngState, 1> states{rng_.state()};
+      c.chunks.push_back({ckpt::kTagRngStates, ckpt::encode_rng_states(states)});
+    }
+    {
+      ckpt::PayloadWriter w;
+      w.u64(globals_completed_);
+      w.u64(rounds_.size());
+      for (const auto& rs : rounds_) {
+        w.u64(rs.clusters.size());
+        for (const auto& level : rs.clusters) {
+          w.u64(level.size());
+          for (const auto& cs : level) {
+            w.u64(cs.arrived);
+            w.f64(cs.first_arrival);
+            w.f64(cs.completed);
+            w.u8(cs.agg_scheduled ? 1 : 0);
           }
         }
-      });
+        w.f64vec(rs.device_start);
+        w.f64vec(rs.flag_receipt);
+        w.f64(rs.t_global);
+        w.f64(rs.staleness_sum);
+        w.u64(rs.staleness_count);
+        w.u64(rs.late_arrivals);
+      }
+      c.chunks.push_back({ckpt::kTagPipeline, w.take()});
     }
+    {
+      ckpt::PayloadWriter w;
+      w.u64(next_event_id_);
+      w.u64(pending_.size());
+      for (const auto& [id, ev] : pending_) {
+        w.u64(id);
+        w.u8(static_cast<std::uint8_t>(ev.kind));
+        w.f64(ev.time);
+        w.u64(ev.round);
+        w.u64(ev.level);
+        w.u64(ev.index);
+        w.u64(ev.device);
+      }
+      c.chunks.push_back({ckpt::kTagEvents, w.take()});
+    }
+    if (ledger_) c.chunks.push_back({ckpt::kTagLedger, ckpt::encode_ledger(*ledger_)});
+    config_.checkpoint->save(round, ckpt::encode_container(c));
+  }
+
+  [[nodiscard]] bool restore_checkpoint() {
+    auto snap = config_.checkpoint->load_latest();
+    if (!snap.has_value()) return false;
+    if (snap->producer != "pipeline") {
+      throw ckpt::CkptError("checkpoint produced by \"" + snap->producer +
+                            "\", expected \"pipeline\"");
+    }
+    const auto states =
+        ckpt::decode_rng_states(snap->require(ckpt::kTagRngStates).payload);
+    if (states.size() != 1) {
+      throw ckpt::CkptError("RNGS chunk stream count mismatch");
+    }
+    rng_.set_state(states[0]);
+    {
+      ckpt::PayloadReader r(snap->require(ckpt::kTagPipeline).payload);
+      globals_completed_ = r.u64();
+      if (r.u64() != rounds_.size()) {
+        throw ckpt::CkptError("PIPE chunk round count mismatch "
+                              "(resume with the same configured rounds)");
+      }
+      for (auto& rs : rounds_) {
+        if (r.u64() != rs.clusters.size()) {
+          throw ckpt::CkptError("PIPE chunk level count mismatch");
+        }
+        for (auto& level : rs.clusters) {
+          if (r.u64() != level.size()) {
+            throw ckpt::CkptError("PIPE chunk cluster count mismatch");
+          }
+          for (auto& cs : level) {
+            cs.arrived = r.u64();
+            cs.first_arrival = r.f64();
+            cs.completed = r.f64();
+            cs.agg_scheduled = r.u8() != 0;
+          }
+        }
+        rs.device_start = r.f64vec();
+        rs.flag_receipt = r.f64vec();
+        if (rs.device_start.size() != tree_.num_devices() ||
+            rs.flag_receipt.size() != tree_.level(tree_.depth()).size()) {
+          throw ckpt::CkptError("PIPE chunk geometry mismatch");
+        }
+        rs.t_global = r.f64();
+        rs.staleness_sum = r.f64();
+        rs.staleness_count = r.u64();
+        rs.late_arrivals = r.u64();
+      }
+      r.expect_done();
+    }
+    {
+      ckpt::PayloadReader r(snap->require(ckpt::kTagEvents).payload);
+      next_event_id_ = r.u64();
+      const std::uint64_t count = r.u64();
+      pending_.clear();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t id = r.u64();
+        PendingEvent ev;
+        const std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(EventKind::kGlobalDeliver)) {
+          throw ckpt::CkptError("EVNT chunk event kind out of range");
+        }
+        ev.kind = static_cast<EventKind>(kind);
+        ev.time = r.f64();
+        ev.round = r.u64();
+        ev.level = r.u64();
+        ev.index = r.u64();
+        ev.device = static_cast<topology::DeviceId>(r.u64());
+        pending_.emplace(id, ev);
+      }
+      r.expect_done();
+    }
+    if (ledger_) {
+      if (const auto* chunk = snap->find(ckpt::kTagLedger)) {
+        ckpt::restore_ledger(chunk->payload, *ledger_);
+      }
+    }
+    // Re-schedule in id order to reproduce the original firing sequence.
+    for (const auto& [id, ev] : pending_) {
+      sim_.schedule_at(ev.time, [this, id] { fire(id); });
+    }
+    return true;
   }
 
   PipelineResult summarize() const {
@@ -252,6 +486,9 @@ class PipelineSim {
   sim::Simulator sim_;
   std::vector<RoundState> rounds_;
   std::unique_ptr<obs::SuspicionLedger> ledger_;
+  std::map<std::uint64_t, PendingEvent> pending_;
+  std::uint64_t next_event_id_ = 1;
+  std::size_t globals_completed_ = 0;
 };
 
 }  // namespace

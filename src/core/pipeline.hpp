@@ -29,6 +29,10 @@ namespace abdhfl::obs {
 class Recorder;
 }
 
+namespace abdhfl::ckpt {
+class Store;
+}
+
 namespace abdhfl::core {
 
 struct PipelineConfig {
@@ -50,6 +54,18 @@ struct PipelineConfig {
   /// Optional per-round record sink (not owned); one record per round with
   /// the σ_w/σ_p+σ_g/ν decomposition.
   obs::Recorder* recorder = nullptr;
+
+  /// Durable snapshots (optional, not owned), same semantics as HflConfig.
+  /// The duration samplers above are code, not state — a resumed run must be
+  /// handed the same samplers and seed it crashed with; the snapshot carries
+  /// the RNG position and every timing record, so the continuation draws the
+  /// same durations a full run would.  halt_after_rounds > 0 cancels all
+  /// in-flight events after that many completed global rounds (the
+  /// kill/resume tests' crash point).
+  ckpt::Store* checkpoint = nullptr;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t halt_after_rounds = 0;
 };
 
 /// Per-round timing decomposition, averaged across bottom clusters where a

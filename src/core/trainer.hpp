@@ -7,6 +7,7 @@
 // merging an arriving global model at a given iteration via the correction
 // factor (Eq. 1), and return the flat trained parameters.
 
+#include <array>
 #include <optional>
 
 #include "data/dataset.hpp"
@@ -39,6 +40,15 @@ class LocalTrainer {
 
   /// Loss of the most recent train_round (mean over its iterations).
   [[nodiscard]] double last_loss() const noexcept { return last_loss_; }
+
+  /// Checkpoint access to the device's private SGD stream.  train_round
+  /// loads start_params into the model, so the RNG state plus last_loss is
+  /// the trainer's entire cross-round state.
+  [[nodiscard]] std::array<std::uint64_t, 4> rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const std::array<std::uint64_t, 4>& s) noexcept { rng_.set_state(s); }
+  void set_last_loss(double loss) noexcept { last_loss_ = loss; }
 
  private:
   data::Dataset shard_;

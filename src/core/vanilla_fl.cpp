@@ -1,7 +1,10 @@
 #include "core/vanilla_fl.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "ckpt/state.hpp"
+#include "ckpt/store.hpp"
 #include "net/wire.hpp"
 #include "nn/sgd.hpp"
 #include "obs/record.hpp"
@@ -42,12 +45,99 @@ VanillaFl::VanillaFl(std::vector<data::Dataset> shards, data::Dataset test_set,
   }
 }
 
+void VanillaFl::save_checkpoint(std::size_t round, const RunResult& out) {
+  ckpt::Container c;
+  c.producer = "vanilla";
+  c.round = round;
+  {
+    ckpt::PayloadWriter w;
+    w.f32vec(global_);
+    c.chunks.push_back({ckpt::kTagParams, w.take()});
+  }
+  {
+    std::vector<ckpt::RngState> states;
+    states.reserve(trainers_.size() + 1);
+    states.push_back(rng_.state());
+    for (const auto& t : trainers_) states.push_back(t->rng_state());
+    c.chunks.push_back({ckpt::kTagRngStates, ckpt::encode_rng_states(states)});
+  }
+  {
+    ckpt::PayloadWriter w;
+    std::vector<double> losses;
+    losses.reserve(trainers_.size());
+    for (const auto& t : trainers_) losses.push_back(t->last_loss());
+    w.f64vec(losses);
+    c.chunks.push_back({ckpt::kTagLosses, w.take()});
+  }
+  if (ledger_) c.chunks.push_back({ckpt::kTagLedger, ckpt::encode_ledger(*ledger_)});
+  {
+    ckpt::PayloadWriter w;
+    w.f64vec(out.accuracy_per_round);
+    w.u64(out.comm.messages);
+    w.u64(out.comm.model_bytes);
+    w.u64(out.comm.consensus_failures);
+    c.chunks.push_back({ckpt::kTagResult, w.take()});
+  }
+  config_.checkpoint->save(round, ckpt::encode_container(c));
+}
+
+std::size_t VanillaFl::restore_checkpoint(RunResult& out) {
+  auto snap = config_.checkpoint->load_latest();
+  if (!snap.has_value()) return 0;
+  if (snap->producer != "vanilla") {
+    throw ckpt::CkptError("checkpoint produced by \"" + snap->producer +
+                          "\", expected \"vanilla\"");
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagParams).payload);
+    global_ = r.f32vec();
+    r.expect_done();
+  }
+  const auto states = ckpt::decode_rng_states(snap->require(ckpt::kTagRngStates).payload);
+  if (states.size() != trainers_.size() + 1) {
+    throw ckpt::CkptError("RNGS chunk stream count mismatch");
+  }
+  rng_.set_state(states[0]);
+  for (std::size_t d = 0; d < trainers_.size(); ++d) {
+    trainers_[d]->set_rng_state(states[d + 1]);
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagLosses).payload);
+    const auto losses = r.f64vec();
+    r.expect_done();
+    if (losses.size() != trainers_.size()) {
+      throw ckpt::CkptError("LOSS chunk trainer count mismatch");
+    }
+    for (std::size_t d = 0; d < trainers_.size(); ++d) {
+      trainers_[d]->set_last_loss(losses[d]);
+    }
+  }
+  if (ledger_) {
+    if (const auto* chunk = snap->find(ckpt::kTagLedger)) {
+      ckpt::restore_ledger(chunk->payload, *ledger_);
+    }
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagResult).payload);
+    out.accuracy_per_round = r.f64vec();
+    out.comm.messages = r.u64();
+    out.comm.model_bytes = r.u64();
+    out.comm.consensus_failures = r.u64();
+    r.expect_done();
+  }
+  return static_cast<std::size_t>(snap->round) + 1;
+}
+
 RunResult VanillaFl::run() {
   RunResult out;
   const std::size_t n = trainers_.size();
   const bool model_attacking = static_cast<bool>(attack_.model_attack);
+  std::size_t first_round = 0;
+  if (config_.checkpoint != nullptr && config_.resume) {
+    first_round = restore_checkpoint(out);
+  }
 
-  for (std::size_t round = 0; round < config_.learn.rounds; ++round) {
+  for (std::size_t round = first_round; round < config_.learn.rounds; ++round) {
     double round_s = 0.0, train_s = 0.0, agg_s = 0.0, eval_s = 0.0;
     {
       obs::ScopedTimer round_timer(round_s);
@@ -142,6 +232,16 @@ RunResult VanillaFl::run() {
         }
         rec.set("suspicion_auc", obs::separation_auc(byz_scores, honest_scores));
       }
+    }
+
+    if (config_.checkpoint != nullptr &&
+        ((round + 1) % std::max<std::size_t>(config_.checkpoint_every, 1) == 0 ||
+         round + 1 == config_.learn.rounds)) {
+      save_checkpoint(round, out);
+    }
+    if (config_.halt_after_rounds != 0 && round + 1 >= config_.halt_after_rounds) {
+      if (config_.checkpoint != nullptr) config_.checkpoint->flush();
+      break;  // simulated crash point for the kill/resume tests
     }
   }
 

@@ -19,6 +19,10 @@ namespace abdhfl::obs {
 class Recorder;
 }
 
+namespace abdhfl::ckpt {
+class Store;
+}
+
 namespace abdhfl::core {
 
 struct VanillaConfig {
@@ -31,6 +35,11 @@ struct VanillaConfig {
   std::size_t agg_threads = 1;
   /// Optional per-round record sink (not owned); see HflConfig::recorder.
   obs::Recorder* recorder = nullptr;
+  /// Durable snapshots + resume, same semantics as HflConfig.
+  ckpt::Store* checkpoint = nullptr;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::size_t halt_after_rounds = 0;
 };
 
 struct VanillaAttackSetup {
@@ -54,6 +63,9 @@ class VanillaFl {
   }
 
  private:
+  void save_checkpoint(std::size_t round, const RunResult& out);
+  std::size_t restore_checkpoint(RunResult& out);
+
   data::Dataset test_set_;
   nn::Mlp scratch_;
   VanillaConfig config_;

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "ckpt/state.hpp"
+#include "ckpt/store.hpp"
 #include "data/partition.hpp"
 #include "data/synth_digits.hpp"
 #include "obs/record.hpp"
@@ -90,12 +92,16 @@ std::vector<float> cluster_round(const FederationConfig& config,
 // WorkerNode
 
 WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
-                       Transport& transport, obs::Recorder* recorder)
+                       Transport& transport, obs::Recorder* recorder,
+                       ckpt::Store* checkpoint, std::size_t checkpoint_every,
+                       bool resume)
     : config_(std::move(config)),
       index_(worker_index),
       id_(worker_node_id(worker_index)),
       transport_(transport),
-      recorder_(recorder) {
+      recorder_(recorder),
+      checkpoint_(checkpoint),
+      checkpoint_every_(checkpoint_every) {
   const FederationData data = build_federation_data(config_);
   trainers_.reserve(config_.devices_per_worker);
   for (std::size_t k = 0; k < config_.devices_per_worker; ++k) {
@@ -105,6 +111,7 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
   }
   rule_ = agg::make_aggregator(config_.cluster_rule);
   current_ = data.init_params;
+  if (checkpoint_ != nullptr && resume) restore_checkpoint();
 
   transport_.register_node(id_, [this](const WireMessage& msg) { on_message(msg); });
   transport_.add_peer_loss_handler([this](NodeId peer) {
@@ -133,8 +140,13 @@ void WorkerNode::on_message(const WireMessage& msg) {
     if (member.event == Membership::Event::kJoin) {
       transport_.set_peer_codec(kRootId, member.codec);
       if (!started_) {
-        // Join echo: the root confirmed us and fixed the link codec.
+        // Join echo: the root confirmed us and fixed the link codec.  The
+        // envelope round is the round the root is collecting — 0 for a fresh
+        // federation, later when this process restarted from a checkpoint
+        // mid-run (the reconnect resync path) or the root itself resumed.
+        // Adopting it keeps the restored model and the live quorum aligned.
         started_ = true;
+        round_ = static_cast<std::size_t>(msg.env.round);
         train_and_send();
       } else if (msg.env.round != round_) {
         // Resync echo after the root re-admitted us mid-run: adopt the round
@@ -159,6 +171,11 @@ void WorkerNode::on_message(const WireMessage& msg) {
       rec.set("worker", static_cast<double>(index_));
       rec.set("alpha", partial.alpha);
       rec.set("is_global", partial.is_global ? 1.0 : 0.0);
+    }
+    if (checkpoint_ != nullptr &&
+        (round_ % std::max<std::size_t>(checkpoint_every_, 1) == 0 ||
+         round_ >= config_.rounds)) {
+      save_checkpoint();
     }
     if (round_ >= config_.rounds) {
       Membership leave;
@@ -190,18 +207,110 @@ void WorkerNode::finish(bool failed) {
   failed_ = failed;
 }
 
+void WorkerNode::save_checkpoint() {
+  // save_now, not save: a worker is exactly the process a SIGKILL targets,
+  // so the snapshot must be on disk before this round's state is observable
+  // anywhere else.  round_ already counts the merge this snapshot captures.
+  ckpt::Container c;
+  c.producer = "worker";
+  c.round = round_ - 1;
+  {
+    ckpt::PayloadWriter w;
+    w.f32vec(current_);
+    c.chunks.push_back({ckpt::kTagParams, w.take()});
+  }
+  {
+    ckpt::PayloadWriter w;
+    w.u64(static_cast<std::uint64_t>(index_));
+    w.f32vec(last_cluster_);
+    c.chunks.push_back({ckpt::kTagExtra, w.take()});
+  }
+  {
+    std::vector<ckpt::RngState> states;
+    states.reserve(trainers_.size());
+    for (const auto& t : trainers_) states.push_back(t.rng_state());
+    c.chunks.push_back({ckpt::kTagRngStates, ckpt::encode_rng_states(states)});
+  }
+  {
+    ckpt::PayloadWriter w;
+    std::vector<double> losses;
+    losses.reserve(trainers_.size());
+    for (const auto& t : trainers_) losses.push_back(t.last_loss());
+    w.f64vec(losses);
+    c.chunks.push_back({ckpt::kTagLosses, w.take()});
+  }
+  checkpoint_->save_now(c.round, ckpt::encode_container(c));
+}
+
+void WorkerNode::restore_checkpoint() {
+  auto snap = checkpoint_->load_latest();
+  if (!snap.has_value()) return;  // nothing yet: fresh start
+  if (snap->producer != "worker") {
+    throw ckpt::CkptError("checkpoint produced by \"" + snap->producer +
+                          "\", expected \"worker\"");
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagParams).payload);
+    auto params = r.f32vec();
+    r.expect_done();
+    if (params.size() != current_.size()) {
+      throw ckpt::CkptError("PARM chunk dimension mismatch: resume with the "
+                            "same federation configuration");
+    }
+    current_ = std::move(params);
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagExtra).payload);
+    const auto saved_index = static_cast<std::size_t>(r.u64());
+    if (saved_index != index_) {
+      throw ckpt::CkptError("snapshot belongs to worker " +
+                            std::to_string(saved_index));
+    }
+    last_cluster_ = r.f32vec();
+    r.expect_done();
+  }
+  const auto states = ckpt::decode_rng_states(snap->require(ckpt::kTagRngStates).payload);
+  if (states.size() != trainers_.size()) {
+    throw ckpt::CkptError("RNGS chunk stream count mismatch");
+  }
+  for (std::size_t k = 0; k < trainers_.size(); ++k) {
+    trainers_[k].set_rng_state(states[k]);
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagLosses).payload);
+    const auto losses = r.f64vec();
+    r.expect_done();
+    if (losses.size() != trainers_.size()) {
+      throw ckpt::CkptError("LOSS chunk trainer count mismatch");
+    }
+    for (std::size_t k = 0; k < trainers_.size(); ++k) {
+      trainers_[k].set_last_loss(losses[k]);
+    }
+  }
+  round_ = static_cast<std::size_t>(snap->round) + 1;
+  resume_round_ = round_;
+  if (recorder_ != nullptr) {
+    obs::RoundRecord& rec = recorder_->begin_round("dist_resume", round_);
+    rec.set("worker", static_cast<double>(index_));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // RootNode
 
 RootNode::RootNode(FederationConfig config, Transport& transport,
-                   obs::Recorder* recorder)
+                   obs::Recorder* recorder, ckpt::Store* checkpoint,
+                   std::size_t checkpoint_every, bool resume)
     : config_(std::move(config)),
       transport_(transport),
       recorder_(recorder),
+      checkpoint_(checkpoint),
+      checkpoint_every_(checkpoint_every),
       data_(build_federation_data(config_)),
       rule_(agg::make_aggregator(config_.root_rule)),
       tree_(topology::build_ecsm(2, config_.devices_per_worker, config_.workers)),
       global_(data_.init_params) {
+  if (checkpoint_ != nullptr && resume) restore_checkpoint();
   transport_.register_node(kRootId, [this](const WireMessage& msg) { on_message(msg); });
   transport_.add_peer_loss_handler([this](NodeId peer) { on_peer_loss(peer); });
   transport_.add_peer_reconnect_handler(
@@ -271,14 +380,16 @@ void RootNode::begin_training() {
   result_.workers_joined = live_.size();
   phase_ = Phase::kTraining;
   phase_deadline_ = wall_now() + config_.round_timeout_s;
-  // Echo every join: this is the workers' starting gun.
+  // Echo every join: this is the workers' starting gun.  The envelope round
+  // is round_ (0 for a fresh run, the restored counter after a root resume)
+  // and the workers adopt it, so the whole federation restarts on one clock.
   for (const NodeId worker : live_) {
     Membership echo;
     echo.event = Membership::Event::kJoin;
     echo.device = kRootId;
     echo.cluster = worker - 1;
     echo.codec = transport_.codec_for(worker);
-    transport_.send({kRootId, worker, 0}, echo, kLeaderLinkClass);
+    transport_.send({kRootId, worker, round_}, echo, kLeaderLinkClass);
   }
 }
 
@@ -321,6 +432,11 @@ void RootNode::maybe_aggregate() {
 
   ++round_;
   phase_deadline_ = wall_now() + config_.round_timeout_s;
+  if (checkpoint_ != nullptr &&
+      (round_ % std::max<std::size_t>(checkpoint_every_, 1) == 0 ||
+       round_ >= config_.rounds)) {
+    save_checkpoint();
+  }
   if (round_ >= config_.rounds) {
     phase_ = Phase::kFinishing;
     maybe_finish();
@@ -400,6 +516,91 @@ void RootNode::apply_churn(NodeId worker) {
   } catch (const std::exception&) {
     // Assumption 3 forbids emptying a cluster / the top level; the mirror
     // simply keeps the old shape then — the live set already shrank.
+  }
+}
+
+void RootNode::save_checkpoint() {
+  // Taken right after an aggregation: global_ is the round's model, round_
+  // already points at the next round to collect.  save_now for the same
+  // reason as the worker: the process this guards against dies without
+  // warning.
+  ckpt::Container c;
+  c.producer = "root";
+  c.round = round_ - 1;
+  {
+    ckpt::PayloadWriter w;
+    w.f32vec(global_);
+    c.chunks.push_back({ckpt::kTagParams, w.take()});
+  }
+  c.chunks.push_back({ckpt::kTagTopology, ckpt::encode_topology(tree_)});
+  {
+    ckpt::PayloadWriter w;
+    w.f64vec(result_.round_accuracy);
+    w.u64(result_.rounds_run);
+    w.u64(result_.workers_joined);
+    w.u64(result_.workers_lost);
+    w.u64(result_.workers_rejoined);
+    c.chunks.push_back({ckpt::kTagResult, w.take()});
+  }
+  {
+    ckpt::PayloadWriter w;
+    w.u64(subtree_samples_.size());
+    for (const auto& [worker, samples] : subtree_samples_) {
+      w.u64(worker);
+      w.u64(samples);
+    }
+    c.chunks.push_back({ckpt::kTagExtra, w.take()});
+  }
+  checkpoint_->save_now(c.round, ckpt::encode_container(c));
+}
+
+void RootNode::restore_checkpoint() {
+  auto snap = checkpoint_->load_latest();
+  if (!snap.has_value()) return;  // nothing yet: fresh start
+  if (snap->producer != "root") {
+    throw ckpt::CkptError("checkpoint produced by \"" + snap->producer +
+                          "\", expected \"root\"");
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagParams).payload);
+    auto params = r.f32vec();
+    r.expect_done();
+    if (params.size() != global_.size()) {
+      throw ckpt::CkptError("PARM chunk dimension mismatch: resume with the "
+                            "same federation configuration");
+    }
+    global_ = std::move(params);
+  }
+  tree_ = ckpt::decode_topology(snap->require(ckpt::kTagTopology).payload);
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagResult).payload);
+    result_.round_accuracy = r.f64vec();
+    result_.rounds_run = static_cast<std::size_t>(r.u64());
+    result_.workers_joined = static_cast<std::size_t>(r.u64());
+    result_.workers_lost = static_cast<std::size_t>(r.u64());
+    result_.workers_rejoined = static_cast<std::size_t>(r.u64());
+    r.expect_done();
+  }
+  {
+    ckpt::PayloadReader r(snap->require(ckpt::kTagExtra).payload);
+    const auto count = r.u64();
+    std::map<NodeId, std::uint64_t> samples;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto worker = static_cast<NodeId>(r.u64());
+      samples[worker] = r.u64();
+    }
+    r.expect_done();
+    subtree_samples_ = std::move(samples);
+  }
+  if (!result_.round_accuracy.empty()) {
+    result_.final_accuracy = result_.round_accuracy.back();
+  }
+  result_.global_model = global_;
+  round_ = static_cast<std::size_t>(snap->round) + 1;
+  resume_round_ = round_;
+  if (recorder_ != nullptr) {
+    obs::RoundRecord& rec = recorder_->begin_round("dist_resume", round_);
+    rec.set("worker", -1.0);
   }
 }
 

@@ -57,6 +57,9 @@
 namespace abdhfl::obs {
 class Recorder;
 }
+namespace abdhfl::ckpt {
+class Store;
+}
 
 namespace abdhfl::net {
 
@@ -123,8 +126,17 @@ class WorkerNode {
  public:
   /// `transport` must outlive the node; the node registers itself under
   /// worker_node_id(worker_index) and expects a link to kRootId.
+  /// `checkpoint` (optional, not owned) persists the worker's merged model,
+  /// trainer RNG streams and round counter after every `checkpoint_every`-th
+  /// merge (save_now: the snapshot is durable before the next frame is
+  /// touched, so a SIGKILL at any instant loses at most the current round).
+  /// With `resume` the latest snapshot is restored in the constructor; the
+  /// join echo then tells the worker which round the root is collecting, so
+  /// a restarted process rejoins mid-training instead of retraining from
+  /// round 0.
   WorkerNode(FederationConfig config, std::size_t worker_index, Transport& transport,
-             obs::Recorder* recorder = nullptr);
+             obs::Recorder* recorder = nullptr, ckpt::Store* checkpoint = nullptr,
+             std::size_t checkpoint_every = 1, bool resume = false);
 
   /// Send the join; training starts when the root echoes it.
   void start();
@@ -136,23 +148,30 @@ class WorkerNode {
   /// The worker's final merged model (valid once done() && !failed()).
   [[nodiscard]] const std::vector<float>& model() const noexcept { return current_; }
   [[nodiscard]] std::size_t rounds_run() const noexcept { return round_; }
+  /// First round this process will train (> 0 iff a snapshot was restored).
+  [[nodiscard]] std::size_t resume_round() const noexcept { return resume_round_; }
 
  private:
   void on_message(const WireMessage& msg);
   void train_and_send();
   void finish(bool failed);
+  void save_checkpoint();
+  void restore_checkpoint();
 
   FederationConfig config_;
   std::size_t index_;
   NodeId id_;
   Transport& transport_;
   obs::Recorder* recorder_;
+  ckpt::Store* checkpoint_;
+  std::size_t checkpoint_every_;
   std::vector<core::LocalTrainer> trainers_;
   std::unique_ptr<agg::Aggregator> rule_;
   std::uint64_t subtree_samples_ = 0;
   std::vector<float> current_;       // model the next round trains from
   std::vector<float> last_cluster_;  // this worker's latest BRA output
   std::size_t round_ = 0;
+  std::size_t resume_round_ = 0;
   bool started_ = false;  // join echoed, training underway
   bool done_ = false;
   bool failed_ = false;
@@ -170,14 +189,23 @@ struct RootResult {
 
 class RootNode {
  public:
+  /// `checkpoint` (optional, not owned) persists the global model, round
+  /// counter, accumulated result and the mirrored topology after every
+  /// `checkpoint_every`-th aggregation.  With `resume` the latest snapshot
+  /// is restored in the constructor: the root starts a fresh join phase (its
+  /// sockets died with the old process) but the join echo carries the
+  /// restored round, so resuming workers slot into the right quorum.
   RootNode(FederationConfig config, Transport& transport,
-           obs::Recorder* recorder = nullptr);
+           obs::Recorder* recorder = nullptr, ckpt::Store* checkpoint = nullptr,
+           std::size_t checkpoint_every = 1, bool resume = false);
 
   void start();
   void on_idle();
 
   [[nodiscard]] bool done() const noexcept { return phase_ == Phase::kDone; }
   [[nodiscard]] const RootResult& result() const noexcept { return result_; }
+  /// First round this process will collect (> 0 iff a snapshot was restored).
+  [[nodiscard]] std::size_t resume_round() const noexcept { return resume_round_; }
 
  private:
   enum class Phase { kJoining, kTraining, kFinishing, kDone };
@@ -190,10 +218,15 @@ class RootNode {
   void maybe_finish();
   void apply_churn(NodeId worker);
   void apply_rejoin(NodeId worker);
+  void save_checkpoint();
+  void restore_checkpoint();
 
   FederationConfig config_;
   Transport& transport_;
   obs::Recorder* recorder_;
+  ckpt::Store* checkpoint_;
+  std::size_t checkpoint_every_;
+  std::size_t resume_round_ = 0;
   FederationData data_;
   std::unique_ptr<agg::Aggregator> rule_;
   topology::HflTree tree_;  // mirrored topology the churn events update

@@ -27,6 +27,16 @@ class Sgd {
   [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
   void set_learning_rate(double lr) noexcept { config_.learning_rate = lr; }
 
+  /// Momentum velocity buffers, aligned with model.params(); empty until the
+  /// first momentum step.  Exposed so checkpoints can capture and restore
+  /// optimizer state exactly.
+  [[nodiscard]] const std::vector<std::vector<float>>& velocity() const noexcept {
+    return velocity_;
+  }
+  [[nodiscard]] std::vector<std::vector<float>>& mutable_velocity() noexcept {
+    return velocity_;
+  }
+
  private:
   SgdConfig config_;
   std::vector<std::vector<float>> velocity_;  // aligned with model.params()

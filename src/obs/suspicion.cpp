@@ -90,6 +90,28 @@ std::vector<NodeSuspicion> SuspicionLedger::snapshot() const {
   return out;
 }
 
+SuspicionLedger::LedgerState SuspicionLedger::state() const {
+  LedgerState s;
+  s.rounds = rounds_;
+  s.ewma = ewma_;
+  s.round = round_;
+  s.filter_events = filter_events_;
+  s.observations = observations_;
+  return s;
+}
+
+void SuspicionLedger::set_state(const LedgerState& s) {
+  if (s.ewma.size() != nodes_ * levels_ || s.round.size() != nodes_ * levels_ ||
+      s.filter_events.size() != nodes_ || s.observations.size() != nodes_) {
+    throw std::invalid_argument("SuspicionLedger::set_state: geometry mismatch");
+  }
+  rounds_ = s.rounds;
+  ewma_ = s.ewma;
+  round_ = s.round;
+  filter_events_ = s.filter_events;
+  observations_ = s.observations;
+}
+
 std::vector<double> relative_scores(std::span<const double> scores) {
   std::vector<double> out(scores.begin(), scores.end());
   if (out.empty()) return out;

@@ -74,6 +74,19 @@ class SuspicionLedger {
   /// Full per-node state, in node-id order.
   [[nodiscard]] std::vector<NodeSuspicion> snapshot() const;
 
+  /// The ledger's complete mutable state, flat, for checkpointing.
+  struct LedgerState {
+    std::size_t rounds = 0;
+    std::vector<double> ewma;                  // nodes x levels, row-major
+    std::vector<double> round;                 // same layout
+    std::vector<std::uint64_t> filter_events;  // per node
+    std::vector<std::uint64_t> observations;   // per node
+  };
+  [[nodiscard]] LedgerState state() const;
+  /// Restore a state captured by state() on a ledger of the same geometry;
+  /// throws std::invalid_argument on a shape mismatch.
+  void set_state(const LedgerState& s);
+
  private:
   std::size_t nodes_;
   std::size_t levels_;

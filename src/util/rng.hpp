@@ -110,6 +110,20 @@ class Rng {
   /// k distinct indices from [0, n) in random order (k <= n).
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// The raw 4x64-bit xoshiro state, for checkpointing.  Note the cached
+  /// Marsaglia spare normal is NOT part of this state; set_state() discards
+  /// it, so a checkpoint taken between the two draws of a normal() pair
+  /// resumes on the next fresh pair.  Every checkpoint site in this repo
+  /// snapshots at round boundaries where no spare is pending.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Restore a state captured by state().  Clears the spare-normal cache.
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+    have_spare_normal_ = false;
+    spare_normal_ = 0.0;
+  }
+
   /// Derive an independent child generator (for per-node streams).
   Rng split() noexcept {
     Rng child(0);

@@ -295,6 +295,100 @@ TEST(Nn, SerializeRejectsBigEndianBlob) {
   }
 }
 
+TEST(Nn, SerializeStateRoundtrip) {
+  const std::vector<float> params = {1.0f, -2.0f, 3.5f};
+  const std::vector<std::vector<float>> velocity = {{0.1f, 0.2f}, {-0.3f}};
+  const auto bytes = serialize_state(params, velocity);
+  const auto state = deserialize_state(bytes);
+  EXPECT_EQ(state.params, params);
+  EXPECT_EQ(state.velocity, velocity);
+}
+
+TEST(Nn, SerializeStateAcceptsVelocityFreeV1Blob) {
+  // Pre-existing params-only checkpoints must keep loading.
+  const std::vector<float> params = {4.0f, 5.0f};
+  const auto v1 = serialize_params(params);
+  const auto state = deserialize_state(v1);
+  EXPECT_EQ(state.params, params);
+  EXPECT_TRUE(state.velocity.empty());
+  // Empty velocity on the v2 writer is also fine.
+  const auto v2 = serialize_state(params, {});
+  const auto state2 = deserialize_state(v2);
+  EXPECT_EQ(state2.params, params);
+  EXPECT_TRUE(state2.velocity.empty());
+}
+
+TEST(Nn, SerializeStateDetectsCorruption) {
+  const std::vector<float> params = {1.0f, 2.0f};
+  const std::vector<std::vector<float>> velocity = {{9.0f, 8.0f}};
+  const auto full = serialize_state(params, velocity);
+  // Flipped byte anywhere in the body.
+  for (std::size_t at : {std::size_t{9}, full.size() / 2, full.size() - 1}) {
+    auto bytes = full;
+    bytes[at] ^= 0x40;
+    EXPECT_THROW(deserialize_state(bytes), std::runtime_error) << "at=" << at;
+  }
+  // Truncation at every boundary class.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{7}, std::size_t{12},
+                           full.size() - 9, full.size() - 1}) {
+    const std::vector<std::uint8_t> cut(full.begin(),
+                                        full.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(deserialize_state(cut), std::runtime_error) << "keep=" << keep;
+  }
+  // Forged velocity-buffer count must throw before it sizes an allocation.
+  auto forged = full;
+  const std::uint32_t huge32 = 0x7FFFFFFFu;
+  // buffer count follows magic+version+count+params floats
+  std::memcpy(forged.data() + 16 + params.size() * sizeof(float), &huge32, sizeof huge32);
+  EXPECT_THROW(deserialize_state(forged), std::runtime_error);
+  // Forged per-buffer float count likewise.
+  auto forged2 = full;
+  const std::uint64_t huge = std::uint64_t{1} << 62;
+  std::memcpy(forged2.data() + 20 + params.size() * sizeof(float), &huge, sizeof huge);
+  EXPECT_THROW(deserialize_state(forged2), std::runtime_error);
+}
+
+TEST(Nn, MomentumResumeEquivalence) {
+  // Ten momentum steps in one run must equal five steps, a params+velocity
+  // snapshot, and five more steps on a freshly built model/optimizer — the
+  // property the checkpoint subsystem's bit-identical resume relies on.
+  util::Rng rng(11);
+  Mlp reference = make_mlp(4, {6}, 2, rng);
+  Mlp first_half = reference.clone();
+  const auto x = random_batch(16, 4, rng);
+  std::vector<std::uint8_t> y(16);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = x.at(i, 2) > 0.0f ? 1 : 0;
+
+  auto steps = [&](Mlp& model, Sgd& sgd, int n) {
+    for (int s = 0; s < n; ++s) {
+      const auto loss = softmax_cross_entropy(model.forward(x), y);
+      model.backward(loss.grad);
+      sgd.step(model);
+    }
+  };
+
+  Sgd ref_sgd({0.05, 0.9, 0.001});
+  steps(reference, ref_sgd, 10);
+
+  Sgd half_sgd({0.05, 0.9, 0.001});
+  steps(first_half, half_sgd, 5);
+  const auto blob = serialize_state(first_half.flatten(), half_sgd.velocity());
+
+  const auto restored = deserialize_state(blob);
+  util::Rng other(77);
+  Mlp resumed = make_mlp(4, {6}, 2, other);  // deliberately different init
+  resumed.unflatten(restored.params);
+  Sgd resumed_sgd({0.05, 0.9, 0.001});
+  resumed_sgd.mutable_velocity() = restored.velocity;
+  steps(resumed, resumed_sgd, 5);
+
+  EXPECT_EQ(resumed.flatten(), reference.flatten());
+  ASSERT_EQ(resumed_sgd.velocity().size(), ref_sgd.velocity().size());
+  for (std::size_t i = 0; i < ref_sgd.velocity().size(); ++i) {
+    EXPECT_EQ(resumed_sgd.velocity()[i], ref_sgd.velocity()[i]);
+  }
+}
+
 TEST(Nn, SaveLoadFile) {
   const std::vector<float> params = {0.5f, -1.5f};
   const auto path = std::filesystem::temp_directory_path() / "abdhfl_model_test.bin";

@@ -13,9 +13,16 @@
 // said goodbye.  Workers that die mid-run degrade the federation instead of
 // wedging it: the root drops them via the transport's peer-loss path and
 // finishes with the remaining quorum.
+//
+// With --checkpoint-dir every process snapshots its state per round into its
+// own subdirectory (root/, worker-<i>/); restarting a killed process with
+// --resume added restores the latest snapshot and rejoins the federation
+// mid-training instead of retraining from round 0 (README "Crash recovery").
 
 #include <cstdio>
+#include <memory>
 
+#include "ckpt/store.hpp"
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
@@ -65,11 +72,21 @@ int main(int argc, char** argv) {
   const double deadline = cli.real("deadline", 600.0, "overall wall-clock budget (s)");
   net::FederationConfig config = config_from_cli(cli);
   const auto obs_opts = obs::declare_cli(cli);
+  const auto ckpt_opts = ckpt::declare_cli(cli);
   if (!cli.finish()) return 0;
 
   obs::Recorder recorder;
   obs::TraceBuffer trace;
   obs::Recorder* rec = obs_opts.active() ? &recorder : nullptr;
+
+  // Per-node store: each process owns its own snapshot directory, so one
+  // --checkpoint-dir can serve a whole single-host federation.
+  std::unique_ptr<ckpt::Store> store;
+  if (ckpt_opts.active()) {
+    const std::string subdir =
+        role == "root" ? "/root" : "/worker-" + std::to_string(index);
+    store = std::make_unique<ckpt::Store>(ckpt_opts.dir + subdir, 3, rec);
+  }
 
   if (role == "root") {
     net::TcpTransport transport(net::kRootId);
@@ -79,7 +96,11 @@ int main(int argc, char** argv) {
                 config.workers);
     std::fflush(stdout);
 
-    net::RootNode root(config, transport, rec);
+    net::RootNode root(config, transport, rec, store.get(), ckpt_opts.every,
+                       ckpt_opts.resume);
+    if (root.resume_round() > 0) {
+      std::printf("root: resumed from checkpoint at round %zu\n", root.resume_round());
+    }
     root.start();
     const bool finished = net::pump_until(
         transport, [&] { root.on_idle(); return root.done(); }, deadline);
@@ -123,7 +144,12 @@ int main(int argc, char** argv) {
               port, config.devices_per_worker);
   std::fflush(stdout);
 
-  net::WorkerNode worker(config, index, transport, rec);
+  net::WorkerNode worker(config, index, transport, rec, store.get(),
+                         ckpt_opts.every, ckpt_opts.resume);
+  if (worker.resume_round() > 0) {
+    std::printf("worker %zu: resumed from checkpoint at round %zu\n", index,
+                worker.resume_round());
+  }
   worker.start();
   const bool finished = net::pump_until(
       transport, [&] { worker.on_idle(); return worker.done(); }, deadline);

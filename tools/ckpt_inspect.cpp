@@ -1,0 +1,174 @@
+// ckpt_inspect — render a checkpoint container (DESIGN.md §10.1) or a whole
+// store directory for humans and CI artifacts.
+//
+//   ./ckpt_inspect <snapshot.abck>     one file: header + per-chunk table
+//   ./ckpt_inspect <store-dir>         every MANIFEST entry, newest last
+//
+// Unlike ckpt::decode_container — which throws on the first integrity
+// failure because a *consumer* must not touch damaged state — the inspector
+// keeps walking on damage: it prints every chunk it can reach with its own
+// CRC verdict, so a flipped byte is localized to the chunk it hit instead of
+// reported as "file bad".  Bounds are still checked before every read; a
+// truncated file ends the walk with a "truncated" line rather than a crash.
+//
+// Exit status: 0 when every inspected snapshot is fully intact, 1 when any
+// corruption or truncation was found, 2 on usage errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "ckpt/container.hpp"
+
+namespace {
+
+using namespace abdhfl;
+
+bool is_directory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+// Little-endian scalar reads with an explicit remaining-bytes check; the
+// walk stops (returns false) instead of reading past the buffer.
+struct Walker {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t off = 0;
+
+  bool take(void* out, std::size_t n) {
+    if (bytes.size() - off < n) return false;
+    std::memcpy(out, bytes.data() + off, n);
+    off += n;
+    return true;
+  }
+  bool u32(std::uint32_t& v) { return take(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return take(&v, sizeof v); }
+};
+
+/// Inspect one snapshot file; returns whether it is fully intact.
+bool inspect_file(const std::string& path) {
+  const auto bytes = read_file(path);
+  std::printf("%s  (%zu bytes)\n", path.c_str(), bytes.size());
+  if (bytes.empty()) {
+    std::printf("  unreadable or empty\n");
+    return false;
+  }
+
+  bool intact = true;
+  // The whole-file CRC footer covers everything before it.
+  if (bytes.size() >= sizeof(std::uint32_t)) {
+    const std::size_t body = bytes.size() - sizeof(std::uint32_t);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + body, sizeof stored);
+    const std::uint32_t actual =
+        ckpt::crc32(std::span<const std::uint8_t>(bytes.data(), body));
+    std::printf("  file crc     %08x %s\n", stored,
+                stored == actual ? "OK" : "BAD");
+    if (stored != actual) intact = false;
+  } else {
+    std::printf("  truncated before the CRC footer\n");
+    return false;
+  }
+
+  Walker w{bytes};
+  std::uint32_t magic = 0, version = 0, producer_len = 0, chunk_count = 0;
+  std::uint64_t round = 0;
+  if (!w.u32(magic) || !w.u32(version) || !w.u32(producer_len)) {
+    std::printf("  truncated header\n");
+    return false;
+  }
+  std::printf("  magic        %08x %s\n", magic,
+              magic == ckpt::kMagic ? "OK" : "BAD");
+  std::printf("  version      %u%s\n", version,
+              version == ckpt::kVersion ? "" : "  (unknown)");
+  if (magic != ckpt::kMagic) return false;
+
+  std::string producer;
+  if (producer_len > ckpt::kMaxProducer ||
+      bytes.size() - w.off < producer_len) {
+    std::printf("  producer length %u out of bounds\n", producer_len);
+    return false;
+  }
+  producer.assign(reinterpret_cast<const char*>(bytes.data() + w.off),
+                  producer_len);
+  w.off += producer_len;
+  if (!w.u64(round) || !w.u32(chunk_count)) {
+    std::printf("  truncated header\n");
+    return false;
+  }
+  std::printf("  producer     %s\n", producer.c_str());
+  std::printf("  round        %llu\n", static_cast<unsigned long long>(round));
+  std::printf("  chunks       %u%s\n", chunk_count,
+              chunk_count <= ckpt::kMaxChunks ? "" : "  (over limit)");
+  if (chunk_count > ckpt::kMaxChunks) return false;
+
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    std::uint32_t tag = 0, stored = 0;
+    std::uint64_t size = 0;
+    if (!w.u32(tag) || !w.u64(size) || !w.u32(stored)) {
+      std::printf("  chunk %2u     truncated chunk header\n", i);
+      return false;
+    }
+    if (bytes.size() - w.off < size) {
+      std::printf("  chunk %2u     %s  %llu bytes  TRUNCATED\n", i,
+                  ckpt::tag_name(tag).c_str(),
+                  static_cast<unsigned long long>(size));
+      return false;
+    }
+    const std::uint32_t actual = ckpt::crc32(
+        std::span<const std::uint8_t>(bytes.data() + w.off, size));
+    std::printf("  chunk %2u     %s  %10llu bytes  crc %08x %s\n", i,
+                ckpt::tag_name(tag).c_str(),
+                static_cast<unsigned long long>(size), stored,
+                stored == actual ? "OK" : "BAD");
+    if (stored != actual) intact = false;
+    w.off += size;
+  }
+  return intact;
+}
+
+/// Inspect a store directory via its MANIFEST; returns whether every listed
+/// snapshot is intact.
+bool inspect_dir(const std::string& dir) {
+  std::ifstream manifest(dir + "/MANIFEST");
+  if (!manifest) {
+    std::printf("%s: no MANIFEST (not a checkpoint store?)\n", dir.c_str());
+    return false;
+  }
+  bool all_ok = true;
+  std::size_t entries = 0;
+  std::string name;
+  std::uint64_t round = 0;
+  while (manifest >> name >> round) {
+    ++entries;
+    if (!inspect_file(dir + "/" + name)) all_ok = false;
+    std::printf("\n");
+  }
+  std::printf("%zu snapshot(s) in %s: %s\n", entries, dir.c_str(),
+              all_ok && entries > 0 ? "all intact" : "DAMAGE FOUND");
+  return all_ok && entries > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <snapshot.abck | store-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const bool ok = is_directory(path) ? inspect_dir(path) : inspect_file(path);
+  return ok ? 0 : 1;
+}

@@ -13,10 +13,14 @@
 //
 //   ./validate_jsonl run.jsonl [key ...] [--runner NAME key ...] [--group net] ...
 //
-// `--group NAME` expands to a predefined set of --runner groups.  The only
-// group today is "net": the transport layer's per-link-class traffic
-// ("net_link") and retry/loss event ("net_events") records emitted by
-// net::Transport::record_traffic().
+// `--group NAME` expands to a predefined set of --runner groups:
+//
+//   net   the transport layer's per-link-class traffic ("net_link") and
+//         retry/loss event ("net_events") records emitted by
+//         net::Transport::record_traffic();
+//   ckpt  the checkpoint store's snapshot lifecycle ("ckpt_save" per staged
+//         or installed snapshot, "ckpt_restore" per successful load) emitted
+//         by ckpt::Store.
 //
 // Exits 0 and prints a one-line summary when every line passes; exits 1
 // with the offending line number and reason otherwise.  The parser lives in
@@ -41,7 +45,7 @@ struct Schema {
 };
 
 // Predefined --group expansions.  Keep in sync with the record writers they
-// describe (net: net::Transport::record_traffic).
+// describe (net: net::Transport::record_traffic; ckpt: ckpt::Store).
 const std::map<std::string, std::map<std::string, std::vector<std::string>>>&
 group_schemas() {
   static const std::map<std::string, std::map<std::string, std::vector<std::string>>>
@@ -52,6 +56,9 @@ group_schemas() {
               "bytes_received"}},
             {"net_events",
              {"retries", "reconnects", "timeouts", "peer_losses", "decode_errors"}}}},
+          {"ckpt",
+           {{"ckpt_save", {"seq", "bytes"}},
+            {"ckpt_restore", {"seq", "bytes", "skipped"}}}},
       };
   return groups;
 }
