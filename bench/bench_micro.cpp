@@ -32,6 +32,7 @@
 #include "agg/aggregator.hpp"
 #include "consensus/voting.hpp"
 #include "data/synth_digits.hpp"
+#include "net/wire.hpp"
 #include "nn/quantize.hpp"
 #include "sim/simulator.hpp"
 #include "tensor/kernels.hpp"
@@ -234,6 +235,174 @@ void BM_Quantize(benchmark::State& state) {
 }
 BENCHMARK(BM_Quantize)->Args({10000, 8})->Args({10000, 4})->Args({100000, 8});
 
+// --- src/net wire codec hot path (DESIGN.md §11) ---------------------------
+// The before/after pairs the zero-copy PR is gated on: BM_WireDecode's
+// "dense_copy" is the legacy materializing decode_frame, "dense_view" the
+// FrameView + model_update_params span path.  BM_WireRound models one root
+// round at n workers (encode at every worker, decode at the root) and
+// reports the codec's wire bytes next to the dense-equivalent bytes as
+// counters, so BENCH_wire.json carries bytes/round and rounds/sec directly.
+
+struct WireMode {
+  bool topk10 = false;    // top-k sparsification with k = d/10
+  std::uint8_t bits = 0;  // quantize_bits
+  bool delta = false;     // delta-vs-last-round (links warmed before timing)
+  bool view = false;      // decode through the zero-copy span path
+};
+
+net::ModelUpdate make_update(std::size_t d, std::uint64_t seed) {
+  net::ModelUpdate update;
+  update.sender = 5;
+  update.level = 1;
+  update.samples = 160;
+  update.params = make_vec(d, seed);
+  return update;
+}
+
+net::Codec wire_codec(const WireMode& mode, std::size_t d) {
+  net::Codec codec;
+  if (mode.topk10) codec.topk = static_cast<std::uint32_t>(d < 10 ? 1 : d / 10);
+  codec.quantize_bits = mode.bits;
+  codec.delta = mode.delta;
+  return codec;
+}
+
+void BM_WireEncode(benchmark::State& state, const WireMode& mode) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const net::Payload payload{make_update(d, 31)};
+  const net::Codec codec = wire_codec(mode, d);
+  const net::Envelope env{5, 0, 2};
+  net::CodecState tx;
+  net::EncodedParts parts;
+  if (codec.delta) {  // warm the link so every timed frame is a real delta
+    net::encode_frame_parts(env, payload, codec, &tx, parts);
+    parts.commit_tx(tx);
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    net::encode_frame_parts(env, payload, codec, &tx, parts);
+    bytes = parts.size();
+    benchmark::DoNotOptimize(parts.head.data());
+  }
+  state.counters["bytes_wire"] = static_cast<double>(bytes);
+  state.counters["bytes_raw"] = static_cast<double>(net::encoded_size(payload));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d));
+}
+
+void BM_WireDecode(benchmark::State& state, const WireMode& mode) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const net::Codec codec = wire_codec(mode, d);
+  const auto frame = net::encode_frame({5, 0, 2}, make_update(d, 31), codec);
+  std::vector<float> scratch;
+  double sink = 0.0;
+  if (mode.view) {
+    for (auto _ : state) {
+      const net::FrameView view = net::FrameView::parse(frame);
+      const auto params = net::model_update_params(view, nullptr, scratch);
+      sink += params[d - 1];
+    }
+  } else {
+    for (auto _ : state) {
+      net::WireMessage msg = net::decode_frame(frame);
+      sink += std::get<net::ModelUpdate>(msg.payload).params[d - 1];
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["bytes_wire"] = static_cast<double>(frame.size());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d));
+}
+
+void BM_WireRound(benchmark::State& state, const WireMode& mode) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const net::Codec codec = wire_codec(mode, d);
+  std::vector<net::Payload> payloads;
+  payloads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) payloads.emplace_back(make_update(d, 100 + i));
+  std::vector<net::CodecState> tx(n), rx(n);
+  net::EncodedParts parts;
+  std::vector<std::uint8_t> frame;
+  std::vector<float> scratch;
+  if (codec.delta) {  // first round seeds every link's base out of band
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::Envelope env{static_cast<net::NodeId>(i + 1), 0, 1};
+      net::encode_frame_parts(env, payloads[i], codec, &tx[i], parts);
+      parts.commit_tx(tx[i]);
+      frame = parts.concat();
+      (void)net::decode_frame(frame, &rx[i]);
+    }
+  }
+  std::uint64_t bytes_round = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    bytes_round = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::Envelope env{static_cast<net::NodeId>(i + 1), 0, 2};
+      net::encode_frame_parts(env, payloads[i], codec, &tx[i], parts);
+      parts.commit_tx(tx[i]);
+      frame = parts.concat();
+      bytes_round += frame.size();
+      if (mode.view) {
+        const net::FrameView view = net::FrameView::parse(frame);
+        net::CodecState* rs = codec.delta ? &rx[i] : nullptr;
+        const auto params = net::model_update_params(view, rs, scratch);
+        sink += params[0];
+      } else {
+        net::WireMessage msg =
+            codec.delta ? net::decode_frame(frame, &rx[i]) : net::decode_frame(frame);
+        sink += std::get<net::ModelUpdate>(msg.payload).params[0];
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["bytes_round"] = static_cast<double>(bytes_round);
+  state.counters["bytes_round_raw"] =
+      static_cast<double>(n) * static_cast<double>(net::encoded_size(payloads[0]));
+  state.counters["rounds_per_sec"] =
+      benchmark::Counter(1.0, benchmark::Counter::kIsIterationInvariantRate);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * d));
+}
+
+void RegisterWireBenches() {
+  struct Named {
+    const char* name;
+    WireMode mode;
+  };
+  const std::vector<Named> encodes = {
+      {"BM_WireEncode/dense", {}},
+      {"BM_WireEncode/q8", {.bits = 8}},
+      {"BM_WireEncode/topk10", {.topk10 = true}},
+      {"BM_WireEncode/topk10_delta", {.topk10 = true, .delta = true}},
+  };
+  const std::vector<Named> decodes = {
+      {"BM_WireDecode/dense_copy", {}},
+      {"BM_WireDecode/dense_view", {.view = true}},
+      {"BM_WireDecode/q8", {.bits = 8}},
+      {"BM_WireDecode/topk10", {.topk10 = true}},
+  };
+  const std::vector<Named> rounds = {
+      {"BM_WireRound/dense_copy", {}},
+      {"BM_WireRound/dense_view", {.view = true}},
+      {"BM_WireRound/topk10", {.topk10 = true, .view = true}},
+      {"BM_WireRound/topk10_delta", {.topk10 = true, .delta = true, .view = true}},
+  };
+  for (const auto& e : encodes) {
+    benchmark::RegisterBenchmark(e.name, [mode = e.mode](benchmark::State& s) {
+      BM_WireEncode(s, mode);
+    })->Arg(10000)->Arg(100000);
+  }
+  for (const auto& e : decodes) {
+    benchmark::RegisterBenchmark(e.name, [mode = e.mode](benchmark::State& s) {
+      BM_WireDecode(s, mode);
+    })->Arg(10000)->Arg(100000);
+  }
+  for (const auto& e : rounds) {
+    benchmark::RegisterBenchmark(e.name, [mode = e.mode](benchmark::State& s) {
+      BM_WireRound(s, mode);
+    })->Args({64, 10000})->Args({64, 100000});
+  }
+}
+
 /// Console reporter that additionally accumulates per-run timings so main()
 /// can write the compact BENCH_micro.json artifact.  Benchmark names follow
 /// "<op>[/<rule>]/<n>/<d>/<threads>" with a variable number of numeric args;
@@ -247,6 +416,7 @@ class MicroJsonReporter : public benchmark::ConsoleReporter {
     std::int64_t d = 0;
     std::int64_t threads = 1;
     std::vector<double> ns_per_iter;  // one sample per repetition
+    std::map<std::string, double> counters;  // user counters, first repetition
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -259,6 +429,11 @@ class MicroJsonReporter : public benchmark::ConsoleReporter {
       if (e.op.empty()) parse_name(run.benchmark_name(), e);
       e.ns_per_iter.push_back(run.real_accumulated_time /
                               static_cast<double>(run.iterations) * 1e9);
+      if (e.counters.empty()) {
+        for (const auto& [name, counter] : run.counters) {
+          e.counters[name] = counter.value;
+        }
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -268,6 +443,7 @@ class MicroJsonReporter : public benchmark::ConsoleReporter {
   [[nodiscard]] bool write(const std::string& path) const {
     std::ofstream out(path);
     if (!out) return false;
+    out.precision(12);
     out << "[\n";
     bool first = true;
     for (const auto& [name, e] : entries_) {
@@ -282,7 +458,11 @@ class MicroJsonReporter : public benchmark::ConsoleReporter {
       out << "  {\"name\": \"" << name << "\", \"op\": \"" << e.op
           << "\", \"n\": " << e.n << ", \"d\": " << e.d
           << ", \"threads\": " << e.threads << ", \"median_ns\": " << median
-          << ", \"repetitions\": " << xs.size() << "}";
+          << ", \"repetitions\": " << xs.size();
+      for (const auto& [key, value] : e.counters) {
+        out << ", \"" << key << "\": " << value;
+      }
+      out << "}";
     }
     out << "\n]\n";
     return out.good();
@@ -340,6 +520,7 @@ int main(int argc, char** argv) {
 
   CheckParallelDeterminism();
   RegisterAggBenches();
+  RegisterWireBenches();
   benchmark::Initialize(&argc, argv);
   MicroJsonReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);

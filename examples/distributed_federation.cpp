@@ -235,12 +235,18 @@ int main(int argc, char** argv) {
       cli.integer("samples-per-class", 12, "training samples per digit class"));
   config.local_iters =
       static_cast<std::size_t>(cli.integer("local-iters", 8, "SGD iters per round"));
+  const std::string compress = cli.str(
+      "compress", "", "codec spec: topk:K, delta, or topk:K,delta (lossy paths)");
   const bool kill_worker =
       cli.boolean("kill-worker", false, "kill one TCP worker mid-run (churn demo)");
   const bool skip_tcp = cli.boolean("skip-tcp", false, "run only reference + loopback");
   const auto obs_opts = obs::declare_cli(cli);
   const auto ckpt_opts = ckpt::declare_cli(cli);
   if (!cli.finish()) return 0;
+  if (!net::apply_compress_spec(compress, config)) {
+    std::fprintf(stderr, "invalid --compress spec '%s'\n", compress.c_str());
+    return 2;
+  }
 
   obs::Recorder recorder;
   obs::TraceBuffer trace;
@@ -254,12 +260,25 @@ int main(int argc, char** argv) {
 
   const net::RootResult loop = run_loopback(config, rec, rec ? &trace : nullptr);
   std::printf("loopback  (1 process):       accuracy %.4f\n", loop.final_accuracy);
-  const bool bitwise =
-      loop.global_model.size() == reference.global.size() &&
-      std::memcmp(loop.global_model.data(), reference.global.data(),
-                  reference.global.size() * sizeof(float)) == 0;
-  std::printf("loopback vs reference:       %s\n",
-              bitwise ? "bitwise equal" : "MISMATCH");
+  // A dense uncompressed codec adds zero arithmetic, so the loopback run
+  // must be bitwise the reference.  Top-k and delta transform the values on
+  // the wire — there the invariant is convergence, not identity.
+  const bool lossless = config.topk == 0 && !config.delta && config.quantize_bits == 0;
+  bool bitwise = true;
+  if (lossless) {
+    bitwise = loop.global_model.size() == reference.global.size() &&
+              std::memcmp(loop.global_model.data(), reference.global.data(),
+                          reference.global.size() * sizeof(float)) == 0;
+    std::printf("loopback vs reference:       %s\n",
+                bitwise ? "bitwise equal" : "MISMATCH");
+  } else {
+    // Lossy codec: the invariant is that the federation still completes; how
+    // much accuracy the compression costs is the experiment, not a failure.
+    const double gap = loop.final_accuracy - reference.accuracy;
+    bitwise = loop.rounds_run == config.rounds;
+    std::printf("loopback vs reference:       %+.4f accuracy (lossy codec)%s\n", gap,
+                bitwise ? "" : "  FAILED to complete");
+  }
 
   bool tcp_ok = true;
   if (!skip_tcp) {
@@ -283,11 +302,16 @@ int main(int argc, char** argv) {
       tcp_ok = tcp.children_ok && tcp.result.rounds_run == config.rounds &&
                tcp.result.workers_lost == 1;
       std::printf("kill-worker churn path:      %s\n", tcp_ok ? "completed" : "FAILED");
-    } else {
+    } else if (lossless) {
       const double gap = tcp.result.final_accuracy - reference.accuracy;
       tcp_ok = tcp.children_ok && tcp.result.rounds_run == config.rounds &&
                gap > -0.01 && gap < 0.01;
       std::printf("tcp vs reference:            %+.4f (|gap| < 0.01 required)\n", gap);
+    } else {
+      const double gap = tcp.result.final_accuracy - reference.accuracy;
+      tcp_ok = tcp.children_ok && tcp.result.rounds_run == config.rounds;
+      std::printf("tcp vs reference:            %+.4f accuracy (lossy codec)%s\n", gap,
+                  tcp_ok ? "" : "  FAILED to complete");
     }
   }
 

@@ -32,8 +32,13 @@ SendStatus LoopbackTransport::send(const Envelope& env, const Payload& payload,
   if (handlers_.find(env.to) == handlers_.end()) return SendStatus::kNoRoute;
   obs::Span span(trace(), "net_send", static_cast<std::size_t>(env.round), env.to);
 
-  auto frame = encode_frame(env, payload, codec_for(env.to));
-  note_sent(frame.size(), link_class);
+  const Codec codec = codec_for(env.to);
+  CodecState* tx = codec.delta ? &tx_codec_state(env.from, env.to) : nullptr;
+  encode_frame_parts(env, payload, codec, tx, tx_parts_);
+  auto frame = tx_parts_.concat();
+  // Queueing is delivery here (FIFO, no losses), so the tx base commits now.
+  if (tx != nullptr) tx_parts_.commit_tx(*tx);
+  note_sent(frame.size(), encoded_size(payload), link_class);
 
   if (network_ != nullptr) {
     sim::Message msg;
@@ -73,20 +78,21 @@ std::size_t LoopbackTransport::poll(double timeout_s) {
 
 void LoopbackTransport::deliver(const std::vector<std::uint8_t>& frame,
                                 std::uint32_t link_class) {
-  WireMessage msg;
+  FrameView view;
   try {
-    msg = decode_frame(frame);
+    view = FrameView::parse(frame);
   } catch (const WireError&) {
     note_decode_error();
     return;
   }
-  note_received(frame.size(), link_class);
-  if (trace() != nullptr) {
-    trace()->push({trace()->seconds_since_epoch(), static_cast<std::size_t>(msg.env.round),
-                   "net_recv", msg.env.to, 0, 0.0, 0});
+  const auto it = handlers_.find(view.env().to);
+  try {
+    deliver_frame(view, link_class,
+                  it != handlers_.end() ? it->second : MessageHandler{});
+  } catch (const WireError&) {
+    // Loopback has no connection to drop; the frame is simply rejected.
+    note_decode_error();
   }
-  const auto it = handlers_.find(msg.env.to);
-  if (it != handlers_.end()) it->second(msg);
 }
 
 }  // namespace abdhfl::net

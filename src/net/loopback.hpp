@@ -5,13 +5,19 @@
 // from TCP only in where the bytes travel, so traffic accounting, codec
 // behaviour, and corruption detection are identical across backends (the
 // property the distributed runner's bitwise-equivalence check relies on).
+// Delivery funnels through the shared Transport::deliver_frame tail, so the
+// zero-copy raw-handler path (FrameView spans into the queued frame) and the
+// per-link delta bases behave exactly like the socket backend.
 //
 // Two delivery modes:
 //   * standalone — frames queue in FIFO order and are delivered on poll();
+//     FIFO order is what makes the delta codec safe here;
 //   * simulator-backed — frames ride sim::Network as Message payloads, so
 //     the latency models and the discrete-event clock apply and the sim's
 //     per-link-class byte meters report *real encoded* frame sizes instead
 //     of caller estimates.  Delivery then happens inside Simulator::run().
+//     Latency models may reorder frames, so the delta codec must not be
+//     negotiated over a sim-backed loopback (DESIGN.md §11).
 
 #include <deque>
 #include <unordered_map>
@@ -48,6 +54,9 @@ class LoopbackTransport : public Transport {
   sim::Network* network_ = nullptr;
   std::unordered_map<NodeId, MessageHandler> handlers_;
   std::deque<std::pair<std::vector<std::uint8_t>, std::uint32_t>> queue_;
+  // Reused encode staging (capacity persists across sends; handlers never
+  // run inside send(), so a single scratch is safe).
+  EncodedParts tx_parts_;
 };
 
 }  // namespace abdhfl::net

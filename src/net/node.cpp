@@ -26,6 +26,33 @@ double wall_now() {
 
 }  // namespace
 
+bool apply_compress_spec(const std::string& spec, FederationConfig& config) {
+  FederationConfig parsed = config;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string token = spec.substr(pos, comma - pos);
+    if (token == "delta") {
+      parsed.delta = true;
+    } else if (token.rfind("topk:", 0) == 0) {
+      const std::string num = token.substr(5);
+      if (num.empty() || num.size() > 9 ||
+          num.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+      }
+      const unsigned long k = std::stoul(num);
+      if (k == 0) return false;
+      parsed.topk = static_cast<std::uint32_t>(k);
+    } else if (!token.empty()) {
+      return false;
+    }
+    if (comma >= spec.size()) break;
+    pos = comma + 1;
+  }
+  config = parsed;
+  return true;
+}
+
 FederationData build_federation_data(const FederationConfig& config) {
   if (config.workers == 0 || config.devices_per_worker == 0) {
     throw std::invalid_argument("federation needs at least one worker and device");
@@ -62,16 +89,22 @@ core::LocalTrainer make_device_trainer(const FederationConfig& config,
   return core::LocalTrainer(data.shards[device], data.prototype.clone(), rng);
 }
 
-std::vector<float> merge_models(std::span<const float> global,
-                                std::span<const float> local, double alpha) {
+void merge_models_into(std::span<const float> global, std::span<const float> local,
+                       double alpha, std::vector<float>& out) {
   if (global.size() != local.size()) {
     throw std::invalid_argument("merge_models: dimension mismatch");
   }
   const float a = static_cast<float>(alpha);
-  std::vector<float> merged(global.size());
-  for (std::size_t i = 0; i < merged.size(); ++i) {
-    merged[i] = a * global[i] + (1.0f - a) * local[i];
+  out.resize(global.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a * global[i] + (1.0f - a) * local[i];
   }
+}
+
+std::vector<float> merge_models(std::span<const float> global,
+                                std::span<const float> local, double alpha) {
+  std::vector<float> merged;
+  merge_models_into(global, local, alpha, merged);
   return merged;
 }
 
@@ -113,7 +146,7 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
   current_ = data.init_params;
   if (checkpoint_ != nullptr && resume) restore_checkpoint();
 
-  transport_.register_node(id_, [this](const WireMessage& msg) { on_message(msg); });
+  transport_.register_node(id_, [this](WireMessage& msg) { on_message(msg); });
   transport_.add_peer_loss_handler([this](NodeId peer) {
     if (peer == kRootId && !done_) finish(/*failed=*/true);
   });
@@ -126,6 +159,8 @@ void WorkerNode::start() {
   join.cluster = static_cast<std::uint32_t>(index_);
   join.subtree_samples = subtree_samples_;
   join.codec.quantize_bits = config_.quantize_bits;
+  join.codec.topk = config_.topk;
+  join.codec.delta = config_.delta;
   const SendStatus status =
       transport_.send({id_, kRootId, 0}, join, kLeaderLinkClass);
   if (status != SendStatus::kOk) finish(/*failed=*/true);
@@ -133,7 +168,7 @@ void WorkerNode::start() {
 
 void WorkerNode::on_idle() {}
 
-void WorkerNode::on_message(const WireMessage& msg) {
+void WorkerNode::on_message(WireMessage& msg) {
   if (done_) return;
   if (msg.kind == MsgKind::kMembership) {
     const auto& member = std::get<Membership>(msg.payload);
@@ -164,7 +199,7 @@ void WorkerNode::on_message(const WireMessage& msg) {
   if (msg.kind == MsgKind::kPartialModel) {
     const auto& partial = std::get<PartialModel>(msg.payload);
     if (msg.env.round != round_) return;  // stale frame from a dropped round
-    current_ = merge_models(partial.params, last_cluster_, partial.alpha);
+    merge_models_into(partial.params, last_cluster_, partial.alpha, current_);
     ++round_;
     if (recorder_ != nullptr) {
       obs::RoundRecord& rec = recorder_->begin_round("dist_worker", round_ - 1);
@@ -192,13 +227,18 @@ void WorkerNode::on_message(const WireMessage& msg) {
 
 void WorkerNode::train_and_send() {
   last_cluster_ = cluster_round(config_, trainers_, *rule_, current_);
-  ModelUpdate update;
+  // Build the Payload variant in place and lend last_cluster_ to it for the
+  // duration of the send — the old copy-into-update staging was a full O(d)
+  // copy every round.
+  Payload payload(std::in_place_type<ModelUpdate>);
+  auto& update = std::get<ModelUpdate>(payload);
   update.sender = id_;
   update.level = 1;
   update.samples = subtree_samples_;
-  update.params = last_cluster_;
+  update.params = std::move(last_cluster_);
   const SendStatus status =
-      transport_.send({id_, kRootId, round_}, update, kLeaderLinkClass);
+      transport_.send({id_, kRootId, round_}, payload, kLeaderLinkClass);
+  last_cluster_ = std::move(update.params);
   if (status != SendStatus::kOk) finish(/*failed=*/true);
 }
 
@@ -311,7 +351,9 @@ RootNode::RootNode(FederationConfig config, Transport& transport,
       tree_(topology::build_ecsm(2, config_.devices_per_worker, config_.workers)),
       global_(data_.init_params) {
   if (checkpoint_ != nullptr && resume) restore_checkpoint();
-  transport_.register_node(kRootId, [this](const WireMessage& msg) { on_message(msg); });
+  transport_.register_node(kRootId, [this](WireMessage& msg) { on_message(msg); });
+  transport_.set_raw_handler(kRootId,
+                             [this](const FrameView& view) { return on_raw_frame(view); });
   transport_.add_peer_loss_handler([this](NodeId peer) { on_peer_loss(peer); });
   transport_.add_peer_reconnect_handler(
       [this](NodeId peer) { on_peer_reconnect(peer); });
@@ -334,14 +376,14 @@ void RootNode::on_idle() {
     // Round deadline: workers that never delivered are treated as lost.
     const std::set<NodeId> live = live_;
     for (const NodeId worker : live) {
-      if (pending_.find(worker) == pending_.end()) on_peer_loss(worker);
+      if (!has_update(worker)) on_peer_loss(worker);
     }
     return;
   }
   if (phase_ == Phase::kFinishing) phase_ = Phase::kDone;  // stragglers' loss
 }
 
-void RootNode::on_message(const WireMessage& msg) {
+void RootNode::on_message(WireMessage& msg) {
   if (phase_ == Phase::kDone) return;
   switch (msg.kind) {
     case MsgKind::kMembership: {
@@ -349,10 +391,17 @@ void RootNode::on_message(const WireMessage& msg) {
       if (member.event == Membership::Event::kJoin && phase_ == Phase::kJoining) {
         live_.insert(msg.env.from);
         subtree_samples_[msg.env.from] = member.subtree_samples;
-        // Codec negotiation: accept what the worker advertised (bounded by
-        // our own config) and fix it for both directions of the link.
+        // Codec negotiation: the link gets what both sides support — the
+        // worker's advertisement bounded by our own config.  Quantization
+        // takes the coarser of the two, top-k the smaller k (only when both
+        // asked for it), delta only when both sides opted in (the rx side
+        // must be willing to hold the per-link base cache).
         Codec chosen = member.codec;
         chosen.quantize_bits = std::min(chosen.quantize_bits, config_.quantize_bits);
+        chosen.topk = (chosen.topk != 0 && config_.topk != 0)
+                          ? std::min(chosen.topk, config_.topk)
+                          : 0;
+        chosen.delta = chosen.delta && config_.delta;
         transport_.set_peer_codec(msg.env.from, chosen);
         if (live_.size() >= config_.workers) begin_training();
       } else if (member.event == Membership::Event::kLeave) {
@@ -366,8 +415,10 @@ void RootNode::on_message(const WireMessage& msg) {
       if (phase_ != Phase::kTraining) return;
       if (msg.env.round != round_) return;  // stale retransmission
       if (live_.find(msg.env.from) == live_.end()) return;
-      const auto& update = std::get<ModelUpdate>(msg.payload);
-      pending_[msg.env.from] = update.params;
+      if (arrived_.find(msg.env.from) != arrived_.end()) return;  // already folded
+      auto& update = std::get<ModelUpdate>(msg.payload);
+      pending_[msg.env.from] = std::move(update.params);
+      if (stream_ != nullptr) drain_pending_into_stream();
       maybe_aggregate();
       return;
     }
@@ -379,6 +430,7 @@ void RootNode::on_message(const WireMessage& msg) {
 void RootNode::begin_training() {
   result_.workers_joined = live_.size();
   phase_ = Phase::kTraining;
+  arm_stream();
   phase_deadline_ = wall_now() + config_.round_timeout_s;
   // Echo every join: this is the workers' starting gun.  The envelope round
   // is round_ (0 for a fresh run, the restored counter after a root resume)
@@ -393,42 +445,133 @@ void RootNode::begin_training() {
   }
 }
 
+void RootNode::arm_stream() {
+  arrived_.clear();
+  stream_ = rule_->make_stream(data_.init_params.size());
+}
+
+bool RootNode::has_update(NodeId worker) const {
+  return pending_.find(worker) != pending_.end() ||
+         arrived_.find(worker) != arrived_.end();
+}
+
+void RootNode::drain_pending_into_stream() {
+  // The stream folds inputs in ascending node id — the exact order the
+  // materialized path's std::map iteration produces — so an update may only
+  // be fed once every smaller live id has been.  Out-of-order arrivals wait
+  // in pending_, which therefore holds at most the reorder gap, not the
+  // whole quorum.
+  for (;;) {
+    NodeId next = 0;
+    bool expecting = false;
+    for (const NodeId worker : live_) {
+      if (arrived_.find(worker) == arrived_.end()) {
+        next = worker;
+        expecting = true;
+        break;
+      }
+    }
+    if (!expecting) return;
+    const auto it = pending_.find(next);
+    if (it == pending_.end()) return;
+    stream_->begin_input();
+    stream_->add_chunk(0, it->second);
+    stream_->end_input();
+    arrived_.insert(next);
+    pending_.erase(it);
+  }
+}
+
+bool RootNode::on_raw_frame(const FrameView& view) {
+  if (stream_ == nullptr || phase_ != Phase::kTraining) return false;
+  if (view.kind() != MsgKind::kModelUpdate) return false;
+  const Envelope env = view.env();
+  if (env.to != kRootId || env.round != round_) return false;
+  if (live_.find(env.from) == live_.end()) return false;
+  if (arrived_.find(env.from) != arrived_.end() ||
+      pending_.find(env.from) != pending_.end()) {
+    // Duplicate: decline so the decode path still applies the frame's delta
+    // rx-cache update before on_message ignores it.
+    return false;
+  }
+  // Zero-copy only for the next input in id order (see
+  // drain_pending_into_stream); anything else falls back to decode-and-
+  // buffer so the fold order never depends on arrival order.
+  for (const NodeId worker : live_) {
+    if (worker == env.from) break;
+    if (arrived_.find(worker) == arrived_.end()) return false;
+  }
+  const ModelUpdateHead head = peek_model_update(view);
+  if (head.param_count != data_.init_params.size()) return false;
+  CodecState* rx = transport_.codec_for(env.from).delta
+                       ? &transport_.rx_codec_state(env.from, kRootId)
+                       : nullptr;
+  const std::span<const float> params = model_update_params(view, rx, stream_scratch_);
+  stream_->begin_input();
+  stream_->add_chunk(0, params);
+  stream_->end_input();
+  arrived_.insert(env.from);
+  drain_pending_into_stream();
+  maybe_aggregate();
+  return true;
+}
+
 void RootNode::maybe_aggregate() {
   if (phase_ != Phase::kTraining || live_.empty()) return;
-  if (pending_.size() < live_.size()) return;
-
-  // Deterministic input order: pending_ is keyed by node id, and std::map
-  // iterates in ascending key order regardless of arrival order.
-  std::vector<agg::ModelVec> inputs;
-  inputs.reserve(pending_.size());
-  for (const auto& [worker, params] : pending_) inputs.push_back(params);
-  rule_->set_reference(global_);
-  global_ = rule_->aggregate(inputs);
-  pending_.clear();
+  std::size_t n_inputs = 0;
+  if (stream_ != nullptr) {
+    for (const NodeId worker : live_) {
+      if (arrived_.find(worker) == arrived_.end()) return;
+    }
+    // Streaming fold complete: every live worker's update has been folded in
+    // ascending id order, so finish() is bitwise what aggregate() over the
+    // materialized vectors would have produced.
+    n_inputs = stream_->inputs();
+    rule_->set_reference(global_);
+    global_ = stream_->finish();
+    stream_.reset();
+    arrived_.clear();
+    pending_.clear();
+  } else {
+    if (pending_.size() < live_.size()) return;
+    // Deterministic input order: pending_ is keyed by node id, and std::map
+    // iterates in ascending key order regardless of arrival order.  The
+    // vectors are moved, not copied — pending_ is dead after this.
+    std::vector<agg::ModelVec> inputs;
+    inputs.reserve(pending_.size());
+    for (auto& [worker, params] : pending_) inputs.push_back(std::move(params));
+    n_inputs = inputs.size();
+    rule_->set_reference(global_);
+    global_ = rule_->aggregate(inputs);
+    pending_.clear();
+  }
 
   const double accuracy =
       core::evaluate_params(data_.prototype, global_, data_.test_set);
   result_.round_accuracy.push_back(accuracy);
   result_.final_accuracy = accuracy;
-  result_.global_model = global_;
   result_.rounds_run = round_ + 1;
   if (recorder_ != nullptr) {
     obs::RoundRecord& rec = recorder_->begin_round("dist_root", round_);
     rec.set("accuracy", accuracy);
     rec.set("live_workers", static_cast<double>(live_.size()));
-    rec.set("inputs", static_cast<double>(inputs.size()));
+    rec.set("inputs", static_cast<double>(n_inputs));
   }
 
-  PartialModel partial;
+  // Broadcast the global model without staging a copy per send: the Payload
+  // borrows global_ for the duration of the loop and hands it back after.
+  Payload payload(std::in_place_type<PartialModel>);
+  auto& partial = std::get<PartialModel>(payload);
   partial.origin = kRootId;
   partial.flag_level = 0;
   partial.is_global = true;
   partial.alpha = static_cast<float>(config_.alpha);
   partial.flag_fraction = 1.0;  // the global model covers all of D_G
-  partial.params = global_;
+  partial.params = std::move(global_);
   for (const NodeId worker : live_) {
-    transport_.send({kRootId, worker, round_}, partial, kLeaderLinkClass);
+    transport_.send({kRootId, worker, round_}, payload, kLeaderLinkClass);
   }
+  global_ = std::move(partial.params);
 
   ++round_;
   phase_deadline_ = wall_now() + config_.round_timeout_s;
@@ -438,8 +581,11 @@ void RootNode::maybe_aggregate() {
     save_checkpoint();
   }
   if (round_ >= config_.rounds) {
+    result_.global_model = global_;
     phase_ = Phase::kFinishing;
     maybe_finish();
+  } else {
+    arm_stream();
   }
 }
 
@@ -466,9 +612,15 @@ void RootNode::on_peer_loss(NodeId peer) {
   }
   if (phase_ == Phase::kTraining) {
     if (live_.empty()) {
+      // Nothing can aggregate any more: publish whatever the last completed
+      // round produced (nothing, for a fresh run that never aggregated).
+      if (!result_.round_accuracy.empty()) result_.global_model = global_;
       phase_ = Phase::kDone;
     } else {
-      maybe_aggregate();  // the quorum may now be complete
+      // The loss may have closed a reorder gap as well as completed the
+      // quorum.
+      if (stream_ != nullptr) drain_pending_into_stream();
+      maybe_aggregate();
     }
   } else if (phase_ == Phase::kFinishing) {
     maybe_finish();

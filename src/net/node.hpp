@@ -79,9 +79,18 @@ struct FederationConfig {
   std::string cluster_rule = "trimmed_mean";  // BRA at each worker
   std::string root_rule = "median";           // BRA at the root
   std::uint8_t quantize_bits = 0;     // codec workers advertise (0 = raw)
+  std::uint32_t topk = 0;             // top-k sparsification (0 = dense)
+  bool delta = false;                 // delta-vs-last-round encoding
   double join_timeout_s = 20.0;       // root's wait for worker joins
   double round_timeout_s = 60.0;      // root's wait for a round's updates
 };
+
+/// Parse a --compress spec — a comma list of "topk:K" (sparsify updates to
+/// the K largest-magnitude entries) and "delta" (encode against the link's
+/// previous model) — into the config's codec fields.  Returns false on a
+/// malformed spec, leaving `config` untouched.  An empty spec is valid and
+/// changes nothing.
+[[nodiscard]] bool apply_compress_spec(const std::string& spec, FederationConfig& config);
 
 inline constexpr NodeId kRootId = 0;
 [[nodiscard]] inline NodeId worker_node_id(std::size_t worker_index) noexcept {
@@ -111,6 +120,12 @@ struct FederationData {
 /// Eq. 1 merge: alpha * global + (1 - alpha) * local, elementwise.
 [[nodiscard]] std::vector<float> merge_models(std::span<const float> global,
                                               std::span<const float> local, double alpha);
+
+/// Allocation-free variant: writes the merge into `out` (resized to match).
+/// `out` must not alias either input.  Same arithmetic as merge_models —
+/// the bitwise-equivalence check depends on it.
+void merge_models_into(std::span<const float> global, std::span<const float> local,
+                       double alpha, std::vector<float>& out);
 
 /// One worker-local round: train every trainer from `start`, aggregate with
 /// `rule`.  Exposed so the transport-free reference loop and WorkerNode
@@ -152,7 +167,7 @@ class WorkerNode {
   [[nodiscard]] std::size_t resume_round() const noexcept { return resume_round_; }
 
  private:
-  void on_message(const WireMessage& msg);
+  void on_message(WireMessage& msg);
   void train_and_send();
   void finish(bool failed);
   void save_checkpoint();
@@ -210,10 +225,26 @@ class RootNode {
  private:
   enum class Phase { kJoining, kTraining, kFinishing, kDone };
 
-  void on_message(const WireMessage& msg);
+  void on_message(WireMessage& msg);
+  /// Zero-copy fast path: a complete ModelUpdate frame destined for us,
+  /// offered before decode.  When the round's rule streams (stream_ != null)
+  /// and the frame passes the same guards on_message applies, its parameter
+  /// chunk is fed straight from the rx ring into the accumulator and the
+  /// frame is consumed — no WireMessage, no materialized input vector.
+  /// Returns false to fall back to the decode path (which keeps delta rx
+  /// caches in sync for frames this node ignores).
+  bool on_raw_frame(const FrameView& view);
   void on_peer_loss(NodeId peer);
   void on_peer_reconnect(NodeId peer);
   void begin_training();
+  /// (Re)arm the streaming accumulator for the round about to be collected;
+  /// no-op (materialize-first) when the root rule cannot stream.
+  void arm_stream();
+  /// Fold buffered out-of-order updates into the stream while the next
+  /// expected node id (ascending over live_) is available.
+  void drain_pending_into_stream();
+  /// Whether `worker` already delivered this round's update.
+  [[nodiscard]] bool has_update(NodeId worker) const;
   void maybe_aggregate();  // fires once every live worker's update arrived
   void maybe_finish();
   void apply_churn(NodeId worker);
@@ -234,7 +265,16 @@ class RootNode {
   std::set<NodeId> live_;
   std::set<NodeId> left_;
   std::map<NodeId, std::uint64_t> subtree_samples_;
-  std::map<NodeId, std::vector<float>> pending_;  // current round's updates
+  std::map<NodeId, std::vector<float>> pending_;  // current round (materialized)
+  // Streaming collection (DESIGN.md §11): when the root rule is
+  // streaming-safe, each round's updates are folded into `stream_` as their
+  // frames arrive and `arrived_` replaces pending_ as the quorum ledger —
+  // root memory stays O(d) instead of O(live × d).  A worker lost after
+  // contributing cannot be un-added (its input stays in the fold; the
+  // materialized path would have dropped it), the one documented divergence.
+  std::unique_ptr<agg::StreamAccumulator> stream_;
+  std::set<NodeId> arrived_;
+  std::vector<float> stream_scratch_;  // decode target for transformed frames
   std::vector<float> global_;
   std::size_t round_ = 0;
   double phase_deadline_ = 0.0;  // seconds_since_epoch()-style wall clock

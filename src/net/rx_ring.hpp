@@ -1,0 +1,91 @@
+#pragma once
+// Preallocated receive ring for the socket/loopback hot path (DESIGN.md §11).
+//
+// A compacting byte buffer tuned for the frame-reassembly access pattern:
+// the backend recv()s directly into writable(), parses whole frames out of
+// readable() as non-owning FrameView spans, and consume()s them after
+// dispatch.  Unlike the previous std::vector rx buffers, the ring
+//
+//   * never allocates in steady state — capacity is retained across rounds
+//     and across clear(), so after warm-up the receive path is
+//     allocation-free;
+//   * never invalidates parsed spans mid-batch — compaction and growth only
+//     happen inside writable(), which the backend calls strictly before
+//     parsing, and clear() keeps the allocation, so FrameViews captured over
+//     readable() stay valid while handlers run;
+//   * exposes a generation counter so a dispatch loop can detect that a
+//     reentrant handler reset the ring (peer redial/drop) and must not
+//     consume() stale offsets.
+//
+// Single-threaded like everything else in src/net: no locks, no atomics.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace abdhfl::net {
+
+class RxRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64 * 1024;
+
+  explicit RxRing(std::size_t initial_capacity = kDefaultCapacity)
+      : buf_(initial_capacity) {}
+
+  /// Contiguous spare room of at least `min_bytes`, compacting the buffered
+  /// bytes to the front (at most once per recv batch) and growing the
+  /// allocation geometrically only when the buffered bytes plus `min_bytes`
+  /// genuinely exceed capacity.  Invalidates spans handed out earlier —
+  /// call it only before parsing, never while FrameViews are live.
+  [[nodiscard]] std::span<std::uint8_t> writable(std::size_t min_bytes) {
+    if (buf_.size() - tail_ < min_bytes) {
+      if (head_ > 0) {
+        std::memmove(buf_.data(), buf_.data() + head_, tail_ - head_);
+        tail_ -= head_;
+        head_ = 0;
+      }
+      if (buf_.size() - tail_ < min_bytes) {
+        std::size_t capacity = buf_.size() == 0 ? kDefaultCapacity : buf_.size();
+        while (capacity - tail_ < min_bytes) capacity *= 2;
+        buf_.resize(capacity);
+      }
+    }
+    return {buf_.data() + tail_, buf_.size() - tail_};
+  }
+
+  /// Account `n` bytes written into the span writable() returned.
+  void commit(std::size_t n) noexcept { tail_ += n; }
+
+  /// Everything buffered and not yet consumed, in arrival order.
+  [[nodiscard]] std::span<const std::uint8_t> readable() const noexcept {
+    return {buf_.data() + head_, tail_ - head_};
+  }
+
+  /// Drop `n` bytes from the front of readable().
+  void consume(std::size_t n) noexcept {
+    head_ += n;
+    if (head_ == tail_) head_ = tail_ = 0;
+  }
+
+  /// Drop everything.  Keeps the allocation (live spans into it stay
+  /// dereferenceable) but bumps the generation so in-flight dispatch loops
+  /// know their offsets are stale.
+  void clear() noexcept {
+    head_ = tail_ = 0;
+    ++generation_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tail_ - head_; }
+  [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;  // [head_, tail_) holds buffered bytes
+  std::size_t tail_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace abdhfl::net

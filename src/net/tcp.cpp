@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -24,6 +25,8 @@ namespace abdhfl::net {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
 
 void throw_errno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
@@ -139,6 +142,7 @@ bool TcpTransport::connect_peer(NodeId peer_id, const std::string& host, std::ui
   }
   peer.lost = false;
   peer.rx.clear();
+  reset_codec_state(peer_id);  // fresh link: no delta bases on either side
   if (dial(peer)) return true;
   drop_peer(peer_id, peer, /*report=*/true);
   return false;
@@ -173,7 +177,13 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
   if (peer.lost) return SendStatus::kPeerLost;
 
   obs::Span span(trace(), "net_send", static_cast<std::size_t>(env.round), env.to);
-  const std::vector<std::uint8_t> frame = encode_frame(env, payload, codec_for(env.to));
+  const Codec codec = codec_for(env.to);
+  const auto encode = [&] {
+    const CodecState* tx =
+        codec.delta ? &tx_codec_state(self_, env.to) : nullptr;
+    encode_frame_parts(env, payload, codec, tx, tx_parts_);
+  };
+  encode();
   const auto deadline =
       Clock::now() + std::chrono::duration<double>(policy_.send_timeout_s);
   std::size_t attempts_left = policy_.max_attempts;
@@ -185,12 +195,38 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
         return SendStatus::kPeerLost;
       }
       note_reconnect();
+      // The receiver treats the new socket as a reconnect and forgets its
+      // delta bases; re-encode so a delta frame never rides a fresh link.
+      reset_codec_state(env.to);
+      encode();
     }
+    const std::size_t frame_size = tx_parts_.size();
     std::size_t offset = 0;
     bool link_failed = false;
-    while (offset < frame.size()) {
-      const ssize_t n = ::send(peer.fd, frame.data() + offset, frame.size() - offset,
-                               MSG_NOSIGNAL);
+    while (offset < frame_size) {
+      // Scatter-gather: up to three segments (header+prefix, in-place float
+      // payload, digests), re-sliced past the bytes already written.
+      iovec iov[3];
+      int n_iov = 0;
+      std::size_t skip = offset;
+      const auto add = [&](const std::uint8_t* p, std::size_t len) {
+        if (len == 0) return;
+        if (skip >= len) {
+          skip -= len;
+          return;
+        }
+        iov[n_iov].iov_base = const_cast<std::uint8_t*>(p) + skip;
+        iov[n_iov].iov_len = len - skip;
+        ++n_iov;
+        skip = 0;
+      };
+      add(tx_parts_.head.data(), tx_parts_.head.size());
+      add(tx_parts_.inline_payload.data(), tx_parts_.inline_payload.size());
+      add(tx_parts_.tail.data(), tx_parts_.tail.size());
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = static_cast<std::size_t>(n_iov);
+      const ssize_t n = ::sendmsg(peer.fd, &mh, MSG_NOSIGNAL);
       if (n > 0) {
         offset += static_cast<std::size_t>(n);
         continue;
@@ -212,12 +248,14 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
       break;
     }
     if (!link_failed) {
-      note_sent(frame.size(), link_class);
+      if (codec.delta) tx_parts_.commit_tx(tx_codec_state(self_, env.to));
+      note_sent(frame_size, encoded_size(payload), link_class);
       return SendStatus::kOk;
     }
     ::close(peer.fd);
     peer.fd = -1;
     peer.rx.clear();
+    reset_codec_state(env.to);
     if (--attempts_left == 0 || peer.host.empty()) {
       drop_peer(env.to, peer, /*report=*/true);
       return SendStatus::kPeerLost;
@@ -284,12 +322,14 @@ void TcpTransport::accept_pending() {
 }
 
 std::size_t TcpTransport::read_peer(NodeId id, Peer& peer) {
-  std::uint8_t buf[65536];
   bool eof = false;
   while (true) {
-    const ssize_t n = ::recv(peer.fd, buf, sizeof buf, 0);
+    // recv() straight into the ring: no intermediate stack buffer, no
+    // insert-and-erase churn on a growable vector.
+    const auto room = peer.rx.writable(kRecvChunk);
+    const ssize_t n = ::recv(peer.fd, room.data(), room.size(), 0);
     if (n > 0) {
-      peer.rx.insert(peer.rx.end(), buf, buf + n);
+      peer.rx.commit(static_cast<std::size_t>(n));
       continue;
     }
     if (n == 0) {
@@ -302,14 +342,14 @@ std::size_t TcpTransport::read_peer(NodeId id, Peer& peer) {
     break;
   }
   bool framing_ok = true;
-  const std::size_t delivered = extract_frames(peer.rx, peer.link_class, framing_ok);
+  const std::size_t delivered = drain_ring(peer, framing_ok);
   if (eof || !framing_ok) drop_peer(id, peer, /*report=*/true);
   return delivered;
 }
 
 std::size_t TcpTransport::read_pending(std::size_t index) {
   PendingConn& conn = pending_[index];
-  std::uint8_t buf[65536];
+  std::uint8_t buf[kRecvChunk];
   while (true) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
     if (n > 0) {
@@ -331,12 +371,11 @@ std::size_t TcpTransport::read_pending(std::size_t index) {
 
   // Wait for — and fully verify — the first frame before trusting its sender
   // id; a frame that fails the digest must not map this socket to a node.
-  std::size_t total = 0;
-  WireMessage first;
+  FrameView first;
   try {
-    total = peek_frame_size({conn.rx.data(), kHeaderSize});
+    const std::size_t total = peek_frame_size({conn.rx.data(), kHeaderSize});
     if (conn.rx.size() < total) return 0;
-    first = decode_frame({conn.rx.data(), total});
+    first = FrameView::parse({conn.rx.data(), total});
   } catch (const WireError&) {
     note_decode_error();
     ::close(conn.fd);
@@ -344,37 +383,46 @@ std::size_t TcpTransport::read_pending(std::size_t index) {
     return 0;
   }
 
-  const bool known = peers_.find(first.env.from) != peers_.end();
-  Peer& peer = peers_[first.env.from];
+  const NodeId from = first.env().from;
+  const bool known = peers_.find(from) != peers_.end();
+  Peer& peer = peers_[from];
   if (peer.fd >= 0) ::close(peer.fd);  // reconnect replaces the stale link
   peer.fd = conn.fd;
   peer.lost = false;
-  peer.rx = std::move(conn.rx);
+  peer.rx.clear();
+  const auto room = peer.rx.writable(conn.rx.size());
+  std::memcpy(room.data(), conn.rx.data(), conn.rx.size());
+  peer.rx.commit(conn.rx.size());
+  conn.rx.clear();
   conn.fd = -1;
+  // A new connection means any delta base from the previous incarnation of
+  // this link is gone on the peer's side too.
+  reset_codec_state(from);
   // A known peer coming back on a fresh socket is a reconnect.  Announce it
   // BEFORE draining the buffered frames: a parent that evicted the peer on
   // the earlier loss re-admits it first, so the frames riding the new
   // connection (typically the retried model update) land in restored state.
-  if (known) note_peer_reconnect(first.env.from);
+  if (known) note_peer_reconnect(from);
   bool framing_ok = true;
-  const std::size_t delivered = extract_frames(peer.rx, peer.link_class, framing_ok);
-  if (!framing_ok) drop_peer(first.env.from, peer, /*report=*/true);
+  const std::size_t delivered = drain_ring(peer, framing_ok);
+  if (!framing_ok) drop_peer(from, peer, /*report=*/true);
   return delivered;
 }
 
-std::size_t TcpTransport::extract_frames(std::vector<std::uint8_t>& rx,
-                                         std::uint32_t link_class, bool& framing_ok) {
+std::size_t TcpTransport::drain_ring(Peer& peer, bool& framing_ok) {
   framing_ok = true;
-  // Decode and consume every complete frame BEFORE running any handler: a
-  // handler may reentrantly call send()/connect_peer() on this same peer,
-  // whose failure paths clear the buffer this loop is parsing.
-  std::vector<std::pair<WireMessage, std::size_t>> batch;  // message, frame size
+  // Stage 1: validate every complete frame in the ring BEFORE running any
+  // handler, capturing non-owning views.  FrameView::parse checks framing,
+  // digest, reserved bits and flags, so nothing semantically unvalidated is
+  // ever handed to stage 2.
+  std::vector<FrameView> batch;
+  const auto data = peer.rx.readable();
   std::size_t pos = 0;
-  while (pos + kHeaderSize <= rx.size()) {
+  while (pos + kHeaderSize <= data.size()) {
     try {
-      const std::size_t total = peek_frame_size({rx.data() + pos, kHeaderSize});
-      if (rx.size() - pos < total) break;
-      batch.emplace_back(decode_frame({rx.data() + pos, total}), total);
+      const std::size_t total = peek_frame_size(data.subspan(pos, kHeaderSize));
+      if (data.size() - pos < total) break;
+      batch.push_back(FrameView::parse(data.subspan(pos, total)));
       pos += total;
     } catch (const WireError&) {
       // A stream cannot resynchronize after a framing error; the caller
@@ -384,17 +432,25 @@ std::size_t TcpTransport::extract_frames(std::vector<std::uint8_t>& rx,
       break;
     }
   }
-  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(pos));
-  for (const auto& [msg, total] : batch) {
-    note_received(total, link_class);
-    if (trace() != nullptr) {
-      trace()->push({trace()->seconds_since_epoch(),
-                     static_cast<std::size_t>(msg.env.round), "net_recv", msg.env.to, 0,
-                     0.0, 0});
+  // Stage 2: dispatch.  A handler may reentrantly send()/connect_peer()/
+  // drop this same peer; every such path clear()s the ring, which keeps the
+  // memory alive (the captured views stay dereferenceable) but bumps its
+  // generation — in that case the buffered bytes are gone and the final
+  // consume must not run against stale offsets.
+  const std::uint64_t generation = peer.rx.generation();
+  std::size_t delivered = 0;
+  for (const FrameView& view : batch) {
+    try {
+      deliver_frame(view, peer.link_class, handler_);
+    } catch (const WireError&) {
+      note_decode_error();
+      framing_ok = false;
+      break;
     }
-    if (handler_) handler_(msg);
+    ++delivered;
   }
-  return batch.size();
+  if (peer.rx.generation() == generation) peer.rx.consume(pos);
+  return delivered;
 }
 
 void TcpTransport::drop_peer(NodeId id, Peer& peer, bool report) {
@@ -403,6 +459,7 @@ void TcpTransport::drop_peer(NodeId id, Peer& peer, bool report) {
     peer.fd = -1;
   }
   peer.rx.clear();
+  reset_codec_state(id);
   if (report && !peer.lost) {
     peer.lost = true;
     note_peer_loss(id);

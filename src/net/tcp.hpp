@@ -9,17 +9,28 @@
 //
 // The transport is poll-driven and single-threaded like every other backend:
 // poll() multiplexes the listen socket and all peer links with ::poll,
-// accepts, reads, reassembles frames via peek_frame_size, and runs handlers
-// on the calling thread.  send() writes the whole frame before returning,
-// waiting for writability up to the per-message deadline; a failed write on
-// a dialable link triggers reconnect attempts under the same policy
-// (connects are nonblocking with a poll()-bounded wait, so an unresponsive
-// host cannot stall the loop for the OS SYN timeout), and a link that stays
-// dead is reported once through the peer-loss handler so the churn layer can
-// remove the subtree (graceful degradation instead of a crash).  An accepted
-// socket that re-identifies as a peer that already had a link fires the
+// accepts, reads into per-peer rx rings, reassembles frames via
+// peek_frame_size, and runs handlers on the calling thread.  The receive hot
+// path is zero-copy: recv() lands directly in the preallocated RxRing and
+// frames are dispatched as FrameView spans into it — no per-frame buffer, no
+// decode-and-copy unless the destination's handler needs an owned message.
+// send() is scatter-gather: the frame leaves as sendmsg() iovecs over the
+// encoder's head/payload/tail segments, so a dense model update's float
+// bytes go from the training buffer to the socket without ever being
+// concatenated into a staging vector.  A failed write on a dialable link
+// triggers reconnect attempts under the same policy (connects are
+// nonblocking with a poll()-bounded wait, so an unresponsive host cannot
+// stall the loop for the OS SYN timeout), and a link that stays dead is
+// reported once through the peer-loss handler so the churn layer can remove
+// the subtree (graceful degradation instead of a crash).  An accepted socket
+// that re-identifies as a peer that already had a link fires the
 // peer-reconnect handler before its frames are delivered, which is how a
 // parent re-admits a member it wrote off after a transient drop.
+//
+// Any link reset (drop, redial, reconnect) clears the delta-codec bases for
+// that peer on both directions — an in-flight send re-encodes dense after a
+// redial, so a delta frame can never arrive on a connection whose receiver
+// lost the base.
 //
 // Corrupt input never propagates: a frame the codec rejects bumps
 // decode_errors and drops the connection (stream framing cannot resync on
@@ -30,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "net/rx_ring.hpp"
 #include "net/transport.hpp"
 
 namespace abdhfl::net {
@@ -74,7 +86,7 @@ class TcpTransport : public Transport {
     std::string host;         // empty for inbound links (cannot redial)
     std::uint16_t port = 0;
     std::uint32_t link_class = 0;
-    std::vector<std::uint8_t> rx;
+    RxRing rx;
     bool lost = false;  // reported dead; further sends fail fast
   };
 
@@ -83,10 +95,12 @@ class TcpTransport : public Transport {
   /// Drain readable bytes; returns frames delivered, marks `lost` on EOF or
   /// a framing error.
   std::size_t read_peer(NodeId id, Peer& peer);
-  /// Decode and consume every complete frame in `rx`, then dispatch them to
-  /// the handler (in that order: handlers may reentrantly mutate `rx`).
-  std::size_t extract_frames(std::vector<std::uint8_t>& rx, std::uint32_t link_class,
-                             bool& framing_ok);
+  /// Parse and dispatch every complete frame in the peer's ring.  Frames are
+  /// validated first (FrameView::parse) and dispatched second, as spans into
+  /// the ring: handlers may reentrantly reset the ring (redial, drop), which
+  /// keeps the memory alive but bumps its generation — the final consume is
+  /// skipped when that happened.
+  std::size_t drain_ring(Peer& peer, bool& framing_ok);
   void accept_pending();
   std::size_t read_pending(std::size_t index);
 
@@ -96,6 +110,11 @@ class TcpTransport : public Transport {
   std::uint16_t port_ = 0;
   MessageHandler handler_;
   std::map<NodeId, Peer> peers_;
+
+  // Reused encode staging: capacity persists across sends, so steady-state
+  // encode is allocation-free.  Safe as a member because handlers never run
+  // inside send().
+  EncodedParts tx_parts_;
 
   // Accepted connections whose node id is still unknown (first frame not yet
   // complete); fd plus its partial receive buffer.

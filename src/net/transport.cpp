@@ -32,6 +32,14 @@ Codec Transport::codec_for(NodeId peer) const {
   return it == peer_codec_.end() ? Codec{} : it->second;
 }
 
+void Transport::reset_codec_state(NodeId peer) {
+  const auto touches = [peer](const auto& entry) {
+    return entry.first.first == peer || entry.first.second == peer;
+  };
+  std::erase_if(tx_state_, touches);
+  std::erase_if(rx_state_, touches);
+}
+
 TransportStats Transport::class_stats(std::uint32_t link_class) const {
   const auto it = per_class_.find(link_class);
   return it == per_class_.end() ? TransportStats{} : it->second;
@@ -45,10 +53,15 @@ Transport::ObsCounters& Transport::obs_counters() {
         &registry.counter("net_frames_sent_total" + label, "Frames handed to the backend");
     obs_counters_.bytes_sent =
         &registry.counter("net_bytes_sent_total" + label, "Encoded bytes sent");
+    obs_counters_.bytes_sent_raw = &registry.counter(
+        "net_bytes_sent_raw_total" + label, "Dense-equivalent bytes of sent frames");
     obs_counters_.frames_received =
         &registry.counter("net_frames_received_total" + label, "Frames decoded and delivered");
     obs_counters_.bytes_received =
         &registry.counter("net_bytes_received_total" + label, "Encoded bytes received");
+    obs_counters_.bytes_received_raw =
+        &registry.counter("net_bytes_received_raw_total" + label,
+                          "Dense-equivalent bytes of received frames");
     obs_counters_.retries =
         &registry.counter("net_retries_total" + label, "Send/connect re-attempts");
     obs_counters_.timeouts =
@@ -60,29 +73,37 @@ Transport::ObsCounters& Transport::obs_counters() {
   return obs_counters_;
 }
 
-void Transport::note_sent(std::size_t bytes, std::uint32_t link_class) {
+void Transport::note_sent(std::size_t bytes, std::size_t raw_bytes,
+                          std::uint32_t link_class) {
   ++stats_.frames_sent;
   stats_.bytes_sent += bytes;
+  stats_.bytes_sent_raw += raw_bytes;
   auto& cls = per_class_[link_class];
   ++cls.frames_sent;
   cls.bytes_sent += bytes;
+  cls.bytes_sent_raw += raw_bytes;
   if (obs::enabled()) {
     auto& counters = obs_counters();
     counters.frames_sent->add(1);
     counters.bytes_sent->add(bytes);
+    counters.bytes_sent_raw->add(raw_bytes);
   }
 }
 
-void Transport::note_received(std::size_t bytes, std::uint32_t link_class) {
+void Transport::note_received(std::size_t bytes, std::size_t raw_bytes,
+                              std::uint32_t link_class) {
   ++stats_.frames_received;
   stats_.bytes_received += bytes;
+  stats_.bytes_received_raw += raw_bytes;
   auto& cls = per_class_[link_class];
   ++cls.frames_received;
   cls.bytes_received += bytes;
+  cls.bytes_received_raw += raw_bytes;
   if (obs::enabled()) {
     auto& counters = obs_counters();
     counters.frames_received->add(1);
     counters.bytes_received->add(bytes);
+    counters.bytes_received_raw->add(raw_bytes);
   }
 }
 
@@ -117,6 +138,42 @@ void Transport::note_peer_reconnect(NodeId peer) {
 
 void Transport::note_decode_error() { ++stats_.decode_errors; }
 
+void Transport::deliver_frame(const FrameView& view, std::uint32_t link_class,
+                              const MessageHandler& handler) {
+  const Envelope env = view.env();
+  const std::size_t wire_bytes = view.bytes().size();
+
+  const auto raw_it = raw_handlers_.find(env.to);
+  if (raw_it != raw_handlers_.end() && raw_it->second(view)) {
+    // Consumed zero-copy.  The raw path only ever takes ModelUpdate frames,
+    // whose dense-equivalent size follows from the parameter count alone.
+    std::size_t raw_bytes = wire_bytes;
+    if (view.kind() == MsgKind::kModelUpdate) {
+      raw_bytes = model_update_wire_size(peek_model_update(view).param_count);
+    }
+    note_received(wire_bytes, raw_bytes, link_class);
+    if (trace_ != nullptr) {
+      trace_->push({trace_->seconds_since_epoch(), static_cast<std::size_t>(env.round),
+                    "net_recv", env.to, 0, 0.0, 0});
+    }
+    return;
+  }
+
+  CodecState* rx = nullptr;
+  const MsgKind kind = view.kind();
+  if ((kind == MsgKind::kModelUpdate || kind == MsgKind::kPartialModel) &&
+      codec_for(env.from).delta) {
+    rx = &rx_codec_state(env.from, env.to);
+  }
+  WireMessage msg = view.decode(rx);
+  note_received(wire_bytes, encoded_size(msg.payload), link_class);
+  if (trace_ != nullptr) {
+    trace_->push({trace_->seconds_since_epoch(), static_cast<std::size_t>(env.round),
+                  "net_recv", env.to, 0, 0.0, 0});
+  }
+  if (handler) handler(msg);
+}
+
 void Transport::record_traffic(obs::Recorder& recorder, std::uint64_t round) const {
   for (const auto& [link_class, s] : per_class_) {
     obs::RoundRecord& rec =
@@ -124,8 +181,10 @@ void Transport::record_traffic(obs::Recorder& recorder, std::uint64_t round) con
     rec.set("link_class", static_cast<double>(link_class));
     rec.set("frames_sent", static_cast<double>(s.frames_sent));
     rec.set("bytes_sent", static_cast<double>(s.bytes_sent));
+    rec.set("bytes_sent_raw", static_cast<double>(s.bytes_sent_raw));
     rec.set("frames_received", static_cast<double>(s.frames_received));
     rec.set("bytes_received", static_cast<double>(s.bytes_received));
+    rec.set("bytes_received_raw", static_cast<double>(s.bytes_received_raw));
   }
   obs::RoundRecord& ev = recorder.begin_round("net_events", static_cast<std::size_t>(round));
   ev.set("retries", static_cast<double>(stats_.retries));

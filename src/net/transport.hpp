@@ -1,8 +1,8 @@
 #pragma once
-// Pluggable message transport (DESIGN.md §9).
+// Pluggable message transport (DESIGN.md §9, §11).
 //
 // A Transport moves encoded wire frames between federation nodes and hands
-// decoded WireMessages to registered handlers.  Two backends ship:
+// them to registered handlers.  Two backends ship:
 //
 //   * LoopbackTransport (loopback.hpp) — in-process delivery, optionally
 //     riding sim::Network so the discrete-event experiments meter the real
@@ -17,18 +17,39 @@
 // thread, so no cross-thread synchronization is needed anywhere in the
 // protocol logic.
 //
+// Receive path: both backends funnel every validated frame through
+// deliver_frame(), which offers the FrameView to the destination node's raw
+// handler first (the zero-copy streaming path — a span into the backend's rx
+// buffer, alive only for the duration of the call) and falls back to a full
+// decode into an owned WireMessage.  The decoded message is passed by
+// mutable reference so a terminal consumer can move the parameter vector out
+// instead of copying it.
+//
+// Codec state: links that negotiated the delta codec carry per-direction
+// base models.  The transport owns one tx and one rx CodecState per directed
+// link, keyed (from, to); they are deliberately separate maps so a transport
+// hosting both ends of a link (loopback) cannot read a base its own send
+// just updated.  Any link reset (drop, redial, reconnect) must call
+// reset_codec_state() so the next frame falls back to dense and re-seeds
+// both sides.
+//
 // Observability: every send/receive/retry/timeout/peer-loss bumps both the
 // per-transport TransportStats and (while obs::enabled()) the global
 // registry counters net_frames_*_total{transport=...}; an attached
 // obs::TraceBuffer receives one span per send and per delivered frame.
-// record_traffic() flushes per-link-class traffic plus the retry/loss event
-// counters into an obs::Recorder using the "net_link"/"net_events" JSONL
-// schema that tools/validate_jsonl --group net checks.
+// Byte accounting is kept twice per direction: the bytes that actually
+// crossed the link and the dense-equivalent ("raw") bytes the same payloads
+// would have cost uncompressed — the pair is what makes compression ratios
+// visible per link class.  record_traffic() flushes per-link-class traffic
+// plus the retry/loss event counters into an obs::Recorder using the
+// "net_link"/"net_events" JSONL schema that tools/validate_jsonl --group net
+// checks.
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "net/wire.hpp"
 
@@ -66,8 +87,10 @@ struct RetryPolicy {
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_sent_raw = 0;      // dense-equivalent cost of the same frames
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_received_raw = 0;  // dense-equivalent cost of the same frames
   std::uint64_t retries = 0;        // send or connect re-attempts
   std::uint64_t reconnects = 0;     // links re-established after a failure
   std::uint64_t timeouts = 0;       // sends abandoned on the deadline
@@ -77,7 +100,16 @@ struct TransportStats {
 
 class Transport {
  public:
-  using MessageHandler = std::function<void(const WireMessage&)>;
+  /// Owned-message handler.  The message is mutable so a terminal consumer
+  /// can std::move the parameter vector out instead of copying O(d) floats.
+  using MessageHandler = std::function<void(WireMessage&)>;
+  /// Zero-copy handler, offered every frame before it is decoded.  Return
+  /// true to consume the frame (no WireMessage is materialized); the view
+  /// and any span derived from it die when the handler returns.  A consumer
+  /// on a delta link MUST still apply the frame's rx-cache update
+  /// (model_update_params does) even for frames it then ignores, or the
+  /// link's bases desynchronize.
+  using RawHandler = std::function<bool(const FrameView&)>;
   using PeerLossHandler = std::function<void(NodeId peer)>;
   using PeerReconnectHandler = std::function<void(NodeId peer)>;
 
@@ -86,6 +118,17 @@ class Transport {
   /// Attach the handler for a local node id.  Loopback hosts any number of
   /// local nodes; TCP hosts exactly the id it was constructed with.
   virtual void register_node(NodeId id, MessageHandler handler) = 0;
+
+  /// Attach (or clear, with an empty function) the zero-copy pre-decode
+  /// handler for a local node id.  Optional: nodes that never stream simply
+  /// don't set one.
+  void set_raw_handler(NodeId id, RawHandler handler) {
+    if (handler) {
+      raw_handlers_[id] = std::move(handler);
+    } else {
+      raw_handlers_.erase(id);
+    }
+  }
 
   /// Encode and send one message.  `link_class` buckets the traffic
   /// accounting (the federation uses the tree level of the link).
@@ -121,6 +164,21 @@ class Transport {
   void set_peer_codec(NodeId peer, Codec codec) { peer_codec_[peer] = codec; }
   [[nodiscard]] Codec codec_for(NodeId peer) const;
 
+  /// Delta-codec base models for the directed link from -> to.  tx is what
+  /// the local sender encodes against; rx is what frames arriving on that
+  /// direction decode against.  Exposed so streaming consumers (a raw
+  /// handler calling model_update_params) can apply the rx-cache contract
+  /// themselves.
+  [[nodiscard]] CodecState& tx_codec_state(NodeId from, NodeId to) {
+    return tx_state_[{from, to}];
+  }
+  [[nodiscard]] CodecState& rx_codec_state(NodeId from, NodeId to) {
+    return rx_state_[{from, to}];
+  }
+  /// Forget every delta base on links touching `peer` (both directions, both
+  /// roles).  Called by the backends on any link reset.
+  void reset_codec_state(NodeId peer);
+
   /// Span sink for send/deliver tracing (not owned; nullptr disables).
   void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
@@ -135,10 +193,19 @@ class Transport {
  protected:
   explicit Transport(std::string name);
 
+  /// The shared receive tail both backends funnel validated frames through:
+  /// account + trace the frame, offer it to the destination's raw handler,
+  /// else decode (against the link's rx delta base when `from` negotiated
+  /// delta) and invoke `handler`.  Body-level corruption throws WireError to
+  /// the backend, which owns the drop-the-link policy.
+  void deliver_frame(const FrameView& view, std::uint32_t link_class,
+                     const MessageHandler& handler);
+
   // Stats + obs plumbing shared by the backends.  All of these also bump the
-  // registry counters while obs::enabled().
-  void note_sent(std::size_t bytes, std::uint32_t link_class);
-  void note_received(std::size_t bytes, std::uint32_t link_class);
+  // registry counters while obs::enabled().  `raw_bytes` is the
+  // dense-equivalent size of the same frame (== bytes on uncompressed links).
+  void note_sent(std::size_t bytes, std::size_t raw_bytes, std::uint32_t link_class);
+  void note_received(std::size_t bytes, std::size_t raw_bytes, std::uint32_t link_class);
   void note_retry();
   void note_reconnect();
   void note_timeout();
@@ -152,8 +219,10 @@ class Transport {
   struct ObsCounters {
     obs::Counter* frames_sent = nullptr;
     obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_sent_raw = nullptr;
     obs::Counter* frames_received = nullptr;
     obs::Counter* bytes_received = nullptr;
+    obs::Counter* bytes_received_raw = nullptr;
     obs::Counter* retries = nullptr;
     obs::Counter* timeouts = nullptr;
     obs::Counter* peer_losses = nullptr;
@@ -164,6 +233,9 @@ class Transport {
   TransportStats stats_;
   std::map<std::uint32_t, TransportStats> per_class_;
   std::map<NodeId, Codec> peer_codec_;
+  std::map<NodeId, RawHandler> raw_handlers_;
+  std::map<std::pair<NodeId, NodeId>, CodecState> tx_state_;
+  std::map<std::pair<NodeId, NodeId>, CodecState> rx_state_;
   std::vector<PeerLossHandler> on_peer_loss_;
   std::vector<PeerReconnectHandler> on_peer_reconnect_;
   obs::TraceBuffer* trace_ = nullptr;

@@ -1,7 +1,10 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstring>
+#include <numeric>
 
 #include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
@@ -13,13 +16,61 @@ namespace {
 static_assert(std::endian::native == std::endian::little,
               "wire codec assumes a little-endian host");
 
-std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) noexcept {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= data[i];
-    h *= 0x100000001B3ULL;
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+// Frame digest: FNV-1a folded one 64-bit word at a time instead of per byte
+// — an 8x shorter serial multiply chain, which used to dominate the decode
+// hot path (the hash runs over every frame byte).  The struct is a streaming
+// state so the digest over (head, inline_payload, tail) chains across
+// arbitrary part boundaries and equals the digest over the concatenated
+// frame; value() folds the partial tail word plus its length so "trailing
+// zero byte" and "no byte" hash differently.  Still an integrity check, not
+// a MAC (wire v2 value — mirrored by the test forgery helper).
+struct FrameDigest {
+  std::uint64_t h = kFnvOffset;
+  std::uint64_t pending = 0;    // partial word, low bytes first
+  std::size_t pending_len = 0;  // bytes buffered in `pending`, always < 8
+
+  void fold(std::uint64_t word) noexcept {
+    h ^= word;
+    h *= kFnvPrime;
   }
-  return h;
+
+  void update(const std::uint8_t* data, std::size_t n) noexcept {
+    std::size_t i = 0;
+    while (pending_len != 0 && pending_len < 8 && i < n) {
+      pending |= static_cast<std::uint64_t>(data[i++]) << (8 * pending_len++);
+    }
+    if (pending_len == 8) {
+      fold(pending);
+      pending = 0;
+      pending_len = 0;
+    }
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, data + i, sizeof(word));
+      fold(word);
+    }
+    while (i < n) {
+      pending |= static_cast<std::uint64_t>(data[i++]) << (8 * pending_len++);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t out = h;
+    out ^= pending;
+    out *= kFnvPrime;
+    out ^= static_cast<std::uint64_t>(pending_len);
+    out *= kFnvPrime;
+    return out;
+  }
+};
+
+std::uint64_t frame_digest(const std::uint8_t* data, std::size_t n) noexcept {
+  FrameDigest digest;
+  digest.update(data, n);
+  return digest.value();
 }
 
 template <class T>
@@ -37,55 +88,53 @@ T read_pod(std::span<const std::uint8_t> bytes, std::size_t& offset) {
   return value;
 }
 
-// --- parameter blobs -------------------------------------------------------
-// Raw params reuse the nn/serialize blob unchanged.  Quantized params carry
-// the nn/quantize block format: bits, block, count, per-block (scale, min)
-// pairs, packed codes — exactly QuantizedVec::wire_size() bytes.
+// --- parameter sections ----------------------------------------------------
+// Raw dense params reuse the nn/serialize blob unchanged.  Quantized params
+// carry the nn/quantize block format: bits, block, count, per-block
+// (scale, min) pairs, packed codes — exactly QuantizedVec::wire_size()
+// bytes.  Top-k sections prefix either value encoding with k, d and the
+// sorted index list; delta only changes the transmitted values and sets a
+// flag, never the layout.
 
-void append_params(std::vector<std::uint8_t>& out, std::span<const float> params,
-                   const Codec& codec) {
-  if (!codec.quantized()) {
-    const auto blob = nn::serialize_params(params);
-    out.insert(out.end(), blob.begin(), blob.end());
-    return;
+std::vector<float> read_raw_blob(std::span<const std::uint8_t> body,
+                                 std::size_t& offset) {
+  // The nn/serialize blob is self-delimiting: magic/version/count header.
+  constexpr std::size_t kBlobHeader = 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  if (offset + kBlobHeader + sizeof(std::uint64_t) > body.size()) {
+    throw WireError("truncated parameter blob header");
   }
-  const auto q = nn::quantize(params, codec.quantize_bits, codec.block);
-  append_pod(out, q.bits);
-  append_pod(out, q.block);
-  append_pod(out, q.count);
-  for (std::size_t b = 0; b < q.scales.size(); ++b) {
-    append_pod(out, q.scales[b]);
-    append_pod(out, q.mins[b]);
+  std::uint64_t count;
+  std::memcpy(&count, body.data() + offset + 2 * sizeof(std::uint32_t), sizeof(count));
+  // The count comes straight off the wire (and the frame digest is not a
+  // MAC): bound it by the bytes actually present before it sizes anything
+  // — nn::wire_size(count) itself overflows for count near 2^64.
+  const std::size_t capacity =
+      body.size() - offset - kBlobHeader - sizeof(std::uint64_t);
+  if (count > capacity / sizeof(float)) throw WireError("truncated parameter blob");
+  const std::size_t blob_size = nn::wire_size(static_cast<std::size_t>(count));
+  if (offset + blob_size > body.size()) throw WireError("truncated parameter blob");
+  // Parse the blob in place instead of nn::deserialize_params: the frame
+  // digest already covered every blob byte (including the trailing nn
+  // digest field), so re-hashing the floats here would double the per-frame
+  // hash cost for no additional integrity.  The nn-layer check stays for
+  // its other consumers (checkpoint files have no outer digest).
+  std::size_t pos = offset;
+  if (read_pod<std::uint32_t>(body, pos) != nn::kBlobMagic) {
+    throw WireError("parameter blob: bad model blob magic");
   }
-  out.insert(out.end(), q.data.begin(), q.data.end());
+  if (read_pod<std::uint32_t>(body, pos) != nn::kBlobVersion) {
+    throw WireError("parameter blob: unsupported model blob version");
+  }
+  pos += sizeof(std::uint64_t);  // count, validated above
+  std::vector<float> params(static_cast<std::size_t>(count));
+  std::memcpy(params.data(), body.data() + pos,
+              static_cast<std::size_t>(count) * sizeof(float));
+  offset += blob_size;
+  return params;
 }
 
-std::vector<float> read_params(std::span<const std::uint8_t> body, std::size_t& offset,
-                               bool quantized) {
-  if (!quantized) {
-    // The nn/serialize blob is self-delimiting: magic/version/count header.
-    constexpr std::size_t kBlobHeader = 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
-    if (offset + kBlobHeader + sizeof(std::uint64_t) > body.size()) {
-      throw WireError("truncated parameter blob header");
-    }
-    std::uint64_t count;
-    std::memcpy(&count, body.data() + offset + 2 * sizeof(std::uint32_t), sizeof(count));
-    // The count comes straight off the wire (and the frame digest is not a
-    // MAC): bound it by the bytes actually present before it sizes anything
-    // — nn::wire_size(count) itself overflows for count near 2^64.
-    const std::size_t capacity =
-        body.size() - offset - kBlobHeader - sizeof(std::uint64_t);
-    if (count > capacity / sizeof(float)) throw WireError("truncated parameter blob");
-    const std::size_t blob_size = nn::wire_size(static_cast<std::size_t>(count));
-    if (offset + blob_size > body.size()) throw WireError("truncated parameter blob");
-    try {
-      auto params = nn::deserialize_params(body.subspan(offset, blob_size));
-      offset += blob_size;
-      return params;
-    } catch (const std::runtime_error& e) {
-      throw WireError(std::string("parameter blob: ") + e.what());
-    }
-  }
+std::vector<float> read_quantized(std::span<const std::uint8_t> body,
+                                  std::size_t& offset) {
   nn::QuantizedVec q;
   q.bits = read_pod<std::uint8_t>(body, offset);
   q.block = read_pod<std::uint32_t>(body, offset);
@@ -128,48 +177,235 @@ std::vector<float> read_params(std::span<const std::uint8_t> body, std::size_t& 
   }
 }
 
-std::size_t params_body_size(std::size_t count, const Codec& codec) noexcept {
-  if (!codec.quantized()) return nn::wire_size(count);
-  const std::size_t n_blocks = codec.block == 0 ? 0 : (count + codec.block - 1) / codec.block;
+/// Reconstruct the dense parameter vector of one section under `flags`,
+/// using `base` (the link's last model) for kFlagDelta frames.
+std::vector<float> read_params(std::span<const std::uint8_t> body, std::size_t& offset,
+                               std::uint16_t flags, const std::vector<float>* base) {
+  const bool delta = (flags & kFlagDelta) != 0;
+  if (delta && (base == nullptr || base->empty())) {
+    throw WireError("delta frame without a cached base model");
+  }
+  if ((flags & kFlagTopK) != 0) {
+    const auto k = read_pod<std::uint32_t>(body, offset);
+    const auto d = read_pod<std::uint64_t>(body, offset);
+    if (d > kMaxWireParams) throw WireError("sparse dense size exceeds limit");
+    if (k > d) throw WireError("sparse entry count exceeds dense size");
+    // Bound k by the bytes actually present BEFORE it sizes anything (the
+    // same discipline as the dense blob / quantized readers above); d is
+    // bounded by kMaxWireParams since its bytes never travel.
+    const std::size_t remaining = body.size() - offset;
+    if (k > remaining / sizeof(std::uint32_t)) {
+      throw WireError("truncated sparse index list");
+    }
+    if (delta && base->size() != d) throw WireError("delta base dimension mismatch");
+    std::vector<std::uint32_t> idx(k);
+    std::memcpy(idx.data(), body.data() + offset, k * sizeof(std::uint32_t));
+    offset += k * sizeof(std::uint32_t);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      if (idx[j] >= d || (j > 0 && idx[j] <= idx[j - 1])) {
+        throw WireError("corrupt sparse index list");
+      }
+    }
+    std::vector<float> vals;
+    if ((flags & kFlagQuantized) != 0) {
+      vals = read_quantized(body, offset);
+      if (vals.size() != k) throw WireError("sparse value count mismatch");
+    } else {
+      if (static_cast<std::size_t>(k) * sizeof(float) > body.size() - offset) {
+        throw WireError("truncated sparse values");
+      }
+      vals.resize(k);
+      std::memcpy(vals.data(), body.data() + offset, k * sizeof(float));
+      offset += k * sizeof(float);
+    }
+    std::vector<float> out =
+        delta ? *base : std::vector<float>(static_cast<std::size_t>(d), 0.0f);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      out[idx[j]] = delta ? (*base)[idx[j]] + vals[j] : vals[j];
+    }
+    return out;
+  }
+  auto vals = (flags & kFlagQuantized) != 0 ? read_quantized(body, offset)
+                                            : read_raw_blob(body, offset);
+  if (!delta) return vals;
+  if (vals.size() != base->size()) throw WireError("delta base dimension mismatch");
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = (*base)[i] + vals[i];
+  return vals;
+}
+
+std::size_t quant_section_size(std::size_t count, std::uint8_t bits,
+                               std::uint32_t block) noexcept {
+  const std::size_t n_blocks = block == 0 ? 0 : (count + block - 1) / block;
   return sizeof(std::uint8_t) + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
-         n_blocks * 2 * sizeof(float) + (count * codec.quantize_bits + 7) / 8;
+         n_blocks * 2 * sizeof(float) + (count * bits + 7) / 8;
+}
+
+std::size_t params_body_size(std::size_t count, const Codec& codec) noexcept {
+  if (codec.topk != 0) {
+    const std::size_t k = std::min<std::size_t>(codec.topk, count);
+    const std::size_t values =
+        codec.quantized() ? quant_section_size(k, codec.quantize_bits, codec.block)
+                          : k * sizeof(float);
+    return sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+           k * sizeof(std::uint32_t) + values;
+  }
+  if (!codec.quantized()) return nn::wire_size(count);
+  return quant_section_size(count, codec.quantize_bits, codec.block);
 }
 
 // --- per-kind bodies -------------------------------------------------------
 
-void encode_body(std::vector<std::uint8_t>& out, const ModelUpdate& m, const Codec& codec) {
-  append_pod(out, m.sender);
-  append_pod(out, m.level);
-  append_pod(out, m.samples);
-  append_params(out, m.params, codec);
+/// Append the parameter section of `params` under `codec` to `out`,
+/// recording the flags it chose and (when delta tracking is on) the
+/// reconstruction both ends must install as the link's next base.
+void encode_params(EncodedParts& out, std::span<const float> params, const Codec& codec,
+                   const std::vector<float>* base, std::uint16_t& flags, MsgKind kind) {
+  const bool track = codec.delta;
+  const bool use_delta =
+      track && base != nullptr && base->size() == params.size() && !params.empty();
+  if (use_delta) flags |= kFlagDelta;
+
+  // Stage 1: delta against the link's last reconstructed model.  The dense
+  // raw case lands directly in scratch_values so the float bytes can go out
+  // in place; with top-k on top, a local buffer holds the intermediate.
+  std::span<const float> work = params;
+  std::vector<float> delta_local;
+  if (use_delta) {
+    std::vector<float>& dst = codec.topk != 0 ? delta_local : out.scratch_values;
+    dst.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) dst[i] = params[i] - (*base)[i];
+    work = dst;
+  }
+
+  // Stage 2: top-k selection (largest |value|; ties broken by lower index so
+  // every process picks the same entries).
+  std::vector<std::uint32_t> indices;
+  if (codec.topk != 0) {
+    flags |= kFlagTopK;
+    const std::size_t d = work.size();
+    const std::size_t k = std::min<std::size_t>(codec.topk, d);
+    indices.resize(d);
+    std::iota(indices.begin(), indices.end(), 0u);
+    const auto more_salient = [&work](std::uint32_t a, std::uint32_t b) {
+      const float fa = std::abs(work[a]);
+      const float fb = std::abs(work[b]);
+      return fa != fb ? fa > fb : a < b;
+    };
+    if (k < d) {
+      std::nth_element(indices.begin(),
+                       indices.begin() + static_cast<std::ptrdiff_t>(k),
+                       indices.end(), more_salient);
+      indices.resize(k);
+    }
+    std::sort(indices.begin(), indices.end());
+    append_pod(out.head, static_cast<std::uint32_t>(k));
+    append_pod(out.head, static_cast<std::uint64_t>(d));
+    for (const std::uint32_t i : indices) append_pod(out.head, i);
+    std::vector<float> gathered(k);
+    for (std::size_t j = 0; j < k; ++j) gathered[j] = work[indices[j]];
+    out.scratch_values = std::move(gathered);
+    work = out.scratch_values;
+  }
+
+  // Stage 3: emit the transmitted values.  `transmitted` is what the
+  // receiver will reconstruct with — after quantization that is the
+  // dequantized values, so both ends' delta bases stay bitwise-identical.
+  std::span<const float> transmitted = work;
+  std::vector<float> dequant_local;
+  if (codec.quantized()) {
+    flags |= kFlagQuantized;
+    const auto q = nn::quantize(work, codec.quantize_bits, codec.block);
+    append_pod(out.head, q.bits);
+    append_pod(out.head, q.block);
+    append_pod(out.head, q.count);
+    for (std::size_t b = 0; b < q.scales.size(); ++b) {
+      append_pod(out.head, q.scales[b]);
+      append_pod(out.head, q.mins[b]);
+    }
+    out.head.insert(out.head.end(), q.data.begin(), q.data.end());
+    if (track) {
+      dequant_local = nn::dequantize(q);
+      transmitted = dequant_local;
+    }
+  } else if ((flags & kFlagTopK) != 0) {
+    // Sparse raw values: plain float bytes after the index list (the frame
+    // digest covers them; no inner blob framing).
+    out.inline_payload = {reinterpret_cast<const std::uint8_t*>(work.data()),
+                          work.size() * sizeof(float)};
+  } else {
+    // Raw dense: nn/serialize blob split around the caller's floats — the
+    // in-memory vector IS the wire representation, nothing is copied.
+    append_pod(out.head, nn::kBlobMagic);
+    append_pod(out.head, nn::kBlobVersion);
+    append_pod(out.head, static_cast<std::uint64_t>(work.size()));
+    out.inline_payload = {reinterpret_cast<const std::uint8_t*>(work.data()),
+                          work.size() * sizeof(float)};
+    append_pod(out.tail, nn::params_digest(work));
+  }
+
+  if (!track) return;
+  out.has_recon = true;
+  out.recon_kind = kind;
+  if ((flags & kFlagTopK) != 0) {
+    if (use_delta) {
+      out.recon = *base;
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        out.recon[indices[j]] = (*base)[indices[j]] + transmitted[j];
+      }
+    } else {
+      out.recon.assign(params.size(), 0.0f);
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        out.recon[indices[j]] = transmitted[j];
+      }
+    }
+  } else {
+    out.recon.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      out.recon[i] = use_delta ? (*base)[i] + transmitted[i] : transmitted[i];
+    }
+  }
 }
 
-void encode_body(std::vector<std::uint8_t>& out, const PartialModel& m, const Codec& codec) {
-  append_pod(out, m.origin);
-  append_pod(out, m.flag_level);
-  append_pod(out, static_cast<std::uint8_t>(m.is_global ? 1 : 0));
-  append_pod(out, m.alpha);
-  append_pod(out, m.flag_fraction);
-  append_params(out, m.params, codec);
+void encode_body(EncodedParts& out, const ModelUpdate& m, const Codec& codec,
+                 const std::vector<float>* base, std::uint16_t& flags) {
+  append_pod(out.head, m.sender);
+  append_pod(out.head, m.level);
+  append_pod(out.head, m.samples);
+  encode_params(out, m.params, codec, base, flags, MsgKind::kModelUpdate);
 }
 
-void encode_body(std::vector<std::uint8_t>& out, const ConsensusVote& m, const Codec&) {
-  append_pod(out, m.voter);
-  append_pod(out, m.candidate);
-  append_pod(out, m.score);
-  append_pod(out, static_cast<std::uint8_t>(m.accept ? 1 : 0));
+void encode_body(EncodedParts& out, const PartialModel& m, const Codec& codec,
+                 const std::vector<float>* base, std::uint16_t& flags) {
+  append_pod(out.head, m.origin);
+  append_pod(out.head, m.flag_level);
+  append_pod(out.head, static_cast<std::uint8_t>(m.is_global ? 1 : 0));
+  append_pod(out.head, m.alpha);
+  append_pod(out.head, m.flag_fraction);
+  encode_params(out, m.params, codec, base, flags, MsgKind::kPartialModel);
 }
 
-void encode_body(std::vector<std::uint8_t>& out, const Membership& m, const Codec&) {
-  append_pod(out, static_cast<std::uint8_t>(m.event));
-  append_pod(out, m.device);
-  append_pod(out, m.cluster);
-  append_pod(out, m.subtree_samples);
-  append_pod(out, m.codec.quantize_bits);
-  append_pod(out, m.codec.block);
+void encode_body(EncodedParts& out, const ConsensusVote& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, m.voter);
+  append_pod(out.head, m.candidate);
+  append_pod(out.head, m.score);
+  append_pod(out.head, static_cast<std::uint8_t>(m.accept ? 1 : 0));
 }
 
-Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body, bool quantized) {
+void encode_body(EncodedParts& out, const Membership& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, static_cast<std::uint8_t>(m.event));
+  append_pod(out.head, m.device);
+  append_pod(out.head, m.cluster);
+  append_pod(out.head, m.subtree_samples);
+  append_pod(out.head, m.codec.quantize_bits);
+  append_pod(out.head, m.codec.block);
+  append_pod(out.head, m.codec.topk);
+  append_pod(out.head, static_cast<std::uint8_t>(m.codec.delta ? 1 : 0));
+}
+
+Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body,
+                    std::uint16_t flags, const std::vector<float>* base) {
   std::size_t offset = 0;
   switch (kind) {
     case MsgKind::kModelUpdate: {
@@ -177,7 +413,7 @@ Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body, bool quant
       m.sender = read_pod<std::uint32_t>(body, offset);
       m.level = read_pod<std::uint32_t>(body, offset);
       m.samples = read_pod<std::uint64_t>(body, offset);
-      m.params = read_params(body, offset, quantized);
+      m.params = read_params(body, offset, flags, base);
       if (offset != body.size()) throw WireError("trailing bytes after model update");
       return m;
     }
@@ -188,7 +424,7 @@ Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body, bool quant
       m.is_global = read_pod<std::uint8_t>(body, offset) != 0;
       m.alpha = read_pod<float>(body, offset);
       m.flag_fraction = read_pod<double>(body, offset);
-      m.params = read_params(body, offset, quantized);
+      m.params = read_params(body, offset, flags, base);
       if (offset != body.size()) throw WireError("trailing bytes after partial model");
       return m;
     }
@@ -213,6 +449,8 @@ Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body, bool quant
       m.subtree_samples = read_pod<std::uint64_t>(body, offset);
       m.codec.quantize_bits = read_pod<std::uint8_t>(body, offset);
       m.codec.block = read_pod<std::uint32_t>(body, offset);
+      m.codec.topk = read_pod<std::uint32_t>(body, offset);
+      m.codec.delta = read_pod<std::uint8_t>(body, offset) != 0;
       if (offset != body.size()) throw WireError("trailing bytes after membership");
       return m;
     }
@@ -230,11 +468,18 @@ constexpr std::size_t kVoteFixed =
     sizeof(std::uint32_t) * 2 + sizeof(float) + sizeof(std::uint8_t);
 constexpr std::size_t kMembershipFixed = sizeof(std::uint8_t) + sizeof(std::uint32_t) * 2 +
                                          sizeof(std::uint64_t) + sizeof(std::uint8_t) +
-                                         sizeof(std::uint32_t);
+                                         sizeof(std::uint32_t) + sizeof(std::uint32_t) +
+                                         sizeof(std::uint8_t);
 
 bool carries_params(const Payload& payload) noexcept {
   return std::holds_alternative<ModelUpdate>(payload) ||
          std::holds_alternative<PartialModel>(payload);
+}
+
+const std::vector<float>* params_of(const Payload& payload) noexcept {
+  if (const auto* update = std::get_if<ModelUpdate>(&payload)) return &update->params;
+  if (const auto* partial = std::get_if<PartialModel>(&payload)) return &partial->params;
+  return nullptr;
 }
 
 }  // namespace
@@ -249,32 +494,91 @@ const char* to_string(MsgKind kind) noexcept {
   return "unknown";
 }
 
-std::vector<std::uint8_t> encode_frame(const Envelope& env, const Payload& payload,
-                                       const Codec& codec) {
+std::vector<float>& CodecState::slot(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kModelUpdate: return model_update;
+    case MsgKind::kPartialModel: return partial_model;
+    default: break;
+  }
+  throw std::logic_error("CodecState::slot: kind carries no parameters");
+}
+
+std::vector<std::uint8_t> EncodedParts::concat() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), inline_payload.begin(), inline_payload.end());
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+void EncodedParts::commit_tx(CodecState& state) {
+  if (!has_recon) return;
+  state.slot(recon_kind) = std::move(recon);
+  has_recon = false;
+  recon.clear();
+}
+
+void encode_frame_parts(const Envelope& env, const Payload& payload, const Codec& codec,
+                        const CodecState* tx_state, EncodedParts& out) {
+  out.head.clear();
+  out.tail.clear();
+  out.inline_payload = {};
+  out.scratch_values.clear();
+  out.has_recon = false;
+  out.recon.clear();
+
   const MsgKind kind = static_cast<MsgKind>(
       std::visit([](const auto& p) { return p.kMessageKind; }, payload));
-  const bool quantized = codec.quantized() && carries_params(payload);
+  const Codec effective = carries_params(payload) ? codec : Codec{};
+  const std::vector<float>* base = nullptr;
+  if (effective.delta && tx_state != nullptr && carries_params(payload)) {
+    // const_cast-free: slot() is non-const only because decoders write it.
+    base = kind == MsgKind::kModelUpdate ? &tx_state->model_update
+                                         : &tx_state->partial_model;
+  }
 
-  std::vector<std::uint8_t> out;
-  out.reserve(encoded_size(payload, codec));
-  append_pod(out, kWireMagic);
-  append_pod(out, kWireVersion);
-  append_pod(out, static_cast<std::uint16_t>(kind));
-  append_pod(out, static_cast<std::uint16_t>(quantized ? kFlagQuantized : 0));
-  append_pod(out, static_cast<std::uint16_t>(0));  // reserved
-  append_pod(out, env.from);
-  append_pod(out, env.to);
-  append_pod(out, env.round);
-  append_pod(out, static_cast<std::uint32_t>(0));  // body_len patched below
+  std::uint16_t flags = 0;
+  append_pod(out.head, kWireMagic);
+  append_pod(out.head, kWireVersion);
+  append_pod(out.head, static_cast<std::uint16_t>(kind));
+  append_pod(out.head, flags);                       // patched below
+  append_pod(out.head, static_cast<std::uint16_t>(0));  // reserved
+  append_pod(out.head, env.from);
+  append_pod(out.head, env.to);
+  append_pod(out.head, env.round);
+  append_pod(out.head, static_cast<std::uint32_t>(0));  // body_len patched below
 
-  const std::size_t body_start = out.size();
-  std::visit([&](const auto& p) { encode_body(out, p, codec); }, payload);
-  const auto body_len = static_cast<std::uint32_t>(out.size() - body_start);
-  std::memcpy(out.data() + kHeaderSize - sizeof(std::uint32_t), &body_len,
+  std::visit([&](const auto& p) { encode_body(out, p, effective, base, flags); },
+             payload);
+
+  const auto body_len = static_cast<std::uint32_t>(
+      out.head.size() - kHeaderSize + out.inline_payload.size() + out.tail.size());
+  std::memcpy(out.head.data() + kHeaderSize - sizeof(std::uint32_t), &body_len,
               sizeof(body_len));
+  std::memcpy(out.head.data() + 8, &flags, sizeof(flags));
 
-  append_pod(out, fnv1a(out.data(), out.size()));
-  return out;
+  FrameDigest digest;
+  digest.update(out.head.data(), out.head.size());
+  digest.update(out.inline_payload.data(), out.inline_payload.size());
+  digest.update(out.tail.data(), out.tail.size());
+  append_pod(out.tail, digest.value());
+}
+
+std::vector<std::uint8_t> encode_frame(const Envelope& env, const Payload& payload,
+                                       const Codec& codec) {
+  EncodedParts parts;
+  encode_frame_parts(env, payload, codec, nullptr, parts);
+  return parts.concat();
+}
+
+std::vector<std::uint8_t> encode_frame(const Envelope& env, const Payload& payload,
+                                       const Codec& codec, CodecState* tx_state) {
+  EncodedParts parts;
+  encode_frame_parts(env, payload, codec, tx_state, parts);
+  auto frame = parts.concat();
+  if (tx_state != nullptr) parts.commit_tx(*tx_state);
+  return frame;
 }
 
 std::size_t peek_frame_size(std::span<const std::uint8_t> prefix) {
@@ -296,35 +600,165 @@ std::size_t peek_frame_size(std::span<const std::uint8_t> prefix) {
   return frame_overhead() + body_len;
 }
 
-WireMessage decode_frame(std::span<const std::uint8_t> frame) {
+FrameView FrameView::parse(std::span<const std::uint8_t> frame) {
   const std::size_t total = peek_frame_size(frame);
   if (frame.size() < total) throw WireError("truncated frame");
   if (frame.size() > total) throw WireError("trailing bytes after frame");
 
   std::uint64_t digest;
   std::memcpy(&digest, frame.data() + total - kDigestSize, sizeof(digest));
-  if (digest != fnv1a(frame.data(), total - kDigestSize)) {
+  if (digest != frame_digest(frame.data(), total - kDigestSize)) {
     throw WireError("frame digest mismatch");
   }
 
-  std::size_t offset = sizeof(std::uint32_t) + sizeof(std::uint16_t);  // magic+version
-  const auto kind_raw = read_pod<std::uint16_t>(frame, offset);
-  const auto flags = read_pod<std::uint16_t>(frame, offset);
-  const auto reserved = read_pod<std::uint16_t>(frame, offset);
+  std::uint16_t reserved;
+  std::memcpy(&reserved, frame.data() + 10, sizeof(reserved));
   if (reserved != 0) throw WireError("nonzero reserved header field");
-  if (flags & ~kFlagQuantized) throw WireError("unknown frame flags");
+  std::uint16_t flags;
+  std::memcpy(&flags, frame.data() + 8, sizeof(flags));
+  if ((flags & ~kKnownFlags) != 0) throw WireError("unknown frame flags");
 
+  FrameView view;
+  view.frame_ = frame.first(total);
+  return view;
+}
+
+MsgKind FrameView::kind() const noexcept {
+  std::uint16_t raw;
+  std::memcpy(&raw, frame_.data() + 6, sizeof(raw));
+  return static_cast<MsgKind>(raw);
+}
+
+std::uint16_t FrameView::flags() const noexcept {
+  std::uint16_t raw;
+  std::memcpy(&raw, frame_.data() + 8, sizeof(raw));
+  return raw;
+}
+
+Envelope FrameView::env() const noexcept {
+  Envelope env;
+  std::memcpy(&env.from, frame_.data() + 12, sizeof(env.from));
+  std::memcpy(&env.to, frame_.data() + 16, sizeof(env.to));
+  std::memcpy(&env.round, frame_.data() + 20, sizeof(env.round));
+  return env;
+}
+
+std::span<const std::uint8_t> FrameView::body() const noexcept {
+  return frame_.subspan(kHeaderSize, frame_.size() - frame_overhead());
+}
+
+WireMessage FrameView::decode(CodecState* rx_state) const {
   WireMessage msg;
-  msg.kind = static_cast<MsgKind>(kind_raw);
-  msg.quantized = (flags & kFlagQuantized) != 0;
-  msg.env.from = read_pod<std::uint32_t>(frame, offset);
-  msg.env.to = read_pod<std::uint32_t>(frame, offset);
-  msg.env.round = read_pod<std::uint64_t>(frame, offset);
-  offset += sizeof(std::uint32_t);  // body_len, already validated via total
+  msg.kind = kind();
+  const std::uint16_t f = flags();
+  msg.quantized = (f & kFlagQuantized) != 0;
+  msg.topk = (f & kFlagTopK) != 0;
+  msg.delta = (f & kFlagDelta) != 0;
+  msg.env = env();
 
-  msg.payload = decode_body(
-      msg.kind, frame.subspan(kHeaderSize, total - frame_overhead()), msg.quantized);
+  std::vector<float>* slot = nullptr;
+  if (rx_state != nullptr &&
+      (msg.kind == MsgKind::kModelUpdate || msg.kind == MsgKind::kPartialModel)) {
+    slot = &rx_state->slot(msg.kind);
+  }
+  msg.payload = decode_body(msg.kind, body(), f, slot);
+  if (slot != nullptr) {
+    if (const auto* params = params_of(msg.payload)) *slot = *params;
+  }
   return msg;
+}
+
+WireMessage decode_frame(std::span<const std::uint8_t> frame) {
+  return FrameView::parse(frame).decode(nullptr);
+}
+
+WireMessage decode_frame(std::span<const std::uint8_t> frame, CodecState* rx_state) {
+  return FrameView::parse(frame).decode(rx_state);
+}
+
+ModelUpdateHead peek_model_update(const FrameView& view) {
+  if (view.kind() != MsgKind::kModelUpdate) {
+    throw WireError("not a model update frame");
+  }
+  const auto body = view.body();
+  std::size_t offset = 0;
+  ModelUpdateHead head;
+  head.sender = read_pod<std::uint32_t>(body, offset);
+  head.level = read_pod<std::uint32_t>(body, offset);
+  head.samples = read_pod<std::uint64_t>(body, offset);
+  std::uint64_t count = 0;
+  if (view.topk()) {
+    offset += sizeof(std::uint32_t);  // k
+    count = read_pod<std::uint64_t>(body, offset);
+    if (count > kMaxWireParams) throw WireError("sparse dense size exceeds limit");
+  } else if (view.quantized()) {
+    offset += sizeof(std::uint8_t) + sizeof(std::uint32_t);  // bits, block
+    count = read_pod<std::uint64_t>(body, offset);
+  } else {
+    std::uint32_t magic = read_pod<std::uint32_t>(body, offset);
+    if (magic != nn::kBlobMagic) throw WireError("bad parameter blob magic");
+    if (read_pod<std::uint32_t>(body, offset) != nn::kBlobVersion) {
+      throw WireError("unsupported parameter blob version");
+    }
+    count = read_pod<std::uint64_t>(body, offset);
+    // Bound before any caller sizes a buffer from it (mirrors decode).
+    if (body.size() - offset < sizeof(std::uint64_t) ||
+        count > (body.size() - offset - sizeof(std::uint64_t)) / sizeof(float)) {
+      throw WireError("truncated parameter blob");
+    }
+  }
+  if (count > kMaxWireParams) throw WireError("parameter count exceeds limit");
+  head.param_count = static_cast<std::size_t>(count);
+  return head;
+}
+
+std::span<const float> model_update_params(const FrameView& view, CodecState* rx_state,
+                                           std::vector<float>& scratch) {
+  const auto body = view.body();
+  std::size_t offset = kModelUpdateFixed;
+  if (!view.quantized() && !view.topk() && !view.delta()) {
+    // Raw dense: validate the blob in place and hand out a span into the
+    // frame — no allocation, no copy, and no second hash pass (the frame
+    // digest verified in FrameView::parse already covered every blob byte,
+    // same contract as the materializing path).
+    if (view.kind() != MsgKind::kModelUpdate) {
+      throw WireError("not a model update frame");
+    }
+    std::size_t pos = offset;
+    const auto magic = read_pod<std::uint32_t>(body, pos);
+    if (magic != nn::kBlobMagic) throw WireError("bad parameter blob magic");
+    if (read_pod<std::uint32_t>(body, pos) != nn::kBlobVersion) {
+      throw WireError("unsupported parameter blob version");
+    }
+    const auto count = read_pod<std::uint64_t>(body, pos);
+    if (body.size() < pos + sizeof(std::uint64_t) ||
+        count > (body.size() - pos - sizeof(std::uint64_t)) / sizeof(float)) {
+      throw WireError("truncated parameter blob");
+    }
+    const std::size_t float_bytes = static_cast<std::size_t>(count) * sizeof(float);
+    if (pos + float_bytes + sizeof(std::uint64_t) != body.size()) {
+      throw WireError("trailing bytes after model update");
+    }
+    const std::uint8_t* raw = body.data() + pos;
+    std::span<const float> out;
+    if (reinterpret_cast<std::uintptr_t>(raw) % alignof(float) == 0) {
+      out = {reinterpret_cast<const float*>(raw), static_cast<std::size_t>(count)};
+    } else {
+      scratch.resize(static_cast<std::size_t>(count));
+      std::memcpy(scratch.data(), raw, float_bytes);
+      out = scratch;
+    }
+    if (rx_state != nullptr) rx_state->model_update.assign(out.begin(), out.end());
+    return out;
+  }
+  if (view.kind() != MsgKind::kModelUpdate) {
+    throw WireError("not a model update frame");
+  }
+  const std::vector<float>* base = rx_state != nullptr ? &rx_state->model_update : nullptr;
+  scratch = read_params(body, offset, view.flags(), base);
+  if (offset != body.size()) throw WireError("trailing bytes after model update");
+  if (rx_state != nullptr) rx_state->model_update = scratch;
+  return scratch;
 }
 
 std::size_t encoded_size(const Payload& payload, const Codec& codec) {

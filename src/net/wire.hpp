@@ -1,5 +1,5 @@
 #pragma once
-// Wire codec for federation traffic (DESIGN.md §9).
+// Wire codec for federation traffic (DESIGN.md §9, §11).
 //
 // Every message that crosses a link — in-process loopback or a real socket —
 // is one length-framed, versioned, checksummed frame:
@@ -8,7 +8,7 @@
 //   0      4    magic 0xABDF4E71
 //   4      2    codec version (kWireVersion)
 //   6      2    message kind (MsgKind)
-//   8      2    flags (bit 0: quantized parameter payload)
+//   8      2    flags (bit 0: quantized, bit 1: top-k sparse, bit 2: delta)
 //   10     2    reserved, must be 0
 //   12     4    sender node id
 //   16     4    receiver node id
@@ -18,11 +18,23 @@
 //   32+n   8    FNV-1a digest over bytes [0, 32+n)
 //
 // All integers are little-endian (the codec refuses byte-swapped frames with
-// a clear error instead of mis-decoding them).  Model parameters inside a
-// body reuse the nn/serialize.hpp blob — magic, version, count, floats,
-// digest — so a corrupted tensor is caught twice, once per layer.  Links
-// that negotiated compression carry the nn/quantize block format instead
-// (flags bit 0), trading ~4x wire size for bounded reconstruction error.
+// a clear error instead of mis-decoding them).  A parameter section inside a
+// body is the composition of up to three negotiated stages (Codec):
+//
+//   delta     values are v = params - last reconstructed model on this link
+//             (kFlagDelta; dense fallback when the link has no cached base);
+//   top-k     only the k largest-|v| entries travel, as a sparse section:
+//             k (u32), d (u64), k strictly-increasing u32 indices, values
+//             (kFlagTopK; absent entries are 0, or the base under delta);
+//   quantize  the transmitted values ride the nn/quantize block format
+//             instead of raw float32 (kFlagQuantized).
+//
+// Raw dense parameters reuse the nn/serialize.hpp blob — magic, version,
+// count, floats, digest — so a corrupted tensor is caught twice, once per
+// layer, and so the float bytes of an encoded frame ARE the in-memory
+// representation: the zero-copy receive path (FrameView /
+// model_update_params) hands aggregation a span into the frame without
+// decoding.
 //
 // The four payload kinds cover everything the federation exchanges: trained
 // model updates going up, flag/global partial models (with their Eq. 1
@@ -44,7 +56,7 @@ namespace abdhfl::net {
 using NodeId = std::uint32_t;
 
 inline constexpr std::uint32_t kWireMagic = 0xABDF4E71U;
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;  // v2: topk/delta codecs
 
 /// Header bytes before the body; the trailing digest adds 8 more.
 inline constexpr std::size_t kHeaderSize = 32;
@@ -52,6 +64,15 @@ inline constexpr std::size_t kDigestSize = 8;
 
 /// Frame flags.
 inline constexpr std::uint16_t kFlagQuantized = 1u << 0;
+inline constexpr std::uint16_t kFlagTopK = 1u << 1;
+inline constexpr std::uint16_t kFlagDelta = 1u << 2;
+inline constexpr std::uint16_t kKnownFlags = kFlagQuantized | kFlagTopK | kFlagDelta;
+
+/// Hard ceiling on any wire-supplied dense parameter count (64M floats =
+/// 256MB).  The sparse section carries its dense size d out-of-band of the
+/// value bytes, so unlike the dense blob it cannot be bounded by the bytes
+/// present — this cap is what stops a forged d from sizing the allocation.
+inline constexpr std::uint64_t kMaxWireParams = std::uint64_t{1} << 26;
 
 enum class MsgKind : std::uint16_t {
   kModelUpdate = 1,    // device/cluster update going up the tree
@@ -72,8 +93,30 @@ struct WireError : std::runtime_error {
 struct Codec {
   std::uint8_t quantize_bits = 0;  // 0 = raw float32, 1..8 = nn/quantize
   std::uint32_t block = 256;       // values per quantization block
+  std::uint32_t topk = 0;          // 0 = dense, else keep the k largest |v|
+  bool delta = false;              // encode vs the link's last model
 
   [[nodiscard]] bool quantized() const noexcept { return quantize_bits != 0; }
+  [[nodiscard]] bool compressed() const noexcept {
+    return quantized() || topk != 0 || delta;
+  }
+};
+
+/// Per-link delta-codec state: the last *reconstructed* parameter vector per
+/// parameter-carrying kind.  Both ends of a link update their copy from the
+/// same post-lossy reconstruction (the sender decodes its own encoding), so
+/// the bases stay bitwise-synchronized as long as frames arrive in order.
+/// Cleared on any link reset (drop, reconnect, redial) — the next frame then
+/// falls back to dense and re-seeds both sides.
+struct CodecState {
+  std::vector<float> model_update;
+  std::vector<float> partial_model;
+
+  [[nodiscard]] std::vector<float>& slot(MsgKind kind);
+  void clear() noexcept {
+    model_update.clear();
+    partial_model.clear();
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -149,21 +192,127 @@ struct WireMessage {
   Envelope env;
   MsgKind kind = MsgKind::kModelUpdate;
   bool quantized = false;
+  bool topk = false;
+  bool delta = false;
   Payload payload;
 };
 
 // ---------------------------------------------------------------------------
-// Encode / decode.
+// Zero-copy receive: a validated, non-owning view over one complete frame.
 
-/// Encode one frame.  `codec` applies to payloads that carry parameters
-/// (ModelUpdate, PartialModel); other kinds ignore it.
+/// A bounds-checked span over a complete encoded frame.  parse() validates
+/// everything that does not require touching the body semantics — magic,
+/// version, length framing, digest, reserved field, known flags — so every
+/// accessor afterwards is a plain offset read.  The view does NOT own the
+/// bytes: it is valid only while the backing buffer (an rx ring, a queued
+/// frame) is alive and unmodified.  Lifecycle rules: DESIGN.md §11.
+class FrameView {
+ public:
+  FrameView() = default;
+
+  /// Wrap and fully validate `frame` (which must be exactly one frame).
+  /// Throws WireError on any corruption.
+  [[nodiscard]] static FrameView parse(std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return frame_; }
+  [[nodiscard]] MsgKind kind() const noexcept;
+  [[nodiscard]] std::uint16_t flags() const noexcept;
+  [[nodiscard]] Envelope env() const noexcept;
+  [[nodiscard]] bool quantized() const noexcept { return (flags() & kFlagQuantized) != 0; }
+  [[nodiscard]] bool topk() const noexcept { return (flags() & kFlagTopK) != 0; }
+  [[nodiscard]] bool delta() const noexcept { return (flags() & kFlagDelta) != 0; }
+  [[nodiscard]] std::span<const std::uint8_t> body() const noexcept;
+
+  /// Materialize the frame into an owned WireMessage.  `rx_state` (optional)
+  /// is the link's delta base: required to decode kFlagDelta frames, and
+  /// updated with the reconstructed parameters of every parameter-carrying
+  /// frame when non-null (pass it iff the link negotiated delta).
+  [[nodiscard]] WireMessage decode(CodecState* rx_state = nullptr) const;
+
+ private:
+  std::span<const std::uint8_t> frame_;
+};
+
+/// The fixed fields of a ModelUpdate frame, read without materializing the
+/// parameter vector.
+struct ModelUpdateHead {
+  std::uint32_t sender = 0;
+  std::uint32_t level = 0;
+  std::uint64_t samples = 0;
+  std::size_t param_count = 0;  // dense dimension after reconstruction
+};
+
+/// Throws WireError if `view` is not a ModelUpdate or its parameter header
+/// is malformed.
+[[nodiscard]] ModelUpdateHead peek_model_update(const FrameView& view);
+
+/// The reconstructed dense parameters of a ModelUpdate frame, for streaming
+/// consumers (decode-into-aggregation).  Raw dense frames whose float bytes
+/// are suitably aligned return a span INTO THE FRAME — zero copy, zero
+/// allocation; every other path (quantized / top-k / delta / unaligned)
+/// reconstructs into `scratch` and returns a span over it.  `rx_state`
+/// follows the same contract as FrameView::decode.  The returned span dies
+/// with the frame bytes or the next reuse of `scratch`, whichever is first.
+[[nodiscard]] std::span<const float> model_update_params(const FrameView& view,
+                                                         CodecState* rx_state,
+                                                         std::vector<float>& scratch);
+
+// ---------------------------------------------------------------------------
+// Scatter-gather encode.
+
+/// One encoded frame as up to three segments, so the raw-dense hot path
+/// never copies the float payload: `inline_payload` aliases either the
+/// caller's parameter vector or `scratch_values` (delta/top-k transforms).
+/// Send with writev(head, inline_payload, tail) or flatten with concat().
+/// The caller must keep the aliased payload alive until the bytes are on
+/// the wire.  Reusable: encode_frame_parts() clears and refills, keeping
+/// the vectors' capacity across rounds (no per-round staging allocation).
+struct EncodedParts {
+  std::vector<std::uint8_t> head;                  // header + fixed fields + section prefix
+  std::span<const std::uint8_t> inline_payload{};  // raw float bytes (may be empty)
+  std::vector<std::uint8_t> tail;                  // blob digest (raw dense) + frame digest
+  std::vector<float> scratch_values;               // backing store for transformed values
+
+  // Delta bookkeeping: the reconstruction to install into the sender's
+  // CodecState once the frame is actually on the wire (commit-after-send, so
+  // a failed write cannot desynchronize the two ends' bases).
+  bool has_recon = false;
+  MsgKind recon_kind = MsgKind::kModelUpdate;
+  std::vector<float> recon;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return head.size() + inline_payload.size() + tail.size();
+  }
+  [[nodiscard]] std::vector<std::uint8_t> concat() const;
+  /// Install `recon` as the link's new tx base (no-op without one).
+  void commit_tx(CodecState& state);
+};
+
+/// Encode one frame into `out` (cleared first; capacity is reused).  `codec`
+/// applies to payloads that carry parameters (ModelUpdate, PartialModel);
+/// other kinds ignore it.  `tx_state` (optional) is the link's delta base:
+/// with codec.delta set, a matching base turns the frame into a delta and
+/// out.recon carries the reconstruction to commit_tx() after the send.
+void encode_frame_parts(const Envelope& env, const Payload& payload, const Codec& codec,
+                        const CodecState* tx_state, EncodedParts& out);
+
+/// Encode one frame into a single contiguous buffer (parts + concat).  The
+/// stateless overload cannot produce delta frames; the stateful one commits
+/// the tx base immediately (delivery assumed — loopback, tests).
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(const Envelope& env,
                                                      const Payload& payload,
                                                      const Codec& codec = {});
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Envelope& env,
+                                                     const Payload& payload,
+                                                     const Codec& codec,
+                                                     CodecState* tx_state);
 
 /// Decode a complete frame; throws WireError on any corruption (bad magic,
 /// byte-swapped magic, version/kind mismatch, truncation, digest failure).
+/// Equivalent to FrameView::parse(frame).decode(rx_state).
 [[nodiscard]] WireMessage decode_frame(std::span<const std::uint8_t> frame);
+[[nodiscard]] WireMessage decode_frame(std::span<const std::uint8_t> frame,
+                                       CodecState* rx_state);
 
 /// Stream-parsing helper: given at least kHeaderSize buffered bytes, returns
 /// the total frame length (header + body + digest) after validating magic and
@@ -179,7 +328,9 @@ struct WireMessage {
   return kHeaderSize + kDigestSize;
 }
 
-/// Exact encoded frame size of a payload under a codec.
+/// Exact encoded frame size of a payload under a codec.  Delta does not
+/// change the size (it only changes the transmitted values), so this is
+/// exact whether or not the link's cache is warm.
 [[nodiscard]] std::size_t encoded_size(const Payload& payload, const Codec& codec = {});
 
 /// Exact frame size of a ModelUpdate carrying `param_count` raw floats.

@@ -437,19 +437,34 @@ TEST(Tcp, NoRouteWithoutLink) {
   EXPECT_EQ(node.send({3, 4, 0}, ConsensusVote{}), SendStatus::kNoRoute);
 }
 
-// FNV-1a 64, same constants as the codec: the frame digest is an integrity
-// check, not a MAC, so a connected peer can forge it — these tests do.
-std::uint64_t forge_fnv1a(const std::uint8_t* data, std::size_t n) {
+// Word-folded FNV-1a 64, same algorithm and constants as the codec's frame
+// digest (wire v2): full little-endian words, then the partial tail word
+// and its length.  The digest is an integrity check, not a MAC, so a
+// connected peer can forge it — these tests do.
+std::uint64_t forge_frame_digest(const std::uint8_t* data, std::size_t n) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
   std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= data[i];
-    h *= 0x100000001B3ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data + i, sizeof(word));
+    h ^= word;
+    h *= kPrime;
   }
+  std::uint64_t pending = 0;
+  for (std::size_t b = 0; i < n; ++i, ++b) {
+    pending |= static_cast<std::uint64_t>(data[i]) << (8 * b);
+  }
+  h ^= pending;
+  h *= kPrime;
+  h ^= static_cast<std::uint64_t>(n % 8);
+  h *= kPrime;
   return h;
 }
 
 void refresh_digest(std::vector<std::uint8_t>& frame) {
-  const std::uint64_t digest = forge_fnv1a(frame.data(), frame.size() - kDigestSize);
+  const std::uint64_t digest =
+      forge_frame_digest(frame.data(), frame.size() - kDigestSize);
   std::memcpy(frame.data() + frame.size() - kDigestSize, &digest, sizeof digest);
 }
 
@@ -707,6 +722,372 @@ TEST(Node, RootReadmitsWorkerAfterTransientDrop) {
   EXPECT_EQ(root.result().workers_lost, 1u);
   EXPECT_EQ(root.result().workers_rejoined, 1u);
   EXPECT_EQ(root.result().round_accuracy.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Top-k / delta codecs and the zero-copy receive path (DESIGN.md §11).
+
+TEST(Wire, TopKRoundTripKeepsLargestEntries) {
+  ModelUpdate update;
+  update.sender = 3;
+  update.params = test_params(32);
+  Codec codec;
+  codec.topk = 4;
+
+  const auto dense = encode_frame({1, 2, 0}, update);
+  const auto sparse = encode_frame({1, 2, 0}, update, codec);
+  EXPECT_LT(sparse.size(), dense.size());
+  EXPECT_EQ(sparse.size(), encoded_size(Payload{update}, codec));
+
+  const auto decoded = decode_frame(sparse);
+  EXPECT_TRUE(decoded.topk);
+  const auto& out = std::get<ModelUpdate>(decoded.payload).params;
+  ASSERT_EQ(out.size(), update.params.size());
+  // The kept entries are the 4 largest magnitudes, bitwise; everything else
+  // decodes to zero.
+  std::vector<std::size_t> order(out.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const float fa = std::abs(update.params[a]);
+    const float fb = std::abs(update.params[b]);
+    return fa != fb ? fa > fb : a < b;
+  });
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != 0.0f) ++kept;
+  }
+  EXPECT_EQ(kept, 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(out[order[j]], update.params[order[j]]) << "rank " << j;
+  }
+}
+
+TEST(Wire, TopKWithKAtLeastDimKeepsEverything) {
+  ModelUpdate update;
+  update.params = test_params(10);
+  Codec codec;
+  codec.topk = 64;  // k >= d: every entry survives (k is clamped to d)
+  const auto decoded = decode_frame(encode_frame({1, 2, 0}, update, codec));
+  const auto& out = std::get<ModelUpdate>(decoded.payload).params;
+  ASSERT_EQ(out.size(), update.params.size());
+  EXPECT_EQ(std::memcmp(out.data(), update.params.data(), out.size() * sizeof(float)),
+            0);
+}
+
+TEST(Wire, TopKComposesWithQuantization) {
+  ModelUpdate update;
+  update.params = test_params(128);
+  Codec codec;
+  codec.topk = 8;
+  codec.quantize_bits = 8;
+  const auto frame = encode_frame({1, 2, 0}, update, codec);
+  EXPECT_LT(frame.size(), encode_frame({1, 2, 0}, update).size());
+  EXPECT_EQ(frame.size(), encoded_size(Payload{update}, codec));
+  const auto decoded = decode_frame(frame);
+  EXPECT_TRUE(decoded.topk);
+  EXPECT_TRUE(decoded.quantized);
+  const auto& out = std::get<ModelUpdate>(decoded.payload).params;
+  ASSERT_EQ(out.size(), update.params.size());
+  // Quantization perturbs the values but not the support: at most k nonzero,
+  // each within a quantization step of the original.
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != 0.0f) {
+      ++nonzero;
+      EXPECT_NEAR(out[i], update.params[i], 0.1f) << i;
+    }
+  }
+  EXPECT_LE(nonzero, 8u);
+  EXPECT_GE(nonzero, 1u);
+}
+
+TEST(Wire, DeltaRoundTripTracksLinkState) {
+  Codec codec;
+  codec.delta = true;
+  CodecState tx, rx;
+
+  ModelUpdate update;
+  update.params = test_params(33);
+  const auto cold = encode_frame({1, 2, 0}, update, codec, &tx);
+  const auto first = decode_frame(cold, &rx);
+  // Cold cache: the frame goes out dense and seeds both bases.
+  EXPECT_FALSE(first.delta);
+  EXPECT_EQ(std::memcmp(std::get<ModelUpdate>(first.payload).params.data(),
+                        update.params.data(), 33 * sizeof(float)),
+            0);
+  ASSERT_EQ(tx.model_update.size(), 33u);
+  EXPECT_EQ(std::memcmp(tx.model_update.data(), rx.model_update.data(),
+                        33 * sizeof(float)),
+            0);
+
+  // Warm cache: the next frame is a delta, and both ends reconstruct the
+  // SAME next base — base + (p2 - base) in float, which is not always p2.
+  const std::vector<float> base = update.params;
+  ModelUpdate next;
+  next.params = test_params(33);
+  for (auto& v : next.params) v += 0.25f;
+  const auto warm = encode_frame({1, 2, 1}, next, codec, &tx);
+  EXPECT_EQ(warm.size(), encoded_size(Payload{next}, codec));  // size is delta-blind
+  const auto second = decode_frame(warm, &rx);
+  EXPECT_TRUE(second.delta);
+  std::vector<float> expected(33);
+  for (std::size_t i = 0; i < 33; ++i) {
+    expected[i] = base[i] + (next.params[i] - base[i]);
+  }
+  const auto& out = std::get<ModelUpdate>(second.payload).params;
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(), 33 * sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(tx.model_update.data(), rx.model_update.data(),
+                        33 * sizeof(float)),
+            0);
+
+  // Each parameter-carrying kind tracks its own base: a PartialModel on the
+  // same link starts cold.
+  PartialModel partial;
+  partial.params = test_params(21);
+  const auto pm = decode_frame(encode_frame({1, 2, 1}, partial, codec, &tx), &rx);
+  EXPECT_FALSE(pm.delta);
+}
+
+TEST(Wire, DeltaFrameWithoutBaseIsRejected) {
+  Codec codec;
+  codec.delta = true;
+  CodecState tx;
+  ModelUpdate update;
+  update.params = test_params(16);
+  (void)encode_frame({1, 2, 0}, update, codec, &tx);  // seed the tx base
+  const auto delta_frame = encode_frame({1, 2, 1}, update, codec, &tx);
+
+  CodecState cold_rx;
+  EXPECT_THROW((void)decode_frame(delta_frame, &cold_rx), WireError);
+  EXPECT_THROW((void)decode_frame(delta_frame), WireError);  // no state at all
+}
+
+TEST(Wire, ForgedSparseHeaderCannotDriveAllocation) {
+  // Sparse section layout: k(u32) at body+16, d(u64) at body+20, then k
+  // ascending u32 indices.  Every forged field must be rejected against the
+  // bytes actually present before it sizes an allocation.
+  ModelUpdate update;
+  update.params = test_params(64);
+  Codec codec;
+  codec.topk = 8;
+  const auto good = encode_frame({1, 2, 0}, update, codec);
+
+  auto bad = good;  // k far beyond the frame's actual index bytes
+  const std::uint32_t huge_k = 0x7FFFFFFFu;
+  std::memcpy(bad.data() + kHeaderSize + 16, &huge_k, sizeof huge_k);
+  refresh_digest(bad);
+  EXPECT_THROW((void)decode_frame(bad), WireError);
+
+  bad = good;  // d beyond the global parameter cap: dense buffer never sized
+  const std::uint64_t huge_d = std::uint64_t{1} << 62;
+  std::memcpy(bad.data() + kHeaderSize + 20, &huge_d, sizeof huge_d);
+  refresh_digest(bad);
+  EXPECT_THROW((void)decode_frame(bad), WireError);
+
+  bad = good;  // duplicate index: breaks the strictly-increasing invariant
+  std::memcpy(bad.data() + kHeaderSize + 32, bad.data() + kHeaderSize + 28, 4);
+  refresh_digest(bad);
+  EXPECT_THROW((void)decode_frame(bad), WireError);
+
+  bad = good;  // last index pushed out of [0, d)
+  const std::uint32_t oob = 64;
+  std::memcpy(bad.data() + kHeaderSize + 28 + 7 * 4, &oob, sizeof oob);
+  refresh_digest(bad);
+  EXPECT_THROW((void)decode_frame(bad), WireError);
+}
+
+TEST(Wire, ModelUpdateParamsIsZeroCopyForRawDense) {
+  ModelUpdate update;
+  update.sender = 9;
+  update.level = 1;
+  update.samples = 77;
+  update.params = test_params(64);
+  const auto frame = encode_frame({1, 2, 5}, update);
+
+  const FrameView view = FrameView::parse(frame);
+  const ModelUpdateHead head = peek_model_update(view);
+  EXPECT_EQ(head.sender, 9u);
+  EXPECT_EQ(head.samples, 77u);
+  EXPECT_EQ(head.param_count, 64u);
+
+  std::vector<float> scratch;
+  const auto params = model_update_params(view, nullptr, scratch);
+  ASSERT_EQ(params.size(), 64u);
+  EXPECT_EQ(std::memcmp(params.data(), update.params.data(), 64 * sizeof(float)), 0);
+  // Raw dense: the span aliases the frame bytes themselves — no copy.
+  const auto* lo = reinterpret_cast<const std::uint8_t*>(params.data());
+  EXPECT_GE(lo, frame.data());
+  EXPECT_LT(lo, frame.data() + frame.size());
+  EXPECT_TRUE(scratch.empty());
+
+  // A transformed frame (quantized here) must reconstruct into scratch.
+  Codec codec;
+  codec.quantize_bits = 8;
+  const auto packed = encode_frame({1, 2, 5}, update, codec);
+  const FrameView qview = FrameView::parse(packed);
+  EXPECT_EQ(peek_model_update(qview).param_count, 64u);
+  const auto qparams = model_update_params(qview, nullptr, scratch);
+  ASSERT_EQ(qparams.size(), 64u);
+  EXPECT_EQ(qparams.data(), scratch.data());
+}
+
+TEST(Wire, CompressSpecParsing) {
+  FederationConfig config;
+  EXPECT_TRUE(apply_compress_spec("", config));
+  EXPECT_EQ(config.topk, 0u);
+  EXPECT_FALSE(config.delta);
+  EXPECT_TRUE(apply_compress_spec("topk:128", config));
+  EXPECT_EQ(config.topk, 128u);
+  EXPECT_TRUE(apply_compress_spec("delta", config));
+  EXPECT_TRUE(config.delta);
+  config = {};
+  EXPECT_TRUE(apply_compress_spec("topk:64,delta", config));
+  EXPECT_EQ(config.topk, 64u);
+  EXPECT_TRUE(config.delta);
+  for (const char* bad : {"topk:", "topk:0", "topk:abc", "gzip", "topk:1x"}) {
+    FederationConfig untouched;
+    EXPECT_FALSE(apply_compress_spec(bad, untouched)) << bad;
+    EXPECT_EQ(untouched.topk, 0u) << bad;
+    EXPECT_FALSE(untouched.delta) << bad;
+  }
+}
+
+TEST(Loopback, CompressedLinkAccountsRawAndWireBytes) {
+  LoopbackTransport transport;
+  std::size_t received = 0;
+  transport.register_node(1, [](const WireMessage&) {});
+  transport.register_node(2, [&](const WireMessage& msg) {
+    if (msg.kind == MsgKind::kModelUpdate) ++received;
+  });
+  Codec codec;
+  codec.topk = 16;
+  transport.set_peer_codec(2, codec);
+
+  ModelUpdate update;
+  update.params = test_params(256);
+  ASSERT_EQ(transport.send({1, 2, 0}, update), SendStatus::kOk);
+  transport.poll(0.0);
+  ASSERT_EQ(received, 1u);
+
+  const TransportStats& stats = transport.stats();
+  // Wire bytes shrank; raw accounting still reports the dense model cost.
+  EXPECT_EQ(stats.bytes_sent, encoded_size(Payload{update}, codec));
+  EXPECT_EQ(stats.bytes_sent_raw, encoded_size(Payload{update}, Codec{}));
+  EXPECT_EQ(stats.bytes_received, stats.bytes_sent);
+  EXPECT_EQ(stats.bytes_received_raw, stats.bytes_sent_raw);
+  EXPECT_LT(stats.bytes_sent, stats.bytes_sent_raw);
+}
+
+TEST(Tcp, ReconnectInvalidatesDeltaCache) {
+  RetryPolicy fast;
+  fast.max_attempts = 3;
+  fast.initial_backoff_s = 0.01;
+  fast.max_backoff_s = 0.05;
+  fast.send_timeout_s = 2.0;
+
+  Codec codec;
+  codec.delta = true;
+
+  TcpTransport root(0, fast);
+  const auto port = root.listen(0);
+  root.set_peer_codec(5, codec);
+  std::vector<WireMessage> updates;
+  root.register_node(0, [&](const WireMessage& msg) {
+    if (msg.kind == MsgKind::kModelUpdate) updates.push_back(msg);
+  });
+
+  ModelUpdate update;
+  update.params = test_params(48);
+  {
+    TcpTransport worker(5, fast);
+    worker.register_node(5, [](const WireMessage&) {});
+    worker.set_peer_codec(0, codec);
+    ASSERT_TRUE(worker.connect_peer(0, "127.0.0.1", port));
+    ASSERT_EQ(worker.send({5, 0, 0}, update), SendStatus::kOk);
+    ASSERT_EQ(worker.send({5, 0, 1}, update), SendStatus::kOk);
+    ASSERT_TRUE(pump(root, worker, [&] { return updates.size() == 2; }));
+    EXPECT_FALSE(updates[0].delta);  // cold link seeds dense
+    EXPECT_TRUE(updates[1].delta);   // warm link sends a delta
+    worker.close();
+  }
+
+  // A fresh socket for the same node id: the root's reconnect path must have
+  // dropped the link's bases, and the revived sender starts cold too — the
+  // first frame after a reconnect is dense, never a delta against a base the
+  // other end no longer has.
+  TcpTransport revived(5, fast);
+  revived.register_node(5, [](const WireMessage&) {});
+  revived.set_peer_codec(0, codec);
+  ASSERT_TRUE(revived.connect_peer(0, "127.0.0.1", port));
+  ASSERT_EQ(revived.send({5, 0, 2}, update), SendStatus::kOk);
+  ASSERT_TRUE(pump(root, revived, [&] { return updates.size() == 3; }));
+  EXPECT_FALSE(updates[2].delta);
+  EXPECT_EQ(std::memcmp(std::get<ModelUpdate>(updates[2].payload).params.data(),
+                        update.params.data(), 48 * sizeof(float)),
+            0);
+  root.close();
+  revived.close();
+}
+
+TEST(Node, StreamingRootRuleMatchesTransportFreeReference) {
+  // root_rule=mean streams (MeanAggregator::make_stream != nullptr), so this
+  // loopback federation exercises the raw-handler fast path end to end; the
+  // result must still be bitwise the transport-free reference loop.
+  FederationConfig config;
+  config.workers = 3;
+  config.devices_per_worker = 1;
+  config.rounds = 2;
+  config.local_iters = 2;
+  config.batch = 4;
+  config.hidden = {4};
+  config.samples_per_class = 2;
+  config.test_samples_per_class = 1;
+  config.cluster_rule = "mean";
+  config.root_rule = "mean";
+
+  // Transport-free reference (materialize-first, inputs in worker-id order).
+  auto data = build_federation_data(config);
+  std::vector<std::vector<core::LocalTrainer>> trainers(config.workers);
+  std::vector<std::unique_ptr<agg::Aggregator>> cluster_rules;
+  std::vector<std::vector<float>> current(config.workers, data.init_params);
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    trainers[w].push_back(make_device_trainer(config, data, w));
+    cluster_rules.push_back(agg::make_aggregator(config.cluster_rule));
+  }
+  auto root_rule = agg::make_aggregator(config.root_rule);
+  std::vector<float> global = data.init_params;
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    std::vector<agg::ModelVec> updates;
+    std::vector<std::vector<float>> last(config.workers);
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      last[w] = cluster_round(config, trainers[w], *cluster_rules[w], current[w]);
+      updates.push_back(last[w]);
+    }
+    root_rule->set_reference(global);
+    global = root_rule->aggregate(updates);
+    for (std::size_t w = 0; w < config.workers; ++w) {
+      current[w] = merge_models(global, last[w], config.alpha);
+    }
+  }
+
+  LoopbackTransport transport;
+  RootNode root(config, transport);
+  std::vector<std::unique_ptr<WorkerNode>> workers;
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    workers.push_back(std::make_unique<WorkerNode>(config, w, transport));
+  }
+  root.start();
+  for (auto& worker : workers) worker->start();
+  ASSERT_TRUE(pump_until(transport, [&] {
+    root.on_idle();
+    return root.done();
+  }, 60.0));
+
+  const auto& streamed = root.result().global_model;
+  ASSERT_EQ(streamed.size(), global.size());
+  EXPECT_EQ(std::memcmp(streamed.data(), global.data(), global.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(root.result().rounds_run, config.rounds);
 }
 
 }  // namespace

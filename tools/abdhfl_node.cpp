@@ -20,7 +20,9 @@
 // mid-training instead of retraining from round 0 (README "Crash recovery").
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "ckpt/store.hpp"
 #include "net/loopback.hpp"
@@ -52,6 +54,12 @@ abdhfl::net::FederationConfig config_from_cli(abdhfl::util::Cli& cli) {
   config.root_rule = cli.str("root-rule", "median", "BRA rule at the root");
   config.quantize_bits = static_cast<std::uint8_t>(
       cli.integer("quantize-bits", 0, "link codec: 0 = raw float32, 1..8 = quantized"));
+  const std::string compress = cli.str(
+      "compress", "", "codec spec: topk:K, delta, or topk:K,delta (negotiated per link)");
+  if (!abdhfl::net::apply_compress_spec(compress, config)) {
+    std::fprintf(stderr, "invalid --compress spec '%s'\n", compress.c_str());
+    std::exit(2);
+  }
   config.join_timeout_s = cli.real("join-timeout", 20.0, "root's wait for joins (s)");
   config.round_timeout_s = cli.real("round-timeout", 60.0, "root's wait per round (s)");
   return config;

@@ -52,8 +52,8 @@ group_schemas() {
       groups = {
           {"net",
            {{"net_link",
-             {"link_class", "frames_sent", "bytes_sent", "frames_received",
-              "bytes_received"}},
+             {"link_class", "frames_sent", "bytes_sent", "bytes_sent_raw",
+              "frames_received", "bytes_received", "bytes_received_raw"}},
             {"net_events",
              {"retries", "reconnects", "timeouts", "peer_losses", "decode_errors"}}}},
           {"ckpt",
