@@ -17,15 +17,23 @@
 // snapshot, and must rejoin the running federation (workers_rejoined == 1)
 // instead of retraining from round 0 — the CI crash-recovery smoke.
 //
+// With --trace-dir DIR every TCP process (root + each worker) writes its own
+// distributed-tracing span file (trace-root.jsonl, trace-worker<i>.jsonl)
+// that tools/trace_merge joins into one causal tree per round — the CI
+// tracing smoke.
+//
 //   ./distributed_federation [--rounds 3] [--workers 3] [--kill-worker]
 //                            [--checkpoint-dir ckpts] [--metrics-out dist.jsonl]
+//                            [--trace-dir traces]
 
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <vector>
 
@@ -109,9 +117,16 @@ net::RootResult run_loopback(const net::FederationConfig& config, obs::Recorder*
 // a respawned process continues where the crashed one stopped.
 [[noreturn]] void worker_process(const net::FederationConfig& config, std::size_t index,
                                  std::uint16_t port, long die_after_round,
-                                 const std::string& ckpt_dir, bool resume) {
+                                 const std::string& ckpt_dir, bool resume,
+                                 const std::string& trace_dir = std::string()) {
   net::TcpTransport transport(net::worker_node_id(index));
   transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
+  std::unique_ptr<obs::TraceBuffer> wtrace;
+  if (!trace_dir.empty()) {
+    wtrace = std::make_unique<obs::TraceBuffer>();
+    wtrace->set_node(net::worker_node_id(index));
+    transport.set_trace(wtrace.get());
+  }
   if (!transport.connect_peer(net::kRootId, "127.0.0.1", port)) _exit(3);
   std::unique_ptr<ckpt::Store> store;
   if (!ckpt_dir.empty()) store = std::make_unique<ckpt::Store>(ckpt_dir);
@@ -130,6 +145,10 @@ net::RootResult run_loopback(const net::FederationConfig& config, obs::Recorder*
         return worker.done();
       },
       300.0);
+  if (wtrace != nullptr) {
+    std::ofstream out(trace_dir + "/trace-worker" + std::to_string(index) + ".jsonl");
+    out << obs::trace_to_jsonl(wtrace->snapshot()) << obs::trace_summary_jsonl(*wtrace);
+  }
   _exit(finished && !worker.failed() ? 0 : 2);
 }
 
@@ -141,9 +160,15 @@ struct TcpOutcome {
 };
 
 TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
-                   const std::string& ckpt_dir, obs::Recorder* rec) {
+                   const std::string& ckpt_dir, obs::Recorder* rec,
+                   const std::string& trace_dir = std::string()) {
   net::TcpTransport transport(net::kRootId);
   const std::uint16_t port = transport.listen(0);
+  obs::TraceBuffer root_trace;
+  if (!trace_dir.empty()) {
+    root_trace.set_node(net::kRootId);
+    transport.set_trace(&root_trace);
+  }
   const bool recovery = kill_worker && !ckpt_dir.empty();
   auto worker_dir = [&](std::size_t w) {
     return ckpt_dir.empty() ? std::string()
@@ -156,7 +181,9 @@ TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
     // after merging the first global model.
     const long die_after = kill_worker && w == 0 ? 1 : -1;
     const pid_t pid = fork();
-    if (pid == 0) worker_process(config, w, port, die_after, worker_dir(w), false);
+    if (pid == 0) {
+      worker_process(config, w, port, die_after, worker_dir(w), false, trace_dir);
+    }
     children.push_back(pid);
   }
 
@@ -189,6 +216,11 @@ TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
       },
       300.0);
   if (rec != nullptr) transport.record_traffic(*rec, root.result().rounds_run);
+  if (!trace_dir.empty()) {
+    std::ofstream tout(trace_dir + "/trace-root.jsonl");
+    tout << obs::trace_to_jsonl(root_trace.snapshot())
+         << obs::trace_summary_jsonl(root_trace);
+  }
 
   out.result = root.result();
   for (std::size_t w = 0; w < children.size(); ++w) {
@@ -240,12 +272,18 @@ int main(int argc, char** argv) {
   const bool kill_worker =
       cli.boolean("kill-worker", false, "kill one TCP worker mid-run (churn demo)");
   const bool skip_tcp = cli.boolean("skip-tcp", false, "run only reference + loopback");
+  const std::string trace_dir = cli.str(
+      "trace-dir", "", "write per-process TCP trace JSONL files here (\"\" = off)");
   const auto obs_opts = obs::declare_cli(cli);
   const auto ckpt_opts = ckpt::declare_cli(cli);
   if (!cli.finish()) return 0;
   if (!net::apply_compress_spec(compress, config)) {
     std::fprintf(stderr, "invalid --compress spec '%s'\n", compress.c_str());
     return 2;
+  }
+  if (!trace_dir.empty()) {
+    config.trace = true;  // negotiate trace contexts on every TCP link
+    ::mkdir(trace_dir.c_str(), 0755);  // EEXIST is fine
   }
 
   obs::Recorder recorder;
@@ -282,7 +320,7 @@ int main(int argc, char** argv) {
 
   bool tcp_ok = true;
   if (!skip_tcp) {
-    const TcpOutcome tcp = run_tcp(config, kill_worker, ckpt_opts.dir, rec);
+    const TcpOutcome tcp = run_tcp(config, kill_worker, ckpt_opts.dir, rec, trace_dir);
     std::printf("tcp       (%zu processes):    accuracy %.4f  (%zu joined, %zu lost)\n",
                 config.workers + 1, tcp.result.final_accuracy, tcp.result.workers_joined,
                 tcp.result.workers_lost);

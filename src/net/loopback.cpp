@@ -34,11 +34,16 @@ SendStatus LoopbackTransport::send(const Envelope& env, const Payload& payload,
 
   const Codec codec = codec_for(env.to);
   CodecState* tx = codec.delta ? &tx_codec_state(env.from, env.to) : nullptr;
-  encode_frame_parts(env, payload, codec, tx, tx_parts_);
+  TraceContext trace_ctx;
+  if (tracing_to(env.to)) {
+    trace_ctx = {span.trace_id(), span.id(), span.parent_id(), obs::wall_clock_ns()};
+  }
+  encode_frame_parts(env, payload, codec, tx, tx_parts_,
+                     trace_ctx.valid() ? &trace_ctx : nullptr);
   auto frame = tx_parts_.concat();
   // Queueing is delivery here (FIFO, no losses), so the tx base commits now.
   if (tx != nullptr) tx_parts_.commit_tx(*tx);
-  note_sent(frame.size(), encoded_size(payload), link_class);
+  note_sent(frame.size(), encoded_size(payload), link_class, env.to);
 
   if (network_ != nullptr) {
     sim::Message msg;
@@ -56,6 +61,14 @@ SendStatus LoopbackTransport::send(const Envelope& env, const Payload& payload,
 
   queue_.emplace_back(std::move(frame), link_class);
   return SendStatus::kOk;
+}
+
+std::uint64_t LoopbackTransport::backlog_bytes(std::uint32_t link_class) const {
+  std::uint64_t total = 0;
+  for (const auto& [frame, cls] : queue_) {
+    if (cls == link_class) total += frame.size();
+  }
+  return total;
 }
 
 std::size_t LoopbackTransport::poll(double timeout_s) {

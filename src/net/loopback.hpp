@@ -47,6 +47,10 @@ class LoopbackTransport : public Transport {
                   std::uint32_t link_class = 0) override;
   std::size_t poll(double timeout_s) override;
 
+  /// Bytes queued for delivery on `link_class` (standalone mode; sim-backed
+  /// delivery queues inside the simulator, which meters its own links).
+  [[nodiscard]] std::uint64_t backlog_bytes(std::uint32_t link_class) const override;
+
  private:
   void deliver(const std::vector<std::uint8_t>& frame, std::uint32_t link_class);
 

@@ -10,7 +10,10 @@
 #include "ckpt/store.hpp"
 #include "data/partition.hpp"
 #include "data/synth_digits.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "obs/record.hpp"
+#include "obs/trace.hpp"
 #include "topology/churn.hpp"
 #include "util/rng.hpp"
 
@@ -22,6 +25,23 @@ double wall_now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// NTP-style estimates from one request/reply exchange: t0 = our send stamp
+/// (echoed back), t1 = the remote's reply stamp, t3 = now.  rtt = t3 - t0;
+/// offset = t1 - midpoint, i.e. remote_wall ≈ local_wall + offset.
+struct EchoEstimate {
+  double rtt_ms = 0.0;
+  double offset_ns = 0.0;
+};
+
+EchoEstimate estimate_from_echo(std::int64_t echoed_t0, std::int64_t remote_t1) {
+  const std::int64_t t3 = obs::wall_clock_ns();
+  EchoEstimate est;
+  est.rtt_ms = static_cast<double>(t3 - echoed_t0) / 1e6;
+  est.offset_ns = static_cast<double>(remote_t1) -
+                  (static_cast<double>(echoed_t0) + static_cast<double>(t3)) / 2.0;
+  return est;
 }
 
 }  // namespace
@@ -150,6 +170,7 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
   transport_.add_peer_loss_handler([this](NodeId peer) {
     if (peer == kRootId && !done_) finish(/*failed=*/true);
   });
+  if (config_.trace) transport_.set_tracing(true);
 }
 
 void WorkerNode::start() {
@@ -161,6 +182,8 @@ void WorkerNode::start() {
   join.codec.quantize_bits = config_.quantize_bits;
   join.codec.topk = config_.topk;
   join.codec.delta = config_.delta;
+  join.trace = config_.trace;        // capability advertisement
+  join.wall_ns = obs::wall_clock_ns();  // echoed back for the first RTT sample
   const SendStatus status =
       transport_.send({id_, kRootId, 0}, join, kLeaderLinkClass);
   if (status != SendStatus::kOk) finish(/*failed=*/true);
@@ -169,11 +192,40 @@ void WorkerNode::start() {
 void WorkerNode::on_idle() {}
 
 void WorkerNode::on_message(WireMessage& msg) {
+  // Introspection works in every state — a probe must never be able to
+  // perturb training, and a late reply is still a valid RTT sample.
+  if (msg.kind == MsgKind::kStatusRequest) {
+    reply_status(std::get<StatusRequest>(msg.payload), msg.env.from);
+    return;
+  }
+  if (msg.kind == MsgKind::kStatusReply) {
+    const auto& reply = std::get<StatusReply>(msg.payload);
+    const EchoEstimate est = estimate_from_echo(reply.echo_wall_ns, reply.wall_ns);
+    transport_.note_rtt(msg.env.from, kLeaderLinkClass, est.rtt_ms, est.offset_ns);
+    if (msg.env.from == kRootId && transport_.trace_sink() != nullptr) {
+      // The root's clock is the federation reference the merge tool aligns to.
+      transport_.trace_sink()->set_clock_offset_ns(
+          static_cast<std::int64_t>(est.offset_ns));
+    }
+    return;
+  }
   if (done_) return;
   if (msg.kind == MsgKind::kMembership) {
     const auto& member = std::get<Membership>(msg.payload);
     if (member.event == Membership::Event::kJoin) {
       transport_.set_peer_codec(kRootId, member.codec);
+      transport_.set_peer_tracing(kRootId, member.trace && config_.trace);
+      if (member.echo_wall_ns != 0) {
+        // Coarse first estimate from the join echo (inflated by the root's
+        // join-wait; the per-round status pings refine it).
+        const EchoEstimate est =
+            estimate_from_echo(member.echo_wall_ns, member.wall_ns);
+        transport_.note_rtt(kRootId, kLeaderLinkClass, est.rtt_ms, est.offset_ns);
+        if (transport_.trace_sink() != nullptr) {
+          transport_.trace_sink()->set_clock_offset_ns(
+              static_cast<std::int64_t>(est.offset_ns));
+        }
+      }
       if (!started_) {
         // Join echo: the root confirmed us and fixed the link codec.  The
         // envelope round is the round the root is collecting — 0 for a fresh
@@ -199,7 +251,12 @@ void WorkerNode::on_message(WireMessage& msg) {
   if (msg.kind == MsgKind::kPartialModel) {
     const auto& partial = std::get<PartialModel>(msg.payload);
     if (msg.env.round != round_) return;  // stale frame from a dropped round
-    merge_models_into(partial.params, last_cluster_, partial.alpha, current_);
+    {
+      // Nests under the delivering net_recv span — the cross-process edge
+      // back to the root's broadcast.
+      obs::Span merge_span(transport_.trace_sink(), "merge", round_, id_);
+      merge_models_into(partial.params, last_cluster_, partial.alpha, current_);
+    }
     ++round_;
     if (recorder_ != nullptr) {
       obs::RoundRecord& rec = recorder_->begin_round("dist_worker", round_ - 1);
@@ -220,13 +277,56 @@ void WorkerNode::on_message(WireMessage& msg) {
       transport_.send({id_, kRootId, round_}, leave, kLeaderLinkClass);
       finish(/*failed=*/false);
     } else {
+      send_status_ping();  // refresh RTT/offset on live join traffic
       train_and_send();
     }
   }
 }
 
+void WorkerNode::send_status_ping() {
+  StatusRequest ping;
+  ping.probe = ++probe_seq_;
+  ping.wall_ns = obs::wall_clock_ns();
+  transport_.send({id_, kRootId, round_}, ping, kLeaderLinkClass);
+}
+
+void WorkerNode::reply_status(const StatusRequest& request, NodeId to) {
+  // An observer's link teardown is expected — never churn, never a loss.
+  if (is_observer(to)) transport_.mark_transient(to);
+  StatusReply reply;
+  reply.node = id_;
+  reply.probe = request.probe;
+  reply.round = round_;
+  reply.phase = done_ ? 3 : (started_ ? 1 : 0);
+  reply.wall_ns = obs::wall_clock_ns();
+  reply.echo_wall_ns = request.wall_ns;
+  StatusPeer up;
+  up.node = kRootId;
+  up.state = 0;
+  const LinkTelemetry link = transport_.peer_telemetry(kRootId);
+  up.rtt_ms = static_cast<float>(link.rtt_ms);
+  up.bytes_sent = link.bytes_sent;
+  up.bytes_received = link.bytes_received;
+  reply.peers.push_back(up);
+  if (request.detail != 0 && obs::enabled()) {
+    reply.metrics = obs::to_prometheus(obs::global_registry().scrape());
+  }
+  transport_.send({id_, to, round_}, reply, kLeaderLinkClass);
+}
+
 void WorkerNode::train_and_send() {
-  last_cluster_ = cluster_round(config_, trainers_, *rule_, current_);
+  obs::TraceBuffer* trace = transport_.trace_sink();
+  const std::uint64_t trace_id = obs::make_trace_id(config_.seed, round_);
+  if (trace != nullptr) trace->set_trace_id(trace_id);
+  // Round-root span: explicitly parentless (has_parent with parent 0), since
+  // this runs inside the *previous* round's net_recv span — stack parenting
+  // would chain round r+1 under round r's trace.
+  obs::Span round_span(trace, "worker_round", obs::SpanContext{trace_id, 0, true},
+                       round_, id_);
+  {
+    obs::Span train_span(trace, "train", round_, id_);
+    last_cluster_ = cluster_round(config_, trainers_, *rule_, current_);
+  }
   // Build the Payload variant in place and lend last_cluster_ to it for the
   // duration of the send — the old copy-into-update staging was a full O(d)
   // copy every round.
@@ -357,6 +457,7 @@ RootNode::RootNode(FederationConfig config, Transport& transport,
   transport_.add_peer_loss_handler([this](NodeId peer) { on_peer_loss(peer); });
   transport_.add_peer_reconnect_handler(
       [this](NodeId peer) { on_peer_reconnect(peer); });
+  if (config_.trace) transport_.set_tracing(true);
 }
 
 void RootNode::start() { phase_deadline_ = wall_now() + config_.join_timeout_s; }
@@ -384,6 +485,19 @@ void RootNode::on_idle() {
 }
 
 void RootNode::on_message(WireMessage& msg) {
+  // Introspection first, before the phase guard: abdhfl_top must get an
+  // answer out of a root in any state, and a probe must never advance the
+  // protocol state machine.
+  if (msg.kind == MsgKind::kStatusRequest) {
+    reply_status(std::get<StatusRequest>(msg.payload), msg.env.from);
+    return;
+  }
+  if (msg.kind == MsgKind::kStatusReply) {
+    const auto& reply = std::get<StatusReply>(msg.payload);
+    const EchoEstimate est = estimate_from_echo(reply.echo_wall_ns, reply.wall_ns);
+    transport_.note_rtt(msg.env.from, kLeaderLinkClass, est.rtt_ms, est.offset_ns);
+    return;
+  }
   if (phase_ == Phase::kDone) return;
   switch (msg.kind) {
     case MsgKind::kMembership: {
@@ -391,6 +505,8 @@ void RootNode::on_message(WireMessage& msg) {
       if (member.event == Membership::Event::kJoin && phase_ == Phase::kJoining) {
         live_.insert(msg.env.from);
         subtree_samples_[msg.env.from] = member.subtree_samples;
+        join_wall_ns_[msg.env.from] = member.wall_ns;
+        transport_.set_peer_tracing(msg.env.from, member.trace && config_.trace);
         // Codec negotiation: the link gets what both sides support — the
         // worker's advertisement bounded by our own config.  Quantization
         // takes the coarser of the two, top-k the smaller k (only when both
@@ -416,6 +532,7 @@ void RootNode::on_message(WireMessage& msg) {
       if (msg.env.round != round_) return;  // stale retransmission
       if (live_.find(msg.env.from) == live_.end()) return;
       if (arrived_.find(msg.env.from) != arrived_.end()) return;  // already folded
+      suspicion_[msg.env.from] *= 0.9;  // delivered on time: decay suspicion
       auto& update = std::get<ModelUpdate>(msg.payload);
       pending_[msg.env.from] = std::move(update.params);
       if (stream_ != nullptr) drain_pending_into_stream();
@@ -432,6 +549,9 @@ void RootNode::begin_training() {
   phase_ = Phase::kTraining;
   arm_stream();
   phase_deadline_ = wall_now() + config_.round_timeout_s;
+  if (transport_.trace_sink() != nullptr) {
+    transport_.trace_sink()->set_trace_id(obs::make_trace_id(config_.seed, round_));
+  }
   // Echo every join: this is the workers' starting gun.  The envelope round
   // is round_ (0 for a fresh run, the restored counter after a root resume)
   // and the workers adopt it, so the whole federation restarts on one clock.
@@ -441,6 +561,9 @@ void RootNode::begin_training() {
     echo.device = kRootId;
     echo.cluster = worker - 1;
     echo.codec = transport_.codec_for(worker);
+    echo.trace = config_.trace;
+    echo.wall_ns = obs::wall_clock_ns();
+    echo.echo_wall_ns = join_wall_ns_[worker];  // the worker's join send stamp
     transport_.send({kRootId, worker, round_}, echo, kLeaderLinkClass);
   }
 }
@@ -507,6 +630,7 @@ bool RootNode::on_raw_frame(const FrameView& view) {
                        ? &transport_.rx_codec_state(env.from, kRootId)
                        : nullptr;
   const std::span<const float> params = model_update_params(view, rx, stream_scratch_);
+  suspicion_[env.from] *= 0.9;  // delivered on time: decay suspicion
   stream_->begin_input();
   stream_->add_chunk(0, params);
   stream_->end_input();
@@ -519,10 +643,15 @@ bool RootNode::on_raw_frame(const FrameView& view) {
 void RootNode::maybe_aggregate() {
   if (phase_ != Phase::kTraining || live_.empty()) return;
   std::size_t n_inputs = 0;
+  // Opened once the quorum is confirmed; covers aggregate + evaluate +
+  // broadcast.  Usually nested under the last update's net_recv span, whose
+  // trace context carries this same round's trace id from the sender.
+  std::optional<obs::Span> agg_span;
   if (stream_ != nullptr) {
     for (const NodeId worker : live_) {
       if (arrived_.find(worker) == arrived_.end()) return;
     }
+    agg_span.emplace(transport_.trace_sink(), "global_agg", round_, kRootId);
     // Streaming fold complete: every live worker's update has been folded in
     // ascending id order, so finish() is bitwise what aggregate() over the
     // materialized vectors would have produced.
@@ -534,6 +663,7 @@ void RootNode::maybe_aggregate() {
     pending_.clear();
   } else {
     if (pending_.size() < live_.size()) return;
+    agg_span.emplace(transport_.trace_sink(), "global_agg", round_, kRootId);
     // Deterministic input order: pending_ is keyed by node id, and std::map
     // iterates in ascending key order regardless of arrival order.  The
     // vectors are moved, not copied — pending_ is dead after this.
@@ -572,8 +702,13 @@ void RootNode::maybe_aggregate() {
     transport_.send({kRootId, worker, round_}, payload, kLeaderLinkClass);
   }
   global_ = std::move(partial.params);
+  agg_span.reset();  // the round's root-side work ends with the broadcast
+  ping_workers();
 
   ++round_;
+  if (transport_.trace_sink() != nullptr) {
+    transport_.trace_sink()->set_trace_id(obs::make_trace_id(config_.seed, round_));
+  }
   phase_deadline_ = wall_now() + config_.round_timeout_s;
   if (checkpoint_ != nullptr &&
       (round_ % std::max<std::size_t>(checkpoint_every_, 1) == 0 ||
@@ -604,6 +739,7 @@ void RootNode::on_peer_loss(NodeId peer) {
   live_.erase(peer);
   pending_.erase(peer);
   ++result_.workers_lost;
+  suspicion_[peer] = 0.5 * suspicion_[peer] + 0.5;  // EWMA toward 1 on a loss
   apply_churn(peer);
   if (recorder_ != nullptr) {
     obs::RoundRecord& rec = recorder_->begin_round("dist_churn", round_);
@@ -652,7 +788,49 @@ void RootNode::on_peer_reconnect(NodeId peer) {
   echo.device = kRootId;
   echo.cluster = peer - 1;
   echo.codec = transport_.codec_for(peer);
+  echo.trace = config_.trace;
+  echo.wall_ns = obs::wall_clock_ns();
+  echo.echo_wall_ns = join_wall_ns_[peer];
   transport_.send({kRootId, peer, round_}, echo, kLeaderLinkClass);
+}
+
+void RootNode::ping_workers() {
+  StatusRequest ping;
+  ping.probe = static_cast<std::uint32_t>(round_);
+  for (const NodeId worker : live_) {
+    ping.wall_ns = obs::wall_clock_ns();  // per-send stamp: each link's own t0
+    transport_.send({kRootId, worker, round_}, ping, kLeaderLinkClass);
+  }
+}
+
+void RootNode::reply_status(const StatusRequest& request, NodeId to) {
+  // An observer's link teardown is expected — never churn, never a loss.
+  if (is_observer(to)) transport_.mark_transient(to);
+  StatusReply reply;
+  reply.node = kRootId;
+  reply.probe = request.probe;
+  reply.round = round_;
+  reply.phase = static_cast<std::uint8_t>(phase_);
+  reply.live_workers = static_cast<std::uint32_t>(live_.size());
+  reply.wall_ns = obs::wall_clock_ns();
+  reply.echo_wall_ns = request.wall_ns;
+  // One row per member that ever joined, live or not — the probe sees churn.
+  for (const auto& [worker, samples] : subtree_samples_) {
+    StatusPeer peer;
+    peer.node = worker;
+    peer.state = live_.count(worker) != 0 ? 0 : (left_.count(worker) != 0 ? 2 : 1);
+    const LinkTelemetry link = transport_.peer_telemetry(worker);
+    peer.rtt_ms = static_cast<float>(link.rtt_ms);
+    const auto sus = suspicion_.find(worker);
+    peer.suspicion = sus == suspicion_.end() ? 0.0 : sus->second;
+    peer.bytes_sent = link.bytes_sent;
+    peer.bytes_received = link.bytes_received;
+    reply.peers.push_back(peer);
+  }
+  if (request.detail != 0 && obs::enabled()) {
+    reply.metrics = obs::to_prometheus(obs::global_registry().scrape());
+  }
+  transport_.send({kRootId, to, round_}, reply, kLeaderLinkClass);
 }
 
 void RootNode::apply_churn(NodeId worker) {

@@ -83,6 +83,7 @@ struct FederationConfig {
   bool delta = false;                 // delta-vs-last-round encoding
   double join_timeout_s = 20.0;       // root's wait for worker joins
   double round_timeout_s = 60.0;      // root's wait for a round's updates
+  bool trace = false;                 // stamp trace contexts onto frames
 };
 
 /// Parse a --compress spec — a comma list of "topk:K" (sparsify updates to
@@ -95,6 +96,13 @@ struct FederationConfig {
 inline constexpr NodeId kRootId = 0;
 [[nodiscard]] inline NodeId worker_node_id(std::size_t worker_index) noexcept {
   return static_cast<NodeId>(worker_index + 1);
+}
+/// Ids at or above this are reserved for observers (abdhfl_top probes):
+/// never members, so their link teardown is not churn and must not tick the
+/// peer-loss counters operators alert on.
+inline constexpr NodeId kObserverIdBase = 900;
+[[nodiscard]] inline bool is_observer(NodeId id) noexcept {
+  return id >= kObserverIdBase;
 }
 /// Tree level of the root<->worker links, used as the traffic link class.
 inline constexpr std::uint32_t kLeaderLinkClass = 1;
@@ -172,6 +180,10 @@ class WorkerNode {
   void finish(bool failed);
   void save_checkpoint();
   void restore_checkpoint();
+  /// Ping the root with a status probe; the echoed timestamps in the reply
+  /// refresh this worker's RTT and clock-offset estimates every round.
+  void send_status_ping();
+  void reply_status(const StatusRequest& request, NodeId to);
 
   FederationConfig config_;
   std::size_t index_;
@@ -187,6 +199,7 @@ class WorkerNode {
   std::vector<float> last_cluster_;  // this worker's latest BRA output
   std::size_t round_ = 0;
   std::size_t resume_round_ = 0;
+  std::uint32_t probe_seq_ = 0;  // status-probe sequence numbers
   bool started_ = false;  // join echoed, training underway
   bool done_ = false;
   bool failed_ = false;
@@ -251,6 +264,12 @@ class RootNode {
   void apply_rejoin(NodeId worker);
   void save_checkpoint();
   void restore_checkpoint();
+  /// Answer a status probe (live introspection — works in every phase): the
+  /// reply carries the round, phase, the per-peer table (state, RTT,
+  /// suspicion, bytes), and the Prometheus exposition when detail is set.
+  void reply_status(const StatusRequest& request, NodeId to);
+  /// Per-round RTT probes to every live worker (the peer table's freshness).
+  void ping_workers();
 
   FederationConfig config_;
   Transport& transport_;
@@ -265,6 +284,10 @@ class RootNode {
   std::set<NodeId> live_;
   std::set<NodeId> left_;
   std::map<NodeId, std::uint64_t> subtree_samples_;
+  std::map<NodeId, std::int64_t> join_wall_ns_;  // echoed back in the join echo
+  // Per-worker suspicion EWMA: bumped on peer loss, decayed on every accepted
+  // update — the "is this member flaky" number a status probe reports.
+  std::map<NodeId, double> suspicion_;
   std::map<NodeId, std::vector<float>> pending_;  // current round (materialized)
   // Streaming collection (DESIGN.md §11): when the root rule is
   // streaming-safe, each round's updates are folded into `stream_` as their

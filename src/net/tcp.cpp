@@ -160,6 +160,11 @@ void TcpTransport::expect_close(NodeId peer_id) {
   if (it != peers_.end()) it->second.lost = true;
 }
 
+void TcpTransport::mark_transient(NodeId peer_id) {
+  const auto it = peers_.find(peer_id);
+  if (it != peers_.end()) it->second.transient = true;
+}
+
 void TcpTransport::register_node(NodeId id, MessageHandler handler) {
   if (id != self_) {
     throw std::invalid_argument("TcpTransport hosts node " + std::to_string(self_) +
@@ -178,10 +183,15 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
 
   obs::Span span(trace(), "net_send", static_cast<std::size_t>(env.round), env.to);
   const Codec codec = codec_for(env.to);
+  TraceContext trace_ctx;
+  if (tracing_to(env.to)) {
+    trace_ctx = {span.trace_id(), span.id(), span.parent_id(), obs::wall_clock_ns()};
+  }
   const auto encode = [&] {
     const CodecState* tx =
         codec.delta ? &tx_codec_state(self_, env.to) : nullptr;
-    encode_frame_parts(env, payload, codec, tx, tx_parts_);
+    encode_frame_parts(env, payload, codec, tx, tx_parts_,
+                       trace_ctx.valid() ? &trace_ctx : nullptr);
   };
   encode();
   const auto deadline =
@@ -249,7 +259,7 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
     }
     if (!link_failed) {
       if (codec.delta) tx_parts_.commit_tx(tx_codec_state(self_, env.to));
-      note_sent(frame_size, encoded_size(payload), link_class);
+      note_sent(frame_size, encoded_size(payload), link_class, env.to);
       return SendStatus::kOk;
     }
     ::close(peer.fd);
@@ -402,7 +412,7 @@ std::size_t TcpTransport::read_pending(std::size_t index) {
   // BEFORE draining the buffered frames: a parent that evicted the peer on
   // the earlier loss re-admits it first, so the frames riding the new
   // connection (typically the retried model update) land in restored state.
-  if (known) note_peer_reconnect(from);
+  if (known && !peer.transient) note_peer_reconnect(from);
   bool framing_ok = true;
   const std::size_t delivered = drain_ring(peer, framing_ok);
   if (!framing_ok) drop_peer(from, peer, /*report=*/true);
@@ -460,10 +470,18 @@ void TcpTransport::drop_peer(NodeId id, Peer& peer, bool report) {
   }
   peer.rx.clear();
   reset_codec_state(id);
-  if (report && !peer.lost) {
+  if (report && !peer.lost && !peer.transient) {
     peer.lost = true;
     note_peer_loss(id);
   }
+}
+
+std::uint64_t TcpTransport::backlog_bytes(std::uint32_t link_class) const {
+  std::uint64_t total = 0;
+  for (const auto& [id, peer] : peers_) {
+    if (peer.link_class == link_class) total += peer.rx.size();
+  }
+  return total;
 }
 
 void TcpTransport::close() {

@@ -69,6 +69,7 @@ class TcpTransport : public Transport {
 
   void register_node(NodeId id, MessageHandler handler) override;
   void expect_close(NodeId peer) override;
+  void mark_transient(NodeId peer) override;
   SendStatus send(const Envelope& env, const Payload& payload,
                   std::uint32_t link_class = 0) override;
   std::size_t poll(double timeout_s) override;
@@ -80,6 +81,10 @@ class TcpTransport : public Transport {
   [[nodiscard]] NodeId self() const noexcept { return self_; }
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// Bytes sitting unparsed in the rx rings of peers on `link_class` — the
+  /// receive-side queue depth a status probe or dist_* record reports.
+  [[nodiscard]] std::uint64_t backlog_bytes(std::uint32_t link_class) const override;
+
  private:
   struct Peer {
     int fd = -1;
@@ -87,7 +92,8 @@ class TcpTransport : public Transport {
     std::uint16_t port = 0;
     std::uint32_t link_class = 0;
     RxRing rx;
-    bool lost = false;  // reported dead; further sends fail fast
+    bool lost = false;       // reported dead; further sends fail fast
+    bool transient = false;  // observer link: EOF is expected, not churn
   };
 
   [[nodiscard]] bool dial(Peer& peer);  // one connect pass with retries

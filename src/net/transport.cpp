@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
@@ -73,8 +74,42 @@ Transport::ObsCounters& Transport::obs_counters() {
   return obs_counters_;
 }
 
+bool Transport::tracing_to(NodeId peer) const noexcept {
+  if (!tracing_ || trace_ == nullptr) return false;
+  const auto it = peer_tracing_.find(peer);
+  return it != peer_tracing_.end() && it->second;
+}
+
+void Transport::note_rtt(NodeId peer, std::uint32_t link_class, double rtt_ms,
+                         double clock_offset_ns) {
+  LinkTelemetry& link = link_telemetry_[peer];
+  link.rtt_ms = rtt_ms;
+  link.clock_offset_ns = clock_offset_ns;
+  ++link.rtt_samples;
+  auto& cls = per_class_[link_class];
+  cls.rtt_ms = rtt_ms;
+  ++cls.rtt_samples;
+  cls.rtt_ms_mean += (rtt_ms - cls.rtt_ms_mean) / static_cast<double>(cls.rtt_samples);
+  stats_.rtt_ms = rtt_ms;
+  ++stats_.rtt_samples;
+  stats_.rtt_ms_mean +=
+      (rtt_ms - stats_.rtt_ms_mean) / static_cast<double>(stats_.rtt_samples);
+  if (obs::enabled()) {
+    obs::global_registry()
+        .histogram("net_rtt_ms{transport=\"" + name_ + "\"}",
+                   obs::exponential_bounds(0.05, 2.0, 16),
+                   "Echoed-timestamp RTT estimates per link")
+        .observe(rtt_ms);
+  }
+}
+
+LinkTelemetry Transport::peer_telemetry(NodeId peer) const {
+  const auto it = link_telemetry_.find(peer);
+  return it == link_telemetry_.end() ? LinkTelemetry{} : it->second;
+}
+
 void Transport::note_sent(std::size_t bytes, std::size_t raw_bytes,
-                          std::uint32_t link_class) {
+                          std::uint32_t link_class, NodeId peer) {
   ++stats_.frames_sent;
   stats_.bytes_sent += bytes;
   stats_.bytes_sent_raw += raw_bytes;
@@ -82,6 +117,9 @@ void Transport::note_sent(std::size_t bytes, std::size_t raw_bytes,
   ++cls.frames_sent;
   cls.bytes_sent += bytes;
   cls.bytes_sent_raw += raw_bytes;
+  auto& link = link_telemetry_[peer];
+  ++link.frames_sent;
+  link.bytes_sent += bytes;
   if (obs::enabled()) {
     auto& counters = obs_counters();
     counters.frames_sent->add(1);
@@ -91,7 +129,7 @@ void Transport::note_sent(std::size_t bytes, std::size_t raw_bytes,
 }
 
 void Transport::note_received(std::size_t bytes, std::size_t raw_bytes,
-                              std::uint32_t link_class) {
+                              std::uint32_t link_class, NodeId peer) {
   ++stats_.frames_received;
   stats_.bytes_received += bytes;
   stats_.bytes_received_raw += raw_bytes;
@@ -99,6 +137,9 @@ void Transport::note_received(std::size_t bytes, std::size_t raw_bytes,
   ++cls.frames_received;
   cls.bytes_received += bytes;
   cls.bytes_received_raw += raw_bytes;
+  auto& link = link_telemetry_[peer];
+  ++link.frames_received;
+  link.bytes_received += bytes;
   if (obs::enabled()) {
     auto& counters = obs_counters();
     counters.frames_received->add(1);
@@ -143,6 +184,23 @@ void Transport::deliver_frame(const FrameView& view, std::uint32_t link_class,
   const Envelope env = view.env();
   const std::size_t wire_bytes = view.bytes().size();
 
+  // The whole dispatch — streaming decode or decode+handler — runs inside a
+  // net_recv span.  When the frame carries a trace tail, the span parents to
+  // the remote sender's net_send span: the causal cross-process edge every
+  // handler-opened span then nests under via the thread-local stack.
+  std::optional<obs::Span> recv_span;
+  if (trace_ != nullptr) {
+    obs::SpanContext ctx;
+    if (view.traced()) {
+      const TraceContext tc = view.trace_context();
+      ctx.trace_id = tc.trace_id;
+      ctx.parent_span_id = tc.span_id;
+      ctx.has_parent = true;
+    }
+    recv_span.emplace(trace_, "net_recv", ctx, static_cast<std::size_t>(env.round),
+                      env.to);
+  }
+
   const auto raw_it = raw_handlers_.find(env.to);
   if (raw_it != raw_handlers_.end() && raw_it->second(view)) {
     // Consumed zero-copy.  The raw path only ever takes ModelUpdate frames,
@@ -151,11 +209,7 @@ void Transport::deliver_frame(const FrameView& view, std::uint32_t link_class,
     if (view.kind() == MsgKind::kModelUpdate) {
       raw_bytes = model_update_wire_size(peek_model_update(view).param_count);
     }
-    note_received(wire_bytes, raw_bytes, link_class);
-    if (trace_ != nullptr) {
-      trace_->push({trace_->seconds_since_epoch(), static_cast<std::size_t>(env.round),
-                    "net_recv", env.to, 0, 0.0, 0});
-    }
+    note_received(wire_bytes, raw_bytes, link_class, env.from);
     return;
   }
 
@@ -166,11 +220,7 @@ void Transport::deliver_frame(const FrameView& view, std::uint32_t link_class,
     rx = &rx_codec_state(env.from, env.to);
   }
   WireMessage msg = view.decode(rx);
-  note_received(wire_bytes, encoded_size(msg.payload), link_class);
-  if (trace_ != nullptr) {
-    trace_->push({trace_->seconds_since_epoch(), static_cast<std::size_t>(env.round),
-                  "net_recv", env.to, 0, 0.0, 0});
-  }
+  note_received(wire_bytes, encoded_size(msg.payload), link_class, env.from);
   if (handler) handler(msg);
 }
 
@@ -185,6 +235,10 @@ void Transport::record_traffic(obs::Recorder& recorder, std::uint64_t round) con
     rec.set("frames_received", static_cast<double>(s.frames_received));
     rec.set("bytes_received", static_cast<double>(s.bytes_received));
     rec.set("bytes_received_raw", static_cast<double>(s.bytes_received_raw));
+    rec.set("rtt_ms", s.rtt_ms);
+    rec.set("rtt_ms_mean", s.rtt_ms_mean);
+    rec.set("rtt_samples", static_cast<double>(s.rtt_samples));
+    rec.set("queue_depth", static_cast<double>(backlog_bytes(link_class)));
   }
   obs::RoundRecord& ev = recorder.begin_round("net_events", static_cast<std::size_t>(round));
   ev.set("retries", static_cast<double>(stats_.retries));

@@ -96,6 +96,23 @@ struct TransportStats {
   std::uint64_t timeouts = 0;       // sends abandoned on the deadline
   std::uint64_t peer_losses = 0;    // links declared dead
   std::uint64_t decode_errors = 0;  // frames rejected by the codec
+  // Link telemetry (note_rtt): last and mean RTT over the class's links.
+  double rtt_ms = -1.0;             // most recent sample (-1 = none yet)
+  double rtt_ms_mean = 0.0;
+  std::uint64_t rtt_samples = 0;
+};
+
+/// Per-peer link telemetry accumulated from echoed-timestamp exchanges
+/// (membership join/echo, status heartbeats): last RTT and the NTP-style
+/// midpoint clock-offset estimate (peer_wall ≈ local_wall + offset).
+struct LinkTelemetry {
+  double rtt_ms = -1.0;
+  double clock_offset_ns = 0.0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
 };
 
 class Transport {
@@ -160,6 +177,12 @@ class Transport {
   /// peer loss.  Default: nothing to suppress.
   virtual void expect_close(NodeId peer) { (void)peer; }
 
+  /// Mark `peer` as a transient link (a status-probe observer, never a
+  /// member): it stays fully usable — unlike expect_close, further sends
+  /// succeed, so a polling probe can hold its connection open — but its
+  /// eventual EOF is not reported as a peer loss.  Default: nothing to mark.
+  virtual void mark_transient(NodeId peer) { (void)peer; }
+
   /// Parameter compression negotiated for frames addressed to `peer`.
   void set_peer_codec(NodeId peer, Codec codec) { peer_codec_[peer] = codec; }
   [[nodiscard]] Codec codec_for(NodeId peer) const;
@@ -181,6 +204,33 @@ class Transport {
 
   /// Span sink for send/deliver tracing (not owned; nullptr disables).
   void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+  [[nodiscard]] obs::TraceBuffer* trace_sink() const noexcept { return trace_; }
+
+  /// Arm distributed tracing: frames to peers that negotiated it (see
+  /// set_peer_tracing) carry the kFlagTraced context tail.  Requires an
+  /// attached TraceBuffer to have any effect.
+  void set_tracing(bool on) noexcept { tracing_ = on; }
+  /// Record the membership negotiation outcome for one peer.
+  void set_peer_tracing(NodeId peer, bool on) { peer_tracing_[peer] = on; }
+  /// True when frames to `peer` should carry a trace tail.
+  [[nodiscard]] bool tracing_to(NodeId peer) const noexcept;
+
+  /// Feed one echoed-timestamp RTT/offset sample for the link to `peer`
+  /// (computed by the node layer from join/heartbeat traffic).  Updates the
+  /// per-peer telemetry, the per-class stats, and — while obs is enabled —
+  /// the net_rtt_ms histogram.
+  void note_rtt(NodeId peer, std::uint32_t link_class, double rtt_ms,
+                double clock_offset_ns);
+  /// Telemetry for the link to `peer` (zeros/unknowns when never seen).
+  [[nodiscard]] LinkTelemetry peer_telemetry(NodeId peer) const;
+
+  /// Bytes buffered but not yet dispatched on links of `link_class` (rx
+  /// backlog) — the queue-depth signal in the net_link records.  Backends
+  /// that buffer override this; default: nothing queues.
+  [[nodiscard]] virtual std::uint64_t backlog_bytes(std::uint32_t link_class) const {
+    (void)link_class;
+    return 0;
+  }
 
   [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
   [[nodiscard]] TransportStats class_stats(std::uint32_t link_class) const;
@@ -204,8 +254,10 @@ class Transport {
   // Stats + obs plumbing shared by the backends.  All of these also bump the
   // registry counters while obs::enabled().  `raw_bytes` is the
   // dense-equivalent size of the same frame (== bytes on uncompressed links).
-  void note_sent(std::size_t bytes, std::size_t raw_bytes, std::uint32_t link_class);
-  void note_received(std::size_t bytes, std::size_t raw_bytes, std::uint32_t link_class);
+  void note_sent(std::size_t bytes, std::size_t raw_bytes, std::uint32_t link_class,
+                 NodeId peer);
+  void note_received(std::size_t bytes, std::size_t raw_bytes, std::uint32_t link_class,
+                     NodeId peer);
   void note_retry();
   void note_reconnect();
   void note_timeout();
@@ -238,6 +290,9 @@ class Transport {
   std::map<std::pair<NodeId, NodeId>, CodecState> rx_state_;
   std::vector<PeerLossHandler> on_peer_loss_;
   std::vector<PeerReconnectHandler> on_peer_reconnect_;
+  bool tracing_ = false;
+  std::map<NodeId, bool> peer_tracing_;
+  std::map<NodeId, LinkTelemetry> link_telemetry_;
   obs::TraceBuffer* trace_ = nullptr;
   ObsCounters obs_counters_;
   bool obs_ready_ = false;

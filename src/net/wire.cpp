@@ -402,6 +402,38 @@ void encode_body(EncodedParts& out, const Membership& m, const Codec&,
   append_pod(out.head, m.codec.block);
   append_pod(out.head, m.codec.topk);
   append_pod(out.head, static_cast<std::uint8_t>(m.codec.delta ? 1 : 0));
+  append_pod(out.head, static_cast<std::uint8_t>(m.trace ? 1 : 0));
+  append_pod(out.head, m.wall_ns);
+  append_pod(out.head, m.echo_wall_ns);
+}
+
+void encode_body(EncodedParts& out, const StatusRequest& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, m.probe);
+  append_pod(out.head, m.detail);
+  append_pod(out.head, m.wall_ns);
+}
+
+void encode_body(EncodedParts& out, const StatusReply& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, m.node);
+  append_pod(out.head, m.probe);
+  append_pod(out.head, m.round);
+  append_pod(out.head, m.phase);
+  append_pod(out.head, m.live_workers);
+  append_pod(out.head, m.wall_ns);
+  append_pod(out.head, m.echo_wall_ns);
+  append_pod(out.head, static_cast<std::uint32_t>(m.peers.size()));
+  for (const StatusPeer& peer : m.peers) {
+    append_pod(out.head, peer.node);
+    append_pod(out.head, peer.state);
+    append_pod(out.head, peer.rtt_ms);
+    append_pod(out.head, peer.suspicion);
+    append_pod(out.head, peer.bytes_sent);
+    append_pod(out.head, peer.bytes_received);
+  }
+  append_pod(out.head, static_cast<std::uint32_t>(m.metrics.size()));
+  out.head.insert(out.head.end(), m.metrics.begin(), m.metrics.end());
 }
 
 Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body,
@@ -451,7 +483,56 @@ Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body,
       m.codec.block = read_pod<std::uint32_t>(body, offset);
       m.codec.topk = read_pod<std::uint32_t>(body, offset);
       m.codec.delta = read_pod<std::uint8_t>(body, offset) != 0;
+      m.trace = read_pod<std::uint8_t>(body, offset) != 0;
+      m.wall_ns = read_pod<std::int64_t>(body, offset);
+      m.echo_wall_ns = read_pod<std::int64_t>(body, offset);
       if (offset != body.size()) throw WireError("trailing bytes after membership");
+      return m;
+    }
+    case MsgKind::kStatusRequest: {
+      StatusRequest m;
+      m.probe = read_pod<std::uint32_t>(body, offset);
+      m.detail = read_pod<std::uint8_t>(body, offset);
+      m.wall_ns = read_pod<std::int64_t>(body, offset);
+      if (offset != body.size()) throw WireError("trailing bytes after status request");
+      return m;
+    }
+    case MsgKind::kStatusReply: {
+      StatusReply m;
+      m.node = read_pod<std::uint32_t>(body, offset);
+      m.probe = read_pod<std::uint32_t>(body, offset);
+      m.round = read_pod<std::uint64_t>(body, offset);
+      m.phase = read_pod<std::uint8_t>(body, offset);
+      m.live_workers = read_pod<std::uint32_t>(body, offset);
+      m.wall_ns = read_pod<std::int64_t>(body, offset);
+      m.echo_wall_ns = read_pod<std::int64_t>(body, offset);
+      // Both counts come straight off the wire: bound them by the bytes
+      // actually present BEFORE any allocation (the PR 4 discipline), so a
+      // forged count throws WireError instead of length_error/bad_alloc.
+      const auto peer_count = read_pod<std::uint32_t>(body, offset);
+      constexpr std::size_t kPeerWire = sizeof(std::uint32_t) + sizeof(std::uint8_t) +
+                                        sizeof(float) + sizeof(double) +
+                                        2 * sizeof(std::uint64_t);
+      if (peer_count > (body.size() - offset) / kPeerWire) {
+        throw WireError("truncated status peer table");
+      }
+      m.peers.resize(peer_count);
+      for (StatusPeer& peer : m.peers) {
+        peer.node = read_pod<std::uint32_t>(body, offset);
+        peer.state = read_pod<std::uint8_t>(body, offset);
+        peer.rtt_ms = read_pod<float>(body, offset);
+        peer.suspicion = read_pod<double>(body, offset);
+        peer.bytes_sent = read_pod<std::uint64_t>(body, offset);
+        peer.bytes_received = read_pod<std::uint64_t>(body, offset);
+      }
+      const auto metrics_len = read_pod<std::uint32_t>(body, offset);
+      if (metrics_len > body.size() - offset) {
+        throw WireError("truncated status metrics blob");
+      }
+      m.metrics.assign(reinterpret_cast<const char*>(body.data()) + offset,
+                       metrics_len);
+      offset += metrics_len;
+      if (offset != body.size()) throw WireError("trailing bytes after status reply");
       return m;
     }
   }
@@ -469,7 +550,17 @@ constexpr std::size_t kVoteFixed =
 constexpr std::size_t kMembershipFixed = sizeof(std::uint8_t) + sizeof(std::uint32_t) * 2 +
                                          sizeof(std::uint64_t) + sizeof(std::uint8_t) +
                                          sizeof(std::uint32_t) + sizeof(std::uint32_t) +
-                                         sizeof(std::uint8_t);
+                                         sizeof(std::uint8_t) + sizeof(std::uint8_t) +
+                                         2 * sizeof(std::int64_t);
+constexpr std::size_t kStatusRequestFixed =
+    sizeof(std::uint32_t) + sizeof(std::uint8_t) + sizeof(std::int64_t);
+constexpr std::size_t kStatusPeerWire = sizeof(std::uint32_t) + sizeof(std::uint8_t) +
+                                        sizeof(float) + sizeof(double) +
+                                        2 * sizeof(std::uint64_t);
+constexpr std::size_t kStatusReplyFixed = 2 * sizeof(std::uint32_t) +
+                                          sizeof(std::uint64_t) + sizeof(std::uint8_t) +
+                                          sizeof(std::uint32_t) + 2 * sizeof(std::int64_t) +
+                                          2 * sizeof(std::uint32_t);
 
 bool carries_params(const Payload& payload) noexcept {
   return std::holds_alternative<ModelUpdate>(payload) ||
@@ -490,6 +581,8 @@ const char* to_string(MsgKind kind) noexcept {
     case MsgKind::kPartialModel: return "partial_model";
     case MsgKind::kConsensusVote: return "consensus_vote";
     case MsgKind::kMembership: return "membership";
+    case MsgKind::kStatusRequest: return "status_request";
+    case MsgKind::kStatusReply: return "status_reply";
   }
   return "unknown";
 }
@@ -520,7 +613,8 @@ void EncodedParts::commit_tx(CodecState& state) {
 }
 
 void encode_frame_parts(const Envelope& env, const Payload& payload, const Codec& codec,
-                        const CodecState* tx_state, EncodedParts& out) {
+                        const CodecState* tx_state, EncodedParts& out,
+                        const TraceContext* trace) {
   out.head.clear();
   out.tail.clear();
   out.inline_payload = {};
@@ -551,6 +645,17 @@ void encode_frame_parts(const Envelope& env, const Payload& payload, const Codec
 
   std::visit([&](const auto& p) { encode_body(out, p, effective, base, flags); },
              payload);
+
+  if (trace != nullptr && trace->valid()) {
+    // The trace tail rides the END of the body (after any inline payload and
+    // blob digest), so the zero-copy raw-dense layout is untouched and the
+    // payload decoders can slice it off with one subtraction.
+    flags |= kFlagTraced;
+    append_pod(out.tail, trace->trace_id);
+    append_pod(out.tail, trace->span_id);
+    append_pod(out.tail, trace->parent_span_id);
+    append_pod(out.tail, trace->wall_ns);
+  }
 
   const auto body_len = static_cast<std::uint32_t>(
       out.head.size() - kHeaderSize + out.inline_payload.size() + out.tail.size());
@@ -647,6 +752,28 @@ std::span<const std::uint8_t> FrameView::body() const noexcept {
   return frame_.subspan(kHeaderSize, frame_.size() - frame_overhead());
 }
 
+std::span<const std::uint8_t> FrameView::payload_body() const {
+  const auto full = body();
+  if (!traced()) return full;
+  // Bounds before anything downstream allocates: a forged kFlagTraced bit on
+  // a short body must be a WireError, never a misparse of payload bytes.
+  if (full.size() < kTraceContextSize) throw WireError("truncated trace context");
+  return full.first(full.size() - kTraceContextSize);
+}
+
+TraceContext FrameView::trace_context() const {
+  TraceContext ctx;
+  if (!traced()) return ctx;
+  const auto full = body();
+  if (full.size() < kTraceContextSize) throw WireError("truncated trace context");
+  std::size_t offset = full.size() - kTraceContextSize;
+  ctx.trace_id = read_pod<std::uint64_t>(full, offset);
+  ctx.span_id = read_pod<std::uint64_t>(full, offset);
+  ctx.parent_span_id = read_pod<std::uint64_t>(full, offset);
+  ctx.wall_ns = read_pod<std::int64_t>(full, offset);
+  return ctx;
+}
+
 WireMessage FrameView::decode(CodecState* rx_state) const {
   WireMessage msg;
   msg.kind = kind();
@@ -661,7 +788,7 @@ WireMessage FrameView::decode(CodecState* rx_state) const {
       (msg.kind == MsgKind::kModelUpdate || msg.kind == MsgKind::kPartialModel)) {
     slot = &rx_state->slot(msg.kind);
   }
-  msg.payload = decode_body(msg.kind, body(), f, slot);
+  msg.payload = decode_body(msg.kind, payload_body(), f, slot);
   if (slot != nullptr) {
     if (const auto* params = params_of(msg.payload)) *slot = *params;
   }
@@ -680,7 +807,7 @@ ModelUpdateHead peek_model_update(const FrameView& view) {
   if (view.kind() != MsgKind::kModelUpdate) {
     throw WireError("not a model update frame");
   }
-  const auto body = view.body();
+  const auto body = view.payload_body();
   std::size_t offset = 0;
   ModelUpdateHead head;
   head.sender = read_pod<std::uint32_t>(body, offset);
@@ -714,7 +841,7 @@ ModelUpdateHead peek_model_update(const FrameView& view) {
 
 std::span<const float> model_update_params(const FrameView& view, CodecState* rx_state,
                                            std::vector<float>& scratch) {
-  const auto body = view.body();
+  const auto body = view.payload_body();
   std::size_t offset = kModelUpdateFixed;
   if (!view.quantized() && !view.topk() && !view.delta()) {
     // Raw dense: validate the blob in place and hand out a span into the
@@ -773,6 +900,11 @@ std::size_t encoded_size(const Payload& payload, const Codec& codec) {
           body = kPartialModelFixed + params_body_size(p.params.size(), effective);
         } else if constexpr (std::is_same_v<T, ConsensusVote>) {
           body = kVoteFixed;
+        } else if constexpr (std::is_same_v<T, StatusRequest>) {
+          body = kStatusRequestFixed;
+        } else if constexpr (std::is_same_v<T, StatusReply>) {
+          body = kStatusReplyFixed + p.peers.size() * kStatusPeerWire +
+                 p.metrics.size();
         } else {
           body = kMembershipFixed;
         }
@@ -793,6 +925,16 @@ std::size_t vote_wire_size() noexcept { return frame_overhead() + kVoteFixed; }
 
 std::size_t membership_wire_size() noexcept {
   return frame_overhead() + kMembershipFixed;
+}
+
+std::size_t status_request_wire_size() noexcept {
+  return frame_overhead() + kStatusRequestFixed;
+}
+
+std::size_t status_reply_wire_size(std::size_t peer_count,
+                                   std::size_t metrics_bytes) noexcept {
+  return frame_overhead() + kStatusReplyFixed + peer_count * kStatusPeerWire +
+         metrics_bytes;
 }
 
 std::size_t estimated_model_bytes(std::size_t param_count) noexcept {

@@ -8,13 +8,16 @@
 //   0      4    magic 0xABDF4E71
 //   4      2    codec version (kWireVersion)
 //   6      2    message kind (MsgKind)
-//   8      2    flags (bit 0: quantized, bit 1: top-k sparse, bit 2: delta)
+//   8      2    flags (bit 0: quantized, bit 1: top-k, bit 2: delta, bit 3: traced)
 //   10     2    reserved, must be 0
 //   12     4    sender node id
 //   16     4    receiver node id
 //   20     8    round number
 //   28     4    body length in bytes
 //   32     ...  body (kind-specific, see the payload structs)
+//   ...    32   optional trace-context tail (kFlagTraced): trace id, span id,
+//               parent span id, sender wall_ns — counted in the body length
+//               and covered by the digest, sliced off before payload decode
 //   32+n   8    FNV-1a digest over bytes [0, 32+n)
 //
 // All integers are little-endian (the codec refuses byte-swapped frames with
@@ -56,7 +59,7 @@ namespace abdhfl::net {
 using NodeId = std::uint32_t;
 
 inline constexpr std::uint32_t kWireMagic = 0xABDF4E71U;
-inline constexpr std::uint16_t kWireVersion = 2;  // v2: topk/delta codecs
+inline constexpr std::uint16_t kWireVersion = 3;  // v3: trace tail + status messages
 
 /// Header bytes before the body; the trailing digest adds 8 more.
 inline constexpr std::size_t kHeaderSize = 32;
@@ -66,7 +69,9 @@ inline constexpr std::size_t kDigestSize = 8;
 inline constexpr std::uint16_t kFlagQuantized = 1u << 0;
 inline constexpr std::uint16_t kFlagTopK = 1u << 1;
 inline constexpr std::uint16_t kFlagDelta = 1u << 2;
-inline constexpr std::uint16_t kKnownFlags = kFlagQuantized | kFlagTopK | kFlagDelta;
+inline constexpr std::uint16_t kFlagTraced = 1u << 3;
+inline constexpr std::uint16_t kKnownFlags =
+    kFlagQuantized | kFlagTopK | kFlagDelta | kFlagTraced;
 
 /// Hard ceiling on any wire-supplied dense parameter count (64M floats =
 /// 256MB).  The sparse section carries its dense size d out-of-band of the
@@ -79,6 +84,8 @@ enum class MsgKind : std::uint16_t {
   kPartialModel = 2,   // flag or global model going down (+ correction factor)
   kConsensusVote = 3,  // vote/commit-ack on a candidate model
   kMembership = 4,     // join / leave / crash / shutdown
+  kStatusRequest = 5,  // live introspection probe / RTT heartbeat
+  kStatusReply = 6,    // round, peer table, Prometheus metrics
 };
 
 [[nodiscard]] const char* to_string(MsgKind kind) noexcept;
@@ -86,6 +93,24 @@ enum class MsgKind : std::uint16_t {
 struct WireError : std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// Distributed-tracing context riding an optional fixed-size tail section at
+/// the end of the body (kFlagTraced; DESIGN.md §12).  Old peers that never
+/// negotiate tracing simply never see the flag — frames stay byte-identical
+/// to the untraced layout.  `span_id` is the sender's net_send span; the
+/// receiver parents its net_recv span to it, which is the causal edge
+/// tools/trace_merge joins processes on.
+struct TraceContext {
+  std::uint64_t trace_id = 0;        // obs::make_trace_id(seed, round)
+  std::uint64_t span_id = 0;         // sending span (0 = invalid context)
+  std::uint64_t parent_span_id = 0;  // sending span's parent, for tree repair
+  std::int64_t wall_ns = 0;          // sender's system_clock at encode
+
+  [[nodiscard]] bool valid() const noexcept { return span_id != 0; }
+};
+
+/// Encoded byte size of the trace tail (four 64-bit fields).
+inline constexpr std::size_t kTraceContextSize = 32;
 
 /// Per-link parameter compression, negotiated by the membership handshake:
 /// a joining node advertises the strongest codec it accepts and the parent
@@ -167,9 +192,47 @@ struct Membership {
   std::uint32_t cluster = 0;
   std::uint64_t subtree_samples = 0;  // join: samples behind this subtree
   Codec codec;                        // join: advertised / echoed codec
+  bool trace = false;                 // join: sender emits/accepts trace tails
+  std::int64_t wall_ns = 0;           // sender's system_clock at send
+  std::int64_t echo_wall_ns = 0;      // echo: the request's wall_ns, for RTT
 };
 
-using Payload = std::variant<ModelUpdate, PartialModel, ConsensusVote, Membership>;
+/// Live introspection probe (tools/abdhfl_top) doubling as the per-round RTT
+/// heartbeat: the replier echoes `wall_ns` back so the requester can compute
+/// rtt = t3 - t0 and the NTP-style midpoint clock offset.
+struct StatusRequest {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kStatusRequest);
+  std::uint32_t probe = 0;     // requester-chosen correlation id
+  std::uint8_t detail = 0;     // 0 = timestamps only, 1 = peers + metrics
+  std::int64_t wall_ns = 0;    // requester's system_clock at send
+};
+
+/// One row of a StatusReply peer table.
+struct StatusPeer {
+  std::uint32_t node = 0;
+  std::uint8_t state = 0;      // 0 = live, 1 = lost, 2 = left
+  float rtt_ms = -1.0f;        // last estimated RTT to the peer (-1 = unknown)
+  double suspicion = 0.0;      // replier's churn-suspicion score for the peer
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Live status of a running node, served mid-training without pausing it.
+struct StatusReply {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kStatusReply);
+  std::uint32_t node = 0;
+  std::uint32_t probe = 0;        // echoed from the request
+  std::uint64_t round = 0;
+  std::uint8_t phase = 0;         // node-defined (RootNode::Phase for roots)
+  std::uint32_t live_workers = 0;
+  std::int64_t wall_ns = 0;       // replier's system_clock at send
+  std::int64_t echo_wall_ns = 0;  // the request's wall_ns, echoed
+  std::vector<StatusPeer> peers;  // detail != 0 only
+  std::string metrics;            // Prometheus exposition blob (detail != 0)
+};
+
+using Payload = std::variant<ModelUpdate, PartialModel, ConsensusVote, Membership,
+                             StatusRequest, StatusReply>;
 
 /// An already-encoded frame travelling as an opaque sim::Message payload
 /// (the loopback-over-simulator bridge).  Tagged like every other payload so
@@ -221,7 +284,17 @@ class FrameView {
   [[nodiscard]] bool quantized() const noexcept { return (flags() & kFlagQuantized) != 0; }
   [[nodiscard]] bool topk() const noexcept { return (flags() & kFlagTopK) != 0; }
   [[nodiscard]] bool delta() const noexcept { return (flags() & kFlagDelta) != 0; }
+  [[nodiscard]] bool traced() const noexcept { return (flags() & kFlagTraced) != 0; }
   [[nodiscard]] std::span<const std::uint8_t> body() const noexcept;
+
+  /// The body minus the trace tail (== body() for untraced frames): what the
+  /// payload decoders consume.  Throws WireError when kFlagTraced is set but
+  /// the body cannot hold the tail — checked before anything is allocated.
+  [[nodiscard]] std::span<const std::uint8_t> payload_body() const;
+
+  /// The trace tail, or an invalid (all-zero) context for untraced frames.
+  /// Same truncation check as payload_body().
+  [[nodiscard]] TraceContext trace_context() const;
 
   /// Materialize the frame into an owned WireMessage.  `rx_state` (optional)
   /// is the link's delta base: required to decode kFlagDelta frames, and
@@ -293,8 +366,10 @@ struct EncodedParts {
 /// other kinds ignore it.  `tx_state` (optional) is the link's delta base:
 /// with codec.delta set, a matching base turns the frame into a delta and
 /// out.recon carries the reconstruction to commit_tx() after the send.
+/// A valid `trace` context appends the kFlagTraced tail to the body.
 void encode_frame_parts(const Envelope& env, const Payload& payload, const Codec& codec,
-                        const CodecState* tx_state, EncodedParts& out);
+                        const CodecState* tx_state, EncodedParts& out,
+                        const TraceContext* trace = nullptr);
 
 /// Encode one frame into a single contiguous buffer (parts + concat).  The
 /// stateless overload cannot produce delta frames; the stateful one commits
@@ -342,6 +417,11 @@ void encode_frame_parts(const Envelope& env, const Payload& payload, const Codec
 /// Exact frame size of a ConsensusVote / Membership frame.
 [[nodiscard]] std::size_t vote_wire_size() noexcept;
 [[nodiscard]] std::size_t membership_wire_size() noexcept;
+
+/// Exact frame sizes of the status message pair.
+[[nodiscard]] std::size_t status_request_wire_size() noexcept;
+[[nodiscard]] std::size_t status_reply_wire_size(std::size_t peer_count,
+                                                 std::size_t metrics_bytes) noexcept;
 
 /// The pre-codec estimate callers used to hand-compute (nn::wire_size): the
 /// parameter blob alone, no frame.  Kept as the documented fallback so tests

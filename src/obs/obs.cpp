@@ -59,7 +59,12 @@ bool write_outputs(const Options& options, const Recorder& recorder,
     ok = write_text_file(options.metrics_out, content) && ok;
   }
   if (!options.trace_out.empty() && trace != nullptr) {
-    ok = write_text_file(options.trace_out, trace_to_jsonl(trace->snapshot())) && ok;
+    // Events first, then one trace_summary line carrying the node tag, the
+    // drop count (a truncated timeline must be visible, not silent), and the
+    // estimated clock offset tools/trace_merge aligns per-process files with.
+    std::string content = trace_to_jsonl(trace->snapshot());
+    content += trace_summary_jsonl(*trace);
+    ok = write_text_file(options.trace_out, content) && ok;
   }
   return ok;
 }

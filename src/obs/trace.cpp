@@ -1,13 +1,35 @@
 #include "obs/trace.hpp"
 
+#include <cinttypes>
 #include <cstdio>
 
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace abdhfl::obs {
 
 namespace {
 thread_local std::uint32_t t_span_depth = 0;
+// Innermost-first stack of open spans on this thread; supplies the implicit
+// parent (and the parent's trace id — a child always lands in its parent's
+// trace even if the buffer's round counter advanced under it) for nested
+// spans.  Grows to the deepest nesting seen and stays allocated (span
+// open/close never allocates in steady state).
+struct OpenSpan {
+  std::uint64_t span_id = 0;
+  std::uint64_t trace_id = 0;
+};
+thread_local std::vector<OpenSpan> t_span_stack;
+}  // namespace
+
+std::int64_t wall_clock_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t current_span_id() noexcept {
+  return t_span_stack.empty() ? 0 : t_span_stack.back().span_id;
 }
 
 TraceBuffer::TraceBuffer(std::size_t capacity)
@@ -15,12 +37,25 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
       epoch_(std::chrono::steady_clock::now()) {}
 
 void TraceBuffer::push(const TraceEvent& ev) {
-  std::lock_guard lock(mutex_);
-  if (events_.size() >= capacity_) {
+  {
+    std::lock_guard lock(mutex_);
+    if (events_.size() < capacity_) {
+      events_.push_back(ev);
+      if (events_.back().node == 0) {
+        events_.back().node = node_.load(std::memory_order_relaxed);
+      }
+      return;
+    }
     ++dropped_;
-    return;
   }
-  events_.push_back(ev);
+  // Outside the buffer lock: the registry has its own synchronization, and
+  // a saturated buffer is exactly when visibility matters most.
+  if (enabled()) {
+    global_registry()
+        .counter("trace_dropped_events_total",
+                 "trace events discarded because the TraceBuffer was full")
+        .add(1);
+  }
 }
 
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
@@ -45,14 +80,41 @@ double TraceBuffer::seconds_since_epoch() const noexcept {
 Span::Span(TraceBuffer* buffer, const char* kind, std::size_t round,
            std::uint32_t subject, std::size_t level)
     : buffer_(buffer), kind_(kind), round_(round), subject_(subject), level_(level) {
+  open(nullptr);
+}
+
+Span::Span(TraceBuffer* buffer, const char* kind, const SpanContext& ctx,
+           std::size_t round, std::uint32_t subject, std::size_t level)
+    : buffer_(buffer), kind_(kind), round_(round), subject_(subject), level_(level) {
+  open(&ctx);
+}
+
+void Span::open(const SpanContext* ctx) {
   if (!buffer_) return;
   depth_ = t_span_depth++;
+  span_id_ = buffer_->next_span_id();
+  if (ctx != nullptr && ctx->trace_id != 0) {
+    trace_id_ = ctx->trace_id;
+  } else if (ctx == nullptr && !t_span_stack.empty()) {
+    // Stack-parented: inherit the parent's trace id, not the buffer's
+    // current one — the buffer may have advanced to the next round while
+    // this handler chain was still open, and a cross-trace parent edge would
+    // read as an orphan to the merge tool.
+    trace_id_ = t_span_stack.back().trace_id;
+  } else {
+    trace_id_ = buffer_->current_trace_id();
+  }
+  parent_id_ = (ctx != nullptr && ctx->has_parent) ? ctx->parent_span_id
+                                                   : current_span_id();
+  t_span_stack.push_back({span_id_, trace_id_});
+  wall_ns_ = wall_clock_ns();
   start_ = std::chrono::steady_clock::now();
 }
 
 Span::~Span() {
   if (!buffer_) return;
   --t_span_depth;
+  t_span_stack.pop_back();
   const auto end = std::chrono::steady_clock::now();
   TraceEvent ev;
   ev.time = buffer_->seconds_since_epoch() -
@@ -63,15 +125,25 @@ Span::~Span() {
   ev.level = level_;
   ev.duration = std::chrono::duration<double>(end - start_).count();
   ev.depth = depth_;
+  ev.trace_id = trace_id_;
+  ev.span_id = span_id_;
+  ev.parent_span_id = parent_id_;
+  ev.wall_ns = wall_ns_;
   buffer_->push(ev);
 }
 
 std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
-  std::string out = "time,round,kind,subject,level,duration,depth\n";
-  char buf[192];
+  std::string out =
+      "time,round,kind,subject,level,duration,depth,node,trace_id,span_id,"
+      "parent_span_id,wall_ns\n";
+  char buf[320];
   for (const auto& ev : trace) {
-    std::snprintf(buf, sizeof(buf), "%.6f,%zu,%s,%u,%zu,%.6f,%u\n", ev.time, ev.round,
-                  ev.kind, ev.subject, ev.level, ev.duration, ev.depth);
+    std::snprintf(buf, sizeof(buf),
+                  "%.6f,%zu,%s,%u,%zu,%.6f,%u,%u,%016" PRIx64 ",%016" PRIx64
+                  ",%016" PRIx64 ",%" PRId64 "\n",
+                  ev.time, ev.round, ev.kind, ev.subject, ev.level, ev.duration,
+                  ev.depth, ev.node, ev.trace_id, ev.span_id, ev.parent_span_id,
+                  ev.wall_ns);
     out += buf;
   }
   return out;
@@ -79,16 +151,34 @@ std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
 
 std::string trace_to_jsonl(const std::vector<TraceEvent>& trace) {
   std::string out;
-  char buf[256];
+  char buf[512];
   for (const auto& ev : trace) {
-    std::snprintf(buf, sizeof(buf),
-                  "{\"time\":%.6f,\"round\":%zu,\"kind\":\"%s\",\"subject\":%u,"
-                  "\"level\":%zu,\"duration\":%.6f,\"depth\":%u}\n",
-                  ev.time, ev.round, json_escape(ev.kind).c_str(), ev.subject, ev.level,
-                  ev.duration, ev.depth);
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"time\":%.6f,\"round\":%zu,\"kind\":\"%s\",\"subject\":%u,"
+        "\"level\":%zu,\"duration\":%.6f,\"depth\":%u,\"node\":%u,"
+        "\"trace_id\":\"%016" PRIx64 "\",\"span_id\":\"%016" PRIx64
+        "\",\"parent_span_id\":\"%016" PRIx64 "\",\"wall_ns\":\"%" PRId64 "\"}\n",
+        ev.time, ev.round, json_escape(ev.kind).c_str(), ev.subject, ev.level,
+        ev.duration, ev.depth, ev.node, ev.trace_id, ev.span_id,
+        ev.parent_span_id, ev.wall_ns);
     out += buf;
   }
   return out;
+}
+
+std::string trace_summary_jsonl(const TraceBuffer& buffer) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"time\":%.6f,\"round\":0,\"kind\":\"trace_summary\",\"subject\":0,"
+      "\"level\":0,\"duration\":0.0,\"depth\":0,\"node\":%u,"
+      "\"trace_id\":\"%016x\",\"span_id\":\"%016x\",\"parent_span_id\":"
+      "\"%016x\",\"wall_ns\":\"%" PRId64 "\",\"events\":%zu,\"dropped\":%" PRIu64
+      ",\"clock_offset_ns\":%" PRId64 "}\n",
+      buffer.seconds_since_epoch(), buffer.node(), 0u, 0u, 0u, wall_clock_ns(),
+      buffer.size(), buffer.dropped(), buffer.clock_offset_ns());
+  return buf;
 }
 
 }  // namespace abdhfl::obs

@@ -7,9 +7,21 @@
 // since their buffer's construction.  The buffer is a hard-bounded vector —
 // when full, new events are dropped and counted rather than growing without
 // limit inside a long run.
+//
+// Distributed tracing (DESIGN.md §12): every span additionally carries a
+// 64-bit trace id (derived from run seed + round, identical on every
+// process), a process-unique span id, and its parent's span id.  Parents
+// come from a thread-local stack of open spans, or explicitly from a
+// SpanContext when the causal edge crosses a process boundary (the net
+// transports stamp the sending span's id into the frame and the receiver
+// parents its net_recv span to it).  Durations are measured on
+// steady_clock; a separate wall_ns start stamp (system_clock) is what the
+// cross-process merge tool aligns after clock-offset correction, so an NTP
+// step on one host can never corrupt a span length.
 
 #include <chrono>
 #include <cstdint>
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -24,6 +36,35 @@ struct TraceEvent {
   std::size_t level = 0;      // tree level for aggregation events (0 = top)
   double duration = 0.0;      // seconds; 0 = instantaneous event
   std::uint32_t depth = 0;    // span nesting depth (0 = outermost)
+  // Distributed-tracing fields; all-zero for plain local events.
+  std::uint32_t node = 0;              // originating process/node id
+  std::uint64_t trace_id = 0;          // run seed + round, shared across processes
+  std::uint64_t span_id = 0;           // unique per span; 0 = not a linked span
+  std::uint64_t parent_span_id = 0;    // 0 = top-level span
+  std::int64_t wall_ns = 0;            // system_clock start, ns since Unix epoch
+};
+
+/// The deterministic per-round trace id every process derives independently:
+/// the same (seed, round) pair yields the same id on root and workers, which
+/// is what lets trace_merge group one causal tree per round.
+[[nodiscard]] constexpr std::uint64_t make_trace_id(std::uint64_t seed,
+                                                    std::uint64_t round) noexcept {
+  return (seed + 1) * 0x9E3779B97F4A7C15ULL ^ (round + 1);
+}
+
+/// system_clock now in nanoseconds since the Unix epoch (the cross-process
+/// timestamp; durations always come from steady_clock).
+[[nodiscard]] std::int64_t wall_clock_ns() noexcept;
+
+/// Explicit causal placement for a Span, used when the parent relationship
+/// does not come from the thread-local nesting stack: a receiving transport
+/// parents its net_recv span to the remote sender's span id, and round-root
+/// spans pass has_parent=true with parent_span_id=0 to detach from whatever
+/// handler span happens to be open.
+struct SpanContext {
+  std::uint64_t trace_id = 0;        // 0 = take the buffer's current trace id
+  std::uint64_t parent_span_id = 0;  // meaningful only when has_parent
+  bool has_parent = false;
 };
 
 /// Thread-safe bounded event sink.
@@ -31,7 +72,8 @@ class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity = std::size_t{1} << 16);
 
-  /// Append; silently dropped (and counted) once the buffer is full.
+  /// Append; silently dropped (and counted, both here and on the
+  /// `trace_dropped_events_total` registry counter) once the buffer is full.
   void push(const TraceEvent& ev);
 
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
@@ -42,37 +84,97 @@ class TraceBuffer {
   /// Span's `time` is relative to).
   [[nodiscard]] double seconds_since_epoch() const noexcept;
 
+  /// Process/node tag stamped on every span recorded into this buffer.
+  void set_node(std::uint32_t node) noexcept {
+    node_.store(node, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t node() const noexcept {
+    return node_.load(std::memory_order_relaxed);
+  }
+
+  /// Current trace id (per-round, see make_trace_id); spans without an
+  /// explicit SpanContext trace id inherit it at construction.
+  void set_trace_id(std::uint64_t id) noexcept {
+    trace_id_.store(id, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t current_trace_id() const noexcept {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Estimated offset of this process's wall clock from the federation
+  /// root's (root_wall ≈ local_wall + offset); measured NTP-style by the
+  /// node layer and consumed by tools/trace_merge via the trace_summary
+  /// line.
+  void set_clock_offset_ns(std::int64_t ns) noexcept {
+    clock_offset_ns_.store(ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t clock_offset_ns() const noexcept {
+    return clock_offset_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Fresh process-unique span id: the node tag in the high bits keeps ids
+  /// from colliding across the processes whose buffers are later merged.
+  [[nodiscard]] std::uint64_t next_span_id() noexcept {
+    return ((std::uint64_t{node_.load(std::memory_order_relaxed)} + 1) << 40) |
+           (span_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
  private:
   std::size_t capacity_;
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
+  std::atomic<std::uint32_t> node_{0};
+  std::atomic<std::uint64_t> trace_id_{0};
+  std::atomic<std::int64_t> clock_offset_ns_{0};
+  std::atomic<std::uint64_t> span_counter_{0};
 };
 
 /// RAII wall-clock span.  Construction notes the start, destruction records
 /// one TraceEvent with `time` = start offset and `duration` = elapsed.
 /// Spans nest: a thread-local depth counter tags each event so an exporter
-/// can rebuild the train -> aggregate -> consensus -> broadcast hierarchy.
+/// can rebuild the train -> aggregate -> consensus -> broadcast hierarchy,
+/// and a thread-local stack of open span ids supplies each span's parent.
 /// A null buffer makes the span inert (no clock reads).
 class Span {
  public:
   Span(TraceBuffer* buffer, const char* kind, std::size_t round = 0,
        std::uint32_t subject = 0, std::size_t level = 0);
+  /// Explicitly placed span: trace id and/or parent from `ctx` instead of
+  /// the buffer's current trace id and the thread-local span stack.
+  Span(TraceBuffer* buffer, const char* kind, const SpanContext& ctx,
+       std::size_t round = 0, std::uint32_t subject = 0, std::size_t level = 0);
   ~Span();
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// Ids for stamping outgoing frames (0 when the span is inert).
+  [[nodiscard]] std::uint64_t id() const noexcept { return span_id_; }
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+  [[nodiscard]] std::uint64_t parent_id() const noexcept { return parent_id_; }
+  [[nodiscard]] std::int64_t wall_ns() const noexcept { return wall_ns_; }
+
  private:
+  void open(const SpanContext* ctx);
+
   TraceBuffer* buffer_;
   const char* kind_;
   std::size_t round_;
   std::uint32_t subject_;
   std::size_t level_;
   std::uint32_t depth_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::int64_t wall_ns_ = 0;
   std::chrono::steady_clock::time_point start_{};
 };
+
+/// Id of the innermost open span on this thread (0 when none).  What a
+/// transport would use to parent a frame sent outside any explicit span.
+[[nodiscard]] std::uint64_t current_span_id() noexcept;
 
 /// RAII accumulator: adds its elapsed wall seconds to `acc` on destruction.
 /// The cheap building block for per-round phase splits (the runner keeps a
@@ -97,10 +199,18 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// CSV rendering: time,round,kind,subject,level,duration,depth.
+/// CSV rendering: time,round,kind,subject,level,duration,depth plus the
+/// distributed-tracing columns (node, hex ids, wall_ns).
 [[nodiscard]] std::string trace_to_csv(const std::vector<TraceEvent>& trace);
 
-/// JSONL rendering: one {"time":...,"kind":...} object per line.
+/// JSONL rendering: one {"time":...,"kind":...} object per line.  Span and
+/// trace ids render as 16-digit hex strings and wall_ns as a decimal string
+/// — both exceed the 53-bit exact-integer range of a JSON double.
 [[nodiscard]] std::string trace_to_jsonl(const std::vector<TraceEvent>& trace);
+
+/// One `"kind":"trace_summary"` JSONL line carrying the buffer's node tag,
+/// drop count, and estimated clock offset; appended after the events by
+/// obs::write_outputs so tools/trace_merge can align per-process files.
+[[nodiscard]] std::string trace_summary_jsonl(const TraceBuffer& buffer);
 
 }  // namespace abdhfl::obs

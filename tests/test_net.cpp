@@ -11,7 +11,10 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #include "net/node.hpp"
 #include "net/tcp.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "nn/serialize.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -1088,6 +1092,293 @@ TEST(Node, StreamingRootRuleMatchesTransportFreeReference) {
   EXPECT_EQ(std::memcmp(streamed.data(), global.data(), global.size() * sizeof(float)),
             0);
   EXPECT_EQ(root.result().rounds_run, config.rounds);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing and live introspection (DESIGN.md §12).
+
+TEST(Wire, TraceTailRoundTrip) {
+  ModelUpdate update;
+  update.sender = 7;
+  update.level = 1;
+  update.samples = 10;
+  update.params = test_params(24);
+
+  TraceContext trace;
+  trace.trace_id = obs::make_trace_id(17, 3);
+  trace.span_id = (std::uint64_t{2} << 40) | 5;
+  trace.parent_span_id = (std::uint64_t{2} << 40) | 4;
+  trace.wall_ns = 1754650000123456789LL;
+
+  // The zero-copy inline_payload span aliases the variant passed in, so the
+  // variant must outlive concat() (the §11 lifecycle rule).
+  const Payload payload = update;
+  EncodedParts parts;
+  encode_frame_parts({1, 0, 3}, payload, Codec{}, nullptr, parts, &trace);
+  const auto frame = parts.concat();
+
+  const auto view = FrameView::parse(frame);
+  EXPECT_TRUE(view.traced());
+  const TraceContext out = view.trace_context();
+  EXPECT_TRUE(out.valid());
+  EXPECT_EQ(out.trace_id, trace.trace_id);
+  EXPECT_EQ(out.span_id, trace.span_id);
+  EXPECT_EQ(out.parent_span_id, trace.parent_span_id);
+  EXPECT_EQ(out.wall_ns, trace.wall_ns);
+  EXPECT_EQ(view.payload_body().size(), view.body().size() - kTraceContextSize);
+
+  // The tail rides outside the payload: decode still matches bitwise.
+  const auto decoded = decode_frame(frame);
+  const auto& got = std::get<ModelUpdate>(decoded.payload);
+  ASSERT_EQ(got.params.size(), update.params.size());
+  EXPECT_EQ(std::memcmp(got.params.data(), update.params.data(),
+                        update.params.size() * sizeof(float)),
+            0);
+
+  // Untraced frames expose an invalid (all-zero) context and stay
+  // byte-identical to the pre-tracing layout.
+  const auto plain_frame = encode_frame({1, 0, 3}, update);
+  EXPECT_EQ(plain_frame.size(), frame.size() - kTraceContextSize);
+  const auto plain = FrameView::parse(plain_frame);
+  EXPECT_FALSE(plain.traced());
+  EXPECT_FALSE(plain.trace_context().valid());
+}
+
+TEST(Wire, ForgedTraceFlagCannotTruncateDecode) {
+  // kFlagTraced forged onto a frame whose body cannot hold the 32-byte tail
+  // must fail the bounds check (WireError), before anything is allocated.
+  ConsensusVote vote;
+  vote.voter = 1;
+  auto small = encode_frame({1, 0, 0}, vote);
+  std::uint16_t flags = 0;
+  std::memcpy(&flags, small.data() + 8, sizeof flags);
+  flags |= kFlagTraced;
+  std::memcpy(small.data() + 8, &flags, sizeof flags);
+  refresh_digest(small);
+  EXPECT_THROW((void)decode_frame(small), WireError);
+  EXPECT_THROW((void)FrameView::parse(small).payload_body(), WireError);
+  EXPECT_THROW((void)FrameView::parse(small).trace_context(), WireError);
+
+  // On a frame large enough to "hold" a tail, the forged flag slices 32
+  // payload bytes off — the blob layer must catch the truncation.
+  ModelUpdate update;
+  update.params = test_params(16);
+  auto big = encode_frame({1, 0, 0}, update);
+  std::memcpy(&flags, big.data() + 8, sizeof flags);
+  flags |= kFlagTraced;
+  std::memcpy(big.data() + 8, &flags, sizeof flags);
+  refresh_digest(big);
+  EXPECT_THROW((void)decode_frame(big), WireError);
+}
+
+TEST(Wire, RoundTripStatusMessages) {
+  StatusRequest request;
+  request.probe = 42;
+  request.detail = 1;
+  request.wall_ns = 1754650000000000123LL;
+  const auto req_frame = encode_frame({999, 0, 7}, request);
+  EXPECT_EQ(req_frame.size(), status_request_wire_size());
+  const auto req = decode_frame(req_frame);
+  EXPECT_EQ(req.kind, MsgKind::kStatusRequest);
+  const auto& rq = std::get<StatusRequest>(req.payload);
+  EXPECT_EQ(rq.probe, 42u);
+  EXPECT_EQ(rq.detail, 1);
+  EXPECT_EQ(rq.wall_ns, request.wall_ns);
+
+  StatusReply reply;
+  reply.node = 0;
+  reply.probe = 42;
+  reply.round = 5;
+  reply.phase = 1;
+  reply.live_workers = 2;
+  reply.wall_ns = 1754650000000001000LL;
+  reply.echo_wall_ns = request.wall_ns;
+  reply.peers.push_back({1, 0, 3.5f, 0.25, 100, 200});
+  reply.peers.push_back({2, 1, -1.0f, 0.875, 0, 0});
+  reply.metrics = "abdhfl_rounds_total 5\n";
+  const auto frame = encode_frame({0, 999, 7}, reply);
+  EXPECT_EQ(frame.size(), status_reply_wire_size(2, reply.metrics.size()));
+  const auto decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.kind, MsgKind::kStatusReply);
+  const auto& out = std::get<StatusReply>(decoded.payload);
+  EXPECT_EQ(out.node, 0u);
+  EXPECT_EQ(out.probe, 42u);
+  EXPECT_EQ(out.round, 5u);
+  EXPECT_EQ(out.phase, 1);
+  EXPECT_EQ(out.live_workers, 2u);
+  EXPECT_EQ(out.wall_ns, reply.wall_ns);
+  EXPECT_EQ(out.echo_wall_ns, request.wall_ns);
+  ASSERT_EQ(out.peers.size(), 2u);
+  EXPECT_EQ(out.peers[0].node, 1u);
+  EXPECT_EQ(out.peers[0].state, 0);
+  EXPECT_EQ(out.peers[0].rtt_ms, 3.5f);
+  EXPECT_EQ(out.peers[0].suspicion, 0.25);
+  EXPECT_EQ(out.peers[0].bytes_sent, 100u);
+  EXPECT_EQ(out.peers[0].bytes_received, 200u);
+  EXPECT_EQ(out.peers[1].state, 1);
+  EXPECT_EQ(out.peers[1].rtt_ms, -1.0f);
+  EXPECT_EQ(out.metrics, reply.metrics);
+
+  // Empty peer table / metrics blob round-trips too (detail = 0 replies).
+  StatusReply bare;
+  bare.node = 3;
+  const auto& b =
+      std::get<StatusReply>(decode_frame(encode_frame({3, 999, 0}, bare)).payload);
+  EXPECT_EQ(b.node, 3u);
+  EXPECT_TRUE(b.peers.empty());
+  EXPECT_TRUE(b.metrics.empty());
+}
+
+TEST(Wire, ForgedStatusCountsCannotDriveAllocation) {
+  // Both counts come straight off the wire: a forged value must be bounded
+  // by the bytes actually present BEFORE it sizes any allocation.
+  StatusReply reply;
+  reply.peers.push_back({1, 0, 1.0f, 0.0, 10, 20});
+  reply.metrics = "x";
+
+  // peer_count lives after the 37 fixed body bytes.
+  auto frame = encode_frame({0, 999, 1}, reply);
+  std::uint32_t huge = 0x40000000u;
+  std::memcpy(frame.data() + kHeaderSize + 37, &huge, sizeof huge);
+  refresh_digest(frame);
+  EXPECT_THROW((void)decode_frame(frame), WireError);
+
+  // metrics_len follows the count and one 33-byte peer row.
+  frame = encode_frame({0, 999, 1}, reply);
+  std::memcpy(frame.data() + kHeaderSize + 74, &huge, sizeof huge);
+  refresh_digest(frame);
+  EXPECT_THROW((void)decode_frame(frame), WireError);
+}
+
+TEST(Tcp, TracedFederationJoinsOneTreePerRound) {
+  // Three real TCP endpoints with three separate trace buffers: after a full
+  // run, the spans — pooled exactly as trace_merge pools the per-process
+  // files — must form one causal tree per round (every round's trace id sees
+  // all 3 nodes, every nonzero parent resolves within its own trace).
+  FederationConfig config;
+  config.workers = 2;
+  config.devices_per_worker = 1;
+  config.rounds = 3;
+  config.local_iters = 1;
+  config.batch = 4;
+  config.hidden = {4};
+  config.samples_per_class = 2;
+  config.test_samples_per_class = 1;
+  config.seed = 17;
+  config.trace = true;
+
+  RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.initial_backoff_s = 0.005;
+  fast.max_backoff_s = 0.02;
+  fast.send_timeout_s = 2.0;
+  fast.connect_timeout_s = 1.0;
+
+  TcpTransport root_transport(kRootId, fast);
+  obs::TraceBuffer root_trace;
+  root_trace.set_node(kRootId);
+  root_transport.set_trace(&root_trace);
+  const auto port = root_transport.listen(0);
+  RootNode root(config, root_transport);
+
+  std::vector<std::unique_ptr<TcpTransport>> worker_transports;
+  std::vector<std::unique_ptr<obs::TraceBuffer>> worker_traces;
+  std::vector<std::unique_ptr<WorkerNode>> workers;
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    worker_traces.push_back(std::make_unique<obs::TraceBuffer>());
+    worker_traces.back()->set_node(worker_node_id(w));
+    worker_transports.push_back(
+        std::make_unique<TcpTransport>(worker_node_id(w), fast));
+    worker_transports.back()->set_trace(worker_traces.back().get());
+    worker_transports.back()->set_peer_link_class(kRootId, kLeaderLinkClass);
+    ASSERT_TRUE(worker_transports.back()->connect_peer(kRootId, "127.0.0.1", port));
+    workers.push_back(
+        std::make_unique<WorkerNode>(config, w, *worker_transports.back()));
+  }
+
+  root.start();
+  for (auto& worker : workers) worker->start();
+  auto pump_all = [&](const std::function<bool()>& done, int max_iters = 4000) {
+    for (int i = 0; i < max_iters && !done(); ++i) {
+      root_transport.poll(0.005);
+      for (auto& t : worker_transports) t->poll(0.005);
+      root.on_idle();
+    }
+    return done();
+  };
+  ASSERT_TRUE(pump_all([&] { return root.done(); }));
+  EXPECT_EQ(root.result().rounds_run, config.rounds);
+
+  // Pool every process's spans, keyed like trace_merge: drop unlinked spans
+  // (trace id or span id 0 — pre-negotiation traffic), then check the trees.
+  struct PoolSpan {
+    std::uint64_t trace_id, span_id, parent;
+    std::uint32_t node;
+  };
+  std::vector<PoolSpan> pool;
+  std::map<std::uint64_t, std::set<std::uint64_t>> ids_by_trace;
+  std::map<std::uint64_t, std::set<std::uint32_t>> nodes_by_trace;
+  auto drain = [&](const obs::TraceBuffer& buffer) {
+    EXPECT_EQ(buffer.dropped(), 0u);
+    for (const auto& ev : buffer.snapshot()) {
+      if (ev.trace_id == 0 || ev.span_id == 0) continue;
+      pool.push_back({ev.trace_id, ev.span_id, ev.parent_span_id, ev.node});
+      ids_by_trace[ev.trace_id].insert(ev.span_id);
+      nodes_by_trace[ev.trace_id].insert(ev.node);
+    }
+  };
+  drain(root_trace);
+  for (const auto& buffer : worker_traces) drain(*buffer);
+
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    const std::uint64_t tid = obs::make_trace_id(config.seed, r);
+    EXPECT_EQ(nodes_by_trace[tid].size(), 3u) << "round " << r;
+    EXPECT_GE(ids_by_trace[tid].size(), 6u) << "round " << r;
+  }
+  std::size_t orphans = 0;
+  for (const auto& span : pool) {
+    if (span.parent != 0 && ids_by_trace[span.trace_id].count(span.parent) == 0) {
+      ++orphans;
+    }
+  }
+  EXPECT_EQ(orphans, 0u);
+
+  // Per-round RTT heartbeats ran in both directions.
+  EXPECT_GT(root_transport.stats().rtt_samples, 0u);
+  EXPECT_GT(worker_transports[0]->stats().rtt_samples, 0u);
+
+  // The status path answers in ANY phase — here after the run finished — so
+  // abdhfl_top can inspect a node without perturbing it.
+  TcpTransport observer(999, fast);
+  observer.set_peer_link_class(kRootId, kLeaderLinkClass);
+  ASSERT_TRUE(observer.connect_peer(kRootId, "127.0.0.1", port));
+  std::optional<StatusReply> status;
+  observer.register_node(999, [&](const WireMessage& msg) {
+    if (msg.kind == MsgKind::kStatusReply) {
+      status = std::get<StatusReply>(msg.payload);
+    }
+  });
+  StatusRequest probe;
+  probe.probe = 9;
+  probe.detail = 1;
+  probe.wall_ns = obs::wall_clock_ns();
+  ASSERT_EQ(observer.send({999, kRootId, 0}, probe), SendStatus::kOk);
+  ASSERT_TRUE(pump(root_transport, observer, [&] { return status.has_value(); }));
+  EXPECT_EQ(status->node, kRootId);
+  EXPECT_EQ(status->probe, 9u);
+  EXPECT_EQ(status->phase, 3);  // done
+  EXPECT_EQ(status->round, config.rounds);
+  EXPECT_EQ(status->echo_wall_ns, probe.wall_ns);
+  EXPECT_EQ(status->peers.size(), 2u);  // both workers in the peer table
+
+  // The observer hanging up is not churn: answering the probe marked its
+  // link transient, so the EOF must not tick the peer-loss counter (the
+  // federation run itself lost nobody).
+  const auto losses_before = root_transport.stats().peer_losses;
+  EXPECT_EQ(losses_before, 0u);
+  observer.close();
+  pump(root_transport, observer, [] { return false; }, 50);  // drain the EOF
+  EXPECT_EQ(root_transport.stats().peer_losses, losses_before);
 }
 
 }  // namespace

@@ -244,6 +244,141 @@ TEST(ObsTrace, CsvAndJsonlRenderings) {
   EXPECT_NE(jsonl.find("\"duration\":0.25"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Distributed-tracing span linkage (DESIGN.md §12).
+
+TEST(ObsTrace, MakeTraceIdIsDeterministicAndDistinct) {
+  // Every process derives the same id from the same (seed, round), which is
+  // what lets trace_merge join per-process files; distinct rounds and seeds
+  // must land in distinct trees.
+  EXPECT_EQ(make_trace_id(17, 3), make_trace_id(17, 3));
+  EXPECT_NE(make_trace_id(17, 3), make_trace_id(17, 4));
+  EXPECT_NE(make_trace_id(17, 3), make_trace_id(18, 3));
+  EXPECT_NE(make_trace_id(0, 0), 0u);
+}
+
+TEST(ObsTrace, SpanIdsLinkStackParentsAndTagNode) {
+  TraceBuffer buffer;
+  buffer.set_node(3);
+  buffer.set_trace_id(make_trace_id(7, 0));
+  std::uint64_t outer_id = 0;
+  {
+    Span outer(&buffer, "round");
+    outer_id = outer.id();
+    EXPECT_EQ(current_span_id(), outer.id());
+    {
+      Span inner(&buffer, "train");
+      EXPECT_EQ(inner.parent_id(), outer.id());
+      EXPECT_EQ(current_span_id(), inner.id());
+    }
+  }
+  EXPECT_EQ(current_span_id(), 0u);
+  const auto events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].parent_span_id, outer_id);  // inner closes first
+  EXPECT_EQ(events[1].span_id, outer_id);
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.node, 3u);
+    EXPECT_EQ(ev.trace_id, make_trace_id(7, 0));
+    EXPECT_EQ(ev.span_id >> 40, 4u);  // node + 1 in the high bits
+    EXPECT_NE(ev.span_id, ev.parent_span_id);
+    EXPECT_GT(ev.wall_ns, 0);
+  }
+}
+
+TEST(ObsTrace, SpanContextPlacesCrossProcessParents) {
+  TraceBuffer buffer;
+  buffer.set_trace_id(1111);
+  Span handler(&buffer, "handler");
+  {
+    // A receive span parents to the REMOTE sender's span id and joins the
+    // remote trace, ignoring the locally open stack.
+    Span recv(&buffer, "net_recv", SpanContext{2222, 977, true});
+    EXPECT_EQ(recv.trace_id(), 2222u);
+    EXPECT_EQ(recv.parent_id(), 977u);
+    // ... and its stack-parented children follow it into that trace.
+    Span child(&buffer, "decode");
+    EXPECT_EQ(child.parent_id(), recv.id());
+    EXPECT_EQ(child.trace_id(), 2222u);
+  }
+  {
+    // Round roots detach: has_parent with parent_span_id 0.
+    Span detached(&buffer, "worker_round", SpanContext{3333, 0, true});
+    EXPECT_EQ(detached.parent_id(), 0u);
+    EXPECT_EQ(detached.trace_id(), 3333u);
+  }
+  {
+    // A zero ctx trace id falls back to the buffer's current one.
+    Span anon(&buffer, "net_recv", SpanContext{0, 55, true});
+    EXPECT_EQ(anon.trace_id(), 1111u);
+    EXPECT_EQ(anon.parent_id(), 55u);
+  }
+}
+
+TEST(ObsTrace, StackChildrenStayInParentTraceAcrossRoundAdvance) {
+  // The buffer's trace id advances at round boundaries, possibly while a
+  // handler chain is still open; a child must stay in its parent's trace or
+  // the merge tool would see a cross-trace parent edge as an orphan.
+  TraceBuffer buffer;
+  buffer.set_trace_id(10);
+  Span handler(&buffer, "net_recv");
+  buffer.set_trace_id(11);
+  Span child(&buffer, "reply");
+  EXPECT_EQ(child.trace_id(), 10u);
+  EXPECT_EQ(child.parent_id(), handler.id());
+}
+
+TEST(ObsTrace, DroppedEventsExportToRegistry) {
+  const bool was_enabled = enabled();
+  set_enabled(true);
+  const auto before = global_registry()
+                          .counter("trace_dropped_events_total", "")
+                          .value();
+  TraceBuffer buffer(2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    buffer.push(TraceEvent{static_cast<double>(i), i, "ev"});
+  }
+  EXPECT_EQ(buffer.dropped(), 3u);
+  EXPECT_EQ(global_registry().counter("trace_dropped_events_total", "").value(),
+            before + 3);
+  set_enabled(was_enabled);
+}
+
+TEST(ObsTrace, JsonlRendersIdsAsStrings) {
+  // 64-bit ids and wall_ns exceed a JSON double's 53-bit exact-integer
+  // range, so the exporter must quote them.
+  TraceEvent ev{1.5, 2, "train", 4, 1, 0.25, 1};
+  ev.node = 3;
+  ev.trace_id = 0xABCULL;
+  ev.span_id = (std::uint64_t{4} << 40) | 7;
+  ev.parent_span_id = (std::uint64_t{4} << 40) | 6;
+  ev.wall_ns = 1754650000123456789LL;
+  const auto jsonl = trace_to_jsonl({ev});
+  EXPECT_NE(jsonl.find("\"trace_id\":\"0000000000000abc\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"span_id\":\"0000040000000007\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"parent_span_id\":\"0000040000000006\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"wall_ns\":\"1754650000123456789\""), std::string::npos);
+  const auto csv = trace_to_csv({ev});
+  EXPECT_NE(csv.find("node,trace_id,span_id"), std::string::npos);
+  EXPECT_NE(csv.find("0000000000000abc"), std::string::npos);
+}
+
+TEST(ObsTrace, SummaryLineCarriesNodeOffsetAndDrops) {
+  TraceBuffer buffer(2);
+  buffer.set_node(5);
+  buffer.set_clock_offset_ns(-1234);
+  for (std::size_t i = 0; i < 3; ++i) {
+    buffer.push(TraceEvent{static_cast<double>(i), i, "ev"});
+  }
+  const auto line = trace_summary_jsonl(buffer);
+  EXPECT_NE(line.find("\"kind\":\"trace_summary\""), std::string::npos);
+  EXPECT_NE(line.find("\"node\":5"), std::string::npos);
+  EXPECT_NE(line.find("\"events\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"dropped\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"clock_offset_ns\":-1234"), std::string::npos);
+}
+
 TEST(ObsTrace, ScopedTimerAccumulates) {
   double acc = 0.0;
   { ScopedTimer t(acc); }

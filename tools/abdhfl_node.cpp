@@ -99,6 +99,8 @@ int main(int argc, char** argv) {
   if (role == "root") {
     net::TcpTransport transport(net::kRootId);
     const std::uint16_t bound = transport.listen(port);
+    trace.set_node(net::kRootId);
+    config.trace = !obs_opts.trace_out.empty();  // stamp trace contexts on frames
     if (obs_opts.active()) transport.set_trace(&trace);
     std::printf("root: listening on port %u, waiting for %zu worker(s)\n", bound,
                 config.workers);
@@ -141,6 +143,8 @@ int main(int argc, char** argv) {
   }
 
   net::TcpTransport transport(net::worker_node_id(index));
+  trace.set_node(net::worker_node_id(index));
+  config.trace = !obs_opts.trace_out.empty();
   if (obs_opts.active()) transport.set_trace(&trace);
   transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
   if (!transport.connect_peer(net::kRootId, host, port)) {

@@ -1,0 +1,135 @@
+// abdhfl_top: live introspection of a running federation node.
+//
+// Dials any node's TCP port as a passive observer, sends a kStatusRequest,
+// and renders the reply — current round, phase, the node's peer table (link
+// state, RTT, suspicion, byte counters) and, with --metrics, the node's full
+// Prometheus exposition — all without stopping or perturbing training: the
+// status path never advances the protocol state machine, and the observer's
+// eventual disconnect is ignored by the churn layer (the observer id was
+// never a member).
+//
+//   ./abdhfl_top --port 9400                 # one probe of the root
+//   ./abdhfl_top --port 9400 --count 5       # ~top(1): refresh every second
+//   ./abdhfl_top --port 9400 --metrics       # include the Prometheus text
+//
+// Exit status: 0 when every probe was answered, 1 on timeout/connect failure.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/node.hpp"
+#include "net/tcp.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+const char* phase_name(std::uint8_t phase) {
+  switch (phase) {
+    case 0: return "joining";
+    case 1: return "training";
+    case 2: return "finishing";
+    case 3: return "done";
+  }
+  return "?";
+}
+
+const char* peer_state_name(std::uint8_t state) {
+  switch (state) {
+    case 0: return "live";
+    case 1: return "lost";
+    case 2: return "left";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace abdhfl;
+
+  util::Cli cli(argc, argv);
+  const std::string host = cli.str("host", "127.0.0.1", "target node's address");
+  const auto port =
+      static_cast<std::uint16_t>(cli.integer("port", 9400, "target node's TCP port"));
+  const auto target = static_cast<net::NodeId>(
+      cli.integer("node", 0, "target's node id (0 = root, i+1 = worker i)"));
+  const auto observer = static_cast<net::NodeId>(cli.integer(
+      "observer-id", 999, "this probe's node id (>= 900: the observer range)"));
+  const auto count =
+      static_cast<std::size_t>(cli.integer("count", 1, "probes to send (top-style)"));
+  const double interval = cli.real("interval", 1.0, "seconds between probes");
+  const double timeout = cli.real("timeout", 5.0, "per-probe reply deadline (s)");
+  const bool metrics =
+      cli.boolean("metrics", false, "request the Prometheus exposition too");
+  if (!cli.finish()) return 0;
+  if (!net::is_observer(observer)) {
+    std::fprintf(stderr, "abdhfl_top: --observer-id must be >= %u (the observer range)\n",
+                 net::kObserverIdBase);
+    return 1;
+  }
+
+  net::TcpTransport transport(observer);
+  transport.set_peer_link_class(target, net::kLeaderLinkClass);
+  if (!transport.connect_peer(target, host, port)) {
+    std::fprintf(stderr, "abdhfl_top: cannot reach node %u at %s:%u\n", target,
+                 host.c_str(), port);
+    return 1;
+  }
+
+  std::optional<net::StatusReply> reply;
+  transport.register_node(observer, [&](net::WireMessage& msg) {
+    if (msg.kind == net::MsgKind::kStatusReply) {
+      reply = std::get<net::StatusReply>(msg.payload);
+    }
+  });
+
+  bool all_answered = true;
+  for (std::size_t probe = 0; probe < count; ++probe) {
+    if (probe > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    }
+    reply.reset();
+    net::StatusRequest request;
+    request.probe = static_cast<std::uint32_t>(probe + 1);
+    request.detail = metrics ? 1 : 0;
+    request.wall_ns = obs::wall_clock_ns();
+    if (transport.send({observer, target, 0}, request) != net::SendStatus::kOk) {
+      std::fprintf(stderr, "abdhfl_top: send failed (node gone?)\n");
+      return 1;
+    }
+    const bool answered = net::pump_until(
+        transport, [&] { return reply.has_value(); }, timeout, 0.02);
+    if (!answered) {
+      std::fprintf(stderr, "abdhfl_top: no reply within %.1fs\n", timeout);
+      all_answered = false;
+      continue;
+    }
+
+    const double probe_rtt_ms =
+        static_cast<double>(obs::wall_clock_ns() - reply->echo_wall_ns) / 1e6;
+    std::printf("node %u @ %s:%u   round %llu   phase %-9s live %u   probe rtt %.2f ms\n",
+                reply->node, host.c_str(), port,
+                static_cast<unsigned long long>(reply->round),
+                phase_name(reply->phase), reply->live_workers, probe_rtt_ms);
+    if (!reply->peers.empty()) {
+      std::printf("  %-6s %-6s %9s %10s %12s %12s\n", "peer", "state", "rtt_ms",
+                  "suspicion", "bytes_tx", "bytes_rx");
+      for (const net::StatusPeer& peer : reply->peers) {
+        std::printf("  %-6u %-6s %9.3f %10.3f %12llu %12llu\n", peer.node,
+                    peer_state_name(peer.state), peer.rtt_ms, peer.suspicion,
+                    static_cast<unsigned long long>(peer.bytes_sent),
+                    static_cast<unsigned long long>(peer.bytes_received));
+      }
+    }
+    if (metrics && !reply->metrics.empty()) {
+      std::printf("--- metrics ---\n%s", reply->metrics.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return all_answered ? 0 : 1;
+}

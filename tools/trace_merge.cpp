@@ -1,0 +1,357 @@
+// trace_merge: join per-process trace JSONL files into per-round causal trees.
+//
+// Every process of a distributed run writes its own span file (obs
+// --trace-out); spans carry a trace id derived from (seed, round) that is
+// identical on every process, a process-unique span id, and a parent span id
+// that crosses process boundaries via the frames' trace-context tail.  This
+// tool:
+//   * reads any number of per-process files (each ends in one
+//     "kind":"trace_summary" line carrying the process's node tag, its
+//     estimated clock offset to the root, and its drop count);
+//   * normalizes every span's wall_ns onto the root's clock by adding the
+//     file's clock offset;
+//   * groups spans by trace id and builds one tree per round, adopting
+//     parentless spans (worker round roots, the root's own top-level spans)
+//     under a synthetic per-round root;
+//   * flags orphans — spans whose nonzero parent is absent from their trace
+//     (a missing file, a dropped event, or a cross-process linkage bug);
+//   * flags stragglers — spans slower than the p99 of their kind;
+//   * emits a Markdown/ASCII timeline (--out FILE, default stdout).
+//
+// With --check the exit status enforces health: nonzero when any orphan
+// exists, when --require-nodes N finds a round tree with spans from fewer
+// than N distinct nodes, or when any input file dropped events.
+//
+// Usage:
+//   trace_merge [--out FILE] [--check] [--require-nodes N] FILE...
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "jsonl_lite.hpp"
+
+namespace {
+
+using abdhfl::tools::JsonObject;
+using abdhfl::tools::parse_flat_object;
+
+struct SpanRec {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent = 0;
+  std::uint32_t node = 0;
+  std::size_t round = 0;
+  std::string kind;
+  double duration_s = 0.0;
+  std::int64_t wall_ns = 0;  // normalized onto the root's clock
+  bool straggler = false;
+  bool orphan = false;
+};
+
+struct FileSummary {
+  std::string path;
+  std::uint32_t node = 0;
+  std::int64_t clock_offset_ns = 0;
+  std::uint64_t dropped = 0;
+  std::size_t spans = 0;
+  bool has_summary = false;
+};
+
+std::uint64_t hex_id(const JsonObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || !it->second.is_string) return 0;
+  return std::strtoull(it->second.text.c_str(), nullptr, 16);
+}
+
+std::int64_t string_i64(const JsonObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return 0;
+  return std::strtoll(it->second.text.c_str(), nullptr, 10);
+}
+
+double number_or(const JsonObject& obj, const char* key, double fallback) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second.number();
+}
+
+std::string text_or(const JsonObject& obj, const char* key, const std::string& fallback) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? fallback : it->second.text;
+}
+
+/// Largest value no more than 99% of samples exceed (max for small n).
+double p99(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t idx =
+      std::min(values.size() - 1,
+               static_cast<std::size_t>(0.99 * static_cast<double>(values.size())));
+  return values[idx];
+}
+
+struct Tree {
+  std::uint64_t trace_id = 0;
+  std::size_t round = 0;
+  std::vector<SpanRec*> spans;         // every span in the trace
+  std::vector<SpanRec*> roots;         // parent == 0 (synthetic-root children)
+  std::map<std::uint64_t, std::vector<SpanRec*>> children;
+  std::set<std::uint32_t> nodes;
+  std::size_t orphans = 0;
+};
+
+void render_subtree(std::ostream& out, const Tree& tree, const SpanRec& span,
+                    std::size_t indent, std::int64_t t0, double window_ms) {
+  const double start_ms = static_cast<double>(span.wall_ns - t0) / 1e6;
+  const double dur_ms = span.duration_s * 1e3;
+  // 40-column ASCII gantt bar over the round's window.
+  constexpr int kCols = 40;
+  std::string bar(kCols, '.');
+  if (window_ms > 0.0) {
+    const int begin = std::clamp(
+        static_cast<int>(start_ms / window_ms * kCols), 0, kCols - 1);
+    const int end = std::clamp(
+        static_cast<int>((start_ms + dur_ms) / window_ms * kCols), begin, kCols - 1);
+    for (int i = begin; i <= end; ++i) bar[static_cast<std::size_t>(i)] = '#';
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line), "| %s%s | n%u | %9.3f | %9.3f | `%s` |%s%s\n",
+                std::string(indent * 2, ' ').c_str(), span.kind.c_str(), span.node,
+                start_ms, dur_ms, bar.c_str(), span.straggler ? " **straggler**" : "",
+                span.orphan ? " **orphan**" : "");
+  out << line;
+  const auto it = tree.children.find(span.span_id);
+  if (it == tree.children.end()) return;
+  auto kids = it->second;
+  std::sort(kids.begin(), kids.end(),
+            [](const SpanRec* a, const SpanRec* b) { return a->wall_ns < b->wall_ns; });
+  for (const SpanRec* kid : kids) {
+    render_subtree(out, tree, *kid, indent + 1, t0, window_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool check = false;
+  std::size_t require_nodes = 0;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--require-nodes" && i + 1 < argc) {
+      require_nodes = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: trace_merge [--out FILE] [--check] [--require-nodes N] "
+                   "FILE...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "trace_merge: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "trace_merge: no input files (try --help)\n";
+    return 2;
+  }
+
+  // Pass 1: per file, collect raw spans and the trace_summary (node tag +
+  // clock offset).  The offset is applied after the whole file is read — the
+  // summary line sits at the end.
+  std::vector<SpanRec> all;
+  std::vector<FileSummary> summaries;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "trace_merge: cannot open " << path << "\n";
+      return 2;
+    }
+    FileSummary summary;
+    summary.path = path;
+    const std::size_t first = all.size();
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      std::string error;
+      const auto obj = parse_flat_object(line, error);
+      if (!obj.has_value()) {
+        std::cerr << "trace_merge: " << path << ":" << lineno << ": " << error << "\n";
+        return 2;
+      }
+      const std::string kind = text_or(*obj, "kind", "");
+      if (kind == "trace_summary") {
+        summary.has_summary = true;
+        summary.node = static_cast<std::uint32_t>(number_or(*obj, "node", 0.0));
+        summary.clock_offset_ns = static_cast<std::int64_t>(
+            number_or(*obj, "clock_offset_ns", 0.0));
+        summary.dropped =
+            static_cast<std::uint64_t>(number_or(*obj, "dropped", 0.0));
+        continue;
+      }
+      SpanRec span;
+      span.trace_id = hex_id(*obj, "trace_id");
+      span.span_id = hex_id(*obj, "span_id");
+      if (span.trace_id == 0 || span.span_id == 0) continue;  // plain local event
+      span.parent = hex_id(*obj, "parent_span_id");
+      span.node = static_cast<std::uint32_t>(number_or(*obj, "node", 0.0));
+      span.round = static_cast<std::size_t>(number_or(*obj, "round", 0.0));
+      span.kind = kind;
+      span.duration_s = number_or(*obj, "duration", 0.0);
+      span.wall_ns = string_i64(*obj, "wall_ns");
+      all.push_back(std::move(span));
+    }
+    summary.spans = all.size() - first;
+    // Normalize this file's spans onto the root's clock.
+    for (std::size_t i = first; i < all.size(); ++i) {
+      all[i].wall_ns += summary.clock_offset_ns;
+    }
+    summaries.push_back(std::move(summary));
+  }
+
+  // Straggler marks: per span kind, anything slower than the p99.
+  {
+    std::map<std::string, std::vector<double>> durations;
+    for (const SpanRec& span : all) durations[span.kind].push_back(span.duration_s);
+    std::map<std::string, double> cutoffs;
+    for (const auto& [kind, values] : durations) cutoffs[kind] = p99(values);
+    for (SpanRec& span : all) span.straggler = span.duration_s > cutoffs[span.kind];
+  }
+
+  // Group into per-round trees and find orphans.
+  std::map<std::uint64_t, Tree> trees;
+  for (SpanRec& span : all) {
+    Tree& tree = trees[span.trace_id];
+    tree.trace_id = span.trace_id;
+    tree.spans.push_back(&span);
+    tree.nodes.insert(span.node);
+  }
+  std::size_t total_orphans = 0;
+  for (auto& [trace_id, tree] : trees) {
+    std::set<std::uint64_t> ids;
+    for (const SpanRec* span : tree.spans) ids.insert(span->span_id);
+    std::map<std::size_t, std::size_t> round_votes;
+    for (SpanRec* span : tree.spans) {
+      ++round_votes[span->round];
+      if (span->parent == 0) {
+        tree.roots.push_back(span);
+      } else if (ids.count(span->parent) != 0) {
+        tree.children[span->parent].push_back(span);
+      } else {
+        span->orphan = true;
+        tree.roots.push_back(span);  // still rendered, loudly marked
+        ++tree.orphans;
+        ++total_orphans;
+      }
+    }
+    // The tree's round label: majority vote over its spans' round fields
+    // (net_recv spans for a late frame may disagree with the rest).
+    std::size_t best = 0;
+    for (const auto& [round, votes] : round_votes) {
+      if (votes > best) {
+        best = votes;
+        tree.round = round;
+      }
+    }
+  }
+
+  // Render, ordered by round.
+  std::vector<const Tree*> ordered;
+  ordered.reserve(trees.size());
+  for (const auto& [trace_id, tree] : trees) ordered.push_back(&tree);
+  std::sort(ordered.begin(), ordered.end(), [](const Tree* a, const Tree* b) {
+    return a->round != b->round ? a->round < b->round : a->trace_id < b->trace_id;
+  });
+
+  std::ostringstream doc;
+  doc << "# Merged federation timeline\n\n";
+  std::uint64_t total_dropped = 0;
+  for (const FileSummary& summary : summaries) {
+    total_dropped += summary.dropped;
+    doc << "- `" << summary.path << "`: node " << summary.node << ", "
+        << summary.spans << " spans, clock offset "
+        << summary.clock_offset_ns / 1000 << " us, dropped " << summary.dropped
+        << (summary.has_summary ? "" : " (no trace_summary line)") << "\n";
+  }
+  doc << "- " << all.size() << " spans across " << trees.size()
+      << " round trees; " << total_orphans << " orphan(s)\n";
+
+  for (const Tree* tree : ordered) {
+    char header[160];
+    std::snprintf(header, sizeof(header),
+                  "\n## Round %zu — trace `%016llx` (%zu spans, %zu nodes%s)\n\n",
+                  tree->round, static_cast<unsigned long long>(tree->trace_id),
+                  tree->spans.size(), tree->nodes.size(),
+                  tree->orphans != 0 ? ", ORPHANS" : "");
+    doc << header;
+    doc << "| span | node | start ms | dur ms | timeline |\n";
+    doc << "|---|---|---|---|---|\n";
+    std::int64_t t0 = 0;
+    std::int64_t t1 = 0;
+    bool first = true;
+    for (const SpanRec* span : tree->spans) {
+      const std::int64_t end =
+          span->wall_ns + static_cast<std::int64_t>(span->duration_s * 1e9);
+      if (first || span->wall_ns < t0) t0 = span->wall_ns;
+      if (first || end > t1) t1 = end;
+      first = false;
+    }
+    const double window_ms = static_cast<double>(t1 - t0) / 1e6;
+    auto roots = tree->roots;
+    std::sort(roots.begin(), roots.end(),
+              [](const SpanRec* a, const SpanRec* b) { return a->wall_ns < b->wall_ns; });
+    for (const SpanRec* root : roots) {
+      render_subtree(doc, *tree, *root, 0, t0, window_ms);
+    }
+  }
+  doc << "\n";
+
+  if (out_path.empty()) {
+    std::cout << doc.str();
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "trace_merge: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << doc.str();
+  }
+
+  // Health verdict (stderr so it survives --out redirection).
+  bool failed = false;
+  if (total_orphans != 0) {
+    std::cerr << "trace_merge: " << total_orphans
+              << " orphan span(s) — a parent span is missing from its trace\n";
+    failed = true;
+  }
+  if (require_nodes != 0) {
+    for (const Tree* tree : ordered) {
+      if (tree->nodes.size() < require_nodes) {
+        std::cerr << "trace_merge: round " << tree->round << " tree has spans from "
+                  << tree->nodes.size() << " node(s), need " << require_nodes << "\n";
+        failed = true;
+      }
+    }
+  }
+  if (total_dropped != 0) {
+    std::cerr << "trace_merge: " << total_dropped
+              << " event(s) dropped at capture — timeline is incomplete\n";
+    failed = true;
+  }
+  return (check && failed) ? 1 : 0;
+}

@@ -21,6 +21,14 @@
 //   ckpt  the checkpoint store's snapshot lifecycle ("ckpt_save" per staged
 //         or installed snapshot, "ckpt_restore" per successful load) emitted
 //         by ckpt::Store.
+//   trace the distributed-tracing span files written via --trace-out
+//         (obs::trace_to_jsonl + the trailing trace_summary line).  Trace
+//         lines carry no "runner" key; when this group is active, runnerless
+//         lines fall back to the literal runner "trace".
+//
+// A required key may carry a ":str" suffix ("span_id:str") meaning the value
+// must be a JSON *string* — the trace ids and wall_ns exceed the 53-bit
+// exact-integer range of a JSON double, so the exporter quotes them.
 //
 // Exits 0 and prints a one-line summary when every line passes; exits 1
 // with the offending line number and reason otherwise.  The parser lives in
@@ -53,12 +61,17 @@ group_schemas() {
           {"net",
            {{"net_link",
              {"link_class", "frames_sent", "bytes_sent", "bytes_sent_raw",
-              "frames_received", "bytes_received", "bytes_received_raw"}},
+              "frames_received", "bytes_received", "bytes_received_raw", "rtt_ms",
+              "rtt_ms_mean", "rtt_samples", "queue_depth"}},
             {"net_events",
              {"retries", "reconnects", "timeouts", "peer_losses", "decode_errors"}}}},
           {"ckpt",
            {{"ckpt_save", {"seq", "bytes"}},
             {"ckpt_restore", {"seq", "bytes", "skipped"}}}},
+          {"trace",
+           {{"trace",
+             {"time", "kind:str", "duration", "depth", "node", "trace_id:str",
+              "span_id:str", "parent_span_id:str", "wall_ns:str"}}}},
       };
   return groups;
 }
@@ -130,9 +143,16 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    std::string runner_name;
     const auto runner = fields->find("runner");
-    if (runner == fields->end() || !runner->second.is_string ||
-        runner->second.text.empty()) {
+    if (runner != fields->end() && runner->second.is_string &&
+        !runner->second.text.empty()) {
+      runner_name = runner->second.text;
+    } else if (schema.per_runner.count("trace") != 0) {
+      // Trace span files carry no "runner"; with the trace group active,
+      // runnerless lines validate against the "trace" schema.
+      runner_name = "trace";
+    } else {
       std::fprintf(stderr, "validate_jsonl: %s:%zu: missing \"runner\" string\n",
                    argv[1], lineno);
       return 1;
@@ -144,25 +164,35 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const auto group = schema.per_runner.find(runner->second.text);
+    const auto group = schema.per_runner.find(runner_name);
     const std::vector<std::string>& required =
         group != schema.per_runner.end() ? group->second : schema.default_keys;
-    for (const auto& key : required) {
+    for (const auto& spec : required) {
+      // "name" requires a numeric value, "name:str" a string value.
+      const std::size_t colon = spec.rfind(":str");
+      const bool want_string = colon != std::string::npos && colon == spec.size() - 4;
+      const std::string key = want_string ? spec.substr(0, colon) : spec;
       const auto it = fields->find(key);
       if (it == fields->end()) {
         std::fprintf(stderr,
                      "validate_jsonl: %s:%zu: runner \"%s\" missing required key \"%s\"\n",
-                     argv[1], lineno, runner->second.text.c_str(), key.c_str());
+                     argv[1], lineno, runner_name.c_str(), key.c_str());
         return 1;
       }
-      if (it->second.is_string && key != "runner") {
+      if (want_string) {
+        if (!it->second.is_string) {
+          std::fprintf(stderr, "validate_jsonl: %s:%zu: key \"%s\" is not a string\n",
+                       argv[1], lineno, key.c_str());
+          return 1;
+        }
+      } else if (it->second.is_string && key != "runner") {
         std::fprintf(stderr, "validate_jsonl: %s:%zu: key \"%s\" is not a number\n",
                      argv[1], lineno, key.c_str());
         return 1;
       }
     }
     ++records;
-    ++per_runner[runner->second.text];
+    ++per_runner[runner_name];
   }
 
   if (records == 0) {
