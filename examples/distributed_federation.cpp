@@ -22,7 +22,13 @@
 // that tools/trace_merge joins into one causal tree per round — the CI
 // tracing smoke.
 //
+// With --crash-worker-hard the sacrificial worker dies by a genuine SIGSEGV
+// mid-round instead of a silent _exit; paired with --blackbox-dir the
+// flight-recorder crash handler must leave a decodable .abbx postmortem
+// behind (tools/blackbox_dump) — the CI crash-postmortem smoke.
+//
 //   ./distributed_federation [--rounds 3] [--workers 3] [--kill-worker]
+//                            [--crash-worker-hard] [--blackbox-dir crash]
 //                            [--checkpoint-dir ckpts] [--metrics-out dist.jsonl]
 //                            [--trace-dir traces]
 
@@ -42,6 +48,7 @@
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/obs.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
@@ -118,7 +125,13 @@ net::RootResult run_loopback(const net::FederationConfig& config, obs::Recorder*
 [[noreturn]] void worker_process(const net::FederationConfig& config, std::size_t index,
                                  std::uint16_t port, long die_after_round,
                                  const std::string& ckpt_dir, bool resume,
-                                 const std::string& trace_dir = std::string()) {
+                                 const std::string& trace_dir = std::string(),
+                                 bool crash_hard = false,
+                                 const obs::blackbox::Options& bb =
+                                     obs::blackbox::Options{}) {
+  // Arm the flight recorder with this process's own node id (post-fork, so
+  // the crash handler and the dump path belong to the worker, not the root).
+  obs::blackbox::arm(bb, net::worker_node_id(index));
   net::TcpTransport transport(net::worker_node_id(index));
   transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
   std::unique_ptr<obs::TraceBuffer> wtrace;
@@ -140,6 +153,13 @@ net::RootResult run_loopback(const net::FederationConfig& config, obs::Recorder*
         worker.on_idle();
         if (die_after_round >= 0 &&
             worker.rounds_run() >= static_cast<std::size_t>(die_after_round)) {
+          if (crash_hard) {
+            // A genuine wild write mid-round: the blackbox crash handler must
+            // dump the ring before the process dies with SIGSEGV.
+            volatile int* null_page = nullptr;
+            *null_page = 42;
+            ::raise(SIGSEGV);  // in case the store was somehow survivable
+          }
           _exit(0);  // simulated crash: no leave, socket torn down by the kernel
         }
         return worker.done();
@@ -161,7 +181,10 @@ struct TcpOutcome {
 
 TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
                    const std::string& ckpt_dir, obs::Recorder* rec,
-                   const std::string& trace_dir = std::string()) {
+                   const std::string& trace_dir = std::string(),
+                   bool crash_hard = false,
+                   const obs::blackbox::Options& bb = obs::blackbox::Options{}) {
+  const bool sacrifice = kill_worker || crash_hard;
   net::TcpTransport transport(net::kRootId);
   const std::uint16_t port = transport.listen(0);
   obs::TraceBuffer root_trace;
@@ -177,15 +200,19 @@ TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
 
   std::vector<pid_t> children;
   for (std::size_t w = 0; w < config.workers; ++w) {
-    // Worker 0 is the sacrificial one in --kill-worker mode: it exits right
-    // after merging the first global model.
-    const long die_after = kill_worker && w == 0 ? 1 : -1;
+    // Worker 0 is the sacrificial one in --kill-worker / --crash-worker-hard
+    // mode: it dies right after merging the first global model.
+    const long die_after = sacrifice && w == 0 ? 1 : -1;
     const pid_t pid = fork();
     if (pid == 0) {
-      worker_process(config, w, port, die_after, worker_dir(w), false, trace_dir);
+      worker_process(config, w, port, die_after, worker_dir(w), false, trace_dir,
+                     crash_hard, bb);
     }
     children.push_back(pid);
   }
+  // Armed after the fork loop so the children never inherit the root's
+  // watchdog thread handle or dump path.
+  obs::blackbox::arm(bb, net::kRootId);
 
   std::unique_ptr<ckpt::Store> root_store;
   if (!ckpt_dir.empty()) root_store = std::make_unique<ckpt::Store>(ckpt_dir + "/root");
@@ -208,7 +235,8 @@ TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
             children[0] = -1;  // reaped here; skip it in the wait loop below
             replacement = fork();
             if (replacement == 0) {
-              worker_process(config, 0, port, -1, worker_dir(0), true);
+              worker_process(config, 0, port, -1, worker_dir(0), true,
+                             std::string(), false, bb);
             }
           }
         }
@@ -227,7 +255,7 @@ TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
     if (children[w] < 0) continue;
     int status = 0;
     waitpid(children[w], &status, 0);
-    const bool sacrificed = kill_worker && w == 0;
+    const bool sacrificed = sacrifice && w == 0;
     if (!sacrificed && (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
       out.children_ok = false;
     }
@@ -271,11 +299,16 @@ int main(int argc, char** argv) {
       "compress", "", "codec spec: topk:K, delta, or topk:K,delta (lossy paths)");
   const bool kill_worker =
       cli.boolean("kill-worker", false, "kill one TCP worker mid-run (churn demo)");
+  const bool crash_hard = cli.boolean(
+      "crash-worker-hard", false,
+      "SIGSEGV one TCP worker mid-round; its blackbox crash dump must survive "
+      "(pair with --blackbox-dir)");
   const bool skip_tcp = cli.boolean("skip-tcp", false, "run only reference + loopback");
   const std::string trace_dir = cli.str(
       "trace-dir", "", "write per-process TCP trace JSONL files here (\"\" = off)");
   const auto obs_opts = obs::declare_cli(cli);
   const auto ckpt_opts = ckpt::declare_cli(cli);
+  const auto bb_opts = obs::blackbox::declare_cli(cli);
   if (!cli.finish()) return 0;
   if (!net::apply_compress_spec(compress, config)) {
     std::fprintf(stderr, "invalid --compress spec '%s'\n", compress.c_str());
@@ -320,11 +353,28 @@ int main(int argc, char** argv) {
 
   bool tcp_ok = true;
   if (!skip_tcp) {
-    const TcpOutcome tcp = run_tcp(config, kill_worker, ckpt_opts.dir, rec, trace_dir);
+    const TcpOutcome tcp =
+        run_tcp(config, kill_worker, ckpt_opts.dir, rec, trace_dir, crash_hard, bb_opts);
     std::printf("tcp       (%zu processes):    accuracy %.4f  (%zu joined, %zu lost)\n",
                 config.workers + 1, tcp.result.final_accuracy, tcp.result.workers_joined,
                 tcp.result.workers_lost);
-    if (kill_worker && ckpt_opts.active()) {
+    if (crash_hard) {
+      // Crash-forensics drill: the federation must complete through the
+      // degradation path AND the segfaulted worker's flight-recorder dump
+      // must exist on disk (the postmortem CI feeds it to blackbox_dump).
+      tcp_ok = tcp.children_ok && tcp.result.rounds_run == config.rounds &&
+               tcp.result.workers_lost >= 1;
+      bool dump_found = true;
+      if (!bb_opts.dir.empty()) {
+        const std::string dump = bb_opts.dir + "/blackbox-node" +
+                                 std::to_string(net::worker_node_id(0)) + ".abbx";
+        dump_found = ::access(dump.c_str(), R_OK) == 0;
+        tcp_ok = tcp_ok && dump_found;
+      }
+      std::printf("crash-worker-hard (SIGSEGV): %s  (dump %s)\n",
+                  tcp_ok ? "completed" : "FAILED",
+                  dump_found ? "written" : "MISSING");
+    } else if (kill_worker && ckpt_opts.active()) {
       // Crash-recovery drill: the run must complete, the sacrificed worker
       // must have been lost AND re-admitted (its replacement restored the
       // checkpoint and rejoined mid-training), and the replacement process

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/blackbox.hpp"
 #include "obs/record.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -245,11 +246,20 @@ void Store::writer_loop() {
 }
 
 void Store::install(Staged snapshot) {
+  // Busy heartbeat brackets the durable write: the blackbox watchdog flags a
+  // writer that stays inside this window past the stall threshold (a wedged
+  // disk is a stall, not a crash).  Ends on the exception paths too.
+  obs::blackbox::note_ckpt_busy(true);
+  struct BusyGuard {
+    ~BusyGuard() { obs::blackbox::note_ckpt_busy(false); }
+  } busy_guard;
   const std::string name = file_name(snapshot.seq);
   const std::string final_path = dir_ + "/" + name;
   const std::string tmp_path = final_path + ".tmp";
   write_file_durable(tmp_path, snapshot.bytes);
   rename_durable(tmp_path, final_path, dir_);
+  obs::blackbox::record(obs::blackbox::EventType::kCkptInstall, 0, 0, snapshot.round,
+                        snapshot.seq, snapshot.bytes.size());
 
   std::vector<std::string> pruned;
   {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/wire.hpp"
+#include "obs/blackbox.hpp"
 #include "tensor/ops.hpp"
 
 namespace abdhfl::consensus {
@@ -78,6 +79,8 @@ ConsensusResult PbftConsensus::agree(const std::vector<ModelVec>& candidates,
       const bool votes_yes = byzantine[v] ? !honest_accept : honest_accept;
       if (votes_yes) ++commits;
     }
+    obs::blackbox::record(obs::blackbox::EventType::kVote,
+                          commits >= quorum ? 1 : 0, 0, view, commits, quorum);
     if (commits >= quorum) {
       result.model = std::move(proposal);
       result.accepted = proposal_set;

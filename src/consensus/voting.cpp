@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/wire.hpp"
+#include "obs/blackbox.hpp"
 #include "tensor/ops.hpp"
 
 namespace abdhfl::consensus {
@@ -57,6 +58,15 @@ ConsensusResult VotingConsensus::agree(const std::vector<ModelVec>& candidates,
   result.accepted.assign(n, false);
   for (std::size_t c = 0; c < n; ++c) {
     result.accepted[c] = static_cast<double>(upvotes[c]) > need;
+  }
+  if (obs::blackbox::armed()) {
+    // One flight-recorder event per candidate verdict: code = accepted,
+    // a = upvotes received, b = electorate size.
+    for (std::size_t c = 0; c < n; ++c) {
+      obs::blackbox::record(obs::blackbox::EventType::kVote,
+                            result.accepted[c] ? 1 : 0,
+                            static_cast<std::uint32_t>(c), 0, upvotes[c], n);
+    }
   }
   // Never drop everything: fall back to the best-voted candidate (ties by
   // average score).

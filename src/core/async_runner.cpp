@@ -10,6 +10,7 @@
 #include "ckpt/store.hpp"
 #include "consensus/committee.hpp"
 #include "consensus/pbft.hpp"
+#include "obs/blackbox.hpp"
 #include "net/wire.hpp"
 #include "nn/sgd.hpp"
 #include "obs/metrics.hpp"
@@ -461,6 +462,8 @@ void AsyncHflRunner::form_global(std::size_t round, agg::ModelVec model) {
   last_messages_ = result_.comm.messages;
   last_bytes_ = result_.comm.model_bytes;
   this->record("global_formed", round, 0, 0);
+  obs::blackbox::record(obs::blackbox::EventType::kRound, 0, 0, round);
+  obs::blackbox::note_progress(round + 1);
   if (ledger_) {
     // One ledger round per global formation; overlapping-round observations
     // fold into whichever window they landed in.

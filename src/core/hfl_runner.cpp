@@ -10,6 +10,7 @@
 #include "consensus/pbft.hpp"
 #include "net/wire.hpp"
 #include "nn/sgd.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
@@ -557,6 +558,7 @@ RunResult HflRunner::run() {
       // --- 1. Local training (Algorithm 2). ------------------------------
       std::vector<agg::ModelVec> updates;
       {
+        obs::blackbox::record(obs::blackbox::EventType::kMark, 1, 0, round);
         obs::Span span(config_.trace, "train", round);
         obs::ScopedTimer timer(train_s);
         updates = collect_bottom_updates(round, prev_global, have_prev_global);
@@ -571,6 +573,7 @@ RunResult HflRunner::run() {
       // cluster_models[l][i] = θ_{l,i} for this round.
       std::vector<std::vector<agg::ModelVec>> cluster_models(depth + 1);
       {
+        obs::blackbox::record(obs::blackbox::EventType::kMark, 2, 0, round);
         obs::Span span(config_.trace, "partial_agg", round);
         obs::ScopedTimer timer(partial_agg_s);
         for (std::size_t l = depth; l >= 1; --l) {
@@ -600,6 +603,7 @@ RunResult HflRunner::run() {
 
       // --- 3. Global aggregation at the top (Algorithm 6). ---------------
       {
+        obs::blackbox::record(obs::blackbox::EventType::kMark, 3, 0, round);
         obs::Span span(config_.trace, "global_agg", round);
         obs::ScopedTimer timer(global_agg_s);
         const auto& top = tree_.cluster(0, 0);
@@ -661,6 +665,9 @@ RunResult HflRunner::run() {
     emit_round_record(round, round_s, train_s, partial_agg_s, global_agg_s,
                       broadcast_s, eval_s, out.accuracy_per_round.back(),
                       level_inputs, comm_before, out.comm, pool_before);
+    obs::blackbox::record(obs::blackbox::EventType::kRound, 0, 0, round,
+                          level_inputs[0]);
+    obs::blackbox::note_progress(round + 1);
 
     prev_global = std::move(global_model);
     have_prev_global = true;

@@ -9,6 +9,7 @@
 
 #include "ckpt/state.hpp"
 #include "ckpt/store.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/record.hpp"
 #include "obs/suspicion.hpp"
 
@@ -254,6 +255,8 @@ class PipelineSim {
     }
 
     ++globals_completed_;
+    obs::blackbox::record(obs::blackbox::EventType::kRound, 0, 0, round);
+    obs::blackbox::note_progress(globals_completed_);
     const bool halting = config_.halt_after_rounds != 0 &&
                          globals_completed_ >= config_.halt_after_rounds;
     // The snapshot lands after the dissemination is scheduled, so the pending

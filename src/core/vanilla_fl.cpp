@@ -7,6 +7,7 @@
 #include "ckpt/store.hpp"
 #include "net/wire.hpp"
 #include "nn/sgd.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -188,6 +189,8 @@ RunResult VanillaFl::run() {
         out.accuracy_per_round.push_back(evaluate_params(scratch_, global_, test_set_));
       }
     }
+    obs::blackbox::record(obs::blackbox::EventType::kRound, 0, 0, round, n);
+    obs::blackbox::note_progress(round + 1);
 
     if (config_.recorder != nullptr) {
       const agg::AggTelemetry& rt = rule_->last_telemetry();

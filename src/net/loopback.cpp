@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <stdexcept>
+#include <variant>
 
+#include "obs/blackbox.hpp"
 #include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -44,6 +46,12 @@ SendStatus LoopbackTransport::send(const Envelope& env, const Payload& payload,
   // Queueing is delivery here (FIFO, no losses), so the tx base commits now.
   if (tx != nullptr) tx_parts_.commit_tx(*tx);
   note_sent(frame.size(), encoded_size(payload), link_class, env.to);
+  obs::blackbox::record(
+      obs::blackbox::EventType::kFrameTx,
+      static_cast<std::uint16_t>(std::visit(
+          [](const auto& p) { return std::decay_t<decltype(p)>::kMessageKind; },
+          payload)),
+      env.from, env.round, env.to, frame.size());
 
   if (network_ != nullptr) {
     sim::Message msg;
@@ -73,6 +81,7 @@ std::uint64_t LoopbackTransport::backlog_bytes(std::uint32_t link_class) const {
 
 std::size_t LoopbackTransport::poll(double timeout_s) {
   (void)timeout_s;  // nothing to wait for in-process
+  obs::blackbox::note_poll_tick();
   if (network_ != nullptr) {
     // Delivery is driven by the simulator's event loop.
     simulator_->run();

@@ -10,6 +10,7 @@
 #include "ckpt/store.hpp"
 #include "data/partition.hpp"
 #include "data/synth_digits.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
@@ -19,7 +20,15 @@
 
 namespace abdhfl::net {
 
+namespace bb = obs::blackbox;
+
 namespace {
+
+/// Steady-clock seconds → the ns tag the blackbox status block reports for
+/// phase deadlines (informational; same clock as wall_now()).
+std::uint64_t deadline_ns(double deadline_s) {
+  return deadline_s <= 0.0 ? 0 : static_cast<std::uint64_t>(deadline_s * 1e9);
+}
 
 double wall_now() {
   return std::chrono::duration<double>(
@@ -174,6 +183,8 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
 }
 
 void WorkerNode::start() {
+  bb::set_phase(0, round_);  // joining
+  bb::record(bb::EventType::kPhase, 0, id_, round_);
   Membership join;
   join.event = Membership::Event::kJoin;
   join.device = id_;
@@ -234,6 +245,9 @@ void WorkerNode::on_message(WireMessage& msg) {
         // Adopting it keeps the restored model and the live quorum aligned.
         started_ = true;
         round_ = static_cast<std::size_t>(msg.env.round);
+        bb::set_phase(1, round_);  // training
+        bb::record(bb::EventType::kPhase, 1, id_, round_);
+        bb::set_peer(kRootId, 0, round_);
         train_and_send();
       } else if (msg.env.round != round_) {
         // Resync echo after the root re-admitted us mid-run: adopt the round
@@ -258,6 +272,9 @@ void WorkerNode::on_message(WireMessage& msg) {
       merge_models_into(partial.params, last_cluster_, partial.alpha, current_);
     }
     ++round_;
+    bb::record(bb::EventType::kRound, 0, id_, round_ - 1);
+    bb::note_progress(round_);
+    bb::set_peer(kRootId, 0, round_);
     if (recorder_ != nullptr) {
       obs::RoundRecord& rec = recorder_->begin_round("dist_worker", round_ - 1);
       rec.set("worker", static_cast<double>(index_));
@@ -345,6 +362,8 @@ void WorkerNode::train_and_send() {
 void WorkerNode::finish(bool failed) {
   done_ = true;
   failed_ = failed;
+  bb::record(bb::EventType::kPhase, 3, id_, round_, failed ? 1 : 0);
+  bb::set_phase(3, round_);  // done: the watchdog stands down
 }
 
 void WorkerNode::save_checkpoint() {
@@ -460,7 +479,11 @@ RootNode::RootNode(FederationConfig config, Transport& transport,
   if (config_.trace) transport_.set_tracing(true);
 }
 
-void RootNode::start() { phase_deadline_ = wall_now() + config_.join_timeout_s; }
+void RootNode::start() {
+  phase_deadline_ = wall_now() + config_.join_timeout_s;
+  bb::set_phase(0, round_, deadline_ns(phase_deadline_));  // joining
+  bb::record(bb::EventType::kPhase, 0, kRootId, round_);
+}
 
 void RootNode::on_idle() {
   if (phase_ == Phase::kDone || wall_now() < phase_deadline_) return;
@@ -468,6 +491,8 @@ void RootNode::on_idle() {
     // Proceed with whoever showed up; nobody at all means nothing to run.
     if (live_.empty()) {
       phase_ = Phase::kDone;
+      bb::record(bb::EventType::kPhase, 3, kRootId, round_);
+      bb::set_phase(3, round_);
     } else {
       begin_training();
     }
@@ -481,7 +506,11 @@ void RootNode::on_idle() {
     }
     return;
   }
-  if (phase_ == Phase::kFinishing) phase_ = Phase::kDone;  // stragglers' loss
+  if (phase_ == Phase::kFinishing) {
+    phase_ = Phase::kDone;  // stragglers' loss
+    bb::record(bb::EventType::kPhase, 3, kRootId, round_);
+    bb::set_phase(3, round_);
+  }
 }
 
 void RootNode::on_message(WireMessage& msg) {
@@ -504,6 +533,10 @@ void RootNode::on_message(WireMessage& msg) {
       const auto& member = std::get<Membership>(msg.payload);
       if (member.event == Membership::Event::kJoin && phase_ == Phase::kJoining) {
         live_.insert(msg.env.from);
+        bb::record(bb::EventType::kChurn,
+                   static_cast<std::uint16_t>(bb::ChurnKind::kJoin), kRootId, round_,
+                   msg.env.from);
+        bb::set_peer(msg.env.from, 0, round_);
         subtree_samples_[msg.env.from] = member.subtree_samples;
         join_wall_ns_[msg.env.from] = member.wall_ns;
         transport_.set_peer_tracing(msg.env.from, member.trace && config_.trace);
@@ -523,6 +556,10 @@ void RootNode::on_message(WireMessage& msg) {
       } else if (member.event == Membership::Event::kLeave) {
         left_.insert(msg.env.from);
         transport_.expect_close(msg.env.from);  // its EOF is not churn
+        bb::record(bb::EventType::kChurn,
+                   static_cast<std::uint16_t>(bb::ChurnKind::kLeave), kRootId, round_,
+                   msg.env.from);
+        bb::set_peer(msg.env.from, 2, round_);
         maybe_finish();
       }
       return;
@@ -549,6 +586,8 @@ void RootNode::begin_training() {
   phase_ = Phase::kTraining;
   arm_stream();
   phase_deadline_ = wall_now() + config_.round_timeout_s;
+  bb::record(bb::EventType::kPhase, 1, kRootId, round_, live_.size());
+  bb::set_phase(1, round_, deadline_ns(phase_deadline_));
   if (transport_.trace_sink() != nullptr) {
     transport_.trace_sink()->set_trace_id(obs::make_trace_id(config_.seed, round_));
   }
@@ -706,10 +745,13 @@ void RootNode::maybe_aggregate() {
   ping_workers();
 
   ++round_;
+  bb::record(bb::EventType::kRound, 0, kRootId, round_ - 1, n_inputs);
+  bb::note_progress(round_);
   if (transport_.trace_sink() != nullptr) {
     transport_.trace_sink()->set_trace_id(obs::make_trace_id(config_.seed, round_));
   }
   phase_deadline_ = wall_now() + config_.round_timeout_s;
+  bb::set_phase(1, round_, deadline_ns(phase_deadline_));
   if (checkpoint_ != nullptr &&
       (round_ % std::max<std::size_t>(checkpoint_every_, 1) == 0 ||
        round_ >= config_.rounds)) {
@@ -718,6 +760,8 @@ void RootNode::maybe_aggregate() {
   if (round_ >= config_.rounds) {
     result_.global_model = global_;
     phase_ = Phase::kFinishing;
+    bb::record(bb::EventType::kPhase, 2, kRootId, round_);
+    bb::set_phase(2, round_, deadline_ns(phase_deadline_));
     maybe_finish();
   } else {
     arm_stream();
@@ -730,6 +774,8 @@ void RootNode::maybe_finish() {
     if (left_.find(worker) == left_.end()) return;
   }
   phase_ = Phase::kDone;
+  bb::record(bb::EventType::kPhase, 3, kRootId, round_);
+  bb::set_phase(3, round_);
 }
 
 void RootNode::on_peer_loss(NodeId peer) {
@@ -740,6 +786,9 @@ void RootNode::on_peer_loss(NodeId peer) {
   pending_.erase(peer);
   ++result_.workers_lost;
   suspicion_[peer] = 0.5 * suspicion_[peer] + 0.5;  // EWMA toward 1 on a loss
+  bb::record(bb::EventType::kChurn,
+             static_cast<std::uint16_t>(bb::ChurnKind::kLoss), kRootId, round_, peer);
+  bb::set_peer(peer, 1, round_);
   apply_churn(peer);
   if (recorder_ != nullptr) {
     obs::RoundRecord& rec = recorder_->begin_round("dist_churn", round_);
@@ -752,6 +801,8 @@ void RootNode::on_peer_loss(NodeId peer) {
       // round produced (nothing, for a fresh run that never aggregated).
       if (!result_.round_accuracy.empty()) result_.global_model = global_;
       phase_ = Phase::kDone;
+      bb::record(bb::EventType::kPhase, 3, kRootId, round_);
+      bb::set_phase(3, round_);
     } else {
       // The loss may have closed a reorder gap as well as completed the
       // quorum.
@@ -772,6 +823,9 @@ void RootNode::on_peer_reconnect(NodeId peer) {
   if (subtree_samples_.find(peer) == subtree_samples_.end()) return;
   live_.insert(peer);
   ++result_.workers_rejoined;
+  bb::record(bb::EventType::kChurn,
+             static_cast<std::uint16_t>(bb::ChurnKind::kRejoin), kRootId, round_, peer);
+  bb::set_peer(peer, 0, round_);
   apply_rejoin(peer);
   if (recorder_ != nullptr) {
     obs::RoundRecord& rec = recorder_->begin_round("dist_rejoin", round_);

@@ -17,7 +17,9 @@
 #include <system_error>
 #include <thread>
 #include <utility>
+#include <variant>
 
+#include "obs/blackbox.hpp"
 #include "obs/trace.hpp"
 
 namespace abdhfl::net {
@@ -260,6 +262,12 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
     if (!link_failed) {
       if (codec.delta) tx_parts_.commit_tx(tx_codec_state(self_, env.to));
       note_sent(frame_size, encoded_size(payload), link_class, env.to);
+      obs::blackbox::record(
+          obs::blackbox::EventType::kFrameTx,
+          static_cast<std::uint16_t>(std::visit(
+              [](const auto& p) { return std::decay_t<decltype(p)>::kMessageKind; },
+              payload)),
+          env.from, env.round, env.to, frame_size);
       return SendStatus::kOk;
     }
     ::close(peer.fd);
@@ -276,6 +284,7 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
 }
 
 std::size_t TcpTransport::poll(double timeout_s) {
+  obs::blackbox::note_poll_tick();
   // Prune pending connections that died outside this call.
   std::erase_if(pending_, [](const PendingConn& conn) { return conn.fd < 0; });
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/blackbox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
@@ -183,6 +184,9 @@ void Transport::deliver_frame(const FrameView& view, std::uint32_t link_class,
                               const MessageHandler& handler) {
   const Envelope env = view.env();
   const std::size_t wire_bytes = view.bytes().size();
+  obs::blackbox::record(obs::blackbox::EventType::kFrameRx,
+                        static_cast<std::uint16_t>(view.kind()), env.to, env.round,
+                        env.from, wire_bytes);
 
   // The whole dispatch — streaming decode or decode+handler — runs inside a
   // net_recv span.  When the frame carries a trace tail, the span parents to

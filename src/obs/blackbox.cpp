@@ -1,0 +1,785 @@
+#include "obs/blackbox.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/cli.hpp"
+
+namespace abdhfl::obs::blackbox {
+
+namespace {
+
+// ---- on-disk constants ----------------------------------------------------
+
+constexpr std::uint32_t kMagic = 0x58424241;  // "ABBX" little-endian
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecPeers = 2;
+constexpr std::uint32_t kSecRing = 3;
+constexpr std::size_t kSlotWords = 8;  // 64 bytes per event slot
+
+// CRC-32 (IEEE, reflected) — table built at compile time so the crash
+// handler only indexes constant data.
+struct CrcTable {
+  std::uint32_t t[256];
+  constexpr CrcTable() : t() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+constexpr CrcTable kCrc;
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = kCrc.t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---- process-wide recorder state ------------------------------------------
+//
+// Everything record() touches is a relaxed/acquire-release atomic so the
+// crash handler and the watchdog can read a consistent-enough snapshot from
+// any thread at any instant.  The ring is never freed while armed-or-not (a
+// re-arm retires the old allocation instead of deleting it) so a racing
+// record() can never touch freed memory.
+
+struct PeerSlot {
+  std::atomic<std::uint64_t> key{0};  // node + 1; 0 = empty
+  std::atomic<std::uint64_t> state{0};
+  std::atomic<std::uint64_t> round{0};
+};
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::atomic<std::uint64_t>*> g_ring{nullptr};
+std::atomic<std::uint64_t> g_mask{0};      // capacity - 1 (power of two)
+std::atomic<std::uint64_t> g_capacity{0};  // slots
+std::atomic<std::uint64_t> g_seq{0};
+
+// Status block (last-writer-wins across nodes sharing the process).
+std::atomic<std::uint64_t> g_node{0};
+std::atomic<std::uint64_t> g_round{0};
+std::atomic<std::uint64_t> g_phase{1};  // "training" until someone says otherwise
+std::atomic<std::uint64_t> g_phase_deadline_ns{0};
+std::atomic<std::uint64_t> g_last_progress_ns{0};
+std::atomic<std::uint64_t> g_last_poll_ns{0};
+std::atomic<std::uint64_t> g_ckpt_busy_since_ns{0};
+PeerSlot g_peers[kMaxPeers];
+std::atomic<std::uint64_t> g_peers_dropped{0};
+
+// Crash-dump resources, pre-reserved at arm() so the signal path allocates
+// nothing.  The path buffers are plain char arrays written before handlers
+// are installed.
+std::atomic<bool> g_dumping{false};
+std::uint8_t* g_dump_buf = nullptr;
+std::size_t g_dump_cap = 0;
+char g_dump_path[512] = {0};
+char g_jsonl_path[512] = {0};
+std::atomic<std::uint64_t> g_last_dump_events{0};
+
+// Non-signal bookkeeping (arm/disarm/watchdog), never touched by record().
+std::mutex g_mu;
+std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> g_retired_rings;
+std::unique_ptr<std::atomic<std::uint64_t>[]> g_live_ring;
+std::unique_ptr<std::uint8_t[]> g_dump_buf_owner;
+struct sigaction g_old_actions[3];
+int g_handled_sigs[3] = {SIGSEGV, SIGABRT, SIGBUS};
+bool g_handlers_installed = false;
+
+// Watchdog context, heap-allocated per arming and tagged with the owning
+// pid: a process that armed the watchdog and then fork()ed hands the child a
+// joinable std::thread handle for a thread that does not exist there.  The
+// child must neither join nor detach it (both are undefined on the stale
+// id), so stop_watchdog() leaks the whole context in that case and the
+// child's re-arm starts a fresh one.
+struct WatchdogCtx {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  double threshold_s = 0.0;
+  std::thread thread;
+};
+WatchdogCtx* g_wd = nullptr;
+pid_t g_wd_pid = 0;
+
+std::uint64_t wall_ns_now() noexcept {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// ---- async-signal-safe encoder --------------------------------------------
+
+struct Writer {
+  std::uint8_t* buf;
+  std::size_t cap;
+  std::size_t off = 0;
+  void u32(std::uint32_t v) noexcept {
+    if (off + 4 > cap) { off = cap + 1; return; }
+    std::uint8_t* p = buf + off;
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+    off += 4;
+  }
+  void u64(std::uint64_t v) noexcept {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  [[nodiscard]] bool overflowed() const noexcept { return off > cap; }
+};
+
+/// Close one [tag][len][payload][crc] section: the payload was written
+/// starting at `payload_off`; backfill the length and append the CRC.
+void close_section(Writer& w, std::size_t len_off, std::size_t payload_off) noexcept {
+  if (w.overflowed()) return;
+  const std::uint32_t len = static_cast<std::uint32_t>(w.off - payload_off);
+  std::uint8_t* p = w.buf + len_off;
+  p[0] = static_cast<std::uint8_t>(len);
+  p[1] = static_cast<std::uint8_t>(len >> 8);
+  p[2] = static_cast<std::uint8_t>(len >> 16);
+  p[3] = static_cast<std::uint8_t>(len >> 24);
+  w.u32(crc32(w.buf + payload_off, len));
+}
+
+/// Serialize header + META + PEERS + RING into the pre-reserved buffer using
+/// only relaxed atomic loads and byte stores.  Returns bytes written (0 on
+/// overflow, which cannot happen with the capacity arm() reserves) and the
+/// count of populated ring slots via `events_out`.
+std::size_t encode_dump(std::uint8_t* buf, std::size_t cap, std::uint64_t reason,
+                        std::uint64_t* events_out) noexcept {
+  Writer w{buf, cap};
+  w.u32(kMagic);
+  w.u32(kVersion);
+
+  // META
+  w.u32(kSecMeta);
+  std::size_t len_off = w.off;
+  w.u32(0);
+  std::size_t payload_off = w.off;
+  w.u64(g_node.load(std::memory_order_relaxed));
+  w.u64(g_round.load(std::memory_order_relaxed));
+  w.u64(g_phase.load(std::memory_order_relaxed));
+  w.u64(g_phase_deadline_ns.load(std::memory_order_relaxed));
+  w.u64(wall_ns_now());
+  w.u64(reason);
+  w.u64(g_capacity.load(std::memory_order_relaxed));
+  w.u64(g_seq.load(std::memory_order_relaxed));
+  w.u64(g_peers_dropped.load(std::memory_order_relaxed));
+  close_section(w, len_off, payload_off);
+
+  // PEERS
+  w.u32(kSecPeers);
+  len_off = w.off;
+  w.u32(0);
+  payload_off = w.off;
+  std::uint64_t peer_count = 0;
+  const std::size_t count_off = w.off;
+  w.u64(0);
+  for (std::size_t i = 0; i < kMaxPeers; ++i) {
+    const std::uint64_t key = g_peers[i].key.load(std::memory_order_acquire);
+    if (key == 0) continue;
+    w.u32(static_cast<std::uint32_t>(key - 1));
+    w.u32(static_cast<std::uint32_t>(g_peers[i].state.load(std::memory_order_relaxed)));
+    w.u64(g_peers[i].round.load(std::memory_order_relaxed));
+    ++peer_count;
+  }
+  if (!w.overflowed()) {
+    Writer patch{buf, cap};
+    patch.off = count_off;
+    patch.u64(peer_count);
+  }
+  close_section(w, len_off, payload_off);
+
+  // RING: raw slots, mid-write ones included (seq word 0 → decoder skips).
+  w.u32(kSecRing);
+  len_off = w.off;
+  w.u32(0);
+  payload_off = w.off;
+  auto* ring = g_ring.load(std::memory_order_acquire);
+  const std::uint64_t slots = g_capacity.load(std::memory_order_relaxed);
+  std::uint64_t populated = 0;
+  for (std::uint64_t s = 0; ring != nullptr && s < slots; ++s) {
+    const std::atomic<std::uint64_t>* slot = ring + s * kSlotWords;
+    const std::uint64_t seq_word = slot[0].load(std::memory_order_acquire);
+    if (seq_word != 0) ++populated;
+    w.u64(seq_word);
+    for (std::size_t word = 1; word < kSlotWords; ++word) {
+      w.u64(slot[word].load(std::memory_order_relaxed));
+    }
+  }
+  close_section(w, len_off, payload_off);
+
+  if (events_out != nullptr) *events_out = populated;
+  return w.overflowed() ? 0 : w.off;
+}
+
+/// write(2) loop + fsync; async-signal-safe.
+bool write_all(const char* path, const std::uint8_t* data, std::size_t n) noexcept {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t wrote = ::write(fd, data + off, n - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+/// The shared dump body: encode into the pre-reserved buffer, write(2) it
+/// out.  Async-signal-safe; returns bytes written (0 on failure).
+std::size_t write_dump_raw(std::uint64_t reason) noexcept {
+  if (g_dump_buf == nullptr || g_dump_path[0] == '\0') return 0;
+  record(EventType::kDump, static_cast<std::uint16_t>(reason & 0xFFFF),
+         static_cast<std::uint32_t>(g_node.load(std::memory_order_relaxed)),
+         g_round.load(std::memory_order_relaxed));
+  std::uint64_t events = 0;
+  const std::size_t n = encode_dump(g_dump_buf, g_dump_cap, reason, &events);
+  if (n == 0) return 0;
+  g_last_dump_events.store(events, std::memory_order_relaxed);
+  return write_all(g_dump_path, g_dump_buf, n) ? n : 0;
+}
+
+void crash_handler(int sig) {
+  if (!g_dumping.exchange(true, std::memory_order_acq_rel)) {
+    write_dump_raw(static_cast<std::uint64_t>(sig));
+  }
+  // Restore the previous disposition and re-raise so the process still dies
+  // with the original signal (exit status, core dumps, parent's waitpid all
+  // see the truth).
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (g_handled_sigs[i] == sig) {
+      ::sigaction(sig, &g_old_actions[i], nullptr);
+    }
+  }
+  ::raise(sig);
+}
+
+/// Append one line to the side-car JSONL with a single O_APPEND write (safe
+/// against the node thread appending concurrently).  Watchdog/manual path
+/// only — never called from the signal handler.
+void append_jsonl(const char* line) noexcept {
+  if (g_jsonl_path[0] == '\0') return;
+  const int fd = ::open(g_jsonl_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;
+  const std::size_t n = std::strlen(line);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t wrote = ::write(fd, line + off, n - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  ::close(fd);
+}
+
+const char* reason_name(std::uint64_t reason) noexcept {
+  if (reason == 0) return "manual";
+  if (reason >= 1000) {
+    return to_string(static_cast<StallReason>(reason - 1000));
+  }
+  switch (static_cast<int>(reason)) {
+    case SIGSEGV: return "sigsegv";
+    case SIGABRT: return "sigabrt";
+    case SIGBUS: return "sigbus";
+  }
+  return "signal";
+}
+
+void emit_dump_record(std::uint64_t reason, std::size_t bytes) {
+  char line[768];
+  std::snprintf(line, sizeof line,
+                "{\"runner\":\"blackbox_dump\",\"round\":%llu,\"node\":%llu,"
+                "\"phase\":%llu,\"events\":%llu,\"bytes\":%zu,\"reason\":\"%s\","
+                "\"path\":\"%s\"}\n",
+                static_cast<unsigned long long>(g_round.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(g_node.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(g_phase.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    g_last_dump_events.load(std::memory_order_relaxed)),
+                bytes, reason_name(reason), g_dump_path);
+  append_jsonl(line);
+}
+
+// ---- watchdog -------------------------------------------------------------
+
+void emit_stall_record(StallReason reason, double stalled_s) {
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "{\"runner\":\"blackbox_stall\",\"round\":%llu,\"node\":%llu,"
+                "\"phase\":%llu,\"reason\":\"%s\",\"stalled_for_s\":%.3f}\n",
+                static_cast<unsigned long long>(g_round.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(g_node.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(g_phase.load(std::memory_order_relaxed)),
+                to_string(reason), stalled_s);
+  append_jsonl(line);
+}
+
+void fire_stall(StallReason reason, std::uint64_t stalled_ns) {
+  record(EventType::kStall, static_cast<std::uint16_t>(reason),
+         static_cast<std::uint32_t>(g_node.load(std::memory_order_relaxed)),
+         g_round.load(std::memory_order_relaxed), stalled_ns);
+  if (obs::enabled()) {
+    obs::global_registry()
+        .counter("net_stall_total", "Watchdog-detected stalls (dump written, process alive)")
+        .add(1);
+  }
+  emit_stall_record(reason, static_cast<double>(stalled_ns) / 1e9);
+  dump_now(1000 + static_cast<std::uint64_t>(reason));
+}
+
+void watchdog_loop(WatchdogCtx* ctx) {
+  // One latch per reason: a stall fires once per episode and re-arms only
+  // after the signal recovers, so a long wedge does not spam dumps.
+  bool fired[4] = {false, false, false, false};
+  const double threshold_s = ctx->threshold_s;
+  const auto interval = std::chrono::duration<double>(
+      std::clamp(threshold_s / 4.0, 0.05, 0.5));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(ctx->mu);
+      if (ctx->cv.wait_for(lk, interval, [ctx] { return ctx->stop; })) return;
+    }
+    const std::uint64_t now = wall_ns_now();
+    const std::uint64_t threshold_ns =
+        static_cast<std::uint64_t>(threshold_s * 1e9);
+    const bool active = g_phase.load(std::memory_order_relaxed) != 3;  // not done
+
+    const auto check = [&](StallReason reason, std::uint64_t since) {
+      const auto idx = static_cast<std::size_t>(reason);
+      if (since == 0 || now <= since || now - since <= threshold_ns) {
+        fired[idx] = false;
+        return;
+      }
+      if (!fired[idx]) {
+        fired[idx] = true;
+        fire_stall(reason, now - since);
+      }
+    };
+
+    check(StallReason::kNoProgress,
+          active ? g_last_progress_ns.load(std::memory_order_relaxed) : 0);
+    check(StallReason::kPollStuck,
+          active ? g_last_poll_ns.load(std::memory_order_relaxed) : 0);
+    check(StallReason::kCkptWedged,
+          g_ckpt_busy_since_ns.load(std::memory_order_relaxed));
+  }
+}
+
+void stop_watchdog() {
+  if (g_wd == nullptr) return;
+  if (g_wd_pid == ::getpid()) {
+    {
+      std::lock_guard<std::mutex> lk(g_wd->mu);
+      g_wd->stop = true;
+    }
+    g_wd->cv.notify_all();
+    if (g_wd->thread.joinable()) g_wd->thread.join();
+    delete g_wd;
+  }
+  // else: forked child — the thread only ever existed in the parent, so the
+  // context (with its joinable handle) is intentionally leaked.
+  g_wd = nullptr;
+}
+
+}  // namespace
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kNone: return "none";
+    case EventType::kPhase: return "phase";
+    case EventType::kRound: return "round";
+    case EventType::kFrameTx: return "frame_tx";
+    case EventType::kFrameRx: return "frame_rx";
+    case EventType::kVote: return "vote";
+    case EventType::kCkptInstall: return "ckpt_install";
+    case EventType::kChurn: return "churn";
+    case EventType::kStall: return "stall";
+    case EventType::kDump: return "dump";
+    case EventType::kMark: return "mark";
+  }
+  return "?";
+}
+
+const char* to_string(StallReason reason) noexcept {
+  switch (reason) {
+    case StallReason::kNoProgress: return "no_progress";
+    case StallReason::kPollStuck: return "poll_stuck";
+    case StallReason::kCkptWedged: return "ckpt_wedged";
+  }
+  return "?";
+}
+
+bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }
+
+void record(EventType type, std::uint16_t code, std::uint32_t node,
+            std::uint64_t round, std::uint64_t a, std::uint64_t b,
+            std::uint64_t c) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  auto* ring = g_ring.load(std::memory_order_acquire);
+  if (ring == nullptr) return;
+  const std::uint64_t mask = g_mask.load(std::memory_order_relaxed);
+  const std::uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* slot = ring + (seq & mask) * kSlotWords;
+  slot[0].store(0, std::memory_order_release);  // mark mid-write
+  slot[1].store(wall_ns_now(), std::memory_order_relaxed);
+  slot[2].store(static_cast<std::uint64_t>(type) |
+                    (static_cast<std::uint64_t>(code) << 16) |
+                    (static_cast<std::uint64_t>(node) << 32),
+                std::memory_order_relaxed);
+  slot[3].store(round, std::memory_order_relaxed);
+  slot[4].store(a, std::memory_order_relaxed);
+  slot[5].store(b, std::memory_order_relaxed);
+  slot[6].store(c, std::memory_order_relaxed);
+  slot[7].store(0, std::memory_order_relaxed);
+  slot[0].store(seq + 1, std::memory_order_release);  // stored seq is seq+1
+}
+
+void set_phase(std::uint16_t phase, std::uint64_t round,
+               std::uint64_t deadline_ns) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_phase.store(phase, std::memory_order_relaxed);
+  g_round.store(round, std::memory_order_relaxed);
+  g_phase_deadline_ns.store(deadline_ns, std::memory_order_relaxed);
+}
+
+void note_progress(std::uint64_t round) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_round.store(round, std::memory_order_relaxed);
+  g_last_progress_ns.store(wall_ns_now(), std::memory_order_relaxed);
+}
+
+void note_poll_tick() noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_last_poll_ns.store(wall_ns_now(), std::memory_order_relaxed);
+}
+
+void note_ckpt_busy(bool busy) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_ckpt_busy_since_ns.store(busy ? wall_ns_now() : 0, std::memory_order_relaxed);
+}
+
+void set_peer(std::uint32_t node, std::uint16_t state, std::uint64_t round) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  const std::uint64_t key = static_cast<std::uint64_t>(node) + 1;
+  // First pass: update an existing entry; second: claim an empty slot.
+  for (std::size_t i = 0; i < kMaxPeers; ++i) {
+    if (g_peers[i].key.load(std::memory_order_acquire) == key) {
+      g_peers[i].state.store(state, std::memory_order_relaxed);
+      g_peers[i].round.store(round, std::memory_order_relaxed);
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < kMaxPeers; ++i) {
+    std::uint64_t expected = 0;
+    if (g_peers[i].key.compare_exchange_strong(expected, key,
+                                               std::memory_order_acq_rel)) {
+      g_peers[i].state.store(state, std::memory_order_relaxed);
+      g_peers[i].round.store(round, std::memory_order_relaxed);
+      return;
+    }
+    if (expected == key) {  // lost the race to ourselves on another thread
+      g_peers[i].state.store(state, std::memory_order_relaxed);
+      g_peers[i].round.store(round, std::memory_order_relaxed);
+      return;
+    }
+  }
+  g_peers_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+Options declare_cli(util::Cli& cli) {
+  Options options;
+  options.dir = cli.str(
+      "blackbox-dir", "",
+      "write flight-recorder crash/stall dumps into this directory (empty = off)");
+  const auto ring = cli.integer("blackbox-ring", 4096,
+                                "flight-recorder ring capacity in events");
+  options.ring_capacity = ring < 16 ? 16 : static_cast<std::size_t>(ring);
+  options.stall_after_s = cli.real(
+      "stall-after", 0.0,
+      "watchdog: record blackbox_stall + dump after this many seconds "
+      "without progress (0 = watchdog off)");
+  return options;
+}
+
+bool arm(const Options& options, std::uint32_t node_id) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  // Tear down any previous arming first (watchdog + handlers), but retire
+  // the old ring instead of freeing it: a record() racing the re-arm must
+  // never touch freed memory.
+  stop_watchdog();
+  if (g_handlers_installed) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      ::sigaction(g_handled_sigs[i], &g_old_actions[i], nullptr);
+    }
+    g_handlers_installed = false;
+  }
+  g_armed.store(false, std::memory_order_relaxed);
+  if (options.dir.empty()) return false;
+
+  std::filesystem::create_directories(options.dir);
+
+  std::size_t capacity = 16;
+  while (capacity < options.ring_capacity) capacity <<= 1;
+  auto ring = std::unique_ptr<std::atomic<std::uint64_t>[]>(
+      new std::atomic<std::uint64_t>[capacity * kSlotWords]());
+  if (g_live_ring != nullptr) g_retired_rings.push_back(std::move(g_live_ring));
+  g_live_ring = std::move(ring);
+  g_ring.store(g_live_ring.get(), std::memory_order_release);
+  g_mask.store(capacity - 1, std::memory_order_relaxed);
+  g_capacity.store(capacity, std::memory_order_relaxed);
+  g_seq.store(0, std::memory_order_relaxed);
+  for (auto& peer : g_peers) {
+    peer.key.store(0, std::memory_order_relaxed);
+    peer.state.store(0, std::memory_order_relaxed);
+    peer.round.store(0, std::memory_order_relaxed);
+  }
+  g_peers_dropped.store(0, std::memory_order_relaxed);
+  g_node.store(node_id, std::memory_order_relaxed);
+  g_round.store(0, std::memory_order_relaxed);
+  g_phase.store(1, std::memory_order_relaxed);
+  g_phase_deadline_ns.store(0, std::memory_order_relaxed);
+  const std::uint64_t now = wall_ns_now();
+  g_last_progress_ns.store(now, std::memory_order_relaxed);
+  g_last_poll_ns.store(0, std::memory_order_relaxed);  // until the first tick
+  g_ckpt_busy_since_ns.store(0, std::memory_order_relaxed);
+  g_dumping.store(false, std::memory_order_relaxed);
+  g_last_dump_events.store(0, std::memory_order_relaxed);
+
+  // Pre-reserve the dump buffer: header + three framed sections + slack.
+  const std::size_t need = 16 + 3 * 12 + 9 * 8 + 8 + kMaxPeers * 16 +
+                           capacity * kSlotWords * 8 + 256;
+  g_dump_buf_owner = std::make_unique<std::uint8_t[]>(need);
+  g_dump_buf = g_dump_buf_owner.get();
+  g_dump_cap = need;
+  std::snprintf(g_dump_path, sizeof g_dump_path, "%s/blackbox-node%u.abbx",
+                options.dir.c_str(), node_id);
+  std::snprintf(g_jsonl_path, sizeof g_jsonl_path, "%s/blackbox-node%u.jsonl",
+                options.dir.c_str(), node_id);
+
+  if (options.handlers) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = crash_handler;
+    sigemptyset(&sa.sa_mask);
+    for (std::size_t i = 0; i < 3; ++i) {
+      ::sigaction(g_handled_sigs[i], &sa, &g_old_actions[i]);
+    }
+    g_handlers_installed = true;
+  }
+
+  g_armed.store(true, std::memory_order_release);
+
+  if (options.stall_after_s > 0.0) {
+    g_wd = new WatchdogCtx;
+    g_wd->threshold_s = options.stall_after_s;
+    g_wd_pid = ::getpid();
+    g_wd->thread = std::thread(watchdog_loop, g_wd);
+  }
+  return true;
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  stop_watchdog();
+  if (g_handlers_installed) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      ::sigaction(g_handled_sigs[i], &g_old_actions[i], nullptr);
+    }
+    g_handlers_installed = false;
+  }
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::string dump_path() {
+  return g_armed.load(std::memory_order_relaxed) ? std::string(g_dump_path)
+                                                 : std::string();
+}
+
+bool dump_now(std::uint64_t reason) {
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  bool expected = false;
+  if (!g_dumping.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return false;  // crash handler or another dump in flight
+  }
+  const std::size_t bytes = write_dump_raw(reason);
+  g_dumping.store(false, std::memory_order_release);
+  if (bytes == 0) return false;
+  emit_dump_record(reason, bytes);
+  return true;
+}
+
+// ---- decoder ---------------------------------------------------------------
+
+namespace {
+
+std::uint32_t read_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(read_u32(p)) |
+         (static_cast<std::uint64_t>(read_u32(p + 4)) << 32);
+}
+
+void decode_meta(const std::uint8_t* p, std::size_t n, Dump& dump) {
+  if (n < 9 * 8) {
+    dump.warnings.emplace_back("META section shorter than expected; partial meta");
+  }
+  const auto get = [&](std::size_t index) -> std::uint64_t {
+    return (index + 1) * 8 <= n ? read_u64(p + index * 8) : 0;
+  };
+  dump.node = get(0);
+  dump.round = get(1);
+  dump.phase = get(2);
+  dump.phase_deadline_ns = get(3);
+  dump.wall_ns = get(4);
+  dump.reason = get(5);
+  // get(6)=ring capacity, get(7)=next seq — implied by the RING section.
+  dump.peers_dropped = get(8);
+}
+
+void decode_peers(const std::uint8_t* p, std::size_t n, Dump& dump) {
+  if (n < 8) {
+    dump.warnings.emplace_back("PEERS section truncated before the count");
+    return;
+  }
+  const std::uint64_t declared = read_u64(p);
+  std::size_t off = 8;
+  while (off + 16 <= n) {
+    PeerEntry peer;
+    peer.node = read_u32(p + off);
+    peer.state = static_cast<std::uint16_t>(read_u32(p + off + 4));
+    peer.round = read_u64(p + off + 8);
+    dump.peers.push_back(peer);
+    off += 16;
+  }
+  if (dump.peers.size() != declared) {
+    dump.warnings.emplace_back("PEERS count mismatch (declared " +
+                               std::to_string(declared) + ", decoded " +
+                               std::to_string(dump.peers.size()) + ")");
+  }
+}
+
+void decode_ring(const std::uint8_t* p, std::size_t n, Dump& dump) {
+  constexpr std::size_t kSlotBytes = kSlotWords * 8;
+  if (n % kSlotBytes != 0) {
+    dump.warnings.emplace_back("RING section not a whole number of slots; tail ignored");
+  }
+  for (std::size_t off = 0; off + kSlotBytes <= n; off += kSlotBytes) {
+    const std::uint64_t seq_word = read_u64(p + off);
+    if (seq_word == 0) continue;  // empty or mid-write
+    Event event;
+    event.seq = seq_word - 1;
+    event.wall_ns = read_u64(p + off + 8);
+    const std::uint64_t packed = read_u64(p + off + 16);
+    event.type = static_cast<std::uint16_t>(packed & 0xFFFF);
+    event.code = static_cast<std::uint16_t>((packed >> 16) & 0xFFFF);
+    event.node = static_cast<std::uint32_t>(packed >> 32);
+    event.round = read_u64(p + off + 24);
+    event.a = read_u64(p + off + 32);
+    event.b = read_u64(p + off + 40);
+    event.c = read_u64(p + off + 48);
+    dump.events.push_back(event);
+  }
+  std::sort(dump.events.begin(), dump.events.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+}
+
+}  // namespace
+
+std::optional<Dump> read_dump(const std::string& path, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.size() < 8 || read_u32(bytes.data()) != kMagic) {
+    error = path + " is not an .abbx dump (bad magic)";
+    return std::nullopt;
+  }
+  Dump dump;
+  dump.version = read_u32(bytes.data() + 4);
+  if (dump.version != kVersion) {
+    dump.warnings.emplace_back("unknown version " + std::to_string(dump.version) +
+                               "; decoding as v1");
+  }
+  std::size_t off = 8;
+  bool saw_meta = false, saw_ring = false;
+  while (off + 8 <= bytes.size()) {
+    const std::uint32_t tag = read_u32(bytes.data() + off);
+    const std::uint32_t len = read_u32(bytes.data() + off + 4);
+    off += 8;
+    if (off + len + 4 > bytes.size()) {
+      dump.warnings.emplace_back("truncated section (tag " + std::to_string(tag) +
+                                 "); dump was cut off mid-write");
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + off;
+    const std::uint32_t stored_crc = read_u32(payload + len);
+    const std::uint32_t actual_crc = crc32(payload, len);
+    if (stored_crc != actual_crc) {
+      dump.warnings.emplace_back("section tag " + std::to_string(tag) +
+                                 " failed its CRC; skipped");
+      off += len + 4;
+      continue;
+    }
+    switch (tag) {
+      case kSecMeta:
+        decode_meta(payload, len, dump);
+        saw_meta = true;
+        break;
+      case kSecPeers:
+        decode_peers(payload, len, dump);
+        break;
+      case kSecRing:
+        decode_ring(payload, len, dump);
+        saw_ring = true;
+        break;
+      default:
+        dump.warnings.emplace_back("unknown section tag " + std::to_string(tag) +
+                                   "; skipped");
+        break;
+    }
+    off += len + 4;
+  }
+  if (!saw_meta) dump.warnings.emplace_back("no META section survived");
+  if (!saw_ring) dump.warnings.emplace_back("no RING section survived");
+  return dump;
+}
+
+}  // namespace abdhfl::obs::blackbox

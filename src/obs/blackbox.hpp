@@ -1,0 +1,184 @@
+#pragma once
+// Black-box flight recorder (DESIGN.md §13).
+//
+// An always-on, lock-light, bounded ring of fixed-size structured events —
+// protocol state transitions, frame tx/rx headers, consensus votes,
+// checkpoint installs, peer churn, phase enter/exit with round tags —
+// recorded from every runner and every net node.  When the process dies on
+// SIGSEGV/SIGABRT/SIGBUS, an async-signal-safe handler dumps the ring, the
+// current round/phase, and the peer table into a versioned CRC-framed
+// `.abbx` file using only pre-reserved buffers and write(2), so a postmortem
+// (tools/blackbox_dump) can reconstruct the node's last milliseconds even
+// when no JSONL ever flushed.
+//
+// A watchdog thread covers the failures that *don't* crash: no round
+// progress for longer than --stall-after, a poll loop that stopped ticking,
+// or a background checkpoint writer wedged mid-install.  A detected stall
+// triggers the same dump path without killing the process, appends
+// `blackbox_stall` / `blackbox_dump` JSONL records (validate_jsonl --group
+// blackbox), and bumps the `net_stall_total` counter.
+//
+// Cost model: record() behind the armed() relaxed-atomic guard is a load and
+// a branch when the recorder is off — cheap enough to leave in the dense
+// decode and aggregation hot paths unconditionally.  When armed, one event
+// is eight relaxed atomic stores into a preallocated slot: no locks, no
+// allocation, TSan-clean, and safe to *read* from the crash handler or the
+// watchdog at any instant (a slot whose seq word is 0 is mid-write and gets
+// skipped by the decoder).
+//
+// One recorder per process.  Processes hosting several nodes over one
+// loopback transport share the ring (events carry their node id); the
+// round/phase/peer status block is last-writer-wins, which is exact in the
+// one-node-per-process deployments the crash path exists for.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace abdhfl::util {
+class Cli;
+}
+
+namespace abdhfl::obs::blackbox {
+
+/// Event taxonomy.  The 16-bit `code` field refines the type: the wire
+/// MsgKind for frame events, the Phase for phase events, a ChurnKind for
+/// churn, a StallReason for stalls.
+enum class EventType : std::uint16_t {
+  kNone = 0,
+  kPhase = 1,        // code = phase entered; a = previous phase
+  kRound = 2,        // round advanced / began; a = extra (e.g. accepted updates)
+  kFrameTx = 3,      // code = MsgKind; a = destination node; b = wire bytes
+  kFrameRx = 4,      // code = MsgKind; a = source node; b = wire bytes
+  kVote = 5,         // code = vote value; a = voter; b = proposal/seq
+  kCkptInstall = 6,  // a = seq; b = bytes
+  kChurn = 7,        // code = ChurnKind; a = peer
+  kStall = 8,        // code = StallReason; a = stalled nanoseconds
+  kDump = 9,         // code = reason (signal number or stall code)
+  kMark = 10,        // free-form runner milestones; code is runner-defined
+};
+
+enum class ChurnKind : std::uint16_t { kJoin = 1, kLoss = 2, kRejoin = 3, kLeave = 4 };
+
+enum class StallReason : std::uint16_t {
+  kNoProgress = 1,  // round not advancing while in an active phase
+  kPollStuck = 2,   // transport poll loop stopped ticking
+  kCkptWedged = 3,  // background checkpoint writer busy too long
+};
+
+[[nodiscard]] const char* to_string(EventType type) noexcept;
+[[nodiscard]] const char* to_string(StallReason reason) noexcept;
+
+/// Decoded ring event (the in-ring representation is 8 relaxed atomic
+/// words; see DESIGN.md §13 for the exact slot layout).
+struct Event {
+  std::uint64_t seq = 0;      // global order; gaps mean the ring wrapped
+  std::uint64_t wall_ns = 0;  // CLOCK_REALTIME at record()
+  std::uint16_t type = 0;     // EventType
+  std::uint16_t code = 0;     // type-specific refinement
+  std::uint32_t node = 0;     // recording node id
+  std::uint64_t round = 0;
+  std::uint64_t a = 0, b = 0, c = 0;  // type-specific arguments
+};
+
+/// Peer-table entry mirrored into the status block by the net layer.
+struct PeerEntry {
+  std::uint32_t node = 0;
+  std::uint16_t state = 0;  // StatusPeer encoding: 0 live, 1 lost, 2 left
+  std::uint64_t round = 0;  // last round the peer made progress on
+};
+
+/// True while a ring is armed; record() and the status-block setters are
+/// no-ops (one relaxed load) otherwise.
+[[nodiscard]] bool armed() noexcept;
+
+/// Append one event to the ring.  Safe from any thread; never blocks, never
+/// allocates.
+void record(EventType type, std::uint16_t code, std::uint32_t node,
+            std::uint64_t round, std::uint64_t a = 0, std::uint64_t b = 0,
+            std::uint64_t c = 0) noexcept;
+
+// ---- status block (what the dump reports beyond the ring) -----------------
+
+/// Current protocol position; `deadline_ns` is the phase deadline as wall ns
+/// (0 = none).  Last-writer-wins across nodes sharing the process.
+void set_phase(std::uint16_t phase, std::uint64_t round,
+               std::uint64_t deadline_ns = 0) noexcept;
+
+/// The forward-progress heartbeat the watchdog's kNoProgress check watches:
+/// call whenever a round completes/advances.
+void note_progress(std::uint64_t round) noexcept;
+
+/// The poll-loop heartbeat: transports call this once per poll().
+void note_poll_tick() noexcept;
+
+/// Checkpoint-writer heartbeat: busy=true when an install starts, false when
+/// it finishes.  The watchdog flags a writer busy longer than the threshold.
+void note_ckpt_busy(bool busy) noexcept;
+
+/// Upsert a peer-table entry (fixed table, kMaxPeers slots; extra peers are
+/// dropped — the dump reports how many).
+void set_peer(std::uint32_t node, std::uint16_t state, std::uint64_t round) noexcept;
+
+inline constexpr std::size_t kMaxPeers = 64;
+
+// ---- lifecycle ------------------------------------------------------------
+
+struct Options {
+  std::string dir;             // dump directory; "" = blackbox off
+  std::size_t ring_capacity = 4096;  // events (rounded up to a power of two)
+  double stall_after_s = 0.0;  // watchdog threshold; 0 = watchdog off
+  bool handlers = true;        // install SIGSEGV/SIGABRT/SIGBUS dumpers
+};
+
+/// Declare --blackbox-dir / --blackbox-ring / --stall-after on a Cli.
+[[nodiscard]] Options declare_cli(util::Cli& cli);
+
+/// Arm the recorder for this process: allocate the ring and the dump buffer,
+/// pre-build `<dir>/blackbox-node<id>.abbx`, install the crash handlers, and
+/// start the watchdog when stall_after_s > 0.  Returns false (disarmed) when
+/// options.dir is empty.  Arming twice re-arms with the new options.
+bool arm(const Options& options, std::uint32_t node_id);
+
+/// Stop the watchdog, restore the previous signal handlers, and release the
+/// ring.  Pending events are lost; call dump_now() first to keep them.
+/// Automatically safe to call when not armed.
+void disarm();
+
+/// Path the crash handler will write ("" when disarmed).
+[[nodiscard]] std::string dump_path();
+
+/// Synchronous dump of the current ring + status block (the watchdog/stall
+/// path; also handy in tests).  `reason` lands in the META section: signal
+/// number for crashes, 1000 + StallReason for stalls, 0 for manual.
+/// Not async-signal-safe glue lives around it — the signal handler calls the
+/// same underlying writer directly.
+bool dump_now(std::uint64_t reason);
+
+// ---- decoder (tools/blackbox_dump, tests; not signal-safe) ----------------
+
+/// Parsed `.abbx` contents.  Tolerant: sections with bad CRCs or truncated
+/// tails are skipped with a note in `warnings` instead of failing the whole
+/// read, because a crash dump is exactly the file most likely to be cut off.
+struct Dump {
+  std::uint32_t version = 0;
+  std::uint64_t node = 0;
+  std::uint64_t round = 0;
+  std::uint64_t phase = 0;
+  std::uint64_t phase_deadline_ns = 0;
+  std::uint64_t wall_ns = 0;  // when the dump was written
+  std::uint64_t reason = 0;   // signal number, 1000 + StallReason, or 0
+  std::uint64_t peers_dropped = 0;
+  std::vector<PeerEntry> peers;
+  std::vector<Event> events;  // seq-sorted, mid-write slots skipped
+  std::vector<std::string> warnings;
+};
+
+/// Read and verify a dump.  Returns nullopt (with `error` set) only when the
+/// file is unreadable or not an .abbx at all; recoverable damage is reported
+/// through Dump::warnings.
+[[nodiscard]] std::optional<Dump> read_dump(const std::string& path,
+                                            std::string& error);
+
+}  // namespace abdhfl::obs::blackbox

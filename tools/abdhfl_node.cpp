@@ -28,6 +28,7 @@
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/obs.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
@@ -81,7 +82,13 @@ int main(int argc, char** argv) {
   net::FederationConfig config = config_from_cli(cli);
   const auto obs_opts = obs::declare_cli(cli);
   const auto ckpt_opts = ckpt::declare_cli(cli);
+  const auto bb_opts = obs::blackbox::declare_cli(cli);
   if (!cli.finish()) return 0;
+
+  // Flight recorder + crash handlers + (with --stall-after) the stall
+  // watchdog, armed under this process's node id (DESIGN.md §13).
+  obs::blackbox::arm(bb_opts, role == "root" ? net::kRootId
+                                             : net::worker_node_id(index));
 
   obs::Recorder recorder;
   obs::TraceBuffer trace;

@@ -12,7 +12,13 @@
 //   ./abdhfl_top --port 9400 --count 5       # ~top(1): refresh every second
 //   ./abdhfl_top --port 9400 --metrics       # include the Prometheus text
 //
-// Exit status: 0 when every probe was answered, 1 on timeout/connect failure.
+// Exit status (scriptable — a supervisor can tell a wedged node from a dead
+// one without parsing stderr):
+//   0  every probe was answered
+//   1  usage error (bad --observer-id etc.)
+//   2  connected, but a probe timed out — the node is up but not replying
+//      (wedged; a candidate for the blackbox stall postmortem)
+//   3  cannot connect or the send failed — the node is gone
 
 #include <chrono>
 #include <cstdio>
@@ -66,7 +72,15 @@ int main(int argc, char** argv) {
   const double timeout = cli.real("timeout", 5.0, "per-probe reply deadline (s)");
   const bool metrics =
       cli.boolean("metrics", false, "request the Prometheus exposition too");
-  if (!cli.finish()) return 0;
+  if (!cli.finish()) {
+    std::printf(
+        "\nexit status:\n"
+        "  0  every probe was answered\n"
+        "  1  usage error\n"
+        "  2  connected but a probe timed out (node up, not replying — wedged)\n"
+        "  3  cannot connect / send failed (node gone)\n");
+    return 0;
+  }
   if (!net::is_observer(observer)) {
     std::fprintf(stderr, "abdhfl_top: --observer-id must be >= %u (the observer range)\n",
                  net::kObserverIdBase);
@@ -78,7 +92,7 @@ int main(int argc, char** argv) {
   if (!transport.connect_peer(target, host, port)) {
     std::fprintf(stderr, "abdhfl_top: cannot reach node %u at %s:%u\n", target,
                  host.c_str(), port);
-    return 1;
+    return 3;
   }
 
   std::optional<net::StatusReply> reply;
@@ -100,7 +114,7 @@ int main(int argc, char** argv) {
     request.wall_ns = obs::wall_clock_ns();
     if (transport.send({observer, target, 0}, request) != net::SendStatus::kOk) {
       std::fprintf(stderr, "abdhfl_top: send failed (node gone?)\n");
-      return 1;
+      return 3;
     }
     const bool answered = net::pump_until(
         transport, [&] { return reply.has_value(); }, timeout, 0.02);
@@ -131,5 +145,7 @@ int main(int argc, char** argv) {
     }
     std::fflush(stdout);
   }
-  return all_answered ? 0 : 1;
+  // 2 distinguishes "up but wedged" (reply timeout) from 3's "gone": a
+  // supervisor's next move differs (grab a stall postmortem vs restart).
+  return all_answered ? 0 : 2;
 }

@@ -1,0 +1,247 @@
+// blackbox_dump — postmortem decoder for the flight-recorder `.abbx` dumps
+// the blackbox subsystem writes on a crash or a watchdog-detected stall
+// (DESIGN.md §13).
+//
+// The decoder is deliberately tolerant: a crash dump is exactly the file
+// most likely to be truncated or half-written, so damaged sections are
+// skipped with a warning instead of failing the read, and whatever events
+// survive are rendered.  Output is a Markdown postmortem: the META status
+// block (node, round, phase, dump reason), the peer table the node held at
+// death, and the event timeline with millisecond offsets relative to the
+// dump instant.
+//
+//   ./blackbox_dump crash/blackbox-node1.abbx             # Markdown to stdout
+//   ./blackbox_dump crash/blackbox-node1.abbx -o post.md  # ... to a file
+//   ./blackbox_dump --check crash/blackbox-node1.abbx     # CI gate
+//   ./blackbox_dump --tail 50 crash/blackbox-node1.abbx   # last 50 events only
+//
+// --check prints a one-line verdict and exits 0 only when the dump decodes
+// with a META section, at least one ring event, and a terminal kDump event
+// (proof the dump path itself ran to completion); anything else exits 1.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "obs/blackbox.hpp"
+
+namespace {
+
+namespace bb = abdhfl::obs::blackbox;
+
+const char* phase_name(std::uint64_t phase) {
+  switch (phase) {
+    case 0: return "joining";
+    case 1: return "training";
+    case 2: return "finishing";
+    case 3: return "done";
+  }
+  return "?";
+}
+
+const char* peer_state_name(std::uint16_t state) {
+  switch (state) {
+    case 0: return "live";
+    case 1: return "lost";
+    case 2: return "left";
+  }
+  return "?";
+}
+
+std::string reason_name(std::uint64_t reason) {
+  if (reason == 0) return "manual";
+  if (reason >= 1000) {
+    return std::string("stall:") +
+           bb::to_string(static_cast<bb::StallReason>(reason - 1000));
+  }
+  switch (reason) {
+    case 6: return "SIGABRT";
+    case 7: return "SIGBUS";
+    case 11: return "SIGSEGV";
+  }
+  return "signal " + std::to_string(reason);
+}
+
+std::string describe(const bb::Event& e) {
+  char buf[160];
+  switch (static_cast<bb::EventType>(e.type)) {
+    case bb::EventType::kPhase:
+      std::snprintf(buf, sizeof buf, "enter **%s**", phase_name(e.code));
+      break;
+    case bb::EventType::kRound:
+      std::snprintf(buf, sizeof buf, "round %llu complete (%llu inputs)",
+                    static_cast<unsigned long long>(e.round),
+                    static_cast<unsigned long long>(e.a));
+      break;
+    case bb::EventType::kFrameTx:
+      std::snprintf(buf, sizeof buf, "tx %s -> node %llu (%llu B)",
+                    abdhfl::net::to_string(static_cast<abdhfl::net::MsgKind>(e.code)),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case bb::EventType::kFrameRx:
+      std::snprintf(buf, sizeof buf, "rx %s <- node %llu (%llu B)",
+                    abdhfl::net::to_string(static_cast<abdhfl::net::MsgKind>(e.code)),
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case bb::EventType::kVote:
+      std::snprintf(buf, sizeof buf, "vote %s (%llu/%llu up)",
+                    e.code != 0 ? "accept" : "reject",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case bb::EventType::kCkptInstall:
+      std::snprintf(buf, sizeof buf, "ckpt install seq %llu (%llu B)",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
+    case bb::EventType::kChurn: {
+      const char* kind = "?";
+      switch (static_cast<bb::ChurnKind>(e.code)) {
+        case bb::ChurnKind::kJoin: kind = "join"; break;
+        case bb::ChurnKind::kLoss: kind = "loss"; break;
+        case bb::ChurnKind::kRejoin: kind = "rejoin"; break;
+        case bb::ChurnKind::kLeave: kind = "leave"; break;
+      }
+      std::snprintf(buf, sizeof buf, "churn: %s node %llu", kind,
+                    static_cast<unsigned long long>(e.a));
+      break;
+    }
+    case bb::EventType::kStall:
+      std::snprintf(buf, sizeof buf, "STALL %s (%.2fs without progress)",
+                    bb::to_string(static_cast<bb::StallReason>(e.code)),
+                    static_cast<double>(e.a) / 1e9);
+      break;
+    case bb::EventType::kDump:
+      std::snprintf(buf, sizeof buf, "dump triggered (%s)",
+                    reason_name(e.code).c_str());
+      break;
+    case bb::EventType::kMark:
+      std::snprintf(buf, sizeof buf, "mark %u", e.code);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "unknown type %u code %u", e.type, e.code);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::size_t tail = 0;  // 0 = all
+  std::string out_path;
+  std::string file;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[a], "--tail") == 0 && a + 1 < argc) {
+      tail = static_cast<std::size_t>(std::strtoull(argv[++a], nullptr, 10));
+    } else if (std::strcmp(argv[a], "-o") == 0 && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--help") == 0) {
+      std::printf(
+          "usage: %s [--check] [--tail N] [-o FILE] dump.abbx\n"
+          "  --check   CI gate: exit 0 only when the dump decodes with META,\n"
+          "            >= 1 event, and a terminal dump event; 1 otherwise\n"
+          "  --tail N  render only the last N events\n"
+          "  -o FILE   write the Markdown postmortem to FILE instead of stdout\n",
+          argv[0]);
+      return 0;
+    } else {
+      file = argv[a];
+    }
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "blackbox_dump: no input file (see --help)\n");
+    return 1;
+  }
+
+  std::string error;
+  const auto dump = bb::read_dump(file, error);
+  if (!dump.has_value()) {
+    std::fprintf(stderr, "blackbox_dump: %s\n", error.c_str());
+    return 1;
+  }
+  for (const std::string& warning : dump->warnings) {
+    std::fprintf(stderr, "blackbox_dump: warning: %s\n", warning.c_str());
+  }
+
+  if (check) {
+    const bool has_meta =
+        std::none_of(dump->warnings.begin(), dump->warnings.end(),
+                     [](const std::string& w) { return w.find("no META") == 0; });
+    const bool has_terminal_dump =
+        !dump->events.empty() &&
+        std::any_of(dump->events.begin(), dump->events.end(), [](const bb::Event& e) {
+          return static_cast<bb::EventType>(e.type) == bb::EventType::kDump;
+        });
+    const bool ok = has_meta && has_terminal_dump;
+    std::printf("blackbox_dump: %s: %s (%zu event(s), %zu peer(s), reason %s)\n",
+                file.c_str(), ok ? "OK" : "FAIL", dump->events.size(),
+                dump->peers.size(), reason_name(dump->reason).c_str());
+    return ok ? 0 : 1;
+  }
+
+  std::string md;
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "# Blackbox postmortem: node %llu\n\n"
+                "| field | value |\n|---|---|\n"
+                "| reason | %s |\n| round | %llu |\n| phase | %s |\n"
+                "| events | %zu |\n| peers dropped | %llu |\n\n",
+                static_cast<unsigned long long>(dump->node),
+                reason_name(dump->reason).c_str(),
+                static_cast<unsigned long long>(dump->round),
+                phase_name(dump->phase), dump->events.size(),
+                static_cast<unsigned long long>(dump->peers_dropped));
+  md += line;
+
+  if (!dump->peers.empty()) {
+    md += "## Peer table\n\n| peer | state | last round |\n|---|---|---|\n";
+    for (const bb::PeerEntry& peer : dump->peers) {
+      std::snprintf(line, sizeof line, "| %u | %s | %llu |\n", peer.node,
+                    peer_state_name(peer.state),
+                    static_cast<unsigned long long>(peer.round));
+      md += line;
+    }
+    md += "\n";
+  }
+
+  md += "## Timeline\n\n| t (ms) | seq | node | round | event |\n|---|---|---|---|---|\n";
+  std::size_t first = 0;
+  if (tail != 0 && dump->events.size() > tail) first = dump->events.size() - tail;
+  for (std::size_t i = first; i < dump->events.size(); ++i) {
+    const bb::Event& e = dump->events[i];
+    // Offset relative to the dump instant: negative = before death.
+    const double t_ms =
+        (static_cast<double>(e.wall_ns) - static_cast<double>(dump->wall_ns)) / 1e6;
+    std::snprintf(line, sizeof line, "| %+.3f | %llu | %u | %llu | %s |\n", t_ms,
+                  static_cast<unsigned long long>(e.seq), e.node,
+                  static_cast<unsigned long long>(e.round), describe(e).c_str());
+    md += line;
+  }
+  if (first != 0) {
+    std::snprintf(line, sizeof line, "\n(%zu earlier event(s) omitted by --tail)\n",
+                  first);
+    md += line;
+  }
+
+  if (out_path.empty()) {
+    std::fwrite(md.data(), 1, md.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "blackbox_dump: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(md.data(), 1, md.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

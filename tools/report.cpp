@@ -14,7 +14,16 @@
 //   * suspicion top-K table with ground-truth Byzantine marks and a
 //     separation verdict (does every true Byzantine outrank every honest?).
 //
-//   ./report run.jsonl [--top K] [-o out.md]
+// With --prom FILE the report additionally renders p50/p99 for every
+// histogram in a Prometheus text exposition (obs --metrics-prom /
+// obs::to_prometheus) — net_rtt_ms, decode/aggregate timings, anything
+// exported as `_bucket{le=...}` lines.  Buckets are expanded into
+// pseudo-samples at their upper bounds (the +Inf bucket clamps to the
+// largest finite bound), so the percentiles are bucket-resolution
+// approximations, computed with the same util::percentile_or as the phase
+// times.
+//
+//   ./report run.jsonl [--prom metrics.prom] [--top K] [-o out.md]
 //
 // Exits 0 after writing the Markdown (stdout by default); exits 1 on an
 // unreadable/malformed/empty input.
@@ -214,26 +223,134 @@ void suspicion_section(std::ostream& out, const std::string& runner,
   }
 }
 
+// ---- Prometheus text exposition (--prom) ----------------------------------
+
+struct PromHistogram {
+  // Observations per finite upper bound, aggregated across every series of
+  // the family: the exposition's bucket lines drop labels (net_rtt_ms has
+  // one series per transport), so a family can appear several times and the
+  // de-cumulated counts are summed per bound.
+  std::map<double, std::uint64_t> by_bound;
+  std::uint64_t inf_observations = 0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  // De-cumulation state within the series currently being read.
+  std::uint64_t prev_cumulative = 0;
+  double last_bound = -1e300;
+};
+
+/// Parse `family_bucket{le="X"} N` / `family_sum V` / `family_count N` lines
+/// into per-family histograms; all other exposition lines (counters, gauges,
+/// # HELP/TYPE comments) are skipped.
+std::map<std::string, PromHistogram> parse_prom_histograms(std::istream& in) {
+  std::map<std::string, PromHistogram> hists;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+
+    const std::string bucket_marker = "_bucket{le=\"";
+    const std::size_t bucket_at = name.find(bucket_marker);
+    if (bucket_at != std::string::npos && name.back() == '}') {
+      const std::size_t le_begin = bucket_at + bucket_marker.size();
+      const std::size_t le_end = name.find('"', le_begin);
+      if (le_end == std::string::npos) continue;
+      const std::string le = name.substr(le_begin, le_end - le_begin);
+      PromHistogram& h = hists[name.substr(0, bucket_at)];
+      const std::uint64_t cumulative = static_cast<std::uint64_t>(value);
+      if (le == "+Inf") {
+        if (cumulative > h.prev_cumulative) {
+          h.inf_observations += cumulative - h.prev_cumulative;
+        }
+        h.prev_cumulative = 0;  // +Inf closes the series
+        h.last_bound = -1e300;
+      } else {
+        const double bound = std::strtod(le.c_str(), nullptr);
+        if (bound <= h.last_bound) h.prev_cumulative = 0;  // next series began
+        if (cumulative > h.prev_cumulative) {
+          h.by_bound[bound] += cumulative - h.prev_cumulative;
+        }
+        h.prev_cumulative = cumulative;
+        h.last_bound = bound;
+      }
+      continue;
+    }
+    const auto suffix_of = [&](const char* suffix) -> std::string {
+      const std::size_t n = std::strlen(suffix);
+      if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+        return name.substr(0, name.size() - n);
+      }
+      return std::string();
+    };
+    if (const std::string family = suffix_of("_sum"); !family.empty()) {
+      if (hists.count(family) != 0) hists[family].sum += value;
+    } else if (const std::string family = suffix_of("_count"); !family.empty()) {
+      if (hists.count(family) != 0) {
+        hists[family].count += static_cast<std::uint64_t>(value);
+      }
+    }
+  }
+  return hists;
+}
+
+void prom_histogram_section(std::ostream& out,
+                            const std::map<std::string, PromHistogram>& hists) {
+  if (hists.empty()) return;
+  out << "\n## Exported histograms (bucket-resolution percentiles)\n\n";
+  out << "| histogram | count | mean | p50 | p99 |\n|---|---|---|---|---|\n";
+  for (const auto& [name, h] : hists) {
+    // One pseudo-sample per observation at its bucket's upper bound; +Inf
+    // observations clamp to the largest finite bound (no upper edge to
+    // stand at).
+    std::vector<double> samples;
+    for (const auto& [bound, observations] : h.by_bound) {
+      samples.insert(samples.end(), observations, bound);
+    }
+    if (h.inf_observations > 0 && !h.by_bound.empty()) {
+      samples.insert(samples.end(), h.inf_observations, h.by_bound.rbegin()->first);
+    }
+    const std::uint64_t count = h.count != 0 ? h.count : samples.size();
+    const double mean =
+        count != 0 ? h.sum / static_cast<double>(count) : 0.0;
+    char row[200];
+    std::snprintf(row, sizeof(row), "| %s | %llu | %.4f | %.4f | %.4f |\n",
+                  name.c_str(), static_cast<unsigned long long>(count), mean,
+                  abdhfl::util::percentile_or(samples, 50.0, 0.0),
+                  abdhfl::util::percentile_or(samples, 99.0, 0.0));
+    out << row;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* input = nullptr;
   const char* output = nullptr;
+  const char* prom = nullptr;
   std::size_t top_k = 10;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--top") == 0 && a + 1 < argc) {
       top_k = static_cast<std::size_t>(std::strtoul(argv[++a], nullptr, 10));
+    } else if (std::strcmp(argv[a], "--prom") == 0 && a + 1 < argc) {
+      prom = argv[++a];
     } else if (std::strcmp(argv[a], "-o") == 0 && a + 1 < argc) {
       output = argv[++a];
     } else if (input == nullptr) {
       input = argv[a];
     } else {
-      std::fprintf(stderr, "usage: %s <file.jsonl> [--top K] [-o out.md]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s <file.jsonl> [--prom metrics.prom] [--top K] [-o out.md]\n",
+                   argv[0]);
       return 1;
     }
   }
   if (input == nullptr || top_k == 0) {
-    std::fprintf(stderr, "usage: %s <file.jsonl> [--top K] [-o out.md]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <file.jsonl> [--prom metrics.prom] [--top K] [-o out.md]\n",
+                 argv[0]);
     return 1;
   }
 
@@ -303,6 +420,15 @@ int main(int argc, char** argv) {
     if (!is_suspicion_runner(name)) continue;
     md << "\n## Forensics: " << name << "\n";
     suspicion_section(md, name, recs, top_k);
+  }
+
+  if (prom != nullptr) {
+    std::ifstream prom_in(prom);
+    if (!prom_in) {
+      std::fprintf(stderr, "report: cannot open %s\n", prom);
+      return 1;
+    }
+    prom_histogram_section(md, parse_prom_histograms(prom_in));
   }
 
   const std::string text = md.str();

@@ -24,7 +24,10 @@
 //   trace the distributed-tracing span files written via --trace-out
 //         (obs::trace_to_jsonl + the trailing trace_summary line).  Trace
 //         lines carry no "runner" key; when this group is active, runnerless
-//         lines fall back to the literal runner "trace".
+//         lines fall back to the literal runner "trace";
+//   blackbox the flight recorder's stall/dump side-car records
+//         ("blackbox_stall" per watchdog detection, "blackbox_dump" per
+//         written .abbx) emitted by obs::blackbox (DESIGN.md §13).
 //
 // A required key may carry a ":str" suffix ("span_id:str") meaning the value
 // must be a JSON *string* — the trace ids and wall_ns exceed the 53-bit
@@ -72,6 +75,11 @@ group_schemas() {
            {{"trace",
              {"time", "kind:str", "duration", "depth", "node", "trace_id:str",
               "span_id:str", "parent_span_id:str", "wall_ns:str"}}}},
+          {"blackbox",
+           {{"blackbox_stall",
+             {"node", "phase", "reason:str", "stalled_for_s"}},
+            {"blackbox_dump",
+             {"node", "phase", "events", "bytes", "reason:str", "path:str"}}}},
       };
   return groups;
 }
