@@ -27,10 +27,18 @@
 // flight-recorder crash handler must leave a decodable .abbx postmortem
 // behind (tools/blackbox_dump) — the CI crash-postmortem smoke.
 //
+// With --tree SPEC the demo switches to the N-level hierarchy (DESIGN.md
+// §14): the transport-free hier reference runner against the same tree built
+// from one RootNode plus an AggregatorNode per interior/leaf process, all on
+// one loopback transport with the leaf heads multiplexing their virtual
+// devices — and the global model, every leaf head's model and every
+// per-round accuracy must come out bitwise identical.
+//
 //   ./distributed_federation [--rounds 3] [--workers 3] [--kill-worker]
 //                            [--crash-worker-hard] [--blackbox-dir crash]
 //                            [--checkpoint-dir ckpts] [--metrics-out dist.jsonl]
 //                            [--trace-dir traces]
+//   ./distributed_federation --tree 2,2,2 --rounds 3   # N-level loopback tree
 
 #include <signal.h>
 #include <sys/stat.h>
@@ -45,9 +53,12 @@
 
 #include "agg/aggregator.hpp"
 #include "ckpt/store.hpp"
+#include "net/hier/aggregator.hpp"
+#include "net/hier/reference.hpp"
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
+#include "topology/plan.hpp"
 #include "obs/blackbox.hpp"
 #include "obs/obs.hpp"
 #include "obs/record.hpp"
@@ -280,6 +291,73 @@ TcpOutcome run_tcp(const net::FederationConfig& config, bool kill_worker,
   return out;
 }
 
+// N-level tree mode: the hier reference runner vs the same tree as live
+// nodes — one RootNode + an AggregatorNode per interior and leaf process,
+// all on one loopback transport (leaf heads multiplex their virtual devices
+// over the same fabric).  Bitwise identity, level by level.
+int run_tree_mode(const net::FederationConfig& config, obs::Recorder* rec) {
+  topology::HierSpec spec;
+  if (!topology::parse_tree_spec(config.tree, spec) || spec.process_levels() < 2) {
+    std::fprintf(stderr, "invalid --tree spec '%s'\n", config.tree.c_str());
+    return 2;
+  }
+  std::size_t processes = 1;
+  for (std::size_t l = 1; l < spec.process_levels(); ++l) processes += spec.nodes_at(l);
+  std::printf("hierarchical federation: tree %s (%zu processes, %zu devices), %zu rounds\n\n",
+              config.tree.c_str(), processes,
+              spec.leaf_heads() * spec.devices_per_leaf(), config.rounds);
+
+  const auto reference = net::hier::run_hier_reference(config);
+  std::printf("reference (no transport):    accuracy %.4f\n", reference.final_accuracy);
+
+  net::LoopbackTransport transport;
+  net::RootNode root(config, transport, rec);
+  std::vector<std::unique_ptr<net::hier::AggregatorNode>> aggs;
+  for (std::size_t level = 1; level < spec.process_levels(); ++level) {
+    for (std::size_t i = 0; i < spec.nodes_at(level); ++i) {
+      aggs.push_back(std::make_unique<net::hier::AggregatorNode>(config, level, i,
+                                                                 transport, transport,
+                                                                 rec));
+    }
+  }
+  root.start();
+  for (auto& agg : aggs) agg->start();
+  const bool finished = net::pump_until(
+      transport,
+      [&] {
+        root.on_idle();
+        for (auto& agg : aggs) agg->on_idle();
+        bool all_done = root.done();
+        for (auto& agg : aggs) all_done = all_done && agg->done();
+        return all_done;
+      },
+      300.0, config.poll_interval_s);
+  if (rec != nullptr) transport.record_traffic(*rec, root.result().rounds_run);
+
+  const net::RootResult& result = root.result();
+  std::printf("loopback  (1 process):       accuracy %.4f\n", result.final_accuracy);
+  bool ok = finished && result.rounds_run == config.rounds;
+  for (auto& agg : aggs) ok = ok && !agg->failed();
+  const bool global_bitwise =
+      result.global_model.size() == reference.global_model.size() &&
+      std::memcmp(result.global_model.data(), reference.global_model.data(),
+                  reference.global_model.size() * sizeof(float)) == 0;
+  bool leaves_bitwise = true;
+  std::size_t leaf = 0;
+  for (auto& agg : aggs) {
+    if (!agg->leaf_head()) continue;
+    leaves_bitwise = leaves_bitwise && leaf < reference.leaf_models.size() &&
+                     agg->model() == reference.leaf_models[leaf];
+    ++leaf;
+  }
+  ok = ok && global_bitwise && leaves_bitwise &&
+       result.round_accuracy == reference.round_accuracy;
+  std::printf("tree vs reference:           global %s, %zu leaf model(s) %s\n",
+              global_bitwise ? "bitwise equal" : "MISMATCH", leaf,
+              leaves_bitwise ? "bitwise equal" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,6 +373,10 @@ int main(int argc, char** argv) {
       cli.integer("samples-per-class", 12, "training samples per digit class"));
   config.local_iters =
       static_cast<std::size_t>(cli.integer("local-iters", 8, "SGD iters per round"));
+  config.tree = cli.str(
+      "tree", "", "N-level branching spec (e.g. 2,2,2): run the hierarchy demo instead");
+  config.poll_interval_s =
+      cli.real("poll-interval", config.poll_interval_s, "idle poll tick (s)");
   const std::string compress = cli.str(
       "compress", "", "codec spec: topk:K, delta, or topk:K,delta (lossy paths)");
   const bool kill_worker =
@@ -322,6 +404,12 @@ int main(int argc, char** argv) {
   obs::Recorder recorder;
   obs::TraceBuffer trace;
   obs::Recorder* rec = obs_opts.active() ? &recorder : nullptr;
+
+  if (!config.tree.empty()) {
+    const int rc = run_tree_mode(config, rec);
+    obs::write_outputs(obs_opts, recorder, nullptr);
+    return rc;
+  }
 
   std::printf("distributed federation: %zu workers x %zu devices, %zu rounds\n\n",
               config.workers, config.devices_per_worker, config.rounds);

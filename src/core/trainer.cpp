@@ -11,40 +11,50 @@ LocalTrainer::LocalTrainer(data::Dataset shard, nn::Mlp model, util::Rng rng)
   shard_.validate();
 }
 
-std::vector<float> LocalTrainer::train_round(std::span<const float> start_params,
-                                             std::size_t local_iters, std::size_t batch,
-                                             double learning_rate,
-                                             const std::optional<MergeEvent>& merge) {
-  model_.unflatten(start_params);
+std::vector<float> train_device_round(nn::Mlp& model, const data::Dataset& shard,
+                                      util::Rng& rng, std::span<const float> start_params,
+                                      std::size_t local_iters, std::size_t batch,
+                                      double learning_rate,
+                                      const std::optional<MergeEvent>& merge,
+                                      double& loss_out) {
+  model.unflatten(start_params);
   nn::Sgd sgd({learning_rate, 0.0, 0.0});
 
   // A device with no local data (possible under extreme non-IID splits of a
   // tiny pool) contributes its start model unchanged — it still merges the
   // arriving global model, matching Algorithm 2 with an empty D_n.
-  const std::size_t effective_iters = shard_.empty() ? 0 : local_iters;
+  const std::size_t effective_iters = shard.empty() ? 0 : local_iters;
 
   double loss_acc = 0.0;
   for (std::size_t t = 0; t < effective_iters; ++t) {
     if (merge && merge->at_iteration == t) {
       // Eq. 1: θ <- α θ_G + (1-α) θ  (the global model arrived "now").
-      auto current = model_.flatten();
-      model_.unflatten(tensor::lerp(merge->global_model, current, merge->alpha));
+      auto current = model.flatten();
+      model.unflatten(tensor::lerp(merge->global_model, current, merge->alpha));
     }
-    const auto mini = shard_.sample_batch(batch, rng_);
-    const auto logits = model_.forward(mini.features);
+    const auto mini = shard.sample_batch(batch, rng);
+    const auto logits = model.forward(mini.features);
     const auto loss = nn::softmax_cross_entropy(logits, mini.labels);
-    model_.backward(loss.grad);
-    sgd.step(model_);
+    model.backward(loss.grad);
+    sgd.step(model);
     loss_acc += loss.loss;
   }
   // A merge scheduled at (or past) the end of the executed iterations.
   if (merge && merge->at_iteration >= effective_iters) {
-    auto current = model_.flatten();
-    model_.unflatten(tensor::lerp(merge->global_model, current, merge->alpha));
+    auto current = model.flatten();
+    model.unflatten(tensor::lerp(merge->global_model, current, merge->alpha));
   }
-  last_loss_ =
+  loss_out =
       effective_iters == 0 ? 0.0 : loss_acc / static_cast<double>(effective_iters);
-  return model_.flatten();
+  return model.flatten();
+}
+
+std::vector<float> LocalTrainer::train_round(std::span<const float> start_params,
+                                             std::size_t local_iters, std::size_t batch,
+                                             double learning_rate,
+                                             const std::optional<MergeEvent>& merge) {
+  return train_device_round(model_, shard_, rng_, start_params, local_iters, batch,
+                            learning_rate, merge, last_loss_);
 }
 
 double evaluate_params(nn::Mlp& scratch, std::span<const float> params,

@@ -24,6 +24,20 @@ struct MergeEvent {
   double alpha = 0.5;               // correction factor α
 };
 
+/// Algorithm 2 lines 13-22 as a free function over borrowed state: load
+/// `start_params` into `model`, run the SGD iterations against `shard`
+/// drawing batches from `rng`, and return the flat trained parameters plus
+/// the mean iteration loss in `loss_out`.  LocalTrainer::train_round is a
+/// thin wrapper; the virtual-device multiplexer calls this directly so
+/// thousands of simulated devices can share ONE model workspace (the
+/// tensor arena) while keeping only their {rng, shard ref, last_loss} —
+/// the model carries no cross-round state, so results are bitwise
+/// identical to per-device LocalTrainer instances.
+[[nodiscard]] std::vector<float> train_device_round(
+    nn::Mlp& model, const data::Dataset& shard, util::Rng& rng,
+    std::span<const float> start_params, std::size_t local_iters, std::size_t batch,
+    double learning_rate, const std::optional<MergeEvent>& merge, double& loss_out);
+
 class LocalTrainer {
  public:
   LocalTrainer(data::Dataset shard, nn::Mlp model, util::Rng rng);

@@ -1,0 +1,107 @@
+#include "net/hier/reference.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "agg/aggregator.hpp"
+#include "core/trainer.hpp"
+#include "topology/plan.hpp"
+#include "util/rng.hpp"
+
+namespace abdhfl::net::hier {
+
+HierReferenceResult run_hier_reference(const FederationConfig& config) {
+  topology::HierSpec spec;
+  if (config.tree.empty() || !topology::parse_tree_spec(config.tree, spec)) {
+    throw std::invalid_argument("run_hier_reference: invalid tree spec '" +
+                                config.tree + "'");
+  }
+  const FederationData data = build_federation_data(config);
+  const std::size_t leaf_heads = spec.leaf_heads();
+  const std::size_t per_leaf = spec.devices_per_leaf();
+
+  // One RNG per device (the whole cross-round device state) and ONE shared
+  // model workspace — the same arena layout VirtualDeviceHost uses, so the
+  // reference scales to the 10k-device tree without 10k model clones.
+  std::vector<util::Rng> device_rngs;
+  device_rngs.reserve(spec.total_devices());
+  for (std::size_t device = 0; device < spec.total_devices(); ++device) {
+    device_rngs.emplace_back(
+        config.seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(device + 1)));
+  }
+  nn::Mlp workspace = data.prototype.clone();
+  double loss_sink = 0.0;
+
+  const auto cluster_rule = agg::make_aggregator(config.cluster_rule);
+  const auto root_rule = agg::make_aggregator(config.root_rule);
+
+  HierReferenceResult result;
+  std::vector<float> global = data.init_params;
+  // Per-leaf-head merged model (what each bottom process disseminates to its
+  // devices) and per-leaf-head latest cluster fold.
+  std::vector<std::vector<float>> current(leaf_heads, data.init_params);
+  std::vector<std::vector<float>> cluster(leaf_heads);
+  // Every interior aggregator's fold reference is the last global it
+  // forwarded down — identical across the whole level, so one vector per
+  // round covers them all.  init_params before the first forward.
+  std::vector<float> forwarded = data.init_params;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    // Bottom-up.  Level L-1: each leaf head trains its devices from the
+    // model it disseminated and folds them with the cluster rule.
+    std::vector<std::vector<float>> level_out(leaf_heads);
+    for (std::size_t j = 0; j < leaf_heads; ++j) {
+      std::vector<agg::ModelVec> updates;
+      updates.reserve(per_leaf);
+      for (std::size_t k = 0; k < per_leaf; ++k) {
+        const std::size_t device = j * per_leaf + k;
+        updates.push_back(core::train_device_round(
+            workspace, data.shards[device], device_rngs[device], current[j],
+            config.local_iters, config.batch, config.learning_rate, std::nullopt,
+            loss_sink));
+      }
+      cluster_rule->set_reference(current[j]);
+      cluster[j] = cluster_rule->aggregate(updates);
+      level_out[j] = cluster[j];
+    }
+    // Interior levels L-2 .. 1: fold each node's children (ascending sibling
+    // order) with the cluster rule against the last forwarded global.
+    for (std::size_t level = spec.process_levels() - 1; level-- > 1;) {
+      const std::size_t nodes = spec.nodes_at(level);
+      const std::size_t fan = spec.branching[level];
+      std::vector<std::vector<float>> folded(nodes);
+      for (std::size_t i = 0; i < nodes; ++i) {
+        std::vector<agg::ModelVec> inputs(
+            std::make_move_iterator(level_out.begin() + i * fan),
+            std::make_move_iterator(level_out.begin() + (i + 1) * fan));
+        cluster_rule->set_reference(forwarded);
+        folded[i] = cluster_rule->aggregate(inputs);
+      }
+      level_out = std::move(folded);
+    }
+    // Root: the global fold and evaluation.
+    root_rule->set_reference(global);
+    {
+      std::vector<agg::ModelVec> inputs(std::make_move_iterator(level_out.begin()),
+                                        std::make_move_iterator(level_out.end()));
+      global = root_rule->aggregate(inputs);
+    }
+    const double accuracy = core::evaluate_params(workspace, global, data.test_set);
+    result.round_accuracy.push_back(accuracy);
+    result.final_accuracy = accuracy;
+
+    // Top-down: the global is forwarded unchanged through the interior
+    // levels and Eq.-1 merged at each leaf head.
+    forwarded = global;
+    for (std::size_t j = 0; j < leaf_heads; ++j) {
+      current[j] = merge_models(global, cluster[j], config.alpha);
+    }
+  }
+
+  result.rounds_run = config.rounds;
+  result.global_model = std::move(global);
+  result.leaf_models = std::move(current);
+  return result;
+}
+
+}  // namespace abdhfl::net::hier

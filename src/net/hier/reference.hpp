@@ -1,0 +1,35 @@
+#pragma once
+// Transport-free N-level reference runner (DESIGN.md §14.5).
+//
+// The ground truth a distributed tree run is verified against, bitwise: the
+// same computation as a federation over config.tree — leaf devices train
+// with core::train_device_round, leaf heads fold their devices with the
+// cluster rule (reference = the model they disseminated), interior
+// aggregators fold their children with the cluster rule (reference = the
+// last global they forwarded down), the root folds level 1 with the root
+// rule and evaluates — but as one in-process loop with no frames, sockets
+// or timing.  Every fold consumes its inputs in ascending sibling order,
+// which is the ascending-node-id order the live Collectors use.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace abdhfl::net::hier {
+
+struct HierReferenceResult {
+  std::vector<float> global_model;
+  std::vector<double> round_accuracy;  // one entry per round
+  double final_accuracy = 0.0;
+  std::size_t rounds_run = 0;
+  /// Final merged model of each leaf head, in sibling order — what each
+  /// leaf-head process reports as its model() when the run completes.
+  std::vector<std::vector<float>> leaf_models;
+};
+
+/// Run the whole tree described by config.tree (throws std::invalid_argument
+/// when the spec is empty or malformed) for config.rounds rounds.
+[[nodiscard]] HierReferenceResult run_hier_reference(const FederationConfig& config);
+
+}  // namespace abdhfl::net::hier

@@ -1,0 +1,249 @@
+#pragma once
+// Reusable federation roles (DESIGN.md §14).
+//
+// The 2-level RootNode/WorkerNode pair hard-wired two behaviours that every
+// node of an N-level tree needs in some combination:
+//
+//   Collector — the DOWN-facing role: child membership (join/leave/evict/
+//     re-admit), per-link codec negotiation, the suspicion ledger, and the
+//     deterministic id-ordered update collection fold (streaming when the
+//     rule supports it, materialize-first otherwise).
+//   Uplink    — the UP-facing role: join/leave/update/ping senders toward a
+//     parent, join-echo processing (codec adoption, round adoption, RTT and
+//     clock-offset estimation), and the borrow-don't-copy update send.
+//
+// RootNode is Collector + evaluation, WorkerNode is Uplink + training, and
+// an AggregatorNode at any interior level is both at once — worker to its
+// parent, root to its children.  The roles carry protocol mechanics only;
+// phase machines, JSONL records, results and checkpoints stay with the
+// owning node, so extracting them changed no observable behaviour (the
+// 2-level suite pins that).
+//
+// Churn grace (FederationConfig::rejoin_grace_s): with a grace window
+// configured, a lost child that had joined is remembered for that window
+// and the collector HOLDS the round's aggregation while any window is
+// open.  If the child's process comes back (mid-tier kill + --resume), the
+// transport reconnect path re-admits it and the round completes with the
+// full quorum — which is what makes the final model bitwise identical to
+// an uninterrupted run.  An expired window releases the hold and the round
+// proceeds degraded, exactly the grace=0 behaviour.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "agg/aggregator.hpp"
+#include "net/transport.hpp"
+#include "obs/trace.hpp"
+
+namespace abdhfl::net::hier {
+
+/// Steady-clock seconds; the wall clock every phase deadline uses.
+[[nodiscard]] inline double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Steady-clock seconds → the ns tag the blackbox status block reports for
+/// phase deadlines (informational; same clock as wall_now()).
+[[nodiscard]] inline std::uint64_t deadline_ns(double deadline_s) {
+  return deadline_s <= 0.0 ? 0 : static_cast<std::uint64_t>(deadline_s * 1e9);
+}
+
+/// NTP-style estimates from one request/reply exchange: t0 = our send stamp
+/// (echoed back), t1 = the remote's reply stamp, t3 = now.  rtt = t3 - t0;
+/// offset = t1 - midpoint, i.e. remote_wall ≈ local_wall + offset.
+struct EchoEstimate {
+  double rtt_ms = 0.0;
+  double offset_ns = 0.0;
+};
+
+[[nodiscard]] EchoEstimate estimate_from_echo(std::int64_t echoed_t0,
+                                              std::int64_t remote_t1);
+
+// ---------------------------------------------------------------------------
+
+class Collector {
+ public:
+  struct Options {
+    NodeId self = 0;                    // kRootId for the classic root
+    std::size_t expected_children = 0;  // joins that complete the join phase
+    NodeId first_child = 1;             // echo.cluster = child - first_child
+    std::uint32_t link_class = 1;       // kLeaderLinkClass by default
+    Codec codec;                        // this node's negotiation bounds
+    bool trace = false;
+    double rejoin_grace_s = 0.0;        // 0 = evict immediately (no hold)
+  };
+
+  Collector(Transport& transport, Options opts);
+
+  // -- membership -----------------------------------------------------------
+
+  /// Admit a joining child: live set, subtree samples, join timestamp, codec
+  /// negotiation (the advertisement bounded by our own config), tracing
+  /// capability.  Returns true once every expected child has joined.
+  bool on_join(NodeId from, const Membership& member, std::size_t round);
+
+  /// Send one join echo — the starting gun / resync frame.  The envelope
+  /// round tells the child which round this collector is collecting.
+  void echo_join(NodeId child, std::size_t round);
+  /// Echo every live child's join (the begin-training broadcast).
+  void echo_joins(std::size_t round);
+
+  /// A child said goodbye: remember it so its EOF is not churn.
+  void on_leave(NodeId from, std::size_t round);
+
+  /// Peer-loss path: evict a live member (live set, pending update, EWMA
+  /// suspicion bump toward 1).  Returns false when the loss is not churn
+  /// (unknown peer, already left).  With a grace window configured, a child
+  /// that had joined is remembered until `now + rejoin_grace_s` and
+  /// grace_holds() reports a hold until it reconnects or the window expires.
+  bool evict(NodeId peer, std::size_t round, double now);
+
+  /// Transport-reconnect path: re-admit a member the loss path evicted.
+  /// Only for a child that joined this run and has not said goodbye.
+  bool readmit(NodeId peer, std::size_t round);
+
+  /// True while any grace window is open (prunes expired windows first).
+  [[nodiscard]] bool grace_holds(double now);
+  /// Prune expired grace windows; true when one expired (the owner should
+  /// re-check the quorum — the hold may just have been released).
+  bool expire_grace(double now);
+  /// Whether any evicted-under-grace child is still awaited.
+  [[nodiscard]] bool grace_pending() const noexcept { return !grace_until_.empty(); }
+
+  // -- collection -----------------------------------------------------------
+
+  /// (Re)arm a round's collection; `stream` may be null (materialize-first).
+  void arm(std::unique_ptr<agg::StreamAccumulator> stream);
+
+  /// Decoded-path acceptance: the guard chain (round match, live member, not
+  /// yet folded), suspicion decay, buffer + in-order drain.  Moves the
+  /// update's params out on acceptance.  Returns true when accepted (the
+  /// owner then checks quorum_complete()).
+  bool accept_update(const Envelope& env, ModelUpdate& update, std::size_t round);
+
+  /// Zero-copy path: a complete ModelUpdate frame offered before decode.
+  /// Accepted only when this collector streams, the frame passes the same
+  /// guards, carries `param_count` parameters, and is the next input in
+  /// ascending id order — its chunk is fed straight from the rx ring into
+  /// the accumulator.  Returns false to fall back to the decode path (which
+  /// keeps delta rx caches in sync for frames this node ignores).
+  bool accept_raw(const FrameView& view, std::size_t round, std::size_t param_count);
+
+  [[nodiscard]] bool has_update(NodeId child) const;
+  /// Every live child's update folded/buffered (false while live is empty).
+  [[nodiscard]] bool quorum_complete() const;
+
+  /// Complete the round's fold: set the rule's reference and aggregate —
+  /// stream finish when streaming (bitwise what aggregate() over the
+  /// materialized vectors would produce; the id-ordered fold guarantees
+  /// it), materialized std::map-order aggregate otherwise.  `n_inputs`
+  /// reports how many updates went in.
+  [[nodiscard]] std::vector<float> finish(agg::Aggregator& rule,
+                                          std::span<const float> reference,
+                                          std::size_t& n_inputs);
+  /// Feed buffered in-order updates into the stream (call after an eviction
+  /// may have closed a reorder gap).
+  void drain_into_stream();
+  [[nodiscard]] bool streaming() const noexcept { return stream_ != nullptr; }
+
+  // -- introspection / persistence ------------------------------------------
+
+  [[nodiscard]] const std::set<NodeId>& live() const noexcept { return live_; }
+  [[nodiscard]] const std::set<NodeId>& left() const noexcept { return left_; }
+  /// Every member that ever joined, with its subtree sample count.
+  [[nodiscard]] const std::map<NodeId, std::uint64_t>& joined() const noexcept {
+    return subtree_samples_;
+  }
+  /// Checkpoint restore: replace the joined-member ledger.
+  void restore_joined(std::map<NodeId, std::uint64_t> samples) {
+    subtree_samples_ = std::move(samples);
+  }
+  [[nodiscard]] std::uint64_t total_subtree_samples() const;
+  /// One StatusPeer row per member that ever joined, live or not.
+  void append_status_peers(StatusReply& reply) const;
+
+ private:
+  Transport& transport_;
+  Options opts_;
+  std::set<NodeId> live_;
+  std::set<NodeId> left_;
+  std::map<NodeId, std::uint64_t> subtree_samples_;
+  std::map<NodeId, std::int64_t> join_wall_ns_;  // echoed back in the join echo
+  // Per-child suspicion EWMA: bumped on peer loss, decayed on every accepted
+  // update — the "is this member flaky" number a status probe reports.
+  std::map<NodeId, double> suspicion_;
+  std::map<NodeId, double> grace_until_;          // evicted, awaited back
+  std::map<NodeId, std::vector<float>> pending_;  // current round (materialized)
+  // Streaming collection (DESIGN.md §11): when the rule is streaming-safe,
+  // each round's updates are folded into `stream_` as their frames arrive
+  // and `arrived_` replaces pending_ as the quorum ledger — collector
+  // memory stays O(d) instead of O(live × d).
+  std::unique_ptr<agg::StreamAccumulator> stream_;
+  std::set<NodeId> arrived_;
+  std::vector<float> stream_scratch_;  // decode target for transformed frames
+};
+
+// ---------------------------------------------------------------------------
+
+class Uplink {
+ public:
+  struct Options {
+    NodeId self = 0;
+    NodeId parent = 0;              // kRootId for a classic worker
+    std::uint32_t cluster = 0;      // join.cluster / leave.cluster
+    std::uint32_t link_class = 1;   // kLeaderLinkClass by default
+    std::uint32_t level = 1;        // ModelUpdate.level of sent updates
+    Codec codec;                    // advertised in the join
+    bool trace = false;
+  };
+
+  Uplink(Transport& transport, Options opts);
+
+  /// Advertise ourselves to the parent (codec, trace capability, subtree
+  /// weight, send stamp for the first RTT sample).
+  SendStatus send_join(std::uint64_t subtree_samples);
+
+  /// What a join echo means for the owner's state machine.
+  enum class EchoAction {
+    kStart,   // first echo: adopt the envelope round and start training
+    kResync,  // echoed round differs: adopt it and rejoin that quorum
+    kNone,    // own round echoed back: the retried update already covers it
+  };
+
+  /// Process a join echo from the parent: adopt the negotiated codec and
+  /// tracing, fold the echoed timestamps into RTT/clock-offset estimates
+  /// (the parent's clock is the reference the trace merge aligns to).
+  EchoAction on_join_echo(const WireMessage& msg, std::size_t round);
+
+  /// Send this round's update, lending `params` to the frame for the
+  /// duration of the send (no O(d) staging copy).
+  SendStatus send_update(std::vector<float>& params, std::uint64_t samples,
+                         std::size_t round);
+
+  SendStatus send_leave(std::size_t round);
+
+  /// Per-round RTT heartbeat toward the parent.
+  void send_status_ping(std::size_t round);
+  /// A status reply from any peer: fold its echoed timestamps into the
+  /// link's RTT estimate; a reply from the parent also refreshes the trace
+  /// clock offset.
+  void on_status_reply(const WireMessage& msg);
+
+  [[nodiscard]] bool started() const noexcept { return started_; }
+  [[nodiscard]] NodeId parent() const noexcept { return opts_.parent; }
+
+ private:
+  Transport& transport_;
+  Options opts_;
+  std::uint32_t probe_seq_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace abdhfl::net::hier

@@ -1,0 +1,122 @@
+#include "net/hier/vdev.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace abdhfl::net::hier {
+
+VirtualDeviceHost::VirtualDeviceHost(const FederationConfig& config,
+                                     const FederationData& data, NodeId head,
+                                     std::size_t first_device, std::size_t count,
+                                     Transport& transport, std::uint32_t link_class)
+    : config_(config),
+      head_(head),
+      transport_(transport),
+      link_class_(link_class),
+      workspace_(data.prototype.clone()) {
+  if (first_device + count > data.shards.size()) {
+    throw std::out_of_range("VirtualDeviceHost: device range exceeds the shard set");
+  }
+  devices_.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t device = first_device + k;
+    // The same seed derivation as make_device_trainer — a virtual device and
+    // a LocalTrainer for the same global index produce identical SGD streams.
+    util::Rng rng(config_.seed ^
+                  (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(device + 1)));
+    devices_.push_back({topology::device_node_id(device), &data.shards[device],
+                        std::move(rng), 0.0, false});
+    const std::size_t slot = k;
+    transport_.register_node(devices_.back().id, [this, slot](WireMessage& msg) {
+      on_device_message(slot, msg);
+    });
+  }
+}
+
+void VirtualDeviceHost::start() {
+  // Trace continuity across the virtual fabric: with tracing on, device
+  // replies must carry context tails, or the leaf's fold — which runs while
+  // dispatching a device frame — starts a fresh trace and the round tree
+  // breaks at the loopback hop (an orphan in trace_merge --check).
+  if (config_.trace) transport_.set_peer_tracing(head_, true);
+  for (const VirtualDevice& device : devices_) {
+    Membership join;
+    join.event = Membership::Event::kJoin;
+    join.trace = config_.trace;
+    join.device = device.id;
+    join.cluster = device.id - devices_.front().id;
+    join.subtree_samples = device.shard->size();
+    // Default (dense) codec advertisement: loopback frames never cross a
+    // socket, and the lossless link is what keeps a virtual-device run
+    // bitwise identical to in-process trainers.
+    join.wall_ns = obs::wall_clock_ns();
+    transport_.send({device.id, head_, 0}, join, link_class_);
+  }
+}
+
+std::uint64_t VirtualDeviceHost::total_samples() const noexcept {
+  std::uint64_t total = 0;
+  for (const VirtualDevice& device : devices_) total += device.shard->size();
+  return total;
+}
+
+std::vector<ckpt::RngState> VirtualDeviceHost::rng_states() const {
+  std::vector<ckpt::RngState> states;
+  states.reserve(devices_.size());
+  for (const VirtualDevice& device : devices_) states.push_back(device.rng.state());
+  return states;
+}
+
+void VirtualDeviceHost::set_rng_states(const std::vector<ckpt::RngState>& states) {
+  if (states.size() != devices_.size()) {
+    throw std::invalid_argument("RNG state count does not match hosted devices");
+  }
+  for (std::size_t k = 0; k < devices_.size(); ++k) {
+    devices_[k].rng.set_state(states[k]);
+  }
+}
+
+std::vector<double> VirtualDeviceHost::losses() const {
+  std::vector<double> out;
+  out.reserve(devices_.size());
+  for (const VirtualDevice& device : devices_) out.push_back(device.last_loss);
+  return out;
+}
+
+void VirtualDeviceHost::set_losses(const std::vector<double>& losses) {
+  if (losses.size() != devices_.size()) {
+    throw std::invalid_argument("loss count does not match hosted devices");
+  }
+  for (std::size_t k = 0; k < devices_.size(); ++k) {
+    devices_[k].last_loss = losses[k];
+  }
+}
+
+void VirtualDeviceHost::on_device_message(std::size_t slot, WireMessage& msg) {
+  VirtualDevice& device = devices_[slot];
+  if (msg.kind == MsgKind::kMembership) {
+    const auto& member = std::get<Membership>(msg.payload);
+    if (member.event == Membership::Event::kShutdown && !device.down) {
+      device.down = true;
+      ++shutdown_;
+    }
+    return;
+  }
+  if (msg.kind != MsgKind::kPartialModel || device.down) return;
+  const auto& partial = std::get<PartialModel>(msg.payload);
+  // Train one round in the shared workspace and answer in the same round.
+  // The workspace carries no cross-round state (train_device_round reloads
+  // the start parameters), so interleaving thousands of devices through it
+  // is exact.
+  Payload payload(std::in_place_type<ModelUpdate>);
+  auto& update = std::get<ModelUpdate>(payload);
+  update.sender = device.id;
+  update.level = 0;
+  update.samples = device.shard->size();
+  update.params = core::train_device_round(
+      workspace_, *device.shard, device.rng, partial.params, config_.local_iters,
+      config_.batch, config_.learning_rate, std::nullopt, device.last_loss);
+  transport_.send({device.id, head_, msg.env.round}, payload, link_class_);
+}
+
+}  // namespace abdhfl::net::hier

@@ -1,0 +1,79 @@
+#pragma once
+// Virtual-device multiplexing (DESIGN.md §14.3).
+//
+// One process hosts the whole bottom level of its subtree: every simulated
+// leaf device is a {node id, RNG, shard reference, last loss} record — a few
+// hundred bytes — and all of them share ONE model workspace (the tensor
+// arena) through core::train_device_round, so a leaf head multiplexes
+// thousands of devices over its in-process LoopbackTransport without
+// thousands of model clones or sockets.
+//
+// The devices speak the real wire protocol: each sends a Membership kJoin at
+// start, trains and answers a ModelUpdate for every PartialModel addressed
+// to it (echoing the envelope round), and retires on Membership kShutdown.
+// Frames cross the loopback exactly as they would a socket, so the leaf
+// head's Collector treats virtual devices like any other children — same
+// join accounting, same ascending-id fold — and a virtual-device run is
+// bitwise identical to per-device LocalTrainer instances (the RNG streams
+// are the same pure function of seed and global device index).
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/state.hpp"
+#include "core/trainer.hpp"
+#include "net/node.hpp"
+#include "net/transport.hpp"
+#include "nn/mlp.hpp"
+#include "topology/plan.hpp"
+
+namespace abdhfl::net::hier {
+
+class VirtualDeviceHost {
+ public:
+  /// Hosts devices [first_device, first_device + count) of the federation,
+  /// registered on `transport` (the leaf head's loopback) under
+  /// topology::device_node_id(global index) and reporting to `head`.
+  /// `data` must outlive the host (the devices hold shard references into
+  /// it).  `link_class` tags the device<->head traffic.
+  VirtualDeviceHost(const FederationConfig& config, const FederationData& data,
+                    NodeId head, std::size_t first_device, std::size_t count,
+                    Transport& transport, std::uint32_t link_class);
+
+  /// Send every device's join (delivered on the transport's next poll).
+  void start();
+
+  /// Every device received its shutdown.
+  [[nodiscard]] bool done() const noexcept { return shutdown_ >= devices_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept { return devices_.size(); }
+  [[nodiscard]] std::uint64_t total_samples() const noexcept;
+
+  // Checkpoint support: the devices' RNG streams and last losses, in hosting
+  // order (global device index ascending) — the same layout WorkerNode
+  // persists for its LocalTrainers.
+  [[nodiscard]] std::vector<ckpt::RngState> rng_states() const;
+  void set_rng_states(const std::vector<ckpt::RngState>& states);
+  [[nodiscard]] std::vector<double> losses() const;
+  void set_losses(const std::vector<double>& losses);
+
+ private:
+  void on_device_message(std::size_t slot, WireMessage& msg);
+
+  struct VirtualDevice {
+    NodeId id = 0;
+    const data::Dataset* shard = nullptr;
+    util::Rng rng;
+    double last_loss = 0.0;
+    bool down = false;
+  };
+
+  FederationConfig config_;
+  NodeId head_;
+  Transport& transport_;
+  std::uint32_t link_class_;
+  nn::Mlp workspace_;  // the shared tensor arena every device trains in
+  std::vector<VirtualDevice> devices_;
+  std::size_t shutdown_ = 0;
+};
+
+}  // namespace abdhfl::net::hier

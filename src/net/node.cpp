@@ -16,41 +16,53 @@
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
 #include "topology/churn.hpp"
+#include "topology/plan.hpp"
 #include "util/rng.hpp"
 
 namespace abdhfl::net {
 
 namespace bb = obs::blackbox;
 
+using hier::deadline_ns;
+using hier::EchoEstimate;
+using hier::estimate_from_echo;
+using hier::wall_now;
+
 namespace {
 
-/// Steady-clock seconds → the ns tag the blackbox status block reports for
-/// phase deadlines (informational; same clock as wall_now()).
-std::uint64_t deadline_ns(double deadline_s) {
-  return deadline_s <= 0.0 ? 0 : static_cast<std::uint64_t>(deadline_s * 1e9);
+/// The collector options a RootNode derives from its config: with a tree
+/// spec the expected children are the branching[0] level-1 aggregators,
+/// otherwise the classic W workers.
+hier::Collector::Options root_collector_opts(const FederationConfig& config) {
+  hier::Collector::Options opts;
+  opts.self = kRootId;
+  opts.expected_children = config.workers;
+  if (!config.tree.empty()) {
+    topology::HierSpec spec;
+    if (!topology::parse_tree_spec(config.tree, spec)) {
+      throw std::invalid_argument("invalid tree spec: " + config.tree);
+    }
+    opts.expected_children = spec.branching.front();
+  }
+  opts.first_child = 1;
+  opts.link_class = kLeaderLinkClass;
+  opts.codec = codec_from_config(config);
+  opts.trace = config.trace;
+  opts.rejoin_grace_s = config.rejoin_grace_s;
+  return opts;
 }
 
-double wall_now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// NTP-style estimates from one request/reply exchange: t0 = our send stamp
-/// (echoed back), t1 = the remote's reply stamp, t3 = now.  rtt = t3 - t0;
-/// offset = t1 - midpoint, i.e. remote_wall ≈ local_wall + offset.
-struct EchoEstimate {
-  double rtt_ms = 0.0;
-  double offset_ns = 0.0;
-};
-
-EchoEstimate estimate_from_echo(std::int64_t echoed_t0, std::int64_t remote_t1) {
-  const std::int64_t t3 = obs::wall_clock_ns();
-  EchoEstimate est;
-  est.rtt_ms = static_cast<double>(t3 - echoed_t0) / 1e6;
-  est.offset_ns = static_cast<double>(remote_t1) -
-                  (static_cast<double>(echoed_t0) + static_cast<double>(t3)) / 2.0;
-  return est;
+hier::Uplink::Options worker_uplink_opts(const FederationConfig& config, NodeId id,
+                                         std::size_t index) {
+  hier::Uplink::Options opts;
+  opts.self = id;
+  opts.parent = kRootId;
+  opts.cluster = static_cast<std::uint32_t>(index);
+  opts.link_class = kLeaderLinkClass;
+  opts.level = 1;
+  opts.codec = codec_from_config(config);
+  opts.trace = config.trace;
+  return opts;
 }
 
 }  // namespace
@@ -82,7 +94,29 @@ bool apply_compress_spec(const std::string& spec, FederationConfig& config) {
   return true;
 }
 
+Codec codec_from_config(const FederationConfig& config) noexcept {
+  Codec codec;
+  codec.quantize_bits = config.quantize_bits;
+  codec.topk = config.topk;
+  codec.delta = config.delta;
+  return codec;
+}
+
 FederationData build_federation_data(const FederationConfig& config) {
+  if (!config.tree.empty()) {
+    // Tree mode: the data layout is the flat 2-level layout with one
+    // "worker" per leaf-head process and one device per virtual leaf, so an
+    // N-level run and the reference loop shard identically.
+    topology::HierSpec spec;
+    if (!topology::parse_tree_spec(config.tree, spec)) {
+      throw std::invalid_argument("invalid tree spec: " + config.tree);
+    }
+    FederationConfig flat = config;
+    flat.tree.clear();
+    flat.workers = spec.leaf_heads();
+    flat.devices_per_worker = spec.devices_per_leaf();
+    return build_federation_data(flat);
+  }
   if (config.workers == 0 || config.devices_per_worker == 0) {
     throw std::invalid_argument("federation needs at least one worker and device");
   }
@@ -163,7 +197,8 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
       transport_(transport),
       recorder_(recorder),
       checkpoint_(checkpoint),
-      checkpoint_every_(checkpoint_every) {
+      checkpoint_every_(checkpoint_every),
+      uplink_(transport, worker_uplink_opts(config_, id_, index_)) {
   const FederationData data = build_federation_data(config_);
   trainers_.reserve(config_.devices_per_worker);
   for (std::size_t k = 0; k < config_.devices_per_worker; ++k) {
@@ -185,19 +220,9 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
 void WorkerNode::start() {
   bb::set_phase(0, round_);  // joining
   bb::record(bb::EventType::kPhase, 0, id_, round_);
-  Membership join;
-  join.event = Membership::Event::kJoin;
-  join.device = id_;
-  join.cluster = static_cast<std::uint32_t>(index_);
-  join.subtree_samples = subtree_samples_;
-  join.codec.quantize_bits = config_.quantize_bits;
-  join.codec.topk = config_.topk;
-  join.codec.delta = config_.delta;
-  join.trace = config_.trace;        // capability advertisement
-  join.wall_ns = obs::wall_clock_ns();  // echoed back for the first RTT sample
-  const SendStatus status =
-      transport_.send({id_, kRootId, 0}, join, kLeaderLinkClass);
-  if (status != SendStatus::kOk) finish(/*failed=*/true);
+  if (uplink_.send_join(subtree_samples_) != SendStatus::kOk) {
+    finish(/*failed=*/true);
+  }
 }
 
 void WorkerNode::on_idle() {}
@@ -210,52 +235,38 @@ void WorkerNode::on_message(WireMessage& msg) {
     return;
   }
   if (msg.kind == MsgKind::kStatusReply) {
-    const auto& reply = std::get<StatusReply>(msg.payload);
-    const EchoEstimate est = estimate_from_echo(reply.echo_wall_ns, reply.wall_ns);
-    transport_.note_rtt(msg.env.from, kLeaderLinkClass, est.rtt_ms, est.offset_ns);
-    if (msg.env.from == kRootId && transport_.trace_sink() != nullptr) {
-      // The root's clock is the federation reference the merge tool aligns to.
-      transport_.trace_sink()->set_clock_offset_ns(
-          static_cast<std::int64_t>(est.offset_ns));
-    }
+    uplink_.on_status_reply(msg);
     return;
   }
   if (done_) return;
   if (msg.kind == MsgKind::kMembership) {
     const auto& member = std::get<Membership>(msg.payload);
     if (member.event == Membership::Event::kJoin) {
-      transport_.set_peer_codec(kRootId, member.codec);
-      transport_.set_peer_tracing(kRootId, member.trace && config_.trace);
-      if (member.echo_wall_ns != 0) {
-        // Coarse first estimate from the join echo (inflated by the root's
-        // join-wait; the per-round status pings refine it).
-        const EchoEstimate est =
-            estimate_from_echo(member.echo_wall_ns, member.wall_ns);
-        transport_.note_rtt(kRootId, kLeaderLinkClass, est.rtt_ms, est.offset_ns);
-        if (transport_.trace_sink() != nullptr) {
-          transport_.trace_sink()->set_clock_offset_ns(
-              static_cast<std::int64_t>(est.offset_ns));
-        }
-      }
-      if (!started_) {
-        // Join echo: the root confirmed us and fixed the link codec.  The
-        // envelope round is the round the root is collecting — 0 for a fresh
-        // federation, later when this process restarted from a checkpoint
-        // mid-run (the reconnect resync path) or the root itself resumed.
-        // Adopting it keeps the restored model and the live quorum aligned.
-        started_ = true;
-        round_ = static_cast<std::size_t>(msg.env.round);
-        bb::set_phase(1, round_);  // training
-        bb::record(bb::EventType::kPhase, 1, id_, round_);
-        bb::set_peer(kRootId, 0, round_);
-        train_and_send();
-      } else if (msg.env.round != round_) {
-        // Resync echo after the root re-admitted us mid-run: adopt the round
-        // the root is collecting and rejoin its quorum from our current
-        // model.  If the echoed round is our own, the update we retried over
-        // the reconnect already covers it — nothing to redo.
-        round_ = static_cast<std::size_t>(msg.env.round);
-        train_and_send();
+      switch (uplink_.on_join_echo(msg, round_)) {
+        case hier::Uplink::EchoAction::kStart:
+          // Join echo: the root confirmed us and fixed the link codec.  The
+          // envelope round is the round the root is collecting — 0 for a
+          // fresh federation, later when this process restarted from a
+          // checkpoint mid-run (the reconnect resync path) or the root
+          // itself resumed.  Adopting it keeps the restored model and the
+          // live quorum aligned.
+          round_ = static_cast<std::size_t>(msg.env.round);
+          bb::set_phase(1, round_);  // training
+          bb::record(bb::EventType::kPhase, 1, id_, round_);
+          bb::set_peer(kRootId, 0, round_);
+          train_and_send();
+          break;
+        case hier::Uplink::EchoAction::kResync:
+          // Resync echo after the root re-admitted us mid-run: adopt the
+          // round the root is collecting and rejoin its quorum from our
+          // current model.
+          round_ = static_cast<std::size_t>(msg.env.round);
+          train_and_send();
+          break;
+        case hier::Uplink::EchoAction::kNone:
+          // Our own round echoed back: the update we retried over the
+          // reconnect already covers it — nothing to redo.
+          break;
       }
     } else if (member.event == Membership::Event::kShutdown) {
       finish(/*failed=*/false);
@@ -287,24 +298,13 @@ void WorkerNode::on_message(WireMessage& msg) {
       save_checkpoint();
     }
     if (round_ >= config_.rounds) {
-      Membership leave;
-      leave.event = Membership::Event::kLeave;
-      leave.device = id_;
-      leave.cluster = static_cast<std::uint32_t>(index_);
-      transport_.send({id_, kRootId, round_}, leave, kLeaderLinkClass);
+      uplink_.send_leave(round_);
       finish(/*failed=*/false);
     } else {
-      send_status_ping();  // refresh RTT/offset on live join traffic
+      uplink_.send_status_ping(round_);  // refresh RTT/offset on live traffic
       train_and_send();
     }
   }
-}
-
-void WorkerNode::send_status_ping() {
-  StatusRequest ping;
-  ping.probe = ++probe_seq_;
-  ping.wall_ns = obs::wall_clock_ns();
-  transport_.send({id_, kRootId, round_}, ping, kLeaderLinkClass);
 }
 
 void WorkerNode::reply_status(const StatusRequest& request, NodeId to) {
@@ -314,7 +314,9 @@ void WorkerNode::reply_status(const StatusRequest& request, NodeId to) {
   reply.node = id_;
   reply.probe = request.probe;
   reply.round = round_;
-  reply.phase = done_ ? 3 : (started_ ? 1 : 0);
+  reply.phase = done_ ? 3 : (uplink_.started() ? 1 : 0);
+  reply.level = 1;
+  reply.parent = kRootId;
   reply.wall_ns = obs::wall_clock_ns();
   reply.echo_wall_ns = request.wall_ns;
   StatusPeer up;
@@ -344,18 +346,7 @@ void WorkerNode::train_and_send() {
     obs::Span train_span(trace, "train", round_, id_);
     last_cluster_ = cluster_round(config_, trainers_, *rule_, current_);
   }
-  // Build the Payload variant in place and lend last_cluster_ to it for the
-  // duration of the send — the old copy-into-update staging was a full O(d)
-  // copy every round.
-  Payload payload(std::in_place_type<ModelUpdate>);
-  auto& update = std::get<ModelUpdate>(payload);
-  update.sender = id_;
-  update.level = 1;
-  update.samples = subtree_samples_;
-  update.params = std::move(last_cluster_);
-  const SendStatus status =
-      transport_.send({id_, kRootId, round_}, payload, kLeaderLinkClass);
-  last_cluster_ = std::move(update.params);
+  const SendStatus status = uplink_.send_update(last_cluster_, subtree_samples_, round_);
   if (status != SendStatus::kOk) finish(/*failed=*/true);
 }
 
@@ -467,7 +458,9 @@ RootNode::RootNode(FederationConfig config, Transport& transport,
       checkpoint_every_(checkpoint_every),
       data_(build_federation_data(config_)),
       rule_(agg::make_aggregator(config_.root_rule)),
-      tree_(topology::build_ecsm(2, config_.devices_per_worker, config_.workers)),
+      tree_(topology::build_ecsm(2, config_.devices_per_worker,
+                                 std::max<std::size_t>(config_.workers, 1))),
+      collector_(transport, root_collector_opts(config_)),
       global_(data_.init_params) {
   if (checkpoint_ != nullptr && resume) restore_checkpoint();
   transport_.register_node(kRootId, [this](WireMessage& msg) { on_message(msg); });
@@ -486,13 +479,23 @@ void RootNode::start() {
 }
 
 void RootNode::on_idle() {
-  if (phase_ == Phase::kDone || wall_now() < phase_deadline_) return;
+  if (phase_ == Phase::kDone) return;
+  // A grace window expiring releases the collector's aggregation hold; the
+  // quorum may already be complete (or gone entirely).
+  if (phase_ == Phase::kTraining && collector_.expire_grace(wall_now())) {
+    if (collector_.live().empty() && !collector_.grace_pending()) {
+      if (!result_.round_accuracy.empty()) result_.global_model = global_;
+      finish_now();
+      return;
+    }
+    maybe_aggregate();
+    if (phase_ == Phase::kDone) return;
+  }
+  if (wall_now() < phase_deadline_) return;
   if (phase_ == Phase::kJoining) {
     // Proceed with whoever showed up; nobody at all means nothing to run.
-    if (live_.empty()) {
-      phase_ = Phase::kDone;
-      bb::record(bb::EventType::kPhase, 3, kRootId, round_);
-      bb::set_phase(3, round_);
+    if (collector_.live().empty()) {
+      finish_now();
     } else {
       begin_training();
     }
@@ -500,16 +503,14 @@ void RootNode::on_idle() {
   }
   if (phase_ == Phase::kTraining) {
     // Round deadline: workers that never delivered are treated as lost.
-    const std::set<NodeId> live = live_;
+    const std::set<NodeId> live = collector_.live();
     for (const NodeId worker : live) {
-      if (!has_update(worker)) on_peer_loss(worker);
+      if (!collector_.has_update(worker)) on_peer_loss(worker);
     }
     return;
   }
   if (phase_ == Phase::kFinishing) {
-    phase_ = Phase::kDone;  // stragglers' loss
-    bb::record(bb::EventType::kPhase, 3, kRootId, round_);
-    bb::set_phase(3, round_);
+    finish_now();  // stragglers' loss
   }
 }
 
@@ -532,48 +533,17 @@ void RootNode::on_message(WireMessage& msg) {
     case MsgKind::kMembership: {
       const auto& member = std::get<Membership>(msg.payload);
       if (member.event == Membership::Event::kJoin && phase_ == Phase::kJoining) {
-        live_.insert(msg.env.from);
-        bb::record(bb::EventType::kChurn,
-                   static_cast<std::uint16_t>(bb::ChurnKind::kJoin), kRootId, round_,
-                   msg.env.from);
-        bb::set_peer(msg.env.from, 0, round_);
-        subtree_samples_[msg.env.from] = member.subtree_samples;
-        join_wall_ns_[msg.env.from] = member.wall_ns;
-        transport_.set_peer_tracing(msg.env.from, member.trace && config_.trace);
-        // Codec negotiation: the link gets what both sides support — the
-        // worker's advertisement bounded by our own config.  Quantization
-        // takes the coarser of the two, top-k the smaller k (only when both
-        // asked for it), delta only when both sides opted in (the rx side
-        // must be willing to hold the per-link base cache).
-        Codec chosen = member.codec;
-        chosen.quantize_bits = std::min(chosen.quantize_bits, config_.quantize_bits);
-        chosen.topk = (chosen.topk != 0 && config_.topk != 0)
-                          ? std::min(chosen.topk, config_.topk)
-                          : 0;
-        chosen.delta = chosen.delta && config_.delta;
-        transport_.set_peer_codec(msg.env.from, chosen);
-        if (live_.size() >= config_.workers) begin_training();
+        if (collector_.on_join(msg.env.from, member, round_)) begin_training();
       } else if (member.event == Membership::Event::kLeave) {
-        left_.insert(msg.env.from);
-        transport_.expect_close(msg.env.from);  // its EOF is not churn
-        bb::record(bb::EventType::kChurn,
-                   static_cast<std::uint16_t>(bb::ChurnKind::kLeave), kRootId, round_,
-                   msg.env.from);
-        bb::set_peer(msg.env.from, 2, round_);
+        collector_.on_leave(msg.env.from, round_);
         maybe_finish();
       }
       return;
     }
     case MsgKind::kModelUpdate: {
       if (phase_ != Phase::kTraining) return;
-      if (msg.env.round != round_) return;  // stale retransmission
-      if (live_.find(msg.env.from) == live_.end()) return;
-      if (arrived_.find(msg.env.from) != arrived_.end()) return;  // already folded
-      suspicion_[msg.env.from] *= 0.9;  // delivered on time: decay suspicion
       auto& update = std::get<ModelUpdate>(msg.payload);
-      pending_[msg.env.from] = std::move(update.params);
-      if (stream_ != nullptr) drain_pending_into_stream();
-      maybe_aggregate();
+      if (collector_.accept_update(msg.env, update, round_)) maybe_aggregate();
       return;
     }
     default:
@@ -582,11 +552,11 @@ void RootNode::on_message(WireMessage& msg) {
 }
 
 void RootNode::begin_training() {
-  result_.workers_joined = live_.size();
+  result_.workers_joined = collector_.live().size();
   phase_ = Phase::kTraining;
   arm_stream();
   phase_deadline_ = wall_now() + config_.round_timeout_s;
-  bb::record(bb::EventType::kPhase, 1, kRootId, round_, live_.size());
+  bb::record(bb::EventType::kPhase, 1, kRootId, round_, collector_.live().size());
   bb::set_phase(1, round_, deadline_ns(phase_deadline_));
   if (transport_.trace_sink() != nullptr) {
     transport_.trace_sink()->set_trace_id(obs::make_trace_id(config_.seed, round_));
@@ -594,126 +564,34 @@ void RootNode::begin_training() {
   // Echo every join: this is the workers' starting gun.  The envelope round
   // is round_ (0 for a fresh run, the restored counter after a root resume)
   // and the workers adopt it, so the whole federation restarts on one clock.
-  for (const NodeId worker : live_) {
-    Membership echo;
-    echo.event = Membership::Event::kJoin;
-    echo.device = kRootId;
-    echo.cluster = worker - 1;
-    echo.codec = transport_.codec_for(worker);
-    echo.trace = config_.trace;
-    echo.wall_ns = obs::wall_clock_ns();
-    echo.echo_wall_ns = join_wall_ns_[worker];  // the worker's join send stamp
-    transport_.send({kRootId, worker, round_}, echo, kLeaderLinkClass);
-  }
+  collector_.echo_joins(round_);
 }
 
 void RootNode::arm_stream() {
-  arrived_.clear();
-  stream_ = rule_->make_stream(data_.init_params.size());
-}
-
-bool RootNode::has_update(NodeId worker) const {
-  return pending_.find(worker) != pending_.end() ||
-         arrived_.find(worker) != arrived_.end();
-}
-
-void RootNode::drain_pending_into_stream() {
-  // The stream folds inputs in ascending node id — the exact order the
-  // materialized path's std::map iteration produces — so an update may only
-  // be fed once every smaller live id has been.  Out-of-order arrivals wait
-  // in pending_, which therefore holds at most the reorder gap, not the
-  // whole quorum.
-  for (;;) {
-    NodeId next = 0;
-    bool expecting = false;
-    for (const NodeId worker : live_) {
-      if (arrived_.find(worker) == arrived_.end()) {
-        next = worker;
-        expecting = true;
-        break;
-      }
-    }
-    if (!expecting) return;
-    const auto it = pending_.find(next);
-    if (it == pending_.end()) return;
-    stream_->begin_input();
-    stream_->add_chunk(0, it->second);
-    stream_->end_input();
-    arrived_.insert(next);
-    pending_.erase(it);
-  }
+  collector_.arm(rule_->make_stream(data_.init_params.size()));
 }
 
 bool RootNode::on_raw_frame(const FrameView& view) {
-  if (stream_ == nullptr || phase_ != Phase::kTraining) return false;
-  if (view.kind() != MsgKind::kModelUpdate) return false;
-  const Envelope env = view.env();
-  if (env.to != kRootId || env.round != round_) return false;
-  if (live_.find(env.from) == live_.end()) return false;
-  if (arrived_.find(env.from) != arrived_.end() ||
-      pending_.find(env.from) != pending_.end()) {
-    // Duplicate: decline so the decode path still applies the frame's delta
-    // rx-cache update before on_message ignores it.
-    return false;
-  }
-  // Zero-copy only for the next input in id order (see
-  // drain_pending_into_stream); anything else falls back to decode-and-
-  // buffer so the fold order never depends on arrival order.
-  for (const NodeId worker : live_) {
-    if (worker == env.from) break;
-    if (arrived_.find(worker) == arrived_.end()) return false;
-  }
-  const ModelUpdateHead head = peek_model_update(view);
-  if (head.param_count != data_.init_params.size()) return false;
-  CodecState* rx = transport_.codec_for(env.from).delta
-                       ? &transport_.rx_codec_state(env.from, kRootId)
-                       : nullptr;
-  const std::span<const float> params = model_update_params(view, rx, stream_scratch_);
-  suspicion_[env.from] *= 0.9;  // delivered on time: decay suspicion
-  stream_->begin_input();
-  stream_->add_chunk(0, params);
-  stream_->end_input();
-  arrived_.insert(env.from);
-  drain_pending_into_stream();
+  if (phase_ != Phase::kTraining) return false;
+  if (!collector_.accept_raw(view, round_, data_.init_params.size())) return false;
   maybe_aggregate();
   return true;
 }
 
 void RootNode::maybe_aggregate() {
-  if (phase_ != Phase::kTraining || live_.empty()) return;
-  std::size_t n_inputs = 0;
+  if (phase_ != Phase::kTraining || collector_.live().empty()) return;
+  // An evicted member inside its grace window holds the round open: its
+  // process may come back and land this round's update, which is what keeps
+  // a mid-run restart bitwise identical to an uninterrupted run.
+  if (collector_.grace_holds(wall_now())) return;
+  if (!collector_.quorum_complete()) return;
   // Opened once the quorum is confirmed; covers aggregate + evaluate +
   // broadcast.  Usually nested under the last update's net_recv span, whose
   // trace context carries this same round's trace id from the sender.
   std::optional<obs::Span> agg_span;
-  if (stream_ != nullptr) {
-    for (const NodeId worker : live_) {
-      if (arrived_.find(worker) == arrived_.end()) return;
-    }
-    agg_span.emplace(transport_.trace_sink(), "global_agg", round_, kRootId);
-    // Streaming fold complete: every live worker's update has been folded in
-    // ascending id order, so finish() is bitwise what aggregate() over the
-    // materialized vectors would have produced.
-    n_inputs = stream_->inputs();
-    rule_->set_reference(global_);
-    global_ = stream_->finish();
-    stream_.reset();
-    arrived_.clear();
-    pending_.clear();
-  } else {
-    if (pending_.size() < live_.size()) return;
-    agg_span.emplace(transport_.trace_sink(), "global_agg", round_, kRootId);
-    // Deterministic input order: pending_ is keyed by node id, and std::map
-    // iterates in ascending key order regardless of arrival order.  The
-    // vectors are moved, not copied — pending_ is dead after this.
-    std::vector<agg::ModelVec> inputs;
-    inputs.reserve(pending_.size());
-    for (auto& [worker, params] : pending_) inputs.push_back(std::move(params));
-    n_inputs = inputs.size();
-    rule_->set_reference(global_);
-    global_ = rule_->aggregate(inputs);
-    pending_.clear();
-  }
+  agg_span.emplace(transport_.trace_sink(), "global_agg", round_, kRootId);
+  std::size_t n_inputs = 0;
+  global_ = collector_.finish(*rule_, global_, n_inputs);
 
   const double accuracy =
       core::evaluate_params(data_.prototype, global_, data_.test_set);
@@ -723,7 +601,7 @@ void RootNode::maybe_aggregate() {
   if (recorder_ != nullptr) {
     obs::RoundRecord& rec = recorder_->begin_round("dist_root", round_);
     rec.set("accuracy", accuracy);
-    rec.set("live_workers", static_cast<double>(live_.size()));
+    rec.set("live_workers", static_cast<double>(collector_.live().size()));
     rec.set("inputs", static_cast<double>(n_inputs));
   }
 
@@ -737,7 +615,7 @@ void RootNode::maybe_aggregate() {
   partial.alpha = static_cast<float>(config_.alpha);
   partial.flag_fraction = 1.0;  // the global model covers all of D_G
   partial.params = std::move(global_);
-  for (const NodeId worker : live_) {
+  for (const NodeId worker : collector_.live()) {
     transport_.send({kRootId, worker, round_}, payload, kLeaderLinkClass);
   }
   global_ = std::move(partial.params);
@@ -770,43 +648,38 @@ void RootNode::maybe_aggregate() {
 
 void RootNode::maybe_finish() {
   if (phase_ != Phase::kFinishing) return;
-  for (const NodeId worker : live_) {
-    if (left_.find(worker) == left_.end()) return;
+  for (const NodeId worker : collector_.live()) {
+    if (collector_.left().find(worker) == collector_.left().end()) return;
   }
+  finish_now();
+}
+
+void RootNode::finish_now() {
   phase_ = Phase::kDone;
   bb::record(bb::EventType::kPhase, 3, kRootId, round_);
   bb::set_phase(3, round_);
 }
 
 void RootNode::on_peer_loss(NodeId peer) {
-  if (phase_ == Phase::kDone || live_.find(peer) == live_.end()) return;
-  // A worker that already said goodbye closing its socket is not churn.
-  if (left_.find(peer) != left_.end()) return;
-  live_.erase(peer);
-  pending_.erase(peer);
+  if (phase_ == Phase::kDone) return;
+  if (!collector_.evict(peer, round_, wall_now())) return;
   ++result_.workers_lost;
-  suspicion_[peer] = 0.5 * suspicion_[peer] + 0.5;  // EWMA toward 1 on a loss
-  bb::record(bb::EventType::kChurn,
-             static_cast<std::uint16_t>(bb::ChurnKind::kLoss), kRootId, round_, peer);
-  bb::set_peer(peer, 1, round_);
   apply_churn(peer);
   if (recorder_ != nullptr) {
     obs::RoundRecord& rec = recorder_->begin_round("dist_churn", round_);
     rec.set("worker", static_cast<double>(peer));
-    rec.set("live_workers", static_cast<double>(live_.size()));
+    rec.set("live_workers", static_cast<double>(collector_.live().size()));
   }
   if (phase_ == Phase::kTraining) {
-    if (live_.empty()) {
+    if (collector_.live().empty() && !collector_.grace_pending()) {
       // Nothing can aggregate any more: publish whatever the last completed
       // round produced (nothing, for a fresh run that never aggregated).
       if (!result_.round_accuracy.empty()) result_.global_model = global_;
-      phase_ = Phase::kDone;
-      bb::record(bb::EventType::kPhase, 3, kRootId, round_);
-      bb::set_phase(3, round_);
+      finish_now();
     } else {
       // The loss may have closed a reorder gap as well as completed the
       // quorum.
-      if (stream_ != nullptr) drain_pending_into_stream();
+      if (collector_.streaming()) collector_.drain_into_stream();
       maybe_aggregate();
     }
   } else if (phase_ == Phase::kFinishing) {
@@ -819,39 +692,26 @@ void RootNode::on_peer_reconnect(NodeId peer) {
   // re-admit the member the loss path evicted.  Only mid-training, and only
   // for a worker that joined this run and has not said goodbye.
   if (phase_ != Phase::kTraining) return;
-  if (live_.find(peer) != live_.end() || left_.find(peer) != left_.end()) return;
-  if (subtree_samples_.find(peer) == subtree_samples_.end()) return;
-  live_.insert(peer);
+  if (!collector_.readmit(peer, round_)) return;
   ++result_.workers_rejoined;
-  bb::record(bb::EventType::kChurn,
-             static_cast<std::uint16_t>(bb::ChurnKind::kRejoin), kRootId, round_, peer);
-  bb::set_peer(peer, 0, round_);
   apply_rejoin(peer);
   if (recorder_ != nullptr) {
     obs::RoundRecord& rec = recorder_->begin_round("dist_rejoin", round_);
     rec.set("worker", static_cast<double>(peer));
-    rec.set("live_workers", static_cast<double>(live_.size()));
+    rec.set("live_workers", static_cast<double>(collector_.live().size()));
   }
   // Resync echo: the envelope round is the round the root is collecting, so
   // the worker knows which quorum its next update must land in.  This is
   // sent BEFORE the reconnect's buffered frames are delivered — if they
   // carry the worker's retried update for this round, it is accepted below
   // and the worker (seeing its own round echoed) does not retrain.
-  Membership echo;
-  echo.event = Membership::Event::kJoin;
-  echo.device = kRootId;
-  echo.cluster = peer - 1;
-  echo.codec = transport_.codec_for(peer);
-  echo.trace = config_.trace;
-  echo.wall_ns = obs::wall_clock_ns();
-  echo.echo_wall_ns = join_wall_ns_[peer];
-  transport_.send({kRootId, peer, round_}, echo, kLeaderLinkClass);
+  collector_.echo_join(peer, round_);
 }
 
 void RootNode::ping_workers() {
   StatusRequest ping;
   ping.probe = static_cast<std::uint32_t>(round_);
-  for (const NodeId worker : live_) {
+  for (const NodeId worker : collector_.live()) {
     ping.wall_ns = obs::wall_clock_ns();  // per-send stamp: each link's own t0
     transport_.send({kRootId, worker, round_}, ping, kLeaderLinkClass);
   }
@@ -865,22 +725,12 @@ void RootNode::reply_status(const StatusRequest& request, NodeId to) {
   reply.probe = request.probe;
   reply.round = round_;
   reply.phase = static_cast<std::uint8_t>(phase_);
-  reply.live_workers = static_cast<std::uint32_t>(live_.size());
+  reply.live_workers = static_cast<std::uint32_t>(collector_.live().size());
+  reply.level = 0;
+  reply.parent = kStatusNoParent;
   reply.wall_ns = obs::wall_clock_ns();
   reply.echo_wall_ns = request.wall_ns;
-  // One row per member that ever joined, live or not — the probe sees churn.
-  for (const auto& [worker, samples] : subtree_samples_) {
-    StatusPeer peer;
-    peer.node = worker;
-    peer.state = live_.count(worker) != 0 ? 0 : (left_.count(worker) != 0 ? 2 : 1);
-    const LinkTelemetry link = transport_.peer_telemetry(worker);
-    peer.rtt_ms = static_cast<float>(link.rtt_ms);
-    const auto sus = suspicion_.find(worker);
-    peer.suspicion = sus == suspicion_.end() ? 0.0 : sus->second;
-    peer.bytes_sent = link.bytes_sent;
-    peer.bytes_received = link.bytes_received;
-    reply.peers.push_back(peer);
-  }
+  collector_.append_status_peers(reply);
   if (request.detail != 0 && obs::enabled()) {
     reply.metrics = obs::to_prometheus(obs::global_registry().scrape());
   }
@@ -888,6 +738,9 @@ void RootNode::reply_status(const StatusRequest& request, NodeId to) {
 }
 
 void RootNode::apply_churn(NodeId worker) {
+  // Tree mode: the children are interior aggregators, not bottom clusters —
+  // the 2-level mirror does not apply.
+  if (!config_.tree.empty()) return;
   // Mirror the loss on the topology: the crashed worker is the leader of
   // bottom cluster (worker-1); with_device_left elects its successor and
   // re-derives the upper level, the paper's Assumption 3 leave path.
@@ -928,8 +781,9 @@ void RootNode::save_checkpoint() {
   }
   {
     ckpt::PayloadWriter w;
-    w.u64(subtree_samples_.size());
-    for (const auto& [worker, samples] : subtree_samples_) {
+    const auto& joined = collector_.joined();
+    w.u64(joined.size());
+    for (const auto& [worker, samples] : joined) {
       w.u64(worker);
       w.u64(samples);
     }
@@ -974,7 +828,7 @@ void RootNode::restore_checkpoint() {
       samples[worker] = r.u64();
     }
     r.expect_done();
-    subtree_samples_ = std::move(samples);
+    collector_.restore_joined(std::move(samples));
   }
   if (!result_.round_accuracy.empty()) {
     result_.final_accuracy = result_.round_accuracy.back();
@@ -989,6 +843,7 @@ void RootNode::restore_checkpoint() {
 }
 
 void RootNode::apply_rejoin(NodeId worker) {
+  if (!config_.tree.empty()) return;  // see apply_churn
   // Inverse of apply_churn: the returning leader re-enters its old bottom
   // cluster via the paper's Assumption 3 join path.
   const std::size_t cluster_index = static_cast<std::size_t>(worker - 1);

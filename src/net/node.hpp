@@ -1,5 +1,5 @@
 #pragma once
-// Federation node logic over the transport layer (DESIGN.md §9.3).
+// Federation node logic over the transport layer (DESIGN.md §9.3, §14).
 //
 // A two-level ABD-HFL deployment as communicating nodes: one RootNode
 // (global aggregator) and W WorkerNodes (cluster leaders, each training a
@@ -7,6 +7,12 @@
 // owning process pumps its Transport and the handlers advance the protocol —
 // so the same classes run single-process over a LoopbackTransport or as
 // separate OS processes over TcpTransport, exchanging byte-identical frames.
+//
+// The protocol mechanics both classes share with the N-level AggregatorNode
+// (src/net/hier) live in the hier::Collector / hier::Uplink roles: RootNode
+// is a Collector plus evaluation, WorkerNode is an Uplink plus training, and
+// an interior aggregator is both at once.  The nodes here keep only what is
+// specific to them — phase machines, JSONL records, results, checkpoints.
 //
 // Protocol per run:
 //   worker -> root   Membership kJoin (subtree samples + advertised codec)
@@ -31,7 +37,10 @@
 // send-retry machinery re-establishes the link, the transport's
 // peer-reconnect event lets the root re-admit the member (a "dist_rejoin"
 // line) and answer with a resync join echo whose envelope round tells the
-// worker which quorum to land its next update in.
+// worker which quorum to land its next update in.  With rejoin_grace_s set,
+// the collector additionally HOLDS the round open for an evicted member
+// until the grace window passes — the bitwise-identical mid-tier restart
+// path (DESIGN.md §14.4).
 // Determinism: every process rebuilds identical data and
 // models from FederationConfig::seed (build_federation_data), and device
 // RNGs are derived from the global device index, so a loopback run is
@@ -50,6 +59,7 @@
 #include "agg/aggregator.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
+#include "net/hier/roles.hpp"
 #include "net/transport.hpp"
 #include "nn/mlp.hpp"
 #include "topology/tree.hpp"
@@ -84,6 +94,23 @@ struct FederationConfig {
   double join_timeout_s = 20.0;       // root's wait for worker joins
   double round_timeout_s = 60.0;      // root's wait for a round's updates
   bool trace = false;                 // stamp trace contexts onto frames
+  // N-level tree spec "A,B,...,V" (topology::parse_tree_spec): process
+  // levels below the root, the last entry counting virtual leaf devices per
+  // leaf-head process.  Empty = the classic 2-level federation.  When set,
+  // build_federation_data derives the SAME shard layout as a flat 2-level
+  // run with workers = leaf heads and devices_per_worker = leaves per head,
+  // so every process of the tree — and the transport-free reference — holds
+  // identical data.
+  std::string tree;
+  // Grace window (seconds) a collector holds a round open for an evicted
+  // child before aggregating without it.  0 = aggregate as soon as the
+  // surviving quorum is complete (the historical behaviour).
+  double rejoin_grace_s = 0.0;
+  // Idle poll tick for pump loops (--poll-interval).  Under the epoll
+  // reactor this is only the UPPER BOUND on how long a quiet poll() sleeps —
+  // readiness wakes it immediately — so it trades idle wakeup rate against
+  // on_idle() deadline granularity, not against latency.
+  double poll_interval_s = 0.05;
 };
 
 /// Parse a --compress spec — a comma list of "topk:K" (sparsify updates to
@@ -92,6 +119,10 @@ struct FederationConfig {
 /// malformed spec, leaving `config` untouched.  An empty spec is valid and
 /// changes nothing.
 [[nodiscard]] bool apply_compress_spec(const std::string& spec, FederationConfig& config);
+
+/// The codec this node advertises / negotiates against, straight from the
+/// config's compression knobs.
+[[nodiscard]] Codec codec_from_config(const FederationConfig& config) noexcept;
 
 inline constexpr NodeId kRootId = 0;
 [[nodiscard]] inline NodeId worker_node_id(std::size_t worker_index) noexcept {
@@ -180,9 +211,6 @@ class WorkerNode {
   void finish(bool failed);
   void save_checkpoint();
   void restore_checkpoint();
-  /// Ping the root with a status probe; the echoed timestamps in the reply
-  /// refresh this worker's RTT and clock-offset estimates every round.
-  void send_status_ping();
   void reply_status(const StatusRequest& request, NodeId to);
 
   FederationConfig config_;
@@ -192,6 +220,7 @@ class WorkerNode {
   obs::Recorder* recorder_;
   ckpt::Store* checkpoint_;
   std::size_t checkpoint_every_;
+  hier::Uplink uplink_;  // the up-facing protocol mechanics toward the root
   std::vector<core::LocalTrainer> trainers_;
   std::unique_ptr<agg::Aggregator> rule_;
   std::uint64_t subtree_samples_ = 0;
@@ -199,8 +228,6 @@ class WorkerNode {
   std::vector<float> last_cluster_;  // this worker's latest BRA output
   std::size_t round_ = 0;
   std::size_t resume_round_ = 0;
-  std::uint32_t probe_seq_ = 0;  // status-probe sequence numbers
-  bool started_ = false;  // join echoed, training underway
   bool done_ = false;
   bool failed_ = false;
 };
@@ -223,6 +250,10 @@ class RootNode {
   /// is restored in the constructor: the root starts a fresh join phase (its
   /// sockets died with the old process) but the join echo carries the
   /// restored round, so resuming workers slot into the right quorum.
+  /// With config.tree set the root sits on top of an N-level tree: it
+  /// expects branching[0] aggregator children instead of config.workers
+  /// workers, and the 2-level topology mirror is skipped (the children are
+  /// interior processes, not bottom clusters).
   RootNode(FederationConfig config, Transport& transport,
            obs::Recorder* recorder = nullptr, ckpt::Store* checkpoint = nullptr,
            std::size_t checkpoint_every = 1, bool resume = false);
@@ -240,12 +271,8 @@ class RootNode {
 
   void on_message(WireMessage& msg);
   /// Zero-copy fast path: a complete ModelUpdate frame destined for us,
-  /// offered before decode.  When the round's rule streams (stream_ != null)
-  /// and the frame passes the same guards on_message applies, its parameter
-  /// chunk is fed straight from the rx ring into the accumulator and the
-  /// frame is consumed — no WireMessage, no materialized input vector.
-  /// Returns false to fall back to the decode path (which keeps delta rx
-  /// caches in sync for frames this node ignores).
+  /// offered before decode; the collector feeds its parameter chunk straight
+  /// from the rx ring into the streaming accumulator when the guards pass.
   bool on_raw_frame(const FrameView& view);
   void on_peer_loss(NodeId peer);
   void on_peer_reconnect(NodeId peer);
@@ -253,13 +280,9 @@ class RootNode {
   /// (Re)arm the streaming accumulator for the round about to be collected;
   /// no-op (materialize-first) when the root rule cannot stream.
   void arm_stream();
-  /// Fold buffered out-of-order updates into the stream while the next
-  /// expected node id (ascending over live_) is available.
-  void drain_pending_into_stream();
-  /// Whether `worker` already delivered this round's update.
-  [[nodiscard]] bool has_update(NodeId worker) const;
   void maybe_aggregate();  // fires once every live worker's update arrived
   void maybe_finish();
+  void finish_now();  // kDone transition + blackbox bookkeeping
   void apply_churn(NodeId worker);
   void apply_rejoin(NodeId worker);
   void save_checkpoint();
@@ -280,24 +303,8 @@ class RootNode {
   FederationData data_;
   std::unique_ptr<agg::Aggregator> rule_;
   topology::HflTree tree_;  // mirrored topology the churn events update
+  hier::Collector collector_;  // the down-facing protocol mechanics
   Phase phase_ = Phase::kJoining;
-  std::set<NodeId> live_;
-  std::set<NodeId> left_;
-  std::map<NodeId, std::uint64_t> subtree_samples_;
-  std::map<NodeId, std::int64_t> join_wall_ns_;  // echoed back in the join echo
-  // Per-worker suspicion EWMA: bumped on peer loss, decayed on every accepted
-  // update — the "is this member flaky" number a status probe reports.
-  std::map<NodeId, double> suspicion_;
-  std::map<NodeId, std::vector<float>> pending_;  // current round (materialized)
-  // Streaming collection (DESIGN.md §11): when the root rule is
-  // streaming-safe, each round's updates are folded into `stream_` as their
-  // frames arrive and `arrived_` replaces pending_ as the quorum ledger —
-  // root memory stays O(d) instead of O(live × d).  A worker lost after
-  // contributing cannot be un-added (its input stays in the fold; the
-  // materialized path would have dropped it), the one documented divergence.
-  std::unique_ptr<agg::StreamAccumulator> stream_;
-  std::set<NodeId> arrived_;
-  std::vector<float> stream_scratch_;  // decode target for transformed frames
   std::vector<float> global_;
   std::size_t round_ = 0;
   double phase_deadline_ = 0.0;  // seconds_since_epoch()-style wall clock
@@ -306,7 +313,8 @@ class RootNode {
 
 /// Pump `transport` until `done()` returns true (it may advance node state,
 /// e.g. call on_idle) or `deadline_s` of wall clock elapses.  Returns
-/// whether `done` fired.
+/// whether `done` fired.  `poll_s` is FederationConfig::poll_interval_s —
+/// the idle tick, not a latency floor (see that field's comment).
 bool pump_until(Transport& transport, const std::function<bool()>& done,
                 double deadline_s, double poll_s = 0.05);
 

@@ -1,0 +1,63 @@
+#include "net/reactor.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace abdhfl::net {
+
+namespace {
+constexpr std::size_t kMinEventBatch = 64;
+}
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_create1");
+  }
+  events_.resize(kMinEventBatch);
+}
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Reactor::add(int fd) {
+  if (fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered; HUP/ERR are always reported
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0) {
+    ++watched_;
+    return;
+  }
+  if (errno == EEXIST) return;  // idempotent re-add
+  throw std::system_error(errno, std::generic_category(), "epoll_ctl(ADD)");
+}
+
+void Reactor::remove(int fd) {
+  if (fd < 0) return;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) == 0) {
+    if (watched_ > 0) --watched_;
+  }
+  // ENOENT/EBADF: the fd was never added or is already closed (closing an
+  // fd drops it from the interest set); either way there is nothing to do.
+}
+
+std::size_t Reactor::wait(int timeout_ms, std::vector<int>& ready) {
+  ready.clear();
+  // Size the batch to the interest set so one wait() never silently splits
+  // a fully-ready fleet across ticks (level triggering would still deliver
+  // the remainder next tick, but a right-sized buffer keeps a broadcast
+  // round to one syscall).
+  if (events_.size() < watched_) events_.resize(watched_);
+  const int n = ::epoll_wait(epoll_fd_, events_.data(),
+                             static_cast<int>(events_.size()), timeout_ms);
+  if (n <= 0) return 0;  // timeout, or EINTR treated as one
+  ready.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ready.push_back(events_[i].data.fd);
+  return ready.size();
+}
+
+}  // namespace abdhfl::net

@@ -1,0 +1,61 @@
+#pragma once
+// Level-triggered epoll readiness reactor (DESIGN.md §14).
+//
+// The original TcpTransport::poll rebuilt a pollfd vector over the listen
+// socket, every peer link, and every half-identified inbound connection on
+// each tick — O(peers) of scan and copy per call, which is fine at 3 links
+// and ruinous at the hundreds an AggregatorNode holds.  The Reactor keeps
+// the interest set inside the kernel instead: descriptors are registered
+// once at the point their lifetime starts (listen/dial/accept) and removed
+// at the point it ends (drop/close), and wait() returns only the ready
+// subset, so a tick's cost scales with traffic rather than fan-out.
+//
+// Level-triggered on purpose: the transport's handlers may legitimately
+// leave bytes unread (a reentrant ring reset, a deferred frame), and under
+// level triggering an unconsumed readable descriptor simply reports again
+// on the next wait() — no starvation bookkeeping, identical semantics to
+// the ::poll loop it replaces.  Events carry the raw fd; the owner maps fd
+// back to its own state and is expected to tolerate stale entries (an fd
+// closed by a reentrant handler between wait() and dispatch), exactly as
+// the old loop tolerated a peer entry whose fd was replaced mid-poll.
+
+#include <sys/epoll.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace abdhfl::net {
+
+class Reactor {
+ public:
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Register `fd` for level-triggered readability.  Registering an fd that
+  /// is already present is a no-op (the interest set is idempotent so owners
+  /// can route every lifecycle path through here without double-add checks).
+  void add(int fd);
+
+  /// Forget `fd`.  Safe on descriptors that were never added or are already
+  /// closed — removal failures are ignored, since a closed fd has left the
+  /// kernel's interest set on its own.
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (0 = return immediately, <0 = wait forever)
+  /// and fill `ready` with the readable/errored descriptors.  Returns the
+  /// number of ready descriptors; 0 on timeout.  EINTR reads as a timeout
+  /// so callers keep their own deadline loops.
+  std::size_t wait(int timeout_ms, std::vector<int>& ready);
+
+  [[nodiscard]] std::size_t watched() const noexcept { return watched_; }
+
+ private:
+  int epoll_fd_ = -1;
+  std::size_t watched_ = 0;
+  std::vector<epoll_event> events_;  // reused readiness buffer
+};
+
+}  // namespace abdhfl::net

@@ -86,10 +86,22 @@ std::uint16_t TcpTransport::listen(std::uint16_t port) {
   }
   port_ = ntohs(addr.sin_port);
   make_nonblocking(listen_fd_);
+  reactor_.add(listen_fd_);
   return port_;
 }
 
-bool TcpTransport::dial(Peer& peer) {
+void TcpTransport::track_peer_fd(NodeId id, int fd) {
+  reactor_.add(fd);
+  fd_peer_[fd] = id;
+}
+
+void TcpTransport::untrack_fd(int fd) {
+  if (fd < 0) return;
+  reactor_.remove(fd);
+  fd_peer_.erase(fd);
+}
+
+bool TcpTransport::dial(NodeId id, Peer& peer) {
   sockaddr_in addr{};
   if (!resolve(peer.host, peer.port, addr)) return false;
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
@@ -127,6 +139,7 @@ bool TcpTransport::dial(Peer& peer) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       peer.fd = fd;
+      track_peer_fd(id, fd);
       return true;
     }
     ::close(fd);
@@ -139,13 +152,14 @@ bool TcpTransport::connect_peer(NodeId peer_id, const std::string& host, std::ui
   peer.host = host;
   peer.port = port;
   if (peer.fd >= 0) {
+    untrack_fd(peer.fd);
     ::close(peer.fd);
     peer.fd = -1;
   }
   peer.lost = false;
   peer.rx.clear();
   reset_codec_state(peer_id);  // fresh link: no delta bases on either side
-  if (dial(peer)) return true;
+  if (dial(peer_id, peer)) return true;
   drop_peer(peer_id, peer, /*report=*/true);
   return false;
 }
@@ -165,6 +179,19 @@ void TcpTransport::expect_close(NodeId peer_id) {
 void TcpTransport::mark_transient(NodeId peer_id) {
   const auto it = peers_.find(peer_id);
   if (it != peers_.end()) it->second.transient = true;
+}
+
+bool TcpTransport::revive_peer(NodeId peer_id) {
+  const auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return false;
+  Peer& peer = it->second;
+  if (!peer.lost && peer.fd >= 0) return true;
+  if (peer.host.empty()) return false;  // inbound link: nothing to redial
+  // Copies: connect_peer writes through peers_[peer_id] and must not read
+  // the fields it is overwriting.
+  const std::string host = peer.host;
+  const std::uint16_t port = peer.port;
+  return connect_peer(peer_id, host, port);
 }
 
 void TcpTransport::register_node(NodeId id, MessageHandler handler) {
@@ -202,7 +229,7 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
 
   while (true) {
     if (peer.fd < 0) {
-      if (peer.host.empty() || !dial(peer)) {
+      if (peer.host.empty() || !dial(env.to, peer)) {
         drop_peer(env.to, peer, /*report=*/true);
         return SendStatus::kPeerLost;
       }
@@ -270,6 +297,7 @@ SendStatus TcpTransport::send(const Envelope& env, const Payload& payload,
           env.from, env.round, env.to, frame_size);
       return SendStatus::kOk;
     }
+    untrack_fd(peer.fd);
     ::close(peer.fd);
     peer.fd = -1;
     peer.rx.clear();
@@ -288,41 +316,54 @@ std::size_t TcpTransport::poll(double timeout_s) {
   // Prune pending connections that died outside this call.
   std::erase_if(pending_, [](const PendingConn& conn) { return conn.fd < 0; });
 
-  std::vector<pollfd> fds;
-  std::vector<NodeId> peer_ids;  // parallel to the peer entries in `fds`
-  if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
-  const std::size_t first_peer = fds.size();
-  for (auto& [id, peer] : peers_) {
-    if (peer.fd < 0) continue;
-    fds.push_back({peer.fd, POLLIN, 0});
-    peer_ids.push_back(id);
-  }
-  const std::size_t first_pending = fds.size();
-  for (const PendingConn& conn : pending_) fds.push_back({conn.fd, POLLIN, 0});
-
   const int timeout_ms =
       timeout_s <= 0.0 ? 0 : static_cast<int>(timeout_s * 1000.0);
-  if (fds.empty()) {
-    if (timeout_ms > 0) ::poll(nullptr, 0, timeout_ms);
-    return 0;
-  }
-  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (ready <= 0) return 0;
+  // The kernel already holds the interest set; with nothing registered
+  // epoll_wait degenerates to a plain sleep, matching the old empty-set
+  // ::poll.  Only the ready descriptors come back — no O(peers) scan.
+  if (reactor_.wait(timeout_ms, ready_fds_) == 0) return 0;
 
-  std::size_t delivered = 0;
-  if (listen_fd_ >= 0 && (fds[0].revents & POLLIN) != 0) accept_pending();
-  // Pending first: identifying a reconnecting peer before reading its old fd
-  // keeps the "replaced link" path deterministic.
-  for (std::size_t i = first_pending; i < fds.size(); ++i) {
-    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      delivered += read_pending(i - first_pending);
+  // Partition the ready set to preserve the dispatch order the protocol
+  // depends on: accept first, then pending conns (a reconnecting peer must
+  // re-identify before its stale link is read), then peers in ascending
+  // node id — the same order the old peers_-map walk produced, which the
+  // collectors' id-ordered streaming fold observes within a tick.
+  bool listen_ready = false;
+  ready_pending_.clear();
+  ready_peers_.clear();
+  for (const int fd : ready_fds_) {
+    if (listen_fd_ >= 0 && fd == listen_fd_) {
+      listen_ready = true;
+      continue;
+    }
+    const auto it = fd_peer_.find(fd);
+    if (it != fd_peer_.end()) {
+      ready_peers_.emplace_back(it->second, fd);
+    } else {
+      ready_pending_.push_back(fd);  // validated against pending_ below
     }
   }
+  std::sort(ready_peers_.begin(), ready_peers_.end());
+
+  std::size_t delivered = 0;
+  if (listen_ready) accept_pending();
+  // Index walk over pending_: read_pending never erases entries (it only
+  // blanks fds), so indices stay stable, and walking in insertion order
+  // keeps multi-conn identification deterministic whatever order epoll
+  // reported readiness in.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const int fd = pending_[i].fd;
+    if (fd < 0) continue;
+    if (std::find(ready_pending_.begin(), ready_pending_.end(), fd) ==
+        ready_pending_.end()) {
+      continue;
+    }
+    delivered += read_pending(i);
+  }
   std::erase_if(pending_, [](const PendingConn& conn) { return conn.fd < 0; });
-  for (std::size_t i = first_peer; i < first_pending; ++i) {
-    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-    const auto it = peers_.find(peer_ids[i - first_peer]);
-    if (it == peers_.end() || it->second.fd != fds[i].fd) continue;  // replaced mid-poll
+  for (const auto& [id, fd] : ready_peers_) {
+    const auto it = peers_.find(id);
+    if (it == peers_.end() || it->second.fd != fd) continue;  // replaced mid-poll
     delivered += read_peer(it->first, it->second);
   }
   return delivered;
@@ -336,6 +377,7 @@ void TcpTransport::accept_pending() {
       break;  // EAGAIN (drained) or a transient error; retry next poll
     }
     tune_stream(fd);
+    reactor_.add(fd);
     pending_.push_back({fd, {}});
   }
 }
@@ -376,12 +418,14 @@ std::size_t TcpTransport::read_pending(std::size_t index) {
       continue;
     }
     if (n == 0) {  // closed before identifying itself: nothing to report
+      reactor_.remove(conn.fd);
       ::close(conn.fd);
       conn.fd = -1;
       return 0;
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    reactor_.remove(conn.fd);
     ::close(conn.fd);
     conn.fd = -1;
     return 0;
@@ -397,6 +441,7 @@ std::size_t TcpTransport::read_pending(std::size_t index) {
     first = FrameView::parse({conn.rx.data(), total});
   } catch (const WireError&) {
     note_decode_error();
+    reactor_.remove(conn.fd);
     ::close(conn.fd);
     conn.fd = -1;
     return 0;
@@ -405,8 +450,12 @@ std::size_t TcpTransport::read_pending(std::size_t index) {
   const NodeId from = first.env().from;
   const bool known = peers_.find(from) != peers_.end();
   Peer& peer = peers_[from];
-  if (peer.fd >= 0) ::close(peer.fd);  // reconnect replaces the stale link
+  if (peer.fd >= 0) {  // reconnect replaces the stale link
+    untrack_fd(peer.fd);
+    ::close(peer.fd);
+  }
   peer.fd = conn.fd;
+  fd_peer_[conn.fd] = from;  // already in the reactor since accept
   peer.lost = false;
   peer.rx.clear();
   const auto room = peer.rx.writable(conn.rx.size());
@@ -474,6 +523,7 @@ std::size_t TcpTransport::drain_ring(Peer& peer, bool& framing_ok) {
 
 void TcpTransport::drop_peer(NodeId id, Peer& peer, bool report) {
   if (peer.fd >= 0) {
+    untrack_fd(peer.fd);
     ::close(peer.fd);
     peer.fd = -1;
   }
@@ -495,22 +545,26 @@ std::uint64_t TcpTransport::backlog_bytes(std::uint32_t link_class) const {
 
 void TcpTransport::close() {
   if (listen_fd_ >= 0) {
+    reactor_.remove(listen_fd_);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
   for (auto& [id, peer] : peers_) {
     if (peer.fd >= 0) {
+      untrack_fd(peer.fd);
       ::close(peer.fd);
       peer.fd = -1;
     }
   }
   for (PendingConn& conn : pending_) {
     if (conn.fd >= 0) {
+      reactor_.remove(conn.fd);
       ::close(conn.fd);
       conn.fd = -1;
     }
   }
   pending_.clear();
+  fd_peer_.clear();
 }
 
 }  // namespace abdhfl::net

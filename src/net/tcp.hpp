@@ -8,7 +8,9 @@
 // separate handshake beyond the codec's own framing.
 //
 // The transport is poll-driven and single-threaded like every other backend:
-// poll() multiplexes the listen socket and all peer links with ::poll,
+// poll() multiplexes the listen socket and all peer links through a
+// level-triggered epoll Reactor (net/reactor.hpp) — the kernel owns the
+// interest set, so a tick costs O(ready) rather than O(peers) — then
 // accepts, reads into per-peer rx rings, reassembles frames via
 // peek_frame_size, and runs handlers on the calling thread.  The receive hot
 // path is zero-copy: recv() lands directly in the preallocated RxRing and
@@ -39,8 +41,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "net/reactor.hpp"
 #include "net/rx_ring.hpp"
 #include "net/transport.hpp"
 
@@ -70,6 +74,9 @@ class TcpTransport : public Transport {
   void register_node(NodeId id, MessageHandler handler) override;
   void expect_close(NodeId peer) override;
   void mark_transient(NodeId peer) override;
+  /// Redial a lost peer we originally dialed (a restarted parent listening
+  /// on the same address).  True when the link is connected again.
+  bool revive_peer(NodeId peer) override;
   SendStatus send(const Envelope& env, const Payload& payload,
                   std::uint32_t link_class = 0) override;
   std::size_t poll(double timeout_s) override;
@@ -96,7 +103,7 @@ class TcpTransport : public Transport {
     bool transient = false;  // observer link: EOF is expected, not churn
   };
 
-  [[nodiscard]] bool dial(Peer& peer);  // one connect pass with retries
+  [[nodiscard]] bool dial(NodeId id, Peer& peer);  // one connect pass with retries
   void drop_peer(NodeId id, Peer& peer, bool report);
   /// Drain readable bytes; returns frames delivered, marks `lost` on EOF or
   /// a framing error.
@@ -110,12 +117,27 @@ class TcpTransport : public Transport {
   void accept_pending();
   std::size_t read_pending(std::size_t index);
 
+  /// Map a live peer socket into fd_peer_ and the reactor's interest set;
+  /// untrack_fd undoes both (call it BEFORE ::close).
+  void track_peer_fd(NodeId id, int fd);
+  void untrack_fd(int fd);
+
   NodeId self_;
   RetryPolicy policy_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   MessageHandler handler_;
   std::map<NodeId, Peer> peers_;
+
+  // Readiness reactor: the kernel holds the interest set (registered at
+  // listen/dial/accept, dropped at close), so poll() touches only ready
+  // descriptors instead of rebuilding an O(peers) pollfd vector per tick.
+  Reactor reactor_;
+  std::map<int, NodeId> fd_peer_;  // live peer sockets only (not pending)
+  // Reused per-tick scratch so a steady-state poll() allocates nothing.
+  std::vector<int> ready_fds_;
+  std::vector<int> ready_pending_;
+  std::vector<std::pair<NodeId, int>> ready_peers_;
 
   // Reused encode staging: capacity persists across sends, so steady-state
   // encode is allocation-free.  Safe as a member because handlers never run

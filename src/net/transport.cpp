@@ -243,6 +243,10 @@ void Transport::record_traffic(obs::Recorder& recorder, std::uint64_t round) con
     rec.set("rtt_ms_mean", s.rtt_ms_mean);
     rec.set("rtt_samples", static_cast<double>(s.rtt_samples));
     rec.set("queue_depth", static_cast<double>(backlog_bytes(link_class)));
+    if (has_identity_) {
+      rec.set("level", static_cast<double>(identity_level_));
+      rec.set("parent_id", static_cast<double>(identity_parent_));
+    }
   }
   obs::RoundRecord& ev = recorder.begin_round("net_events", static_cast<std::size_t>(round));
   ev.set("retries", static_cast<double>(stats_.retries));
@@ -250,6 +254,10 @@ void Transport::record_traffic(obs::Recorder& recorder, std::uint64_t round) con
   ev.set("timeouts", static_cast<double>(stats_.timeouts));
   ev.set("peer_losses", static_cast<double>(stats_.peer_losses));
   ev.set("decode_errors", static_cast<double>(stats_.decode_errors));
+  if (has_identity_) {
+    ev.set("level", static_cast<double>(identity_level_));
+    ev.set("parent_id", static_cast<double>(identity_parent_));
+  }
 }
 
 }  // namespace abdhfl::net

@@ -183,6 +183,17 @@ class Transport {
   /// eventual EOF is not reported as a peer loss.  Default: nothing to mark.
   virtual void mark_transient(NodeId peer) { (void)peer; }
 
+  /// Try to resurrect a link the loss path closed for good (sends to a lost
+  /// peer fail fast).  An AggregatorNode that outlives its parent calls this
+  /// on its rejoin timer: the peer's process may be a restart listening on
+  /// the same address.  Returns true when the link is usable again (or never
+  /// died); false when the backend cannot redial (no dial-out address, or
+  /// the address still refuses).  Default: links cannot be revived.
+  virtual bool revive_peer(NodeId peer) {
+    (void)peer;
+    return false;
+  }
+
   /// Parameter compression negotiated for frames addressed to `peer`.
   void set_peer_codec(NodeId peer, Codec codec) { peer_codec_[peer] = codec; }
   [[nodiscard]] Codec codec_for(NodeId peer) const;
@@ -235,6 +246,17 @@ class Transport {
   [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
   [[nodiscard]] TransportStats class_stats(std::uint32_t link_class) const;
 
+  /// Tag this transport's traffic records with the hosting node's position
+  /// in the hierarchy.  Until set, net_link/net_events records carry no
+  /// level/parent_id fields — exactly the pre-hier schema, which is what
+  /// keeps old 2-level fixtures validating (the keys are optional in the
+  /// net schema group).  `parent` = kStatusNoParent marks a root.
+  void set_identity(std::uint32_t level, NodeId parent) noexcept {
+    identity_level_ = level;
+    identity_parent_ = parent;
+    has_identity_ = true;
+  }
+
   /// Flush per-link-class traffic ("net_link" records: one per class seen)
   /// and the event counters ("net_events") into `recorder` under the given
   /// round tag.  Schema: see tools/validate_jsonl --group net.
@@ -282,6 +304,9 @@ class Transport {
   ObsCounters& obs_counters();
 
   std::string name_;
+  bool has_identity_ = false;
+  std::uint32_t identity_level_ = 0;
+  NodeId identity_parent_ = 0;
   TransportStats stats_;
   std::map<std::uint32_t, TransportStats> per_class_;
   std::map<NodeId, Codec> peer_codec_;

@@ -421,6 +421,8 @@ void encode_body(EncodedParts& out, const StatusReply& m, const Codec&,
   append_pod(out.head, m.round);
   append_pod(out.head, m.phase);
   append_pod(out.head, m.live_workers);
+  append_pod(out.head, m.level);
+  append_pod(out.head, m.parent);
   append_pod(out.head, m.wall_ns);
   append_pod(out.head, m.echo_wall_ns);
   append_pod(out.head, static_cast<std::uint32_t>(m.peers.size()));
@@ -504,6 +506,8 @@ Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body,
       m.round = read_pod<std::uint64_t>(body, offset);
       m.phase = read_pod<std::uint8_t>(body, offset);
       m.live_workers = read_pod<std::uint32_t>(body, offset);
+      m.level = read_pod<std::uint32_t>(body, offset);
+      m.parent = read_pod<std::uint32_t>(body, offset);
       m.wall_ns = read_pod<std::int64_t>(body, offset);
       m.echo_wall_ns = read_pod<std::int64_t>(body, offset);
       // Both counts come straight off the wire: bound them by the bytes
@@ -559,7 +563,7 @@ constexpr std::size_t kStatusPeerWire = sizeof(std::uint32_t) + sizeof(std::uint
                                         2 * sizeof(std::uint64_t);
 constexpr std::size_t kStatusReplyFixed = 2 * sizeof(std::uint32_t) +
                                           sizeof(std::uint64_t) + sizeof(std::uint8_t) +
-                                          sizeof(std::uint32_t) + 2 * sizeof(std::int64_t) +
+                                          3 * sizeof(std::uint32_t) + 2 * sizeof(std::int64_t) +
                                           2 * sizeof(std::uint32_t);
 
 bool carries_params(const Payload& payload) noexcept {

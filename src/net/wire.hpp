@@ -217,6 +217,9 @@ struct StatusPeer {
   std::uint64_t bytes_received = 0;
 };
 
+/// Sentinel for StatusReply::parent when the replier has no parent (a root).
+inline constexpr std::uint32_t kStatusNoParent = 0xFFFFFFFFu;
+
 /// Live status of a running node, served mid-training without pausing it.
 struct StatusReply {
   static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kStatusReply);
@@ -225,6 +228,8 @@ struct StatusReply {
   std::uint64_t round = 0;
   std::uint8_t phase = 0;         // node-defined (RootNode::Phase for roots)
   std::uint32_t live_workers = 0;
+  std::uint32_t level = 0;        // replier's tree level (0 = root)
+  std::uint32_t parent = kStatusNoParent;  // parent node id, or kStatusNoParent
   std::int64_t wall_ns = 0;       // replier's system_clock at send
   std::int64_t echo_wall_ns = 0;  // the request's wall_ns, echoed
   std::vector<StatusPeer> peers;  // detail != 0 only

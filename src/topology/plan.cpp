@@ -1,0 +1,121 @@
+#include "topology/plan.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace abdhfl::topology {
+namespace {
+
+// Process ids must stay below the observer range; net::kObserverIdBase is
+// 900 but net is a downstream library, so the bound is mirrored here (a
+// static_assert in src/net/hier ties them together).
+constexpr std::size_t kMaxProcessIds = 900;
+
+}  // namespace
+
+bool HierSpec::valid() const noexcept {
+  if (branching.empty()) return false;
+  for (std::size_t b : branching) {
+    if (b == 0) return false;
+  }
+  // Every process level must fit under the observer id range.
+  std::size_t total = 0;
+  std::size_t width = 1;
+  for (std::size_t l = 0; l < branching.size(); ++l) {
+    total += width;
+    if (total > kMaxProcessIds) return false;
+    if (l + 1 < branching.size()) width *= branching[l];
+  }
+  return true;
+}
+
+std::size_t HierSpec::nodes_at(std::size_t level) const noexcept {
+  std::size_t n = 1;
+  for (std::size_t l = 0; l < level && l < branching.size(); ++l) n *= branching[l];
+  return n;
+}
+
+std::size_t HierSpec::total_processes() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < process_levels(); ++l) total += nodes_at(l);
+  return total;
+}
+
+bool parse_tree_spec(const std::string& text, HierSpec& spec) {
+  HierSpec parsed;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    std::string token =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (token.empty()) return false;
+    char* end = nullptr;
+    unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || value == 0) return false;
+    parsed.branching.push_back(static_cast<std::size_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (!parsed.valid()) return false;
+  spec = std::move(parsed);
+  return true;
+}
+
+HierPlan::HierPlan(HierSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.valid()) throw std::invalid_argument("HierPlan: invalid spec");
+  level_base_.resize(spec_.process_levels());
+  std::size_t base = 0;
+  for (std::size_t l = 0; l < spec_.process_levels(); ++l) {
+    level_base_[l] = base;
+    base += spec_.nodes_at(l);
+  }
+}
+
+std::uint32_t HierPlan::node_id(std::size_t level, std::size_t index) const {
+  if (level >= level_base_.size() || index >= spec_.nodes_at(level))
+    throw std::out_of_range("HierPlan::node_id");
+  return static_cast<std::uint32_t>(level_base_[level] + index);
+}
+
+std::size_t HierPlan::level_of(std::uint32_t id) const {
+  for (std::size_t l = level_base_.size(); l-- > 0;) {
+    if (id >= level_base_[l]) {
+      if (id - level_base_[l] >= spec_.nodes_at(l))
+        throw std::out_of_range("HierPlan::level_of");
+      return l;
+    }
+  }
+  throw std::out_of_range("HierPlan::level_of");
+}
+
+std::size_t HierPlan::index_of(std::uint32_t id) const {
+  return id - level_base_[level_of(id)];
+}
+
+std::uint32_t HierPlan::parent_of(std::uint32_t id) const {
+  std::size_t level = level_of(id);
+  if (level == 0) throw std::out_of_range("HierPlan::parent_of: root");
+  return node_id(level - 1, index_of(id) / spec_.branching[level - 1]);
+}
+
+std::uint32_t HierPlan::first_child_of(std::uint32_t id) const {
+  std::size_t level = level_of(id);
+  if (level + 1 >= spec_.process_levels())
+    throw std::out_of_range("HierPlan::first_child_of: leaf head");
+  return node_id(level + 1, index_of(id) * spec_.branching[level]);
+}
+
+std::size_t HierPlan::children_of(std::uint32_t id) const {
+  std::size_t level = level_of(id);
+  if (level + 1 >= spec_.process_levels()) return 0;
+  return spec_.branching[level];
+}
+
+std::size_t HierPlan::first_device_of(std::uint32_t leaf_id) const {
+  std::size_t level = level_of(leaf_id);
+  if (level + 1 != spec_.process_levels())
+    throw std::out_of_range("HierPlan::first_device_of: not a leaf head");
+  return index_of(leaf_id) * spec_.devices_per_leaf();
+}
+
+}  // namespace abdhfl::topology

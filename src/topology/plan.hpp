@@ -1,0 +1,100 @@
+#pragma once
+// Tree-to-process mapping for the N-level distributed hierarchy
+// (DESIGN.md §14).
+//
+// A HierSpec describes a uniform process tree by its branching vector: entry
+// l is the number of children under each node at process level l, and the
+// last entry is the number of *virtual devices* each bottom process (a leaf
+// head) multiplexes over its in-process loopback transport.  A spec of
+// {5, 20, 100} is therefore the 4-level, 10k-device tree: one root, 5
+// mid-level aggregators, 100 leaf heads, 10 000 simulated devices.
+//
+// A HierPlan assigns every process a NodeId in breadth-first order (root =
+// 0, then level 1 left to right, ...), which is what keeps the aggregation
+// fold deterministic: every collector folds its children in ascending node
+// id, and BFS numbering makes ascending id == ascending sibling index ==
+// the transport-free reference runner's loop order.  Process ids must stay
+// below the observer range (net::kObserverIdBase); virtual devices never
+// cross a socket and live in their own id range (device_node_id).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abdhfl::topology {
+
+/// Virtual leaf devices get ids at/above this on their leaf head's loopback
+/// transport: globally unique (base + global device index), never routable
+/// over TCP, and disjoint from both member and observer process ids.
+inline constexpr std::uint32_t kVirtualDeviceIdBase = 1000;
+
+struct HierSpec {
+  /// branching[l] = children per node at process level l; the last entry is
+  /// virtual devices per leaf head.  Size >= 1; {W, D} reproduces the
+  /// classic 2-level federation (W workers x D devices).
+  std::vector<std::size_t> branching;
+
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// Process levels (root plus every aggregator level; excludes devices).
+  [[nodiscard]] std::size_t process_levels() const noexcept {
+    return branching.size();
+  }
+  /// Processes at a level: product of branching[0..level-1].
+  [[nodiscard]] std::size_t nodes_at(std::size_t level) const noexcept;
+  [[nodiscard]] std::size_t total_processes() const noexcept;
+  /// Bottom processes, each hosting branching.back() virtual devices.
+  [[nodiscard]] std::size_t leaf_heads() const noexcept {
+    return nodes_at(process_levels() - 1);
+  }
+  [[nodiscard]] std::size_t devices_per_leaf() const noexcept {
+    return branching.empty() ? 0 : branching.back();
+  }
+  [[nodiscard]] std::size_t total_devices() const noexcept {
+    return leaf_heads() * devices_per_leaf();
+  }
+};
+
+/// Parse a --tree spec ("5,20,100") into a HierSpec.  Returns false (spec
+/// untouched) on malformed input or a tree whose process ids would collide
+/// with the observer range.
+[[nodiscard]] bool parse_tree_spec(const std::string& text, HierSpec& spec);
+
+/// BFS node-id arithmetic over a HierSpec.  All of these are pure functions
+/// of the spec, so every process of a federation derives the same map.
+class HierPlan {
+ public:
+  explicit HierPlan(HierSpec spec);
+
+  [[nodiscard]] const HierSpec& spec() const noexcept { return spec_; }
+
+  /// NodeId of process `index` (0-based, left to right) at `level`.
+  [[nodiscard]] std::uint32_t node_id(std::size_t level, std::size_t index) const;
+  /// Inverse: level of a process id (throws std::out_of_range off the tree).
+  [[nodiscard]] std::size_t level_of(std::uint32_t id) const;
+  /// Inverse: sibling-order index of a process id within its level.
+  [[nodiscard]] std::size_t index_of(std::uint32_t id) const;
+
+  /// Parent process id (throws for the root).
+  [[nodiscard]] std::uint32_t parent_of(std::uint32_t id) const;
+  /// First child id of a non-leaf process; children are the contiguous run
+  /// [first_child_of(id), first_child_of(id) + children_of(id)).
+  [[nodiscard]] std::uint32_t first_child_of(std::uint32_t id) const;
+  [[nodiscard]] std::size_t children_of(std::uint32_t id) const;
+
+  /// Global index of the first virtual device a leaf head hosts; it hosts
+  /// spec().devices_per_leaf() consecutive devices.
+  [[nodiscard]] std::size_t first_device_of(std::uint32_t leaf_id) const;
+
+ private:
+  HierSpec spec_;
+  std::vector<std::size_t> level_base_;  // first id at each level (BFS)
+};
+
+/// The loopback node id of global device `global_index`.
+[[nodiscard]] inline std::uint32_t device_node_id(std::size_t global_index) noexcept {
+  return kVirtualDeviceIdBase + static_cast<std::uint32_t>(global_index);
+}
+
+}  // namespace abdhfl::topology

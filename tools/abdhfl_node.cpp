@@ -1,23 +1,38 @@
-// Standalone federation node: one process of a 2-level ABD-HFL tree over
-// real TCP sockets (src/net).  Every process rebuilds the same data and
-// initial model from --seed, so the federation's result is comparable with
-// the in-process runners.
+// Standalone federation node: one process of an ABD-HFL tree over real TCP
+// sockets (src/net).  Every process rebuilds the same data and initial model
+// from --seed, so the federation's result is comparable with the in-process
+// runners.
 //
-// Two-terminal quickstart (README "Multi-process federation"):
+// Classic 2-level quickstart:
 //
 //   terminal 1:  ./abdhfl_node --role root --port 9400 --workers 1
 //   terminal 2:  ./abdhfl_node --role worker --index 0 --port 9400
 //
-// The root waits for all --workers joins (or --join-timeout), runs --rounds
-// global rounds, prints the per-round accuracy, and exits once every worker
-// said goodbye.  Workers that die mid-run degrade the federation instead of
-// wedging it: the root drops them via the transport's peer-loss path and
-// finishes with the remaining quorum.
+// N-level tree (README "Running a 4-level tree"): the SAME binary sits at
+// any depth.  --tree describes the whole tree ("1,1,1000" = root, one mid
+// aggregator, one leaf head multiplexing 1000 virtual devices); every
+// interior process runs --role aggregator with its --level and --index, a
+// leaf head hosts its slice of virtual devices over an in-process loopback
+// instead of spawning device processes:
+//
+//   terminal 1:  ./abdhfl_node --role root       --tree 1,1,1000 --port 9400
+//   terminal 2:  ./abdhfl_node --role aggregator --tree 1,1,1000 --level 1
+//                  --index 0 --port 9400 --listen-port 9401
+//   terminal 3:  ./abdhfl_node --role aggregator --tree 1,1,1000 --level 2
+//                  --index 0 --port 9401
+//
+// The root waits for all expected joins (or --join-timeout), runs --rounds
+// global rounds, prints the per-round accuracy, and exits once every child
+// said goodbye.  Children that die mid-run degrade the federation instead of
+// wedging it; with --rejoin-grace a collector instead holds the round open
+// for an evicted child, which is what makes a mid-tier kill + --resume run
+// bitwise identical to an uninterrupted one.
 //
 // With --checkpoint-dir every process snapshots its state per round into its
-// own subdirectory (root/, worker-<i>/); restarting a killed process with
-// --resume added restores the latest snapshot and rejoins the federation
-// mid-training instead of retraining from round 0 (README "Crash recovery").
+// own subdirectory (root/, worker-<i>/, agg-<level>-<index>/); restarting a
+// killed process with --resume added restores the latest snapshot and
+// rejoins the federation mid-training instead of retraining from round 0
+// (README "Crash recovery").
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +40,7 @@
 #include <string>
 
 #include "ckpt/store.hpp"
+#include "net/hier/aggregator.hpp"
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
@@ -32,6 +48,7 @@
 #include "obs/obs.hpp"
 #include "obs/record.hpp"
 #include "obs/trace.hpp"
+#include "topology/plan.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -40,9 +57,12 @@ abdhfl::net::FederationConfig config_from_cli(abdhfl::util::Cli& cli) {
   abdhfl::net::FederationConfig config;
   config.seed = static_cast<std::uint64_t>(cli.integer("seed", 17, "RNG seed"));
   config.workers = static_cast<std::size_t>(
-      cli.integer("workers", 2, "cluster leaders the root waits for"));
+      cli.integer("workers", 2, "cluster leaders the root waits for (2-level)"));
   config.devices_per_worker = static_cast<std::size_t>(
       cli.integer("devices-per-worker", 2, "bottom devices each worker trains"));
+  config.tree = cli.str(
+      "tree", "", "N-level tree spec A,B,...,V (last entry = virtual devices per "
+                  "leaf head; empty = classic 2-level)");
   config.rounds = static_cast<std::size_t>(cli.integer("rounds", 4, "global rounds"));
   config.local_iters = static_cast<std::size_t>(
       cli.integer("local-iters", 8, "SGD iterations per device round"));
@@ -63,7 +83,24 @@ abdhfl::net::FederationConfig config_from_cli(abdhfl::util::Cli& cli) {
   }
   config.join_timeout_s = cli.real("join-timeout", 20.0, "root's wait for joins (s)");
   config.round_timeout_s = cli.real("round-timeout", 60.0, "root's wait per round (s)");
+  config.rejoin_grace_s = cli.real(
+      "rejoin-grace", 0.0, "hold a round open this long for an evicted child (s)");
+  config.poll_interval_s = cli.real(
+      "poll-interval", 0.05,
+      "idle poll tick (s); under the epoll reactor this is only the upper bound "
+      "on a quiet poll's sleep, not a latency floor");
   return config;
+}
+
+void print_traffic(const abdhfl::net::TransportStats& stats) {
+  std::printf("traffic: %llu frames / %llu bytes sent, %llu frames / %llu bytes "
+              "received, %llu retries, %llu peer losses\n",
+              static_cast<unsigned long long>(stats.frames_sent),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.bytes_received),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.peer_losses));
 }
 
 }  // namespace
@@ -72,12 +109,17 @@ int main(int argc, char** argv) {
   using namespace abdhfl;
 
   util::Cli cli(argc, argv);
-  const std::string role = cli.str("role", "root", "root | worker");
-  const auto index =
-      static_cast<std::size_t>(cli.integer("index", 0, "worker index (worker role)"));
-  const std::string host = cli.str("host", "127.0.0.1", "root's address (worker role)");
-  const auto port = static_cast<std::uint16_t>(
-      cli.integer("port", 9400, "root's TCP port (0 = ephemeral, root role)"));
+  const std::string role = cli.str("role", "root", "root | worker | aggregator");
+  const auto index = static_cast<std::size_t>(
+      cli.integer("index", 0, "sibling index (worker / aggregator role)"));
+  const auto level = static_cast<std::size_t>(
+      cli.integer("level", 1, "tree level (aggregator role; 1 = under the root)"));
+  const std::string host =
+      cli.str("host", "127.0.0.1", "parent's address (worker / aggregator role)");
+  const auto port = static_cast<std::uint16_t>(cli.integer(
+      "port", 9400, "parent's TCP port (root role: own listen port, 0 = ephemeral)"));
+  const auto listen_port = static_cast<std::uint16_t>(cli.integer(
+      "listen-port", 0, "own listen port for child links (mid-level aggregator)"));
   const double deadline = cli.real("deadline", 600.0, "overall wall-clock budget (s)");
   net::FederationConfig config = config_from_cli(cli);
   const auto obs_opts = obs::declare_cli(cli);
@@ -85,32 +127,61 @@ int main(int argc, char** argv) {
   const auto bb_opts = obs::blackbox::declare_cli(cli);
   if (!cli.finish()) return 0;
 
+  // Resolve this process's node id up front: the flight recorder, trace
+  // buffer and checkpoint directory are all keyed on it.
+  topology::HierSpec spec;
+  const bool tree_mode = !config.tree.empty();
+  if (tree_mode && !topology::parse_tree_spec(config.tree, spec)) {
+    std::fprintf(stderr, "invalid --tree spec '%s'\n", config.tree.c_str());
+    return 2;
+  }
+  net::NodeId self = net::kRootId;
+  if (role == "worker") {
+    self = net::worker_node_id(index);
+  } else if (role == "aggregator") {
+    if (!tree_mode) {
+      std::fprintf(stderr, "--role aggregator requires --tree\n");
+      return 2;
+    }
+    if (level == 0 || level >= spec.process_levels() ||
+        index >= spec.nodes_at(level)) {
+      std::fprintf(stderr, "--level %zu --index %zu is outside tree '%s'\n", level,
+                   index, config.tree.c_str());
+      return 2;
+    }
+    self = topology::HierPlan(spec).node_id(level, index);
+  }
+
   // Flight recorder + crash handlers + (with --stall-after) the stall
   // watchdog, armed under this process's node id (DESIGN.md §13).
-  obs::blackbox::arm(bb_opts, role == "root" ? net::kRootId
-                                             : net::worker_node_id(index));
+  obs::blackbox::arm(bb_opts, self);
 
   obs::Recorder recorder;
   obs::TraceBuffer trace;
+  trace.set_node(self);
   obs::Recorder* rec = obs_opts.active() ? &recorder : nullptr;
+  config.trace = !obs_opts.trace_out.empty();  // stamp trace contexts on frames
 
   // Per-node store: each process owns its own snapshot directory, so one
   // --checkpoint-dir can serve a whole single-host federation.
   std::unique_ptr<ckpt::Store> store;
   if (ckpt_opts.active()) {
-    const std::string subdir =
-        role == "root" ? "/root" : "/worker-" + std::to_string(index);
+    std::string subdir = "/root";
+    if (role == "worker") {
+      subdir = "/worker-" + std::to_string(index);
+    } else if (role == "aggregator") {
+      subdir = "/agg-" + std::to_string(level) + "-" + std::to_string(index);
+    }
     store = std::make_unique<ckpt::Store>(ckpt_opts.dir + subdir, 3, rec);
   }
 
   if (role == "root") {
     net::TcpTransport transport(net::kRootId);
     const std::uint16_t bound = transport.listen(port);
-    trace.set_node(net::kRootId);
-    config.trace = !obs_opts.trace_out.empty();  // stamp trace contexts on frames
     if (obs_opts.active()) transport.set_trace(&trace);
-    std::printf("root: listening on port %u, waiting for %zu worker(s)\n", bound,
-                config.workers);
+    const std::size_t expected = tree_mode ? spec.branching.front() : config.workers;
+    std::printf("root: listening on port %u, waiting for %zu %s\n", bound, expected,
+                tree_mode ? "aggregator(s)" : "worker(s)");
     std::fflush(stdout);
 
     net::RootNode root(config, transport, rec, store.get(), ckpt_opts.every,
@@ -120,7 +191,8 @@ int main(int argc, char** argv) {
     }
     root.start();
     const bool finished = net::pump_until(
-        transport, [&] { root.on_idle(); return root.done(); }, deadline);
+        transport, [&] { root.on_idle(); return root.done(); }, deadline,
+        config.poll_interval_s);
     const net::RootResult& result = root.result();
 
     std::printf("\n%-7s %-10s\n", "round", "accuracy");
@@ -130,28 +202,85 @@ int main(int argc, char** argv) {
     std::printf("\nfinal accuracy %.4f  (%zu/%zu rounds, %zu joined, %zu lost)\n",
                 result.final_accuracy, result.rounds_run, config.rounds,
                 result.workers_joined, result.workers_lost);
-    const net::TransportStats& stats = transport.stats();
-    std::printf("traffic: %llu frames / %llu bytes sent, %llu frames / %llu bytes "
-                "received, %llu retries, %llu peer losses\n",
-                static_cast<unsigned long long>(stats.frames_sent),
-                static_cast<unsigned long long>(stats.bytes_sent),
-                static_cast<unsigned long long>(stats.frames_received),
-                static_cast<unsigned long long>(stats.bytes_received),
-                static_cast<unsigned long long>(stats.retries),
-                static_cast<unsigned long long>(stats.peer_losses));
+    print_traffic(transport.stats());
     if (rec != nullptr) transport.record_traffic(*rec, result.rounds_run);
     obs::write_outputs(obs_opts, recorder, obs_opts.active() ? &trace : nullptr);
     return finished && result.rounds_run > 0 ? 0 : 1;
   }
 
+  if (role == "aggregator") {
+    const topology::HierPlan plan(spec);
+    const bool leaf = level == spec.process_levels() - 1;
+    net::TcpTransport transport(self);
+    if (obs_opts.active()) transport.set_trace(&trace);
+    std::uint16_t bound = 0;
+    if (!leaf) bound = transport.listen(listen_port);
+    transport.set_peer_link_class(plan.parent_of(self),
+                                  static_cast<std::uint32_t>(level));
+    if (!transport.connect_peer(plan.parent_of(self), host, port)) {
+      std::fprintf(stderr, "aggregator %zu/%zu: cannot reach parent at %s:%u\n", level,
+                   index, host.c_str(), port);
+      return 1;
+    }
+    net::LoopbackTransport loopback;  // the leaf head's virtual-device fabric
+    // Same sink as the socket transport: the device round trip must stay in
+    // the round's trace or the causal chain breaks at the loopback hop.
+    if (obs_opts.active()) loopback.set_trace(&trace);
+
+    net::hier::AggregatorNode node(config, level, index, transport,
+                                   leaf ? static_cast<net::Transport&>(loopback)
+                                        : static_cast<net::Transport&>(transport),
+                                   rec, store.get(), ckpt_opts.every,
+                                   ckpt_opts.resume);
+    if (leaf) {
+      std::printf("aggregator %zu/%zu (node %u): leaf head, parent %s:%u, "
+                  "%zu virtual device(s)\n",
+                  level, index, node.id(), host.c_str(), port,
+                  node.device_host()->count());
+    } else {
+      std::printf("aggregator %zu/%zu (node %u): listening on port %u, parent %s:%u, "
+                  "%zu child(ren)\n",
+                  level, index, node.id(), bound, host.c_str(), port,
+                  plan.children_of(node.id()));
+    }
+    if (node.resume_round() > 0) {
+      std::printf("aggregator %zu/%zu: resumed from checkpoint at round %zu\n", level,
+                  index, node.resume_round());
+    }
+    std::fflush(stdout);
+    node.start();
+    // Two fabrics, one loop: block on the TCP reactor for up to the idle
+    // tick, then drain the loopback dry — a device round trip (disseminate,
+    // train, reply, fold) completes within one iteration.
+    const double end = net::hier::wall_now() + deadline;
+    bool finished = false;
+    while (net::hier::wall_now() < end) {
+      transport.poll(config.poll_interval_s);
+      if (leaf) {
+        while (loopback.poll(0.0) > 0) {
+        }
+      }
+      node.on_idle();
+      if (node.done()) {
+        finished = true;
+        break;
+      }
+    }
+    std::printf("aggregator %zu/%zu: %s after %zu round(s)\n", level, index,
+                node.failed() ? "FAILED" : "finished", node.rounds_run());
+    print_traffic(transport.stats());
+    if (rec != nullptr) transport.record_traffic(*rec, node.rounds_run());
+    obs::write_outputs(obs_opts, recorder, obs_opts.active() ? &trace : nullptr);
+    return finished && !node.failed() ? 0 : 1;
+  }
+
   if (role != "worker") {
-    std::fprintf(stderr, "unknown --role '%s' (expected root or worker)\n", role.c_str());
+    std::fprintf(stderr, "unknown --role '%s' (expected root, worker or aggregator)\n",
+                 role.c_str());
     return 2;
   }
 
   net::TcpTransport transport(net::worker_node_id(index));
-  trace.set_node(net::worker_node_id(index));
-  config.trace = !obs_opts.trace_out.empty();
   if (obs_opts.active()) transport.set_trace(&trace);
   transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
   if (!transport.connect_peer(net::kRootId, host, port)) {
@@ -171,7 +300,8 @@ int main(int argc, char** argv) {
   }
   worker.start();
   const bool finished = net::pump_until(
-      transport, [&] { worker.on_idle(); return worker.done(); }, deadline);
+      transport, [&] { worker.on_idle(); return worker.done(); }, deadline,
+      config.poll_interval_s);
   std::printf("worker %zu: %s after %zu round(s)\n", index,
               worker.failed() ? "FAILED" : "finished", worker.rounds_run());
   if (rec != nullptr) transport.record_traffic(*rec, worker.rounds_run());

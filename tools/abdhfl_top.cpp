@@ -11,6 +11,9 @@
 //   ./abdhfl_top --port 9400                 # one probe of the root
 //   ./abdhfl_top --port 9400 --count 5       # ~top(1): refresh every second
 //   ./abdhfl_top --port 9400 --metrics       # include the Prometheus text
+//   ./abdhfl_top --port 9401 --node 1        # probe a mid-level AggregatorNode:
+//                                            # its level, parent link (+RTT) and
+//                                            # child peer table
 //
 // Exit status (scriptable — a supervisor can tell a wedged node from a dead
 // one without parsing stderr):
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
   const double timeout = cli.real("timeout", 5.0, "per-probe reply deadline (s)");
   const bool metrics =
       cli.boolean("metrics", false, "request the Prometheus exposition too");
+  const double poll_interval = cli.real(
+      "poll-interval", 0.02, "reply-wait poll tick (s); an upper bound under epoll");
   if (!cli.finish()) {
     std::printf(
         "\nexit status:\n"
@@ -117,7 +122,7 @@ int main(int argc, char** argv) {
       return 3;
     }
     const bool answered = net::pump_until(
-        transport, [&] { return reply.has_value(); }, timeout, 0.02);
+        transport, [&] { return reply.has_value(); }, timeout, poll_interval);
     if (!answered) {
       std::fprintf(stderr, "abdhfl_top: no reply within %.1fs\n", timeout);
       all_answered = false;
@@ -130,14 +135,32 @@ int main(int argc, char** argv) {
                 reply->node, host.c_str(), port,
                 static_cast<unsigned long long>(reply->round),
                 phase_name(reply->phase), reply->live_workers, probe_rtt_ms);
+    // An interior AggregatorNode reports its place in the tree and its
+    // parent link (the first peer row) next to the child table.
+    const bool has_parent = reply->parent != net::kStatusNoParent;
+    if (has_parent || reply->level != 0) {
+      std::printf("  level %u", reply->level);
+      if (has_parent) {
+        std::printf("   parent %u", reply->parent);
+        for (const net::StatusPeer& peer : reply->peers) {
+          if (peer.node == reply->parent) {
+            std::printf("   parent rtt %.3f ms (%s)", peer.rtt_ms,
+                        peer_state_name(peer.state));
+            break;
+          }
+        }
+      }
+      std::printf("\n");
+    }
     if (!reply->peers.empty()) {
       std::printf("  %-6s %-6s %9s %10s %12s %12s\n", "peer", "state", "rtt_ms",
                   "suspicion", "bytes_tx", "bytes_rx");
       for (const net::StatusPeer& peer : reply->peers) {
-        std::printf("  %-6u %-6s %9.3f %10.3f %12llu %12llu\n", peer.node,
+        std::printf("  %-6u %-6s %9.3f %10.3f %12llu %12llu%s\n", peer.node,
                     peer_state_name(peer.state), peer.rtt_ms, peer.suspicion,
                     static_cast<unsigned long long>(peer.bytes_sent),
-                    static_cast<unsigned long long>(peer.bytes_received));
+                    static_cast<unsigned long long>(peer.bytes_received),
+                    has_parent && peer.node == reply->parent ? "  (parent)" : "");
       }
     }
     if (metrics && !reply->metrics.empty()) {

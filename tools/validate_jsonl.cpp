@@ -17,7 +17,12 @@
 //
 //   net   the transport layer's per-link-class traffic ("net_link") and
 //         retry/loss event ("net_events") records emitted by
-//         net::Transport::record_traffic();
+//         net::Transport::record_traffic(), plus the hierarchy runner
+//         records: "dist_hier" (one per AggregatorNode round — node id,
+//         level, parent, live children, fold inputs), "dist_churn" /
+//         "dist_rejoin" (membership events) and "dist_resume" (checkpoint
+//         recovery), so one --group covers an N-level tree's whole
+//         side-car;
 //   ckpt  the checkpoint store's snapshot lifecycle ("ckpt_save" per staged
 //         or installed snapshot, "ckpt_restore" per successful load) emitted
 //         by ckpt::Store.
@@ -31,7 +36,11 @@
 //
 // A required key may carry a ":str" suffix ("span_id:str") meaning the value
 // must be a JSON *string* — the trace ids and wall_ns exceed the 53-bit
-// exact-integer range of a JSON double, so the exporter quotes them.
+// exact-integer range of a JSON double, so the exporter quotes them.  A "?"
+// suffix ("level?") marks the key optional: absent is fine, but when present
+// the value is still type-checked.  This is how the net schemas absorb the
+// hierarchy identity fields (level/parent_id, stamped only by nodes that
+// call Transport::set_identity) without breaking 2-level fixtures.
 //
 // Exits 0 and prints a one-line summary when every line passes; exits 1
 // with the offending line number and reason otherwise.  The parser lives in
@@ -65,9 +74,15 @@ group_schemas() {
            {{"net_link",
              {"link_class", "frames_sent", "bytes_sent", "bytes_sent_raw",
               "frames_received", "bytes_received", "bytes_received_raw", "rtt_ms",
-              "rtt_ms_mean", "rtt_samples", "queue_depth"}},
+              "rtt_ms_mean", "rtt_samples", "queue_depth", "level?", "parent_id?"}},
             {"net_events",
-             {"retries", "reconnects", "timeouts", "peer_losses", "decode_errors"}}}},
+             {"retries", "reconnects", "timeouts", "peer_losses", "decode_errors",
+              "level?", "parent_id?"}},
+            {"dist_hier",
+             {"node", "level", "parent_id", "live_children", "inputs"}},
+            {"dist_churn", {"worker", "live_workers"}},
+            {"dist_rejoin", {"worker", "live_workers"}},
+            {"dist_resume", {"worker"}}}},
           {"ckpt",
            {{"ckpt_save", {"seq", "bytes"}},
             {"ckpt_restore", {"seq", "bytes", "skipped"}}}},
@@ -175,13 +190,18 @@ int main(int argc, char** argv) {
     const auto group = schema.per_runner.find(runner_name);
     const std::vector<std::string>& required =
         group != schema.per_runner.end() ? group->second : schema.default_keys;
-    for (const auto& spec : required) {
-      // "name" requires a numeric value, "name:str" a string value.
+    for (const auto& spec_raw : required) {
+      // "name" requires a numeric value, "name:str" a string value; a
+      // trailing "?" makes the key optional (absent OK, present type-checked).
+      std::string spec = spec_raw;
+      const bool optional = !spec.empty() && spec.back() == '?';
+      if (optional) spec.pop_back();
       const std::size_t colon = spec.rfind(":str");
       const bool want_string = colon != std::string::npos && colon == spec.size() - 4;
       const std::string key = want_string ? spec.substr(0, colon) : spec;
       const auto it = fields->find(key);
       if (it == fields->end()) {
+        if (optional) continue;
         std::fprintf(stderr,
                      "validate_jsonl: %s:%zu: runner \"%s\" missing required key \"%s\"\n",
                      argv[1], lineno, runner_name.c_str(), key.c_str());
