@@ -58,6 +58,7 @@
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
+#include "net/top_cluster.hpp"
 #include "topology/plan.hpp"
 #include "obs/blackbox.hpp"
 #include "obs/obs.hpp"
@@ -358,6 +359,265 @@ int run_tree_mode(const net::FederationConfig& config, obs::Recorder* rec) {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Leader-rotation top-cluster mode (--top-cluster N [--kill-leader]): N top
+// processes + the worker processes over real TCP.  With --kill-leader the
+// parent SIGKILLs the elected leader the moment round 1 has committed; the
+// survivors must re-elect, resume the stalled round, and land the final
+// model BITWISE on the transport-free reference (the replicated model log is
+// what makes that possible).
+// ---------------------------------------------------------------------------
+
+bool dial_retry(net::TcpTransport& transport, net::NodeId peer, std::uint16_t port,
+                double budget_s) {
+  const double end = net::hier::wall_now() + budget_s;
+  for (;;) {
+    if (transport.connect_peer(peer, "127.0.0.1", port)) return true;
+    if (net::hier::wall_now() >= end) return false;
+    ::usleep(50 * 1000);
+  }
+}
+
+void write_file_bytes(const std::string& path, const void* data, std::size_t bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+[[noreturn]] void top_process(const net::FederationConfig& config, std::size_t t,
+                              std::uint16_t base_port, const std::string& out_dir,
+                              const std::string& trace_dir) {
+  net::TcpTransport transport(net::top_node_id(t));
+  transport.listen(static_cast<std::uint16_t>(base_port + t));
+  std::unique_ptr<obs::TraceBuffer> ttrace;
+  if (!trace_dir.empty()) {
+    ttrace = std::make_unique<obs::TraceBuffer>();
+    ttrace->set_node(net::top_node_id(t));
+    transport.set_trace(ttrace.get());
+  }
+  for (std::size_t s = 0; s < t; ++s) {
+    const net::NodeId peer = net::top_node_id(s);
+    transport.set_peer_link_class(peer, net::kTopLinkClass);
+    if (!dial_retry(transport, peer, static_cast<std::uint16_t>(base_port + s), 10.0)) {
+      _exit(3);
+    }
+  }
+  obs::Recorder recorder;
+  net::TopClusterNode top(config, t, transport, &recorder);
+  top.start();
+  const bool finished = net::pump_until(
+      transport, [&] { top.on_idle(); return top.done(); }, 300.0,
+      config.poll_interval_s);
+  const net::RootResult& result = top.result();
+  if (!out_dir.empty()) {
+    const std::string tag = std::to_string(t);
+    write_file_bytes(out_dir + "/model-top" + tag + ".bin",
+                     result.global_model.data(),
+                     result.global_model.size() * sizeof(float));
+    std::ofstream summary(out_dir + "/summary-top" + tag + ".txt");
+    summary << "term " << top.term() << "\n"
+            << "elections " << top.elections_seen() << "\n"
+            << "rounds " << result.rounds_run << "\n"
+            << "commit " << top.commit_index() << "\n"
+            << "leader " << (top.is_leader() ? 1 : 0) << "\n";
+    std::ofstream metrics(out_dir + "/consensus-top" + tag + ".jsonl");
+    metrics << recorder.to_jsonl();
+  }
+  if (ttrace != nullptr) {
+    std::ofstream out(trace_dir + "/trace-top" + std::to_string(t) + ".jsonl");
+    out << obs::trace_to_jsonl(ttrace->snapshot()) << obs::trace_summary_jsonl(*ttrace);
+  }
+  _exit(finished && result.rounds_run == config.rounds ? 0 : 2);
+}
+
+[[noreturn]] void cluster_worker_process(const net::FederationConfig& config,
+                                         std::size_t w, std::uint16_t base_port,
+                                         const std::string& trace_dir) {
+  net::TcpTransport transport(net::worker_node_id(w));
+  std::unique_ptr<obs::TraceBuffer> wtrace;
+  if (!trace_dir.empty()) {
+    wtrace = std::make_unique<obs::TraceBuffer>();
+    wtrace->set_node(net::worker_node_id(w));
+    transport.set_trace(wtrace.get());
+  }
+  for (std::size_t t = 0; t < config.top_cluster; ++t) {
+    const net::NodeId peer = net::top_node_id(t);
+    transport.set_peer_link_class(peer, net::kLeaderLinkClass);
+    if (!dial_retry(transport, peer, static_cast<std::uint16_t>(base_port + t), 10.0)) {
+      _exit(3);
+    }
+  }
+  net::WorkerNode worker(config, w, transport);
+  worker.start();
+  const bool finished = net::pump_until(
+      transport, [&] { worker.on_idle(); return worker.done(); }, 300.0,
+      config.poll_interval_s);
+  if (wtrace != nullptr) {
+    std::ofstream out(trace_dir + "/trace-worker" + std::to_string(w) + ".jsonl");
+    out << obs::trace_to_jsonl(wtrace->snapshot()) << obs::trace_summary_jsonl(*wtrace);
+  }
+  _exit(finished && !worker.failed() ? 0 : 2);
+}
+
+// Probe a top's status as a passive observer; round is -1 when no reply
+// arrived within the timeout.  The reply names the committee's current
+// leader — which the kill drill needs, because the cold-start election over
+// real TCP is a race (rank 0 dials nobody, so its staggered first attempt
+// fails until the others' links come up) and any member may hold the lease.
+struct TopStatus {
+  long round = -1;
+  net::NodeId leader = net::kStatusNoParent;
+  std::uint64_t term = 0;
+};
+
+TopStatus probe_status(net::TcpTransport& observer, net::NodeId target,
+                       double timeout_s) {
+  static std::uint32_t probe_seq = 0;
+  TopStatus status;
+  observer.register_node(net::kObserverIdBase, [&](net::WireMessage& msg) {
+    if (msg.kind == net::MsgKind::kStatusReply) {
+      const auto& reply = std::get<net::StatusReply>(msg.payload);
+      status.round = static_cast<long>(reply.round);
+      status.leader = reply.leader;
+      status.term = reply.term;
+    }
+  });
+  net::StatusRequest request;
+  request.probe = ++probe_seq;
+  request.wall_ns = obs::wall_clock_ns();
+  if (observer.send({net::kObserverIdBase, target, 0}, request) != net::SendStatus::kOk) {
+    return status;
+  }
+  net::pump_until(observer, [&] { return status.round >= 0; }, timeout_s, 0.02);
+  return status;
+}
+
+int run_top_cluster_mode(net::FederationConfig config, bool kill_leader,
+                         std::string out_dir, const std::string& trace_dir) {
+  std::printf("top-cluster federation: committee of %zu, %zu workers x %zu devices, "
+              "%zu rounds%s\n\n",
+              config.top_cluster, config.workers, config.devices_per_worker,
+              config.rounds, kill_leader ? ", leader killed mid-round" : "");
+  const Reference reference = run_reference(config);
+  std::printf("reference (no transport):    accuracy %.4f\n", reference.accuracy);
+
+  if (out_dir.empty()) out_dir = "topcluster-out";
+  ::mkdir(out_dir.c_str(), 0755);  // EEXIST is fine
+  // Stride the pid so two drills launched back-to-back (near-consecutive
+  // pids, e.g. parallel ctest) land their committee port ranges far apart.
+  const auto base_port =
+      static_cast<std::uint16_t>(9700 + (::getpid() * 41) % 523);
+
+  std::vector<pid_t> tops;
+  for (std::size_t t = 0; t < config.top_cluster; ++t) {
+    const pid_t pid = fork();
+    if (pid == 0) top_process(config, t, base_port, out_dir, trace_dir);
+    tops.push_back(pid);
+  }
+  std::vector<pid_t> workers;
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    const pid_t pid = fork();
+    if (pid == 0) cluster_worker_process(config, w, base_port, trace_dir);
+    workers.push_back(pid);
+  }
+
+  // The kill drill: probe a follower until it reports a committed round AND
+  // names the current leader, then SIGKILL the leader's process.  The probe
+  // target is the highest rank — it dials every lower-ranked top at startup,
+  // so it is the member most likely to know the leader early, and killing
+  // the leader never takes the probe's own link down with it.
+  bool killed = false;
+  std::size_t killed_index = 0;
+  std::uint64_t killed_term = 0;
+  if (kill_leader) {
+    const std::size_t probe_rank = config.top_cluster - 1;
+    net::TcpTransport observer(net::kObserverIdBase);
+    observer.set_peer_link_class(net::top_node_id(probe_rank), net::kLeaderLinkClass);
+    if (dial_retry(observer, net::top_node_id(probe_rank), base_port, 10.0)) {
+      const double end = net::hier::wall_now() + 120.0;
+      while (net::hier::wall_now() < end) {
+        const TopStatus status =
+            probe_status(observer, net::top_node_id(probe_rank), 2.0);
+        if (status.round >= 1 && status.leader >= net::top_node_id(0) &&
+            status.leader < net::top_node_id(config.top_cluster)) {
+          killed_index = status.leader - net::top_node_id(0);
+          killed_term = status.term;
+          ::kill(tops[killed_index], SIGKILL);
+          killed = true;
+          break;
+        }
+        ::usleep(100 * 1000);
+      }
+    }
+    if (!killed) {
+      std::fprintf(stderr, "kill-leader: never saw round 1 and a known leader\n");
+    }
+  }
+
+  bool children_ok = true;
+  for (std::size_t t = 0; t < tops.size(); ++t) {
+    int status = 0;
+    waitpid(tops[t], &status, 0);
+    const bool sacrificed = killed && t == killed_index;
+    if (!sacrificed && (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+      children_ok = false;
+    }
+  }
+  for (const pid_t pid : workers) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) children_ok = false;
+  }
+
+  // Every SURVIVOR must hold the reference model bitwise and agree on the
+  // consensus outcome; with --kill-leader at least one re-election must have
+  // happened (term >= 2 on every survivor).
+  bool models_bitwise = true;
+  bool terms_ok = true;
+  std::uint64_t max_term = 0;
+  for (std::size_t t = 0; t < config.top_cluster; ++t) {
+    if (killed && t == killed_index) continue;
+    const std::string tag = std::to_string(t);
+    const auto model = read_file_bytes(out_dir + "/model-top" + tag + ".bin");
+    const bool bitwise =
+        model.size() == reference.global.size() * sizeof(float) &&
+        std::memcmp(model.data(), reference.global.data(), model.size()) == 0;
+    models_bitwise = models_bitwise && bitwise;
+    std::ifstream summary(out_dir + "/summary-top" + tag + ".txt");
+    std::string key;
+    std::uint64_t term = 0, elections = 0, rounds = 0, commit = 0, is_leader = 0;
+    while (summary >> key) {
+      if (key == "term") summary >> term;
+      else if (key == "elections") summary >> elections;
+      else if (key == "rounds") summary >> rounds;
+      else if (key == "commit") summary >> commit;
+      else if (key == "leader") summary >> is_leader;
+    }
+    if (term > max_term) max_term = term;
+    // A genuine re-election moves every survivor PAST the term the dead
+    // leader held — ">= 2" alone could be satisfied by a noisy cold start.
+    terms_ok = terms_ok && rounds == config.rounds && (!killed || term > killed_term);
+    std::printf("top %zu: term %llu, %llu election(s), %llu round(s), commit %llu  "
+                "model %s\n",
+                t, static_cast<unsigned long long>(term),
+                static_cast<unsigned long long>(elections),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(commit),
+                bitwise ? "bitwise equal" : "MISMATCH");
+  }
+
+  const bool ok = children_ok && models_bitwise && terms_ok && (!kill_leader || killed);
+  std::printf("\ntop-cluster vs reference:    %s (term %llu%s)\n",
+              ok ? "bitwise equal on every survivor" : "FAILED",
+              static_cast<unsigned long long>(max_term),
+              killed ? ", leader killed and re-elected" : "");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,6 +635,15 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.integer("local-iters", 8, "SGD iters per round"));
   config.tree = cli.str(
       "tree", "", "N-level branching spec (e.g. 2,2,2): run the hierarchy demo instead");
+  config.top_cluster = static_cast<std::size_t>(cli.integer(
+      "top-cluster", 0,
+      "leader-rotation committee size: run the top-cluster demo instead (0 = off)"));
+  const bool kill_leader = cli.boolean(
+      "kill-leader", false, "SIGKILL the elected leader mid-round (top-cluster mode)");
+  const std::string consensus_dir = cli.str(
+      "consensus-dir", "",
+      "top-cluster mode: write per-top model/summary/metrics artifacts here "
+      "(\"\" = ./topcluster-out)");
   config.poll_interval_s =
       cli.real("poll-interval", config.poll_interval_s, "idle poll tick (s)");
   const std::string compress = cli.str(
@@ -409,6 +678,10 @@ int main(int argc, char** argv) {
     const int rc = run_tree_mode(config, rec);
     obs::write_outputs(obs_opts, recorder, nullptr);
     return rc;
+  }
+
+  if (config.top_cluster > 0) {
+    return run_top_cluster_mode(config, kill_leader, consensus_dir, trace_dir);
   }
 
   std::printf("distributed federation: %zu workers x %zu devices, %zu rounds\n\n",

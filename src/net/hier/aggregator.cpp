@@ -205,13 +205,15 @@ void AggregatorNode::on_parent_message(WireMessage& msg) {
           round_ = static_cast<std::size_t>(msg.env.round);
           begin_round_down();
           break;
+        case Uplink::EchoAction::kResend:
         case Uplink::EchoAction::kNone:
-          // Our own round echoed back — typically a restarted parent that
-          // lost the update we sent its predecessor.  Resend the cached
-          // fold, but ONLY if we folded this round already; retraining here
-          // would advance the device RNG streams a second time and break
-          // bitwise reproducibility.  (An unfinished collection delivers
-          // through maybe_forward_up as usual.)
+          // Our own round echoed back — a restarted parent that lost the
+          // update we sent its predecessor, or (kResend) a NEW parent that
+          // took over the same round.  Resend the cached fold, but ONLY if
+          // we folded this round already; retraining here would advance the
+          // device RNG streams a second time and break bitwise
+          // reproducibility.  (An unfinished collection delivers through
+          // maybe_forward_up as usual.)
           if (last_sent_round_ == round_) {
             uplink_.send_update(last_sent_, collector_.total_subtree_samples(),
                                 round_);

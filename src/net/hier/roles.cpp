@@ -260,6 +260,10 @@ Uplink::Uplink(Transport& transport, Options opts)
     : transport_(transport), opts_(opts) {}
 
 SendStatus Uplink::send_join(std::uint64_t subtree_samples) {
+  return send_join_to(opts_.parent, subtree_samples);
+}
+
+SendStatus Uplink::send_join_to(NodeId to, std::uint64_t subtree_samples) {
   Membership join;
   join.event = Membership::Event::kJoin;
   join.device = opts_.self;
@@ -268,11 +272,20 @@ SendStatus Uplink::send_join(std::uint64_t subtree_samples) {
   join.codec = opts_.codec;
   join.trace = opts_.trace;             // capability advertisement
   join.wall_ns = obs::wall_clock_ns();  // echoed back for the first RTT sample
-  return transport_.send({opts_.self, opts_.parent, 0}, join, opts_.link_class);
+  return transport_.send({opts_.self, to, 0}, join, opts_.link_class);
 }
 
 Uplink::EchoAction Uplink::on_join_echo(const WireMessage& msg, std::size_t round) {
   const auto& member = std::get<Membership>(msg.payload);
+  // A resend is owed when this round's update went to a node other than the
+  // one echoing.  Comparing against the parent pointer instead would miss the
+  // common failover sequence: the new leader's stale partial retargets the
+  // parent BEFORE its join echo arrives, so by echo time the parent already
+  // matches — but the update bytes died with the predecessor.
+  const bool misdirected = started_ && msg.env.round == round &&
+                           last_update_round_ == round &&
+                           last_update_to_ != msg.env.from;
+  opts_.parent = msg.env.from;  // the echo sender IS the coordinator now
   transport_.set_peer_codec(opts_.parent, member.codec);
   transport_.set_peer_tracing(opts_.parent, member.trace && opts_.trace);
   if (member.echo_wall_ns != 0) {
@@ -288,6 +301,12 @@ Uplink::EchoAction Uplink::on_join_echo(const WireMessage& msg, std::size_t roun
   if (!started_) {
     started_ = true;
     return EchoAction::kStart;
+  }
+  if (misdirected) {
+    // Leader change mid-round: the previously trained update must reach the
+    // new leader, but retraining would advance the RNG streams and break
+    // bitwise identity with the unfailed run — resend, never retrain.
+    return EchoAction::kResend;
   }
   if (msg.env.round != round) return EchoAction::kResync;
   return EchoAction::kNone;
@@ -307,6 +326,11 @@ SendStatus Uplink::send_update(std::vector<float>& params, std::uint64_t samples
   const SendStatus status =
       transport_.send({opts_.self, opts_.parent, round}, payload, opts_.link_class);
   params = std::move(update.params);
+  // Record the attempt even on failure: the bytes are lost either way, and a
+  // successor's echo must still see "this round went elsewhere" to ask for
+  // the resend.
+  last_update_to_ = opts_.parent;
+  last_update_round_ = round;
   return status;
 }
 

@@ -209,18 +209,32 @@ class Uplink {
   /// Advertise ourselves to the parent (codec, trace capability, subtree
   /// weight, send stamp for the first RTT sample).
   SendStatus send_join(std::uint64_t subtree_samples);
+  /// Same advertisement toward an arbitrary node — a top-cluster worker
+  /// joins every committee member so whichever one wins the election
+  /// already holds its join.
+  SendStatus send_join_to(NodeId to, std::uint64_t subtree_samples);
 
   /// What a join echo means for the owner's state machine.
   enum class EchoAction {
     kStart,   // first echo: adopt the envelope round and start training
     kResync,  // echoed round differs: adopt it and rejoin that quorum
+    kResend,  // new parent, same round: resend the last update — never retrain
     kNone,    // own round echoed back: the retried update already covers it
   };
 
-  /// Process a join echo from the parent: adopt the negotiated codec and
-  /// tracing, fold the echoed timestamps into RTT/clock-offset estimates
-  /// (the parent's clock is the reference the trace merge aligns to).
+  /// Process a join echo: adopt the negotiated codec and tracing, fold the
+  /// echoed timestamps into RTT/clock-offset estimates (the parent's clock
+  /// is the reference the trace merge aligns to).  An echo from a node other
+  /// than the current parent RE-TARGETS the uplink to the sender — that is
+  /// the leader-change handshake: a newly elected leader echoes every
+  /// committed member's join, and the echo's envelope round tells the worker
+  /// whether its in-flight update must be resent (kResend, round matches —
+  /// the already-trained model is resent bitwise, never retrained) or its
+  /// round adopted first (kResync).
   EchoAction on_join_echo(const WireMessage& msg, std::size_t round);
+
+  /// Point every subsequent send at a new parent (leader re-targeting).
+  void retarget(NodeId new_parent) { opts_.parent = new_parent; }
 
   /// Send this round's update, lending `params` to the frame for the
   /// duration of the send (no O(d) staging copy).
@@ -244,6 +258,12 @@ class Uplink {
   Options opts_;
   std::uint32_t probe_seq_ = 0;
   bool started_ = false;
+  // Where the most recent update actually went, and for which round.  A join
+  // echo compares against these to decide kResend: "did the parent change" is
+  // not a usable test because a stale partial from the new leader retargets
+  // the parent pointer before its echo arrives.
+  NodeId last_update_to_ = 0;
+  std::size_t last_update_round_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace abdhfl::net::hier

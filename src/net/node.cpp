@@ -56,7 +56,9 @@ hier::Uplink::Options worker_uplink_opts(const FederationConfig& config, NodeId 
                                          std::size_t index) {
   hier::Uplink::Options opts;
   opts.self = id;
-  opts.parent = kRootId;
+  // Top-cluster mode: the deterministic first leader is committee rank 0;
+  // the first join echo re-targets the uplink if another member won.
+  opts.parent = config.top_cluster > 0 ? top_node_id(0) : kRootId;
   opts.cluster = static_cast<std::uint32_t>(index);
   opts.link_class = kLeaderLinkClass;
   opts.level = 1;
@@ -212,7 +214,12 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
 
   transport_.register_node(id_, [this](WireMessage& msg) { on_message(msg); });
   transport_.add_peer_loss_handler([this](NodeId peer) {
-    if (peer == kRootId && !done_) finish(/*failed=*/true);
+    if (done_) return;
+    // Top-cluster mode: a dead top — even the current leader — is
+    // survivable; the worker idles until the elected successor's join echo
+    // re-targets it.  Only the classic single root is fatal to lose.
+    if (top_mode()) return;
+    if (peer == kRootId) finish(/*failed=*/true);
   });
   if (config_.trace) transport_.set_tracing(true);
 }
@@ -220,9 +227,28 @@ WorkerNode::WorkerNode(FederationConfig config, std::size_t worker_index,
 void WorkerNode::start() {
   bb::set_phase(0, round_);  // joining
   bb::record(bb::EventType::kPhase, 0, id_, round_);
+  if (top_mode()) {
+    // Join EVERY committee member: whichever one is (or becomes) the leader
+    // already holds this worker's advertisement and can propose the
+    // membership entry without another handshake.
+    bool any = false;
+    for (std::size_t t = 0; t < config_.top_cluster; ++t) {
+      if (uplink_.send_join_to(top_node_id(t), subtree_samples_) == SendStatus::kOk) {
+        any = true;
+      }
+    }
+    if (!any) finish(/*failed=*/true);
+    return;
+  }
   if (uplink_.send_join(subtree_samples_) != SendStatus::kOk) {
     finish(/*failed=*/true);
   }
+}
+
+void WorkerNode::leave() {
+  if (done_) return;
+  uplink_.send_leave(round_);
+  finish(/*failed=*/false);
 }
 
 void WorkerNode::on_idle() {}
@@ -251,9 +277,16 @@ void WorkerNode::on_message(WireMessage& msg) {
           // itself resumed.  Adopting it keeps the restored model and the
           // live quorum aligned.
           round_ = static_cast<std::size_t>(msg.env.round);
+          if (round_ >= config_.rounds) {
+            // Admitted after the final round closed: there is nothing left
+            // to train toward — say goodbye instead of waiting forever.
+            uplink_.send_leave(round_);
+            finish(/*failed=*/false);
+            break;
+          }
           bb::set_phase(1, round_);  // training
           bb::record(bb::EventType::kPhase, 1, id_, round_);
-          bb::set_peer(kRootId, 0, round_);
+          bb::set_peer(uplink_.parent(), 0, round_);
           train_and_send();
           break;
         case hier::Uplink::EchoAction::kResync:
@@ -262,6 +295,12 @@ void WorkerNode::on_message(WireMessage& msg) {
           // current model.
           round_ = static_cast<std::size_t>(msg.env.round);
           train_and_send();
+          break;
+        case hier::Uplink::EchoAction::kResend:
+          // A newly elected leader echoing the round we already trained:
+          // the update we sent died with its predecessor, so resend it —
+          // bitwise the same bytes, never retrained.
+          resend_update();
           break;
         case hier::Uplink::EchoAction::kNone:
           // Our own round echoed back: the update we retried over the
@@ -275,6 +314,10 @@ void WorkerNode::on_message(WireMessage& msg) {
   }
   if (msg.kind == MsgKind::kPartialModel) {
     const auto& partial = std::get<PartialModel>(msg.payload);
+    // Top-cluster mode: partials only ever come from the current leader, so
+    // the sender IS the coordinator every subsequent send should target —
+    // this catches a leader change even before the new leader's join echo.
+    if (top_mode() && is_top(msg.env.from)) uplink_.retarget(msg.env.from);
     if (msg.env.round != round_) return;  // stale frame from a dropped round
     {
       // Nests under the delivering net_recv span — the cross-process edge
@@ -285,7 +328,7 @@ void WorkerNode::on_message(WireMessage& msg) {
     ++round_;
     bb::record(bb::EventType::kRound, 0, id_, round_ - 1);
     bb::note_progress(round_);
-    bb::set_peer(kRootId, 0, round_);
+    bb::set_peer(uplink_.parent(), 0, round_);
     if (recorder_ != nullptr) {
       obs::RoundRecord& rec = recorder_->begin_round("dist_worker", round_ - 1);
       rec.set("worker", static_cast<double>(index_));
@@ -316,13 +359,13 @@ void WorkerNode::reply_status(const StatusRequest& request, NodeId to) {
   reply.round = round_;
   reply.phase = done_ ? 3 : (uplink_.started() ? 1 : 0);
   reply.level = 1;
-  reply.parent = kRootId;
+  reply.parent = uplink_.parent();
   reply.wall_ns = obs::wall_clock_ns();
   reply.echo_wall_ns = request.wall_ns;
   StatusPeer up;
-  up.node = kRootId;
+  up.node = uplink_.parent();
   up.state = 0;
-  const LinkTelemetry link = transport_.peer_telemetry(kRootId);
+  const LinkTelemetry link = transport_.peer_telemetry(uplink_.parent());
   up.rtt_ms = static_cast<float>(link.rtt_ms);
   up.bytes_sent = link.bytes_sent;
   up.bytes_received = link.bytes_received;
@@ -347,7 +390,22 @@ void WorkerNode::train_and_send() {
     last_cluster_ = cluster_round(config_, trainers_, *rule_, current_);
   }
   const SendStatus status = uplink_.send_update(last_cluster_, subtree_samples_, round_);
-  if (status != SendStatus::kOk) finish(/*failed=*/true);
+  // Top-cluster mode: a failed send means the leader just died; the model is
+  // safe in last_cluster_ and the elected successor's echo triggers a
+  // resend.  Classic mode has nobody else to deliver to.
+  if (status != SendStatus::kOk && !top_mode()) finish(/*failed=*/true);
+}
+
+void WorkerNode::resend_update() {
+  if (last_cluster_.empty()) {
+    // Nothing trained yet for this round (a restored process whose snapshot
+    // predates any training): training IS the correct first step.
+    train_and_send();
+    return;
+  }
+  // Delivery failure here is survivable for the same reason as above: the
+  // next leader's echo will ask again.
+  (void)uplink_.send_update(last_cluster_, subtree_samples_, round_);
 }
 
 void WorkerNode::finish(bool failed) {

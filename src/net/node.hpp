@@ -111,6 +111,20 @@ struct FederationConfig {
   // readiness wakes it immediately — so it trades idle wakeup rate against
   // on_idle() deadline granularity, not against latency.
   double poll_interval_s = 0.05;
+  // Leader-rotation mode (DESIGN.md §15): run N co-equal top nodes (ids
+  // top_node_id(0..N-1)) instead of the single kRootId root.  The tops elect
+  // a leader among themselves; workers join every top and follow the current
+  // leader.  0 = the classic single-root federation.
+  std::size_t top_cluster = 0;
+  // Top-cluster mode: workers the leader waits for before starting round 0
+  // (the join gate).  0 = config.workers.  Lets a churn scenario start with
+  // a subset of the worker pool the shard layout is built for.
+  std::size_t initial_workers = 0;
+  // Top-cluster election timing (consensus::rotation::Config); tests tighten
+  // these to keep failover drills fast.
+  double election_min_s = 0.25;
+  double election_max_s = 0.5;
+  double heartbeat_s = 0.05;
 };
 
 /// Parse a --compress spec — a comma list of "topk:K" (sparsify updates to
@@ -135,8 +149,21 @@ inline constexpr NodeId kObserverIdBase = 900;
 [[nodiscard]] inline bool is_observer(NodeId id) noexcept {
   return id >= kObserverIdBase;
 }
+/// Ids of the leader-rotation top-cluster members (FederationConfig::
+/// top_cluster mode): kTopIdBase + committee rank.  Between the worker range
+/// and the observer range, so neither collides.
+inline constexpr NodeId kTopIdBase = 100;
+[[nodiscard]] inline NodeId top_node_id(std::size_t top_index) noexcept {
+  return kTopIdBase + static_cast<NodeId>(top_index);
+}
+[[nodiscard]] inline bool is_top(NodeId id) noexcept {
+  return id >= kTopIdBase && id < kObserverIdBase;
+}
 /// Tree level of the root<->worker links, used as the traffic link class.
 inline constexpr std::uint32_t kLeaderLinkClass = 1;
+/// Link class of top-cluster committee traffic (level 0: above the
+/// kLeaderLinkClass root<->worker links).
+inline constexpr std::uint32_t kTopLinkClass = 0;
 
 /// Everything a process derives from the seed alone — identical in every
 /// process of a federation, which is what makes the runs comparable.
@@ -192,10 +219,17 @@ class WorkerNode {
              obs::Recorder* recorder = nullptr, ckpt::Store* checkpoint = nullptr,
              std::size_t checkpoint_every = 1, bool resume = false);
 
-  /// Send the join; training starts when the root echoes it.
+  /// Send the join; training starts when the root echoes it.  In top-cluster
+  /// mode (config.top_cluster > 0) the join is broadcast to EVERY top node,
+  /// so whichever member wins the election already holds it.
   void start();
   /// Deadline bookkeeping; call between poll()s.
   void on_idle();
+
+  /// Leave the federation now (churn scenarios): say goodbye to the current
+  /// parent and stop processing frames.  The committed membership log is how
+  /// the departure becomes part of the agreed view.
+  void leave();
 
   [[nodiscard]] bool done() const noexcept { return done_; }
   [[nodiscard]] bool failed() const noexcept { return failed_; }
@@ -208,6 +242,12 @@ class WorkerNode {
  private:
   void on_message(WireMessage& msg);
   void train_and_send();
+  /// Re-send the already-trained cluster model for the current round to the
+  /// (possibly re-targeted) parent — the leader-failover path.  Never
+  /// retrains: retraining would advance the device RNG streams and break
+  /// bitwise identity with the unfailed run.
+  void resend_update();
+  [[nodiscard]] bool top_mode() const noexcept { return config_.top_cluster > 0; }
   void finish(bool failed);
   void save_checkpoint();
   void restore_checkpoint();

@@ -1,0 +1,615 @@
+#include "net/top_cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/trainer.hpp"
+#include "nn/serialize.hpp"
+#include "obs/blackbox.hpp"
+#include "obs/record.hpp"
+#include "obs/trace.hpp"
+
+namespace abdhfl::net {
+
+namespace bb = obs::blackbox;
+namespace rot = consensus::rotation;
+
+using hier::deadline_ns;
+using hier::EchoEstimate;
+using hier::estimate_from_echo;
+using hier::wall_now;
+
+namespace {
+
+rot::Config rotation_config(const FederationConfig& config, NodeId self) {
+  rot::Config rc;
+  rc.self = self;
+  rc.members.reserve(config.top_cluster);
+  for (std::size_t t = 0; t < config.top_cluster; ++t) {
+    rc.members.push_back(top_node_id(t));
+  }
+  rc.seed = config.seed;
+  rc.heartbeat_s = config.heartbeat_s;
+  rc.election_min_s = config.election_min_s;
+  rc.election_max_s = config.election_max_s;
+  return rc;
+}
+
+}  // namespace
+
+TopClusterNode::TopClusterNode(FederationConfig config, std::size_t top_index,
+                               Transport& transport, obs::Recorder* recorder)
+    : config_(std::move(config)),
+      index_(top_index),
+      id_(top_node_id(top_index)),
+      transport_(transport),
+      recorder_(recorder),
+      data_(build_federation_data(config_)),
+      rule_(agg::make_aggregator(config_.root_rule)),
+      raft_(rotation_config(config_, id_)),
+      global_(data_.init_params) {
+  raft_.on_commit = [this](const RaftLogEntry& entry) { apply_entry(entry); };
+  raft_.on_leader_change = [this](std::uint64_t term, NodeId leader,
+                                  rot::ViewReason reason) {
+    on_leader_change(term, leader, reason);
+  };
+  transport_.register_node(id_, [this](WireMessage& msg) { on_message(msg); });
+  transport_.add_peer_loss_handler([this](NodeId peer) { on_peer_loss(peer); });
+  if (config_.trace) transport_.set_tracing(true);
+}
+
+std::size_t TopClusterNode::expected_initial() const noexcept {
+  return config_.initial_workers != 0 ? config_.initial_workers : config_.workers;
+}
+
+bool TopClusterNode::join_gate_met(double now) const {
+  if (live_.empty()) return false;
+  return round_ > 0 || live_.size() >= expected_initial() || now >= join_deadline_;
+}
+
+void TopClusterNode::start() {
+  join_deadline_ = wall_now() + config_.join_timeout_s;
+  bb::set_phase(0, round_, deadline_ns(join_deadline_));
+  bb::record(bb::EventType::kPhase, 0, id_, round_);
+  raft_.start(wall_now());
+  flush_raft();
+}
+
+void TopClusterNode::flush_raft() {
+  for (rot::Outgoing& out : raft_.take_outbox()) {
+    (void)transport_.send({id_, out.to, round_}, out.payload, kTopLinkClass);
+  }
+}
+
+void TopClusterNode::on_idle() {
+  if (phase_ == Phase::kDone) return;
+  const double now = wall_now();
+  raft_.tick(now);
+  flush_raft();
+  if (raft_.is_leader()) {
+    // The idle-path takeover (join-timeout expiry, quiet first election) must
+    // wait for the log to be FULLY applied: a new leader elected mid-round
+    // may still hold its dead predecessor's uncommitted model entry, and
+    // resuming the round before that entry applies would re-collect and
+    // re-commit the same round against the wrong global — diverging from the
+    // replay.  Once commit catches the tail, the kView apply runs the
+    // takeover at the right round.  (Loopback never exposes this window —
+    // acks drain synchronously; real TCP does.)
+    if (!started_training_ && raft_.commit_index() == raft_.last_index() &&
+        join_gate_met(now)) {
+      start_or_resume_training();
+    }
+    // Reconcile the committed view against links that died before this
+    // member led: a worker whose leave (or eviction) perished with the old
+    // leader would otherwise stay "live" forever and hold the shutdown.
+    // propose_membership dedups in-flight subjects, so this is idempotent.
+    for (const NodeId worker : lost_workers_) {
+      if (live_.find(worker) != live_.end() &&
+          leaving_.find(worker) == leaving_.end()) {
+        propose_membership(rot::EntryType::kMemberEvict, worker, nullptr);
+      }
+    }
+    if (started_training_ && phase_ == Phase::kTraining && now >= round_deadline_) {
+      // Round deadline: live members that never delivered are treated as
+      // lost — through the log, so the shrunken view is the agreed one.
+      const std::set<NodeId> live = live_;
+      for (const NodeId worker : live) {
+        if (pending_.find(worker) == pending_.end()) {
+          propose_membership(rot::EntryType::kMemberEvict, worker, nullptr);
+        }
+      }
+      round_deadline_ = now + config_.round_timeout_s;
+    }
+    // A leader with nothing to coordinate past the join deadline: nothing
+    // will ever run, so don't hang the process.
+    if (phase_ == Phase::kJoining && now >= join_deadline_ && live_.empty() &&
+        joined_.empty() && pending_joins_.empty()) {
+      finish_now();
+      return;
+    }
+  }
+  maybe_finish();
+}
+
+void TopClusterNode::on_message(WireMessage& msg) {
+  // Introspection first: a probe must work in every state and never advance
+  // the protocol.
+  if (msg.kind == MsgKind::kStatusRequest) {
+    reply_status(std::get<StatusRequest>(msg.payload), msg.env.from);
+    return;
+  }
+  if (msg.kind == MsgKind::kStatusReply) {
+    const auto& reply = std::get<StatusReply>(msg.payload);
+    const EchoEstimate est = estimate_from_echo(reply.echo_wall_ns, reply.wall_ns);
+    transport_.note_rtt(msg.env.from, kLeaderLinkClass, est.rtt_ms, est.offset_ns);
+    return;
+  }
+  const double now = wall_now();
+  // Consensus traffic is live in every phase, including kDone — a finished
+  // member still answers votes so a lagging peer can conclude its term.
+  switch (msg.kind) {
+    case MsgKind::kVoteRequest:
+      raft_.on_vote_request(std::get<VoteRequest>(msg.payload), now);
+      flush_raft();
+      return;
+    case MsgKind::kVoteReply:
+      raft_.on_vote_reply(std::get<VoteReply>(msg.payload), now);
+      flush_raft();
+      return;
+    case MsgKind::kAppendEntries:
+      raft_.on_append_entries(std::get<AppendEntries>(msg.payload), now);
+      flush_raft();
+      return;
+    case MsgKind::kHeartbeat: {
+      const auto& beat = std::get<Heartbeat>(msg.payload);
+      if (beat.ack != 0) {
+        // Follower progress snoop: what lets the leader hold its own
+        // shutdown until the final commit reached every live member.
+        std::uint64_t& seen = peer_commit_[beat.node];
+        seen = std::max(seen, beat.commit_index);
+      }
+      raft_.on_heartbeat(beat, now);
+      flush_raft();
+      maybe_finish();
+      return;
+    }
+    default:
+      break;
+  }
+  if (phase_ == Phase::kDone) return;
+  if (msg.kind == MsgKind::kMembership) {
+    const auto& member = std::get<Membership>(msg.payload);
+    if (member.event == Membership::Event::kJoin) {
+      // Workers broadcast their join to EVERY committee member, so any
+      // future leader already holds the advertisement.
+      pending_joins_[msg.env.from] = member;
+      if (raft_.is_leader()) {
+        if (live_.find(msg.env.from) != live_.end()) {
+          // Already a committed member (a restarted process re-joining the
+          // same view): re-echo the committed round directly.
+          echo_join(msg.env.from, round_);
+        } else {
+          propose_membership(rot::EntryType::kMemberJoin, msg.env.from, &member);
+        }
+      }
+    } else if (member.event == Membership::Event::kLeave) {
+      leaving_.insert(msg.env.from);
+      transport_.expect_close(msg.env.from);  // its EOF is not churn
+      if (raft_.is_leader() && live_.find(msg.env.from) != live_.end()) {
+        propose_membership(rot::EntryType::kMemberLeave, msg.env.from, nullptr);
+      }
+    }
+    return;
+  }
+  if (msg.kind == MsgKind::kModelUpdate) {
+    if (!raft_.is_leader() || phase_ != Phase::kTraining) return;
+    if (msg.env.round != round_) return;  // stale retransmission
+    if (live_.find(msg.env.from) == live_.end()) return;
+    if (pending_.find(msg.env.from) != pending_.end()) return;  // duplicate
+    auto& update = std::get<ModelUpdate>(msg.payload);
+    pending_[msg.env.from] = std::move(update.params);
+    maybe_aggregate();
+    return;
+  }
+}
+
+void TopClusterNode::on_peer_loss(NodeId peer) {
+  if (phase_ == Phase::kDone && !is_top(peer)) return;
+  const double now = wall_now();
+  if (is_top(peer)) {
+    dead_tops_.insert(peer);
+    peer_commit_.erase(peer);
+    raft_.on_peer_loss(peer, now);
+    flush_raft();
+    maybe_finish();
+    return;
+  }
+  if (is_observer(peer)) return;
+  // A worker link died.  Remember it regardless of role: the loss can fire
+  // at a FOLLOWER (a worker whose leave died with the old leader closes its
+  // sockets to everyone), and the transport reports each loss exactly once —
+  // by the time this member wins an election the event is gone.  Only the
+  // leader turns a loss into an agreed eviction; followers learn it from the
+  // log, and a new leader reconciles the set on its idle tick.
+  lost_workers_.insert(peer);
+  if (raft_.is_leader() && live_.find(peer) != live_.end() &&
+      leaving_.find(peer) == leaving_.end()) {
+    propose_membership(rot::EntryType::kMemberEvict, peer, nullptr);
+  }
+}
+
+void TopClusterNode::propose_membership(rot::EntryType type, NodeId subject,
+                                        const Membership* member) {
+  if (!raft_.is_leader()) return;
+  if (proposal_inflight_.find(subject) != proposal_inflight_.end()) return;
+  RaftLogEntry entry;
+  entry.type = static_cast<std::uint16_t>(type);
+  entry.round = round_;
+  entry.subject = subject;
+  if (member != nullptr) {
+    entry.samples = member->subtree_samples;
+    // Same negotiation as the classic collector: the advertisement bounded
+    // by our own config.  The outcome rides the log so EVERY member can
+    // program the link identically on commit.
+    const Codec own = codec_from_config(config_);
+    Codec chosen = member->codec;
+    chosen.quantize_bits = std::min(chosen.quantize_bits, own.quantize_bits);
+    chosen.topk = (chosen.topk != 0 && own.topk != 0) ? std::min(chosen.topk, own.topk)
+                                                      : 0;
+    chosen.delta = chosen.delta && own.delta;
+    entry.quantize_bits = chosen.quantize_bits;
+    entry.topk = chosen.topk;
+    entry.delta = chosen.delta ? 1 : 0;
+    entry.trace = (member->trace && config_.trace) ? 1 : 0;
+  }
+  proposal_inflight_.insert(subject);
+  raft_.propose_membership(std::move(entry));
+  flush_raft();
+}
+
+void TopClusterNode::record_view(const char* reason_key, double reason, NodeId member) {
+  (void)reason_key;
+  if (recorder_ == nullptr) return;
+  obs::RoundRecord& rec = recorder_->begin_round("dist_view", round_);
+  rec.set("reason", reason);
+  rec.set("member", static_cast<double>(member));
+  rec.set("term", static_cast<double>(raft_.term()));
+}
+
+void TopClusterNode::apply_entry(const RaftLogEntry& entry) {
+  const auto type = static_cast<rot::EntryType>(entry.type);
+  const double now = wall_now();
+  switch (type) {
+    case rot::EntryType::kView: {
+      // Our own election's no-op committed: leadership is now durable, so
+      // perform the takeover — re-derive pending membership (the previous
+      // leader's proposal queue died with it) and resume the round.
+      if (!raft_.is_leader() || entry.term != raft_.term()) return;
+      for (const auto& [worker, member] : pending_joins_) {
+        // Only advertisements that never resolved: a worker already in the
+        // committed view, already departed, or mid-leave is NOT re-proposed.
+        if (live_.find(worker) == live_.end() && left_.find(worker) == left_.end() &&
+            leaving_.find(worker) == leaving_.end()) {
+          propose_membership(rot::EntryType::kMemberJoin, worker, &member);
+        }
+      }
+      if (join_gate_met(now)) start_or_resume_training();
+      return;
+    }
+    case rot::EntryType::kMemberJoin: {
+      live_.insert(entry.subject);
+      left_.erase(entry.subject);
+      leaving_.erase(entry.subject);
+      // A committed (re)join supersedes any remembered link death — without
+      // this, a worker rejoining after a crash would be re-evicted on the
+      // leader's next reconciliation tick.
+      lost_workers_.erase(entry.subject);
+      joined_[entry.subject] = entry.samples;
+      proposal_inflight_.erase(entry.subject);
+      // Program the link exactly as the committing leader negotiated it —
+      // on every member, so any future leader serves the worker identically.
+      Codec codec;
+      codec.quantize_bits = entry.quantize_bits;
+      codec.topk = entry.topk;
+      codec.delta = entry.delta != 0;
+      transport_.set_peer_codec(entry.subject, codec);
+      transport_.set_peer_tracing(entry.subject, entry.trace != 0);
+      bb::record(bb::EventType::kViewChange,
+                 static_cast<std::uint16_t>(rot::ViewReason::kMemberJoin), id_, round_,
+                 raft_.term(), entry.subject);
+      bb::set_peer(entry.subject, 0, round_);
+      record_view("join", static_cast<double>(rot::ViewReason::kMemberJoin),
+                  entry.subject);
+      if (raft_.is_leader()) {
+        if (started_training_) {
+          echo_join(entry.subject, round_);  // mid-run joiner starts now
+        } else if (join_gate_met(now)) {
+          start_or_resume_training();
+        }
+      }
+      // The advertisement is RESOLVED: drop it so no future takeover can
+      // re-propose it.  A worker evicted after this commit is not in live_,
+      // left_, or leaving_ — a stale advertisement would pass the takeover's
+      // unresolved check and resurrect a dead member into the view.
+      pending_joins_.erase(entry.subject);
+      return;
+    }
+    case rot::EntryType::kMemberLeave:
+    case rot::EntryType::kMemberEvict: {
+      const bool leave = type == rot::EntryType::kMemberLeave;
+      live_.erase(entry.subject);
+      if (leave) {
+        left_.insert(entry.subject);
+        transport_.expect_close(entry.subject);
+      } else {
+        ++result_.workers_lost;
+      }
+      leaving_.erase(entry.subject);
+      lost_workers_.erase(entry.subject);
+      // Any advertisement this departure supersedes dies with it — only a
+      // FRESH join (a new message, not a takeover replay) may re-admit.
+      pending_joins_.erase(entry.subject);
+      pending_.erase(entry.subject);  // a departed member's update never counts
+      proposal_inflight_.erase(entry.subject);
+      const auto reason =
+          leave ? rot::ViewReason::kMemberLeave : rot::ViewReason::kMemberEvict;
+      bb::record(bb::EventType::kViewChange, static_cast<std::uint16_t>(reason), id_,
+                 round_, raft_.term(), entry.subject);
+      bb::set_peer(entry.subject, leave ? 2 : 1, round_);
+      record_view(leave ? "leave" : "evict", static_cast<double>(reason),
+                  entry.subject);
+      if (live_.empty() && !joined_.empty() && phase_ != Phase::kDone &&
+          phase_ != Phase::kFinishing) {
+        // Everyone who ever joined is gone: the run is over.  Derived from
+        // the LOG, so followers wind down on the same committed entry the
+        // leader does — no election is needed just to exit.
+        phase_ = Phase::kFinishing;
+        bb::record(bb::EventType::kPhase, 2, id_, round_);
+        bb::set_phase(2, round_);
+      }
+      if (raft_.is_leader() && phase_ == Phase::kTraining) maybe_aggregate();
+      maybe_finish();
+      return;
+    }
+    case rot::EntryType::kModelCommit: {
+      // The round's aggregate is now durable on a majority: install it,
+      // and only NOW may the leader broadcast — commit-before-broadcast is
+      // what makes a mid-broadcast leader death recoverable bitwise.
+      global_ = entry.params;
+      const double accuracy =
+          core::evaluate_params(data_.prototype, global_, data_.test_set);
+      result_.round_accuracy.push_back(accuracy);
+      result_.final_accuracy = accuracy;
+      result_.rounds_run = static_cast<std::size_t>(entry.round) + 1;
+      if (recorder_ != nullptr) {
+        obs::RoundRecord& rec = recorder_->begin_round("dist_root", entry.round);
+        rec.set("accuracy", accuracy);
+        rec.set("live_workers", static_cast<double>(live_.size()));
+        rec.set("inputs", static_cast<double>(entry.samples));
+      }
+      round_ = static_cast<std::size_t>(entry.round) + 1;
+      bb::record(bb::EventType::kRound, 0, id_, round_ - 1, entry.samples);
+      bb::note_progress(round_);
+      if (raft_.is_leader()) {
+        pending_.clear();
+        Payload payload(std::in_place_type<PartialModel>);
+        auto& partial = std::get<PartialModel>(payload);
+        partial.origin = id_;
+        partial.flag_level = 0;
+        partial.is_global = true;
+        partial.alpha = static_cast<float>(config_.alpha);
+        partial.flag_fraction = 1.0;
+        partial.params = global_;  // the log entry keeps its own copy
+        // The commit lands inside an UNTRACED committee net_recv (the ack
+        // that advanced the commit index), so stack parenting would pin the
+        // broadcast's net_send spans to trace 0 and orphan every worker's
+        // net_recv.  An explicitly-placed round-root span (the aggregator's
+        // subtree_agg trick) keeps the cross-process edges in this round's
+        // tree instead.
+        obs::TraceBuffer* sink = transport_.trace_sink();
+        const std::uint64_t trace_id =
+            obs::make_trace_id(config_.seed, static_cast<std::uint64_t>(entry.round));
+        if (sink != nullptr) sink->set_trace_id(trace_id);
+        obs::Span bcast_span(sink, "global_agg", obs::SpanContext{trace_id, 0, true},
+                             static_cast<std::size_t>(entry.round), id_);
+        for (const NodeId worker : live_) {
+          (void)transport_.send({id_, worker, entry.round}, payload, kLeaderLinkClass);
+        }
+        round_deadline_ = now + config_.round_timeout_s;
+      }
+      // Phase tracks the LOG on every member, not just the leader: a
+      // follower that never won an election still joins training on the
+      // first commit and winds down when the round budget is spent.
+      if (phase_ == Phase::kJoining) phase_ = Phase::kTraining;
+      if (round_ >= config_.rounds && phase_ == Phase::kTraining) {
+        phase_ = Phase::kFinishing;
+        bb::record(bb::EventType::kPhase, 2, id_, round_);
+        bb::set_phase(2, round_);
+      } else if (phase_ == Phase::kTraining) {
+        bb::set_phase(1, round_, deadline_ns(round_deadline_));
+      }
+      maybe_finish();
+      return;
+    }
+  }
+}
+
+void TopClusterNode::on_leader_change(std::uint64_t term, NodeId leader,
+                                      rot::ViewReason reason) {
+  if (reason == rot::ViewReason::kElected) {
+    bb::record(bb::EventType::kElection, leader == id_ ? 1 : 2, id_, round_, term,
+               leader);
+    if (recorder_ != nullptr) {
+      obs::RoundRecord& rec = recorder_->begin_round("dist_election", round_);
+      rec.set("term", static_cast<double>(term));
+      rec.set("leader", static_cast<double>(leader));
+      rec.set("node", static_cast<double>(id_));
+    }
+    return;
+  }
+  if (reason == rot::ViewReason::kLeaderLost) {
+    bb::record(bb::EventType::kViewChange,
+               static_cast<std::uint16_t>(rot::ViewReason::kLeaderLost), id_, round_,
+               term, leader);
+    record_view("leader_lost", static_cast<double>(rot::ViewReason::kLeaderLost),
+                leader);
+  }
+}
+
+void TopClusterNode::echo_join(NodeId worker, std::size_t round) {
+  Membership echo;
+  echo.event = Membership::Event::kJoin;
+  echo.device = id_;
+  echo.cluster = worker >= 1 ? worker - 1 : 0;
+  echo.codec = transport_.codec_for(worker);
+  echo.trace = config_.trace;
+  echo.wall_ns = obs::wall_clock_ns();
+  const auto join = pending_joins_.find(worker);
+  echo.echo_wall_ns = join != pending_joins_.end() ? join->second.wall_ns : 0;
+  (void)transport_.send({id_, worker, round}, echo, kLeaderLinkClass);
+}
+
+void TopClusterNode::start_or_resume_training() {
+  started_training_ = true;
+  if (phase_ == Phase::kJoining) {
+    phase_ = Phase::kTraining;
+    result_.workers_joined = live_.size();
+    bb::record(bb::EventType::kPhase, 1, id_, round_, live_.size());
+  }
+  pending_.clear();
+  // Re-broadcast the last COMMITTED model first: a worker that missed the
+  // dead leader's broadcast merges it and catches up to round_; a worker
+  // already at round_ ignores the stale round.  Then the join echoes tell
+  // everyone which round this leader is collecting — a worker that already
+  // trained it resends its update bitwise (Uplink::EchoAction::kResend).
+  const auto& log = raft_.log();
+  const std::uint64_t commit = raft_.commit_index();
+  for (std::uint64_t i = commit; i >= 1; --i) {
+    const RaftLogEntry& entry = log[static_cast<std::size_t>(i) - 1];
+    if (static_cast<rot::EntryType>(entry.type) !=
+        rot::EntryType::kModelCommit) {
+      continue;
+    }
+    Payload payload(std::in_place_type<PartialModel>);
+    auto& partial = std::get<PartialModel>(payload);
+    partial.origin = id_;
+    partial.is_global = true;
+    partial.alpha = static_cast<float>(config_.alpha);
+    partial.flag_fraction = 1.0;
+    partial.params = entry.params;
+    // Same explicit span placement as the commit broadcast: the takeover
+    // runs under an untraced committee frame, not this round's tree.
+    obs::TraceBuffer* sink = transport_.trace_sink();
+    const std::uint64_t trace_id =
+        obs::make_trace_id(config_.seed, static_cast<std::uint64_t>(entry.round));
+    if (sink != nullptr) sink->set_trace_id(trace_id);
+    obs::Span bcast_span(sink, "global_agg", obs::SpanContext{trace_id, 0, true},
+                         static_cast<std::size_t>(entry.round), id_);
+    for (const NodeId worker : live_) {
+      (void)transport_.send({id_, worker, entry.round}, payload, kLeaderLinkClass);
+    }
+    break;
+  }
+  for (const NodeId worker : live_) echo_join(worker, round_);
+  round_deadline_ = wall_now() + config_.round_timeout_s;
+  bb::set_phase(1, round_, deadline_ns(round_deadline_));
+}
+
+void TopClusterNode::maybe_aggregate() {
+  if (!raft_.is_leader() || phase_ != Phase::kTraining || !started_training_) return;
+  // A membership change awaiting commit holds the round: the agreed view
+  // must be settled before the quorum it defines can close.
+  if (raft_.membership_in_flight()) return;
+  if (live_.empty()) return;
+  for (const NodeId worker : live_) {
+    if (pending_.find(worker) == pending_.end()) return;
+  }
+  // Deterministic input order: pending_ is keyed by node id; std::map
+  // iterates ascending — bitwise the reference loop's fold order.
+  std::vector<agg::ModelVec> inputs;
+  inputs.reserve(pending_.size());
+  for (auto& [worker, params] : pending_) inputs.push_back(std::move(params));
+  pending_.clear();
+  const std::size_t n_inputs = inputs.size();
+  rule_->set_reference(global_);
+  std::vector<float> out = rule_->aggregate(inputs);
+  const std::uint64_t digest = nn::params_digest(out);
+  // Append, replicate, and WAIT: the model is acted upon (installed,
+  // broadcast) only when apply_entry sees it commit.
+  (void)raft_.append_model_commit(round_, std::move(out), digest, n_inputs);
+  flush_raft();
+}
+
+void TopClusterNode::maybe_finish() {
+  if (phase_ != Phase::kFinishing) return;
+  if (!live_.empty()) return;
+  if (!raft_.is_leader()) {
+    // Everything this member will ever need is applied; the final ack is
+    // already on the wire toward the leader.
+    finish_now();
+    return;
+  }
+  // The leader holds its shutdown until the final commit index has reached
+  // every committee member that is still alive — otherwise a follower could
+  // be left one heartbeat short of the agreed end state.
+  if (raft_.commit_index() != raft_.last_index()) return;
+  for (std::size_t t = 0; t < config_.top_cluster; ++t) {
+    const NodeId peer = top_node_id(t);
+    if (peer == id_ || dead_tops_.find(peer) != dead_tops_.end()) continue;
+    const auto it = peer_commit_.find(peer);
+    if (it == peer_commit_.end() || it->second < raft_.last_index()) return;
+  }
+  finish_now();
+}
+
+void TopClusterNode::finish_now() {
+  if (!result_.round_accuracy.empty()) result_.global_model = global_;
+  phase_ = Phase::kDone;
+  bb::record(bb::EventType::kPhase, 3, id_, round_);
+  bb::set_phase(3, round_);
+}
+
+void TopClusterNode::reply_status(const StatusRequest& request, NodeId to) {
+  if (is_observer(to)) transport_.mark_transient(to);
+  StatusReply reply;
+  reply.node = id_;
+  reply.probe = request.probe;
+  reply.round = round_;
+  reply.phase = static_cast<std::uint8_t>(phase_);
+  reply.live_workers = static_cast<std::uint32_t>(live_.size());
+  reply.level = 0;
+  reply.parent = raft_.is_leader() || raft_.leader() == rot::kNoLeader
+                     ? kStatusNoParent
+                     : raft_.leader();
+  reply.wall_ns = obs::wall_clock_ns();
+  reply.echo_wall_ns = request.wall_ns;
+  reply.term = raft_.term();
+  reply.leader = raft_.leader() == rot::kNoLeader ? kStatusNoParent : raft_.leader();
+  reply.commit_index = raft_.commit_index();
+  reply.view_reason = static_cast<std::uint8_t>(raft_.last_view_reason());
+  for (const auto& [worker, samples] : joined_) {
+    StatusPeer peer;
+    peer.node = worker;
+    peer.state = live_.count(worker) != 0 ? 0 : (left_.count(worker) != 0 ? 2 : 1);
+    const LinkTelemetry link = transport_.peer_telemetry(worker);
+    peer.rtt_ms = static_cast<float>(link.rtt_ms);
+    peer.bytes_sent = link.bytes_sent;
+    peer.bytes_received = link.bytes_received;
+    reply.peers.push_back(peer);
+  }
+  for (std::size_t t = 0; t < config_.top_cluster; ++t) {
+    const NodeId member = top_node_id(t);
+    if (member == id_) continue;
+    StatusPeer peer;
+    peer.node = member;
+    peer.state = dead_tops_.count(member) != 0 ? 1 : 0;
+    const LinkTelemetry link = transport_.peer_telemetry(member);
+    peer.rtt_ms = static_cast<float>(link.rtt_ms);
+    peer.bytes_sent = link.bytes_sent;
+    peer.bytes_received = link.bytes_received;
+    reply.peers.push_back(peer);
+  }
+  (void)transport_.send({id_, to, round_}, reply, kTopLinkClass);
+}
+
+}  // namespace abdhfl::net

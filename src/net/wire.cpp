@@ -414,6 +414,60 @@ void encode_body(EncodedParts& out, const StatusRequest& m, const Codec&,
   append_pod(out.head, m.wall_ns);
 }
 
+void encode_body(EncodedParts& out, const VoteRequest& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, m.term);
+  append_pod(out.head, m.candidate);
+  append_pod(out.head, m.last_log_index);
+  append_pod(out.head, m.last_log_term);
+}
+
+void encode_body(EncodedParts& out, const VoteReply& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, m.term);
+  append_pod(out.head, m.voter);
+  append_pod(out.head, m.granted);
+}
+
+void encode_body(EncodedParts& out, const AppendEntries& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, m.term);
+  append_pod(out.head, m.leader);
+  append_pod(out.head, m.prev_log_index);
+  append_pod(out.head, m.prev_log_term);
+  append_pod(out.head, m.commit_index);
+  append_pod(out.head, static_cast<std::uint32_t>(m.entries.size()));
+  for (const RaftLogEntry& e : m.entries) {
+    append_pod(out.head, e.term);
+    append_pod(out.head, e.index);
+    append_pod(out.head, e.type);
+    append_pod(out.head, e.round);
+    append_pod(out.head, e.subject);
+    append_pod(out.head, e.samples);
+    append_pod(out.head, e.quantize_bits);
+    append_pod(out.head, e.topk);
+    append_pod(out.head, e.delta);
+    append_pod(out.head, e.trace);
+    append_pod(out.head, e.digest);
+    // The committed model travels as a raw dense section (count + floats):
+    // replication is a top-cluster-only path where the negotiated per-link
+    // compression does not apply — the log must hold the exact bytes.
+    append_pod(out.head, static_cast<std::uint64_t>(e.params.size()));
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(e.params.data());
+    out.head.insert(out.head.end(), raw, raw + e.params.size() * sizeof(float));
+  }
+}
+
+void encode_body(EncodedParts& out, const Heartbeat& m, const Codec&,
+                 const std::vector<float>*, std::uint16_t&) {
+  append_pod(out.head, m.term);
+  append_pod(out.head, m.node);
+  append_pod(out.head, m.ack);
+  append_pod(out.head, m.success);
+  append_pod(out.head, m.commit_index);
+  append_pod(out.head, m.match_index);
+}
+
 void encode_body(EncodedParts& out, const StatusReply& m, const Codec&,
                  const std::vector<float>*, std::uint16_t&) {
   append_pod(out.head, m.node);
@@ -425,6 +479,10 @@ void encode_body(EncodedParts& out, const StatusReply& m, const Codec&,
   append_pod(out.head, m.parent);
   append_pod(out.head, m.wall_ns);
   append_pod(out.head, m.echo_wall_ns);
+  append_pod(out.head, m.term);
+  append_pod(out.head, m.leader);
+  append_pod(out.head, m.commit_index);
+  append_pod(out.head, m.view_reason);
   append_pod(out.head, static_cast<std::uint32_t>(m.peers.size()));
   for (const StatusPeer& peer : m.peers) {
     append_pod(out.head, peer.node);
@@ -437,6 +495,12 @@ void encode_body(EncodedParts& out, const StatusReply& m, const Codec&,
   append_pod(out.head, static_cast<std::uint32_t>(m.metrics.size()));
   out.head.insert(out.head.end(), m.metrics.begin(), m.metrics.end());
 }
+
+/// Fixed bytes of one RaftLogEntry on the wire (everything but the floats).
+constexpr std::size_t kRaftEntryFixed =
+    sizeof(std::uint64_t) * 2 + sizeof(std::uint16_t) + sizeof(std::uint64_t) +
+    sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(std::uint8_t) +
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint8_t) + 2 * sizeof(std::uint64_t);
 
 Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body,
                     std::uint16_t flags, const std::vector<float>* base) {
@@ -510,6 +574,10 @@ Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body,
       m.parent = read_pod<std::uint32_t>(body, offset);
       m.wall_ns = read_pod<std::int64_t>(body, offset);
       m.echo_wall_ns = read_pod<std::int64_t>(body, offset);
+      m.term = read_pod<std::uint64_t>(body, offset);
+      m.leader = read_pod<std::uint32_t>(body, offset);
+      m.commit_index = read_pod<std::uint64_t>(body, offset);
+      m.view_reason = read_pod<std::uint8_t>(body, offset);
       // Both counts come straight off the wire: bound them by the bytes
       // actually present BEFORE any allocation (the PR 4 discipline), so a
       // forged count throws WireError instead of length_error/bad_alloc.
@@ -539,6 +607,77 @@ Payload decode_body(MsgKind kind, std::span<const std::uint8_t> body,
       if (offset != body.size()) throw WireError("trailing bytes after status reply");
       return m;
     }
+    case MsgKind::kVoteRequest: {
+      VoteRequest m;
+      m.term = read_pod<std::uint64_t>(body, offset);
+      m.candidate = read_pod<std::uint32_t>(body, offset);
+      m.last_log_index = read_pod<std::uint64_t>(body, offset);
+      m.last_log_term = read_pod<std::uint64_t>(body, offset);
+      if (offset != body.size()) throw WireError("trailing bytes after vote request");
+      return m;
+    }
+    case MsgKind::kVoteReply: {
+      VoteReply m;
+      m.term = read_pod<std::uint64_t>(body, offset);
+      m.voter = read_pod<std::uint32_t>(body, offset);
+      m.granted = read_pod<std::uint8_t>(body, offset);
+      if (offset != body.size()) throw WireError("trailing bytes after vote reply");
+      return m;
+    }
+    case MsgKind::kAppendEntries: {
+      AppendEntries m;
+      m.term = read_pod<std::uint64_t>(body, offset);
+      m.leader = read_pod<std::uint32_t>(body, offset);
+      m.prev_log_index = read_pod<std::uint64_t>(body, offset);
+      m.prev_log_term = read_pod<std::uint64_t>(body, offset);
+      m.commit_index = read_pod<std::uint64_t>(body, offset);
+      // Bounds before any allocation (the PR 4 discipline): the entry count
+      // and every per-entry parameter count are checked against the bytes
+      // actually present, so a forged header is a WireError, never a
+      // bad_alloc.  kRaftEntryFixed is the smallest possible entry.
+      const auto entry_count = read_pod<std::uint32_t>(body, offset);
+      if (entry_count > (body.size() - offset) / kRaftEntryFixed) {
+        throw WireError("truncated append-entries batch");
+      }
+      m.entries.resize(entry_count);
+      for (RaftLogEntry& e : m.entries) {
+        e.term = read_pod<std::uint64_t>(body, offset);
+        e.index = read_pod<std::uint64_t>(body, offset);
+        e.type = read_pod<std::uint16_t>(body, offset);
+        e.round = read_pod<std::uint64_t>(body, offset);
+        e.subject = read_pod<std::uint32_t>(body, offset);
+        e.samples = read_pod<std::uint64_t>(body, offset);
+        e.quantize_bits = read_pod<std::uint8_t>(body, offset);
+        e.topk = read_pod<std::uint32_t>(body, offset);
+        e.delta = read_pod<std::uint8_t>(body, offset);
+        e.trace = read_pod<std::uint8_t>(body, offset);
+        e.digest = read_pod<std::uint64_t>(body, offset);
+        const auto count = read_pod<std::uint64_t>(body, offset);
+        if (count > kMaxWireParams) {
+          throw WireError("log entry parameter count exceeds limit");
+        }
+        if (count > (body.size() - offset) / sizeof(float)) {
+          throw WireError("truncated log entry parameters");
+        }
+        e.params.resize(static_cast<std::size_t>(count));
+        std::memcpy(e.params.data(), body.data() + offset,
+                    static_cast<std::size_t>(count) * sizeof(float));
+        offset += static_cast<std::size_t>(count) * sizeof(float);
+      }
+      if (offset != body.size()) throw WireError("trailing bytes after append entries");
+      return m;
+    }
+    case MsgKind::kHeartbeat: {
+      Heartbeat m;
+      m.term = read_pod<std::uint64_t>(body, offset);
+      m.node = read_pod<std::uint32_t>(body, offset);
+      m.ack = read_pod<std::uint8_t>(body, offset);
+      m.success = read_pod<std::uint8_t>(body, offset);
+      m.commit_index = read_pod<std::uint64_t>(body, offset);
+      m.match_index = read_pod<std::uint64_t>(body, offset);
+      if (offset != body.size()) throw WireError("trailing bytes after heartbeat");
+      return m;
+    }
   }
   throw WireError("unknown message kind " +
                   std::to_string(static_cast<unsigned>(kind)));
@@ -564,7 +703,20 @@ constexpr std::size_t kStatusPeerWire = sizeof(std::uint32_t) + sizeof(std::uint
 constexpr std::size_t kStatusReplyFixed = 2 * sizeof(std::uint32_t) +
                                           sizeof(std::uint64_t) + sizeof(std::uint8_t) +
                                           3 * sizeof(std::uint32_t) + 2 * sizeof(std::int64_t) +
+                                          sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                                          sizeof(std::uint64_t) + sizeof(std::uint8_t) +
                                           2 * sizeof(std::uint32_t);
+constexpr std::size_t kVoteRequestFixed =
+    sizeof(std::uint64_t) + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+constexpr std::size_t kVoteReplyFixed =
+    sizeof(std::uint64_t) + sizeof(std::uint32_t) + sizeof(std::uint8_t);
+constexpr std::size_t kAppendEntriesFixed = sizeof(std::uint64_t) +
+                                            sizeof(std::uint32_t) +
+                                            3 * sizeof(std::uint64_t) +
+                                            sizeof(std::uint32_t);
+constexpr std::size_t kHeartbeatFixed = sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                                        2 * sizeof(std::uint8_t) +
+                                        2 * sizeof(std::uint64_t);
 
 bool carries_params(const Payload& payload) noexcept {
   return std::holds_alternative<ModelUpdate>(payload) ||
@@ -587,6 +739,10 @@ const char* to_string(MsgKind kind) noexcept {
     case MsgKind::kMembership: return "membership";
     case MsgKind::kStatusRequest: return "status_request";
     case MsgKind::kStatusReply: return "status_reply";
+    case MsgKind::kVoteRequest: return "vote_request";
+    case MsgKind::kVoteReply: return "vote_reply";
+    case MsgKind::kAppendEntries: return "append_entries";
+    case MsgKind::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }
@@ -909,6 +1065,17 @@ std::size_t encoded_size(const Payload& payload, const Codec& codec) {
         } else if constexpr (std::is_same_v<T, StatusReply>) {
           body = kStatusReplyFixed + p.peers.size() * kStatusPeerWire +
                  p.metrics.size();
+        } else if constexpr (std::is_same_v<T, VoteRequest>) {
+          body = kVoteRequestFixed;
+        } else if constexpr (std::is_same_v<T, VoteReply>) {
+          body = kVoteReplyFixed;
+        } else if constexpr (std::is_same_v<T, AppendEntries>) {
+          body = kAppendEntriesFixed;
+          for (const RaftLogEntry& e : p.entries) {
+            body += kRaftEntryFixed + e.params.size() * sizeof(float);
+          }
+        } else if constexpr (std::is_same_v<T, Heartbeat>) {
+          body = kHeartbeatFixed;
         } else {
           body = kMembershipFixed;
         }

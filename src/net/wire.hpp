@@ -59,7 +59,9 @@ namespace abdhfl::net {
 using NodeId = std::uint32_t;
 
 inline constexpr std::uint32_t kWireMagic = 0xABDF4E71U;
-inline constexpr std::uint16_t kWireVersion = 3;  // v3: trace tail + status messages
+inline constexpr std::uint16_t kWireVersion = 4;  // v4: leader-rotation consensus
+                                                  // messages + StatusReply term/
+                                                  // leader/commit columns
 
 /// Header bytes before the body; the trailing digest adds 8 more.
 inline constexpr std::size_t kHeaderSize = 32;
@@ -86,6 +88,10 @@ enum class MsgKind : std::uint16_t {
   kMembership = 4,     // join / leave / crash / shutdown
   kStatusRequest = 5,  // live introspection probe / RTT heartbeat
   kStatusReply = 6,    // round, peer table, Prometheus metrics
+  kVoteRequest = 7,    // leader rotation: candidate solicits a term vote
+  kVoteReply = 8,      // leader rotation: grant / refusal for a term
+  kAppendEntries = 9,  // leader rotation: replicated-log entries (may be empty)
+  kHeartbeat = 10,     // leader keepalive / follower replication ack
 };
 
 [[nodiscard]] const char* to_string(MsgKind kind) noexcept;
@@ -197,6 +203,73 @@ struct Membership {
   std::int64_t echo_wall_ns = 0;      // echo: the request's wall_ns, for RTT
 };
 
+/// One replicated-log entry of the leader-rotation protocol (DESIGN.md §15).
+/// Entries are term-stamped; kModelCommit entries carry the full committed
+/// global model (plus its digest and the codec metadata the committing leader
+/// negotiated) so ANY member that wins an election can serve the last agreed
+/// model bitwise-identically, and membership entries carry everything a new
+/// leader needs to adopt the worker (samples, negotiated codec, tracing).
+struct RaftLogEntry {
+  std::uint64_t term = 0;
+  std::uint64_t index = 0;   // 1-based log position
+  std::uint16_t type = 0;    // consensus::rotation::EntryType
+  std::uint64_t round = 0;   // model round / membership view round
+  std::uint32_t subject = 0; // member node id (membership entries)
+  std::uint64_t samples = 0; // join: the member's subtree sample count
+  std::uint8_t quantize_bits = 0;  // join: the link's negotiated codec
+  std::uint32_t topk = 0;
+  std::uint8_t delta = 0;
+  std::uint8_t trace = 0;
+  std::uint64_t digest = 0;      // model commit: nn::params_digest of params
+  std::vector<float> params;     // model commit: the committed global model
+};
+
+/// Election: a candidate for `term` solicits a vote.  The last-log fields
+/// carry Raft's up-to-dateness restriction — a voter refuses a candidate
+/// whose log is behind its own, which is what keeps committed model entries
+/// from being lost across leader changes.
+struct VoteRequest {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kVoteRequest);
+  std::uint64_t term = 0;
+  std::uint32_t candidate = 0;
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+};
+
+/// Election: grant or refusal.  `term` is the voter's current term so a
+/// stale candidate steps down immediately.
+struct VoteReply {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kVoteReply);
+  std::uint64_t term = 0;
+  std::uint32_t voter = 0;
+  std::uint8_t granted = 0;
+};
+
+/// Log replication: entries [prev_log_index+1 ...] plus the leader's commit
+/// index.  An empty entry list is a consistency probe.
+struct AppendEntries {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kAppendEntries);
+  std::uint64_t term = 0;
+  std::uint32_t leader = 0;
+  std::uint64_t prev_log_index = 0;
+  std::uint64_t prev_log_term = 0;
+  std::uint64_t commit_index = 0;
+  std::vector<RaftLogEntry> entries;
+};
+
+/// Dual-purpose heartbeat: ack == 0 is the leader's keepalive (failure
+/// detection + commit-index propagation); ack == 1 is a follower's reply to
+/// an AppendEntries or keepalive, reporting how far its log matches.
+struct Heartbeat {
+  static constexpr std::uint32_t kMessageKind = static_cast<std::uint32_t>(MsgKind::kHeartbeat);
+  std::uint64_t term = 0;
+  std::uint32_t node = 0;         // sender (leader or acking follower)
+  std::uint8_t ack = 0;           // 0 = leader keepalive, 1 = follower ack
+  std::uint8_t success = 0;       // ack: prev-entry consistency check passed
+  std::uint64_t commit_index = 0; // keepalive: leader's commit index
+  std::uint64_t match_index = 0;  // ack: highest log index known replicated
+};
+
 /// Live introspection probe (tools/abdhfl_top) doubling as the per-round RTT
 /// heartbeat: the replier echoes `wall_ns` back so the requester can compute
 /// rtt = t3 - t0 and the NTP-style midpoint clock offset.
@@ -232,12 +305,20 @@ struct StatusReply {
   std::uint32_t parent = kStatusNoParent;  // parent node id, or kStatusNoParent
   std::int64_t wall_ns = 0;       // replier's system_clock at send
   std::int64_t echo_wall_ns = 0;  // the request's wall_ns, echoed
+  // Leader-rotation consensus state (zero / kStatusNoParent on nodes that
+  // run no consensus — the classic single root, workers, aggregators).
+  std::uint64_t term = 0;          // current consensus term
+  std::uint32_t leader = kStatusNoParent;  // known leader, or kStatusNoParent
+  std::uint64_t commit_index = 0;  // highest committed log index
+  std::uint8_t view_reason = 0;    // consensus::rotation::ViewReason of the
+                                   // last view change (0 = none yet)
   std::vector<StatusPeer> peers;  // detail != 0 only
   std::string metrics;            // Prometheus exposition blob (detail != 0)
 };
 
 using Payload = std::variant<ModelUpdate, PartialModel, ConsensusVote, Membership,
-                             StatusRequest, StatusReply>;
+                             StatusRequest, StatusReply, VoteRequest, VoteReply,
+                             AppendEntries, Heartbeat>;
 
 /// An already-encoded frame travelling as an opaque sim::Message payload
 /// (the loopback-over-simulator bridge).  Tagged like every other payload so

@@ -426,6 +426,8 @@ const char* to_string(EventType type) noexcept {
     case EventType::kStall: return "stall";
     case EventType::kDump: return "dump";
     case EventType::kMark: return "mark";
+    case EventType::kElection: return "election";
+    case EventType::kViewChange: return "view_change";
   }
   return "?";
 }

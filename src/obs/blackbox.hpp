@@ -57,6 +57,8 @@ enum class EventType : std::uint16_t {
   kStall = 8,        // code = StallReason; a = stalled nanoseconds
   kDump = 9,         // code = reason (signal number or stall code)
   kMark = 10,        // free-form runner milestones; code is runner-defined
+  kElection = 11,    // code = 0 started / 1 won / 2 adopted; a = term
+  kViewChange = 12,  // code = rotation::ViewReason; a = term; b = leader/member
 };
 
 enum class ChurnKind : std::uint16_t { kJoin = 1, kLoss = 2, kRejoin = 3, kLeave = 4 };

@@ -1236,16 +1236,17 @@ TEST(Wire, ForgedStatusCountsCannotDriveAllocation) {
   reply.peers.push_back({1, 0, 1.0f, 0.0, 10, 20});
   reply.metrics = "x";
 
-  // peer_count lives after the 45 fixed body bytes.
+  // peer_count lives after the 66 fixed body bytes (45 pre-consensus, plus
+  // term u64 + leader u32 + commit_index u64 + view_reason u8).
   auto frame = encode_frame({0, 999, 1}, reply);
   std::uint32_t huge = 0x40000000u;
-  std::memcpy(frame.data() + kHeaderSize + 45, &huge, sizeof huge);
+  std::memcpy(frame.data() + kHeaderSize + 66, &huge, sizeof huge);
   refresh_digest(frame);
   EXPECT_THROW((void)decode_frame(frame), WireError);
 
   // metrics_len follows the count and one 33-byte peer row.
   frame = encode_frame({0, 999, 1}, reply);
-  std::memcpy(frame.data() + kHeaderSize + 82, &huge, sizeof huge);
+  std::memcpy(frame.data() + kHeaderSize + 103, &huge, sizeof huge);
   refresh_digest(frame);
   EXPECT_THROW((void)decode_frame(frame), WireError);
 }

@@ -21,6 +21,16 @@
 //   terminal 3:  ./abdhfl_node --role aggregator --tree 1,1,1000 --level 2
 //                  --index 0 --port 9401
 //
+// Leader-rotation top cluster (README "Surviving a leader failure"): N
+// co-equal tops replace the single root; top t listens on port+t, workers
+// dial all of them.  Killing the leader mid-round re-elects and the round
+// resumes bitwise:
+//
+//   terminal 1:  ./abdhfl_node --role top --index 0 --top-cluster 3 --port 9400
+//   terminal 2:  ./abdhfl_node --role top --index 1 --top-cluster 3 --port 9400
+//   terminal 3:  ./abdhfl_node --role top --index 2 --top-cluster 3 --port 9400
+//   terminal 4:  ./abdhfl_node --role worker --index 0 --top-cluster 3 --port 9400
+//
 // The root waits for all expected joins (or --join-timeout), runs --rounds
 // global rounds, prints the per-round accuracy, and exits once every child
 // said goodbye.  Children that die mid-run degrade the federation instead of
@@ -34,16 +44,19 @@
 // rejoins the federation mid-training instead of retraining from round 0
 // (README "Crash recovery").
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "ckpt/store.hpp"
 #include "net/hier/aggregator.hpp"
 #include "net/loopback.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
+#include "net/top_cluster.hpp"
 #include "obs/blackbox.hpp"
 #include "obs/obs.hpp"
 #include "obs/record.hpp"
@@ -81,6 +94,16 @@ abdhfl::net::FederationConfig config_from_cli(abdhfl::util::Cli& cli) {
     std::fprintf(stderr, "invalid --compress spec '%s'\n", compress.c_str());
     std::exit(2);
   }
+  config.top_cluster = static_cast<std::size_t>(cli.integer(
+      "top-cluster", 0,
+      "leader-rotation committee size (0 = classic single root; DESIGN.md §15)"));
+  config.initial_workers = static_cast<std::size_t>(cli.integer(
+      "initial-workers", 0, "top-cluster join gate: workers to wait for (0 = --workers)"));
+  config.heartbeat_s = cli.real("heartbeat", 0.05, "top-cluster leader keepalive (s)");
+  config.election_min_s =
+      cli.real("election-min", 0.25, "top-cluster election timeout lower bound (s)");
+  config.election_max_s =
+      cli.real("election-max", 0.5, "top-cluster election timeout upper bound (s)");
   config.join_timeout_s = cli.real("join-timeout", 20.0, "root's wait for joins (s)");
   config.round_timeout_s = cli.real("round-timeout", 60.0, "root's wait per round (s)");
   config.rejoin_grace_s = cli.real(
@@ -90,6 +113,18 @@ abdhfl::net::FederationConfig config_from_cli(abdhfl::util::Cli& cli) {
       "idle poll tick (s); under the epoll reactor this is only the upper bound "
       "on a quiet poll's sleep, not a latency floor");
   return config;
+}
+
+// Committee members and workers may start in any order: keep dialing until
+// the peer's listener is up or the budget runs out.
+bool dial_with_retry(abdhfl::net::TcpTransport& transport, abdhfl::net::NodeId peer,
+                     const std::string& host, std::uint16_t port, double budget_s) {
+  const double end = abdhfl::net::hier::wall_now() + budget_s;
+  for (;;) {
+    if (transport.connect_peer(peer, host, port)) return true;
+    if (abdhfl::net::hier::wall_now() >= end) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
 }
 
 void print_traffic(const abdhfl::net::TransportStats& stats) {
@@ -138,6 +173,12 @@ int main(int argc, char** argv) {
   net::NodeId self = net::kRootId;
   if (role == "worker") {
     self = net::worker_node_id(index);
+  } else if (role == "top") {
+    if (config.top_cluster == 0 || index >= config.top_cluster) {
+      std::fprintf(stderr, "--role top requires --top-cluster N with --index < N\n");
+      return 2;
+    }
+    self = net::top_node_id(index);
   } else if (role == "aggregator") {
     if (!tree_mode) {
       std::fprintf(stderr, "--role aggregator requires --tree\n");
@@ -202,6 +243,56 @@ int main(int argc, char** argv) {
     std::printf("\nfinal accuracy %.4f  (%zu/%zu rounds, %zu joined, %zu lost)\n",
                 result.final_accuracy, result.rounds_run, config.rounds,
                 result.workers_joined, result.workers_lost);
+    print_traffic(transport.stats());
+    if (rec != nullptr) transport.record_traffic(*rec, result.rounds_run);
+    obs::write_outputs(obs_opts, recorder, obs_opts.active() ? &trace : nullptr);
+    return finished && result.rounds_run > 0 ? 0 : 1;
+  }
+
+  if (role == "top") {
+    // Committee member `index` of a leader-rotation top cluster: listens on
+    // port+index, dials every lower-ranked member (one TCP link per committee
+    // pair), and expects workers to dial all of us.
+    net::TcpTransport transport(self);
+    const std::uint16_t bound =
+        transport.listen(static_cast<std::uint16_t>(port + index));
+    if (obs_opts.active()) transport.set_trace(&trace);
+    for (std::size_t s = 0; s < index; ++s) {
+      const net::NodeId peer = net::top_node_id(s);
+      transport.set_peer_link_class(peer, net::kTopLinkClass);
+      if (!dial_with_retry(transport, peer, host,
+                           static_cast<std::uint16_t>(port + s),
+                           config.join_timeout_s)) {
+        std::fprintf(stderr, "top %zu: cannot reach committee member %zu at %s:%u\n",
+                     index, s, host.c_str(),
+                     static_cast<unsigned>(port + s));
+        return 1;
+      }
+    }
+    std::printf("top %zu (node %u): listening on port %u, committee of %zu\n", index,
+                self, bound, config.top_cluster);
+    std::fflush(stdout);
+
+    net::TopClusterNode top(config, index, transport, rec);
+    top.start();
+    const bool finished = net::pump_until(
+        transport, [&] { top.on_idle(); return top.done(); }, deadline,
+        config.poll_interval_s);
+    const net::RootResult& result = top.result();
+
+    std::printf("\n%-7s %-10s\n", "round", "accuracy");
+    for (std::size_t r = 0; r < result.round_accuracy.size(); ++r) {
+      std::printf("%-7zu %-10.4f\n", r + 1, result.round_accuracy[r]);
+    }
+    std::printf("\nfinal accuracy %.4f  (%zu/%zu rounds, %zu joined, %zu lost)\n",
+                result.final_accuracy, result.rounds_run, config.rounds,
+                result.workers_joined, result.workers_lost);
+    std::printf("consensus: term %llu, leader %u%s, commit index %llu, "
+                "%llu election(s)\n",
+                static_cast<unsigned long long>(top.term()), top.leader(),
+                top.is_leader() ? " (me)" : "",
+                static_cast<unsigned long long>(top.commit_index()),
+                static_cast<unsigned long long>(top.elections_seen()));
     print_traffic(transport.stats());
     if (rec != nullptr) transport.record_traffic(*rec, result.rounds_run);
     obs::write_outputs(obs_opts, recorder, obs_opts.active() ? &trace : nullptr);
@@ -275,21 +366,42 @@ int main(int argc, char** argv) {
   }
 
   if (role != "worker") {
-    std::fprintf(stderr, "unknown --role '%s' (expected root, worker or aggregator)\n",
+    std::fprintf(stderr,
+                 "unknown --role '%s' (expected root, worker, top or aggregator)\n",
                  role.c_str());
     return 2;
   }
 
   net::TcpTransport transport(net::worker_node_id(index));
   if (obs_opts.active()) transport.set_trace(&trace);
-  transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
-  if (!transport.connect_peer(net::kRootId, host, port)) {
-    std::fprintf(stderr, "worker %zu: cannot reach root at %s:%u\n", index, host.c_str(),
-                 port);
-    return 1;
+  if (config.top_cluster > 0) {
+    // Top-cluster mode: dial EVERY committee member (top t listens on
+    // port+t) — the join broadcast and a later leader change both need a
+    // live link to whichever member currently leads.
+    for (std::size_t t = 0; t < config.top_cluster; ++t) {
+      const net::NodeId peer = net::top_node_id(t);
+      transport.set_peer_link_class(peer, net::kLeaderLinkClass);
+      if (!dial_with_retry(transport, peer, host,
+                           static_cast<std::uint16_t>(port + t),
+                           config.join_timeout_s)) {
+        std::fprintf(stderr, "worker %zu: cannot reach top %zu at %s:%u\n", index, t,
+                     host.c_str(), static_cast<unsigned>(port + t));
+        return 1;
+      }
+    }
+    std::printf("worker %zu: connected to %zu top(s) at %s:%u.., %zu device(s)\n",
+                index, config.top_cluster, host.c_str(), port,
+                config.devices_per_worker);
+  } else {
+    transport.set_peer_link_class(net::kRootId, net::kLeaderLinkClass);
+    if (!transport.connect_peer(net::kRootId, host, port)) {
+      std::fprintf(stderr, "worker %zu: cannot reach root at %s:%u\n", index,
+                   host.c_str(), port);
+      return 1;
+    }
+    std::printf("worker %zu: connected to %s:%u, %zu device(s)\n", index, host.c_str(),
+                port, config.devices_per_worker);
   }
-  std::printf("worker %zu: connected to %s:%u, %zu device(s)\n", index, host.c_str(),
-              port, config.devices_per_worker);
   std::fflush(stdout);
 
   net::WorkerNode worker(config, index, transport, rec, store.get(),

@@ -47,6 +47,18 @@ const char* phase_name(std::uint8_t phase) {
   return "?";
 }
 
+const char* view_reason_name(std::uint8_t reason) {
+  switch (reason) {
+    case 0: return "none";
+    case 1: return "elected";
+    case 2: return "leader-lost";
+    case 3: return "member-join";
+    case 4: return "member-leave";
+    case 5: return "member-evict";
+  }
+  return "?";
+}
+
 const char* peer_state_name(std::uint8_t state) {
   switch (state) {
     case 0: return "live";
@@ -135,6 +147,18 @@ int main(int argc, char** argv) {
                 reply->node, host.c_str(), port,
                 static_cast<unsigned long long>(reply->round),
                 phase_name(reply->phase), reply->live_workers, probe_rtt_ms);
+    // A top-cluster member reports its consensus state: the term, who
+    // currently leads, how far the replicated log has committed, and why
+    // the view last changed (DESIGN.md §15).
+    if (reply->term != 0) {
+      std::printf("  term %llu   leader %s   commit index %llu   last view change %s\n",
+                  static_cast<unsigned long long>(reply->term),
+                  reply->leader == net::kStatusNoParent
+                      ? "none"
+                      : std::to_string(reply->leader).c_str(),
+                  static_cast<unsigned long long>(reply->commit_index),
+                  view_reason_name(reply->view_reason));
+    }
     // An interior AggregatorNode reports its place in the tree and its
     // parent link (the first peer row) next to the child table.
     const bool has_parent = reply->parent != net::kStatusNoParent;

@@ -123,6 +123,17 @@ std::string describe(const bb::Event& e) {
     case bb::EventType::kMark:
       std::snprintf(buf, sizeof buf, "mark %u", e.code);
       break;
+    case bb::EventType::kElection: {
+      const char* what = e.code == 0 ? "started" : (e.code == 1 ? "won" : "adopted");
+      std::snprintf(buf, sizeof buf, "election %s (term %llu)", what,
+                    static_cast<unsigned long long>(e.a));
+      break;
+    }
+    case bb::EventType::kViewChange:
+      std::snprintf(buf, sizeof buf, "view change reason %u (term %llu, node %llu)",
+                    e.code, static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+      break;
     default:
       std::snprintf(buf, sizeof buf, "unknown type %u code %u", e.type, e.code);
       break;

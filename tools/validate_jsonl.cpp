@@ -33,6 +33,11 @@
 //   blackbox the flight recorder's stall/dump side-car records
 //         ("blackbox_stall" per watchdog detection, "blackbox_dump" per
 //         written .abbx) emitted by obs::blackbox (DESIGN.md §13).
+//   consensus the leader-rotation top cluster's records (DESIGN.md §15):
+//         "dist_election" (one per won election — term, winner, observer),
+//         "dist_view" (one per committed view change — reason code, member,
+//         term) and "dist_root" (one per committed round, same keys as the
+//         classic root's record).
 //
 // A required key may carry a ":str" suffix ("span_id:str") meaning the value
 // must be a JSON *string* — the trace ids and wall_ns exceed the 53-bit
@@ -95,6 +100,10 @@ group_schemas() {
              {"node", "phase", "reason:str", "stalled_for_s"}},
             {"blackbox_dump",
              {"node", "phase", "events", "bytes", "reason:str", "path:str"}}}},
+          {"consensus",
+           {{"dist_election", {"term", "leader", "node"}},
+            {"dist_view", {"reason", "member", "term"}},
+            {"dist_root", {"accuracy", "live_workers", "inputs"}}}},
       };
   return groups;
 }
